@@ -1,0 +1,68 @@
+//! E2 — processor overhead: LO-FAT (0 %) vs. C-FLAT-style software attestation
+//! (linear in control-flow events), across the workload corpus (§6.1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lofat::EngineConfig;
+use lofat_bench::{cpu_with_input, run_attested, run_plain, MAX_CYCLES};
+use lofat_cflat::CflatAttestor;
+use lofat_workloads::catalog;
+
+fn print_table() {
+    println!("\n=== E2: attested-software overhead (cycles) ===");
+    println!(
+        "{:<16} {:>8} {:>10} {:>10} {:>12} {:>11} {:>11}",
+        "workload", "events", "baseline", "LO-FAT", "LO-FAT ovh", "C-FLAT", "C-FLAT ovh"
+    );
+    for workload in catalog::all() {
+        let program = workload.program().expect("assemble");
+        let input = &workload.default_input;
+        let plain = run_plain(&program, input);
+        let (_, attested) = run_attested(&program, input, EngineConfig::default());
+        let mut cpu = cpu_with_input(&program, input);
+        let cflat = CflatAttestor::new().attest_cpu(&mut cpu, MAX_CYCLES).expect("cflat");
+        println!(
+            "{:<16} {:>8} {:>10} {:>10} {:>11.1}% {:>11} {:>10.0}%",
+            workload.name,
+            cflat.events,
+            plain.cycles,
+            attested.cycles,
+            (attested.cycles as f64 / plain.cycles as f64 - 1.0) * 100.0,
+            cflat.instrumented_cycles(),
+            cflat.overhead_ratio() * 100.0,
+        );
+    }
+    println!("(paper: LO-FAT incurs no performance overhead; C-FLAT overhead is linear in events)");
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+
+    let workload = catalog::by_name("bubble-sort").expect("workload");
+    let program = workload.program().expect("assemble");
+    let input: Vec<u32> = (0..24u32).rev().collect();
+
+    let mut group = c.benchmark_group("e2_overhead");
+    group.sample_size(20);
+    group.bench_function("plain_execution", |b| b.iter(|| run_plain(&program, &input)));
+    group.bench_function("lofat_attested_execution", |b| {
+        b.iter(|| run_attested(&program, &input, EngineConfig::default()))
+    });
+    group.bench_function("cflat_software_attestation", |b| {
+        let attestor = CflatAttestor::new();
+        b.iter(|| {
+            let mut cpu = cpu_with_input(&program, &input);
+            attestor.attest_cpu(&mut cpu, MAX_CYCLES).expect("cflat")
+        })
+    });
+    // Sweep: simulated-cycle overhead as a function of control-flow event count.
+    for n in [8u32, 32, 128] {
+        let fig4 = catalog::by_name("fig4-loop").expect("workload").program().expect("assemble");
+        group.bench_with_input(BenchmarkId::new("lofat_fig4_iterations", n), &n, |b, &n| {
+            b.iter(|| run_attested(&fig4, &[n], EngineConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! E3 — internal engine latency: 2 cycles per branch event, 5 cycles per loop exit,
+//! absorbed without stalling the processor (§6.1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lofat::{EngineConfig, BRANCH_EVENT_LATENCY, LOOP_EXIT_LATENCY};
+use lofat_bench::{attest_workload, run_plain};
+use lofat_workloads::catalog;
+
+fn print_table() {
+    println!("\n=== E3: internal engine latency (cycles) ===");
+    println!(
+        "{:<16} {:>8} {:>10} {:>14} {:>14} {:>10}",
+        "workload", "events", "loop exits", "internal lat.", "2·ev + 5·ex", "CPU stall"
+    );
+    for workload in catalog::all() {
+        let program = workload.program().expect("assemble");
+        let plain = run_plain(&program, &workload.default_input);
+        let (measurement, attested) = attest_workload(&workload, &workload.default_input);
+        let stats = measurement.stats;
+        let formula =
+            BRANCH_EVENT_LATENCY * stats.branch_events + LOOP_EXIT_LATENCY * stats.loops_exited;
+        println!(
+            "{:<16} {:>8} {:>10} {:>14} {:>14} {:>10}",
+            workload.name,
+            stats.branch_events,
+            stats.loops_exited,
+            stats.internal_latency_cycles,
+            formula,
+            attested.cycles - plain.cycles,
+        );
+    }
+    println!("(paper: 2 cycles per branch event, 5 at loop exit, zero processor stalls)");
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+
+    let mut group = c.benchmark_group("e3_latency");
+    group.sample_size(20);
+    // Time the per-event processing cost of the engine model itself (observe path).
+    let workload = catalog::by_name("matrix-checksum").expect("workload");
+    group.bench_function("engine_observation_matrix_n6", |b| {
+        let program = workload.program().expect("assemble");
+        b.iter(|| {
+            let mut engine =
+                lofat::LofatEngine::for_program(&program, EngineConfig::default()).expect("engine");
+            let mut cpu = lofat_bench::cpu_with_input(&program, &[6]);
+            cpu.run_traced(lofat_bench::MAX_CYCLES, &mut engine).expect("run");
+            engine.finalize().expect("finalize")
+        })
+    });
+    let dense = catalog::by_name("crc32").expect("workload");
+    group.bench_function("engine_observation_crc32", |b| {
+        let program = dense.program().expect("assemble");
+        b.iter(|| {
+            let mut engine =
+                lofat::LofatEngine::for_program(&program, EngineConfig::default()).expect("engine");
+            let mut cpu = lofat_bench::cpu_with_input(&program, &dense.default_input);
+            cpu.run_traced(lofat_bench::MAX_CYCLES, &mut engine).expect("run");
+            engine.finalize().expect("finalize")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! E5 — area / on-chip memory model: BRAM and logic cost as a function of ℓ, n and
+//! the nested-loop capacity; reproduces the paper's 1.5 Mbit / 49 BRAM / 20 % /
+//! 80 MHz design point (§5.2, §6.2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lofat::{AreaModel, EngineConfig};
+
+fn print_table() {
+    let model = AreaModel::new();
+    println!("\n=== E5: area and on-chip memory model ===");
+    println!(
+        "{:>4} {:>3} {:>6} {:>14} {:>8} {:>8} {:>8} {:>8} {:>9}",
+        "ℓ", "n", "depth", "loop mem bits", "BRAMs", "logic", "FF", "LUT", "Fmax"
+    );
+    for (l, n, depth) in [
+        (8u32, 4u32, 3usize),
+        (12, 4, 3),
+        (16, 2, 3),
+        (16, 4, 1),
+        (16, 4, 2),
+        (16, 4, 3),
+        (16, 4, 4),
+        (16, 8, 3),
+        (18, 4, 3),
+    ] {
+        let config = EngineConfig::builder()
+            .max_path_bits(l)
+            .indirect_target_bits(n)
+            .max_nesting_depth(depth)
+            .build()
+            .expect("config");
+        let estimate = model.estimate(&config);
+        println!(
+            "{:>4} {:>3} {:>6} {:>14} {:>8} {:>7.1}% {:>7.1}% {:>7.1}% {:>6.0}MHz",
+            l,
+            n,
+            depth,
+            estimate.total_loop_memory_bits,
+            estimate.total_brams,
+            estimate.logic_overhead * 100.0,
+            estimate.register_utilisation * 100.0,
+            estimate.lut_utilisation * 100.0,
+            estimate.max_clock_mhz,
+        );
+    }
+    let paper = model.estimate(&EngineConfig::paper_prototype());
+    println!(
+        "paper design point (ℓ=16, n=4, depth=3): {} bits, {} BRAMs, {:.0}% logic, {:.0}% FF, {:.0}% LUT, {:.0} MHz",
+        paper.total_loop_memory_bits,
+        paper.total_brams,
+        paper.logic_overhead * 100.0,
+        paper.register_utilisation * 100.0,
+        paper.lut_utilisation * 100.0,
+        paper.max_clock_mhz
+    );
+    println!("(paper: ≈1.5 Mbit, 49 BRAMs, ≈20 % logic, 4 % FF, 6 % LUT, 80 MHz)");
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let model = AreaModel::new();
+    let mut group = c.benchmark_group("e5_area");
+    group.bench_function("estimate_paper_prototype", |b| {
+        let config = EngineConfig::paper_prototype();
+        b.iter(|| model.estimate(&config))
+    });
+    group.bench_function("full_design_space_sweep", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for l in 8..=18u32 {
+                for depth in 1..=4usize {
+                    let config = EngineConfig::builder()
+                        .max_path_bits(l)
+                        .max_nesting_depth(depth)
+                        .build()
+                        .expect("config");
+                    total += model.estimate(&config).total_brams;
+                }
+            }
+            total
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! E7 — size of the auxiliary metadata L as a function of the number of loops,
+//! distinct paths per loop and indirect targets; independent of iteration counts
+//! (§6.1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lofat::EngineConfig;
+use lofat_bench::run_attested;
+use lofat_workloads::catalog;
+
+fn print_table() {
+    println!("\n=== E7: metadata size L ===");
+
+    println!("-- sweep of loop iterations (syringe-pump; size should stay flat per record) --");
+    println!("{:>12} {:>12} {:>14} {:>14}", "units", "loop records", "iterations", "L bytes");
+    let pump = catalog::by_name("syringe-pump").expect("workload").program().expect("assemble");
+    for units in [5u32, 20, 80, 320] {
+        let (m, _) = run_attested(&pump, &[units], EngineConfig::default());
+        println!(
+            "{:>12} {:>12} {:>14} {:>14}",
+            units,
+            m.metadata.loop_count(),
+            m.metadata.total_iterations(),
+            m.metadata.size_bytes()
+        );
+    }
+
+    println!("-- sweep of distinct paths per loop (diamond-paths) --");
+    println!("{:>12} {:>15} {:>14}", "iterations", "distinct paths", "L bytes");
+    let diamond = catalog::by_name("diamond-paths").expect("workload").program().expect("assemble");
+    for n in [2u32, 4, 8, 16, 64] {
+        let (m, _) = run_attested(&diamond, &[n], EngineConfig::default());
+        println!(
+            "{:>12} {:>15} {:>14}",
+            n,
+            m.metadata.total_distinct_paths(),
+            m.metadata.size_bytes()
+        );
+    }
+
+    println!("-- sweep of indirect targets (dispatch) --");
+    println!("{:>14} {:>18} {:>14}", "handlers used", "targets recorded", "L bytes");
+    let dispatch = catalog::by_name("dispatch").expect("workload").program().expect("assemble");
+    for handlers in [1u32, 2, 3, 4] {
+        let input: Vec<u32> = (0..12u32).map(|i| i % handlers).collect();
+        let (m, _) = run_attested(&dispatch, &input, EngineConfig::default());
+        let targets: usize = m.metadata.loops.iter().map(|l| l.indirect_targets.len()).sum();
+        println!("{:>14} {:>18} {:>14}", handlers, targets, m.metadata.size_bytes());
+    }
+    println!("(paper: |L| depends on loops, paths per loop and indirect targets — not iterations)");
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+
+    let mut group = c.benchmark_group("e7_metadata");
+    group.sample_size(20);
+    let diamond = catalog::by_name("diamond-paths").expect("workload").program().expect("assemble");
+    for n in [8u32, 64] {
+        group.bench_with_input(BenchmarkId::new("attest_and_serialise", n), &n, |b, &n| {
+            b.iter(|| {
+                let (m, _) = run_attested(&diamond, &[n], EngineConfig::default());
+                m.metadata.to_bytes().len()
+            })
+        });
+    }
+    group.bench_function("metadata_serialisation_only", |b| {
+        let (m, _) = run_attested(&diamond, &[64], EngineConfig::default());
+        b.iter(|| m.metadata.to_bytes())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,125 @@
+//! E8 — security evaluation: detection of the Fig. 1 attack classes and cost of the
+//! verifier's checks (§2, §6.3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lofat::protocol::{run_attestation, run_attestation_with_adversary};
+use lofat::{LofatError, Prover, Verifier};
+use lofat_crypto::DeviceKey;
+use lofat_workloads::{attack, catalog};
+
+fn verdict(outcome: Result<lofat::protocol::ProtocolOutcome, LofatError>) -> &'static str {
+    match outcome {
+        Ok(_) => "accepted",
+        Err(LofatError::Rejected(_)) => "REJECTED",
+        Err(_) => "error",
+    }
+}
+
+fn print_table() {
+    println!("\n=== E8: attack detection matrix ===");
+    println!("{:<52} {:>10} {:>10}", "attack", "expected", "observed");
+
+    let cases: Vec<(&str, &str, Vec<u32>, bool, Box<dyn Fn(&lofat_rv32::Program) -> attack::Fault>)> = vec![
+        (
+            "① non-control-data (decision variable)",
+            "fig4-loop",
+            vec![4],
+            true,
+            Box::new(|p| attack::non_control_data_attack(p.symbol("input").unwrap(), 9)),
+        ),
+        (
+            "② loop-counter manipulation (syringe pump)",
+            "syringe-pump",
+            vec![3],
+            true,
+            Box::new(|p| attack::loop_counter_attack(p.symbol("input").unwrap(), 40)),
+        ),
+        (
+            "③ code-pointer overwrite (dispatch table)",
+            "dispatch",
+            vec![0, 0, 2, 1],
+            true,
+            Box::new(|p| {
+                attack::code_pointer_attack(
+                    p.symbol("table").unwrap(),
+                    0,
+                    p.symbol("op_clear").unwrap(),
+                )
+            }),
+        ),
+        (
+            "③ ROP-style return-address hijack",
+            "return-victim",
+            vec![21],
+            true,
+            Box::new(|p| {
+                attack::return_address_attack(
+                    p.symbol("process").unwrap() + 8,
+                    12,
+                    p.symbol("privileged").unwrap(),
+                )
+            }),
+        ),
+        (
+            "pure data-oriented manipulation (no CF change)",
+            "syringe-pump",
+            vec![3],
+            false,
+            Box::new(|p| attack::data_only_attack(p.symbol("motor_pulses").unwrap(), 9999)),
+        ),
+    ];
+
+    for (name, workload_name, input, detected, build_fault) in cases {
+        let workload = catalog::by_name(workload_name).expect("workload");
+        let program = workload.program().expect("assemble");
+        let key = DeviceKey::from_seed("e8-bench");
+        let mut prover = Prover::new(program.clone(), workload.name, key.clone());
+        let mut verifier =
+            Verifier::new(program.clone(), workload.name, key.verification_key()).expect("verifier");
+        let mut fault = build_fault(&program);
+        let observed = verdict(run_attestation_with_adversary(
+            &mut verifier,
+            &mut prover,
+            input,
+            &mut fault,
+        ));
+        let expected = if detected { "REJECTED" } else { "accepted" };
+        println!("{:<52} {:>10} {:>10}", name, expected, observed);
+    }
+    println!("(paper §6.3: classes ①–③ detected; pure data-oriented attacks are out of scope)");
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+
+    let workload = catalog::by_name("syringe-pump").expect("workload");
+    let program = workload.program().expect("assemble");
+    let key = DeviceKey::from_seed("e8-bench-timing");
+
+    let mut group = c.benchmark_group("e8_attacks");
+    group.sample_size(20);
+    group.bench_function("honest_attestation_round_trip", |b| {
+        b.iter(|| {
+            let mut prover = Prover::new(program.clone(), workload.name, key.clone());
+            let mut verifier =
+                Verifier::new(program.clone(), workload.name, key.verification_key()).expect("verifier");
+            run_attestation(&mut verifier, &mut prover, vec![5]).expect("accepted")
+        })
+    });
+    group.bench_function("attacked_attestation_round_trip", |b| {
+        b.iter(|| {
+            let mut prover = Prover::new(program.clone(), workload.name, key.clone());
+            let mut verifier =
+                Verifier::new(program.clone(), workload.name, key.verification_key()).expect("verifier");
+            let mut fault = attack::loop_counter_attack(program.symbol("input").unwrap(), 40);
+            run_attestation_with_adversary(&mut verifier, &mut prover, vec![5], &mut fault)
+        })
+    });
+    group.bench_function("verifier_offline_cfg_analysis", |b| {
+        b.iter(|| Verifier::new(program.clone(), workload.name, key.verification_key()).expect("verifier"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! E9 (ablation) — loop compression: hash work with the paper's path-counter scheme
+//! vs. naive per-iteration hashing (§4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lofat::EngineConfig;
+use lofat_bench::run_attested;
+use lofat_workloads::catalog;
+
+fn print_table() {
+    println!("\n=== E9: loop-compression ablation (fig4-loop) ===");
+    println!(
+        "{:>12} {:>18} {:>18} {:>16} {:>14}",
+        "iterations", "hashed (LO-FAT)", "hashed (naive)", "compressed", "ratio"
+    );
+    let program = catalog::by_name("fig4-loop").expect("workload").program().expect("assemble");
+    let compressed_cfg = EngineConfig::default();
+    let naive_cfg = EngineConfig::builder().loop_compression(false).build().expect("config");
+    for n in [25u32, 50, 100, 200, 400, 800] {
+        let (c, _) = run_attested(&program, &[n], compressed_cfg);
+        let (naive, _) = run_attested(&program, &[n], naive_cfg);
+        println!(
+            "{:>12} {:>18} {:>18} {:>16} {:>13.1}x",
+            n,
+            c.stats.pairs_hashed,
+            naive.stats.pairs_hashed,
+            c.stats.pairs_compressed,
+            naive.stats.pairs_hashed as f64 / c.stats.pairs_hashed as f64,
+        );
+    }
+    println!("(the compressed hash work is constant in the iteration count; naive grows linearly)");
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+
+    let program = catalog::by_name("fig4-loop").expect("workload").program().expect("assemble");
+    let compressed_cfg = EngineConfig::default();
+    let naive_cfg = EngineConfig::builder().loop_compression(false).build().expect("config");
+
+    let mut group = c.benchmark_group("e9_loop_compression");
+    group.sample_size(20);
+    for n in [100u32, 400] {
+        group.bench_with_input(BenchmarkId::new("compressed", n), &n, |b, &n| {
+            b.iter(|| run_attested(&program, &[n], compressed_cfg))
+        });
+        group.bench_with_input(BenchmarkId::new("naive_per_iteration", n), &n, |b, &n| {
+            b.iter(|| run_attested(&program, &[n], naive_cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

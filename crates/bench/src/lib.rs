@@ -1,0 +1,55 @@
+//! Shared helpers for the LO-FAT benchmark harness.
+//!
+//! Each bench target under `benches/` regenerates one experiment of the paper's
+//! evaluation (see `DESIGN.md` §4 and `EXPERIMENTS.md`): it first prints the table
+//! or series the experiment reports, then uses Criterion to time the relevant
+//! operation.  The helpers here mirror the workload conventions used by the
+//! integration tests.
+
+use lofat::{EngineConfig, LofatEngine, Measurement};
+use lofat_rv32::{Cpu, ExitInfo, Program};
+use lofat_workloads::Workload;
+
+/// Cycle budget for benchmark runs.
+pub const MAX_CYCLES: u64 = 50_000_000;
+
+/// Loads `input` into a fresh CPU for `program` (workload convention: `input` buffer
+/// plus optional `input_len`).
+pub fn cpu_with_input(program: &Program, input: &[u32]) -> Cpu {
+    let mut cpu = Cpu::new(program).expect("load program");
+    if !input.is_empty() {
+        let addr = program.symbol("input").expect("workload defines `input`");
+        let bytes: Vec<u8> = input.iter().flat_map(|w| w.to_le_bytes()).collect();
+        cpu.memory_mut().poke_bytes(addr, &bytes).expect("poke input");
+        if let Some(len) = program.symbol("input_len") {
+            cpu.memory_mut()
+                .poke_bytes(len, &(input.len() as u32).to_le_bytes())
+                .expect("poke input_len");
+        }
+    }
+    cpu
+}
+
+/// Runs `program` on `input` without attestation.
+pub fn run_plain(program: &Program, input: &[u32]) -> ExitInfo {
+    let mut cpu = cpu_with_input(program, input);
+    cpu.run(MAX_CYCLES).expect("plain run")
+}
+
+/// Runs `program` on `input` with a LO-FAT engine attached.
+pub fn run_attested(
+    program: &Program,
+    input: &[u32],
+    config: EngineConfig,
+) -> (Measurement, ExitInfo) {
+    let mut engine = LofatEngine::for_program(program, config).expect("engine");
+    let mut cpu = cpu_with_input(program, input);
+    let exit = cpu.run_traced(MAX_CYCLES, &mut engine).expect("attested run");
+    (engine.finalize().expect("finalize"), exit)
+}
+
+/// Convenience: attest a catalogue workload with the default configuration.
+pub fn attest_workload(workload: &Workload, input: &[u32]) -> (Measurement, ExitInfo) {
+    let program = workload.program().expect("assemble workload");
+    run_attested(&program, input, EngineConfig::default())
+}

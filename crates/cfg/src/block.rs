@@ -1,0 +1,143 @@
+//! Basic blocks.
+
+use lofat_rv32::isa::Instruction;
+
+/// Index of a basic block inside a [`crate::Cfg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct BlockId(pub usize);
+
+impl std::fmt::Display for BlockId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// How a basic block ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Terminator {
+    /// Conditional branch: `taken` target plus fall-through.
+    Branch {
+        /// Address of the branch instruction.
+        at: u32,
+        /// Taken target address.
+        taken: u32,
+        /// Fall-through address.
+        fallthrough: u32,
+    },
+    /// Unconditional direct jump (`jal`), linking or not.
+    Jump {
+        /// Address of the jump instruction.
+        at: u32,
+        /// Target address.
+        target: u32,
+        /// Whether the jump writes a link register (i.e. is a call).
+        linking: bool,
+    },
+    /// Indirect jump/call/return (`jalr`); the target is not statically known.
+    IndirectJump {
+        /// Address of the `jalr`.
+        at: u32,
+        /// Whether it writes a link register (indirect call).
+        linking: bool,
+        /// Whether it has the canonical return shape (`jalr x0, ra, 0`).
+        is_return: bool,
+    },
+    /// Block falls through into the next one (ends right before a branch target).
+    FallThrough {
+        /// Address of the first instruction of the next block.
+        next: u32,
+    },
+    /// Program exit (`ecall`/`ebreak`) or end of the code segment.
+    Exit {
+        /// Address of the terminating instruction.
+        at: u32,
+    },
+}
+
+/// A maximal straight-line sequence of instructions.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct BasicBlock {
+    /// Identifier of this block within its CFG.
+    pub id: BlockId,
+    /// Address of the first instruction.
+    pub start: u32,
+    /// Address one past the last instruction.
+    pub end: u32,
+    /// How the block ends.
+    pub terminator: Terminator,
+}
+
+impl BasicBlock {
+    /// Number of instructions in the block.
+    pub fn len(&self) -> usize {
+        ((self.end - self.start) / 4) as usize
+    }
+
+    /// Returns `true` if the block contains no instructions (never produced by the
+    /// builder, but part of the public contract).
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Returns `true` if `addr` lies inside the block.
+    pub fn contains(&self, addr: u32) -> bool {
+        addr >= self.start && addr < self.end
+    }
+
+    /// Address of the last instruction of the block.
+    pub fn last_inst_addr(&self) -> u32 {
+        self.end - 4
+    }
+}
+
+/// Classification helper shared by the block builder and the branch filter model:
+/// does this instruction end a basic block?
+pub(crate) fn ends_block(inst: &Instruction) -> bool {
+    matches!(
+        inst,
+        Instruction::Branch { .. }
+            | Instruction::Jal { .. }
+            | Instruction::Jalr { .. }
+            | Instruction::Ecall
+            | Instruction::Ebreak
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_geometry() {
+        let block = BasicBlock {
+            id: BlockId(0),
+            start: 0x1000,
+            end: 0x1010,
+            terminator: Terminator::Exit { at: 0x100c },
+        };
+        assert_eq!(block.len(), 4);
+        assert!(!block.is_empty());
+        assert!(block.contains(0x1008));
+        assert!(!block.contains(0x1010));
+        assert_eq!(block.last_inst_addr(), 0x100c);
+        assert_eq!(BlockId(3).to_string(), "bb3");
+    }
+
+    #[test]
+    fn terminator_classification() {
+        use lofat_rv32::isa::{AluImmOp, BranchCond, Instruction, Reg};
+        assert!(ends_block(&Instruction::Branch {
+            cond: BranchCond::Eq,
+            rs1: Reg::ZERO,
+            rs2: Reg::ZERO,
+            offset: 8
+        }));
+        assert!(ends_block(&Instruction::Ecall));
+        assert!(!ends_block(&Instruction::AluImm {
+            op: AluImmOp::Addi,
+            rd: Reg::A0,
+            rs1: Reg::A0,
+            imm: 1
+        }));
+    }
+}

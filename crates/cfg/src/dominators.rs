@@ -1,0 +1,212 @@
+//! Dominator computation (Cooper–Harvey–Kennedy iterative algorithm).
+//!
+//! Dominators are only needed to identify *natural loops*: an intraprocedural edge
+//! `n → h` is a back edge iff `h` dominates `n`.  The verifier uses the resulting
+//! loop structure to know which loops (and which valid loop paths) to expect in the
+//! metadata `L` reported by the prover.
+
+use crate::block::BlockId;
+use crate::graph::Cfg;
+
+/// The dominator tree of a [`Cfg`] (restricted to blocks reachable from the entry).
+#[derive(Debug, Clone)]
+pub struct Dominators {
+    /// Immediate dominator per block (`None` for the entry and unreachable blocks).
+    idom: Vec<Option<BlockId>>,
+    /// Reverse postorder of reachable blocks.
+    rpo: Vec<BlockId>,
+    entry: BlockId,
+}
+
+impl Dominators {
+    /// Computes dominators for `cfg` over intraprocedural edges.
+    pub fn compute(cfg: &Cfg) -> Self {
+        let count = cfg.block_count();
+        let entry = cfg.entry();
+
+        // Depth-first postorder from the entry.
+        let mut visited = vec![false; count];
+        let mut postorder: Vec<BlockId> = Vec::with_capacity(count);
+        let mut stack: Vec<(BlockId, usize)> = vec![(entry, 0)];
+        visited[entry.0] = true;
+        while let Some((node, child_index)) = stack.pop() {
+            let succs = cfg.successors(node);
+            if child_index < succs.len() {
+                stack.push((node, child_index + 1));
+                let next = succs[child_index];
+                if !visited[next.0] {
+                    visited[next.0] = true;
+                    stack.push((next, 0));
+                }
+            } else {
+                postorder.push(node);
+            }
+        }
+        let rpo: Vec<BlockId> = postorder.iter().rev().copied().collect();
+        let mut order_index = vec![usize::MAX; count];
+        for (i, &b) in postorder.iter().enumerate() {
+            order_index[b.0] = i;
+        }
+
+        let mut idom: Vec<Option<BlockId>> = vec![None; count];
+        idom[entry.0] = Some(entry);
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in &rpo {
+                if b == entry {
+                    continue;
+                }
+                let preds = cfg.predecessors(b);
+                let mut new_idom: Option<BlockId> = None;
+                for &p in &preds {
+                    if idom[p.0].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(current) => intersect(&idom, &order_index, p, current),
+                    });
+                }
+                if let Some(candidate) = new_idom {
+                    if idom[b.0] != Some(candidate) {
+                        idom[b.0] = Some(candidate);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        // The entry's idom is conventionally itself during the fix-point; expose it
+        // as None (the entry has no dominator other than itself).
+        idom[entry.0] = None;
+
+        Self { idom, rpo, entry }
+    }
+
+    /// The entry block of the analysed graph.
+    pub fn entry(&self) -> BlockId {
+        self.entry
+    }
+
+    /// Immediate dominator of `block` (`None` for the entry and unreachable blocks).
+    pub fn idom(&self, block: BlockId) -> Option<BlockId> {
+        self.idom.get(block.0).copied().flatten()
+    }
+
+    /// Returns `true` if `a` dominates `b` (reflexive: every block dominates itself).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if a == b {
+            return true;
+        }
+        let mut current = b;
+        while let Some(parent) = self.idom(current) {
+            if parent == a {
+                return true;
+            }
+            if parent == current {
+                break;
+            }
+            current = parent;
+        }
+        false
+    }
+
+    /// Returns `true` if `block` is reachable from the entry.
+    pub fn is_reachable(&self, block: BlockId) -> bool {
+        block == self.entry || self.idom(block).is_some()
+    }
+
+    /// Reverse postorder over reachable blocks.
+    pub fn reverse_postorder(&self) -> &[BlockId] {
+        &self.rpo
+    }
+}
+
+fn intersect(
+    idom: &[Option<BlockId>],
+    order_index: &[usize],
+    a: BlockId,
+    b: BlockId,
+) -> BlockId {
+    let mut finger1 = a;
+    let mut finger2 = b;
+    while finger1 != finger2 {
+        while order_index[finger1.0] < order_index[finger2.0] {
+            finger1 = idom[finger1.0].expect("processed predecessor");
+        }
+        while order_index[finger2.0] < order_index[finger1.0] {
+            finger2 = idom[finger2.0].expect("processed predecessor");
+        }
+    }
+    finger1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lofat_rv32::asm::assemble;
+
+    fn cfg(source: &str) -> Cfg {
+        Cfg::from_program(&assemble(source).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn diamond_dominance() {
+        let cfg = cfg(
+            r#"
+            .text
+            main:
+                bnez a0, then
+                li   a1, 1
+                j    join
+            then:
+                li   a1, 2
+            join:
+                ecall
+            "#,
+        );
+        let dom = cfg.dominators();
+        let entry = cfg.entry();
+        let join = cfg.blocks().last().unwrap().id;
+        // The entry dominates everything; neither arm dominates the join.
+        for block in cfg.blocks() {
+            assert!(dom.dominates(entry, block.id));
+        }
+        assert_eq!(dom.idom(join), Some(entry));
+        assert!(dom.is_reachable(join));
+        assert!(dom.idom(entry).is_none());
+    }
+
+    #[test]
+    fn loop_header_dominates_body() {
+        let cfg = cfg(
+            r#"
+            .text
+            main:
+                li t0, 4
+            loop:
+                addi t0, t0, -1
+                bnez t0, body_end
+            body_end:
+                bnez t0, loop
+                ecall
+            "#,
+        );
+        let dom = cfg.dominators();
+        let header = cfg.block_at(cfg.block(cfg.entry()).end).unwrap();
+        for block in cfg.blocks() {
+            if block.id != cfg.entry() {
+                assert!(dom.dominates(header, block.id) || !dom.is_reachable(block.id));
+            }
+        }
+    }
+
+    #[test]
+    fn reverse_postorder_starts_at_entry() {
+        let cfg = cfg(".text\nmain:\n    li a0, 1\n    ecall\n");
+        let dom = cfg.dominators();
+        assert_eq!(dom.reverse_postorder().first(), Some(&cfg.entry()));
+        assert_eq!(dom.entry(), cfg.entry());
+    }
+}

@@ -1,0 +1,50 @@
+//! Error types for the CFG analysis.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while analysing a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CfgError {
+    /// The program's code segment is empty.
+    EmptyProgram,
+    /// An address expected to start a basic block does not belong to any block.
+    UnknownBlock {
+        /// The offending address.
+        addr: u32,
+    },
+    /// Path enumeration aborted because the number of paths exceeded the given bound.
+    PathExplosion {
+        /// Bound that was exceeded.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for CfgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CfgError::EmptyProgram => write!(f, "program has no instructions to analyse"),
+            CfgError::UnknownBlock { addr } => {
+                write!(f, "address {addr:#010x} does not start a known basic block")
+            }
+            CfgError::PathExplosion { limit } => {
+                write!(f, "loop path enumeration exceeded the limit of {limit} paths")
+            }
+        }
+    }
+}
+
+impl Error for CfgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(CfgError::EmptyProgram.to_string().contains("no instructions"));
+        assert!(CfgError::UnknownBlock { addr: 0x44 }.to_string().contains("0x00000044"));
+        assert!(CfgError::PathExplosion { limit: 10 }.to_string().contains("10"));
+    }
+}

@@ -1,0 +1,396 @@
+//! Control-flow graph construction from a program image.
+
+use crate::block::{ends_block, BasicBlock, BlockId, Terminator};
+use crate::dominators::Dominators;
+use crate::error::CfgError;
+use crate::loops::{find_natural_loops, LoopNest};
+use lofat_rv32::isa::Instruction;
+use lofat_rv32::Program;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Classification of a CFG edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum EdgeKind {
+    /// Taken direction of a conditional branch, or an unconditional direct jump.
+    Taken,
+    /// Fall-through (not-taken direction, or continuation after a call).
+    FallThrough,
+    /// Direct call (`jal` with a link register); interprocedural.
+    Call,
+    /// Indirect transfer whose target is not statically known (`jalr`).
+    Indirect,
+}
+
+impl EdgeKind {
+    /// Returns `true` for edges used in intraprocedural analyses (dominators, loops).
+    pub fn is_intraprocedural(self) -> bool {
+        matches!(self, EdgeKind::Taken | EdgeKind::FallThrough)
+    }
+}
+
+/// A directed edge between two basic blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Edge {
+    /// Source block.
+    pub from: BlockId,
+    /// Destination block.
+    pub to: BlockId,
+    /// Edge classification.
+    pub kind: EdgeKind,
+}
+
+/// The control-flow graph of a program.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    blocks: Vec<BasicBlock>,
+    edges: Vec<Edge>,
+    /// Start address → block id.
+    by_start: BTreeMap<u32, BlockId>,
+    entry: BlockId,
+    /// Addresses that are targets of direct calls (function entry points).
+    call_targets: BTreeSet<u32>,
+}
+
+impl Cfg {
+    /// Builds the CFG of `program`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CfgError::EmptyProgram`] if the code segment holds no decodable
+    /// instructions.
+    pub fn from_program(program: &Program) -> Result<Self, CfgError> {
+        let instructions: BTreeMap<u32, Instruction> = program.iter_instructions().collect();
+        if instructions.is_empty() {
+            return Err(CfgError::EmptyProgram);
+        }
+
+        // Leaders: entry, direct targets, instruction after any block-ending instruction.
+        let mut leaders: BTreeSet<u32> = BTreeSet::new();
+        let first_pc = *instructions.keys().next().expect("non-empty");
+        leaders.insert(first_pc);
+        leaders.insert(program.entry);
+        let mut call_targets = BTreeSet::new();
+
+        for (&pc, inst) in &instructions {
+            match inst {
+                Instruction::Branch { offset, .. } => {
+                    leaders.insert(pc.wrapping_add(*offset as u32));
+                    leaders.insert(pc + 4);
+                }
+                Instruction::Jal { rd, offset } => {
+                    let target = pc.wrapping_add(*offset as u32);
+                    leaders.insert(target);
+                    leaders.insert(pc + 4);
+                    if rd.is_link() {
+                        call_targets.insert(target);
+                    }
+                }
+                Instruction::Jalr { .. } | Instruction::Ecall | Instruction::Ebreak => {
+                    leaders.insert(pc + 4);
+                }
+                _ => {}
+            }
+        }
+        // Only keep leaders that actually are instruction addresses.
+        leaders.retain(|pc| instructions.contains_key(pc));
+
+        // Build blocks.
+        let leader_list: Vec<u32> = leaders.iter().copied().collect();
+        let mut blocks = Vec::new();
+        let mut by_start = BTreeMap::new();
+        for (i, &start) in leader_list.iter().enumerate() {
+            let next_leader = leader_list.get(i + 1).copied();
+            // Find the end: the first block-ending instruction, or the next leader.
+            let mut end = start;
+            let mut terminator = None;
+            for (&pc, inst) in instructions.range(start..) {
+                if let Some(limit) = next_leader {
+                    if pc >= limit {
+                        break;
+                    }
+                }
+                end = pc + 4;
+                if ends_block(inst) {
+                    terminator = Some(make_terminator(pc, inst));
+                    break;
+                }
+            }
+            let terminator = terminator.unwrap_or(Terminator::FallThrough { next: end });
+            let id = BlockId(blocks.len());
+            by_start.insert(start, id);
+            blocks.push(BasicBlock { id, start, end, terminator });
+        }
+
+        // Build edges.
+        let mut edges = Vec::new();
+        for block in &blocks {
+            match block.terminator {
+                Terminator::Branch { taken, fallthrough, .. } => {
+                    if let Some(&to) = by_start.get(&taken) {
+                        edges.push(Edge { from: block.id, to, kind: EdgeKind::Taken });
+                    }
+                    if let Some(&to) = by_start.get(&fallthrough) {
+                        edges.push(Edge { from: block.id, to, kind: EdgeKind::FallThrough });
+                    }
+                }
+                Terminator::Jump { target, linking, at } => {
+                    if let Some(&to) = by_start.get(&target) {
+                        let kind = if linking { EdgeKind::Call } else { EdgeKind::Taken };
+                        edges.push(Edge { from: block.id, to, kind });
+                    }
+                    if linking {
+                        // Execution continues after the call returns.
+                        if let Some(&to) = by_start.get(&(at + 4)) {
+                            edges.push(Edge { from: block.id, to, kind: EdgeKind::FallThrough });
+                        }
+                    }
+                }
+                Terminator::IndirectJump { at, linking, is_return } => {
+                    if linking {
+                        if let Some(&to) = by_start.get(&(at + 4)) {
+                            edges.push(Edge { from: block.id, to, kind: EdgeKind::FallThrough });
+                        }
+                    }
+                    if !is_return {
+                        // Conservatively connect indirect jumps/calls to every known
+                        // function entry (the classic static over-approximation).
+                        for &target in &call_targets {
+                            if let Some(&to) = by_start.get(&target) {
+                                edges.push(Edge { from: block.id, to, kind: EdgeKind::Indirect });
+                            }
+                        }
+                    }
+                }
+                Terminator::FallThrough { next } => {
+                    if let Some(&to) = by_start.get(&next) {
+                        edges.push(Edge { from: block.id, to, kind: EdgeKind::FallThrough });
+                    }
+                }
+                Terminator::Exit { .. } => {}
+            }
+        }
+
+        let entry = by_start
+            .get(&program.entry)
+            .copied()
+            .or_else(|| by_start.values().next().copied())
+            .ok_or(CfgError::EmptyProgram)?;
+
+        Ok(Self { blocks, edges, by_start, entry, call_targets })
+    }
+
+    /// The basic blocks, ordered by start address.
+    pub fn blocks(&self) -> &[BasicBlock] {
+        &self.blocks
+    }
+
+    /// All edges of the graph.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// The entry block (the block containing the program entry point).
+    pub fn entry(&self) -> BlockId {
+        self.entry
+    }
+
+    /// Addresses that are targets of direct calls (function entry points).
+    pub fn call_targets(&self) -> &BTreeSet<u32> {
+        &self.call_targets
+    }
+
+    /// Returns the block starting exactly at `addr`.
+    pub fn block_at(&self, addr: u32) -> Option<BlockId> {
+        self.by_start.get(&addr).copied()
+    }
+
+    /// Returns the block containing `addr`.
+    pub fn block_containing(&self, addr: u32) -> Option<BlockId> {
+        self.blocks.iter().find(|b| b.contains(addr)).map(|b| b.id)
+    }
+
+    /// Returns the block with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this CFG.
+    pub fn block(&self, id: BlockId) -> &BasicBlock {
+        &self.blocks[id.0]
+    }
+
+    /// Number of basic blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Successor edges of `id` (all kinds).
+    pub fn successor_edges(&self, id: BlockId) -> impl Iterator<Item = &Edge> {
+        self.edges.iter().filter(move |e| e.from == id)
+    }
+
+    /// Intraprocedural successors of `id` (taken + fall-through edges only).
+    pub fn successors(&self, id: BlockId) -> Vec<BlockId> {
+        self.edges
+            .iter()
+            .filter(|e| e.from == id && e.kind.is_intraprocedural())
+            .map(|e| e.to)
+            .collect()
+    }
+
+    /// Intraprocedural predecessors of `id`.
+    pub fn predecessors(&self, id: BlockId) -> Vec<BlockId> {
+        self.edges
+            .iter()
+            .filter(|e| e.to == id && e.kind.is_intraprocedural())
+            .map(|e| e.from)
+            .collect()
+    }
+
+    /// Returns `true` if the graph contains an intraprocedural edge `from → to`.
+    pub fn has_edge(&self, from: BlockId, to: BlockId) -> bool {
+        self.edges.iter().any(|e| e.from == from && e.to == to && e.kind.is_intraprocedural())
+    }
+
+    /// Computes the dominator tree (over intraprocedural edges, rooted at the entry).
+    pub fn dominators(&self) -> Dominators {
+        Dominators::compute(self)
+    }
+
+    /// Detects natural loops (back edges, bodies, nesting).
+    pub fn natural_loops(&self) -> LoopNest {
+        find_natural_loops(self)
+    }
+}
+
+fn make_terminator(pc: u32, inst: &Instruction) -> Terminator {
+    match *inst {
+        Instruction::Branch { offset, .. } => Terminator::Branch {
+            at: pc,
+            taken: pc.wrapping_add(offset as u32),
+            fallthrough: pc + 4,
+        },
+        Instruction::Jal { rd, offset } => Terminator::Jump {
+            at: pc,
+            target: pc.wrapping_add(offset as u32),
+            linking: rd.is_link(),
+        },
+        Instruction::Jalr { rd, .. } => Terminator::IndirectJump {
+            at: pc,
+            linking: rd.is_link(),
+            is_return: inst.is_return(),
+        },
+        Instruction::Ecall | Instruction::Ebreak => Terminator::Exit { at: pc },
+        _ => unreachable!("only block-ending instructions produce terminators"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lofat_rv32::asm::assemble;
+
+    fn cfg(source: &str) -> Cfg {
+        let program = assemble(source).expect("assemble");
+        Cfg::from_program(&program).expect("cfg")
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let cfg = cfg(".text\nmain:\n    li a0, 1\n    addi a0, a0, 1\n    ecall\n");
+        assert_eq!(cfg.block_count(), 1);
+        let block = cfg.block(cfg.entry());
+        assert!(matches!(block.terminator, Terminator::Exit { .. }));
+        assert!(cfg.successors(cfg.entry()).is_empty());
+    }
+
+    #[test]
+    fn simple_loop_has_back_edge_structure() {
+        let cfg = cfg(
+            ".text\nmain:\n    li t0, 3\nloop:\n    addi t0, t0, -1\n    bnez t0, loop\n    ecall\n",
+        );
+        // Blocks: [main..loop), [loop..branch], [ecall]
+        assert_eq!(cfg.block_count(), 3);
+        let loop_block = cfg.block_at(cfg.block(cfg.entry()).end).expect("loop block");
+        let succs = cfg.successors(loop_block);
+        assert!(succs.contains(&loop_block), "loop block branches back to itself");
+        assert_eq!(succs.len(), 2);
+    }
+
+    #[test]
+    fn if_else_diamond() {
+        let cfg = cfg(
+            r#"
+            .text
+            main:
+                bnez a0, then
+                li   a1, 1
+                j    join
+            then:
+                li   a1, 2
+            join:
+                ecall
+            "#,
+        );
+        assert_eq!(cfg.block_count(), 4);
+        let entry_succs = cfg.successors(cfg.entry());
+        assert_eq!(entry_succs.len(), 2);
+        // Both arms join at the exit block.
+        let join = cfg.block_containing(cfg.blocks().last().unwrap().start).unwrap();
+        for arm in entry_succs {
+            assert!(cfg.successors(arm).contains(&join) || arm == join);
+        }
+    }
+
+    #[test]
+    fn call_produces_call_and_fallthrough_edges() {
+        let cfg = cfg(
+            r#"
+            .text
+            main:
+                call helper
+                ecall
+            helper:
+                ret
+            "#,
+        );
+        let entry = cfg.entry();
+        let kinds: Vec<EdgeKind> = cfg.successor_edges(entry).map(|e| e.kind).collect();
+        assert!(kinds.contains(&EdgeKind::Call));
+        assert!(kinds.contains(&EdgeKind::FallThrough));
+        // Intraprocedural successors skip the call edge.
+        assert_eq!(cfg.successors(entry).len(), 1);
+        // helper is a known call target.
+        assert_eq!(cfg.call_targets().len(), 1);
+    }
+
+    #[test]
+    fn indirect_call_edges_point_to_known_functions() {
+        let cfg = cfg(
+            r#"
+            .text
+            main:
+                la   t1, helper
+                jalr ra, t1, 0
+                ecall
+            helper:
+                ret
+            other:
+                call helper
+                ret
+            "#,
+        );
+        let indirect: Vec<&Edge> =
+            cfg.edges().iter().filter(|e| e.kind == EdgeKind::Indirect).collect();
+        assert!(!indirect.is_empty(), "indirect call should over-approximate to call targets");
+    }
+
+    #[test]
+    fn block_lookup_helpers() {
+        let cfg = cfg(".text\nmain:\n    li a0, 1\n    beqz a0, main\n    ecall\n");
+        let entry = cfg.entry();
+        let block = cfg.block(entry);
+        assert_eq!(cfg.block_at(block.start), Some(entry));
+        assert_eq!(cfg.block_containing(block.start + 4), Some(entry));
+        assert_eq!(cfg.block_at(block.start + 4), None);
+    }
+}

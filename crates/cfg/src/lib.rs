@@ -1,0 +1,54 @@
+//! Static control-flow analysis used by the LO-FAT verifier.
+//!
+//! In the attestation protocol (Fig. 2 of the paper) the verifier performs a
+//! **one-time offline pre-processing step** to generate the control-flow graph of the
+//! attested program, including the expected loop structure.  This crate implements
+//! that step for programs produced by the `lofat-rv32` assembler:
+//!
+//! * [`block`] — basic-block extraction from the binary;
+//! * [`graph`] — the control-flow graph with classified edges;
+//! * [`dominators`] — dominator computation (needed for natural-loop detection);
+//! * [`loops`] — natural loops, nesting depth and the loop entry/exit nodes the
+//!   LO-FAT branch filter identifies at run time with its link-register heuristic;
+//! * [`paths`] — enumeration of the valid paths through a loop body together with
+//!   their taken/not-taken encodings, i.e. the set of path IDs the verifier accepts
+//!   (Fig. 4 shows this for a while/if-else loop: `011` and `0011`).
+//!
+//! # Example
+//!
+//! ```
+//! use lofat_rv32::asm::assemble;
+//! use lofat_cfg::Cfg;
+//!
+//! let program = assemble(
+//!     r#"
+//!     .text
+//!     main:
+//!         li   t0, 3
+//!     loop:
+//!         addi t0, t0, -1
+//!         bnez t0, loop
+//!         ecall
+//!     "#,
+//! )?;
+//! let cfg = Cfg::from_program(&program)?;
+//! let loops = cfg.natural_loops();
+//! assert_eq!(loops.len(), 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod block;
+pub mod dominators;
+pub mod error;
+pub mod graph;
+pub mod loops;
+pub mod paths;
+
+pub use block::{BasicBlock, BlockId, Terminator};
+pub use error::CfgError;
+pub use graph::{Cfg, Edge, EdgeKind};
+pub use loops::{LoopInfo, LoopNest};
+pub use paths::{LoopPath, PathEnumeration};

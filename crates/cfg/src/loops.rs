@@ -1,0 +1,272 @@
+//! Natural-loop detection and nesting.
+//!
+//! LO-FAT's branch filter identifies loops at run time with the link-register
+//! heuristic: the target of a taken non-linking backward branch is a loop entry and
+//! the basic block following that branch is the loop exit node (§5.1).  The verifier
+//! needs the same information *statically*; natural loops derived from back edges in
+//! the CFG provide it, and additionally give the nesting depth which bounds the
+//! hardware's loop-tracking resources (the paper provisions 3 nested levels).
+
+use crate::block::BlockId;
+use crate::graph::Cfg;
+use std::collections::BTreeSet;
+
+/// One natural loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopInfo {
+    /// The loop header (the paper's *loop entry node*).
+    pub header: BlockId,
+    /// Sources of back edges into the header (blocks ending the loop body).
+    pub back_edge_sources: Vec<BlockId>,
+    /// All blocks belonging to the loop (including the header).
+    pub body: BTreeSet<BlockId>,
+    /// Blocks inside the loop with at least one successor outside it.
+    pub exit_blocks: Vec<BlockId>,
+    /// Nesting depth: 1 for outermost loops, 2 for loops nested once, …
+    pub depth: usize,
+    /// Index of the innermost enclosing loop in the [`LoopNest`], if any.
+    pub parent: Option<usize>,
+}
+
+impl LoopInfo {
+    /// Number of basic blocks in the loop body.
+    pub fn body_size(&self) -> usize {
+        self.body.len()
+    }
+
+    /// Returns `true` if `block` belongs to this loop.
+    pub fn contains(&self, block: BlockId) -> bool {
+        self.body.contains(&block)
+    }
+}
+
+/// The set of natural loops of a CFG, with nesting information.
+#[derive(Debug, Clone, Default)]
+pub struct LoopNest {
+    loops: Vec<LoopInfo>,
+}
+
+impl LoopNest {
+    /// The loops, outermost first (larger bodies first); [`LoopInfo::parent`] indexes
+    /// into this slice.
+    pub fn loops(&self) -> &[LoopInfo] {
+        &self.loops
+    }
+
+    /// Number of loops.
+    pub fn len(&self) -> usize {
+        self.loops.len()
+    }
+
+    /// Returns `true` if the program has no loops.
+    pub fn is_empty(&self) -> bool {
+        self.loops.is_empty()
+    }
+
+    /// Maximum nesting depth over all loops (0 for a loop-free program).
+    pub fn max_depth(&self) -> usize {
+        self.loops.iter().map(|l| l.depth).max().unwrap_or(0)
+    }
+
+    /// Returns the innermost loop whose header is `header`, if any.
+    pub fn loop_with_header(&self, header: BlockId) -> Option<&LoopInfo> {
+        self.loops.iter().filter(|l| l.header == header).max_by_key(|l| l.depth)
+    }
+
+    /// Returns the innermost loop containing `block`, if any.
+    pub fn innermost_containing(&self, block: BlockId) -> Option<&LoopInfo> {
+        self.loops.iter().filter(|l| l.contains(block)).max_by_key(|l| l.depth)
+    }
+
+    /// Iterates over the loops.
+    pub fn iter(&self) -> impl Iterator<Item = &LoopInfo> {
+        self.loops.iter()
+    }
+}
+
+/// Finds all natural loops of `cfg`.
+pub(crate) fn find_natural_loops(cfg: &Cfg) -> LoopNest {
+    let dominators = cfg.dominators();
+
+    // Collect back edges n -> h (h dominates n), grouping by header.
+    let mut by_header: Vec<(BlockId, Vec<BlockId>)> = Vec::new();
+    for edge in cfg.edges().iter().filter(|e| e.kind.is_intraprocedural()) {
+        if dominators.is_reachable(edge.from) && dominators.dominates(edge.to, edge.from) {
+            match by_header.iter_mut().find(|(h, _)| *h == edge.to) {
+                Some((_, sources)) => {
+                    if !sources.contains(&edge.from) {
+                        sources.push(edge.from);
+                    }
+                }
+                None => by_header.push((edge.to, vec![edge.from])),
+            }
+        }
+    }
+
+    // Natural loop body: header + all blocks that reach a back-edge source without
+    // going through the header.
+    let mut loops: Vec<LoopInfo> = Vec::new();
+    for (header, sources) in by_header {
+        let mut body: BTreeSet<BlockId> = BTreeSet::new();
+        body.insert(header);
+        let mut stack: Vec<BlockId> = Vec::new();
+        for &source in &sources {
+            if body.insert(source) {
+                stack.push(source);
+            }
+        }
+        while let Some(node) = stack.pop() {
+            for pred in cfg.predecessors(node) {
+                if body.insert(pred) {
+                    stack.push(pred);
+                }
+            }
+        }
+        let exit_blocks: Vec<BlockId> = body
+            .iter()
+            .copied()
+            .filter(|&b| cfg.successors(b).iter().any(|s| !body.contains(s)))
+            .collect();
+        loops.push(LoopInfo {
+            header,
+            back_edge_sources: sources,
+            body,
+            exit_blocks,
+            depth: 1,
+            parent: None,
+        });
+    }
+
+    // Order loops outermost-first (larger bodies first) so that parent indices below
+    // refer to the final ordering exposed through `LoopNest::loops`.
+    loops.sort_by(|a, b| b.body.len().cmp(&a.body.len()).then(a.header.cmp(&b.header)));
+
+    // Nesting: loop A is nested in loop B if A's body is a strict subset of B's
+    // (or equal bodies with distinct headers cannot happen for natural loops with
+    // the same header merged above).
+    let snapshots: Vec<BTreeSet<BlockId>> = loops.iter().map(|l| l.body.clone()).collect();
+    for i in 0..loops.len() {
+        let mut best_parent: Option<usize> = None;
+        for j in 0..loops.len() {
+            if i == j {
+                continue;
+            }
+            let strictly_inside =
+                snapshots[i].is_subset(&snapshots[j]) && snapshots[i].len() < snapshots[j].len();
+            if strictly_inside {
+                let better = match best_parent {
+                    None => true,
+                    Some(current) => snapshots[j].len() < snapshots[current].len(),
+                };
+                if better {
+                    best_parent = Some(j);
+                }
+            }
+        }
+        loops[i].parent = best_parent;
+    }
+    // Depth = number of ancestors + 1.
+    for i in 0..loops.len() {
+        let mut depth = 1;
+        let mut current = loops[i].parent;
+        while let Some(p) = current {
+            depth += 1;
+            current = loops[p].parent;
+        }
+        loops[i].depth = depth;
+    }
+
+    LoopNest { loops }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lofat_rv32::asm::assemble;
+
+    fn cfg(source: &str) -> Cfg {
+        Cfg::from_program(&assemble(source).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn straight_line_has_no_loops() {
+        let cfg = cfg(".text\nmain:\n    li a0, 1\n    ecall\n");
+        let nest = cfg.natural_loops();
+        assert!(nest.is_empty());
+        assert_eq!(nest.max_depth(), 0);
+    }
+
+    #[test]
+    fn single_loop_detected() {
+        let cfg = cfg(
+            ".text\nmain:\n    li t0, 4\nloop:\n    addi t0, t0, -1\n    bnez t0, loop\n    ecall\n",
+        );
+        let nest = cfg.natural_loops();
+        assert_eq!(nest.len(), 1);
+        let l = &nest.loops()[0];
+        assert_eq!(l.depth, 1);
+        assert_eq!(l.body_size(), 1, "self-loop body is just the header block");
+        assert_eq!(l.exit_blocks.len(), 1);
+        assert!(nest.loop_with_header(l.header).is_some());
+    }
+
+    #[test]
+    fn nested_loops_have_increasing_depth() {
+        let cfg = cfg(
+            r#"
+            .text
+            main:
+                li   t0, 3
+            outer:
+                li   t1, 2
+            inner:
+                addi t1, t1, -1
+                bnez t1, inner
+                addi t0, t0, -1
+                bnez t0, outer
+                ecall
+            "#,
+        );
+        let nest = cfg.natural_loops();
+        assert_eq!(nest.len(), 2);
+        assert_eq!(nest.max_depth(), 2);
+        let outer = &nest.loops()[0];
+        let inner = &nest.loops()[1];
+        assert_eq!(outer.depth, 1);
+        assert_eq!(inner.depth, 2);
+        assert_eq!(inner.parent, Some(0), "inner loop's parent is the outer loop at index 0");
+        assert!(inner.body.is_subset(&outer.body));
+        // The inner loop is the innermost loop containing its own header.
+        assert_eq!(nest.innermost_containing(inner.header).unwrap().header, inner.header);
+    }
+
+    #[test]
+    fn while_with_if_else_is_one_loop_with_branching_body() {
+        // The Fig. 4 shape: while (cond1) { if (cond2) bb4 else bb5; bb6 }.
+        let cfg = cfg(
+            r#"
+            .text
+            main:
+                li   t0, 4
+            while_head:
+                beqz t0, exit
+                andi t1, t0, 1
+                beqz t1, else_arm
+                addi a0, a0, 10
+                j    body_end
+            else_arm:
+                addi a0, a0, 1
+            body_end:
+                addi t0, t0, -1
+                j    while_head
+            exit:
+                ecall
+            "#,
+        );
+        let nest = cfg.natural_loops();
+        assert_eq!(nest.len(), 1);
+        let l = &nest.loops()[0];
+        assert!(l.body_size() >= 5, "loop body spans header, both arms and the join block");
+        assert_eq!(l.exit_blocks.len(), 1, "only the header exits the loop");
+    }
+}

@@ -1,0 +1,262 @@
+//! Enumeration of valid loop paths and their taken/not-taken encodings.
+//!
+//! LO-FAT encodes each executed path through a loop body as a bit string: every
+//! conditional branch contributes its taken (`1`) / not-taken (`0`) bit and every
+//! unconditional direct jump contributes a `1` (Fig. 4).  The verifier accepts only
+//! encodings that correspond to a real path through the loop body of the CFG; this
+//! module enumerates that set so experiment E1 can compare the hardware encoder's
+//! output against it.
+//!
+//! The enumeration covers intraprocedural, call-free loop bodies (the shape of the
+//! Fig. 4 example and of the paper's loop-compression argument).  Loops that call
+//! functions or take indirect branches are verified by golden replay in
+//! `lofat::verifier` instead.
+
+use crate::block::{BlockId, Terminator};
+use crate::error::CfgError;
+use crate::graph::Cfg;
+use crate::loops::LoopInfo;
+
+/// Encodes decision bits into the numeric path ID used to index the loop counter
+/// memory.
+///
+/// A leading sentinel `1` bit keeps encodings of different lengths distinct
+/// (`"011"` → `0b1011`, `"11"` → `0b111`), mirroring a hardware shift register that
+/// is initialised to `1` at loop entry.
+pub fn encode_path_bits(bits: &[bool]) -> u32 {
+    let mut id = 1u32;
+    for &bit in bits {
+        id = (id << 1) | u32::from(bit);
+    }
+    id
+}
+
+/// One valid path through a loop body, from the header back to the header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopPath {
+    /// Blocks visited, starting at the loop header (the header is not repeated at
+    /// the end).
+    pub blocks: Vec<BlockId>,
+    /// Decision bits in execution order (see [`encode_path_bits`]).
+    pub bits: Vec<bool>,
+}
+
+impl LoopPath {
+    /// The bit string as text, e.g. `"0011"`.
+    pub fn encoding_string(&self) -> String {
+        self.bits.iter().map(|&b| if b { '1' } else { '0' }).collect()
+    }
+
+    /// Numeric path ID (shift-register form with leading sentinel).
+    pub fn path_id(&self) -> u32 {
+        encode_path_bits(&self.bits)
+    }
+
+    /// Number of control-flow decisions on the path.
+    pub fn decision_count(&self) -> usize {
+        self.bits.len()
+    }
+}
+
+/// Result of enumerating the valid paths of one loop.
+#[derive(Debug, Clone, Default)]
+pub struct PathEnumeration {
+    /// The valid paths (header → … → header).
+    pub paths: Vec<LoopPath>,
+}
+
+impl PathEnumeration {
+    /// The set of valid numeric path IDs.
+    pub fn path_ids(&self) -> Vec<u32> {
+        let mut ids: Vec<u32> = self.paths.iter().map(LoopPath::path_id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// The set of valid encodings as bit strings.
+    pub fn encoding_strings(&self) -> Vec<String> {
+        let mut strings: Vec<String> =
+            self.paths.iter().map(LoopPath::encoding_string).collect();
+        strings.sort();
+        strings.dedup();
+        strings
+    }
+
+    /// Returns `true` if `path_id` corresponds to a valid path.
+    pub fn is_valid(&self, path_id: u32) -> bool {
+        self.paths.iter().any(|p| p.path_id() == path_id)
+    }
+}
+
+/// Enumerates all simple cyclic paths of `loop_info` (header back to header).
+///
+/// # Errors
+///
+/// Returns [`CfgError::PathExplosion`] if more than `limit` paths exist.
+pub fn enumerate_loop_paths(
+    cfg: &Cfg,
+    loop_info: &LoopInfo,
+    limit: usize,
+) -> Result<PathEnumeration, CfgError> {
+    let mut result = PathEnumeration::default();
+    let mut visited: Vec<BlockId> = vec![loop_info.header];
+    let mut bits: Vec<bool> = Vec::new();
+    walk(cfg, loop_info, loop_info.header, &mut visited, &mut bits, &mut result, limit)?;
+    Ok(result)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn walk(
+    cfg: &Cfg,
+    loop_info: &LoopInfo,
+    block: BlockId,
+    visited: &mut Vec<BlockId>,
+    bits: &mut Vec<bool>,
+    result: &mut PathEnumeration,
+    limit: usize,
+) -> Result<(), CfgError> {
+    // Decisions this block contributes, as (bit to record, successor address).
+    let steps: Vec<(Option<bool>, u32)> = match cfg.block(block).terminator {
+        Terminator::Branch { taken, fallthrough, .. } => {
+            vec![(Some(true), taken), (Some(false), fallthrough)]
+        }
+        Terminator::Jump { target, linking: false, .. } => vec![(Some(true), target)],
+        Terminator::FallThrough { next } => vec![(None, next)],
+        // Calls, indirect jumps and exits end the enumeration of this path: such
+        // loops are verified by golden replay, not static path enumeration.
+        Terminator::Jump { linking: true, .. }
+        | Terminator::IndirectJump { .. }
+        | Terminator::Exit { .. } => vec![],
+    };
+
+    for (bit, target_addr) in steps {
+        let Some(target) = cfg.block_at(target_addr) else { continue };
+        if !loop_info.contains(target) {
+            continue;
+        }
+        if let Some(b) = bit {
+            bits.push(b);
+        }
+        if target == loop_info.header {
+            if result.paths.len() >= limit {
+                return Err(CfgError::PathExplosion { limit });
+            }
+            result.paths.push(LoopPath { blocks: visited.clone(), bits: bits.clone() });
+        } else if !visited.contains(&target) {
+            visited.push(target);
+            walk(cfg, loop_info, target, visited, bits, result, limit)?;
+            visited.pop();
+        }
+        if bit.is_some() {
+            bits.pop();
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lofat_rv32::asm::assemble;
+
+    fn cfg(source: &str) -> Cfg {
+        Cfg::from_program(&assemble(source).unwrap()).unwrap()
+    }
+
+    /// The Fig. 4 example: `while (cond1) { if (cond2) bb4 else bb5; bb6 }`.
+    /// The two valid paths encode to `011` and `0011` exactly as in the paper.
+    #[test]
+    fn fig4_encodings_match_paper() {
+        let cfg = cfg(
+            r#"
+            .text
+            main:
+                li   t0, 4
+            while_head:
+                beqz t0, exit          # N2: staying in the loop is the not-taken (0) edge
+                andi t1, t0, 1
+                beqz t1, else_arm      # N3: then-arm not taken (0), else-arm taken (1)
+                addi a0, a0, 10        # N4 (then)
+                j    body_end          # jump contributes a 1
+            else_arm:
+                addi a0, a0, 1         # N5 (else), falls through
+            body_end:
+                addi t0, t0, -1        # N6
+                j    while_head        # back edge contributes a 1
+            exit:
+                ecall                  # N7
+            "#,
+        );
+        let nest = cfg.natural_loops();
+        assert_eq!(nest.len(), 1);
+        let enumeration = enumerate_loop_paths(&cfg, &nest.loops()[0], 64).unwrap();
+        let encodings = enumeration.encoding_strings();
+        assert_eq!(encodings, vec!["0011".to_string(), "011".to_string()]);
+        // Numeric IDs carry the sentinel bit.
+        assert!(enumeration.is_valid(0b1_0011));
+        assert!(enumeration.is_valid(0b1_011));
+        assert!(!enumeration.is_valid(0b1_111));
+    }
+
+    #[test]
+    fn self_loop_has_single_one_bit_path() {
+        let cfg = cfg(
+            ".text\nmain:\n    li t0, 4\nloop:\n    addi t0, t0, -1\n    bnez t0, loop\n    ecall\n",
+        );
+        let nest = cfg.natural_loops();
+        let enumeration = enumerate_loop_paths(&cfg, &nest.loops()[0], 16).unwrap();
+        assert_eq!(enumeration.encoding_strings(), vec!["1".to_string()]);
+        assert_eq!(enumeration.path_ids(), vec![0b11]);
+    }
+
+    #[test]
+    fn path_explosion_is_bounded() {
+        // A loop body with many successive diamonds has 2^n paths.
+        let cfg = cfg(
+            r#"
+            .text
+            main:
+                li   t0, 8
+            head:
+                beqz t0, out
+                andi t1, t0, 1
+                beqz t1, d1
+                nop
+            d1:
+                andi t1, t0, 2
+                beqz t1, d2
+                nop
+            d2:
+                andi t1, t0, 4
+                beqz t1, d3
+                nop
+            d3:
+                addi t0, t0, -1
+                j    head
+            out:
+                ecall
+            "#,
+        );
+        let nest = cfg.natural_loops();
+        let l = &nest.loops()[0];
+        assert!(enumerate_loop_paths(&cfg, l, 4).is_err());
+        let all = enumerate_loop_paths(&cfg, l, 64).unwrap();
+        assert_eq!(all.paths.len(), 8, "three independent diamonds give 2^3 paths");
+    }
+
+    #[test]
+    fn encode_path_bits_distinguishes_lengths() {
+        assert_ne!(encode_path_bits(&[true, true]), encode_path_bits(&[true]));
+        assert_eq!(encode_path_bits(&[]), 1);
+        assert_eq!(encode_path_bits(&[false, true, true]), 0b1011);
+    }
+
+    #[test]
+    fn loop_path_accessors() {
+        let path = LoopPath { blocks: vec![BlockId(0)], bits: vec![false, true] };
+        assert_eq!(path.encoding_string(), "01");
+        assert_eq!(path.decision_count(), 2);
+        assert_eq!(path.path_id(), 0b101);
+    }
+}

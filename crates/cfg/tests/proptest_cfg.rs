@@ -1,0 +1,114 @@
+//! Property-based tests of the CFG analysis over randomly generated structured
+//! programs (nested counting loops with optional diamonds).
+
+use lofat_cfg::paths::enumerate_loop_paths;
+use lofat_cfg::Cfg;
+use lofat_rv32::asm::assemble;
+use lofat_rv32::Cpu;
+use proptest::prelude::*;
+
+/// Generates a structured program with `depth` nested counting loops, each iterating
+/// a small constant number of times, with an optional if/else diamond in the
+/// innermost body.
+fn structured_program(depth: usize, bounds: &[u32], diamond: bool) -> String {
+    let mut source = String::from(".text\nmain:\n    li a0, 0\n");
+    for level in 0..depth {
+        source.push_str(&format!("    li s{}, 0\n", level + 1));
+        source.push_str(&format!("loop{level}:\n"));
+    }
+    if diamond {
+        source.push_str(
+            "    andi t1, a0, 1\n    beqz t1, even_case\n    addi a0, a0, 3\n    j after_diamond\neven_case:\n    addi a0, a0, 1\nafter_diamond:\n",
+        );
+    } else {
+        source.push_str("    addi a0, a0, 1\n");
+    }
+    for level in (0..depth).rev() {
+        let reg = format!("s{}", level + 1);
+        source.push_str(&format!(
+            "    addi {reg}, {reg}, 1\n    li t0, {}\n    blt {reg}, t0, loop{level}\n",
+            bounds[level]
+        ));
+    }
+    source.push_str("    ecall\n");
+    source
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
+
+    /// Structural invariants of the CFG hold for arbitrary nested-loop programs:
+    /// every reachable block is dominated by the entry, the number of natural loops
+    /// equals the nesting depth, and the maximum loop depth matches.
+    #[test]
+    fn nested_loop_structure_is_recovered(depth in 1usize..4,
+                                          bound1 in 1u32..4, bound2 in 1u32..4, bound3 in 1u32..4,
+                                          diamond in any::<bool>()) {
+        let bounds = [bound1, bound2, bound3];
+        let source = structured_program(depth, &bounds, diamond);
+        let program = assemble(&source).expect("assemble");
+        let cfg = Cfg::from_program(&program).expect("cfg");
+        let dominators = cfg.dominators();
+        for block in cfg.blocks() {
+            if dominators.is_reachable(block.id) {
+                prop_assert!(dominators.dominates(cfg.entry(), block.id));
+            }
+        }
+        let loops = cfg.natural_loops();
+        prop_assert_eq!(loops.len(), depth, "one natural loop per nesting level");
+        prop_assert_eq!(loops.max_depth(), depth);
+        // Loop bodies are nested: each deeper loop body is contained in its parent's.
+        for info in loops.iter() {
+            if let Some(parent) = info.parent {
+                prop_assert!(info.body.is_subset(&loops.loops()[parent].body));
+            }
+            prop_assert!(info.contains(info.header));
+            prop_assert!(!info.exit_blocks.is_empty());
+        }
+        // And the program still runs to completion.
+        let mut cpu = Cpu::new(&program).expect("cpu");
+        let exit = cpu.run(1_000_000).expect("run");
+        prop_assert_eq!(exit.reason, lofat_rv32::ExitReason::Ecall);
+    }
+
+    /// Path enumeration of the innermost loop always yields at least one path, every
+    /// path ID is unique, and with a diamond in the body there are exactly twice as
+    /// many paths as without.
+    #[test]
+    fn innermost_path_enumeration_is_consistent(depth in 1usize..4, bound in 2u32..4) {
+        let bounds = [bound; 3];
+        for diamond in [false, true] {
+            let source = structured_program(depth, &bounds, diamond);
+            let program = assemble(&source).expect("assemble");
+            let cfg = Cfg::from_program(&program).expect("cfg");
+            let loops = cfg.natural_loops();
+            let innermost = loops
+                .iter()
+                .max_by_key(|l| l.depth)
+                .expect("at least one loop");
+            let enumeration = enumerate_loop_paths(&cfg, innermost, 256).expect("enumerate");
+            let expected = if diamond { 2 } else { 1 };
+            prop_assert_eq!(enumeration.paths.len(), expected);
+            let ids = enumeration.path_ids();
+            prop_assert_eq!(ids.len(), expected, "path ids are unique");
+        }
+    }
+
+    /// Block geometry invariants: blocks are disjoint, ordered and cover every
+    /// decodable instruction of the program.
+    #[test]
+    fn blocks_partition_the_code(depth in 1usize..4, diamond in any::<bool>()) {
+        let source = structured_program(depth, &[2, 3, 2], diamond);
+        let program = assemble(&source).expect("assemble");
+        let cfg = Cfg::from_program(&program).expect("cfg");
+        let mut covered = 0usize;
+        let mut previous_end = 0u32;
+        for block in cfg.blocks() {
+            prop_assert!(block.start >= previous_end, "blocks are ordered and disjoint");
+            prop_assert!(block.len() > 0);
+            covered += block.len();
+            previous_end = block.end;
+        }
+        prop_assert_eq!(covered, program.iter_instructions().count());
+    }
+}

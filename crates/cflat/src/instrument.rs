@@ -1,0 +1,208 @@
+//! The software attestation run: measurement plus overhead accounting.
+
+use crate::cost::InstrumentationCost;
+use lofat_crypto::{Digest, Sha3_512};
+use lofat_rv32::trace::{RetiredInst, TraceSink};
+use lofat_rv32::{Cpu, ExitInfo, Program, Rv32Error};
+
+/// Static instrumentation report: how many sites a binary rewriter would patch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct InstrumentationReport {
+    /// Number of control-flow instructions (rewrite sites) in the program.
+    pub rewrite_sites: u64,
+    /// Instructions in the original program.
+    pub original_instructions: u64,
+    /// Extra instructions added by the instrumentation.
+    pub added_instructions: u64,
+}
+
+impl InstrumentationReport {
+    /// Code-size overhead as a ratio of the original program size.
+    pub fn code_size_overhead_ratio(&self) -> f64 {
+        if self.original_instructions == 0 {
+            0.0
+        } else {
+            self.added_instructions as f64 / self.original_instructions as f64
+        }
+    }
+}
+
+/// Result of one software-attested run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CflatRun {
+    /// The cumulative measurement over all control-flow events (same hash as LO-FAT
+    /// without loop compression).
+    pub measurement: Digest,
+    /// Number of intercepted control-flow events.
+    pub events: u64,
+    /// CPU cycles of the *uninstrumented* program.
+    pub base_cycles: u64,
+    /// Attestation overhead charged by the cost model.
+    pub overhead_cycles: u64,
+    /// CPU exit information of the run.
+    pub exit: ExitInfo,
+}
+
+impl CflatRun {
+    /// Total cycles of the instrumented run (base + overhead).
+    pub fn instrumented_cycles(&self) -> u64 {
+        self.base_cycles + self.overhead_cycles
+    }
+
+    /// Overhead relative to the uninstrumented run (0.35 = +35 %).
+    pub fn overhead_ratio(&self) -> f64 {
+        if self.base_cycles == 0 {
+            0.0
+        } else {
+            self.overhead_cycles as f64 / self.base_cycles as f64
+        }
+    }
+}
+
+/// The C-FLAT-style software attestor.
+#[derive(Debug, Clone, Default)]
+pub struct CflatAttestor {
+    cost: InstrumentationCost,
+}
+
+struct MeasuringSink {
+    hasher: Sha3_512,
+    events: u64,
+}
+
+impl TraceSink for MeasuringSink {
+    fn retire(&mut self, inst: &RetiredInst) {
+        if inst.branch.is_some() {
+            self.events += 1;
+            let word = (u64::from(inst.pc) << 32) | u64::from(inst.next_pc);
+            self.hasher.update(word.to_le_bytes());
+        }
+    }
+}
+
+impl CflatAttestor {
+    /// Creates an attestor with the default cost model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an attestor with a custom cost model.
+    pub fn with_cost(cost: InstrumentationCost) -> Self {
+        Self { cost }
+    }
+
+    /// The cost model in use.
+    pub fn cost(&self) -> &InstrumentationCost {
+        &self.cost
+    }
+
+    /// Static view: how many sites would be rewritten and how much code is added.
+    pub fn instrumentation_report(&self, program: &Program) -> InstrumentationReport {
+        let original_instructions = program.iter_instructions().count() as u64;
+        let rewrite_sites =
+            program.iter_instructions().filter(|(_, inst)| inst.is_control_flow()).count() as u64;
+        InstrumentationReport {
+            rewrite_sites,
+            original_instructions,
+            added_instructions: self.cost.code_size_overhead(rewrite_sites),
+        }
+    }
+
+    /// Runs `program` under software attestation with input pre-loaded by the caller
+    /// being unnecessary (input-free workloads), returning the measurement and the
+    /// overhead model's verdict.
+    ///
+    /// # Errors
+    ///
+    /// Propagates execution errors from the CPU model.
+    pub fn attest(&self, program: &Program, max_cycles: u64) -> Result<CflatRun, Rv32Error> {
+        let mut cpu = Cpu::new(program)?;
+        self.attest_cpu(&mut cpu, max_cycles)
+    }
+
+    /// Runs an already prepared CPU (e.g. with inputs poked into memory) under
+    /// software attestation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates execution errors from the CPU model.
+    pub fn attest_cpu(&self, cpu: &mut Cpu, max_cycles: u64) -> Result<CflatRun, Rv32Error> {
+        let mut sink = MeasuringSink { hasher: Sha3_512::new(), events: 0 };
+        let exit = cpu.run_traced(max_cycles, &mut sink)?;
+        let overhead_cycles = self.cost.overhead_cycles(sink.events);
+        Ok(CflatRun {
+            measurement: sink.hasher.finalize(),
+            events: sink.events,
+            base_cycles: exit.cycles,
+            overhead_cycles,
+            exit,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lofat_rv32::asm::assemble;
+
+    fn loop_program(iterations: u32) -> Program {
+        assemble(&format!(
+            ".text\nmain:\n    li t0, {iterations}\nloop:\n    addi t0, t0, -1\n    bnez t0, loop\n    ecall\n"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn overhead_grows_linearly_with_control_flow_events() {
+        let attestor = CflatAttestor::new();
+        let small = attestor.attest(&loop_program(10), 100_000).unwrap();
+        let large = attestor.attest(&loop_program(100), 100_000).unwrap();
+        assert_eq!(small.events, 10);
+        assert_eq!(large.events, 100);
+        assert_eq!(large.overhead_cycles, 10 * small.overhead_cycles);
+        assert!(large.overhead_ratio() > 0.5, "software attestation overhead is substantial");
+    }
+
+    #[test]
+    fn straight_line_code_has_minimal_overhead() {
+        let program = assemble(".text\nmain:\n    li a0, 1\n    addi a0, a0, 2\n    ecall\n").unwrap();
+        let run = CflatAttestor::new().attest(&program, 1_000).unwrap();
+        assert_eq!(run.events, 0);
+        assert_eq!(run.overhead_cycles, 0);
+        assert_eq!(run.instrumented_cycles(), run.base_cycles);
+    }
+
+    #[test]
+    fn measurement_is_deterministic_and_input_sensitive() {
+        let attestor = CflatAttestor::new();
+        let a = attestor.attest(&loop_program(5), 100_000).unwrap();
+        let b = attestor.attest(&loop_program(5), 100_000).unwrap();
+        let c = attestor.attest(&loop_program(6), 100_000).unwrap();
+        assert_eq!(a.measurement, b.measurement);
+        assert_ne!(a.measurement, c.measurement, "without loop compression every iteration is hashed");
+    }
+
+    #[test]
+    fn instrumentation_report_counts_sites() {
+        let attestor = CflatAttestor::new();
+        let report = attestor.instrumentation_report(&loop_program(5));
+        assert_eq!(report.rewrite_sites, 1, "one conditional branch");
+        assert_eq!(report.original_instructions, 4);
+        assert!(report.code_size_overhead_ratio() > 1.0);
+    }
+
+    #[test]
+    fn custom_cost_model_is_respected() {
+        let cost = InstrumentationCost {
+            trampoline_cycles: 1,
+            environment_switch_cycles: 1,
+            hash_cycles_per_byte: 1,
+            bytes_per_event: 8,
+            instructions_per_event: 1,
+        };
+        let attestor = CflatAttestor::with_cost(cost);
+        let run = attestor.attest(&loop_program(4), 10_000).unwrap();
+        assert_eq!(run.overhead_cycles, 4 * 10);
+        assert_eq!(attestor.cost().cycles_per_event(), 10);
+    }
+}

@@ -1,0 +1,41 @@
+//! C-FLAT-style software control-flow attestation baseline.
+//!
+//! The LO-FAT paper positions its hardware engine against C-FLAT (Abera et al.,
+//! CCS 2016), a *software* control-flow attestation scheme: every control-flow
+//! instruction of the application is rewritten to trap into attestation code running
+//! on the same processor (inside a TEE), which updates a running hash — so the
+//! attestation overhead grows linearly with the number of control-flow events,
+//! whereas LO-FAT's is zero.
+//!
+//! This crate reproduces that baseline for the comparison experiments (E2, E9).  It
+//! does not rewrite binaries; instead it executes the program unmodified, observes
+//! the same trace the instrumentation would intercept, computes the same cumulative
+//! measurement in software, and charges a per-event cost model
+//! ([`InstrumentationCost`]) for the trampoline, the context switch into the
+//! measurement code and the software hash update.  The *shape* of the comparison —
+//! overhead linear in control-flow events versus none — is exactly the paper's
+//! claim; the absolute constants are documented, conservative estimates.
+//!
+//! # Example
+//!
+//! ```
+//! use lofat_cflat::CflatAttestor;
+//! use lofat_rv32::asm::assemble;
+//!
+//! let program = assemble(
+//!     ".text\nmain:\n    li t0, 9\nloop:\n    addi t0, t0, -1\n    bnez t0, loop\n    ecall\n",
+//! )?;
+//! let run = CflatAttestor::new().attest(&program, 100_000)?;
+//! assert!(run.overhead_cycles > 0);
+//! assert!(run.overhead_ratio() > 0.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod instrument;
+
+pub use cost::InstrumentationCost;
+pub use instrument::{CflatAttestor, CflatRun, InstrumentationReport};

@@ -1,0 +1,196 @@
+//! Analytical area and memory model (§5.2, §6.2).
+//!
+//! The paper sizes the loop-tracking memories analytically: "Tracking ℓ branches per
+//! path in a loop requires 8 × 2^ℓ bits memory"; with the prototype configuration
+//! (ℓ = 16, n = 4, 3 nested-loop levels) this amounts to ≈1.5 Mbit of path-indexed
+//! memory, synthesised as 49 36-Kbit block RAMs (16 per loop level plus one shared),
+//! ≈4 % of the Virtex-7 XC7Z020's registers, ≈6 % of its LUTs (≈20 % extra logic
+//! relative to the Pulpino SoC), at a maximum clock of 80 MHz (150 MHz for the hash
+//! engine alone when the CAM is removed from the critical path).
+//!
+//! [`AreaModel`] reproduces those formulas so experiment E5 can sweep ℓ, n and the
+//! nesting depth and regenerate the paper's design point.
+
+use crate::config::EngineConfig;
+
+/// Capacity of one FPGA block RAM in bits (Xilinx 36-Kbit BRAM).
+pub const BRAM_BITS: u64 = 36 * 1024;
+
+/// Reference resources of the evaluation FPGA (Virtex-7 XC7Z020 on a ZedBoard).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct FpgaDevice {
+    /// Number of slice registers available.
+    pub registers: u64,
+    /// Number of LUTs available.
+    pub luts: u64,
+    /// Number of 36-Kbit BRAMs available.
+    pub brams: u64,
+}
+
+impl FpgaDevice {
+    /// The XC7Z020 device used in the paper's evaluation.
+    pub fn xc7z020() -> Self {
+        Self { registers: 106_400, luts: 53_200, brams: 140 }
+    }
+}
+
+/// Area estimate for one LO-FAT configuration.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct AreaEstimate {
+    /// Path-indexed memory per tracked loop level, in bits (`8 × 2^ℓ`).
+    pub path_memory_bits_per_loop: u64,
+    /// Total loop-tracking memory in bits (per-loop memory × nesting depth).
+    pub total_loop_memory_bits: u64,
+    /// 36-Kbit BRAMs per tracked loop level.
+    pub brams_per_loop: u64,
+    /// Total BRAMs, including one shared BRAM for the branches memory / hash buffer.
+    pub total_brams: u64,
+    /// Estimated fraction of device registers used (0–1).
+    pub register_utilisation: f64,
+    /// Estimated fraction of device LUTs used (0–1).
+    pub lut_utilisation: f64,
+    /// Estimated additional logic relative to the Pulpino SoC (0–1).
+    pub logic_overhead: f64,
+    /// Estimated maximum clock frequency in MHz.
+    pub max_clock_mhz: f64,
+}
+
+/// The analytical area model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct AreaModel {
+    device: FpgaDevice,
+}
+
+impl AreaModel {
+    /// Creates the model for the paper's evaluation device.
+    pub fn new() -> Self {
+        Self { device: FpgaDevice::xc7z020() }
+    }
+
+    /// Creates the model for a custom device.
+    pub fn with_device(device: FpgaDevice) -> Self {
+        Self { device }
+    }
+
+    /// The modelled FPGA device.
+    pub fn device(&self) -> &FpgaDevice {
+        &self.device
+    }
+
+    /// Path-indexed memory required per tracked loop, in bits: `8 × 2^ℓ` (§5.2).
+    pub fn path_memory_bits(&self, max_path_bits: u32) -> u64 {
+        8u64 << max_path_bits
+    }
+
+    /// Number of 36-Kbit BRAMs per tracked loop.
+    ///
+    /// The memory is banked for single-cycle access, so the count is rounded up to
+    /// the next power of two (the paper reports 16 BRAMs per loop at ℓ = 16).
+    pub fn brams_per_loop(&self, max_path_bits: u32) -> u64 {
+        let needed = self.path_memory_bits(max_path_bits).div_ceil(BRAM_BITS);
+        needed.next_power_of_two()
+    }
+
+    /// Full area estimate for a configuration.
+    pub fn estimate(&self, config: &EngineConfig) -> AreaEstimate {
+        let depth = config.max_nesting_depth as u64;
+        let per_loop_bits = self.path_memory_bits(config.max_path_bits);
+        let total_bits = per_loop_bits * depth;
+        let brams_per_loop = self.brams_per_loop(config.max_path_bits);
+        // One extra BRAM is shared by the branches memory and the hash input buffer.
+        let total_brams = brams_per_loop * depth + 1;
+
+        // Logic scales with the nesting depth (one loop tracker per level) and the
+        // CAM width; calibrated to the paper's 20 % overhead / 4 % FF / 6 % LUT point
+        // at (ℓ = 16, n = 4, depth = 3).
+        let logic_overhead =
+            0.10 + 0.025 * depth as f64 + 0.00625 * f64::from(config.indirect_target_bits);
+        let register_utilisation = 0.04 * logic_overhead / 0.20;
+        let lut_utilisation = 0.06 * logic_overhead / 0.20;
+
+        // The CAM lookup is the critical path: 80 MHz with it, 150 MHz (the hash
+        // engine's maximum) without.  Wider CAM codes slow the comparison slightly.
+        let max_clock_mhz = if config.indirect_target_bits == 0 {
+            150.0
+        } else {
+            80.0 - 1.5 * (f64::from(config.indirect_target_bits) - 4.0)
+        };
+
+        AreaEstimate {
+            path_memory_bits_per_loop: per_loop_bits,
+            total_loop_memory_bits: total_bits,
+            brams_per_loop,
+            total_brams,
+            register_utilisation,
+            lut_utilisation,
+            logic_overhead,
+            max_clock_mhz,
+        }
+    }
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_prototype_reproduces_reported_numbers() {
+        let model = AreaModel::new();
+        let estimate = model.estimate(&EngineConfig::paper_prototype());
+        // 8 × 2^16 bits = 512 Kbit per loop, ×3 = 1.5 Mbit.
+        assert_eq!(estimate.path_memory_bits_per_loop, 8 << 16);
+        assert_eq!(estimate.total_loop_memory_bits, 3 * (8 << 16));
+        assert_eq!(estimate.total_loop_memory_bits, 1_572_864, "≈1.5 Mbit as reported");
+        // 16 BRAMs per loop, 48 + 1 total.
+        assert_eq!(estimate.brams_per_loop, 16);
+        assert_eq!(estimate.total_brams, 49);
+        // ≈20 % logic overhead, ≈4 % FF, ≈6 % LUT, 80 MHz.
+        assert!((estimate.logic_overhead - 0.20).abs() < 0.01);
+        assert!((estimate.register_utilisation - 0.04).abs() < 0.005);
+        assert!((estimate.lut_utilisation - 0.06).abs() < 0.005);
+        assert!((estimate.max_clock_mhz - 80.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn memory_halves_when_path_bits_shrink() {
+        let model = AreaModel::new();
+        assert_eq!(model.path_memory_bits(16), 2 * model.path_memory_bits(15));
+        assert_eq!(model.path_memory_bits(8), 8 << 8);
+        assert!(model.brams_per_loop(8) < model.brams_per_loop(16));
+        assert_eq!(model.brams_per_loop(10), 1);
+    }
+
+    #[test]
+    fn removing_the_cam_raises_the_clock() {
+        let model = AreaModel::new();
+        let mut config = EngineConfig::paper_prototype();
+        config.indirect_target_bits = 0; // hypothetical CAM-less configuration
+        let estimate = model.estimate(&config);
+        assert!((estimate.max_clock_mhz - 150.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn deeper_nesting_costs_proportionally_more_brams() {
+        let model = AreaModel::new();
+        let shallow = model
+            .estimate(&EngineConfig::builder().max_nesting_depth(1).build().unwrap());
+        let deep = model
+            .estimate(&EngineConfig::builder().max_nesting_depth(4).build().unwrap());
+        assert_eq!(shallow.total_brams, 17);
+        assert_eq!(deep.total_brams, 65);
+        assert!(deep.logic_overhead > shallow.logic_overhead);
+    }
+
+    #[test]
+    fn custom_device_is_respected() {
+        let device = FpgaDevice { registers: 1000, luts: 2000, brams: 10 };
+        let model = AreaModel::with_device(device);
+        assert_eq!(model.device().brams, 10);
+    }
+}

@@ -1,0 +1,162 @@
+//! Branch filter (① in Fig. 3).
+//!
+//! The branch filter is tightly coupled to the processor: per clock cycle it sees the
+//! retired program counter and instruction, filters in every branch, jump and return
+//! instruction, and emits a concise representation of the executed transfer — its
+//! `(Src, Dest)` pair plus the classification bits the loop monitor needs (taken or
+//! not, linking or not, backward or not).  Everything outside the attested code
+//! region is ignored.
+
+use crate::branches_mem::BranchPair;
+use lofat_rv32::trace::{BranchKind, RetiredInst};
+
+/// One filtered control-flow event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchEvent {
+    /// `(Src, Dest)` pair: the branch address and the address execution continued at.
+    pub pair: BranchPair,
+    /// Classification of the control-flow instruction.
+    pub kind: BranchKind,
+    /// Whether the transfer was taken (always `true` for jumps).
+    pub taken: bool,
+    /// The (taken) target address of the instruction.
+    pub target: u32,
+    /// `true` for a taken, non-linking, backward transfer — the §5.1 heuristic that
+    /// marks a loop entry at `target`.
+    pub loop_heuristic: bool,
+}
+
+/// Statistics of the branch filter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct BranchFilterStats {
+    /// Retired instructions observed on the trace port.
+    pub instructions_observed: u64,
+    /// Retired instructions inside the attested region.
+    pub instructions_in_region: u64,
+    /// Control-flow events filtered in.
+    pub branch_events: u64,
+}
+
+/// The branch filter.
+#[derive(Debug, Clone)]
+pub struct BranchFilter {
+    attest_start: u32,
+    attest_end: u32,
+    stats: BranchFilterStats,
+}
+
+impl BranchFilter {
+    /// Creates a filter for the attested code region `[start, end)`.
+    pub fn new(attest_start: u32, attest_end: u32) -> Self {
+        Self { attest_start, attest_end, stats: BranchFilterStats::default() }
+    }
+
+    /// Returns `true` if `pc` lies inside the attested region.
+    pub fn in_region(&self, pc: u32) -> bool {
+        pc >= self.attest_start && pc < self.attest_end
+    }
+
+    /// Statistics gathered so far.
+    pub fn stats(&self) -> &BranchFilterStats {
+        &self.stats
+    }
+
+    /// Filters one retired instruction; returns a [`BranchEvent`] for control-flow
+    /// instructions inside the attested region and `None` otherwise.
+    pub fn filter(&mut self, retired: &RetiredInst) -> Option<BranchEvent> {
+        self.stats.instructions_observed += 1;
+        if !self.in_region(retired.pc) {
+            return None;
+        }
+        self.stats.instructions_in_region += 1;
+        let info = retired.branch?;
+        self.stats.branch_events += 1;
+        let backward = info.taken && info.target <= retired.pc;
+        let linking = info.kind.is_linking();
+        Some(BranchEvent {
+            pair: BranchPair::new(retired.pc, retired.next_pc),
+            kind: info.kind,
+            taken: info.taken,
+            target: info.target,
+            loop_heuristic: backward && !linking && info.kind != BranchKind::Return,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lofat_rv32::isa::{BranchCond, Instruction, Reg};
+    use lofat_rv32::trace::BranchInfo;
+
+    fn retired(pc: u32, kind: BranchKind, taken: bool, target: u32) -> RetiredInst {
+        RetiredInst {
+            cycle: 0,
+            pc,
+            inst: Instruction::Branch {
+                cond: BranchCond::Ne,
+                rs1: Reg::T0,
+                rs2: Reg::ZERO,
+                offset: 0,
+            },
+            next_pc: if taken { target } else { pc + 4 },
+            branch: Some(BranchInfo { kind, taken, target }),
+        }
+    }
+
+    fn plain(pc: u32) -> RetiredInst {
+        RetiredInst {
+            cycle: 0,
+            pc,
+            inst: Instruction::Ecall,
+            next_pc: pc + 4,
+            branch: None,
+        }
+    }
+
+    #[test]
+    fn non_branches_are_filtered_out() {
+        let mut filter = BranchFilter::new(0x1000, 0x2000);
+        assert!(filter.filter(&plain(0x1000)).is_none());
+        assert_eq!(filter.stats().instructions_observed, 1);
+        assert_eq!(filter.stats().branch_events, 0);
+    }
+
+    #[test]
+    fn out_of_region_branches_ignored() {
+        let mut filter = BranchFilter::new(0x1000, 0x2000);
+        let event = filter.filter(&retired(0x3000, BranchKind::Conditional, true, 0x2f00));
+        assert!(event.is_none());
+        assert_eq!(filter.stats().instructions_in_region, 0);
+    }
+
+    #[test]
+    fn loop_heuristic_fires_only_for_taken_nonlinking_backward() {
+        let mut filter = BranchFilter::new(0x1000, 0x2000);
+        // Taken backward conditional branch → heuristic fires.
+        let e = filter.filter(&retired(0x1100, BranchKind::Conditional, true, 0x1080)).unwrap();
+        assert!(e.loop_heuristic);
+        // Not-taken backward branch → no.
+        let e = filter.filter(&retired(0x1100, BranchKind::Conditional, false, 0x1080)).unwrap();
+        assert!(!e.loop_heuristic);
+        // Backward call (linking) → no: subroutine calls are not loop entries (§5.1).
+        let e = filter.filter(&retired(0x1100, BranchKind::DirectCall, true, 0x1080)).unwrap();
+        assert!(!e.loop_heuristic);
+        // Backward return → no.
+        let e = filter.filter(&retired(0x1100, BranchKind::Return, true, 0x1004)).unwrap();
+        assert!(!e.loop_heuristic);
+        // Forward jump → no.
+        let e = filter.filter(&retired(0x1100, BranchKind::DirectJump, true, 0x1200)).unwrap();
+        assert!(!e.loop_heuristic);
+    }
+
+    #[test]
+    fn pair_records_actual_destination() {
+        let mut filter = BranchFilter::new(0x1000, 0x2000);
+        let taken = filter.filter(&retired(0x1010, BranchKind::Conditional, true, 0x1004)).unwrap();
+        assert_eq!(taken.pair, BranchPair::new(0x1010, 0x1004));
+        let not_taken =
+            filter.filter(&retired(0x1010, BranchKind::Conditional, false, 0x1004)).unwrap();
+        assert_eq!(not_taken.pair, BranchPair::new(0x1010, 0x1014));
+    }
+}

@@ -1,0 +1,221 @@
+//! Engine configuration.
+//!
+//! §5.2 of the paper: "LO-FAT is designed such that the maximum number of branches
+//! per loop path and the maximum number of possible target addresses (of indirect
+//! branches) to track is configurable in a trade-off between granularity and
+//! availability of on-chip memory."  The prototype configuration is ℓ = 16 branches
+//! per loop path, n = 4 bits per indirect target (up to 15 targets plus the all-zero
+//! overflow code) and 3 levels of nested loops.
+
+use crate::error::LofatError;
+use lofat_crypto::HashEngineConfig;
+
+/// Internal latency charged per branch event (§6.1: "2 clock cycles for branch
+/// instructions and loop status tracking").
+pub const BRANCH_EVENT_LATENCY: u64 = 2;
+/// Internal latency charged at loop exit (§6.1: "5 clock cycles at loop exit for
+/// completing path ID generation and loop counter memory access and update").
+pub const LOOP_EXIT_LATENCY: u64 = 5;
+
+/// Configuration of the LO-FAT engine.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct EngineConfig {
+    /// ℓ — maximum number of path-encoding bits tracked per loop path.
+    pub max_path_bits: u32,
+    /// n — number of bits used to re-encode indirect-branch targets inside loops.
+    pub indirect_target_bits: u32,
+    /// Maximum nesting depth of simultaneously tracked loops.
+    pub max_nesting_depth: usize,
+    /// Loop compression: hash each unique loop path once and count iterations
+    /// (the paper's scheme).  Disabling it hashes every iteration (the naive baseline
+    /// used by the E9 ablation).
+    pub loop_compression: bool,
+    /// Configuration of the streaming hash engine.
+    pub hash_engine: HashEngineConfig,
+    /// Start of the attested code region (inclusive); `None` means the whole program.
+    pub attest_start: Option<u32>,
+    /// End of the attested code region (exclusive); `None` means the whole program.
+    pub attest_end: Option<u32>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            max_path_bits: 16,
+            indirect_target_bits: 4,
+            max_nesting_depth: 3,
+            loop_compression: true,
+            hash_engine: HashEngineConfig::default(),
+            attest_start: None,
+            attest_end: None,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The paper's prototype configuration (ℓ = 16, n = 4, 3 nested levels).
+    pub fn paper_prototype() -> Self {
+        Self::default()
+    }
+
+    /// Starts building a custom configuration.
+    pub fn builder() -> EngineConfigBuilder {
+        EngineConfigBuilder::default()
+    }
+
+    /// Maximum number of distinct indirect-branch targets encodable per loop
+    /// (2ⁿ − 1; the all-zero code is reserved for overflow).
+    pub fn max_indirect_targets(&self) -> u32 {
+        (1u32 << self.indirect_target_bits) - 1
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LofatError::InvalidConfig`] for out-of-range parameters.
+    pub fn validate(&self) -> Result<(), LofatError> {
+        if self.max_path_bits == 0 || self.max_path_bits > 30 {
+            return Err(LofatError::InvalidConfig {
+                message: format!("max_path_bits must be in 1..=30, got {}", self.max_path_bits),
+            });
+        }
+        if self.indirect_target_bits == 0 || self.indirect_target_bits > 16 {
+            return Err(LofatError::InvalidConfig {
+                message: format!(
+                    "indirect_target_bits must be in 1..=16, got {}",
+                    self.indirect_target_bits
+                ),
+            });
+        }
+        if self.max_nesting_depth == 0 {
+            return Err(LofatError::InvalidConfig {
+                message: "max_nesting_depth must be at least 1".into(),
+            });
+        }
+        if let (Some(start), Some(end)) = (self.attest_start, self.attest_end) {
+            if start >= end {
+                return Err(LofatError::InvalidConfig {
+                    message: format!("attested region {start:#x}..{end:#x} is empty"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`EngineConfig`].
+///
+/// # Example
+///
+/// ```
+/// use lofat::EngineConfig;
+///
+/// let config = EngineConfig::builder()
+///     .max_path_bits(8)
+///     .indirect_target_bits(2)
+///     .max_nesting_depth(2)
+///     .build()?;
+/// assert_eq!(config.max_indirect_targets(), 3);
+/// # Ok::<(), lofat::LofatError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EngineConfigBuilder {
+    config: EngineConfig,
+}
+
+impl EngineConfigBuilder {
+    /// Sets ℓ, the maximum number of path-encoding bits per loop path.
+    pub fn max_path_bits(mut self, bits: u32) -> Self {
+        self.config.max_path_bits = bits;
+        self
+    }
+
+    /// Sets n, the number of bits per indirect-branch target code.
+    pub fn indirect_target_bits(mut self, bits: u32) -> Self {
+        self.config.indirect_target_bits = bits;
+        self
+    }
+
+    /// Sets the maximum nesting depth of simultaneously tracked loops.
+    pub fn max_nesting_depth(mut self, depth: usize) -> Self {
+        self.config.max_nesting_depth = depth;
+        self
+    }
+
+    /// Enables or disables loop compression (enabled in the paper's design).
+    pub fn loop_compression(mut self, enabled: bool) -> Self {
+        self.config.loop_compression = enabled;
+        self
+    }
+
+    /// Sets the hash-engine model configuration.
+    pub fn hash_engine(mut self, hash_engine: HashEngineConfig) -> Self {
+        self.config.hash_engine = hash_engine;
+        self
+    }
+
+    /// Restricts attestation to the code region `[start, end)`.
+    pub fn attest_region(mut self, start: u32, end: u32) -> Self {
+        self.config.attest_start = Some(start);
+        self.config.attest_end = Some(end);
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LofatError::InvalidConfig`] for out-of-range parameters.
+    pub fn build(self) -> Result<EngineConfig, LofatError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_prototype() {
+        let config = EngineConfig::paper_prototype();
+        assert_eq!(config.max_path_bits, 16);
+        assert_eq!(config.indirect_target_bits, 4);
+        assert_eq!(config.max_nesting_depth, 3);
+        assert!(config.loop_compression);
+        assert_eq!(config.max_indirect_targets(), 15);
+        assert!(config.validate().is_ok());
+    }
+
+    #[test]
+    fn builder_roundtrip() {
+        let config = EngineConfig::builder()
+            .max_path_bits(8)
+            .indirect_target_bits(2)
+            .max_nesting_depth(1)
+            .loop_compression(false)
+            .attest_region(0x1000, 0x2000)
+            .build()
+            .unwrap();
+        assert_eq!(config.max_path_bits, 8);
+        assert_eq!(config.max_indirect_targets(), 3);
+        assert!(!config.loop_compression);
+        assert_eq!(config.attest_start, Some(0x1000));
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(EngineConfig::builder().max_path_bits(0).build().is_err());
+        assert!(EngineConfig::builder().max_path_bits(40).build().is_err());
+        assert!(EngineConfig::builder().indirect_target_bits(0).build().is_err());
+        assert!(EngineConfig::builder().max_nesting_depth(0).build().is_err());
+        assert!(EngineConfig::builder().attest_region(0x2000, 0x1000).build().is_err());
+    }
+
+    #[test]
+    fn latency_constants_match_paper() {
+        assert_eq!(BRANCH_EVENT_LATENCY, 2);
+        assert_eq!(LOOP_EXIT_LATENCY, 5);
+    }
+}

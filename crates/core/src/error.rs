@@ -1,0 +1,99 @@
+//! Error types for the LO-FAT engine and attestation protocol.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the LO-FAT engine, prover or verifier.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum LofatError {
+    /// The engine configuration is invalid (e.g. zero path bits).
+    InvalidConfig {
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// The engine was finalized twice or used after finalization.
+    EngineFinalized,
+    /// The underlying hash engine failed (buffer overflow means dropped trace data).
+    Hash(lofat_crypto::CryptoError),
+    /// Executing the attested program failed.
+    Execution(lofat_rv32::Rv32Error),
+    /// Static analysis of the attested program failed.
+    Analysis(lofat_cfg::CfgError),
+    /// Signing or signature verification failed.
+    Signature(lofat_crypto::CryptoError),
+    /// The attestation report was rejected by the verifier.
+    Rejected(crate::verifier::RejectionReason),
+    /// The program image has no symbol the prover needs (e.g. the input buffer).
+    MissingSymbol {
+        /// Name of the missing symbol.
+        name: String,
+    },
+}
+
+impl fmt::Display for LofatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LofatError::InvalidConfig { message } => write!(f, "invalid configuration: {message}"),
+            LofatError::EngineFinalized => write!(f, "engine already finalized"),
+            LofatError::Hash(e) => write!(f, "hash engine error: {e}"),
+            LofatError::Execution(e) => write!(f, "execution error: {e}"),
+            LofatError::Analysis(e) => write!(f, "static analysis error: {e}"),
+            LofatError::Signature(e) => write!(f, "signature error: {e}"),
+            LofatError::Rejected(reason) => write!(f, "attestation rejected: {reason}"),
+            LofatError::MissingSymbol { name } => {
+                write!(f, "program does not define the required symbol `{name}`")
+            }
+        }
+    }
+}
+
+impl Error for LofatError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LofatError::Hash(e) | LofatError::Signature(e) => Some(e),
+            LofatError::Execution(e) => Some(e),
+            LofatError::Analysis(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<lofat_rv32::Rv32Error> for LofatError {
+    fn from(e: lofat_rv32::Rv32Error) -> Self {
+        LofatError::Execution(e)
+    }
+}
+
+impl From<lofat_cfg::CfgError> for LofatError {
+    fn from(e: lofat_cfg::CfgError) -> Self {
+        LofatError::Analysis(e)
+    }
+}
+
+impl From<lofat_crypto::CryptoError> for LofatError {
+    fn from(e: lofat_crypto::CryptoError) -> Self {
+        LofatError::Hash(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = LofatError::from(lofat_crypto::CryptoError::SignatureMismatch);
+        assert!(e.to_string().contains("hash engine"));
+        assert!(e.source().is_some());
+        let e = LofatError::MissingSymbol { name: "input".into() };
+        assert!(e.to_string().contains("input"));
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LofatError>();
+    }
+}

@@ -1,0 +1,124 @@
+//! Loop counter memory (§5.1, ⑥ in Fig. 3).
+//!
+//! The completed path ID of each loop iteration indexes an on-chip memory holding
+//! one iteration counter per unique path.  "A counter value of zero indicates the
+//! first time a particular path is executed" — only then does the engine hash the
+//! path's `(Src, Dest)` pairs; subsequent iterations of the same path only increment
+//! the counter.  The memory also remembers the order in which new paths first
+//! occurred, because the metadata reports path encodings "in order of first
+//! occurrence".
+
+use std::collections::BTreeMap;
+
+/// Result of recording one completed loop iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathObservation {
+    /// This path ID was seen for the first time; its `(Src, Dest)` pairs must be hashed.
+    NewPath {
+        /// Zero-based first-occurrence index of the path within this loop execution.
+        order: usize,
+    },
+    /// The path was already known; only its counter was incremented.
+    Repeated {
+        /// Iteration count after the increment.
+        count: u64,
+    },
+}
+
+/// Per-loop path-indexed iteration counters.
+#[derive(Debug, Clone, Default)]
+pub struct LoopCounterMemory {
+    /// Path ID → iteration count.
+    counters: BTreeMap<u32, u64>,
+    /// Path IDs in order of first occurrence.
+    first_occurrence: Vec<u32>,
+}
+
+impl LoopCounterMemory {
+    /// Creates an empty counter memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one completed iteration that followed the path `path_id`.
+    pub fn record(&mut self, path_id: u32) -> PathObservation {
+        let counter = self.counters.entry(path_id).or_insert(0);
+        *counter += 1;
+        if *counter == 1 {
+            self.first_occurrence.push(path_id);
+            PathObservation::NewPath { order: self.first_occurrence.len() - 1 }
+        } else {
+            PathObservation::Repeated { count: *counter }
+        }
+    }
+
+    /// Iteration count of a path (0 if never seen).
+    pub fn count(&self, path_id: u32) -> u64 {
+        self.counters.get(&path_id).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct paths observed.
+    pub fn distinct_paths(&self) -> usize {
+        self.first_occurrence.len()
+    }
+
+    /// Total number of iterations recorded across all paths.
+    pub fn total_iterations(&self) -> u64 {
+        self.counters.values().sum()
+    }
+
+    /// Path IDs in order of first occurrence.
+    pub fn first_occurrence_order(&self) -> &[u32] {
+        &self.first_occurrence
+    }
+
+    /// `(path_id, count)` pairs in order of first occurrence.
+    pub fn entries(&self) -> Vec<(u32, u64)> {
+        self.first_occurrence.iter().map(|&id| (id, self.count(id))).collect()
+    }
+
+    /// Clears the memory for re-use by a subsequent loop execution.
+    pub fn clear(&mut self) {
+        self.counters.clear();
+        self.first_occurrence.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_occurrence_is_new_path() {
+        let mut mem = LoopCounterMemory::new();
+        assert_eq!(mem.record(0b1011), PathObservation::NewPath { order: 0 });
+        assert_eq!(mem.record(0b1011), PathObservation::Repeated { count: 2 });
+        assert_eq!(mem.record(0b10011), PathObservation::NewPath { order: 1 });
+        assert_eq!(mem.count(0b1011), 2);
+        assert_eq!(mem.count(0b10011), 1);
+        assert_eq!(mem.count(0xdead), 0);
+        assert_eq!(mem.distinct_paths(), 2);
+        assert_eq!(mem.total_iterations(), 3);
+    }
+
+    #[test]
+    fn entries_preserve_first_occurrence_order() {
+        let mut mem = LoopCounterMemory::new();
+        mem.record(7);
+        mem.record(3);
+        mem.record(7);
+        mem.record(9);
+        assert_eq!(mem.first_occurrence_order(), &[7, 3, 9]);
+        assert_eq!(mem.entries(), vec![(7, 2), (3, 1), (9, 1)]);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut mem = LoopCounterMemory::new();
+        mem.record(1);
+        mem.clear();
+        assert_eq!(mem.distinct_paths(), 0);
+        assert_eq!(mem.total_iterations(), 0);
+        assert_eq!(mem.record(1), PathObservation::NewPath { order: 0 });
+    }
+}

@@ -1,0 +1,486 @@
+//! Loop monitor (④⑤⑥⑧ in Fig. 3).
+//!
+//! The loop monitor tracks program loops (including nested loops) identified at run
+//! time by the branch filter's link-register heuristic, encodes each executed path
+//! inside a loop with the [`crate::path_encoder::PathEncoder`], counts path
+//! iterations in the [`crate::loop_counter_mem::LoopCounterMemory`], re-encodes
+//! indirect-branch targets via the [`crate::cam::IndirectTargetCam`], and — on loop
+//! exit — asks the metadata generator to assemble the loop's
+//! [`crate::metadata::LoopRecord`].
+//!
+//! Its contract with the engine is expressed by [`MonitorOutput`]: which `(Src,
+//! Dest)` pairs must go to the hash engine *now*, which loop records completed, and
+//! which statistics to bump.
+
+use crate::branch_filter::BranchEvent;
+use crate::branches_mem::{BranchPair, BranchesMemory};
+use crate::cam::IndirectTargetCam;
+use crate::config::EngineConfig;
+use crate::loop_counter_mem::{LoopCounterMemory, PathObservation};
+use crate::metadata::{IndirectTargetRecord, LoopRecord, PathRecord};
+use crate::path_encoder::PathEncoder;
+use lofat_rv32::trace::BranchKind;
+
+/// One tracked loop activation.
+#[derive(Debug, Clone)]
+struct ActiveLoop {
+    /// Loop entry node address (target of the backward branch).
+    entry: u32,
+    /// Loop exit node address (the block following the backward branch).
+    exit: u32,
+    /// Nesting depth (1 = outermost tracked loop).
+    depth: usize,
+    encoder: PathEncoder,
+    counters: LoopCounterMemory,
+    cam: IndirectTargetCam,
+    current_path: BranchesMemory,
+    /// Outstanding calls made from inside the loop; while non-zero the executed code
+    /// belongs to a callee and must not affect loop tracking or exit detection.
+    pending_calls: usize,
+    /// Set if any iteration overflowed the path encoder.
+    overflowed: bool,
+}
+
+impl ActiveLoop {
+    fn new(entry: u32, exit: u32, depth: usize, config: &EngineConfig) -> Self {
+        Self {
+            entry,
+            exit,
+            depth,
+            encoder: PathEncoder::new(config.max_path_bits),
+            counters: LoopCounterMemory::new(),
+            cam: IndirectTargetCam::new(config.indirect_target_bits),
+            current_path: BranchesMemory::new(),
+            pending_calls: 0,
+            overflowed: false,
+        }
+    }
+
+    fn contains(&self, pc: u32) -> bool {
+        pc >= self.entry && pc < self.exit
+    }
+
+    fn into_record(self) -> (LoopRecord, Vec<BranchPair>, u64) {
+        let cam_overflows = self.cam.overflows();
+        let record = LoopRecord {
+            entry: self.entry,
+            exit: self.exit,
+            nesting_depth: self.depth,
+            paths: self
+                .counters
+                .entries()
+                .into_iter()
+                .enumerate()
+                .map(|(order, (path_id, iterations))| PathRecord {
+                    path_id,
+                    first_occurrence: order,
+                    iterations,
+                })
+                .collect(),
+            indirect_targets: self
+                .cam
+                .table()
+                .into_iter()
+                .map(|(target, code)| IndirectTargetRecord { target, code })
+                .collect(),
+            encoder_overflowed: self.overflowed,
+        };
+        // Whatever is left of a partial (uncounted) path must still be covered by the
+        // authenticator, so the caller hashes these pairs directly.
+        let mut current_path = self.current_path;
+        (record, current_path.drain(), cam_overflows)
+    }
+}
+
+/// What the engine must do as a result of a loop-monitor step.
+#[derive(Debug, Clone, Default)]
+pub struct MonitorOutput {
+    /// `(Src, Dest)` pairs to forward to the hash engine now.
+    pub hash_now: Vec<BranchPair>,
+    /// Loop records completed by this step (in exit order).
+    pub completed: Vec<LoopRecord>,
+    /// Number of loops that exited in this step.
+    pub loops_exited: usize,
+    /// Number of loops entered in this step.
+    pub loops_entered: usize,
+    /// Number of completed loop iterations counted in this step.
+    pub iterations_counted: u64,
+    /// Number of newly observed loop paths in this step.
+    pub new_paths: u64,
+    /// Number of pairs whose hashing was skipped thanks to loop compression.
+    pub pairs_compressed: u64,
+    /// Number of CAM overflow events observed when loops exited in this step.
+    pub cam_overflows: u64,
+    /// Number of loop entries that were not tracked because the nesting capacity was
+    /// exhausted.
+    pub untracked_loops: u64,
+}
+
+/// The loop monitor.
+#[derive(Debug, Clone)]
+pub struct LoopMonitor {
+    config: EngineConfig,
+    stack: Vec<ActiveLoop>,
+    /// Deepest simultaneous nesting observed.
+    max_nesting_observed: usize,
+}
+
+impl LoopMonitor {
+    /// Creates an idle loop monitor.
+    pub fn new(config: EngineConfig) -> Self {
+        Self { config, stack: Vec::new(), max_nesting_observed: 0 }
+    }
+
+    /// Returns `true` while at least one loop is being tracked.
+    pub fn is_tracking(&self) -> bool {
+        !self.stack.is_empty()
+    }
+
+    /// Current nesting depth.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Deepest simultaneous nesting observed so far.
+    pub fn max_nesting_observed(&self) -> usize {
+        self.max_nesting_observed
+    }
+
+    /// Loop-exit detection, run for every retired instruction *before* the branch is
+    /// processed: execution proceeding to or past the exit node of the innermost
+    /// tracked loop (and not inside a callee) terminates that loop (§5.1).
+    pub fn check_exits(&mut self, pc: u32) -> MonitorOutput {
+        let mut output = MonitorOutput::default();
+        while let Some(top) = self.stack.last() {
+            if top.pending_calls > 0 || top.contains(pc) {
+                break;
+            }
+            let finished = self.stack.pop().expect("non-empty");
+            let (record, leftover, cam_overflows) = finished.into_record();
+            output.hash_now.extend(leftover);
+            output.completed.push(record);
+            output.loops_exited += 1;
+            output.cam_overflows += cam_overflows;
+        }
+        output
+    }
+
+    /// Processes one filtered control-flow event.
+    pub fn on_branch(&mut self, event: &BranchEvent) -> MonitorOutput {
+        let mut output = MonitorOutput::default();
+
+        // Inside a callee launched from the tracked loop: maintain the call depth and
+        // hash the pair directly — callee control flow is not path-compressed.
+        if let Some(top) = self.stack.last_mut() {
+            if top.pending_calls > 0 {
+                if event.kind.is_linking() {
+                    top.pending_calls += 1;
+                } else if event.kind == BranchKind::Return {
+                    top.pending_calls -= 1;
+                }
+                output.hash_now.push(event.pair);
+                return output;
+            }
+        }
+
+        let inside = self.stack.last().map(|top| top.contains(event.pair.src)).unwrap_or(false);
+        if inside {
+            self.on_branch_inside_loop(event, &mut output);
+        } else {
+            self.on_branch_outside_loop(event, &mut output);
+        }
+        output
+    }
+
+    /// Finalizes all still-active loops (end of the attested execution).
+    pub fn finalize(&mut self) -> MonitorOutput {
+        let mut output = MonitorOutput::default();
+        while let Some(active) = self.stack.pop() {
+            let (record, leftover, cam_overflows) = active.into_record();
+            output.hash_now.extend(leftover);
+            output.completed.push(record);
+            output.loops_exited += 1;
+            output.cam_overflows += cam_overflows;
+        }
+        output
+    }
+
+    fn on_branch_inside_loop(&mut self, event: &BranchEvent, output: &mut MonitorOutput) {
+        // Calls made from inside the loop: track the call depth, hash directly.
+        if event.kind.is_linking() {
+            let top = self.stack.last_mut().expect("inside loop");
+            top.pending_calls += 1;
+            if event.kind == BranchKind::IndirectCall {
+                let code = top.cam.encode(event.target);
+                top.encoder.push_code(code, self.config.indirect_target_bits);
+            }
+            output.hash_now.push(event.pair);
+            return;
+        }
+
+        // Back edge to the entry of a tracked loop (innermost or an outer one)?
+        let backward_to_tracked = event.taken
+            && event.kind != BranchKind::Return
+            && self.stack.iter().any(|l| l.entry == event.target);
+        if backward_to_tracked {
+            // Abandon any inner loops the transfer skips over (e.g. `continue` of an
+            // outer loop from inside an inner one).
+            while self.stack.last().map(|l| l.entry != event.target).unwrap_or(false) {
+                let finished = self.stack.pop().expect("non-empty");
+                let (record, leftover, cam_overflows) = finished.into_record();
+                output.hash_now.extend(leftover);
+                output.completed.push(record);
+                output.loops_exited += 1;
+                output.cam_overflows += cam_overflows;
+            }
+            let indirect_bits = self.config.indirect_target_bits;
+            let compression = self.config.loop_compression;
+            let top = self.stack.last_mut().expect("target loop present");
+            Self::record_decision(top, event, indirect_bits);
+            // Completed one iteration of the (now innermost) loop.
+            let path_id = top.encoder.path_id();
+            if top.encoder.overflowed() {
+                top.overflowed = true;
+            }
+            let observation = top.counters.record(path_id);
+            output.iterations_counted += 1;
+            match observation {
+                PathObservation::NewPath { .. } => {
+                    output.new_paths += 1;
+                    output.hash_now.extend(top.current_path.drain());
+                }
+                PathObservation::Repeated { .. } => {
+                    if compression {
+                        output.pairs_compressed += top.current_path.discard() as u64;
+                    } else {
+                        output.hash_now.extend(top.current_path.drain());
+                    }
+                }
+            }
+            top.encoder.reset();
+            return;
+        }
+
+        // A backward taken non-linking branch to a *new* entry inside the loop body
+        // opens a nested loop.
+        if event.loop_heuristic && self.stack.iter().all(|l| l.entry != event.target) {
+            let indirect_bits = self.config.indirect_target_bits;
+            {
+                let top = self.stack.last_mut().expect("inside loop");
+                Self::record_decision(top, event, indirect_bits);
+            }
+            self.enter_loop(event, output);
+            return;
+        }
+
+        // Ordinary decision inside the loop body.
+        let indirect_bits = self.config.indirect_target_bits;
+        let top = self.stack.last_mut().expect("inside loop");
+        Self::record_decision(top, event, indirect_bits);
+    }
+
+    fn on_branch_outside_loop(&mut self, event: &BranchEvent, output: &mut MonitorOutput) {
+        // Every non-loop branch is hashed directly (③ non_loops ctrl in Fig. 3).
+        output.hash_now.push(event.pair);
+        if event.loop_heuristic {
+            self.enter_loop(event, output);
+        }
+    }
+
+    /// Pushes path-encoder bits / CAM codes and buffers the pair for the current path.
+    fn record_decision(top: &mut ActiveLoop, event: &BranchEvent, indirect_bits: u32) {
+        match event.kind {
+            BranchKind::Conditional => top.encoder.push_bit(event.taken),
+            BranchKind::DirectJump => top.encoder.push_bit(true),
+            BranchKind::IndirectJump | BranchKind::Return => {
+                let code = top.cam.encode(event.target);
+                top.encoder.push_code(code, indirect_bits);
+            }
+            BranchKind::DirectCall | BranchKind::IndirectCall => {
+                // Calls are handled by the caller (pending_calls); nothing to encode.
+            }
+        }
+        if top.encoder.overflowed() {
+            top.overflowed = true;
+        }
+        top.current_path.push(event.pair);
+    }
+
+    fn enter_loop(&mut self, event: &BranchEvent, output: &mut MonitorOutput) {
+        if self.stack.len() >= self.config.max_nesting_depth {
+            output.untracked_loops += 1;
+            return;
+        }
+        let depth = self.stack.len() + 1;
+        self.stack.push(ActiveLoop::new(
+            event.target,
+            event.pair.src + 4,
+            depth,
+            &self.config,
+        ));
+        self.max_nesting_observed = self.max_nesting_observed.max(self.stack.len());
+        output.loops_entered += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lofat_rv32::trace::BranchKind;
+
+    fn event(src: u32, target: u32, kind: BranchKind, taken: bool) -> BranchEvent {
+        let dest = if taken { target } else { src + 4 };
+        BranchEvent {
+            pair: BranchPair::new(src, dest),
+            kind,
+            taken,
+            target,
+            loop_heuristic: taken
+                && target <= src
+                && !kind.is_linking()
+                && kind != BranchKind::Return,
+        }
+    }
+
+    fn config() -> EngineConfig {
+        EngineConfig::default()
+    }
+
+    #[test]
+    fn loop_entry_and_iteration_counting() {
+        let mut monitor = LoopMonitor::new(config());
+        // Backward branch at 0x1010 to 0x1008 seen 4 times, then fall out.
+        let back = event(0x1010, 0x1008, BranchKind::Conditional, true);
+
+        // First occurrence: non-loop branch, hashed directly, loop entered.
+        let out = monitor.on_branch(&back);
+        assert_eq!(out.hash_now.len(), 1);
+        assert_eq!(out.loops_entered, 1);
+        assert!(monitor.is_tracking());
+
+        // Three more iterations: first completes a new path, the rest are compressed.
+        let mut new_paths = 0;
+        let mut compressed = 0;
+        for _ in 0..3 {
+            let out = monitor.check_exits(0x1008);
+            assert_eq!(out.loops_exited, 0);
+            let out = monitor.on_branch(&back);
+            new_paths += out.new_paths;
+            compressed += out.pairs_compressed;
+        }
+        assert_eq!(new_paths, 1);
+        assert!(compressed > 0);
+
+        // Execution proceeds past the exit node → loop exits with one record.
+        let out = monitor.check_exits(0x1014);
+        assert_eq!(out.loops_exited, 1);
+        assert_eq!(out.completed.len(), 1);
+        let record = &out.completed[0];
+        assert_eq!(record.entry, 0x1008);
+        assert_eq!(record.exit, 0x1014);
+        assert_eq!(record.total_iterations(), 3);
+        assert_eq!(record.distinct_paths(), 1);
+        assert!(!monitor.is_tracking());
+    }
+
+    #[test]
+    fn compression_can_be_disabled() {
+        let mut cfg = config();
+        cfg.loop_compression = false;
+        let mut monitor = LoopMonitor::new(cfg);
+        let back = event(0x1010, 0x1008, BranchKind::Conditional, true);
+        monitor.on_branch(&back);
+        let mut hashed = 0;
+        for _ in 0..5 {
+            monitor.check_exits(0x1008);
+            let out = monitor.on_branch(&back);
+            hashed += out.hash_now.len();
+            assert_eq!(out.pairs_compressed, 0);
+        }
+        assert_eq!(hashed, 5, "without compression every iteration's pair is hashed");
+    }
+
+    #[test]
+    fn nested_loops_tracked_up_to_capacity() {
+        let mut cfg = config();
+        cfg.max_nesting_depth = 2;
+        let mut monitor = LoopMonitor::new(cfg);
+        // Outer loop back edge at 0x1100 → 0x1000, inner at 0x1080 → 0x1040, and a
+        // third level at 0x1060 → 0x1050 that exceeds the capacity.
+        monitor.on_branch(&event(0x1100, 0x1000, BranchKind::Conditional, true));
+        monitor.check_exits(0x1000);
+        let out = monitor.on_branch(&event(0x1080, 0x1040, BranchKind::Conditional, true));
+        assert_eq!(out.loops_entered, 1);
+        assert_eq!(monitor.depth(), 2);
+        monitor.check_exits(0x1040);
+        let out = monitor.on_branch(&event(0x1060, 0x1050, BranchKind::Conditional, true));
+        assert_eq!(out.loops_entered, 0);
+        assert_eq!(out.untracked_loops, 1);
+        assert_eq!(monitor.max_nesting_observed(), 2);
+    }
+
+    #[test]
+    fn calls_inside_loop_suppress_exit_detection() {
+        let mut monitor = LoopMonitor::new(config());
+        // Enter a loop spanning [0x1000, 0x1020).
+        monitor.on_branch(&event(0x101c, 0x1000, BranchKind::Conditional, true));
+        // Call a function at 0x2000 from inside the loop.
+        let call = event(0x1008, 0x2000, BranchKind::DirectCall, true);
+        let out = monitor.on_branch(&call);
+        assert_eq!(out.hash_now.len(), 1, "call pair is hashed directly");
+        // Executing callee code far outside the loop must not exit the loop.
+        let out = monitor.check_exits(0x2000);
+        assert_eq!(out.loops_exited, 0);
+        // The callee's own branches are hashed directly.
+        let callee_branch = event(0x2008, 0x200c, BranchKind::Conditional, false);
+        let out = monitor.on_branch(&callee_branch);
+        assert_eq!(out.hash_now.len(), 1);
+        // Return back into the loop re-enables exit detection.
+        let ret = event(0x2010, 0x100c, BranchKind::Return, true);
+        monitor.on_branch(&ret);
+        let out = monitor.check_exits(0x1030);
+        assert_eq!(out.loops_exited, 1);
+    }
+
+    #[test]
+    fn indirect_branches_in_loops_use_cam_codes() {
+        let mut monitor = LoopMonitor::new(config());
+        monitor.on_branch(&event(0x1040, 0x1000, BranchKind::Conditional, true));
+        // An indirect jump inside the loop body.
+        let indirect = event(0x1010, 0x1020, BranchKind::IndirectJump, true);
+        monitor.on_branch(&indirect);
+        // Complete the iteration, then exit and inspect the record.
+        monitor.on_branch(&event(0x1040, 0x1000, BranchKind::Conditional, true));
+        let out = monitor.check_exits(0x2000);
+        let record = &out.completed[0];
+        assert_eq!(record.indirect_targets.len(), 1);
+        assert_eq!(record.indirect_targets[0].target, 0x1020);
+        assert_eq!(record.indirect_targets[0].code, 1);
+        assert_eq!(record.total_iterations(), 1);
+    }
+
+    #[test]
+    fn finalize_flushes_active_loops() {
+        let mut monitor = LoopMonitor::new(config());
+        monitor.on_branch(&event(0x1010, 0x1008, BranchKind::Conditional, true));
+        let out = monitor.finalize();
+        assert_eq!(out.loops_exited, 1);
+        assert_eq!(out.completed.len(), 1);
+        assert!(!monitor.is_tracking());
+    }
+
+    #[test]
+    fn continue_of_outer_loop_closes_inner_loop() {
+        let mut monitor = LoopMonitor::new(config());
+        // Outer loop [0x1000, 0x1104), inner loop [0x1040, 0x1084).
+        monitor.on_branch(&event(0x1100, 0x1000, BranchKind::Conditional, true));
+        monitor.check_exits(0x1000);
+        monitor.on_branch(&event(0x1080, 0x1040, BranchKind::Conditional, true));
+        assert_eq!(monitor.depth(), 2);
+        // From inside the inner loop, jump straight back to the outer entry.
+        let out = monitor.on_branch(&event(0x1060, 0x1000, BranchKind::DirectJump, true));
+        assert_eq!(out.loops_exited, 1, "inner loop is closed");
+        assert_eq!(out.iterations_counted, 1, "outer loop iteration is counted");
+        assert_eq!(monitor.depth(), 1);
+    }
+}

@@ -1,0 +1,220 @@
+//! Measurement database: precomputed reference measurements per input.
+//!
+//! The golden-replay verifier (see [`crate::verifier::Verifier::verify`]) recomputes
+//! the expected measurement at verification time.  Embedded deployments — and the
+//! C-FLAT scheme LO-FAT builds on — typically precompute the expected measurements
+//! for the (small) set of inputs/commands a device accepts and then verify reports by
+//! a constant-time lookup.  [`MeasurementDatabase`] provides that mode: it is built
+//! once offline from the program binary and a list of anticipated inputs, and can be
+//! serialised and shipped to lightweight verifier front-ends that do not carry the
+//! simulator at all.
+
+use crate::config::EngineConfig;
+use crate::error::LofatError;
+use crate::metadata::Metadata;
+use crate::report::AttestationReport;
+use crate::verifier::{RejectionReason, Verifier};
+use lofat_crypto::Digest;
+use std::collections::BTreeMap;
+
+/// One precomputed reference measurement.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ReferenceMeasurement {
+    /// The expected authenticator `A` for this input.
+    pub authenticator: Digest,
+    /// The expected loop metadata `L` for this input.
+    pub metadata: Metadata,
+    /// The expected program result (`a0` at exit) — useful for device health checks.
+    pub expected_result: u32,
+}
+
+/// A database of reference measurements keyed by program input.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MeasurementDatabase {
+    program_id: String,
+    entries: BTreeMap<Vec<u32>, ReferenceMeasurement>,
+    /// The engine configuration the references were computed with (prover reports
+    /// produced under a different configuration will not match).
+    config: EngineConfig,
+}
+
+impl MeasurementDatabase {
+    /// Builds a database by golden-replaying `verifier`'s program on every input.
+    ///
+    /// # Errors
+    ///
+    /// Propagates replay failures (e.g. an input that makes the program exceed its
+    /// cycle budget).
+    pub fn build(
+        verifier: &Verifier,
+        config: EngineConfig,
+        inputs: impl IntoIterator<Item = Vec<u32>>,
+    ) -> Result<Self, LofatError> {
+        let mut entries = BTreeMap::new();
+        for input in inputs {
+            let (measurement, exit) = verifier.expected_measurement(&input)?;
+            entries.insert(
+                input,
+                ReferenceMeasurement {
+                    authenticator: measurement.authenticator,
+                    metadata: measurement.metadata,
+                    expected_result: exit.register_a0,
+                },
+            );
+        }
+        Ok(Self { program_id: verifier.program_id().to_string(), entries, config })
+    }
+
+    /// The program this database describes.
+    pub fn program_id(&self) -> &str {
+        &self.program_id
+    }
+
+    /// Number of reference entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the database holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The engine configuration the references were computed under.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Looks up the reference measurement for `input`.
+    pub fn reference(&self, input: &[u32]) -> Option<&ReferenceMeasurement> {
+        self.entries.get(input)
+    }
+
+    /// Checks a report against the stored reference for `input` (signature and nonce
+    /// checks are the caller's/`Verifier`'s responsibility — this is the measurement
+    /// comparison only).
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`RejectionReason`] describing the first mismatch, or
+    /// [`LofatError::MissingSymbol`]-style lookup failure when the input was never
+    /// precomputed (reported as `MetadataMismatch` to avoid a new variant leaking
+    /// database internals).
+    pub fn check(
+        &self,
+        input: &[u32],
+        report: &AttestationReport,
+    ) -> Result<&ReferenceMeasurement, LofatError> {
+        let Some(reference) = self.reference(input) else {
+            return Err(LofatError::InvalidConfig {
+                message: format!("no reference measurement precomputed for input {input:?}"),
+            });
+        };
+        if report.program_id != self.program_id {
+            return Err(LofatError::Rejected(RejectionReason::ProgramIdMismatch {
+                expected: self.program_id.clone(),
+                found: report.program_id.clone(),
+            }));
+        }
+        if reference.authenticator != report.authenticator {
+            return Err(LofatError::Rejected(RejectionReason::AuthenticatorMismatch));
+        }
+        if reference.metadata != report.metadata {
+            return Err(LofatError::Rejected(RejectionReason::MetadataMismatch));
+        }
+        Ok(reference)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prover::Prover;
+    use lofat_crypto::{DeviceKey, Nonce};
+    use lofat_rv32::asm::assemble;
+
+    const PROGRAM: &str = r#"
+        .data
+        input:
+            .space 8
+        .text
+        main:
+            la   t0, input
+            lw   t1, 0(t0)
+            li   a0, 0
+            beqz t1, done
+        loop:
+            addi a0, a0, 3
+            addi t1, t1, -1
+            bnez t1, loop
+        done:
+            ecall
+    "#;
+
+    fn setup() -> (Prover, Verifier) {
+        let program = assemble(PROGRAM).unwrap();
+        let key = DeviceKey::from_seed("db-device");
+        let prover = Prover::new(program.clone(), "triple", key.clone());
+        let verifier = Verifier::new(program, "triple", key.verification_key()).unwrap();
+        (prover, verifier)
+    }
+
+    #[test]
+    fn database_accepts_honest_reports_without_replay() {
+        let (mut prover, verifier) = setup();
+        let inputs: Vec<Vec<u32>> = (0..8u32).map(|n| vec![n]).collect();
+        let db =
+            MeasurementDatabase::build(&verifier, EngineConfig::default(), inputs.clone()).unwrap();
+        assert_eq!(db.len(), 8);
+        assert_eq!(db.program_id(), "triple");
+
+        for input in &inputs {
+            let run = prover.attest(input, Nonce::from_counter(1)).unwrap();
+            let reference = db.check(input, &run.report).unwrap();
+            assert_eq!(reference.expected_result, run.exit.register_a0);
+        }
+    }
+
+    #[test]
+    fn database_rejects_mismatching_reports() {
+        let (mut prover, verifier) = setup();
+        let db = MeasurementDatabase::build(
+            &verifier,
+            EngineConfig::default(),
+            vec![vec![3u32], vec![4u32]],
+        )
+        .unwrap();
+        // A report produced for input 4 does not match the reference for input 3.
+        let run = prover.attest(&[4], Nonce::from_counter(1)).unwrap();
+        let err = db.check(&[3], &run.report).unwrap_err();
+        assert!(matches!(err, LofatError::Rejected(_)));
+    }
+
+    #[test]
+    fn unknown_inputs_are_reported() {
+        let (mut prover, verifier) = setup();
+        let db =
+            MeasurementDatabase::build(&verifier, EngineConfig::default(), vec![vec![1u32]])
+                .unwrap();
+        let run = prover.attest(&[9], Nonce::from_counter(1)).unwrap();
+        let err = db.check(&[9], &run.report).unwrap_err();
+        assert!(matches!(err, LofatError::InvalidConfig { .. }));
+        assert!(db.reference(&[9]).is_none());
+        assert!(!db.is_empty());
+    }
+
+    #[test]
+    fn wrong_program_id_is_rejected() {
+        let (mut prover, verifier) = setup();
+        let db =
+            MeasurementDatabase::build(&verifier, EngineConfig::default(), vec![vec![2u32]])
+                .unwrap();
+        let mut run = prover.attest(&[2], Nonce::from_counter(1)).unwrap();
+        run.report.program_id = "other".into();
+        let err = db.check(&[2], &run.report).unwrap_err();
+        assert!(matches!(
+            err,
+            LofatError::Rejected(RejectionReason::ProgramIdMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,204 @@
+//! Loop auxiliary metadata `L` (⑧⑨⑩ in Fig. 3, §5.1 "Loop metadata").
+//!
+//! The metadata generator assembles, per executed loop, the unique loop path
+//! encodings in order of first occurrence, the number of iterations of each path and
+//! the indirect branch targets encountered in the loop.  `L` is appended to the final
+//! hash value `A` and covered by the attestation signature; the verifier uses it to
+//! reconstruct (and judge) the compressed part of the execution path.
+
+/// One indirect-branch target observed inside a loop, with the n-bit code the CAM
+/// assigned to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct IndirectTargetRecord {
+    /// The 32-bit target address.
+    pub target: u32,
+    /// The code used for it inside path IDs (0 means the CAM overflowed).
+    pub code: u32,
+}
+
+/// One unique path through a loop body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct PathRecord {
+    /// The path ID (sentinel-prefixed encoding; 0 if the encoder overflowed).
+    pub path_id: u32,
+    /// Zero-based index of this path's first occurrence within the loop execution.
+    pub first_occurrence: usize,
+    /// Number of iterations that followed this path.
+    pub iterations: u64,
+}
+
+/// Metadata describing one execution of one loop (one activation from entry to exit).
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct LoopRecord {
+    /// Address of the loop entry node (target of the backward branch).
+    pub entry: u32,
+    /// Address of the loop exit node (the block following the backward branch).
+    pub exit: u32,
+    /// Nesting depth at which the loop executed (1 = outermost).
+    pub nesting_depth: usize,
+    /// Unique paths in order of first occurrence, with iteration counts.
+    pub paths: Vec<PathRecord>,
+    /// Indirect-branch targets encountered in the loop, with their CAM codes.
+    pub indirect_targets: Vec<IndirectTargetRecord>,
+    /// Whether any iteration overflowed the path encoder (ℓ bits exceeded).
+    pub encoder_overflowed: bool,
+}
+
+impl LoopRecord {
+    /// Total number of counted iterations across all paths.
+    pub fn total_iterations(&self) -> u64 {
+        self.paths.iter().map(|p| p.iterations).sum()
+    }
+
+    /// Number of distinct paths observed.
+    pub fn distinct_paths(&self) -> usize {
+        self.paths.len()
+    }
+}
+
+/// The auxiliary metadata `L` of one attested execution.
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Metadata {
+    /// Loop records in the order the loops exited.
+    pub loops: Vec<LoopRecord>,
+}
+
+impl Metadata {
+    /// Creates empty metadata (a loop-free execution).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of loop executions recorded.
+    pub fn loop_count(&self) -> usize {
+        self.loops.len()
+    }
+
+    /// Total counted iterations across all loops.
+    pub fn total_iterations(&self) -> u64 {
+        self.loops.iter().map(LoopRecord::total_iterations).sum()
+    }
+
+    /// Total number of distinct paths across all loops.
+    pub fn total_distinct_paths(&self) -> usize {
+        self.loops.iter().map(LoopRecord::distinct_paths).sum()
+    }
+
+    /// Deterministic binary encoding of the metadata, as transmitted to the verifier
+    /// and covered by the attestation signature.
+    ///
+    /// Layout (all little-endian):
+    /// `loop_count:u32` then per loop: `entry:u32, exit:u32, depth:u32,
+    /// overflowed:u8, path_count:u32, {path_id:u32, first_occurrence:u32,
+    /// iterations:u64}*, target_count:u32, {target:u32, code:u32}*`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(self.loops.len() as u32).to_le_bytes());
+        for l in &self.loops {
+            out.extend_from_slice(&l.entry.to_le_bytes());
+            out.extend_from_slice(&l.exit.to_le_bytes());
+            out.extend_from_slice(&(l.nesting_depth as u32).to_le_bytes());
+            out.push(u8::from(l.encoder_overflowed));
+            out.extend_from_slice(&(l.paths.len() as u32).to_le_bytes());
+            for p in &l.paths {
+                out.extend_from_slice(&p.path_id.to_le_bytes());
+                out.extend_from_slice(&(p.first_occurrence as u32).to_le_bytes());
+                out.extend_from_slice(&p.iterations.to_le_bytes());
+            }
+            out.extend_from_slice(&(l.indirect_targets.len() as u32).to_le_bytes());
+            for t in &l.indirect_targets {
+                out.extend_from_slice(&t.target.to_le_bytes());
+                out.extend_from_slice(&t.code.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Size of the serialised metadata in bytes — the quantity experiment E7 sweeps
+    /// ("the length of the auxiliary metadata that must be sent to V depends on the
+    /// number of loops executed, the number of different paths per loop, and the
+    /// number of indirect branch targets", §6.1).
+    pub fn size_bytes(&self) -> usize {
+        self.to_bytes().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Metadata {
+        Metadata {
+            loops: vec![
+                LoopRecord {
+                    entry: 0x1010,
+                    exit: 0x1024,
+                    nesting_depth: 1,
+                    paths: vec![
+                        PathRecord { path_id: 0b1011, first_occurrence: 0, iterations: 5 },
+                        PathRecord { path_id: 0b10011, first_occurrence: 1, iterations: 2 },
+                    ],
+                    indirect_targets: vec![IndirectTargetRecord { target: 0x2000, code: 1 }],
+                    encoder_overflowed: false,
+                },
+                LoopRecord {
+                    entry: 0x1040,
+                    exit: 0x1050,
+                    nesting_depth: 2,
+                    paths: vec![PathRecord { path_id: 0b11, first_occurrence: 0, iterations: 9 }],
+                    indirect_targets: vec![],
+                    encoder_overflowed: true,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn aggregate_counts() {
+        let m = sample();
+        assert_eq!(m.loop_count(), 2);
+        assert_eq!(m.total_iterations(), 16);
+        assert_eq!(m.total_distinct_paths(), 3);
+        assert_eq!(m.loops[0].total_iterations(), 7);
+        assert_eq!(m.loops[0].distinct_paths(), 2);
+    }
+
+    #[test]
+    fn serialisation_is_deterministic_and_self_consistent() {
+        let m = sample();
+        let a = m.to_bytes();
+        let b = m.to_bytes();
+        assert_eq!(a, b);
+        assert_eq!(m.size_bytes(), a.len());
+        // Header + 2 loop headers + 3 paths + 1 target.
+        let expected = 4 + 2 * (4 + 4 + 4 + 1 + 4 + 4) + 3 * (4 + 4 + 8) + (4 + 4);
+        assert_eq!(a.len(), expected);
+    }
+
+    #[test]
+    fn different_metadata_serialises_differently() {
+        let a = sample();
+        let mut b = sample();
+        b.loops[0].paths[0].iterations += 1;
+        assert_ne!(a.to_bytes(), b.to_bytes());
+    }
+
+    #[test]
+    fn empty_metadata_is_four_bytes() {
+        assert_eq!(Metadata::new().to_bytes(), vec![0, 0, 0, 0]);
+        assert_eq!(Metadata::new().size_bytes(), 4);
+    }
+
+    #[test]
+    fn size_grows_with_paths_and_targets() {
+        let base = sample().size_bytes();
+        let mut more = sample();
+        more.loops[0]
+            .paths
+            .push(PathRecord { path_id: 0b111, first_occurrence: 2, iterations: 1 });
+        more.loops[1]
+            .indirect_targets
+            .push(IndirectTargetRecord { target: 0x3000, code: 2 });
+        assert!(more.size_bytes() > base);
+    }
+}

@@ -1,0 +1,102 @@
+//! The attestation report `R = sign(A ‖ L ‖ N; sk)` (Fig. 2).
+
+use crate::metadata::Metadata;
+use lofat_crypto::{Digest, Nonce, Signature};
+
+/// The attestation report the prover returns to the verifier.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct AttestationReport {
+    /// Identifier of the attested program (`id_S` in the protocol).
+    pub program_id: String,
+    /// The cumulative authenticator `A` over the executed `(Src, Dest)` pairs.
+    pub authenticator: Digest,
+    /// The loop auxiliary metadata `L`.
+    pub metadata: Metadata,
+    /// The verifier's freshness nonce `N`, echoed back.
+    pub nonce: Nonce,
+    /// Signature over `program_id ‖ A ‖ L ‖ N` under the device key.
+    pub signature: Signature,
+}
+
+impl AttestationReport {
+    /// The exact byte string covered by the signature.
+    pub fn signed_bytes(
+        program_id: &str,
+        authenticator: &Digest,
+        metadata: &Metadata,
+        nonce: &Nonce,
+    ) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(program_id.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(program_id.as_bytes());
+        bytes.extend_from_slice(authenticator.as_bytes());
+        bytes.extend_from_slice(&metadata.to_bytes());
+        bytes.extend_from_slice(nonce.as_bytes());
+        bytes
+    }
+
+    /// The byte string covered by this report's signature.
+    pub fn payload(&self) -> Vec<u8> {
+        Self::signed_bytes(&self.program_id, &self.authenticator, &self.metadata, &self.nonce)
+    }
+
+    /// Total size of the report on the wire (authenticator + metadata + nonce +
+    /// signature + program id), in bytes.  Experiment E7 tracks how the metadata
+    /// portion grows with the workload's loop structure.
+    pub fn wire_size(&self) -> usize {
+        self.payload().len() + self.signature.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metadata::{LoopRecord, PathRecord};
+    use lofat_crypto::Sha3_512;
+
+    fn report() -> AttestationReport {
+        let metadata = Metadata {
+            loops: vec![LoopRecord {
+                entry: 0x1000,
+                exit: 0x1010,
+                nesting_depth: 1,
+                paths: vec![PathRecord { path_id: 3, first_occurrence: 0, iterations: 4 }],
+                indirect_targets: vec![],
+                encoder_overflowed: false,
+            }],
+        };
+        AttestationReport {
+            program_id: "syringe-pump".into(),
+            authenticator: Sha3_512::digest(b"path"),
+            metadata,
+            nonce: Nonce::from_counter(7),
+            signature: Signature::from_bytes(vec![0u8; 64]),
+        }
+    }
+
+    #[test]
+    fn payload_binds_all_fields() {
+        let base = report();
+        let mut other = report();
+        other.program_id = "other".into();
+        assert_ne!(base.payload(), other.payload());
+
+        let mut other = report();
+        other.nonce = Nonce::from_counter(8);
+        assert_ne!(base.payload(), other.payload());
+
+        let mut other = report();
+        other.metadata.loops[0].paths[0].iterations = 5;
+        assert_ne!(base.payload(), other.payload());
+
+        let mut other = report();
+        other.authenticator = Sha3_512::digest(b"other path");
+        assert_ne!(base.payload(), other.payload());
+    }
+
+    #[test]
+    fn wire_size_includes_signature() {
+        let r = report();
+        assert_eq!(r.wire_size(), r.payload().len() + 64);
+    }
+}

@@ -1,0 +1,451 @@
+//! The verifier `V` (Fig. 2).
+//!
+//! The verifier holds the program binary, its statically derived CFG and loop
+//! structure, and the verification key.  Verification of a report proceeds in three
+//! stages, mirroring §3/§6.3 of the paper:
+//!
+//! 1. **Authenticity and freshness** — the signature over `A ‖ L ‖ N` must verify and
+//!    the nonce must match the outstanding challenge.
+//! 2. **Static plausibility** — every loop path encoding reported in `L` for a loop
+//!    whose valid path set the verifier can enumerate (innermost, call-free loops)
+//!    must be one of the CFG-valid encodings; "other path encodings are considered
+//!    invalid and detected by V" (§5.1, Fig. 4).
+//! 3. **Golden replay** — because the verifier knows the program, the challenge input
+//!    and LO-FAT's deterministic measurement rules, it recomputes the expected
+//!    authenticator `A` and metadata `L` by replaying the program on its own trusted
+//!    simulator and compares them against the report.  This is how the verifier
+//!    "checks whether the reported path resembles a valid path of the CFG under
+//!    input i".
+
+use crate::config::EngineConfig;
+use crate::engine::{attest_program, Measurement};
+use crate::error::LofatError;
+use crate::prover::{INPUT_LEN_SYMBOL, INPUT_SYMBOL};
+use crate::report::AttestationReport;
+use lofat_cfg::paths::enumerate_loop_paths;
+use lofat_cfg::{Cfg, LoopNest};
+use lofat_crypto::sign::HmacVerifier;
+use lofat_crypto::{Nonce, SignatureVerifier, VerificationKey};
+use lofat_rv32::{Cpu, ExitInfo, Program};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Maximum number of paths enumerated per loop for the static plausibility check.
+const PATH_ENUMERATION_LIMIT: usize = 4096;
+
+/// Why a report was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RejectionReason {
+    /// The report names a different program than the challenge.
+    ProgramIdMismatch {
+        /// Program id expected by the verifier.
+        expected: String,
+        /// Program id found in the report.
+        found: String,
+    },
+    /// The echoed nonce does not match the challenge (replay / stale report).
+    NonceMismatch,
+    /// The signature over `A ‖ L ‖ N` did not verify.
+    BadSignature,
+    /// A loop path encoding is not a valid path of the loop's body in the CFG.
+    InvalidLoopPath {
+        /// Loop entry address the record refers to.
+        loop_entry: u32,
+        /// The offending path ID.
+        path_id: u32,
+    },
+    /// The authenticator differs from the expected value for the challenge input
+    /// (the executed path deviated from the expected control flow).
+    AuthenticatorMismatch,
+    /// The loop metadata differs from the expected value (e.g. manipulated loop
+    /// counters or unexpected loop paths).
+    MetadataMismatch,
+}
+
+impl fmt::Display for RejectionReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RejectionReason::ProgramIdMismatch { expected, found } => {
+                write!(f, "program id mismatch: expected `{expected}`, report names `{found}`")
+            }
+            RejectionReason::NonceMismatch => write!(f, "nonce does not match the challenge"),
+            RejectionReason::BadSignature => write!(f, "signature verification failed"),
+            RejectionReason::InvalidLoopPath { loop_entry, path_id } => write!(
+                f,
+                "loop at {loop_entry:#010x} reports path id {path_id:#b} which is not a valid CFG path"
+            ),
+            RejectionReason::AuthenticatorMismatch => {
+                write!(f, "authenticator does not match the expected control flow")
+            }
+            RejectionReason::MetadataMismatch => {
+                write!(f, "loop metadata does not match the expected control flow")
+            }
+        }
+    }
+}
+
+/// A successful verification.
+#[derive(Debug, Clone)]
+pub struct Verdict {
+    /// Exit information of the verifier's golden replay.
+    pub replay_exit: ExitInfo,
+    /// The expected measurement the report was compared against.
+    pub expected: Measurement,
+}
+
+/// An attestation challenge (`id_S`, `i`, `N`), as sent from `V` to `P`.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Challenge {
+    /// Identifier of the program to attest.
+    pub program_id: String,
+    /// Program input `i`.
+    pub input: Vec<u32>,
+    /// Freshness nonce `N`.
+    pub nonce: Nonce,
+}
+
+/// The verifier.
+#[derive(Debug, Clone)]
+pub struct Verifier {
+    program: Program,
+    program_id: String,
+    key: HmacVerifier,
+    config: EngineConfig,
+    max_cycles: u64,
+    /// Valid path-ID sets for loops amenable to static enumeration, keyed by the
+    /// loop entry (header) address.
+    valid_paths: BTreeMap<u32, Vec<u32>>,
+    nonce_counter: u64,
+}
+
+impl Verifier {
+    /// Creates a verifier for `program`, performing the one-time offline CFG and
+    /// loop-structure analysis.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the program cannot be analysed.
+    pub fn new(
+        program: Program,
+        program_id: impl Into<String>,
+        key: VerificationKey,
+    ) -> Result<Self, LofatError> {
+        let cfg = Cfg::from_program(&program)?;
+        let loops = cfg.natural_loops();
+        let valid_paths = Self::enumerate_valid_paths(&cfg, &loops);
+        Ok(Self {
+            program,
+            program_id: program_id.into(),
+            key: HmacVerifier::new(key),
+            config: EngineConfig::default(),
+            max_cycles: crate::prover::DEFAULT_MAX_CYCLES,
+            valid_paths,
+            nonce_counter: 0,
+        })
+    }
+
+    /// Replaces the engine configuration used for golden replay (must match the
+    /// prover's configuration).
+    pub fn with_config(mut self, config: EngineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Replaces the replay cycle budget.
+    pub fn with_max_cycles(mut self, max_cycles: u64) -> Self {
+        self.max_cycles = max_cycles;
+        self
+    }
+
+    /// The program identifier this verifier attests.
+    pub fn program_id(&self) -> &str {
+        &self.program_id
+    }
+
+    /// The statically enumerated valid path IDs per loop entry address.
+    pub fn valid_loop_paths(&self) -> &BTreeMap<u32, Vec<u32>> {
+        &self.valid_paths
+    }
+
+    /// Issues a fresh challenge for input `i`.
+    pub fn challenge(&mut self, input: Vec<u32>) -> Challenge {
+        self.nonce_counter += 1;
+        Challenge {
+            program_id: self.program_id.clone(),
+            input,
+            nonce: Nonce::from_counter(self.nonce_counter),
+        }
+    }
+
+    /// Verifies `report` against `challenge`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LofatError::Rejected`] with the specific [`RejectionReason`] when
+    /// the report must be rejected, or other variants when the verifier itself fails
+    /// (e.g. the golden replay cannot be executed).
+    pub fn verify(
+        &self,
+        report: &AttestationReport,
+        challenge: &Challenge,
+    ) -> Result<Verdict, LofatError> {
+        // 1. Authenticity and freshness.
+        if report.program_id != self.program_id {
+            return Err(LofatError::Rejected(RejectionReason::ProgramIdMismatch {
+                expected: self.program_id.clone(),
+                found: report.program_id.clone(),
+            }));
+        }
+        if report.nonce != challenge.nonce {
+            return Err(LofatError::Rejected(RejectionReason::NonceMismatch));
+        }
+        if self.key.verify(&report.payload(), &report.signature).is_err() {
+            return Err(LofatError::Rejected(RejectionReason::BadSignature));
+        }
+
+        // 2. Static plausibility of the reported loop paths.
+        for record in &report.metadata.loops {
+            if record.encoder_overflowed || !record.indirect_targets.is_empty() {
+                continue;
+            }
+            if let Some(valid) = self.valid_paths.get(&record.entry) {
+                for path in &record.paths {
+                    if !valid.contains(&path.path_id) {
+                        return Err(LofatError::Rejected(RejectionReason::InvalidLoopPath {
+                            loop_entry: record.entry,
+                            path_id: path.path_id,
+                        }));
+                    }
+                }
+            }
+        }
+
+        // 3. Golden replay under the challenge input.
+        let (expected, replay_exit) = self.expected_measurement(&challenge.input)?;
+        if expected.authenticator != report.authenticator {
+            return Err(LofatError::Rejected(RejectionReason::AuthenticatorMismatch));
+        }
+        if expected.metadata != report.metadata {
+            return Err(LofatError::Rejected(RejectionReason::MetadataMismatch));
+        }
+        Ok(Verdict { replay_exit, expected })
+    }
+
+    /// Computes the expected measurement for `input` by golden replay.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the replay execution faults or exceeds the cycle budget.
+    pub fn expected_measurement(
+        &self,
+        input: &[u32],
+    ) -> Result<(Measurement, ExitInfo), LofatError> {
+        if input.is_empty() {
+            let (measurement, exit) =
+                attest_program(&self.program, self.config, self.max_cycles)?;
+            return Ok((measurement, exit));
+        }
+        let mut engine = crate::engine::LofatEngine::for_program(&self.program, self.config)?;
+        let mut cpu = Cpu::new(&self.program)?;
+        let addr = self
+            .program
+            .symbol(INPUT_SYMBOL)
+            .ok_or_else(|| LofatError::MissingSymbol { name: INPUT_SYMBOL.into() })?;
+        let bytes: Vec<u8> = input.iter().flat_map(|w| w.to_le_bytes()).collect();
+        cpu.memory_mut().poke_bytes(addr, &bytes)?;
+        if let Some(len_addr) = self.program.symbol(INPUT_LEN_SYMBOL) {
+            cpu.memory_mut().poke_bytes(len_addr, &(input.len() as u32).to_le_bytes())?;
+        }
+        let exit = cpu.run_traced(self.max_cycles, &mut engine)?;
+        let measurement = engine.finalize()?;
+        Ok((measurement, exit))
+    }
+
+    /// Enumerates the valid path-ID sets of loops amenable to static enumeration:
+    /// innermost natural loops whose bodies are free of calls and indirect jumps.
+    fn enumerate_valid_paths(cfg: &Cfg, loops: &LoopNest) -> BTreeMap<u32, Vec<u32>> {
+        let mut valid = BTreeMap::new();
+        for (index, info) in loops.iter().enumerate() {
+            let is_innermost = !loops.iter().enumerate().any(|(other_index, other)| {
+                other_index != index
+                    && other.body.is_subset(&info.body)
+                    && other.body.len() < info.body.len()
+            });
+            if !is_innermost {
+                continue;
+            }
+            let Ok(enumeration) = enumerate_loop_paths(cfg, info, PATH_ENUMERATION_LIMIT) else {
+                continue;
+            };
+            if enumeration.paths.is_empty() {
+                continue;
+            }
+            let entry_addr = cfg.block(info.header).start;
+            valid.insert(entry_addr, enumeration.path_ids());
+        }
+        valid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metadata::PathRecord;
+    use crate::prover::Prover;
+    use lofat_crypto::DeviceKey;
+    use lofat_rv32::asm::assemble;
+
+    const PROGRAM: &str = r#"
+        .data
+        input:
+            .space 64
+        input_len:
+            .word 0
+        .text
+        main:
+            la   t0, input
+            la   t1, input_len
+            lw   t1, 0(t1)
+            li   a0, 0
+            beqz t1, done
+        loop:
+            lw   t2, 0(t0)
+            add  a0, a0, t2
+            addi t0, t0, 4
+            addi t1, t1, -1
+            bnez t1, loop
+        done:
+            ecall
+    "#;
+
+    fn setup() -> (Prover, Verifier) {
+        let program = assemble(PROGRAM).unwrap();
+        let key = DeviceKey::from_seed("device");
+        let prover = Prover::new(program.clone(), "sum", key.clone());
+        let verifier = Verifier::new(program, "sum", key.verification_key()).unwrap();
+        (prover, verifier)
+    }
+
+    #[test]
+    fn honest_report_is_accepted() {
+        let (mut prover, mut verifier) = setup();
+        let challenge = verifier.challenge(vec![2, 4, 6]);
+        let run = prover.attest(&challenge.input, challenge.nonce).unwrap();
+        let verdict = verifier.verify(&run.report, &challenge).unwrap();
+        assert_eq!(verdict.replay_exit.register_a0, 12);
+        assert_eq!(verdict.expected.authenticator, run.report.authenticator);
+    }
+
+    #[test]
+    fn stale_nonce_is_rejected() {
+        let (mut prover, mut verifier) = setup();
+        let challenge = verifier.challenge(vec![1]);
+        let run = prover.attest(&challenge.input, challenge.nonce).unwrap();
+        let newer = verifier.challenge(vec![1]);
+        let err = verifier.verify(&run.report, &newer).unwrap_err();
+        assert!(matches!(err, LofatError::Rejected(RejectionReason::NonceMismatch)));
+    }
+
+    #[test]
+    fn forged_signature_is_rejected() {
+        let (_prover, mut verifier) = setup();
+        let program = assemble(PROGRAM).unwrap();
+        // A prover with a *different* key cannot produce acceptable reports.
+        let mut rogue = Prover::new(program, "sum", DeviceKey::from_seed("rogue"));
+        let challenge = verifier.challenge(vec![1, 2]);
+        let run = rogue.attest(&challenge.input, challenge.nonce).unwrap();
+        let err = verifier.verify(&run.report, &challenge).unwrap_err();
+        assert!(matches!(err, LofatError::Rejected(RejectionReason::BadSignature)));
+    }
+
+    #[test]
+    fn wrong_program_id_is_rejected() {
+        let (mut prover, mut verifier) = setup();
+        let challenge = verifier.challenge(vec![1]);
+        let mut run = prover.attest(&challenge.input, challenge.nonce).unwrap();
+        run.report.program_id = "other".into();
+        let err = verifier.verify(&run.report, &challenge).unwrap_err();
+        assert!(matches!(err, LofatError::Rejected(RejectionReason::ProgramIdMismatch { .. })));
+    }
+
+    #[test]
+    fn tampered_metadata_is_rejected() {
+        let (mut prover, mut verifier) = setup();
+        let challenge = verifier.challenge(vec![3, 3, 3, 3]);
+        let mut run = prover.attest(&challenge.input, challenge.nonce).unwrap();
+        // The (software) adversary cannot re-sign, so any tampering breaks the
+        // signature check first.
+        run.report.metadata.loops[0].paths[0].iterations += 1;
+        let err = verifier.verify(&run.report, &challenge).unwrap_err();
+        assert!(matches!(err, LofatError::Rejected(RejectionReason::BadSignature)));
+    }
+
+    #[test]
+    fn loop_counter_manipulation_detected_by_replay() {
+        let (mut prover, mut verifier) = setup();
+        let challenge = verifier.challenge(vec![1, 1, 1, 1, 1, 1]);
+        // The adversary shortens the loop by corrupting the in-memory length field
+        // (non-control-data attack ② of Fig. 1).
+        let input_len = prover.program().symbol("input_len").unwrap();
+        let mut attack = |cpu: &mut lofat_rv32::Cpu, retired: u64| {
+            if retired == 2 {
+                cpu.memory_mut().poke_bytes(input_len, &3u32.to_le_bytes()).unwrap();
+            }
+        };
+        let run = prover
+            .attest_with_adversary(&challenge.input, challenge.nonce, &mut attack)
+            .unwrap();
+        assert_eq!(run.exit.register_a0, 3);
+        let err = verifier.verify(&run.report, &challenge).unwrap_err();
+        assert!(matches!(
+            err,
+            LofatError::Rejected(
+                RejectionReason::MetadataMismatch | RejectionReason::AuthenticatorMismatch
+            )
+        ));
+    }
+
+    #[test]
+    fn invalid_loop_path_detected_statically() {
+        let (mut prover, mut verifier) = setup();
+        // Build a syntactically valid report whose loop path encoding is not a valid
+        // CFG path; re-sign it with the correct key to isolate the static check.
+        let challenge = verifier.challenge(vec![1, 2, 3]);
+        let run = prover.attest(&challenge.input, challenge.nonce).unwrap();
+        let mut metadata = run.report.metadata.clone();
+        metadata.loops[0].paths.push(PathRecord {
+            path_id: 0b1_1111,
+            first_occurrence: 1,
+            iterations: 1,
+        });
+        let payload = AttestationReport::signed_bytes(
+            "sum",
+            &run.report.authenticator,
+            &metadata,
+            &challenge.nonce,
+        );
+        use lofat_crypto::Signer;
+        let mut signer = lofat_crypto::HmacSigner::new(DeviceKey::from_seed("device"));
+        let forged = AttestationReport {
+            program_id: "sum".into(),
+            authenticator: run.report.authenticator.clone(),
+            metadata,
+            nonce: challenge.nonce,
+            signature: signer.sign(&payload).unwrap(),
+        };
+        let err = verifier.verify(&forged, &challenge).unwrap_err();
+        assert!(matches!(
+            err,
+            LofatError::Rejected(RejectionReason::InvalidLoopPath { path_id: 0b1_1111, .. })
+        ));
+    }
+
+    #[test]
+    fn verifier_precomputes_valid_paths_for_simple_loops() {
+        let (_, verifier) = setup();
+        assert_eq!(verifier.valid_loop_paths().len(), 1);
+        let paths = verifier.valid_loop_paths().values().next().unwrap();
+        assert_eq!(paths, &vec![0b11], "the sum loop has a single valid path `1`");
+    }
+}

@@ -1,0 +1,77 @@
+//! Error types for the cryptographic substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the cryptographic substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CryptoError {
+    /// A key had an invalid length.
+    InvalidKeyLength {
+        /// Expected length in bytes.
+        expected: usize,
+        /// Length that was actually provided.
+        actual: usize,
+    },
+    /// A signature failed verification.
+    SignatureMismatch,
+    /// A one-time key was asked to sign a second message.
+    OneTimeKeyReused,
+    /// The streaming hash engine was fed input while busy and its buffer overflowed.
+    EngineOverflow {
+        /// Number of words dropped because the input buffer was full.
+        dropped: u64,
+    },
+    /// The streaming hash engine was finalized twice or fed input after finalization.
+    EngineFinalized,
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::InvalidKeyLength { expected, actual } => {
+                write!(f, "invalid key length: expected {expected} bytes, got {actual}")
+            }
+            CryptoError::SignatureMismatch => write!(f, "signature verification failed"),
+            CryptoError::OneTimeKeyReused => {
+                write!(f, "one-time signing key was already used")
+            }
+            CryptoError::EngineOverflow { dropped } => {
+                write!(f, "hash engine input buffer overflowed, {dropped} words dropped")
+            }
+            CryptoError::EngineFinalized => {
+                write!(f, "hash engine already finalized")
+            }
+        }
+    }
+}
+
+impl Error for CryptoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs = [
+            CryptoError::InvalidKeyLength { expected: 64, actual: 3 },
+            CryptoError::SignatureMismatch,
+            CryptoError::OneTimeKeyReused,
+            CryptoError::EngineOverflow { dropped: 2 },
+            CryptoError::EngineFinalized,
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CryptoError>();
+    }
+}

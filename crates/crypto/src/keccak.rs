@@ -1,0 +1,207 @@
+//! The Keccak-f\[1600\] permutation.
+//!
+//! This is the core permutation underlying SHA-3 (FIPS 202).  LO-FAT's hash engine
+//! is a hardware Keccak core; the software implementation here produces identical
+//! digests and is shared by [`crate::sha3`] and [`crate::hash_engine`].
+
+/// Number of 64-bit lanes in the Keccak-f\[1600\] state (5 × 5).
+pub const STATE_LANES: usize = 25;
+
+/// Number of rounds of Keccak-f\[1600\].
+pub const ROUNDS: usize = 24;
+
+/// Round constants for the ι (iota) step.
+const ROUND_CONSTANTS: [u64; ROUNDS] = [
+    0x0000_0000_0000_0001,
+    0x0000_0000_0000_8082,
+    0x8000_0000_0000_808a,
+    0x8000_0000_8000_8000,
+    0x0000_0000_0000_808b,
+    0x0000_0000_8000_0001,
+    0x8000_0000_8000_8081,
+    0x8000_0000_0000_8009,
+    0x0000_0000_0000_008a,
+    0x0000_0000_0000_0088,
+    0x0000_0000_8000_8009,
+    0x0000_0000_8000_000a,
+    0x0000_0000_8000_808b,
+    0x8000_0000_0000_008b,
+    0x8000_0000_0000_8089,
+    0x8000_0000_0000_8003,
+    0x8000_0000_0000_8002,
+    0x8000_0000_0000_0080,
+    0x0000_0000_0000_800a,
+    0x8000_0000_8000_000a,
+    0x8000_0000_8000_8081,
+    0x8000_0000_0000_8080,
+    0x0000_0000_8000_0001,
+    0x8000_0000_8000_8008,
+];
+
+/// Rotation offsets for the ρ (rho) step, indexed `[x + 5 * y]`.
+const RHO_OFFSETS: [u32; STATE_LANES] = [
+    0, 1, 62, 28, 27, //
+    36, 44, 6, 55, 20, //
+    3, 10, 43, 25, 39, //
+    41, 45, 15, 21, 8, //
+    18, 2, 61, 56, 14,
+];
+
+/// A Keccak-f\[1600\] state of 25 64-bit lanes.
+///
+/// The lane at coordinates `(x, y)` is stored at index `x + 5 * y`, matching the
+/// FIPS 202 convention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KeccakState {
+    lanes: [u64; STATE_LANES],
+}
+
+impl KeccakState {
+    /// Creates an all-zero state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the raw lanes of the state.
+    pub fn lanes(&self) -> &[u64; STATE_LANES] {
+        &self.lanes
+    }
+
+    /// XORs a 64-bit word into lane `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 25`.
+    pub fn xor_lane(&mut self, index: usize, value: u64) {
+        self.lanes[index] ^= value;
+    }
+
+    /// XORs a byte into the state at byte offset `offset` (little-endian lane order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset >= 200`.
+    pub fn xor_byte(&mut self, offset: usize, value: u8) {
+        let lane = offset / 8;
+        let shift = (offset % 8) * 8;
+        self.lanes[lane] ^= u64::from(value) << shift;
+    }
+
+    /// Reads a byte of the state at byte offset `offset` (little-endian lane order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset >= 200`.
+    pub fn byte(&self, offset: usize) -> u8 {
+        let lane = offset / 8;
+        let shift = (offset % 8) * 8;
+        (self.lanes[lane] >> shift) as u8
+    }
+
+    /// Applies the full 24-round Keccak-f\[1600\] permutation in place.
+    pub fn permute(&mut self) {
+        for round in 0..ROUNDS {
+            self.round(ROUND_CONSTANTS[round]);
+        }
+    }
+
+    /// One Keccak round: θ, ρ, π, χ, ι.
+    fn round(&mut self, rc: u64) {
+        let a = &mut self.lanes;
+
+        // θ (theta)
+        let mut c = [0u64; 5];
+        for (x, cx) in c.iter_mut().enumerate() {
+            *cx = a[x] ^ a[x + 5] ^ a[x + 10] ^ a[x + 15] ^ a[x + 20];
+        }
+        let mut d = [0u64; 5];
+        for x in 0..5 {
+            d[x] = c[(x + 4) % 5] ^ c[(x + 1) % 5].rotate_left(1);
+        }
+        for y in 0..5 {
+            for x in 0..5 {
+                a[x + 5 * y] ^= d[x];
+            }
+        }
+
+        // ρ (rho) and π (pi)
+        let mut b = [0u64; STATE_LANES];
+        for y in 0..5 {
+            for x in 0..5 {
+                let idx = x + 5 * y;
+                let rotated = a[idx].rotate_left(RHO_OFFSETS[idx]);
+                // π: B[y, 2x + 3y] = rot(A[x, y])
+                let nx = y;
+                let ny = (2 * x + 3 * y) % 5;
+                b[nx + 5 * ny] = rotated;
+            }
+        }
+
+        // χ (chi)
+        for y in 0..5 {
+            for x in 0..5 {
+                a[x + 5 * y] = b[x + 5 * y] ^ ((!b[(x + 1) % 5 + 5 * y]) & b[(x + 2) % 5 + 5 * y]);
+            }
+        }
+
+        // ι (iota)
+        a[0] ^= rc;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Known-answer test: the first lane after permuting the all-zero state.
+    ///
+    /// The reference value `0xF1258F7940E1DDE7` comes from the Keccak team's
+    /// `KeccakF-1600-IntermediateValues.txt`.
+    #[test]
+    fn permutation_of_zero_state_known_answer() {
+        let mut st = KeccakState::new();
+        st.permute();
+        assert_eq!(st.lanes()[0], 0xF125_8F79_40E1_DDE7);
+        // Permuting again must change the state (the permutation has no short cycles
+        // reachable from the zero state).
+        let once = *st.lanes();
+        st.permute();
+        assert_ne!(&once, st.lanes());
+    }
+
+    #[test]
+    fn xor_byte_and_byte_roundtrip() {
+        let mut st = KeccakState::new();
+        st.xor_byte(0, 0xAB);
+        st.xor_byte(7, 0x01);
+        st.xor_byte(8, 0xFF);
+        st.xor_byte(199, 0x7E);
+        assert_eq!(st.byte(0), 0xAB);
+        assert_eq!(st.byte(7), 0x01);
+        assert_eq!(st.byte(8), 0xFF);
+        assert_eq!(st.byte(199), 0x7E);
+        assert_eq!(st.byte(100), 0x00);
+    }
+
+    #[test]
+    fn xor_lane_matches_xor_bytes() {
+        let mut a = KeccakState::new();
+        let mut b = KeccakState::new();
+        let word = 0x0123_4567_89AB_CDEFu64;
+        a.xor_lane(3, word);
+        for (i, byte) in word.to_le_bytes().iter().enumerate() {
+            b.xor_byte(3 * 8 + i, *byte);
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn permutation_is_deterministic() {
+        let mut a = KeccakState::new();
+        a.xor_lane(0, 42);
+        let mut b = a;
+        a.permute();
+        b.permute();
+        assert_eq!(a, b);
+    }
+}

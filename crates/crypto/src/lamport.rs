@@ -1,0 +1,154 @@
+//! Lamport one-time signatures over SHA-3-256.
+//!
+//! The paper's protocol uses a generic `sign(·; sk)` primitive.  The default
+//! reproduction uses an HMAC (symmetric) substitute; this module additionally offers
+//! a hash-based *asymmetric* one-time signature so the extension example can show a
+//! publicly verifiable attestation report without pulling in external crypto crates.
+
+use crate::error::CryptoError;
+use crate::sha3::Sha3_256;
+use crate::sign::{Signature, Signer, Verifier};
+
+/// Number of message bits covered by the signature (we sign a SHA-3-256 digest).
+const MESSAGE_BITS: usize = 256;
+/// Secret/preimage length in bytes.
+const CHUNK_BYTES: usize = 32;
+
+/// A Lamport one-time key pair.
+///
+/// Each key pair may sign **exactly one** message; a second [`Signer::sign`] call
+/// fails with [`CryptoError::OneTimeKeyReused`].
+pub struct LamportKeyPair {
+    secrets: Vec<[u8; CHUNK_BYTES]>,
+    public: LamportPublicKey,
+    used: bool,
+}
+
+/// The public half of a [`LamportKeyPair`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LamportPublicKey {
+    hashes: Vec<[u8; CHUNK_BYTES]>,
+}
+
+impl LamportKeyPair {
+    /// Generates a key pair deterministically from a seed (the simulated device would
+    /// use its true random number generator; a seed keeps examples reproducible).
+    pub fn from_seed(seed: &[u8]) -> Self {
+        let mut secrets = Vec::with_capacity(2 * MESSAGE_BITS);
+        for i in 0..(2 * MESSAGE_BITS) {
+            let mut h = Sha3_256::new();
+            h.update(seed);
+            h.update((i as u64).to_le_bytes());
+            let digest = h.finalize();
+            let mut chunk = [0u8; CHUNK_BYTES];
+            chunk.copy_from_slice(digest.as_bytes());
+            secrets.push(chunk);
+        }
+        let hashes = secrets
+            .iter()
+            .map(|s| {
+                let d = Sha3_256::digest(s);
+                let mut chunk = [0u8; CHUNK_BYTES];
+                chunk.copy_from_slice(d.as_bytes());
+                chunk
+            })
+            .collect();
+        Self { secrets, public: LamportPublicKey { hashes }, used: false }
+    }
+
+    /// Returns the public key to hand to the verifier.
+    pub fn public_key(&self) -> LamportPublicKey {
+        self.public.clone()
+    }
+}
+
+impl std::fmt::Debug for LamportKeyPair {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LamportKeyPair")
+            .field("secrets", &"<redacted>")
+            .field("used", &self.used)
+            .finish()
+    }
+}
+
+impl Signer for LamportKeyPair {
+    fn sign(&mut self, message: &[u8]) -> Result<Signature, CryptoError> {
+        if self.used {
+            return Err(CryptoError::OneTimeKeyReused);
+        }
+        self.used = true;
+        let digest = Sha3_256::digest(message);
+        let mut out = Vec::with_capacity(MESSAGE_BITS * CHUNK_BYTES);
+        for bit_index in 0..MESSAGE_BITS {
+            let byte = digest.as_bytes()[bit_index / 8];
+            let bit = (byte >> (bit_index % 8)) & 1;
+            let secret = &self.secrets[2 * bit_index + bit as usize];
+            out.extend_from_slice(secret);
+        }
+        Ok(Signature::from_bytes(out))
+    }
+}
+
+impl Verifier for LamportPublicKey {
+    fn verify(&self, message: &[u8], signature: &Signature) -> Result<(), CryptoError> {
+        let bytes = signature.as_bytes();
+        if bytes.len() != MESSAGE_BITS * CHUNK_BYTES {
+            return Err(CryptoError::SignatureMismatch);
+        }
+        let digest = Sha3_256::digest(message);
+        for bit_index in 0..MESSAGE_BITS {
+            let byte = digest.as_bytes()[bit_index / 8];
+            let bit = (byte >> (bit_index % 8)) & 1;
+            let revealed = &bytes[bit_index * CHUNK_BYTES..(bit_index + 1) * CHUNK_BYTES];
+            let expected = &self.hashes[2 * bit_index + bit as usize];
+            let actual = Sha3_256::digest(revealed);
+            if actual.as_bytes() != expected {
+                return Err(CryptoError::SignatureMismatch);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let mut kp = LamportKeyPair::from_seed(b"seed");
+        let pk = kp.public_key();
+        let sig = kp.sign(b"attestation report").unwrap();
+        assert!(pk.verify(b"attestation report", &sig).is_ok());
+        assert!(pk.verify(b"attestation repork", &sig).is_err());
+    }
+
+    #[test]
+    fn one_time_key_cannot_sign_twice() {
+        let mut kp = LamportKeyPair::from_seed(b"seed");
+        kp.sign(b"first").unwrap();
+        assert!(matches!(kp.sign(b"second"), Err(CryptoError::OneTimeKeyReused)));
+    }
+
+    #[test]
+    fn truncated_signature_rejected() {
+        let mut kp = LamportKeyPair::from_seed(b"seed");
+        let pk = kp.public_key();
+        let sig = kp.sign(b"m").unwrap();
+        let truncated = Signature::from_bytes(sig.as_bytes()[..100].to_vec());
+        assert!(pk.verify(b"m", &truncated).is_err());
+    }
+
+    #[test]
+    fn different_seeds_produce_different_keys() {
+        let a = LamportKeyPair::from_seed(b"a").public_key();
+        let b = LamportKeyPair::from_seed(b"b").public_key();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn debug_redacts_secrets() {
+        let kp = LamportKeyPair::from_seed(b"s");
+        assert!(format!("{kp:?}").contains("redacted"));
+    }
+}

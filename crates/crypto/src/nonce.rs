@@ -1,0 +1,76 @@
+//! Attestation nonces.
+//!
+//! The verifier includes a fresh nonce `N` in every attestation request; the prover
+//! must include it under the signature so stale reports cannot be replayed (§3, §6.3).
+
+/// Length of an attestation nonce in bytes.
+pub const NONCE_BYTES: usize = 16;
+
+/// A verifier-chosen freshness nonce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Nonce {
+    bytes: [u8; NONCE_BYTES],
+}
+
+impl Nonce {
+    /// Wraps raw nonce bytes.
+    pub fn from_bytes(bytes: [u8; NONCE_BYTES]) -> Self {
+        Self { bytes }
+    }
+
+    /// Derives a nonce from a counter (deterministic; handy for tests and examples).
+    pub fn from_counter(counter: u64) -> Self {
+        let mut bytes = [0u8; NONCE_BYTES];
+        bytes[..8].copy_from_slice(&counter.to_le_bytes());
+        Self { bytes }
+    }
+
+    /// Generates a nonce from any entropy source that fills a byte slice.
+    ///
+    /// This avoids a hard dependency on a specific RNG crate in the crypto substrate:
+    /// callers (e.g. the verifier) pass a closure backed by `rand` or a counter.
+    pub fn from_entropy(mut fill: impl FnMut(&mut [u8])) -> Self {
+        let mut bytes = [0u8; NONCE_BYTES];
+        fill(&mut bytes);
+        Self { bytes }
+    }
+
+    /// Returns the nonce bytes.
+    pub fn as_bytes(&self) -> &[u8; NONCE_BYTES] {
+        &self.bytes
+    }
+}
+
+impl std::fmt::Display for Nonce {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for b in &self.bytes {
+            write!(f, "{b:02x}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_nonces_are_distinct() {
+        assert_ne!(Nonce::from_counter(1), Nonce::from_counter(2));
+        assert_eq!(Nonce::from_counter(7), Nonce::from_counter(7));
+    }
+
+    #[test]
+    fn entropy_closure_fills_all_bytes() {
+        let n = Nonce::from_entropy(|buf| buf.copy_from_slice(&[0xAA; NONCE_BYTES]));
+        assert_eq!(n.as_bytes(), &[0xAA; NONCE_BYTES]);
+    }
+
+    #[test]
+    fn display_is_hex() {
+        let n = Nonce::from_counter(0x01);
+        let s = n.to_string();
+        assert_eq!(s.len(), NONCE_BYTES * 2);
+        assert!(s.starts_with("01"));
+    }
+}

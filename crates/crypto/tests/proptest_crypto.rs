@@ -1,0 +1,114 @@
+//! Property-based tests of the cryptographic substrate.
+
+use lofat_crypto::{
+    DeviceKey, HashEngine, HashEngineConfig, Hmac, LamportKeyPair, Sha3_256, Sha3_512,
+    SignatureVerifier, Signer,
+};
+use lofat_crypto::lamport::LamportPublicKey;
+use lofat_crypto::sign::HmacVerifier;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    /// Incremental hashing over arbitrary chunk boundaries equals one-shot hashing.
+    #[test]
+    fn sha3_incremental_equals_oneshot(data in proptest::collection::vec(any::<u8>(), 0..600),
+                                       split in 1usize..64) {
+        let mut hasher = Sha3_512::new();
+        for chunk in data.chunks(split) {
+            hasher.update(chunk);
+        }
+        prop_assert_eq!(hasher.finalize(), Sha3_512::digest(&data));
+
+        let mut hasher = Sha3_256::new();
+        for chunk in data.chunks(split) {
+            hasher.update(chunk);
+        }
+        prop_assert_eq!(hasher.finalize(), Sha3_256::digest(&data));
+    }
+
+    /// Different messages (virtually) never collide and the digest length is fixed.
+    #[test]
+    fn sha3_injective_on_small_inputs(a in proptest::collection::vec(any::<u8>(), 0..64),
+                                      b in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let da = Sha3_512::digest(&a);
+        let db = Sha3_512::digest(&b);
+        prop_assert_eq!(da.len(), 64);
+        if a != b {
+            prop_assert_ne!(da, db);
+        } else {
+            prop_assert_eq!(da, db);
+        }
+    }
+
+    /// HMAC verifies for the right key/message and fails for any modified message.
+    #[test]
+    fn hmac_verifies_and_rejects(key in proptest::collection::vec(any::<u8>(), 0..128),
+                                 message in proptest::collection::vec(any::<u8>(), 0..256),
+                                 flip in 0usize..256) {
+        let tag = Hmac::mac(&key, &message);
+        prop_assert!(Hmac::verify(&key, &message, &tag));
+        if !message.is_empty() {
+            let mut tampered = message.clone();
+            let index = flip % tampered.len();
+            tampered[index] ^= 0x01;
+            prop_assert!(!Hmac::verify(&key, &tampered, &tag));
+        }
+    }
+
+    /// The streaming hash engine produces the same digest as software SHA-3 for any
+    /// word stream and any (valid) buffer size, regardless of offered timing.
+    #[test]
+    fn hash_engine_equals_software(words in proptest::collection::vec(any::<u64>(), 0..200),
+                                   buffer in 1usize..16,
+                                   gap in 0u8..4) {
+        let config = HashEngineConfig { input_buffer_words: buffer, ..Default::default() };
+        let mut engine = HashEngine::new(config);
+        let mut reference = Sha3_512::new();
+        for &word in &words {
+            while engine.buffered() == buffer {
+                engine.step();
+            }
+            engine.offer(word).expect("room available");
+            for _ in 0..=gap {
+                engine.step();
+            }
+            reference.update(word.to_le_bytes());
+        }
+        prop_assert_eq!(engine.finalize().expect("finalize"), reference.finalize());
+        prop_assert_eq!(engine.stats().words_dropped, 0);
+    }
+
+    /// HMAC-based attestation signatures verify under the matching key and fail under
+    /// any other seed.
+    #[test]
+    fn device_key_signatures(seed_a in "[a-z]{1,12}", seed_b in "[a-z]{1,12}",
+                             payload in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let key_a = DeviceKey::from_seed(&seed_a);
+        let verifier_a = HmacVerifier::new(key_a.verification_key());
+        let mut signer_a = lofat_crypto::HmacSigner::new(key_a);
+        let signature = signer_a.sign(&payload).expect("sign");
+        prop_assert!(verifier_a.verify(&payload, &signature).is_ok());
+
+        if seed_a != seed_b {
+            let verifier_b = HmacVerifier::new(DeviceKey::from_seed(&seed_b).verification_key());
+            prop_assert!(verifier_b.verify(&payload, &signature).is_err());
+        }
+    }
+
+    /// Lamport signatures verify for the signed message and reject any other message.
+    #[test]
+    fn lamport_one_time_signature(seed in proptest::collection::vec(any::<u8>(), 1..32),
+                                  message in proptest::collection::vec(any::<u8>(), 0..64),
+                                  other in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let mut keypair = LamportKeyPair::from_seed(&seed);
+        let public: LamportPublicKey = keypair.public_key();
+        let signature = keypair.sign(&message).expect("one signature allowed");
+        prop_assert!(public.verify(&message, &signature).is_ok());
+        if other != message {
+            prop_assert!(public.verify(&other, &signature).is_err());
+        }
+        prop_assert!(keypair.sign(&message).is_err(), "one-time key cannot sign twice");
+    }
+}

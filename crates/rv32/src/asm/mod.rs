@@ -1,0 +1,395 @@
+//! A two-pass assembler for a practical subset of the GNU `as` RV32IM syntax.
+//!
+//! The evaluation workloads of the LO-FAT reproduction are written in assembly (the
+//! paper runs code segments extracted from real embedded applications on Pulpino; we
+//! have no external RISC-V toolchain in this environment, so the workloads are
+//! assembled by this module).  Supported features:
+//!
+//! * `.text` / `.data` sections, `.word`, `.half`, `.byte`, `.space`, `.align`,
+//!   `.globl` (accepted and ignored), `.equ NAME, value`;
+//! * labels (`name:`), `#` and `//` comments;
+//! * all RV32I base instructions plus the M extension;
+//! * the common pseudo-instructions (`li`, `la`, `mv`, `not`, `neg`, `seqz`, `snez`,
+//!   `nop`, `j`, `jr`, `jal label`, `jalr rs`, `call`, `tail`, `ret`, `beqz`, `bnez`,
+//!   `blez`, `bgez`, `bltz`, `bgtz`, `bgt`, `ble`, `bgtu`, `bleu`).
+//!
+//! # Example
+//!
+//! ```
+//! use lofat_rv32::asm::assemble;
+//!
+//! let program = assemble(
+//!     r#"
+//!     .text
+//!     main:
+//!         li   a0, 7
+//!         call double
+//!         ecall
+//!     double:
+//!         add  a0, a0, a0
+//!         ret
+//!     "#,
+//! )?;
+//! assert!(program.symbol("double").is_some());
+//! # Ok::<(), lofat_rv32::Rv32Error>(())
+//! ```
+
+mod parser;
+mod pseudo;
+
+use crate::error::Rv32Error;
+use crate::isa::Instruction;
+use crate::program::{Program, DEFAULT_DATA_BASE, DEFAULT_STACK_SIZE, DEFAULT_TEXT_BASE};
+use parser::{parse_line, Line, Operand, Statement};
+use std::collections::BTreeMap;
+
+/// Assembles `source` with the default memory layout.
+///
+/// # Errors
+///
+/// Returns [`Rv32Error::Assembly`] describing the first offending source line.
+pub fn assemble(source: &str) -> Result<Program, Rv32Error> {
+    Assembler::new().assemble(source)
+}
+
+/// Configurable assembler (text/data base addresses, stack size).
+///
+/// # Example
+///
+/// ```
+/// use lofat_rv32::asm::Assembler;
+///
+/// let program = Assembler::new()
+///     .text_base(0x8000)
+///     .assemble(".text\nstart: ecall\n")?;
+/// assert_eq!(program.text_base, 0x8000);
+/// # Ok::<(), lofat_rv32::Rv32Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Assembler {
+    text_base: u32,
+    data_base: u32,
+    stack_size: u32,
+}
+
+impl Default for Assembler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Section {
+    Text,
+    Data,
+}
+
+impl Assembler {
+    /// Creates an assembler with the default memory layout.
+    pub fn new() -> Self {
+        Self {
+            text_base: DEFAULT_TEXT_BASE,
+            data_base: DEFAULT_DATA_BASE,
+            stack_size: DEFAULT_STACK_SIZE,
+        }
+    }
+
+    /// Sets the base address of the code segment.
+    pub fn text_base(mut self, base: u32) -> Self {
+        self.text_base = base;
+        self
+    }
+
+    /// Sets the base address of the data segment.
+    pub fn data_base(mut self, base: u32) -> Self {
+        self.data_base = base;
+        self
+    }
+
+    /// Sets the size of the stack segment created by the loader.
+    pub fn stack_size(mut self, size: u32) -> Self {
+        self.stack_size = size;
+        self
+    }
+
+    /// Assembles `source` into a [`Program`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Rv32Error::Assembly`] describing the first offending source line.
+    pub fn assemble(&self, source: &str) -> Result<Program, Rv32Error> {
+        let lines: Vec<(usize, Line)> = source
+            .lines()
+            .enumerate()
+            .map(|(i, raw)| parse_line(raw, i + 1).map(|l| (i + 1, l)))
+            .collect::<Result<_, _>>()?;
+
+        // Pass 1: lay out sections, record symbol addresses.
+        let mut symbols: BTreeMap<String, u32> = BTreeMap::new();
+        let mut equs: BTreeMap<String, i64> = BTreeMap::new();
+        let mut section = Section::Text;
+        let mut text_pc = self.text_base;
+        let mut data_pc = self.data_base;
+
+        for (line_no, line) in &lines {
+            for label in &line.labels {
+                let addr = match section {
+                    Section::Text => text_pc,
+                    Section::Data => data_pc,
+                };
+                if symbols.insert(label.clone(), addr).is_some() {
+                    return Err(err(*line_no, format!("duplicate label `{label}`")));
+                }
+            }
+            match &line.statement {
+                Some(Statement::Directive { name, operands }) => match name.as_str() {
+                    ".text" => section = Section::Text,
+                    ".data" => section = Section::Data,
+                    ".globl" | ".global" | ".section" | ".type" | ".size" => {}
+                    ".equ" | ".set" => {
+                        let (name, value) = parse_equ(operands, *line_no, &equs)?;
+                        equs.insert(name, value);
+                    }
+                    ".word" => advance(&mut section, &mut text_pc, &mut data_pc, 4 * operands.len() as u32),
+                    ".half" => advance(&mut section, &mut text_pc, &mut data_pc, 2 * operands.len() as u32),
+                    ".byte" => advance(&mut section, &mut text_pc, &mut data_pc, operands.len() as u32),
+                    ".space" | ".zero" => {
+                        let n = expect_literal(operands, 0, *line_no, &equs)?;
+                        advance(&mut section, &mut text_pc, &mut data_pc, n as u32);
+                    }
+                    ".align" => {
+                        let n = expect_literal(operands, 0, *line_no, &equs)?;
+                        let align = 1u32 << n;
+                        let pc = match section {
+                            Section::Text => &mut text_pc,
+                            Section::Data => &mut data_pc,
+                        };
+                        *pc = pc.div_ceil(align) * align;
+                    }
+                    other => return Err(err(*line_no, format!("unsupported directive `{other}`"))),
+                },
+                Some(Statement::Instruction { mnemonic, operands }) => {
+                    if section != Section::Text {
+                        return Err(err(*line_no, "instruction outside .text section".to_string()));
+                    }
+                    let size = pseudo::instruction_size(mnemonic, operands, *line_no, &equs)?;
+                    text_pc += size;
+                }
+                None => {}
+            }
+        }
+
+        // Pass 2: emit code and data.
+        let mut text: Vec<u32> = Vec::new();
+        let mut data: Vec<u8> = Vec::new();
+        let mut section = Section::Text;
+        let mut text_pc = self.text_base;
+        let mut data_pc = self.data_base;
+
+        let ctx = EmitContext { symbols: &symbols, equs: &equs };
+
+        for (line_no, line) in &lines {
+            match &line.statement {
+                Some(Statement::Directive { name, operands }) => match name.as_str() {
+                    ".text" => section = Section::Text,
+                    ".data" => section = Section::Data,
+                    ".globl" | ".global" | ".section" | ".type" | ".size" | ".equ" | ".set" => {}
+                    ".word" => {
+                        for op in operands {
+                            let value = ctx.resolve(op, *line_no)? as u32;
+                            emit_data(&mut section, &mut text, &mut data, &mut text_pc, &mut data_pc, &value.to_le_bytes());
+                        }
+                    }
+                    ".half" => {
+                        for op in operands {
+                            let value = ctx.resolve(op, *line_no)? as u16;
+                            emit_data(&mut section, &mut text, &mut data, &mut text_pc, &mut data_pc, &value.to_le_bytes());
+                        }
+                    }
+                    ".byte" => {
+                        for op in operands {
+                            let value = ctx.resolve(op, *line_no)? as u8;
+                            emit_data(&mut section, &mut text, &mut data, &mut text_pc, &mut data_pc, &[value]);
+                        }
+                    }
+                    ".space" | ".zero" => {
+                        let n = expect_literal(operands, 0, *line_no, &equs)?;
+                        emit_data(
+                            &mut section,
+                            &mut text,
+                            &mut data,
+                            &mut text_pc,
+                            &mut data_pc,
+                            &vec![0u8; n as usize],
+                        );
+                    }
+                    ".align" => {
+                        let n = expect_literal(operands, 0, *line_no, &equs)?;
+                        let align = 1u32 << n;
+                        match section {
+                            Section::Text => {
+                                while text_pc % align != 0 {
+                                    text.push(
+                                        Instruction::AluImm {
+                                            op: crate::isa::AluImmOp::Addi,
+                                            rd: crate::isa::Reg::ZERO,
+                                            rs1: crate::isa::Reg::ZERO,
+                                            imm: 0,
+                                        }
+                                        .encode(),
+                                    );
+                                    text_pc += 4;
+                                }
+                            }
+                            Section::Data => {
+                                while data_pc % align != 0 {
+                                    data.push(0);
+                                    data_pc += 1;
+                                }
+                            }
+                        }
+                    }
+                    _ => unreachable!("rejected in pass 1"),
+                },
+                Some(Statement::Instruction { mnemonic, operands }) => {
+                    let instructions =
+                        pseudo::expand(mnemonic, operands, text_pc, *line_no, &ctx)?;
+                    for inst in instructions {
+                        text.push(inst.encode());
+                        text_pc += 4;
+                    }
+                }
+                None => {}
+            }
+        }
+
+        let entry = symbols
+            .get("main")
+            .or_else(|| symbols.get("_start"))
+            .copied()
+            .unwrap_or(self.text_base);
+
+        if text.is_empty() {
+            return Err(Rv32Error::Assembly {
+                line: 0,
+                message: "program contains no instructions".into(),
+            });
+        }
+
+        Ok(Program {
+            text_base: self.text_base,
+            text,
+            data_base: self.data_base,
+            data,
+            entry,
+            symbols,
+            stack_size: self.stack_size,
+        })
+    }
+}
+
+/// Symbol-resolution context shared with the pseudo-instruction expander.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct EmitContext<'a> {
+    symbols: &'a BTreeMap<String, u32>,
+    equs: &'a BTreeMap<String, i64>,
+}
+
+impl EmitContext<'_> {
+    /// Resolves an operand to an integer value (literal, `.equ` constant or label).
+    pub(crate) fn resolve(&self, operand: &Operand, line: usize) -> Result<i64, Rv32Error> {
+        match operand {
+            Operand::Literal(v) => Ok(*v),
+            Operand::Symbol(name) => {
+                if let Some(v) = self.equs.get(name) {
+                    Ok(*v)
+                } else if let Some(addr) = self.symbols.get(name) {
+                    Ok(i64::from(*addr))
+                } else {
+                    Err(err(line, format!("undefined symbol `{name}`")))
+                }
+            }
+            other => Err(err(line, format!("expected an immediate or symbol, found {other:?}"))),
+        }
+    }
+}
+
+fn parse_equ(
+    operands: &[Operand],
+    line: usize,
+    equs: &BTreeMap<String, i64>,
+) -> Result<(String, i64), Rv32Error> {
+    if operands.len() != 2 {
+        return Err(err(line, ".equ expects `name, value`".to_string()));
+    }
+    let name = match &operands[0] {
+        Operand::Symbol(s) => s.clone(),
+        other => return Err(err(line, format!("invalid .equ name {other:?}"))),
+    };
+    let value = match &operands[1] {
+        Operand::Literal(v) => *v,
+        Operand::Symbol(s) => *equs
+            .get(s)
+            .ok_or_else(|| err(line, format!("undefined constant `{s}` in .equ")))?,
+        other => return Err(err(line, format!("invalid .equ value {other:?}"))),
+    };
+    Ok((name, value))
+}
+
+fn expect_literal(
+    operands: &[Operand],
+    index: usize,
+    line: usize,
+    equs: &BTreeMap<String, i64>,
+) -> Result<i64, Rv32Error> {
+    match operands.get(index) {
+        Some(Operand::Literal(v)) => Ok(*v),
+        Some(Operand::Symbol(s)) => equs
+            .get(s)
+            .copied()
+            .ok_or_else(|| err(line, format!("undefined constant `{s}`"))),
+        _ => Err(err(line, "expected a literal operand".to_string())),
+    }
+}
+
+fn advance(section: &mut Section, text_pc: &mut u32, data_pc: &mut u32, bytes: u32) {
+    match section {
+        Section::Text => *text_pc += bytes,
+        Section::Data => *data_pc += bytes,
+    }
+}
+
+fn emit_data(
+    section: &mut Section,
+    text: &mut Vec<u32>,
+    data: &mut Vec<u8>,
+    text_pc: &mut u32,
+    data_pc: &mut u32,
+    bytes: &[u8],
+) {
+    match section {
+        Section::Text => {
+            // Data in the text section is rare in our workloads; pack into words.
+            // Only whole words are supported to keep instruction indexing intact.
+            let mut padded = bytes.to_vec();
+            while padded.len() % 4 != 0 {
+                padded.push(0);
+            }
+            for chunk in padded.chunks(4) {
+                text.push(u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]));
+                *text_pc += 4;
+            }
+        }
+        Section::Data => {
+            data.extend_from_slice(bytes);
+            *data_pc += bytes.len() as u32;
+        }
+    }
+}
+
+pub(crate) fn err(line: usize, message: String) -> Rv32Error {
+    Rv32Error::Assembly { line, message }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,243 @@
+//! Line and operand parsing for the assembler.
+
+use super::err;
+use crate::error::Rv32Error;
+use crate::isa::Reg;
+
+/// A parsed operand.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Operand {
+    /// A register name.
+    Reg(Reg),
+    /// An integer literal (decimal, hex `0x…`, binary `0b…`, possibly negative).
+    Literal(i64),
+    /// A symbol reference (label or `.equ` constant).
+    Symbol(String),
+    /// A memory operand `offset(base)`.
+    Memory {
+        /// Byte offset (literal or symbolic, resolved at emission time).
+        offset: Box<Operand>,
+        /// Base address register.
+        base: Reg,
+    },
+}
+
+/// One statement on a line.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Statement {
+    /// An assembler directive such as `.word 1, 2`.
+    Directive {
+        /// Directive name including the leading dot.
+        name: String,
+        /// Directive operands.
+        operands: Vec<Operand>,
+    },
+    /// A machine or pseudo instruction.
+    Instruction {
+        /// Lower-cased mnemonic.
+        mnemonic: String,
+        /// Instruction operands.
+        operands: Vec<Operand>,
+    },
+}
+
+/// A fully parsed source line: zero or more labels plus an optional statement.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub(crate) struct Line {
+    /// Labels defined on this line.
+    pub labels: Vec<String>,
+    /// The statement, if the line is not blank/label-only.
+    pub statement: Option<Statement>,
+}
+
+/// Parses one source line.
+pub(crate) fn parse_line(raw: &str, line_no: usize) -> Result<Line, Rv32Error> {
+    // Strip comments.
+    let without_hash = raw.split('#').next().unwrap_or("");
+    let code = without_hash.split("//").next().unwrap_or("").trim();
+    let mut line = Line::default();
+    if code.is_empty() {
+        return Ok(line);
+    }
+
+    let mut rest = code;
+    // Peel off leading `label:` definitions.
+    while let Some(colon) = rest.find(':') {
+        let candidate = rest[..colon].trim();
+        if !candidate.is_empty() && is_identifier(candidate) && !rest[..colon].contains(char::is_whitespace) {
+            line.labels.push(candidate.to_string());
+            rest = rest[colon + 1..].trim();
+        } else {
+            break;
+        }
+    }
+    if rest.is_empty() {
+        return Ok(line);
+    }
+
+    let (head, tail) = match rest.find(char::is_whitespace) {
+        Some(pos) => (&rest[..pos], rest[pos..].trim()),
+        None => (rest, ""),
+    };
+    let operands = parse_operands(tail, line_no)?;
+    let statement = if let Some(stripped) = head.strip_prefix('.') {
+        Statement::Directive { name: format!(".{}", stripped.to_ascii_lowercase()), operands }
+    } else {
+        Statement::Instruction { mnemonic: head.to_ascii_lowercase(), operands }
+    };
+    line.statement = Some(statement);
+    Ok(line)
+}
+
+fn parse_operands(text: &str, line_no: usize) -> Result<Vec<Operand>, Rv32Error> {
+    let text = text.trim();
+    if text.is_empty() {
+        return Ok(Vec::new());
+    }
+    text.split(',').map(|part| parse_operand(part.trim(), line_no)).collect()
+}
+
+fn parse_operand(text: &str, line_no: usize) -> Result<Operand, Rv32Error> {
+    if text.is_empty() {
+        return Err(err(line_no, "empty operand".to_string()));
+    }
+    // Memory operand `offset(base)` or `(base)`.
+    if let Some(open) = text.find('(') {
+        let close = text
+            .rfind(')')
+            .ok_or_else(|| err(line_no, format!("unterminated memory operand `{text}`")))?;
+        let offset_text = text[..open].trim();
+        let base_text = text[open + 1..close].trim();
+        let base = Reg::parse(base_text)
+            .ok_or_else(|| err(line_no, format!("unknown base register `{base_text}`")))?;
+        let offset = if offset_text.is_empty() {
+            Operand::Literal(0)
+        } else {
+            parse_scalar(offset_text, line_no)?
+        };
+        return Ok(Operand::Memory { offset: Box::new(offset), base });
+    }
+    if let Some(reg) = Reg::parse(text) {
+        return Ok(Operand::Reg(reg));
+    }
+    parse_scalar(text, line_no)
+}
+
+fn parse_scalar(text: &str, line_no: usize) -> Result<Operand, Rv32Error> {
+    if let Some(value) = parse_int(text) {
+        return Ok(Operand::Literal(value));
+    }
+    if is_identifier(text) {
+        return Ok(Operand::Symbol(text.to_string()));
+    }
+    Err(err(line_no, format!("cannot parse operand `{text}`")))
+}
+
+fn parse_int(text: &str) -> Option<i64> {
+    let (negative, digits) = match text.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, text.strip_prefix('+').unwrap_or(text)),
+    };
+    let value = if let Some(hex) = digits.strip_prefix("0x").or_else(|| digits.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).ok()?
+    } else if let Some(bin) = digits.strip_prefix("0b").or_else(|| digits.strip_prefix("0B")) {
+        i64::from_str_radix(bin, 2).ok()?
+    } else if digits.chars().all(|c| c.is_ascii_digit()) && !digits.is_empty() {
+        digits.parse().ok()?
+    } else {
+        return None;
+    };
+    Some(if negative { -value } else { value })
+}
+
+fn is_identifier(text: &str) -> bool {
+    let mut chars = text.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == '.' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '$')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blank_and_comment_lines() {
+        assert_eq!(parse_line("", 1).unwrap(), Line::default());
+        assert_eq!(parse_line("   # only a comment", 1).unwrap(), Line::default());
+        assert_eq!(parse_line("// slashes too", 1).unwrap(), Line::default());
+    }
+
+    #[test]
+    fn labels_and_instruction_on_one_line() {
+        let line = parse_line("loop: addi t0, t0, -1  # decrement", 1).unwrap();
+        assert_eq!(line.labels, vec!["loop".to_string()]);
+        match line.statement.unwrap() {
+            Statement::Instruction { mnemonic, operands } => {
+                assert_eq!(mnemonic, "addi");
+                assert_eq!(operands.len(), 3);
+                assert_eq!(operands[2], Operand::Literal(-1));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn memory_operands() {
+        let line = parse_line("lw ra, 12(sp)", 1).unwrap();
+        match line.statement.unwrap() {
+            Statement::Instruction { operands, .. } => {
+                assert_eq!(operands[0], Operand::Reg(Reg::RA));
+                assert_eq!(
+                    operands[1],
+                    Operand::Memory { offset: Box::new(Operand::Literal(12)), base: Reg::SP }
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let line = parse_line("lw a0, (a1)", 1).unwrap();
+        match line.statement.unwrap() {
+            Statement::Instruction { operands, .. } => {
+                assert_eq!(
+                    operands[1],
+                    Operand::Memory {
+                        offset: Box::new(Operand::Literal(0)),
+                        base: Reg::parse("a1").unwrap()
+                    }
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn directives_and_numbers() {
+        let line = parse_line(".word 0x10, 0b101, -3, label", 1).unwrap();
+        match line.statement.unwrap() {
+            Statement::Directive { name, operands } => {
+                assert_eq!(name, ".word");
+                assert_eq!(operands[0], Operand::Literal(16));
+                assert_eq!(operands[1], Operand::Literal(5));
+                assert_eq!(operands[2], Operand::Literal(-3));
+                assert_eq!(operands[3], Operand::Symbol("label".into()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_operands_are_rejected() {
+        assert!(parse_line("addi t0, t0, 1(", 3).is_err());
+        assert!(parse_line("lw a0, 4(bogus)", 3).is_err());
+        assert!(parse_line("addi t0, t0, 12abc", 3).is_err());
+    }
+
+    #[test]
+    fn label_only_line() {
+        let line = parse_line("main:", 1).unwrap();
+        assert_eq!(line.labels, vec!["main".to_string()]);
+        assert!(line.statement.is_none());
+    }
+}

@@ -1,0 +1,361 @@
+//! Translation of mnemonics (native and pseudo) into [`Instruction`]s.
+
+use super::parser::Operand;
+use super::{err, EmitContext};
+use crate::error::Rv32Error;
+use crate::isa::{AluImmOp, AluOp, BranchCond, Instruction, LoadWidth, Reg, StoreWidth};
+use std::collections::BTreeMap;
+
+/// Size in bytes the statement will occupy, used by pass 1 of the assembler.
+pub(crate) fn instruction_size(
+    mnemonic: &str,
+    operands: &[Operand],
+    line: usize,
+    equs: &BTreeMap<String, i64>,
+) -> Result<u32, Rv32Error> {
+    match mnemonic {
+        "li" => {
+            let imm = match operands.get(1) {
+                Some(Operand::Literal(v)) => *v,
+                Some(Operand::Symbol(s)) => *equs.get(s).ok_or_else(|| {
+                    err(line, format!("`li` needs a constant; use `la` for address `{s}`"))
+                })?,
+                _ => return Err(err(line, "li expects `rd, imm`".to_string())),
+            };
+            Ok(if fits_i12(imm) { 4 } else { 8 })
+        }
+        "la" => Ok(8),
+        _ => Ok(4),
+    }
+}
+
+/// Expands one statement into machine instructions, resolving symbols via `ctx`.
+pub(crate) fn expand(
+    mnemonic: &str,
+    operands: &[Operand],
+    pc: u32,
+    line: usize,
+    ctx: &EmitContext<'_>,
+) -> Result<Vec<Instruction>, Rv32Error> {
+    let ops = OperandReader { operands, line, ctx };
+    let single = |inst: Instruction| Ok(vec![inst]);
+
+    match mnemonic {
+        // --- register-register ALU -------------------------------------------------
+        "add" | "sub" | "sll" | "slt" | "sltu" | "xor" | "srl" | "sra" | "or" | "and" | "mul"
+        | "mulh" | "mulhsu" | "mulhu" | "div" | "divu" | "rem" | "remu" => {
+            let op = match mnemonic {
+                "add" => AluOp::Add,
+                "sub" => AluOp::Sub,
+                "sll" => AluOp::Sll,
+                "slt" => AluOp::Slt,
+                "sltu" => AluOp::Sltu,
+                "xor" => AluOp::Xor,
+                "srl" => AluOp::Srl,
+                "sra" => AluOp::Sra,
+                "or" => AluOp::Or,
+                "and" => AluOp::And,
+                "mul" => AluOp::Mul,
+                "mulh" => AluOp::Mulh,
+                "mulhsu" => AluOp::Mulhsu,
+                "mulhu" => AluOp::Mulhu,
+                "div" => AluOp::Div,
+                "divu" => AluOp::Divu,
+                "rem" => AluOp::Rem,
+                _ => AluOp::Remu,
+            };
+            ops.expect(3)?;
+            single(Instruction::Alu { op, rd: ops.reg(0)?, rs1: ops.reg(1)?, rs2: ops.reg(2)? })
+        }
+
+        // --- register-immediate ALU -------------------------------------------------
+        "addi" | "slti" | "sltiu" | "xori" | "ori" | "andi" | "slli" | "srli" | "srai" => {
+            let op = match mnemonic {
+                "addi" => AluImmOp::Addi,
+                "slti" => AluImmOp::Slti,
+                "sltiu" => AluImmOp::Sltiu,
+                "xori" => AluImmOp::Xori,
+                "ori" => AluImmOp::Ori,
+                "andi" => AluImmOp::Andi,
+                "slli" => AluImmOp::Slli,
+                "srli" => AluImmOp::Srli,
+                _ => AluImmOp::Srai,
+            };
+            ops.expect(3)?;
+            let imm = ops.imm(2)?;
+            let shift = matches!(op, AluImmOp::Slli | AluImmOp::Srli | AluImmOp::Srai);
+            if shift {
+                if !(0..=31).contains(&imm) {
+                    return Err(err(line, format!("shift amount {imm} out of range 0..=31")));
+                }
+            } else if !fits_i12(imm) {
+                return Err(err(line, format!("immediate {imm} does not fit in 12 bits")));
+            }
+            single(Instruction::AluImm { op, rd: ops.reg(0)?, rs1: ops.reg(1)?, imm: imm as i32 })
+        }
+
+        // --- loads / stores ----------------------------------------------------------
+        "lb" | "lh" | "lw" | "lbu" | "lhu" => {
+            let width = match mnemonic {
+                "lb" => LoadWidth::Byte,
+                "lh" => LoadWidth::Half,
+                "lw" => LoadWidth::Word,
+                "lbu" => LoadWidth::ByteUnsigned,
+                _ => LoadWidth::HalfUnsigned,
+            };
+            ops.expect(2)?;
+            let (offset, base) = ops.memory(1)?;
+            single(Instruction::Load { width, rd: ops.reg(0)?, rs1: base, offset: offset as i32 })
+        }
+        "sb" | "sh" | "sw" => {
+            let width = match mnemonic {
+                "sb" => StoreWidth::Byte,
+                "sh" => StoreWidth::Half,
+                _ => StoreWidth::Word,
+            };
+            ops.expect(2)?;
+            let (offset, base) = ops.memory(1)?;
+            single(Instruction::Store { width, rs2: ops.reg(0)?, rs1: base, offset: offset as i32 })
+        }
+
+        // --- conditional branches ----------------------------------------------------
+        "beq" | "bne" | "blt" | "bge" | "bltu" | "bgeu" => {
+            ops.expect(3)?;
+            let cond = branch_cond(mnemonic);
+            let offset = ops.branch_offset(2, pc)?;
+            single(Instruction::Branch { cond, rs1: ops.reg(0)?, rs2: ops.reg(1)?, offset })
+        }
+        "beqz" | "bnez" | "bltz" | "bgez" => {
+            ops.expect(2)?;
+            let cond = match mnemonic {
+                "beqz" => BranchCond::Eq,
+                "bnez" => BranchCond::Ne,
+                "bltz" => BranchCond::Lt,
+                _ => BranchCond::Ge,
+            };
+            let offset = ops.branch_offset(1, pc)?;
+            single(Instruction::Branch { cond, rs1: ops.reg(0)?, rs2: Reg::ZERO, offset })
+        }
+        "blez" | "bgtz" => {
+            ops.expect(2)?;
+            // blez rs => bge zero, rs ; bgtz rs => blt zero, rs
+            let cond = if mnemonic == "blez" { BranchCond::Ge } else { BranchCond::Lt };
+            let offset = ops.branch_offset(1, pc)?;
+            single(Instruction::Branch { cond, rs1: Reg::ZERO, rs2: ops.reg(0)?, offset })
+        }
+        "bgt" | "ble" | "bgtu" | "bleu" => {
+            ops.expect(3)?;
+            // bgt a, b => blt b, a   ble a, b => bge b, a  (and unsigned variants)
+            let cond = match mnemonic {
+                "bgt" => BranchCond::Lt,
+                "ble" => BranchCond::Ge,
+                "bgtu" => BranchCond::Ltu,
+                _ => BranchCond::Geu,
+            };
+            let offset = ops.branch_offset(2, pc)?;
+            single(Instruction::Branch { cond, rs1: ops.reg(1)?, rs2: ops.reg(0)?, offset })
+        }
+
+        // --- jumps --------------------------------------------------------------------
+        "jal" => match operands.len() {
+            1 => single(Instruction::Jal { rd: Reg::RA, offset: ops.jump_offset(0, pc)? }),
+            2 => single(Instruction::Jal { rd: ops.reg(0)?, offset: ops.jump_offset(1, pc)? }),
+            n => Err(err(line, format!("jal expects 1 or 2 operands, found {n}"))),
+        },
+        "j" => {
+            ops.expect(1)?;
+            single(Instruction::Jal { rd: Reg::ZERO, offset: ops.jump_offset(0, pc)? })
+        }
+        "call" => {
+            ops.expect(1)?;
+            single(Instruction::Jal { rd: Reg::RA, offset: ops.jump_offset(0, pc)? })
+        }
+        "tail" => {
+            ops.expect(1)?;
+            single(Instruction::Jal { rd: Reg::ZERO, offset: ops.jump_offset(0, pc)? })
+        }
+        "jalr" => match operands.len() {
+            1 => single(Instruction::Jalr { rd: Reg::RA, rs1: ops.reg(0)?, offset: 0 }),
+            2 => single(Instruction::Jalr { rd: ops.reg(0)?, rs1: ops.reg(1)?, offset: 0 }),
+            3 => {
+                let imm = ops.imm(2)?;
+                if !fits_i12(imm) {
+                    return Err(err(line, format!("jalr offset {imm} does not fit in 12 bits")));
+                }
+                single(Instruction::Jalr { rd: ops.reg(0)?, rs1: ops.reg(1)?, offset: imm as i32 })
+            }
+            n => Err(err(line, format!("jalr expects 1-3 operands, found {n}"))),
+        },
+        "jr" => {
+            ops.expect(1)?;
+            single(Instruction::Jalr { rd: Reg::ZERO, rs1: ops.reg(0)?, offset: 0 })
+        }
+        "ret" => {
+            ops.expect(0)?;
+            single(Instruction::Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 })
+        }
+
+        // --- other pseudo-instructions --------------------------------------------------
+        "nop" => single(Instruction::AluImm { op: AluImmOp::Addi, rd: Reg::ZERO, rs1: Reg::ZERO, imm: 0 }),
+        "mv" => {
+            ops.expect(2)?;
+            single(Instruction::AluImm { op: AluImmOp::Addi, rd: ops.reg(0)?, rs1: ops.reg(1)?, imm: 0 })
+        }
+        "not" => {
+            ops.expect(2)?;
+            single(Instruction::AluImm { op: AluImmOp::Xori, rd: ops.reg(0)?, rs1: ops.reg(1)?, imm: -1 })
+        }
+        "neg" => {
+            ops.expect(2)?;
+            single(Instruction::Alu { op: AluOp::Sub, rd: ops.reg(0)?, rs1: Reg::ZERO, rs2: ops.reg(1)? })
+        }
+        "seqz" => {
+            ops.expect(2)?;
+            single(Instruction::AluImm { op: AluImmOp::Sltiu, rd: ops.reg(0)?, rs1: ops.reg(1)?, imm: 1 })
+        }
+        "snez" => {
+            ops.expect(2)?;
+            single(Instruction::Alu { op: AluOp::Sltu, rd: ops.reg(0)?, rs1: Reg::ZERO, rs2: ops.reg(1)? })
+        }
+        "li" => {
+            ops.expect(2)?;
+            let imm = ops.imm(1)?;
+            Ok(load_immediate(ops.reg(0)?, imm))
+        }
+        "la" => {
+            ops.expect(2)?;
+            let addr = ops.imm(1)?;
+            let mut seq = load_immediate(ops.reg(0)?, addr);
+            // `la` always occupies 8 bytes (see pass 1); pad with the addi form.
+            if seq.len() == 1 {
+                let rd = ops.reg(0)?;
+                seq = vec![
+                    Instruction::Lui { rd, imm: lui_upper(addr) },
+                    Instruction::AluImm { op: AluImmOp::Addi, rd, rs1: rd, imm: addi_lower(addr) },
+                ];
+            }
+            Ok(seq)
+        }
+
+        // --- system ----------------------------------------------------------------------
+        "ecall" => single(Instruction::Ecall),
+        "ebreak" => single(Instruction::Ebreak),
+        "fence" => single(Instruction::Fence),
+
+        other => Err(err(line, format!("unknown mnemonic `{other}`"))),
+    }
+}
+
+fn branch_cond(mnemonic: &str) -> BranchCond {
+    match mnemonic {
+        "beq" => BranchCond::Eq,
+        "bne" => BranchCond::Ne,
+        "blt" => BranchCond::Lt,
+        "bge" => BranchCond::Ge,
+        "bltu" => BranchCond::Ltu,
+        _ => BranchCond::Geu,
+    }
+}
+
+fn fits_i12(value: i64) -> bool {
+    (-2048..=2047).contains(&value)
+}
+
+fn lui_upper(value: i64) -> i32 {
+    let value = value as i32;
+    let upper = (value.wrapping_add(0x800) as u32) & 0xffff_f000;
+    upper as i32
+}
+
+fn addi_lower(value: i64) -> i32 {
+    let value = value as i32;
+    value.wrapping_sub(lui_upper(value as i64))
+}
+
+/// Expands `li rd, imm` into one or two instructions.
+fn load_immediate(rd: Reg, imm: i64) -> Vec<Instruction> {
+    if fits_i12(imm) {
+        vec![Instruction::AluImm { op: AluImmOp::Addi, rd, rs1: Reg::ZERO, imm: imm as i32 }]
+    } else {
+        vec![
+            Instruction::Lui { rd, imm: lui_upper(imm) },
+            Instruction::AluImm { op: AluImmOp::Addi, rd, rs1: rd, imm: addi_lower(imm) },
+        ]
+    }
+}
+
+/// Helper for reading typed operands with consistent error reporting.
+struct OperandReader<'a> {
+    operands: &'a [Operand],
+    line: usize,
+    ctx: &'a EmitContext<'a>,
+}
+
+impl OperandReader<'_> {
+    fn expect(&self, count: usize) -> Result<(), Rv32Error> {
+        if self.operands.len() == count {
+            Ok(())
+        } else {
+            Err(err(
+                self.line,
+                format!("expected {count} operands, found {}", self.operands.len()),
+            ))
+        }
+    }
+
+    fn reg(&self, index: usize) -> Result<Reg, Rv32Error> {
+        match self.operands.get(index) {
+            Some(Operand::Reg(reg)) => Ok(*reg),
+            other => Err(err(self.line, format!("operand {index} must be a register, found {other:?}"))),
+        }
+    }
+
+    fn imm(&self, index: usize) -> Result<i64, Rv32Error> {
+        match self.operands.get(index) {
+            Some(op @ (Operand::Literal(_) | Operand::Symbol(_))) => self.ctx.resolve(op, self.line),
+            other => Err(err(self.line, format!("operand {index} must be an immediate, found {other:?}"))),
+        }
+    }
+
+    fn memory(&self, index: usize) -> Result<(i64, Reg), Rv32Error> {
+        match self.operands.get(index) {
+            Some(Operand::Memory { offset, base }) => {
+                let offset = self.ctx.resolve(offset, self.line)?;
+                if !fits_i12(offset) {
+                    return Err(err(self.line, format!("memory offset {offset} does not fit in 12 bits")));
+                }
+                Ok((offset, *base))
+            }
+            other => Err(err(
+                self.line,
+                format!("operand {index} must be a memory operand `offset(reg)`, found {other:?}"),
+            )),
+        }
+    }
+
+    /// Branch target → PC-relative offset with range/alignment checks.
+    fn branch_offset(&self, index: usize, pc: u32) -> Result<i32, Rv32Error> {
+        let target = self.imm(index)?;
+        let offset = target - i64::from(pc);
+        if offset % 2 != 0 {
+            return Err(err(self.line, format!("branch target {target:#x} is misaligned")));
+        }
+        if !(-4096..=4094).contains(&offset) {
+            return Err(err(self.line, format!("branch offset {offset} out of ±4 KiB range")));
+        }
+        Ok(offset as i32)
+    }
+
+    /// Jump target → PC-relative offset with range/alignment checks.
+    fn jump_offset(&self, index: usize, pc: u32) -> Result<i32, Rv32Error> {
+        let target = self.imm(index)?;
+        let offset = target - i64::from(pc);
+        if offset % 2 != 0 {
+            return Err(err(self.line, format!("jump target {target:#x} is misaligned")));
+        }
+        if !(-1_048_576..=1_048_574).contains(&offset) {
+            return Err(err(self.line, format!("jump offset {offset} out of ±1 MiB range")));
+        }
+        Ok(offset as i32)
+    }
+}

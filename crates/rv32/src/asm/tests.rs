@@ -1,0 +1,294 @@
+//! Assembler integration tests: assemble, run on the core and check results.
+
+use super::*;
+use crate::cpu::{Cpu, ExitReason};
+use crate::isa::Reg;
+use crate::trace::VecSink;
+
+fn run(source: &str) -> (Cpu, crate::cpu::ExitInfo) {
+    let program = assemble(source).expect("assemble");
+    let mut cpu = Cpu::new(&program).expect("load");
+    let exit = cpu.run(1_000_000).expect("run");
+    (cpu, exit)
+}
+
+#[test]
+fn quickstart_sum_loop() {
+    let (_, exit) = run(r#"
+        .text
+        main:
+            li   a0, 0
+            li   t0, 10
+        loop:
+            add  a0, a0, t0
+            addi t0, t0, -1
+            bnez t0, loop
+            ecall
+    "#);
+    assert_eq!(exit.reason, ExitReason::Ecall);
+    assert_eq!(exit.register_a0, 55);
+}
+
+#[test]
+fn call_ret_and_stack() {
+    let (_, exit) = run(r#"
+        .text
+        main:
+            addi sp, sp, -16
+            sw   ra, 12(sp)
+            li   a0, 4
+            call square
+            lw   ra, 12(sp)
+            addi sp, sp, 16
+            ecall
+        square:
+            mul  a0, a0, a0
+            ret
+    "#);
+    assert_eq!(exit.register_a0, 16);
+}
+
+#[test]
+fn data_section_word_and_la() {
+    let (_, exit) = run(r#"
+        .data
+        values:
+            .word 3, 5, 7, 11
+        .text
+        main:
+            la   t0, values
+            lw   a0, 0(t0)
+            lw   t1, 4(t0)
+            add  a0, a0, t1
+            lw   t1, 12(t0)
+            add  a0, a0, t1
+            ecall
+    "#);
+    assert_eq!(exit.register_a0, 3 + 5 + 11);
+}
+
+#[test]
+fn li_large_immediates() {
+    let (cpu, exit) = run(r#"
+        .text
+        main:
+            li   a0, 0x12345678
+            li   a1, -100000
+            li   a2, 2047
+            li   a3, -2048
+            ecall
+    "#);
+    assert_eq!(exit.register_a0, 0x1234_5678);
+    assert_eq!(cpu.reg(Reg::A1), (-100_000i32) as u32);
+    assert_eq!(cpu.reg(Reg::parse("a2").unwrap()), 2047);
+    assert_eq!(cpu.reg(Reg::parse("a3").unwrap()), (-2048i32) as u32);
+}
+
+#[test]
+fn equ_constants() {
+    let (_, exit) = run(r#"
+        .equ ITERATIONS, 6
+        .equ STEP, 2
+        .text
+        main:
+            li   a0, 0
+            li   t0, ITERATIONS
+        loop:
+            addi a0, a0, STEP
+            addi t0, t0, -1
+            bnez t0, loop
+            ecall
+    "#);
+    assert_eq!(exit.register_a0, 12);
+}
+
+#[test]
+fn branch_pseudo_ops() {
+    let (_, exit) = run(r#"
+        .text
+        main:
+            li   a0, 0
+            li   t0, 5
+            li   t1, 3
+            bgt  t0, t1, greater
+            li   a0, 111
+            ecall
+        greater:
+            ble  t1, t0, lesser
+            li   a0, 222
+            ecall
+        lesser:
+            li   a0, 42
+            ecall
+    "#);
+    assert_eq!(exit.register_a0, 42);
+}
+
+#[test]
+fn indirect_call_through_register() {
+    let (_, exit) = run(r#"
+        .text
+        main:
+            la   t1, target
+            jalr ra, t1, 0
+            ecall
+        target:
+            li   a0, 99
+            ret
+    "#);
+    assert_eq!(exit.register_a0, 99);
+}
+
+#[test]
+fn symbols_and_entry_point() {
+    let program = assemble(r#"
+        .text
+        helper:
+            ret
+        main:
+            li a0, 1
+            ecall
+    "#).unwrap();
+    // Entry point is `main`, not the first instruction.
+    assert_eq!(program.entry, program.symbol("main").unwrap());
+    assert!(program.symbol("helper").unwrap() < program.entry);
+}
+
+#[test]
+fn print_syscall_collects_console_output() {
+    let (cpu, _) = run(r#"
+        .text
+        main:
+            li   a7, 1
+            li   a0, 7
+            ecall
+            li   a0, 13
+            ecall
+            li   a7, 0
+            ecall
+    "#);
+    assert_eq!(cpu.console(), &[7, 13]);
+}
+
+#[test]
+fn trace_contains_expected_branch_count() {
+    let program = assemble(r#"
+        .text
+        main:
+            li   t0, 4
+        loop:
+            addi t0, t0, -1
+            bnez t0, loop
+            ecall
+    "#).unwrap();
+    let mut cpu = Cpu::new(&program).unwrap();
+    let mut sink = VecSink::new();
+    cpu.run_traced(10_000, &mut sink).unwrap();
+    // The loop branch executes 4 times: taken 3 times, not taken once.
+    let branches: Vec<_> = sink.events.iter().filter(|e| e.branch.is_some()).collect();
+    assert_eq!(branches.len(), 4);
+    assert_eq!(sink.taken_branches().count(), 3);
+}
+
+#[test]
+fn errors_report_line_numbers() {
+    let err = assemble(".text\nmain:\n    bogus t0, t1\n").unwrap_err();
+    match err {
+        Rv32Error::Assembly { line, message } => {
+            assert_eq!(line, 3);
+            assert!(message.contains("bogus"));
+        }
+        other => panic!("unexpected error {other:?}"),
+    }
+}
+
+#[test]
+fn duplicate_label_rejected() {
+    let err = assemble(".text\nx:\nx:\n    ecall\n").unwrap_err();
+    assert!(matches!(err, Rv32Error::Assembly { .. }));
+}
+
+#[test]
+fn undefined_symbol_rejected() {
+    let err = assemble(".text\nmain:\n    j nowhere\n").unwrap_err();
+    match err {
+        Rv32Error::Assembly { message, .. } => assert!(message.contains("nowhere")),
+        other => panic!("unexpected error {other:?}"),
+    }
+}
+
+#[test]
+fn branch_out_of_range_rejected() {
+    // Force a branch past the ±4 KiB window using .space inside .text.
+    let source = format!(
+        ".text\nmain:\n    beqz zero, far\n    .space {}\nfar:\n    ecall\n",
+        8192
+    );
+    let err = assemble(&source).unwrap_err();
+    match err {
+        Rv32Error::Assembly { message, .. } => assert!(message.contains("range")),
+        other => panic!("unexpected error {other:?}"),
+    }
+}
+
+#[test]
+fn immediate_out_of_range_rejected() {
+    assert!(assemble(".text\nmain:\n    addi a0, a0, 5000\n").is_err());
+    assert!(assemble(".text\nmain:\n    slli a0, a0, 33\n").is_err());
+}
+
+#[test]
+fn instruction_in_data_section_rejected() {
+    assert!(assemble(".data\n    addi a0, a0, 1\n").is_err());
+}
+
+#[test]
+fn empty_program_rejected() {
+    assert!(assemble("\n# nothing here\n").is_err());
+}
+
+#[test]
+fn custom_bases_via_builder() {
+    let program = Assembler::new()
+        .text_base(0x4000)
+        .data_base(0x18000)
+        .assemble(".data\nv: .word 9\n.text\nmain:\n    la t0, v\n    lw a0, 0(t0)\n    ecall\n")
+        .unwrap();
+    assert_eq!(program.text_base, 0x4000);
+    assert_eq!(program.symbol("v"), Some(0x18000));
+    let mut cpu = Cpu::new(&program).unwrap();
+    let exit = cpu.run(1000).unwrap();
+    assert_eq!(exit.register_a0, 9);
+}
+
+#[test]
+fn fibonacci_recursive() {
+    let (_, exit) = run(r#"
+        .text
+        main:
+            li   a0, 10
+            call fib
+            ecall
+        # fib(n): if n < 2 return n else fib(n-1) + fib(n-2)
+        fib:
+            li   t0, 2
+            blt  a0, t0, fib_base
+            addi sp, sp, -16
+            sw   ra, 12(sp)
+            sw   a0, 8(sp)
+            addi a0, a0, -1
+            call fib
+            sw   a0, 4(sp)
+            lw   a0, 8(sp)
+            addi a0, a0, -2
+            call fib
+            lw   t1, 4(sp)
+            add  a0, a0, t1
+            lw   ra, 12(sp)
+            addi sp, sp, 16
+            ret
+        fib_base:
+            ret
+    "#);
+    assert_eq!(exit.register_a0, 55);
+}

@@ -1,0 +1,154 @@
+//! Disassembly listings.
+//!
+//! The verifier and the evaluation tooling frequently need a human-readable view of
+//! an assembled workload: which instruction sits at which address, where the labels
+//! are, and which instructions are control-flow relevant (the ones the LO-FAT branch
+//! filter will intercept).  [`listing`] renders exactly that.
+
+use crate::isa::Instruction;
+use crate::program::Program;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One line of a disassembly listing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ListingLine {
+    /// Instruction address.
+    pub addr: u32,
+    /// Raw instruction word.
+    pub word: u32,
+    /// Decoded instruction (`None` for words that do not decode, e.g. literal pools).
+    pub inst: Option<Instruction>,
+    /// Labels defined at this address.
+    pub labels: Vec<String>,
+    /// Whether the LO-FAT branch filter would intercept this instruction.
+    pub is_control_flow: bool,
+}
+
+/// Produces the structured listing of a program's code segment.
+pub fn listing_lines(program: &Program) -> Vec<ListingLine> {
+    let mut labels_by_addr: BTreeMap<u32, Vec<String>> = BTreeMap::new();
+    for (name, &addr) in &program.symbols {
+        if addr >= program.text_base && addr < program.text_end() {
+            labels_by_addr.entry(addr).or_default().push(name.clone());
+        }
+    }
+    for labels in labels_by_addr.values_mut() {
+        labels.sort();
+    }
+
+    program
+        .text
+        .iter()
+        .enumerate()
+        .map(|(index, &word)| {
+            let addr = program.text_base + (index as u32) * 4;
+            let inst = Instruction::decode(word, addr).ok();
+            ListingLine {
+                addr,
+                word,
+                is_control_flow: inst.as_ref().map(Instruction::is_control_flow).unwrap_or(false),
+                inst,
+                labels: labels_by_addr.get(&addr).cloned().unwrap_or_default(),
+            }
+        })
+        .collect()
+}
+
+/// Renders a textual disassembly listing of the whole code segment.
+///
+/// Control-flow instructions (the ones LO-FAT intercepts) are marked with `*`.
+///
+/// # Example
+///
+/// ```
+/// use lofat_rv32::asm::assemble;
+/// use lofat_rv32::disasm::listing;
+///
+/// let program = assemble(".text\nmain:\n    li a0, 1\n    ecall\n")?;
+/// let text = listing(&program);
+/// assert!(text.contains("main:"));
+/// assert!(text.contains("ecall"));
+/// # Ok::<(), lofat_rv32::Rv32Error>(())
+/// ```
+pub fn listing(program: &Program) -> String {
+    let mut out = String::new();
+    for line in listing_lines(program) {
+        for label in &line.labels {
+            let _ = writeln!(out, "{label}:");
+        }
+        let marker = if line.is_control_flow { '*' } else { ' ' };
+        match &line.inst {
+            Some(inst) => {
+                let _ = writeln!(out, "  {:#010x}: {:08x} {marker} {inst}", line.addr, line.word);
+            }
+            None => {
+                let _ =
+                    writeln!(out, "  {:#010x}: {:08x} {marker} .word {:#x}", line.addr, line.word, line.word);
+            }
+        }
+    }
+    out
+}
+
+/// Counts the control-flow instructions of a program — the number of sites the
+/// LO-FAT branch filter watches (and the number of sites C-FLAT would instrument).
+pub fn control_flow_sites(program: &Program) -> usize {
+    program.iter_instructions().filter(|(_, inst)| inst.is_control_flow()).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    const SOURCE: &str = r#"
+        .text
+        main:
+            li   t0, 3
+        loop:
+            addi t0, t0, -1
+            bnez t0, loop
+            call helper
+            ecall
+        helper:
+            ret
+    "#;
+
+    #[test]
+    fn listing_contains_labels_addresses_and_mnemonics() {
+        let program = assemble(SOURCE).unwrap();
+        let text = listing(&program);
+        assert!(text.contains("main:"));
+        assert!(text.contains("loop:"));
+        assert!(text.contains("helper:"));
+        assert!(text.contains("ecall"));
+        assert!(text.contains("jal"));
+        // Control-flow marker appears for the branch and the call.
+        assert!(text.contains("* "));
+        // Every instruction appears once.
+        assert_eq!(text.lines().filter(|l| l.contains(": ")).count(), program.text.len());
+    }
+
+    #[test]
+    fn structured_lines_expose_control_flow_classification() {
+        let program = assemble(SOURCE).unwrap();
+        let lines = listing_lines(&program);
+        assert_eq!(lines.len(), program.text.len());
+        let cf = lines.iter().filter(|l| l.is_control_flow).count();
+        // bnez + call + ret = 3 control-flow sites (ecall terminates but is not a branch).
+        assert_eq!(cf, 3);
+        assert_eq!(control_flow_sites(&program), 3);
+        // Addresses are consecutive.
+        for pair in lines.windows(2) {
+            assert_eq!(pair[1].addr, pair[0].addr + 4);
+        }
+    }
+
+    #[test]
+    fn undecodable_words_are_rendered_as_data() {
+        let program = assemble(".text\nmain:\n    ecall\n    .word 0xffffffff\n").unwrap();
+        let text = listing(&program);
+        assert!(text.contains(".word 0xffffffff"));
+    }
+}

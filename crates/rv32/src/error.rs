@@ -1,0 +1,125 @@
+//! Error types for the RV32 substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the RV32 substrate (assembler, memory and CPU).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Rv32Error {
+    /// The assembler rejected the source program.
+    Assembly {
+        /// 1-based source line of the offending construct.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// An instruction word could not be decoded.
+    DecodeInvalid {
+        /// Program counter of the undecodable word.
+        pc: u32,
+        /// The raw instruction word.
+        word: u32,
+    },
+    /// A memory access touched an unmapped address.
+    MemoryUnmapped {
+        /// The faulting address.
+        addr: u32,
+        /// Size of the attempted access in bytes.
+        size: u32,
+    },
+    /// A memory access violated segment permissions (e.g. a store into the code segment).
+    MemoryPermission {
+        /// The faulting address.
+        addr: u32,
+        /// What the access attempted.
+        access: AccessKind,
+    },
+    /// A misaligned access or jump target.
+    Misaligned {
+        /// The misaligned address.
+        addr: u32,
+        /// Required alignment in bytes.
+        required: u32,
+    },
+    /// The CPU exceeded the caller-supplied cycle budget without exiting.
+    CycleLimitExceeded {
+        /// The budget that was exhausted.
+        limit: u64,
+    },
+    /// The program image is invalid (e.g. empty code segment or overlapping segments).
+    InvalidProgram {
+        /// Human-readable description of the problem.
+        message: String,
+    },
+}
+
+/// The kind of memory access that faulted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Data load.
+    Read,
+    /// Data store.
+    Write,
+    /// Instruction fetch.
+    Execute,
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessKind::Read => write!(f, "read"),
+            AccessKind::Write => write!(f, "write"),
+            AccessKind::Execute => write!(f, "execute"),
+        }
+    }
+}
+
+impl fmt::Display for Rv32Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rv32Error::Assembly { line, message } => {
+                write!(f, "assembly error at line {line}: {message}")
+            }
+            Rv32Error::DecodeInvalid { pc, word } => {
+                write!(f, "invalid instruction word {word:#010x} at pc {pc:#010x}")
+            }
+            Rv32Error::MemoryUnmapped { addr, size } => {
+                write!(f, "unmapped memory access of {size} bytes at {addr:#010x}")
+            }
+            Rv32Error::MemoryPermission { addr, access } => {
+                write!(f, "permission violation: {access} access at {addr:#010x}")
+            }
+            Rv32Error::Misaligned { addr, required } => {
+                write!(f, "misaligned access at {addr:#010x}, requires {required}-byte alignment")
+            }
+            Rv32Error::CycleLimitExceeded { limit } => {
+                write!(f, "cycle limit of {limit} exceeded without program exit")
+            }
+            Rv32Error::InvalidProgram { message } => write!(f, "invalid program: {message}"),
+        }
+    }
+}
+
+impl Error for Rv32Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_key_information() {
+        let e = Rv32Error::Assembly { line: 12, message: "unknown mnemonic `bogus`".into() };
+        assert!(e.to_string().contains("line 12"));
+        let e = Rv32Error::MemoryPermission { addr: 0x100, access: AccessKind::Write };
+        assert!(e.to_string().contains("write"));
+        let e = Rv32Error::CycleLimitExceeded { limit: 5 };
+        assert!(e.to_string().contains('5'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Rv32Error>();
+    }
+}

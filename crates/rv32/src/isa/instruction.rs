@@ -1,0 +1,860 @@
+//! RV32IM instruction representation, binary encoding and decoding.
+
+use super::reg::Reg;
+use crate::error::Rv32Error;
+use std::fmt;
+
+/// Major opcode of conditional branches.
+pub const OPCODE_BRANCH: u32 = 0b110_0011;
+/// Major opcode of `jal`.
+pub const OPCODE_JAL: u32 = 0b110_1111;
+/// Major opcode of `jalr`.
+pub const OPCODE_JALR: u32 = 0b110_0111;
+
+const OPCODE_OP: u32 = 0b011_0011;
+const OPCODE_OP_IMM: u32 = 0b001_0011;
+const OPCODE_LOAD: u32 = 0b000_0011;
+const OPCODE_STORE: u32 = 0b010_0011;
+const OPCODE_LUI: u32 = 0b011_0111;
+const OPCODE_AUIPC: u32 = 0b001_0111;
+const OPCODE_SYSTEM: u32 = 0b111_0011;
+const OPCODE_MISC_MEM: u32 = 0b000_1111;
+
+/// Register-register ALU operations (RV32I `OP` plus the M extension).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[allow(missing_docs)]
+pub enum AluOp {
+    Add,
+    Sub,
+    Sll,
+    Slt,
+    Sltu,
+    Xor,
+    Srl,
+    Sra,
+    Or,
+    And,
+    // M extension
+    Mul,
+    Mulh,
+    Mulhsu,
+    Mulhu,
+    Div,
+    Divu,
+    Rem,
+    Remu,
+}
+
+impl AluOp {
+    fn funct3(self) -> u32 {
+        match self {
+            AluOp::Add | AluOp::Sub | AluOp::Mul => 0b000,
+            AluOp::Sll | AluOp::Mulh => 0b001,
+            AluOp::Slt | AluOp::Mulhsu => 0b010,
+            AluOp::Sltu | AluOp::Mulhu => 0b011,
+            AluOp::Xor | AluOp::Div => 0b100,
+            AluOp::Srl | AluOp::Sra | AluOp::Divu => 0b101,
+            AluOp::Or | AluOp::Rem => 0b110,
+            AluOp::And | AluOp::Remu => 0b111,
+        }
+    }
+
+    fn funct7(self) -> u32 {
+        match self {
+            AluOp::Sub | AluOp::Sra => 0b010_0000,
+            AluOp::Mul
+            | AluOp::Mulh
+            | AluOp::Mulhsu
+            | AluOp::Mulhu
+            | AluOp::Div
+            | AluOp::Divu
+            | AluOp::Rem
+            | AluOp::Remu => 0b000_0001,
+            _ => 0,
+        }
+    }
+
+    /// Mnemonic as it appears in assembly.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::Sll => "sll",
+            AluOp::Slt => "slt",
+            AluOp::Sltu => "sltu",
+            AluOp::Xor => "xor",
+            AluOp::Srl => "srl",
+            AluOp::Sra => "sra",
+            AluOp::Or => "or",
+            AluOp::And => "and",
+            AluOp::Mul => "mul",
+            AluOp::Mulh => "mulh",
+            AluOp::Mulhsu => "mulhsu",
+            AluOp::Mulhu => "mulhu",
+            AluOp::Div => "div",
+            AluOp::Divu => "divu",
+            AluOp::Rem => "rem",
+            AluOp::Remu => "remu",
+        }
+    }
+
+    fn from_functs(funct3: u32, funct7: u32) -> Option<Self> {
+        match (funct7, funct3) {
+            (0b000_0000, 0b000) => Some(AluOp::Add),
+            (0b010_0000, 0b000) => Some(AluOp::Sub),
+            (0b000_0000, 0b001) => Some(AluOp::Sll),
+            (0b000_0000, 0b010) => Some(AluOp::Slt),
+            (0b000_0000, 0b011) => Some(AluOp::Sltu),
+            (0b000_0000, 0b100) => Some(AluOp::Xor),
+            (0b000_0000, 0b101) => Some(AluOp::Srl),
+            (0b010_0000, 0b101) => Some(AluOp::Sra),
+            (0b000_0000, 0b110) => Some(AluOp::Or),
+            (0b000_0000, 0b111) => Some(AluOp::And),
+            (0b000_0001, 0b000) => Some(AluOp::Mul),
+            (0b000_0001, 0b001) => Some(AluOp::Mulh),
+            (0b000_0001, 0b010) => Some(AluOp::Mulhsu),
+            (0b000_0001, 0b011) => Some(AluOp::Mulhu),
+            (0b000_0001, 0b100) => Some(AluOp::Div),
+            (0b000_0001, 0b101) => Some(AluOp::Divu),
+            (0b000_0001, 0b110) => Some(AluOp::Rem),
+            (0b000_0001, 0b111) => Some(AluOp::Remu),
+            _ => None,
+        }
+    }
+}
+
+/// Register-immediate ALU operations (RV32I `OP-IMM`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[allow(missing_docs)]
+pub enum AluImmOp {
+    Addi,
+    Slti,
+    Sltiu,
+    Xori,
+    Ori,
+    Andi,
+    Slli,
+    Srli,
+    Srai,
+}
+
+impl AluImmOp {
+    fn funct3(self) -> u32 {
+        match self {
+            AluImmOp::Addi => 0b000,
+            AluImmOp::Slti => 0b010,
+            AluImmOp::Sltiu => 0b011,
+            AluImmOp::Xori => 0b100,
+            AluImmOp::Ori => 0b110,
+            AluImmOp::Andi => 0b111,
+            AluImmOp::Slli => 0b001,
+            AluImmOp::Srli | AluImmOp::Srai => 0b101,
+        }
+    }
+
+    /// Mnemonic as it appears in assembly.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluImmOp::Addi => "addi",
+            AluImmOp::Slti => "slti",
+            AluImmOp::Sltiu => "sltiu",
+            AluImmOp::Xori => "xori",
+            AluImmOp::Ori => "ori",
+            AluImmOp::Andi => "andi",
+            AluImmOp::Slli => "slli",
+            AluImmOp::Srli => "srli",
+            AluImmOp::Srai => "srai",
+        }
+    }
+}
+
+/// Load access widths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[allow(missing_docs)]
+pub enum LoadWidth {
+    Byte,
+    Half,
+    Word,
+    ByteUnsigned,
+    HalfUnsigned,
+}
+
+impl LoadWidth {
+    fn funct3(self) -> u32 {
+        match self {
+            LoadWidth::Byte => 0b000,
+            LoadWidth::Half => 0b001,
+            LoadWidth::Word => 0b010,
+            LoadWidth::ByteUnsigned => 0b100,
+            LoadWidth::HalfUnsigned => 0b101,
+        }
+    }
+
+    /// Mnemonic as it appears in assembly.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            LoadWidth::Byte => "lb",
+            LoadWidth::Half => "lh",
+            LoadWidth::Word => "lw",
+            LoadWidth::ByteUnsigned => "lbu",
+            LoadWidth::HalfUnsigned => "lhu",
+        }
+    }
+
+    /// Access size in bytes.
+    pub fn bytes(self) -> u32 {
+        match self {
+            LoadWidth::Byte | LoadWidth::ByteUnsigned => 1,
+            LoadWidth::Half | LoadWidth::HalfUnsigned => 2,
+            LoadWidth::Word => 4,
+        }
+    }
+}
+
+/// Store access widths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[allow(missing_docs)]
+pub enum StoreWidth {
+    Byte,
+    Half,
+    Word,
+}
+
+impl StoreWidth {
+    fn funct3(self) -> u32 {
+        match self {
+            StoreWidth::Byte => 0b000,
+            StoreWidth::Half => 0b001,
+            StoreWidth::Word => 0b010,
+        }
+    }
+
+    /// Mnemonic as it appears in assembly.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            StoreWidth::Byte => "sb",
+            StoreWidth::Half => "sh",
+            StoreWidth::Word => "sw",
+        }
+    }
+
+    /// Access size in bytes.
+    pub fn bytes(self) -> u32 {
+        match self {
+            StoreWidth::Byte => 1,
+            StoreWidth::Half => 2,
+            StoreWidth::Word => 4,
+        }
+    }
+}
+
+/// Conditional-branch comparison conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[allow(missing_docs)]
+pub enum BranchCond {
+    Eq,
+    Ne,
+    Lt,
+    Ge,
+    Ltu,
+    Geu,
+}
+
+impl BranchCond {
+    fn funct3(self) -> u32 {
+        match self {
+            BranchCond::Eq => 0b000,
+            BranchCond::Ne => 0b001,
+            BranchCond::Lt => 0b100,
+            BranchCond::Ge => 0b101,
+            BranchCond::Ltu => 0b110,
+            BranchCond::Geu => 0b111,
+        }
+    }
+
+    /// Mnemonic as it appears in assembly.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BranchCond::Eq => "beq",
+            BranchCond::Ne => "bne",
+            BranchCond::Lt => "blt",
+            BranchCond::Ge => "bge",
+            BranchCond::Ltu => "bltu",
+            BranchCond::Geu => "bgeu",
+        }
+    }
+
+    /// Evaluates the condition on two register values.
+    pub fn evaluate(self, lhs: u32, rhs: u32) -> bool {
+        match self {
+            BranchCond::Eq => lhs == rhs,
+            BranchCond::Ne => lhs != rhs,
+            BranchCond::Lt => (lhs as i32) < (rhs as i32),
+            BranchCond::Ge => (lhs as i32) >= (rhs as i32),
+            BranchCond::Ltu => lhs < rhs,
+            BranchCond::Geu => lhs >= rhs,
+        }
+    }
+}
+
+/// A decoded RV32IM instruction.
+///
+/// Immediates are stored sign-extended as `i32` (shift amounts as their 5-bit value).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Instruction {
+    /// Register-register ALU operation (`add`, `sub`, …, `mul`, `rem`).
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination register.
+        rd: Reg,
+        /// First source register.
+        rs1: Reg,
+        /// Second source register.
+        rs2: Reg,
+    },
+    /// Register-immediate ALU operation (`addi`, `andi`, `slli`, …).
+    AluImm {
+        /// Operation.
+        op: AluImmOp,
+        /// Destination register.
+        rd: Reg,
+        /// Source register.
+        rs1: Reg,
+        /// Sign-extended immediate (shift amount for shifts).
+        imm: i32,
+    },
+    /// Memory load.
+    Load {
+        /// Access width / signedness.
+        width: LoadWidth,
+        /// Destination register.
+        rd: Reg,
+        /// Base address register.
+        rs1: Reg,
+        /// Sign-extended byte offset.
+        offset: i32,
+    },
+    /// Memory store.
+    Store {
+        /// Access width.
+        width: StoreWidth,
+        /// Value register.
+        rs2: Reg,
+        /// Base address register.
+        rs1: Reg,
+        /// Sign-extended byte offset.
+        offset: i32,
+    },
+    /// Conditional branch, PC-relative.
+    Branch {
+        /// Comparison condition.
+        cond: BranchCond,
+        /// First comparison register.
+        rs1: Reg,
+        /// Second comparison register.
+        rs2: Reg,
+        /// Sign-extended byte offset from the branch instruction.
+        offset: i32,
+    },
+    /// Load upper immediate.
+    Lui {
+        /// Destination register.
+        rd: Reg,
+        /// The 20-bit immediate, already shifted into bits 31:12.
+        imm: i32,
+    },
+    /// Add upper immediate to PC.
+    Auipc {
+        /// Destination register.
+        rd: Reg,
+        /// The 20-bit immediate, already shifted into bits 31:12.
+        imm: i32,
+    },
+    /// Jump and link (direct, PC-relative).
+    Jal {
+        /// Link register (x0 for plain jumps).
+        rd: Reg,
+        /// Sign-extended byte offset from the jump instruction.
+        offset: i32,
+    },
+    /// Jump and link register (indirect).
+    Jalr {
+        /// Link register (x0 for plain indirect jumps / returns).
+        rd: Reg,
+        /// Base register holding the target address.
+        rs1: Reg,
+        /// Sign-extended byte offset.
+        offset: i32,
+    },
+    /// Environment call (used by the simulator for program exit and host services).
+    Ecall,
+    /// Breakpoint.
+    Ebreak,
+    /// Memory fence (modelled as a no-op by the in-order core).
+    Fence,
+}
+
+impl Instruction {
+    /// Encodes the instruction into its 32-bit binary representation.
+    pub fn encode(&self) -> u32 {
+        match *self {
+            Instruction::Alu { op, rd, rs1, rs2 } => {
+                encode_r(OPCODE_OP, rd, op.funct3(), rs1, rs2, op.funct7())
+            }
+            Instruction::AluImm { op, rd, rs1, imm } => {
+                let imm = match op {
+                    AluImmOp::Slli | AluImmOp::Srli => imm & 0x1f,
+                    AluImmOp::Srai => (imm & 0x1f) | (0b010_0000 << 5),
+                    _ => imm & 0xfff,
+                };
+                encode_i(OPCODE_OP_IMM, rd, op.funct3(), rs1, imm)
+            }
+            Instruction::Load { width, rd, rs1, offset } => {
+                encode_i(OPCODE_LOAD, rd, width.funct3(), rs1, offset & 0xfff)
+            }
+            Instruction::Store { width, rs2, rs1, offset } => {
+                encode_s(OPCODE_STORE, width.funct3(), rs1, rs2, offset)
+            }
+            Instruction::Branch { cond, rs1, rs2, offset } => {
+                encode_b(OPCODE_BRANCH, cond.funct3(), rs1, rs2, offset)
+            }
+            Instruction::Lui { rd, imm } => encode_u(OPCODE_LUI, rd, imm),
+            Instruction::Auipc { rd, imm } => encode_u(OPCODE_AUIPC, rd, imm),
+            Instruction::Jal { rd, offset } => encode_j(OPCODE_JAL, rd, offset),
+            Instruction::Jalr { rd, rs1, offset } => {
+                encode_i(OPCODE_JALR, rd, 0b000, rs1, offset & 0xfff)
+            }
+            Instruction::Ecall => OPCODE_SYSTEM,
+            Instruction::Ebreak => OPCODE_SYSTEM | (1 << 20),
+            Instruction::Fence => OPCODE_MISC_MEM,
+        }
+    }
+
+    /// Decodes a 32-bit instruction word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Rv32Error::DecodeInvalid`] for encodings outside the supported
+    /// RV32IM subset; `pc` is only used for error reporting.
+    pub fn decode(word: u32, pc: u32) -> Result<Self, Rv32Error> {
+        let opcode = word & 0x7f;
+        let rd = Reg::new(((word >> 7) & 0x1f) as u8);
+        let rs1 = Reg::new(((word >> 15) & 0x1f) as u8);
+        let rs2 = Reg::new(((word >> 20) & 0x1f) as u8);
+        let funct3 = (word >> 12) & 0x7;
+        let funct7 = (word >> 25) & 0x7f;
+        let invalid = || Rv32Error::DecodeInvalid { pc, word };
+
+        let inst = match opcode {
+            OPCODE_OP => {
+                let op = AluOp::from_functs(funct3, funct7).ok_or_else(invalid)?;
+                Instruction::Alu { op, rd, rs1, rs2 }
+            }
+            OPCODE_OP_IMM => {
+                let imm = imm_i(word);
+                let op = match funct3 {
+                    0b000 => AluImmOp::Addi,
+                    0b010 => AluImmOp::Slti,
+                    0b011 => AluImmOp::Sltiu,
+                    0b100 => AluImmOp::Xori,
+                    0b110 => AluImmOp::Ori,
+                    0b111 => AluImmOp::Andi,
+                    0b001 => AluImmOp::Slli,
+                    0b101 => {
+                        if funct7 == 0b010_0000 {
+                            AluImmOp::Srai
+                        } else if funct7 == 0 {
+                            AluImmOp::Srli
+                        } else {
+                            return Err(invalid());
+                        }
+                    }
+                    _ => return Err(invalid()),
+                };
+                let imm = match op {
+                    AluImmOp::Slli | AluImmOp::Srli | AluImmOp::Srai => imm & 0x1f,
+                    _ => imm,
+                };
+                Instruction::AluImm { op, rd, rs1, imm }
+            }
+            OPCODE_LOAD => {
+                let width = match funct3 {
+                    0b000 => LoadWidth::Byte,
+                    0b001 => LoadWidth::Half,
+                    0b010 => LoadWidth::Word,
+                    0b100 => LoadWidth::ByteUnsigned,
+                    0b101 => LoadWidth::HalfUnsigned,
+                    _ => return Err(invalid()),
+                };
+                Instruction::Load { width, rd, rs1, offset: imm_i(word) }
+            }
+            OPCODE_STORE => {
+                let width = match funct3 {
+                    0b000 => StoreWidth::Byte,
+                    0b001 => StoreWidth::Half,
+                    0b010 => StoreWidth::Word,
+                    _ => return Err(invalid()),
+                };
+                Instruction::Store { width, rs2, rs1, offset: imm_s(word) }
+            }
+            OPCODE_BRANCH => {
+                let cond = match funct3 {
+                    0b000 => BranchCond::Eq,
+                    0b001 => BranchCond::Ne,
+                    0b100 => BranchCond::Lt,
+                    0b101 => BranchCond::Ge,
+                    0b110 => BranchCond::Ltu,
+                    0b111 => BranchCond::Geu,
+                    _ => return Err(invalid()),
+                };
+                Instruction::Branch { cond, rs1, rs2, offset: imm_b(word) }
+            }
+            OPCODE_LUI => Instruction::Lui { rd, imm: (word & 0xffff_f000) as i32 },
+            OPCODE_AUIPC => Instruction::Auipc { rd, imm: (word & 0xffff_f000) as i32 },
+            OPCODE_JAL => Instruction::Jal { rd, offset: imm_j(word) },
+            OPCODE_JALR => {
+                if funct3 != 0 {
+                    return Err(invalid());
+                }
+                Instruction::Jalr { rd, rs1, offset: imm_i(word) }
+            }
+            OPCODE_SYSTEM => match word >> 20 {
+                0 => Instruction::Ecall,
+                1 => Instruction::Ebreak,
+                _ => return Err(invalid()),
+            },
+            OPCODE_MISC_MEM => Instruction::Fence,
+            _ => return Err(invalid()),
+        };
+        Ok(inst)
+    }
+
+    /// Returns `true` for instructions that can redirect control flow
+    /// (conditional branches, `jal`, `jalr`).
+    pub fn is_control_flow(&self) -> bool {
+        matches!(
+            self,
+            Instruction::Branch { .. } | Instruction::Jal { .. } | Instruction::Jalr { .. }
+        )
+    }
+
+    /// Returns `true` if the instruction writes a link register when jumping,
+    /// i.e. it is a subroutine call in the RISC-V calling convention.
+    pub fn is_linking(&self) -> bool {
+        match self {
+            Instruction::Jal { rd, .. } | Instruction::Jalr { rd, .. } => rd.is_link(),
+            _ => false,
+        }
+    }
+
+    /// Returns `true` for `jalr` instructions that look like function returns
+    /// (`jalr x0, ra/t0, 0`).
+    pub fn is_return(&self) -> bool {
+        matches!(
+            self,
+            Instruction::Jalr { rd, rs1, .. } if rd.is_zero() && rs1.is_link()
+        )
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Instruction::Alu { op, rd, rs1, rs2 } => {
+                write!(f, "{} {}, {}, {}", op.mnemonic(), rd, rs1, rs2)
+            }
+            Instruction::AluImm { op, rd, rs1, imm } => {
+                write!(f, "{} {}, {}, {}", op.mnemonic(), rd, rs1, imm)
+            }
+            Instruction::Load { width, rd, rs1, offset } => {
+                write!(f, "{} {}, {}({})", width.mnemonic(), rd, offset, rs1)
+            }
+            Instruction::Store { width, rs2, rs1, offset } => {
+                write!(f, "{} {}, {}({})", width.mnemonic(), rs2, offset, rs1)
+            }
+            Instruction::Branch { cond, rs1, rs2, offset } => {
+                write!(f, "{} {}, {}, {}", cond.mnemonic(), rs1, rs2, offset)
+            }
+            Instruction::Lui { rd, imm } => write!(f, "lui {}, {:#x}", rd, (imm as u32) >> 12),
+            Instruction::Auipc { rd, imm } => write!(f, "auipc {}, {:#x}", rd, (imm as u32) >> 12),
+            Instruction::Jal { rd, offset } => write!(f, "jal {rd}, {offset}"),
+            Instruction::Jalr { rd, rs1, offset } => write!(f, "jalr {rd}, {rs1}, {offset}"),
+            Instruction::Ecall => write!(f, "ecall"),
+            Instruction::Ebreak => write!(f, "ebreak"),
+            Instruction::Fence => write!(f, "fence"),
+        }
+    }
+}
+
+fn encode_r(opcode: u32, rd: Reg, funct3: u32, rs1: Reg, rs2: Reg, funct7: u32) -> u32 {
+    opcode
+        | ((rd.index() as u32) << 7)
+        | (funct3 << 12)
+        | ((rs1.index() as u32) << 15)
+        | ((rs2.index() as u32) << 20)
+        | (funct7 << 25)
+}
+
+fn encode_i(opcode: u32, rd: Reg, funct3: u32, rs1: Reg, imm: i32) -> u32 {
+    opcode
+        | ((rd.index() as u32) << 7)
+        | (funct3 << 12)
+        | ((rs1.index() as u32) << 15)
+        | (((imm as u32) & 0xfff) << 20)
+}
+
+fn encode_s(opcode: u32, funct3: u32, rs1: Reg, rs2: Reg, offset: i32) -> u32 {
+    let imm = offset as u32;
+    opcode
+        | ((imm & 0x1f) << 7)
+        | (funct3 << 12)
+        | ((rs1.index() as u32) << 15)
+        | ((rs2.index() as u32) << 20)
+        | (((imm >> 5) & 0x7f) << 25)
+}
+
+fn encode_b(opcode: u32, funct3: u32, rs1: Reg, rs2: Reg, offset: i32) -> u32 {
+    let imm = offset as u32;
+    opcode
+        | (((imm >> 11) & 0x1) << 7)
+        | (((imm >> 1) & 0xf) << 8)
+        | (funct3 << 12)
+        | ((rs1.index() as u32) << 15)
+        | ((rs2.index() as u32) << 20)
+        | (((imm >> 5) & 0x3f) << 25)
+        | (((imm >> 12) & 0x1) << 31)
+}
+
+fn encode_u(opcode: u32, rd: Reg, imm: i32) -> u32 {
+    opcode | ((rd.index() as u32) << 7) | ((imm as u32) & 0xffff_f000)
+}
+
+fn encode_j(opcode: u32, rd: Reg, offset: i32) -> u32 {
+    let imm = offset as u32;
+    opcode
+        | ((rd.index() as u32) << 7)
+        | (((imm >> 12) & 0xff) << 12)
+        | (((imm >> 11) & 0x1) << 20)
+        | (((imm >> 1) & 0x3ff) << 21)
+        | (((imm >> 20) & 0x1) << 31)
+}
+
+fn imm_i(word: u32) -> i32 {
+    (word as i32) >> 20
+}
+
+fn imm_s(word: u32) -> i32 {
+    let hi = ((word as i32) >> 25) << 5;
+    let lo = ((word >> 7) & 0x1f) as i32;
+    hi | lo
+}
+
+fn imm_b(word: u32) -> i32 {
+    let sign = ((word as i32) >> 31) << 12;
+    let b11 = (((word >> 7) & 0x1) << 11) as i32;
+    let b10_5 = (((word >> 25) & 0x3f) << 5) as i32;
+    let b4_1 = (((word >> 8) & 0xf) << 1) as i32;
+    sign | b11 | b10_5 | b4_1
+}
+
+fn imm_j(word: u32) -> i32 {
+    let sign = ((word as i32) >> 31) << 20;
+    let b19_12 = (((word >> 12) & 0xff) << 12) as i32;
+    let b11 = (((word >> 20) & 0x1) << 11) as i32;
+    let b10_1 = (((word >> 21) & 0x3ff) << 1) as i32;
+    sign | b19_12 | b11 | b10_1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(inst: Instruction) {
+        let word = inst.encode();
+        let decoded = Instruction::decode(word, 0).expect("decode");
+        assert_eq!(inst, decoded, "word {word:#010x}");
+    }
+
+    #[test]
+    fn alu_roundtrips() {
+        let ops = [
+            AluOp::Add,
+            AluOp::Sub,
+            AluOp::Sll,
+            AluOp::Slt,
+            AluOp::Sltu,
+            AluOp::Xor,
+            AluOp::Srl,
+            AluOp::Sra,
+            AluOp::Or,
+            AluOp::And,
+            AluOp::Mul,
+            AluOp::Mulh,
+            AluOp::Mulhsu,
+            AluOp::Mulhu,
+            AluOp::Div,
+            AluOp::Divu,
+            AluOp::Rem,
+            AluOp::Remu,
+        ];
+        for op in ops {
+            roundtrip(Instruction::Alu { op, rd: Reg::new(5), rs1: Reg::new(6), rs2: Reg::new(7) });
+        }
+    }
+
+    #[test]
+    fn alu_imm_roundtrips() {
+        let ops = [
+            (AluImmOp::Addi, -2048),
+            (AluImmOp::Addi, 2047),
+            (AluImmOp::Slti, -1),
+            (AluImmOp::Sltiu, 100),
+            (AluImmOp::Xori, -1),
+            (AluImmOp::Ori, 0x7ff),
+            (AluImmOp::Andi, 0xff),
+            (AluImmOp::Slli, 31),
+            (AluImmOp::Srli, 1),
+            (AluImmOp::Srai, 17),
+        ];
+        for (op, imm) in ops {
+            roundtrip(Instruction::AluImm { op, rd: Reg::new(1), rs1: Reg::new(2), imm });
+        }
+    }
+
+    #[test]
+    fn memory_roundtrips() {
+        for width in [
+            LoadWidth::Byte,
+            LoadWidth::Half,
+            LoadWidth::Word,
+            LoadWidth::ByteUnsigned,
+            LoadWidth::HalfUnsigned,
+        ] {
+            roundtrip(Instruction::Load { width, rd: Reg::new(3), rs1: Reg::new(4), offset: -16 });
+        }
+        for width in [StoreWidth::Byte, StoreWidth::Half, StoreWidth::Word] {
+            roundtrip(Instruction::Store {
+                width,
+                rs2: Reg::new(8),
+                rs1: Reg::new(2),
+                offset: 2047,
+            });
+        }
+    }
+
+    #[test]
+    fn branch_and_jump_roundtrips() {
+        for cond in [
+            BranchCond::Eq,
+            BranchCond::Ne,
+            BranchCond::Lt,
+            BranchCond::Ge,
+            BranchCond::Ltu,
+            BranchCond::Geu,
+        ] {
+            roundtrip(Instruction::Branch {
+                cond,
+                rs1: Reg::new(10),
+                rs2: Reg::new(11),
+                offset: -4096,
+            });
+            roundtrip(Instruction::Branch { cond, rs1: Reg::new(0), rs2: Reg::new(31), offset: 4094 });
+        }
+        roundtrip(Instruction::Jal { rd: Reg::RA, offset: -1048576 });
+        roundtrip(Instruction::Jal { rd: Reg::ZERO, offset: 1048574 });
+        roundtrip(Instruction::Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 });
+        roundtrip(Instruction::Jalr { rd: Reg::RA, rs1: Reg::new(6), offset: -4 });
+    }
+
+    #[test]
+    fn upper_imm_and_system_roundtrips() {
+        roundtrip(Instruction::Lui { rd: Reg::new(15), imm: 0x12345 << 12 });
+        roundtrip(Instruction::Auipc { rd: Reg::new(15), imm: (0xfffff_u32 << 12) as i32 });
+        roundtrip(Instruction::Ecall);
+        roundtrip(Instruction::Ebreak);
+        roundtrip(Instruction::Fence);
+    }
+
+    #[test]
+    fn known_encoding_addi() {
+        // addi sp, sp, -16  =>  0xff010113 (standard example from the paper's Fig. 3 listing)
+        let inst = Instruction::AluImm {
+            op: AluImmOp::Addi,
+            rd: Reg::SP,
+            rs1: Reg::SP,
+            imm: -16,
+        };
+        assert_eq!(inst.encode(), 0xff01_0113);
+    }
+
+    #[test]
+    fn known_encoding_sw_and_lw() {
+        // sw ra, 12(sp) => 0x00112623 ; lw ra, 12(sp) => 0x00c12083
+        let sw = Instruction::Store {
+            width: StoreWidth::Word,
+            rs2: Reg::RA,
+            rs1: Reg::SP,
+            offset: 12,
+        };
+        assert_eq!(sw.encode(), 0x0011_2623);
+        let lw =
+            Instruction::Load { width: LoadWidth::Word, rd: Reg::RA, rs1: Reg::SP, offset: 12 };
+        assert_eq!(lw.encode(), 0x00c1_2083);
+    }
+
+    #[test]
+    fn known_encoding_ret() {
+        // jalr zero, ra, 0 => 0x00008067
+        let ret = Instruction::Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 };
+        assert_eq!(ret.encode(), 0x0000_8067);
+        assert!(ret.is_return());
+        assert!(!ret.is_linking());
+    }
+
+    #[test]
+    fn control_flow_classification() {
+        let call = Instruction::Jal { rd: Reg::RA, offset: 64 };
+        assert!(call.is_control_flow() && call.is_linking() && !call.is_return());
+        let jump = Instruction::Jal { rd: Reg::ZERO, offset: -8 };
+        assert!(jump.is_control_flow() && !jump.is_linking());
+        let add = Instruction::Alu {
+            op: AluOp::Add,
+            rd: Reg::A0,
+            rs1: Reg::A0,
+            rs2: Reg::A1,
+        };
+        assert!(!add.is_control_flow());
+    }
+
+    #[test]
+    fn invalid_words_rejected() {
+        assert!(Instruction::decode(0xffff_ffff, 0x40).is_err());
+        assert!(Instruction::decode(0x0000_0000, 0x40).is_err());
+        // SYSTEM with unsupported funct12.
+        assert!(Instruction::decode(OPCODE_SYSTEM | (5 << 20), 0).is_err());
+    }
+
+    #[test]
+    fn branch_condition_evaluation() {
+        assert!(BranchCond::Eq.evaluate(5, 5));
+        assert!(BranchCond::Ne.evaluate(5, 6));
+        assert!(BranchCond::Lt.evaluate((-1i32) as u32, 0));
+        assert!(!BranchCond::Ltu.evaluate((-1i32) as u32, 0));
+        assert!(BranchCond::Ge.evaluate(0, (-1i32) as u32));
+        assert!(BranchCond::Geu.evaluate((-1i32) as u32, 7));
+    }
+
+    #[test]
+    fn display_formats_reasonably() {
+        let inst = Instruction::Load { width: LoadWidth::Word, rd: Reg::RA, rs1: Reg::SP, offset: 12 };
+        assert_eq!(inst.to_string(), "lw ra, 12(sp)");
+        let inst = Instruction::Branch {
+            cond: BranchCond::Ne,
+            rs1: Reg::T0,
+            rs2: Reg::ZERO,
+            offset: -8,
+        };
+        assert_eq!(inst.to_string(), "bne t0, zero, -8");
+    }
+}

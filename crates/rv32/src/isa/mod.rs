@@ -1,0 +1,17 @@
+//! The RV32IM instruction set: registers, instruction representation, binary
+//! encode/decode and disassembly.
+//!
+//! The representation is deliberately structured by *format class* (ALU, ALU-immediate,
+//! load, store, branch, …) rather than one enum variant per mnemonic: the LO-FAT branch
+//! filter and the CFG analysis only ever dispatch on the class and on a handful of
+//! operand properties (does it link? is it backward? is it indirect?), so the grouped
+//! shape keeps that logic small and exhaustive.
+
+mod instruction;
+mod reg;
+
+pub use instruction::{
+    AluImmOp, AluOp, BranchCond, Instruction, LoadWidth, StoreWidth, OPCODE_BRANCH, OPCODE_JAL,
+    OPCODE_JALR,
+};
+pub use reg::Reg;

@@ -1,0 +1,142 @@
+//! RV32 integer registers.
+
+use std::fmt;
+
+/// One of the 32 RV32 integer registers.
+///
+/// The newtype guarantees the register index is always in `0..32` and provides the
+/// standard ABI names used by the assembler and disassembler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The hard-wired zero register `x0`.
+    pub const ZERO: Reg = Reg(0);
+    /// The return-address (link) register `x1`/`ra`.
+    pub const RA: Reg = Reg(1);
+    /// The stack pointer `x2`/`sp`.
+    pub const SP: Reg = Reg(2);
+    /// The global pointer `x3`/`gp`.
+    pub const GP: Reg = Reg(3);
+    /// The thread pointer `x4`/`tp`.
+    pub const TP: Reg = Reg(4);
+    /// Temporary `t0`/`x5` — the alternate link register of the RISC-V ABI.
+    pub const T0: Reg = Reg(5);
+    /// Argument/return register `a0`/`x10`.
+    pub const A0: Reg = Reg(10);
+    /// Argument register `a1`/`x11`.
+    pub const A1: Reg = Reg(11);
+    /// Argument register `a7`/`x17` (system-call number by convention).
+    pub const A7: Reg = Reg(17);
+
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    pub fn new(index: u8) -> Self {
+        assert!(index < 32, "register index {index} out of range");
+        Reg(index)
+    }
+
+    /// Creates a register from its index, returning `None` when out of range.
+    pub fn try_new(index: u8) -> Option<Self> {
+        (index < 32).then_some(Reg(index))
+    }
+
+    /// Returns the register index in `0..32`.
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+
+    /// Returns `true` for the hard-wired zero register.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns `true` if this register is a link register per the RISC-V calling
+    /// convention (`ra`/`x1` or the alternate link register `t0`/`x5`).
+    ///
+    /// The LO-FAT branch filter uses this property to distinguish subroutine calls
+    /// from plain jumps when detecting loops (§5.1).
+    pub fn is_link(self) -> bool {
+        self.0 == 1 || self.0 == 5
+    }
+
+    /// Returns the ABI name (`zero`, `ra`, `sp`, `a0`, …).
+    pub fn abi_name(self) -> &'static str {
+        const NAMES: [&str; 32] = [
+            "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3",
+            "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+            "t3", "t4", "t5", "t6",
+        ];
+        NAMES[self.index()]
+    }
+
+    /// Parses a register name: either `x<N>` or an ABI name (including `fp` for `s0`).
+    pub fn parse(name: &str) -> Option<Self> {
+        let name = name.trim();
+        if let Some(num) = name.strip_prefix('x') {
+            if let Ok(idx) = num.parse::<u8>() {
+                return Reg::try_new(idx);
+            }
+        }
+        if name == "fp" {
+            return Some(Reg(8));
+        }
+        (0u8..32).map(Reg).find(|r| r.abi_name() == name)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abi_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abi_names_roundtrip_through_parse() {
+        for idx in 0..32u8 {
+            let reg = Reg::new(idx);
+            assert_eq!(Reg::parse(reg.abi_name()), Some(reg));
+            assert_eq!(Reg::parse(&format!("x{idx}")), Some(reg));
+        }
+    }
+
+    #[test]
+    fn fp_is_s0() {
+        assert_eq!(Reg::parse("fp"), Reg::parse("s0"));
+        assert_eq!(Reg::parse("fp").unwrap().index(), 8);
+    }
+
+    #[test]
+    fn link_registers() {
+        assert!(Reg::RA.is_link());
+        assert!(Reg::T0.is_link());
+        assert!(!Reg::A0.is_link());
+        assert!(!Reg::ZERO.is_link());
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert!(Reg::try_new(32).is_none());
+        assert!(Reg::parse("x32").is_none());
+        assert!(Reg::parse("bogus").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_panics_out_of_range() {
+        let _ = Reg::new(40);
+    }
+
+    #[test]
+    fn display_uses_abi_name() {
+        assert_eq!(Reg::A0.to_string(), "a0");
+        assert_eq!(Reg::ZERO.to_string(), "zero");
+    }
+}

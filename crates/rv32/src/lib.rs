@@ -1,0 +1,63 @@
+//! RV32IM instruction-set simulator substrate for the LO-FAT reproduction.
+//!
+//! The LO-FAT prototype (Dessouky et al., DAC 2017) attaches its attestation engine
+//! to the trace port of a Pulpino RV32 core: per clock cycle the engine observes the
+//! retired program counter, the executed instruction and the branch outcome.  This
+//! crate provides the equivalent software substrate:
+//!
+//! * [`isa`] — the RV32IM instruction set: registers, instruction representation,
+//!   binary encode/decode and disassembly;
+//! * [`asm`] — a two-pass assembler for a practical subset of the GNU `as` RISC-V
+//!   syntax (labels, common directives and pseudo-instructions), used to build the
+//!   evaluation workloads without an external toolchain;
+//! * [`mem`] — a memory model with read-execute code and read-write data segments,
+//!   matching the paper's `rx`/`rw` program-memory abstraction (Fig. 1);
+//! * [`cpu`] — an in-order core model with a simple cycle-accounting model
+//!   approximating the 4-stage Pulpino pipeline;
+//! * [`trace`] — the per-retired-instruction trace port consumed by the LO-FAT
+//!   branch filter.
+//!
+//! # Example
+//!
+//! ```
+//! use lofat_rv32::asm::assemble;
+//! use lofat_rv32::cpu::{Cpu, ExitReason};
+//!
+//! let program = assemble(
+//!     r#"
+//!     .text
+//!     main:
+//!         li   a0, 0
+//!         li   t0, 5
+//!     loop:
+//!         add  a0, a0, t0
+//!         addi t0, t0, -1
+//!         bnez t0, loop
+//!         ecall            # exit, result in a0
+//!     "#,
+//! )?;
+//! let mut cpu = Cpu::new(&program)?;
+//! let exit = cpu.run(10_000)?;
+//! assert_eq!(exit.reason, ExitReason::Ecall);
+//! assert_eq!(exit.register_a0, 15);
+//! # Ok::<(), lofat_rv32::Rv32Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod cpu;
+pub mod disasm;
+pub mod error;
+pub mod isa;
+pub mod mem;
+pub mod program;
+pub mod trace;
+
+pub use cpu::{Cpu, CpuConfig, ExitInfo, ExitReason};
+pub use error::Rv32Error;
+pub use isa::{Instruction, Reg};
+pub use mem::Memory;
+pub use program::Program;
+pub use trace::{BranchInfo, BranchKind, RetiredInst, TraceSink};

@@ -1,0 +1,190 @@
+//! The per-retired-instruction trace port.
+//!
+//! LO-FAT's branch filter is "tightly coupled to the processor" and "extracts the
+//! current program counter and instruction executed per clock cycle" (§4).  The CPU
+//! model reproduces that interface: every retired instruction is reported to a
+//! [`TraceSink`] as a [`RetiredInst`], carrying the branch outcome needed by the
+//! path encoder (taken/not-taken) and the properties the branch filter dispatches on
+//! (linking? indirect? backward?).
+
+use crate::isa::Instruction;
+
+/// Classification of a retired control-flow instruction, as seen by the branch filter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum BranchKind {
+    /// A conditional branch (`beq`, `bne`, …).
+    Conditional,
+    /// A direct jump without linking (`jal x0` / pseudo `j`).
+    DirectJump,
+    /// A direct call (`jal` writing a link register).
+    DirectCall,
+    /// An indirect jump without linking (`jalr x0`, not a return).
+    IndirectJump,
+    /// An indirect call (`jalr` writing a link register).
+    IndirectCall,
+    /// A function return (`jalr x0, ra/t0, 0`).
+    Return,
+}
+
+impl BranchKind {
+    /// Returns `true` for kinds whose target cannot be derived statically
+    /// (indirect jumps, indirect calls and returns).
+    pub fn is_indirect(self) -> bool {
+        matches!(self, BranchKind::IndirectJump | BranchKind::IndirectCall | BranchKind::Return)
+    }
+
+    /// Returns `true` if the instruction updates a link register (subroutine call).
+    pub fn is_linking(self) -> bool {
+        matches!(self, BranchKind::DirectCall | BranchKind::IndirectCall)
+    }
+}
+
+/// Control-flow information attached to a retired branch/jump instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct BranchInfo {
+    /// Classification of the control-flow instruction.
+    pub kind: BranchKind,
+    /// Whether the control transfer happened (always `true` for jumps).
+    pub taken: bool,
+    /// The target address if taken (the fall-through address otherwise).
+    pub target: u32,
+}
+
+impl BranchInfo {
+    /// Returns `true` if this is a taken transfer to a lower address — the property
+    /// the LO-FAT loop-detection heuristic keys on (§5.1).
+    pub fn is_backward(&self, pc: u32) -> bool {
+        self.taken && self.target <= pc
+    }
+}
+
+/// One retired instruction as reported on the trace port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct RetiredInst {
+    /// Cycle (per the CPU timing model) at which the instruction retired.
+    pub cycle: u64,
+    /// Program counter of the instruction.
+    pub pc: u32,
+    /// The decoded instruction.
+    pub inst: Instruction,
+    /// Address of the next instruction that will execute.
+    pub next_pc: u32,
+    /// Branch information if the instruction is a control-flow instruction.
+    pub branch: Option<BranchInfo>,
+}
+
+impl RetiredInst {
+    /// Convenience accessor: `(Src, Dest)` pair of a *taken* control-flow transfer,
+    /// i.e. the tuple LO-FAT hashes.
+    pub fn src_dest(&self) -> Option<(u32, u32)> {
+        match self.branch {
+            Some(info) if info.taken => Some((self.pc, info.target)),
+            _ => None,
+        }
+    }
+}
+
+/// Consumer of the retired-instruction stream.
+///
+/// The LO-FAT engine (`lofat::engine`), the C-FLAT baseline and the test utilities all
+/// implement this trait; the CPU is generic over it so tracing costs nothing when the
+/// sink is a no-op.
+pub trait TraceSink {
+    /// Called once per retired instruction, in program order.
+    fn retire(&mut self, inst: &RetiredInst);
+}
+
+/// A sink that discards all events (un-attested execution).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn retire(&mut self, _inst: &RetiredInst) {}
+}
+
+/// A sink that records every retired instruction (used by tests and the CFG tools).
+#[derive(Debug, Clone, Default)]
+pub struct VecSink {
+    /// The recorded events, in retirement order.
+    pub events: Vec<RetiredInst>,
+}
+
+impl VecSink {
+    /// Creates an empty recording sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns only the events that correspond to taken control-flow transfers.
+    pub fn taken_branches(&self) -> impl Iterator<Item = &RetiredInst> {
+        self.events.iter().filter(|e| e.branch.map(|b| b.taken).unwrap_or(false))
+    }
+}
+
+impl TraceSink for VecSink {
+    fn retire(&mut self, inst: &RetiredInst) {
+        self.events.push(*inst);
+    }
+}
+
+impl<T: TraceSink + ?Sized> TraceSink for &mut T {
+    fn retire(&mut self, inst: &RetiredInst) {
+        (**self).retire(inst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{BranchCond, Reg};
+
+    fn branch_event(pc: u32, taken: bool, target: u32) -> RetiredInst {
+        RetiredInst {
+            cycle: 0,
+            pc,
+            inst: Instruction::Branch {
+                cond: BranchCond::Ne,
+                rs1: Reg::T0,
+                rs2: Reg::ZERO,
+                offset: (target as i64 - pc as i64) as i32,
+            },
+            next_pc: if taken { target } else { pc + 4 },
+            branch: Some(BranchInfo { kind: BranchKind::Conditional, taken, target }),
+        }
+    }
+
+    #[test]
+    fn src_dest_only_for_taken_transfers() {
+        let taken = branch_event(0x100, true, 0x80);
+        assert_eq!(taken.src_dest(), Some((0x100, 0x80)));
+        let not_taken = branch_event(0x100, false, 0x80);
+        assert_eq!(not_taken.src_dest(), None);
+    }
+
+    #[test]
+    fn backward_detection() {
+        let info = BranchInfo { kind: BranchKind::Conditional, taken: true, target: 0x80 };
+        assert!(info.is_backward(0x100));
+        assert!(!info.is_backward(0x40));
+        let not_taken = BranchInfo { kind: BranchKind::Conditional, taken: false, target: 0x80 };
+        assert!(!not_taken.is_backward(0x100));
+    }
+
+    #[test]
+    fn kind_properties() {
+        assert!(BranchKind::Return.is_indirect());
+        assert!(BranchKind::IndirectCall.is_indirect());
+        assert!(!BranchKind::Conditional.is_indirect());
+        assert!(BranchKind::DirectCall.is_linking());
+        assert!(!BranchKind::Return.is_linking());
+    }
+
+    #[test]
+    fn vec_sink_records_in_order() {
+        let mut sink = VecSink::new();
+        sink.retire(&branch_event(0x10, true, 0x4));
+        sink.retire(&branch_event(0x20, false, 0x4));
+        assert_eq!(sink.events.len(), 2);
+        assert_eq!(sink.taken_branches().count(), 1);
+    }
+}

@@ -1,0 +1,229 @@
+//! Property-based tests of the RV32 substrate: instruction encode/decode round
+//! trips, ALU semantics against a Rust reference model, and assembler/CPU
+//! integration on randomly generated straight-line programs.
+
+use lofat_rv32::asm::assemble;
+use lofat_rv32::isa::{AluImmOp, AluOp, BranchCond, Instruction, LoadWidth, Reg, StoreWidth};
+use lofat_rv32::{Cpu, Program};
+use proptest::prelude::*;
+
+fn any_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(Reg::new)
+}
+
+fn any_alu_op() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::Sll),
+        Just(AluOp::Slt),
+        Just(AluOp::Sltu),
+        Just(AluOp::Xor),
+        Just(AluOp::Srl),
+        Just(AluOp::Sra),
+        Just(AluOp::Or),
+        Just(AluOp::And),
+        Just(AluOp::Mul),
+        Just(AluOp::Mulh),
+        Just(AluOp::Mulhsu),
+        Just(AluOp::Mulhu),
+        Just(AluOp::Div),
+        Just(AluOp::Divu),
+        Just(AluOp::Rem),
+        Just(AluOp::Remu),
+    ]
+}
+
+fn any_branch_cond() -> impl Strategy<Value = BranchCond> {
+    prop_oneof![
+        Just(BranchCond::Eq),
+        Just(BranchCond::Ne),
+        Just(BranchCond::Lt),
+        Just(BranchCond::Ge),
+        Just(BranchCond::Ltu),
+        Just(BranchCond::Geu),
+    ]
+}
+
+fn any_instruction() -> impl Strategy<Value = Instruction> {
+    prop_oneof![
+        (any_alu_op(), any_reg(), any_reg(), any_reg())
+            .prop_map(|(op, rd, rs1, rs2)| Instruction::Alu { op, rd, rs1, rs2 }),
+        (any_reg(), any_reg(), -2048i32..=2047).prop_map(|(rd, rs1, imm)| Instruction::AluImm {
+            op: AluImmOp::Addi,
+            rd,
+            rs1,
+            imm
+        }),
+        (any_reg(), any_reg(), 0i32..=31).prop_map(|(rd, rs1, imm)| Instruction::AluImm {
+            op: AluImmOp::Slli,
+            rd,
+            rs1,
+            imm
+        }),
+        (any_reg(), any_reg(), -2048i32..=2047).prop_map(|(rd, rs1, offset)| Instruction::Load {
+            width: LoadWidth::Word,
+            rd,
+            rs1,
+            offset
+        }),
+        (any_reg(), any_reg(), -2048i32..=2047).prop_map(|(rs2, rs1, offset)| Instruction::Store {
+            width: StoreWidth::Word,
+            rs2,
+            rs1,
+            offset
+        }),
+        (any_branch_cond(), any_reg(), any_reg(), -2048i32..=2047).prop_map(
+            |(cond, rs1, rs2, half)| Instruction::Branch { cond, rs1, rs2, offset: half * 2 }
+        ),
+        (any_reg(), -524_288i32..=524_287).prop_map(|(rd, half)| Instruction::Jal {
+            rd,
+            offset: half * 2
+        }),
+        (any_reg(), any_reg(), -2048i32..=2047).prop_map(|(rd, rs1, offset)| Instruction::Jalr {
+            rd,
+            rs1,
+            offset
+        }),
+        (any_reg(), -524_288i32..=524_287)
+            .prop_map(|(rd, upper)| Instruction::Lui { rd, imm: upper << 12 }),
+        (any_reg(), -524_288i32..=524_287)
+            .prop_map(|(rd, upper)| Instruction::Auipc { rd, imm: upper << 12 }),
+        Just(Instruction::Ecall),
+        Just(Instruction::Ebreak),
+        Just(Instruction::Fence),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, .. ProptestConfig::default() })]
+
+    /// Every representable instruction survives an encode/decode round trip.
+    #[test]
+    fn encode_decode_roundtrip(inst in any_instruction()) {
+        let word = inst.encode();
+        let decoded = Instruction::decode(word, 0x1000).expect("decode");
+        prop_assert_eq!(inst, decoded);
+    }
+
+    /// Decoding an arbitrary word either fails or re-encodes to an equivalent word
+    /// (decode is the partial inverse of encode on its image).
+    #[test]
+    fn decode_then_encode_is_stable(word in any::<u32>()) {
+        if let Ok(inst) = Instruction::decode(word, 0) {
+            let reencoded = inst.encode();
+            let redecoded = Instruction::decode(reencoded, 0).expect("re-decode");
+            prop_assert_eq!(inst, redecoded);
+        }
+    }
+
+    /// The CPU's register-register ALU agrees with a Rust reference model.
+    #[test]
+    fn alu_matches_reference(op in any_alu_op(), a in any::<u32>(), b in any::<u32>()) {
+        let a2 = Reg::parse("a2").unwrap();
+        let program = Program::from_instructions(&[
+            Instruction::Alu { op, rd: Reg::A0, rs1: Reg::A1, rs2: a2 },
+            Instruction::Ecall,
+        ]);
+        let mut cpu = Cpu::new(&program).expect("load");
+        cpu.set_reg(Reg::A1, a);
+        cpu.set_reg(Reg::parse("a2").unwrap(), b);
+        let exit = cpu.run(1000).expect("run");
+        let expected = reference_alu(op, a, b);
+        prop_assert_eq!(exit.register_a0, expected);
+    }
+
+    /// Stored words can always be loaded back from the data segment.
+    #[test]
+    fn store_load_roundtrip(value in any::<u32>(), offset in 0u32..1000) {
+        let offset = (offset & !3) as i32;
+        let program = Program::from_instructions(&[
+            Instruction::Store { width: StoreWidth::Word, rs2: Reg::A1, rs1: Reg::GP, offset },
+            Instruction::Load { width: LoadWidth::Word, rd: Reg::A0, rs1: Reg::GP, offset },
+            Instruction::Ecall,
+        ]);
+        let mut cpu = Cpu::new(&program).expect("load");
+        cpu.set_reg(Reg::A1, value);
+        let exit = cpu.run(1000).expect("run");
+        prop_assert_eq!(exit.register_a0, value);
+    }
+
+    /// A generated counting loop computes the expected sum for any bound, and the
+    /// assembler/CPU pipeline agrees with the arithmetic model.
+    #[test]
+    fn assembled_sum_loop_is_correct(n in 0u32..500) {
+        let source = format!(
+            ".text\nmain:\n    li a0, 0\n    li t0, {n}\n    beqz t0, done\nloop:\n    add a0, a0, t0\n    addi t0, t0, -1\n    bnez t0, loop\ndone:\n    ecall\n"
+        );
+        let program = assemble(&source).expect("assemble");
+        let mut cpu = Cpu::new(&program).expect("load");
+        let exit = cpu.run(100_000).expect("run");
+        let expected: u32 = (1..=n).sum();
+        prop_assert_eq!(exit.register_a0, expected);
+        prop_assert_eq!(exit.reason, lofat_rv32::ExitReason::Ecall);
+    }
+
+    /// The zero register stays zero no matter what is written to it.
+    #[test]
+    fn zero_register_is_immutable(value in any::<u32>()) {
+        let program = Program::from_instructions(&[
+            Instruction::AluImm { op: AluImmOp::Addi, rd: Reg::ZERO, rs1: Reg::ZERO, imm: 1 },
+            Instruction::Ecall,
+        ]);
+        let mut cpu = Cpu::new(&program).expect("load");
+        cpu.set_reg(Reg::ZERO, value);
+        cpu.run(100).expect("run");
+        prop_assert_eq!(cpu.reg(Reg::ZERO), 0);
+    }
+}
+
+fn reference_alu(op: AluOp, a: u32, b: u32) -> u32 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Sll => a.wrapping_shl(b & 0x1f),
+        AluOp::Slt => u32::from((a as i32) < (b as i32)),
+        AluOp::Sltu => u32::from(a < b),
+        AluOp::Xor => a ^ b,
+        AluOp::Srl => a.wrapping_shr(b & 0x1f),
+        AluOp::Sra => ((a as i32).wrapping_shr(b & 0x1f)) as u32,
+        AluOp::Or => a | b,
+        AluOp::And => a & b,
+        AluOp::Mul => a.wrapping_mul(b),
+        AluOp::Mulh => (((a as i32 as i64) * (b as i32 as i64)) >> 32) as u32,
+        AluOp::Mulhsu => (((a as i32 as i64) * (b as i64)) >> 32) as u32,
+        AluOp::Mulhu => (((a as u64) * (b as u64)) >> 32) as u32,
+        AluOp::Div => {
+            if b == 0 {
+                u32::MAX
+            } else if (a as i32) == i32::MIN && (b as i32) == -1 {
+                a
+            } else {
+                ((a as i32) / (b as i32)) as u32
+            }
+        }
+        AluOp::Divu => {
+            if b == 0 {
+                u32::MAX
+            } else {
+                a / b
+            }
+        }
+        AluOp::Rem => {
+            if b == 0 {
+                a
+            } else if (a as i32) == i32::MIN && (b as i32) == -1 {
+                0
+            } else {
+                ((a as i32) % (b as i32)) as u32
+            }
+        }
+        AluOp::Remu => {
+            if b == 0 {
+                a
+            } else {
+                a % b
+            }
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Seeded random input generation for the evaluation workloads.
+
+use crate::catalog::Workload;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic (seeded) workload input generator.
+#[derive(Debug)]
+pub struct InputGenerator {
+    rng: StdRng,
+}
+
+impl InputGenerator {
+    /// Creates a generator from a seed; the same seed always produces the same
+    /// sequence of inputs, which keeps benches and experiments reproducible.
+    pub fn new(seed: u64) -> Self {
+        Self { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Generates an input vector of `len` words for a variable-length workload, or a
+    /// scaled variant of the default input for fixed-shape workloads.
+    pub fn input_for(&mut self, workload: &Workload, len: usize) -> Vec<u32> {
+        if workload.variable_length_input {
+            (0..len).map(|_| self.rng.gen_range(0..1000)).collect()
+        } else {
+            // Fixed-shape workloads take small scalar parameters; scale the first
+            // word with `len` and keep the rest of the default shape.
+            let mut input = workload.default_input.clone();
+            if let Some(first) = input.first_mut() {
+                *first = len as u32;
+            }
+            input
+        }
+    }
+
+    /// Generates a random permutation-ish array for sorting workloads.
+    pub fn array(&mut self, len: usize, max_value: u32) -> Vec<u32> {
+        (0..len).map(|_| self.rng.gen_range(0..=max_value)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    #[test]
+    fn same_seed_same_inputs() {
+        let workload = catalog::by_name("bubble-sort").unwrap();
+        let a = InputGenerator::new(7).input_for(&workload, 16);
+        let b = InputGenerator::new(7).input_for(&workload, 16);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 16);
+    }
+
+    #[test]
+    fn fixed_shape_workloads_scale_first_word() {
+        let workload = catalog::by_name("matrix-checksum").unwrap();
+        let input = InputGenerator::new(1).input_for(&workload, 6);
+        assert_eq!(input[0], 6);
+        assert_eq!(input.len(), workload.default_input.len());
+    }
+
+    #[test]
+    fn arrays_respect_bounds() {
+        let mut generator = InputGenerator::new(3);
+        let array = generator.array(100, 50);
+        assert_eq!(array.len(), 100);
+        assert!(array.iter().all(|&v| v <= 50));
+    }
+}

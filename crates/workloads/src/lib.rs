@@ -1,0 +1,39 @@
+//! Evaluation workloads, input generators and attack injection for LO-FAT.
+//!
+//! The paper evaluates LO-FAT on "extracted code segments from real embedded
+//! applications, such as Open Syringe Pump".  This crate provides the equivalent
+//! corpus for the reproduction: hand-written RV32 assembly programs with realistic
+//! loop/branch/call structure (a syringe-pump controller, sorting, CRC, recursion,
+//! matrix arithmetic, an indirect-dispatch interpreter, the Fig. 4 example loop and
+//! synthetic stress kernels), plus:
+//!
+//! * [`catalog`] — a [`catalog::Workload`] descriptor per program with a reference
+//!   model, so tests and benches can validate functional correctness and sweep
+//!   inputs;
+//! * [`generator`] — seeded random input generation;
+//! * [`attack`] — fault-injection adversaries implementing the three run-time attack
+//!   classes of Fig. 1 (non-control-data, loop-counter manipulation and code-pointer
+//!   overwrite) plus a pure data-oriented attack that control-flow attestation by
+//!   design does not detect.
+//!
+//! # Example
+//!
+//! ```
+//! use lofat_workloads::catalog;
+//!
+//! for workload in catalog::all() {
+//!     let program = workload.program()?;
+//!     assert!(program.symbol("main").is_some());
+//! }
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attack;
+pub mod catalog;
+pub mod generator;
+pub mod programs;
+
+pub use catalog::{all, Workload};

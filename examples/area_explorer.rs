@@ -1,0 +1,58 @@
+//! Area/memory design-space explorer (§5.2, §6.2).
+//!
+//! ```text
+//! cargo run --example area_explorer
+//! ```
+//!
+//! Sweeps the configurable LO-FAT parameters — ℓ (branches per loop path), n (bits
+//! per indirect-branch target) and the nested-loop capacity — and prints the
+//! resulting on-chip memory, BRAM count, logic overhead and clock estimate from the
+//! analytical area model.  The paper's prototype point (ℓ = 16, n = 4, depth 3)
+//! reproduces the reported ≈1.5 Mbit / 49 BRAMs / ≈20 % logic / 80 MHz figures.
+
+use lofat::{AreaModel, EngineConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = AreaModel::new();
+
+    println!("sweep of ℓ (branches per loop path), n = 4, depth = 3");
+    println!("{:>4} {:>14} {:>12} {:>12} {:>10} {:>9}", "ℓ", "bits/loop", "total bits", "BRAMs", "logic", "Fmax");
+    for max_path_bits in [8u32, 10, 12, 14, 16, 18] {
+        let config = EngineConfig::builder().max_path_bits(max_path_bits).build()?;
+        let estimate = model.estimate(&config);
+        println!(
+            "{:>4} {:>14} {:>12} {:>12} {:>9.1}% {:>7.0}MHz",
+            max_path_bits,
+            estimate.path_memory_bits_per_loop,
+            estimate.total_loop_memory_bits,
+            estimate.total_brams,
+            estimate.logic_overhead * 100.0,
+            estimate.max_clock_mhz,
+        );
+    }
+
+    println!();
+    println!("sweep of nested-loop capacity, ℓ = 16, n = 4");
+    println!("{:>6} {:>12} {:>12} {:>10}", "depth", "total bits", "BRAMs", "logic");
+    for depth in 1..=4usize {
+        let config = EngineConfig::builder().max_nesting_depth(depth).build()?;
+        let estimate = model.estimate(&config);
+        println!(
+            "{:>6} {:>12} {:>12} {:>9.1}%",
+            depth,
+            estimate.total_loop_memory_bits,
+            estimate.total_brams,
+            estimate.logic_overhead * 100.0,
+        );
+    }
+
+    println!();
+    let paper = model.estimate(&EngineConfig::paper_prototype());
+    println!("paper prototype (ℓ = 16, n = 4, depth 3):");
+    println!("  loop memory      : {} bits (paper: ≈1.5 Mbit)", paper.total_loop_memory_bits);
+    println!("  block RAMs       : {} (paper: 49 × 36 Kbit)", paper.total_brams);
+    println!("  logic overhead   : {:.0}% (paper: ≈20 %)", paper.logic_overhead * 100.0);
+    println!("  registers / LUTs : {:.0}% / {:.0}% (paper: 4 % / 6 %)", paper.register_utilisation * 100.0, paper.lut_utilisation * 100.0);
+    println!("  max clock        : {:.0} MHz (paper: 80 MHz, 150 MHz hash engine)", paper.max_clock_mhz);
+    Ok(())
+}

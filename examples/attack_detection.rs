@@ -1,0 +1,112 @@
+//! Attack-detection matrix: all three run-time attack classes of Fig. 1.
+//!
+//! ```text
+//! cargo run --example attack_detection
+//! ```
+//!
+//! Runs every attack class against its target workload and prints whether the
+//! verifier detects it — reproducing §6.3's security argument:
+//!
+//! * class ① non-control-data attack (decision variable corruption)  → detected
+//! * class ② loop-counter manipulation                               → detected
+//! * class ③ code-pointer overwrite (table hijack and ROP-style)     → detected
+//! * pure data-oriented manipulation (no control-flow change)        → not detected
+
+use lofat::protocol::run_attestation_with_adversary;
+use lofat::{LofatError, Prover, Verifier};
+use lofat_crypto::DeviceKey;
+use lofat_workloads::attack::{self, Fault};
+use lofat_workloads::catalog;
+
+struct Scenario {
+    name: &'static str,
+    workload: &'static str,
+    input: Vec<u32>,
+    expect_detected: bool,
+    build_fault: Box<dyn Fn(&lofat_rv32::Program) -> Fault>,
+}
+
+fn scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "① non-control-data (decision variable)",
+            workload: "fig4-loop",
+            input: vec![4],
+            expect_detected: true,
+            build_fault: Box::new(|program| {
+                let input = program.symbol("input").expect("input");
+                attack::non_control_data_attack(input, 9)
+            }),
+        },
+        Scenario {
+            name: "② loop-counter manipulation (syringe pump)",
+            workload: "syringe-pump",
+            input: vec![3],
+            expect_detected: true,
+            build_fault: Box::new(|program| {
+                let input = program.symbol("input").expect("input");
+                attack::loop_counter_attack(input, 40)
+            }),
+        },
+        Scenario {
+            name: "③ code-pointer overwrite (dispatch table)",
+            workload: "dispatch",
+            input: vec![0, 0, 2, 1],
+            expect_detected: true,
+            build_fault: Box::new(|program| {
+                let table = program.symbol("table").expect("table");
+                let clear = program.symbol("op_clear").expect("op_clear");
+                attack::code_pointer_attack(table, 0, clear)
+            }),
+        },
+        Scenario {
+            name: "③ code-pointer overwrite (ROP-style return hijack)",
+            workload: "return-victim",
+            input: vec![21],
+            expect_detected: true,
+            build_fault: Box::new(|program| {
+                let process = program.symbol("process").expect("process");
+                let privileged = program.symbol("privileged").expect("privileged");
+                attack::return_address_attack(process + 8, 12, privileged)
+            }),
+        },
+        Scenario {
+            name: "pure data-oriented manipulation (no CF change)",
+            workload: "syringe-pump",
+            input: vec![3],
+            expect_detected: false,
+            build_fault: Box::new(|program| {
+                let pulses = program.symbol("motor_pulses").expect("motor_pulses");
+                attack::data_only_attack(pulses, 9999)
+            }),
+        },
+    ]
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("{:<55} {:<12} {:<12}", "attack", "expected", "observed");
+    println!("{}", "-".repeat(82));
+    for scenario in scenarios() {
+        let workload = catalog::by_name(scenario.workload).expect("workload");
+        let program = workload.program()?;
+        let key = DeviceKey::from_seed("attack-demo-device");
+        let mut prover = Prover::new(program.clone(), workload.name, key.clone());
+        let mut verifier = Verifier::new(program.clone(), workload.name, key.verification_key())?;
+        let mut fault = (scenario.build_fault)(&program);
+
+        let observed = match run_attestation_with_adversary(
+            &mut verifier,
+            &mut prover,
+            scenario.input.clone(),
+            &mut fault,
+        ) {
+            Ok(_) => "accepted",
+            Err(LofatError::Rejected(_)) => "REJECTED",
+            Err(other) => return Err(other.into()),
+        };
+        let expected = if scenario.expect_detected { "REJECTED" } else { "accepted" };
+        let marker = if observed == expected { "✓" } else { "✗" };
+        println!("{:<55} {:<12} {:<12} {marker}", scenario.name, expected, observed);
+    }
+    Ok(())
+}

@@ -1,0 +1,80 @@
+//! Publicly verifiable attestation reports and precomputed measurement databases.
+//!
+//! ```text
+//! cargo run --example public_verifiability
+//! ```
+//!
+//! The paper's protocol uses a generic `sign(·; sk)` primitive.  This example shows
+//! two deployment variants built on the reproduction's crypto substrate:
+//!
+//! 1. a **hash-based one-time signature** (Lamport over SHA-3) so that *any* party —
+//!    not just the holder of the shared device key — can check the report's
+//!    authenticity; and
+//! 2. a **measurement database**: the verifier precomputes the expected
+//!    (authenticator, metadata) pairs for the device's command set offline and later
+//!    validates reports by lookup, without re-running the simulator.
+
+use lofat::{EngineConfig, MeasurementDatabase, Prover, Verifier};
+use lofat_crypto::{DeviceKey, LamportKeyPair, Nonce, SignatureVerifier, Signer};
+use lofat_workloads::catalog;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = catalog::by_name("syringe-pump").expect("catalogue entry");
+    let program = workload.program()?;
+
+    // ----- variant 1: publicly verifiable report signature --------------------------
+    // The device additionally holds a Lamport one-time key; its public key is
+    // published (e.g. in the device certificate).
+    let device_key = DeviceKey::from_seed("pump-device");
+    let mut prover = Prover::new(program.clone(), workload.name, device_key.clone());
+    let mut one_time_key = LamportKeyPair::from_seed(b"pump-device-ots-key-001");
+    let public_key = one_time_key.public_key();
+
+    let nonce = Nonce::from_counter(42);
+    let run = prover.attest(&[3], nonce)?;
+    // Sign the very same payload the HMAC covers, but with the one-time key.
+    let public_signature = one_time_key.sign(&run.report.payload())?;
+    println!("one-time (Lamport) signature:");
+    println!("  payload bytes   : {}", run.report.payload().len());
+    println!("  signature bytes : {}", public_signature.len());
+    println!(
+        "  third-party check: {}",
+        if public_key.verify(&run.report.payload(), &public_signature).is_ok() {
+            "VALID"
+        } else {
+            "INVALID"
+        }
+    );
+    // A second signature with the same one-time key is refused.
+    println!(
+        "  key reuse        : {}",
+        match one_time_key.sign(b"another report") {
+            Err(_) => "rejected (one-time key already used)",
+            Ok(_) => "unexpectedly allowed",
+        }
+    );
+
+    // ----- variant 2: measurement database ------------------------------------------
+    let verifier = Verifier::new(program, workload.name, device_key.verification_key())?;
+    let command_set: Vec<Vec<u32>> = (1..=10u32).map(|units| vec![units]).collect();
+    let database = MeasurementDatabase::build(&verifier, EngineConfig::default(), command_set)?;
+    println!();
+    println!("measurement database:");
+    println!("  precomputed entries : {}", database.len());
+
+    let run = prover.attest(&[7], Nonce::from_counter(43))?;
+    match database.check(&[7], &run.report) {
+        Ok(reference) => println!(
+            "  lookup for input 7  : MATCH (expected result {} units dispensed)",
+            reference.expected_result
+        ),
+        Err(e) => println!("  lookup for input 7  : MISMATCH ({e})"),
+    }
+    // A report for a different command does not match the stored reference.
+    let other = prover.attest(&[9], Nonce::from_counter(44))?;
+    match database.check(&[7], &other.report) {
+        Ok(_) => println!("  cross-check          : unexpectedly matched"),
+        Err(_) => println!("  cross-check          : report for input 9 correctly rejected against reference 7"),
+    }
+    Ok(())
+}

@@ -1,0 +1,224 @@
+//! `lofat` — command-line front-end to the LO-FAT reproduction.
+//!
+//! ```text
+//! lofat workloads                          list the evaluation workload corpus
+//! lofat asm <file.s>                       assemble a program and print its layout
+//! lofat disasm <file.s|workload>           disassembly listing with CF-site markers
+//! lofat run <file.s|workload> [inputs..]   execute and print the result/cycles
+//! lofat attest <file.s|workload> [inputs..]  run under the LO-FAT engine and print
+//!                                            the measurement (A, L, stats)
+//! lofat verify <file.s|workload> [inputs..]  full prover/verifier round trip
+//! lofat area [l n depth]                   area model for a configuration
+//! ```
+//!
+//! Arguments that name a file ending in `.s`/`.asm` are assembled from disk; any
+//! other name is looked up in the `lofat-workloads` catalogue.
+
+use lofat::protocol::run_attestation;
+use lofat::{AreaModel, EngineConfig, Prover, Verifier};
+use lofat_crypto::DeviceKey;
+use lofat_rv32::asm::assemble;
+use lofat_rv32::{disasm, Cpu, Program};
+use lofat_workloads::catalog;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "workloads" => cmd_workloads(),
+        "asm" => cmd_asm(&args[1..]),
+        "disasm" => cmd_disasm(&args[1..]),
+        "run" => cmd_run(&args[1..]),
+        "attest" => cmd_attest(&args[1..]),
+        "verify" => cmd_verify(&args[1..]),
+        "area" => cmd_area(&args[1..]),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}").into()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage: lofat <command> [args]
+
+commands:
+  workloads                          list the evaluation workload corpus
+  asm <file.s>                       assemble and print the program layout
+  disasm <file.s|workload>           print a disassembly listing
+  run <file.s|workload> [inputs..]   execute without attestation
+  attest <file.s|workload> [inputs..]  execute under the LO-FAT engine
+  verify <file.s|workload> [inputs..]  full attestation round trip
+  area [l n depth]                   print the area model estimate";
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+/// Loads a program either from an assembly file or from the workload catalogue.
+fn load_program(name: &str) -> Result<(Program, String), Box<dyn std::error::Error>> {
+    if name.ends_with(".s") || name.ends_with(".asm") {
+        let source = std::fs::read_to_string(name)?;
+        Ok((assemble(&source)?, name.to_string()))
+    } else {
+        let workload = catalog::by_name(name)
+            .ok_or_else(|| format!("`{name}` is neither an .s file nor a known workload"))?;
+        Ok((workload.program()?, workload.name.to_string()))
+    }
+}
+
+fn parse_inputs(args: &[String]) -> Result<Vec<u32>, Box<dyn std::error::Error>> {
+    args.iter()
+        .map(|a| {
+            let value = if let Some(hex) = a.strip_prefix("0x") {
+                u32::from_str_radix(hex, 16)
+            } else {
+                a.parse()
+            };
+            value.map_err(|_| format!("invalid input word `{a}`").into())
+        })
+        .collect()
+}
+
+fn prepare_cpu(program: &Program, input: &[u32]) -> Result<Cpu, Box<dyn std::error::Error>> {
+    let mut cpu = Cpu::new(program)?;
+    if !input.is_empty() {
+        let addr = program
+            .symbol("input")
+            .ok_or("program does not define an `input` buffer but inputs were given")?;
+        let bytes: Vec<u8> = input.iter().flat_map(|w| w.to_le_bytes()).collect();
+        cpu.memory_mut().poke_bytes(addr, &bytes)?;
+        if let Some(len) = program.symbol("input_len") {
+            cpu.memory_mut().poke_bytes(len, &(input.len() as u32).to_le_bytes())?;
+        }
+    }
+    Ok(cpu)
+}
+
+fn cmd_workloads() -> CliResult {
+    println!("{:<16} {:<55} {}", "name", "description", "default input");
+    for workload in catalog::all() {
+        println!(
+            "{:<16} {:<55} {:?}",
+            workload.name, workload.description, workload.default_input
+        );
+    }
+    Ok(())
+}
+
+fn cmd_asm(args: &[String]) -> CliResult {
+    let name = args.first().ok_or("asm: missing <file.s|workload>")?;
+    let (program, label) = load_program(name)?;
+    println!("program        : {label}");
+    println!("text base      : {:#010x}", program.text_base);
+    println!("text size      : {} instructions ({} bytes)", program.text.len(), program.text.len() * 4);
+    println!("data base      : {:#010x} ({} bytes initialised)", program.data_base, program.data.len());
+    println!("entry point    : {:#010x}", program.entry);
+    println!("control-flow sites: {}", disasm::control_flow_sites(&program));
+    println!("symbols:");
+    for (symbol, addr) in &program.symbols {
+        println!("  {addr:#010x}  {symbol}");
+    }
+    Ok(())
+}
+
+fn cmd_disasm(args: &[String]) -> CliResult {
+    let name = args.first().ok_or("disasm: missing <file.s|workload>")?;
+    let (program, label) = load_program(name)?;
+    println!("; disassembly of {label} (control-flow sites marked with *)");
+    print!("{}", disasm::listing(&program));
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> CliResult {
+    let name = args.first().ok_or("run: missing <file.s|workload>")?;
+    let (program, label) = load_program(name)?;
+    let input = parse_inputs(&args[1..])?;
+    let mut cpu = prepare_cpu(&program, &input)?;
+    let exit = cpu.run(50_000_000)?;
+    println!("program      : {label}");
+    println!("input        : {input:?}");
+    println!("result (a0)  : {}", exit.register_a0);
+    println!("cycles       : {}", exit.cycles);
+    println!("instructions : {}", exit.instructions);
+    if !cpu.console().is_empty() {
+        println!("console      : {:?}", cpu.console());
+    }
+    Ok(())
+}
+
+fn cmd_attest(args: &[String]) -> CliResult {
+    let name = args.first().ok_or("attest: missing <file.s|workload>")?;
+    let (program, label) = load_program(name)?;
+    let input = parse_inputs(&args[1..])?;
+    let mut engine = lofat::LofatEngine::for_program(&program, EngineConfig::default())?;
+    let mut cpu = prepare_cpu(&program, &input)?;
+    let exit = cpu.run_traced(50_000_000, &mut engine)?;
+    let measurement = engine.finalize()?;
+    let stats = measurement.stats;
+    println!("program              : {label}");
+    println!("result (a0)          : {}", exit.register_a0);
+    println!("cycles (no overhead) : {}", exit.cycles);
+    println!("authenticator A      : {}", measurement.authenticator);
+    println!("loop records         : {}", measurement.metadata.loop_count());
+    println!("metadata bytes       : {}", measurement.metadata.size_bytes());
+    println!("branch events        : {}", stats.branch_events);
+    println!("pairs hashed         : {}", stats.pairs_hashed);
+    println!("pairs compressed     : {}", stats.pairs_compressed);
+    println!("internal latency     : {} cycles", stats.internal_latency_cycles);
+    println!("max loop nesting     : {}", stats.max_nesting_observed);
+    println!("max call depth       : {}", stats.max_call_depth);
+    Ok(())
+}
+
+fn cmd_verify(args: &[String]) -> CliResult {
+    let name = args.first().ok_or("verify: missing <file.s|workload>")?;
+    let (program, label) = load_program(name)?;
+    let input = parse_inputs(&args[1..])?;
+    let key = DeviceKey::from_seed("lofat-cli-device");
+    let mut prover = Prover::new(program.clone(), label.clone(), key.clone());
+    let mut verifier = Verifier::new(program, label.clone(), key.verification_key())?;
+    match run_attestation(&mut verifier, &mut prover, input) {
+        Ok(outcome) => {
+            println!("program   : {label}");
+            println!("verdict   : ACCEPTED");
+            println!("result    : {}", outcome.prover_run.exit.register_a0);
+            println!("report    : {} bytes on the wire", outcome.prover_run.report.wire_size());
+            Ok(())
+        }
+        Err(lofat::LofatError::Rejected(reason)) => {
+            println!("program   : {label}");
+            println!("verdict   : REJECTED — {reason}");
+            Ok(())
+        }
+        Err(other) => Err(other.into()),
+    }
+}
+
+fn cmd_area(args: &[String]) -> CliResult {
+    let l = args.first().map(|a| a.parse()).transpose()?.unwrap_or(16u32);
+    let n = args.get(1).map(|a| a.parse()).transpose()?.unwrap_or(4u32);
+    let depth = args.get(2).map(|a| a.parse()).transpose()?.unwrap_or(3usize);
+    let config = EngineConfig::builder()
+        .max_path_bits(l)
+        .indirect_target_bits(n)
+        .max_nesting_depth(depth)
+        .build()?;
+    let estimate = AreaModel::new().estimate(&config);
+    println!("configuration  : ℓ = {l}, n = {n}, depth = {depth}");
+    println!("loop memory    : {} bits ({} bits per loop)", estimate.total_loop_memory_bits, estimate.path_memory_bits_per_loop);
+    println!("block RAMs     : {} ({} per loop + 1 shared)", estimate.total_brams, estimate.brams_per_loop);
+    println!("logic overhead : {:.1}%", estimate.logic_overhead * 100.0);
+    println!("registers/LUTs : {:.1}% / {:.1}%", estimate.register_utilisation * 100.0, estimate.lut_utilisation * 100.0);
+    println!("max clock      : {:.0} MHz", estimate.max_clock_mhz);
+    Ok(())
+}

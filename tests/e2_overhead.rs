@@ -1,0 +1,96 @@
+//! E2 — processor overhead of attestation (§6.1).
+//!
+//! LO-FAT extracts and filters control-flow events in parallel with the processor,
+//! so the attested software runs in exactly as many cycles as without attestation.
+//! The C-FLAT-style software baseline instead pays a per-control-flow-event cost,
+//! i.e. its overhead grows linearly with the number of events.
+
+mod common;
+
+use lofat::EngineConfig;
+use lofat_cflat::CflatAttestor;
+use lofat_workloads::catalog;
+
+/// LO-FAT adds zero cycles to every workload in the corpus.
+#[test]
+fn lofat_adds_zero_cycles_on_every_workload() {
+    for workload in catalog::all() {
+        let program = workload.program().unwrap();
+        let input = &workload.default_input;
+        let plain = common::run_plain(&program, input);
+        let (measurement, attested) =
+            common::run_attested(&program, input, EngineConfig::default());
+        assert_eq!(
+            plain.cycles, attested.cycles,
+            "workload `{}`: attested run must cost exactly the same cycles",
+            workload.name
+        );
+        assert_eq!(plain.register_a0, attested.register_a0, "workload `{}`", workload.name);
+        assert_eq!(measurement.stats.processor_overhead_cycles, 0);
+    }
+}
+
+/// The software baseline's overhead is strictly positive whenever the program
+/// executes control flow, and LO-FAT's is always zero.
+#[test]
+fn software_baseline_pays_per_event_lofat_does_not() {
+    for workload in catalog::all() {
+        let program = workload.program().unwrap();
+        let input = &workload.default_input;
+        let mut cpu = common::cpu_with_input(&program, input);
+        let cflat = CflatAttestor::new().attest_cpu(&mut cpu, 50_000_000).unwrap();
+        let (_, attested) = common::run_attested(&program, input, EngineConfig::default());
+        let plain = common::run_plain(&program, input);
+
+        assert_eq!(attested.cycles, plain.cycles);
+        if cflat.events > 0 {
+            assert!(
+                cflat.overhead_cycles > 0,
+                "workload `{}`: software attestation must pay for its {} events",
+                workload.name,
+                cflat.events
+            );
+            assert!(cflat.instrumented_cycles() > plain.cycles);
+        }
+    }
+}
+
+/// The software overhead scales linearly with the number of control-flow events
+/// (the paper's "linearly dependent on the number of control-flow events").
+#[test]
+fn software_overhead_is_linear_in_events() {
+    let workload = catalog::by_name("fig4-loop").unwrap();
+    let program = workload.program().unwrap();
+    let attestor = CflatAttestor::new();
+
+    let mut measured: Vec<(u64, u64)> = Vec::new();
+    for n in [4u32, 8, 16, 32] {
+        let mut cpu = common::cpu_with_input(&program, &[n]);
+        let run = attestor.attest_cpu(&mut cpu, 10_000_000).unwrap();
+        measured.push((run.events, run.overhead_cycles));
+    }
+    // Overhead per event is a constant.
+    let per_event: Vec<f64> =
+        measured.iter().map(|&(e, o)| o as f64 / e as f64).collect();
+    for window in per_event.windows(2) {
+        assert!((window[0] - window[1]).abs() < 1e-9, "overhead per event must be constant");
+    }
+    // And events grow with the input size.
+    assert!(measured.windows(2).all(|w| w[1].0 > w[0].0));
+}
+
+/// Sweeping the input size: LO-FAT stays at zero overhead regardless of how many
+/// control-flow events the run produces.
+#[test]
+fn lofat_zero_overhead_is_independent_of_event_count() {
+    let workload = catalog::by_name("bubble-sort").unwrap();
+    let program = workload.program().unwrap();
+    for len in [2usize, 8, 16, 32] {
+        let input: Vec<u32> = (0..len as u32).rev().collect();
+        let plain = common::run_plain(&program, &input);
+        let (measurement, attested) =
+            common::run_attested(&program, &input, EngineConfig::default());
+        assert_eq!(plain.cycles, attested.cycles, "length {len}");
+        assert!(measurement.stats.branch_events > 0);
+    }
+}

@@ -1,0 +1,76 @@
+//! E3 — internal engine latency (§6.1).
+//!
+//! "LO-FAT internally incurs latency of 2 clock cycles for branch instructions and
+//! loop status tracking and 5 clock cycles at loop exit for completing path ID
+//! generation and loop counter memory access and update.  However, LO-FAT
+//! simultaneously continues to absorb and process any incoming (Src,Dest)-pairs to
+//! prevent the processor from stalling or dropping trace information."
+
+mod common;
+
+use lofat::{EngineConfig, BRANCH_EVENT_LATENCY, LOOP_EXIT_LATENCY};
+use lofat_workloads::catalog;
+
+/// The paper's latency constants are what the engine charges.
+#[test]
+fn latency_constants_are_2_and_5_cycles() {
+    assert_eq!(BRANCH_EVENT_LATENCY, 2);
+    assert_eq!(LOOP_EXIT_LATENCY, 5);
+}
+
+/// Internal latency accounting follows exactly `2·branch_events + 5·loop_exits` on
+/// every workload.
+#[test]
+fn internal_latency_matches_formula_on_all_workloads() {
+    for workload in catalog::all() {
+        let (measurement, _) = common::attest_workload(&workload, &workload.default_input);
+        let stats = measurement.stats;
+        assert_eq!(
+            stats.internal_latency_cycles,
+            BRANCH_EVENT_LATENCY * stats.branch_events + LOOP_EXIT_LATENCY * stats.loops_exited,
+            "workload `{}`",
+            workload.name
+        );
+    }
+}
+
+/// The internal latency never stalls the CPU and no trace information is dropped,
+/// even for the most branch-dense workloads.
+#[test]
+fn no_stalls_and_no_drops_despite_internal_latency() {
+    for workload in catalog::all() {
+        let program = workload.program().unwrap();
+        let input = &workload.default_input;
+        let plain = common::run_plain(&program, input);
+        let (measurement, attested) =
+            common::run_attested(&program, input, EngineConfig::default());
+        assert_eq!(plain.cycles, attested.cycles, "workload `{}` stalled", workload.name);
+        assert!(measurement.stats.internal_latency_cycles > 0 || measurement.stats.branch_events == 0);
+        // The measurement itself proves nothing was dropped: every pair is either
+        // hashed or accounted as compressed.
+        let covered = measurement.stats.pairs_hashed + measurement.stats.pairs_compressed;
+        assert!(covered >= measurement.stats.loops_exited, "workload `{}`", workload.name);
+    }
+}
+
+/// Latency grows with the number of control-flow events but stays linear (no
+/// super-linear queueing effects).
+#[test]
+fn latency_scales_linearly_with_events() {
+    let workload = catalog::by_name("matrix-checksum").unwrap();
+    let program = workload.program().unwrap();
+    let mut previous: Option<(u64, u64)> = None;
+    for n in [2u32, 4, 8] {
+        let (measurement, _) = common::run_attested(&program, &[n], EngineConfig::default());
+        let stats = measurement.stats;
+        if let Some((prev_events, prev_latency)) = previous {
+            assert!(stats.branch_events > prev_events);
+            assert!(stats.internal_latency_cycles > prev_latency);
+            // Per-event latency is bounded by 2 + 5 (a loop can exit at most once per
+            // branch event).
+            let per_event = stats.internal_latency_cycles as f64 / stats.branch_events as f64;
+            assert!(per_event <= (BRANCH_EVENT_LATENCY + LOOP_EXIT_LATENCY) as f64);
+        }
+        previous = Some((stats.branch_events, stats.internal_latency_cycles));
+    }
+}

@@ -1,0 +1,102 @@
+//! E4 — hash engine streaming behaviour (§5.3).
+//!
+//! The SHA-3-512 core absorbs one 64-bit `(Src, Dest)` pair per cycle, needs nine
+//! absorbed words to fill its 576-bit rate, is then busy for three cycles, and a
+//! small input cache buffer prevents dropping pairs that arrive during the busy
+//! window.  The digest produced by the streaming engine is bit-identical to the
+//! software SHA-3 over the same words.
+
+mod common;
+
+use lofat::EngineConfig;
+use lofat_crypto::{EngineStatus, HashEngine, HashEngineConfig, Sha3_512};
+use lofat_workloads::catalog;
+
+/// 9 absorb cycles then exactly 3 busy cycles, repeatedly.
+#[test]
+fn nine_absorbs_then_three_busy_cycles() {
+    let mut engine = HashEngine::new(HashEngineConfig::default());
+    let mut busy_pattern = Vec::new();
+    let mut word = 0u64;
+    for _cycle in 0..48 {
+        if engine.buffered() < engine.config().input_buffer_words && word < 27 {
+            engine.offer(word).unwrap();
+            word += 1;
+        }
+        busy_pattern.push(matches!(engine.status(), EngineStatus::Busy { .. }));
+        engine.step();
+    }
+    let busy_cycles = busy_pattern.iter().filter(|&&b| b).count();
+    assert_eq!(engine.stats().permutations, 3, "27 words = 3 full blocks");
+    assert_eq!(busy_cycles, 9, "3 busy cycles per permutation");
+}
+
+/// The input cache buffer rides out the busy window at the engine's sustainable
+/// peak rate without dropping a single pair.
+#[test]
+fn buffer_prevents_drops_at_peak_rate() {
+    let mut engine = HashEngine::new(HashEngineConfig::default());
+    let mut word = 0u64;
+    for cycle in 0u64..24_000 {
+        if cycle % 12 < 9 {
+            engine.offer(word).expect("no drops at the sustainable peak rate");
+            word += 1;
+        }
+        engine.step();
+    }
+    assert_eq!(engine.stats().words_dropped, 0);
+    assert!(engine.stats().max_buffer_occupancy <= engine.config().input_buffer_words);
+}
+
+/// The streaming digest equals the software SHA-3 digest of the same word stream.
+#[test]
+fn streaming_digest_equals_software_digest() {
+    let mut engine = HashEngine::new(HashEngineConfig::default());
+    let mut reference = Sha3_512::new();
+    for word in 0u64..1_000 {
+        while engine.buffered() == engine.config().input_buffer_words {
+            engine.step();
+        }
+        engine.offer(word).unwrap();
+        engine.step();
+        reference.update(word.to_le_bytes());
+    }
+    assert_eq!(engine.finalize().unwrap(), reference.finalize());
+}
+
+/// End-to-end: across the whole workload corpus the engine inside LO-FAT never
+/// drops a word and absorbs exactly the pairs the engine decided to hash.
+#[test]
+fn no_workload_ever_drops_trace_data() {
+    for workload in catalog::all() {
+        let program = workload.program().unwrap();
+        let mut engine =
+            lofat::LofatEngine::for_program(&program, EngineConfig::default()).unwrap();
+        let mut cpu = common::cpu_with_input(&program, &workload.default_input);
+        cpu.run_traced(50_000_000, &mut engine).unwrap();
+        let stats = *engine.stats();
+        let measurement = engine.finalize().unwrap();
+        assert_eq!(measurement.stats.pairs_hashed, stats.pairs_hashed);
+        assert!(measurement.stats.pairs_hashed > 0, "workload `{}`", workload.name);
+    }
+}
+
+/// A larger input buffer never changes the digest, only the burst tolerance — the
+/// functional and timing models cannot diverge.
+#[test]
+fn buffer_size_does_not_affect_the_digest() {
+    let workload = catalog::by_name("crc32").unwrap();
+    let program = workload.program().unwrap();
+    let small = EngineConfig {
+        hash_engine: HashEngineConfig { input_buffer_words: 2, ..Default::default() },
+        ..EngineConfig::default()
+    };
+    let large = EngineConfig {
+        hash_engine: HashEngineConfig { input_buffer_words: 64, ..Default::default() },
+        ..EngineConfig::default()
+    };
+    let (a, _) = common::run_attested(&program, &workload.default_input, small);
+    let (b, _) = common::run_attested(&program, &workload.default_input, large);
+    assert_eq!(a.authenticator, b.authenticator);
+    assert_eq!(a.metadata, b.metadata);
+}

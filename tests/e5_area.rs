@@ -1,0 +1,83 @@
+//! E5 — area and on-chip memory model (§5.2, §6.2).
+//!
+//! "Tracking ℓ branches per path in a loop requires 8 × 2^ℓ bits memory"; the
+//! prototype (ℓ = 16, n = 4, 3 nested levels) needs ≈1.5 Mbit synthesised as
+//! 49 36-Kbit BRAMs (16 per loop level), ≈20 % extra logic (4 % FF / 6 % LUT) and
+//! runs at 80 MHz on the Virtex-7 XC7Z020 (150 MHz for the hash engine alone).
+
+use lofat::{AreaModel, EngineConfig};
+
+#[test]
+fn paper_design_point_is_reproduced() {
+    let model = AreaModel::new();
+    let estimate = model.estimate(&EngineConfig::paper_prototype());
+    assert_eq!(estimate.path_memory_bits_per_loop, 524_288, "8 × 2^16 bits");
+    assert_eq!(estimate.total_loop_memory_bits, 1_572_864, "≈1.5 Mbit");
+    assert_eq!(estimate.brams_per_loop, 16);
+    assert_eq!(estimate.total_brams, 49);
+    assert!((estimate.logic_overhead - 0.20).abs() < 0.01, "≈20 % logic overhead");
+    assert!((estimate.register_utilisation - 0.04).abs() < 0.005, "≈4 % registers");
+    assert!((estimate.lut_utilisation - 0.06).abs() < 0.005, "≈6 % LUTs");
+    assert!((estimate.max_clock_mhz - 80.0).abs() < 1e-9, "80 MHz with the CAM");
+}
+
+#[test]
+fn memory_formula_is_exponential_in_path_bits() {
+    let model = AreaModel::new();
+    for bits in 4..=20u32 {
+        assert_eq!(model.path_memory_bits(bits), 8u64 << bits);
+    }
+    // Each additional path bit doubles the memory (the §5.2 trade-off).
+    for bits in 4..20u32 {
+        assert_eq!(model.path_memory_bits(bits + 1), 2 * model.path_memory_bits(bits));
+    }
+}
+
+#[test]
+fn bram_count_sweep_is_monotonic_in_both_parameters() {
+    let model = AreaModel::new();
+    let mut previous = 0;
+    for bits in [8u32, 10, 12, 14, 16, 18] {
+        let config = EngineConfig::builder().max_path_bits(bits).build().unwrap();
+        let estimate = model.estimate(&config);
+        assert!(estimate.total_brams >= previous, "BRAMs must not shrink as ℓ grows");
+        previous = estimate.total_brams;
+    }
+    let mut previous = 0;
+    for depth in 1..=5usize {
+        let config = EngineConfig::builder().max_nesting_depth(depth).build().unwrap();
+        let estimate = model.estimate(&config);
+        assert!(estimate.total_brams > previous, "each nesting level adds its own memories");
+        assert_eq!(estimate.total_brams, estimate.brams_per_loop * depth as u64 + 1);
+        previous = estimate.total_brams;
+    }
+}
+
+#[test]
+fn coarser_granularity_reduces_memory_significantly() {
+    // §6.2: "Configuring these parameters to lower numbers reduces the memory
+    // requirements significantly at the expense of coarser granularity."
+    let model = AreaModel::new();
+    let fine = model.estimate(&EngineConfig::paper_prototype());
+    let coarse = model.estimate(
+        &EngineConfig::builder().max_path_bits(8).max_nesting_depth(2).build().unwrap(),
+    );
+    assert!(coarse.total_loop_memory_bits * 100 < fine.total_loop_memory_bits);
+    assert!(coarse.total_brams < fine.total_brams / 10);
+}
+
+#[test]
+fn removing_the_cam_reaches_the_hash_engine_clock() {
+    let model = AreaModel::new();
+    let mut config = EngineConfig::paper_prototype();
+    config.indirect_target_bits = 0;
+    let estimate = model.estimate(&config);
+    assert!((estimate.max_clock_mhz - 150.0).abs() < 1e-9, "§6.1: eliminating the CAM access raises the clock");
+}
+
+#[test]
+fn device_has_enough_brams_for_the_prototype() {
+    let model = AreaModel::new();
+    let estimate = model.estimate(&EngineConfig::paper_prototype());
+    assert!(estimate.total_brams <= model.device().brams, "the XC7Z020 fits the design");
+}

@@ -1,0 +1,159 @@
+//! E8 — security evaluation (§2, §6.3).
+//!
+//! LO-FAT must detect the three run-time attack classes of Fig. 1 — ① non-control-
+//! data attacks that change which permissible path executes, ② loop-counter
+//! manipulation, ③ code-pointer overwrites (including ROP-style return hijacks) —
+//! while replayed/stale reports and forged signatures are rejected by the protocol.
+//! Pure data-oriented attacks that leave the control flow untouched are out of
+//! scope by design and must *not* be flagged (no false positives).
+
+use lofat::protocol::{run_attestation, run_attestation_with_adversary};
+use lofat::{LofatError, Prover, RejectionReason, Verifier};
+use lofat_crypto::DeviceKey;
+use lofat_workloads::attack;
+use lofat_workloads::catalog;
+
+fn setup(name: &str) -> (lofat_rv32::Program, Prover, Verifier) {
+    let workload = catalog::by_name(name).unwrap();
+    let program = workload.program().unwrap();
+    let key = DeviceKey::from_seed("e8-device");
+    let prover = Prover::new(program.clone(), name, key.clone());
+    let verifier = Verifier::new(program.clone(), name, key.verification_key()).unwrap();
+    (program, prover, verifier)
+}
+
+fn assert_rejected(result: Result<lofat::protocol::ProtocolOutcome, LofatError>) -> RejectionReason {
+    match result {
+        Err(LofatError::Rejected(reason)) => reason,
+        Ok(_) => panic!("attack was accepted"),
+        Err(other) => panic!("unexpected error: {other}"),
+    }
+}
+
+/// Class ① — a corrupted decision variable flips which (legal) branch executes.
+#[test]
+fn non_control_data_attack_is_detected() {
+    let (program, mut prover, mut verifier) = setup("fig4-loop");
+    let input_addr = program.symbol("input").unwrap();
+    let mut fault = attack::non_control_data_attack(input_addr, 9);
+    let reason = assert_rejected(run_attestation_with_adversary(
+        &mut verifier,
+        &mut prover,
+        vec![4],
+        &mut fault,
+    ));
+    assert!(matches!(
+        reason,
+        RejectionReason::AuthenticatorMismatch | RejectionReason::MetadataMismatch
+    ));
+}
+
+/// Class ② — the syringe-pump loop bound is inflated; the extra iterations show up
+/// in the attested loop metadata and the report is rejected.
+#[test]
+fn loop_counter_manipulation_is_detected() {
+    let (program, mut prover, mut verifier) = setup("syringe-pump");
+    let input_addr = program.symbol("input").unwrap();
+    let mut fault = attack::loop_counter_attack(input_addr, 50);
+    let reason = assert_rejected(run_attestation_with_adversary(
+        &mut verifier,
+        &mut prover,
+        vec![3],
+        &mut fault,
+    ));
+    assert!(matches!(
+        reason,
+        RejectionReason::AuthenticatorMismatch | RejectionReason::MetadataMismatch
+    ));
+}
+
+/// Class ③ — an in-memory function pointer is redirected to a different handler.
+#[test]
+fn code_pointer_table_hijack_is_detected() {
+    let (program, mut prover, mut verifier) = setup("dispatch");
+    let table = program.symbol("table").unwrap();
+    let clear = program.symbol("op_clear").unwrap();
+    let mut fault = attack::code_pointer_attack(table, 0, clear);
+    let reason = assert_rejected(run_attestation_with_adversary(
+        &mut verifier,
+        &mut prover,
+        vec![0, 0, 2, 1],
+        &mut fault,
+    ));
+    assert!(matches!(
+        reason,
+        RejectionReason::AuthenticatorMismatch | RejectionReason::MetadataMismatch
+    ));
+}
+
+/// Class ③ — ROP-style: the saved return address is overwritten so the victim
+/// returns into a privileged routine.
+#[test]
+fn return_address_hijack_is_detected() {
+    let (program, mut prover, mut verifier) = setup("return-victim");
+    let process = program.symbol("process").unwrap();
+    let privileged = program.symbol("privileged").unwrap();
+    let mut fault = attack::return_address_attack(process + 8, 12, privileged);
+    let reason = assert_rejected(run_attestation_with_adversary(
+        &mut verifier,
+        &mut prover,
+        vec![21],
+        &mut fault,
+    ));
+    assert_eq!(reason, RejectionReason::AuthenticatorMismatch);
+}
+
+/// Pure data-oriented attacks (no control-flow change) are not detected — the
+/// paper's stated limitation, and also the no-false-positive check.
+#[test]
+fn data_only_attack_is_not_detected() {
+    let (program, mut prover, mut verifier) = setup("syringe-pump");
+    let pulses = program.symbol("motor_pulses").unwrap();
+    let mut fault = attack::data_only_attack(pulses, 9999);
+    let outcome = run_attestation_with_adversary(&mut verifier, &mut prover, vec![3], &mut fault)
+        .expect("control-flow attestation cannot see pure data corruption");
+    assert_eq!(outcome.prover_run.exit.register_a0, 3);
+}
+
+/// Honest runs of every workload in the corpus are accepted (no false positives
+/// across the whole evaluation suite).
+#[test]
+fn honest_runs_of_all_workloads_are_accepted() {
+    for workload in catalog::all() {
+        let program = workload.program().unwrap();
+        let key = DeviceKey::from_seed("e8-honest");
+        let mut prover = Prover::new(program.clone(), workload.name, key.clone());
+        let mut verifier =
+            Verifier::new(program, workload.name, key.verification_key()).unwrap();
+        let outcome =
+            run_attestation(&mut verifier, &mut prover, workload.default_input.clone())
+                .unwrap_or_else(|e| panic!("workload `{}` rejected: {e}", workload.name));
+        assert_eq!(
+            outcome.prover_run.exit.register_a0,
+            workload.expected_result(&workload.default_input),
+            "workload `{}`",
+            workload.name
+        );
+    }
+}
+
+/// Replaying an old report against a new challenge fails (freshness), and a report
+/// signed with the wrong device key fails (authenticity).
+#[test]
+fn protocol_level_attacks_are_rejected() {
+    let (program, mut prover, mut verifier) = setup("fig4-loop");
+
+    // Freshness: reuse a report for a later challenge.
+    let challenge = verifier.challenge(vec![4]);
+    let run = prover.attest(&challenge.input, challenge.nonce).unwrap();
+    let newer = verifier.challenge(vec![4]);
+    let err = verifier.verify(&run.report, &newer).unwrap_err();
+    assert!(matches!(err, LofatError::Rejected(RejectionReason::NonceMismatch)));
+
+    // Authenticity: a rogue device key.
+    let mut rogue = Prover::new(program, "fig4-loop", DeviceKey::from_seed("rogue"));
+    let challenge = verifier.challenge(vec![4]);
+    let run = rogue.attest(&challenge.input, challenge.nonce).unwrap();
+    let err = verifier.verify(&run.report, &challenge).unwrap_err();
+    assert!(matches!(err, LofatError::Rejected(RejectionReason::BadSignature)));
+}

@@ -1,0 +1,143 @@
+//! E9 (ablation) — loop compression.
+//!
+//! The paper's optimisation: "we significantly reduce the hash computation cost by
+//! only hashing each loop path once and keeping an iteration counter for each unique
+//! loop path" (§4).  This ablation compares the default engine against a variant
+//! with compression disabled (every iteration's `(Src, Dest)` pairs are hashed, as a
+//! naive hardware tracer would).
+//!
+//! The single-level Fig. 4 loop is the cleanest subject: it has exactly two unique
+//! paths however many iterations execute, so the compressed hash work is a small
+//! constant while the naive variant's grows linearly.  (Nested loops such as the
+//! syringe pump re-allocate their per-loop memories on every activation — §5.2
+//! "once a loop exits, its memory is re-used" — so their compression factor is
+//! bounded per activation rather than per run.)
+
+mod common;
+
+use lofat::EngineConfig;
+use lofat_workloads::catalog;
+
+fn configs() -> (EngineConfig, EngineConfig) {
+    let compressed = EngineConfig::default();
+    let naive = EngineConfig::builder().loop_compression(false).build().unwrap();
+    (compressed, naive)
+}
+
+/// Compression removes the vast majority of hash inputs for iteration-heavy loops.
+#[test]
+fn compression_eliminates_most_hash_work_on_loop_heavy_workloads() {
+    let (compressed_cfg, naive_cfg) = configs();
+    let workload = catalog::by_name("fig4-loop").unwrap();
+    let program = workload.program().unwrap();
+    let input = [400u32];
+
+    let (compressed, _) = common::run_attested(&program, &input, compressed_cfg);
+    let (naive, _) = common::run_attested(&program, &input, naive_cfg);
+
+    assert!(
+        naive.stats.pairs_hashed > 10 * compressed.stats.pairs_hashed,
+        "naive {} vs compressed {}",
+        naive.stats.pairs_hashed,
+        compressed.stats.pairs_hashed
+    );
+    assert_eq!(naive.stats.pairs_compressed, 0);
+    assert!(compressed.stats.compression_ratio() > 0.8);
+}
+
+/// The number of hashed pairs stays (nearly) constant in the iteration count with
+/// compression, and grows linearly without it — the combinatorial argument of §4.
+#[test]
+fn hashed_pairs_scale_constant_vs_linear_in_iterations() {
+    let (compressed_cfg, naive_cfg) = configs();
+    let workload = catalog::by_name("fig4-loop").unwrap();
+    let program = workload.program().unwrap();
+
+    let mut compressed_points = Vec::new();
+    let mut naive_points = Vec::new();
+    for n in [50u32, 100, 200, 400] {
+        let (c, _) = common::run_attested(&program, &[n], compressed_cfg);
+        let (nv, _) = common::run_attested(&program, &[n], naive_cfg);
+        compressed_points.push(c.stats.pairs_hashed);
+        naive_points.push(nv.stats.pairs_hashed);
+    }
+    // Compressed: the per-run hash work is bounded by a small constant regardless of
+    // the iteration count (new paths only).
+    let compressed_growth =
+        *compressed_points.last().unwrap() as f64 / compressed_points[0] as f64;
+    assert!(compressed_growth < 1.5, "compressed hash work is ~constant, grew {compressed_growth}x");
+    // Naive: hash work grows proportionally with iterations (~8x for an 8x sweep).
+    let naive_growth = *naive_points.last().unwrap() as f64 / naive_points[0] as f64;
+    assert!(naive_growth > 5.0, "naive hash work grows with iterations, grew only {naive_growth}x");
+}
+
+/// Both variants remain deterministic and verifiable; they simply disagree with each
+/// other (they measure different things), which is why prover and verifier must
+/// share the configuration.
+#[test]
+fn both_variants_are_deterministic_but_differ() {
+    let (compressed_cfg, naive_cfg) = configs();
+    let workload = catalog::by_name("fig4-loop").unwrap();
+    let program = workload.program().unwrap();
+    let input = [20u32];
+
+    let (c1, _) = common::run_attested(&program, &input, compressed_cfg);
+    let (c2, _) = common::run_attested(&program, &input, compressed_cfg);
+    let (n1, _) = common::run_attested(&program, &input, naive_cfg);
+    let (n2, _) = common::run_attested(&program, &input, naive_cfg);
+
+    assert_eq!(c1.authenticator, c2.authenticator);
+    assert_eq!(n1.authenticator, n2.authenticator);
+    assert_ne!(
+        c1.authenticator, n1.authenticator,
+        "repeated iterations reach the hash engine only without compression"
+    );
+    // The loop metadata (paths, counters) is identical — compression only changes
+    // which pairs reach the hash engine.
+    assert_eq!(c1.metadata, n1.metadata);
+}
+
+/// The verifier's combinatorial-explosion argument: without compression the
+/// authenticator depends on the exact iteration counts, so a verifier would need one
+/// reference hash per possible input; with compression the hash is iteration-count
+/// independent and the counts live in the inspectable metadata.
+#[test]
+fn compressed_authenticator_is_iteration_count_independent() {
+    let (compressed_cfg, naive_cfg) = configs();
+    let workload = catalog::by_name("fig4-loop").unwrap();
+    let program = workload.program().unwrap();
+
+    // 21 and 41 iterations: same two unique paths, observed in the same order.
+    let (c_small, _) = common::run_attested(&program, &[21], compressed_cfg);
+    let (c_large, _) = common::run_attested(&program, &[41], compressed_cfg);
+    assert_eq!(
+        c_small.authenticator, c_large.authenticator,
+        "same unique paths → same authenticator; the counts differ only in L"
+    );
+    assert_ne!(c_small.metadata, c_large.metadata);
+
+    let (n_small, _) = common::run_attested(&program, &[21], naive_cfg);
+    let (n_large, _) = common::run_attested(&program, &[41], naive_cfg);
+    assert_ne!(
+        n_small.authenticator, n_large.authenticator,
+        "the naive scheme's hash changes with every iteration count"
+    );
+}
+
+/// Even with compression disabled the prover/verifier pair agrees end-to-end as long
+/// as both use the same configuration.
+#[test]
+fn naive_configuration_still_verifies_end_to_end() {
+    let (_, naive_cfg) = configs();
+    let workload = catalog::by_name("fig4-loop").unwrap();
+    let program = workload.program().unwrap();
+    let key = lofat_crypto::DeviceKey::from_seed("e9-device");
+    let mut prover =
+        lofat::Prover::new(program.clone(), workload.name, key.clone()).with_config(naive_cfg);
+    let mut verifier = lofat::Verifier::new(program, workload.name, key.verification_key())
+        .unwrap()
+        .with_config(naive_cfg);
+    let outcome =
+        lofat::protocol::run_attestation(&mut verifier, &mut prover, vec![13]).unwrap();
+    assert_eq!(outcome.prover_run.exit.register_a0, workload.expected_result(&[13]));
+}

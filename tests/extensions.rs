@@ -1,0 +1,103 @@
+//! Extension features beyond the paper's minimum: the precomputed measurement
+//! database, publicly verifiable (Lamport) report signatures, the recursion-depth
+//! statistic and the disassembly tooling.
+
+mod common;
+
+use lofat::{EngineConfig, LofatError, MeasurementDatabase, Prover, Verifier};
+use lofat_cflat::CflatAttestor;
+use lofat_crypto::{DeviceKey, LamportKeyPair, Nonce, SignatureVerifier, Signer};
+use lofat_rv32::disasm;
+use lofat_workloads::catalog;
+
+/// The measurement database accepts exactly the honest reports of the inputs it was
+/// built for, and the full protocol still provides freshness/authenticity on top.
+#[test]
+fn measurement_database_round_trip() {
+    let workload = catalog::by_name("fig4-loop").unwrap();
+    let program = workload.program().unwrap();
+    let key = DeviceKey::from_seed("ext-db");
+    let mut prover = Prover::new(program.clone(), workload.name, key.clone());
+    let verifier = Verifier::new(program, workload.name, key.verification_key()).unwrap();
+
+    let inputs: Vec<Vec<u32>> = (1..=6u32).map(|n| vec![n]).collect();
+    let db = MeasurementDatabase::build(&verifier, EngineConfig::default(), inputs.clone()).unwrap();
+    assert_eq!(db.len(), 6);
+
+    for input in &inputs {
+        let run = prover.attest(input, Nonce::from_counter(9)).unwrap();
+        let reference = db.check(input, &run.report).unwrap();
+        assert_eq!(reference.expected_result, workload.expected_result(input));
+    }
+    // A mismatched input fails the lookup comparison.
+    let run = prover.attest(&[6], Nonce::from_counter(10)).unwrap();
+    assert!(matches!(db.check(&[2], &run.report), Err(LofatError::Rejected(_))));
+}
+
+/// The database detects a loop-counter attack without golden replay at verification
+/// time (the replay happened once, offline, when the database was built).
+#[test]
+fn measurement_database_detects_attacks() {
+    let workload = catalog::by_name("syringe-pump").unwrap();
+    let program = workload.program().unwrap();
+    let key = DeviceKey::from_seed("ext-db-attack");
+    let mut prover = Prover::new(program.clone(), workload.name, key.clone());
+    let verifier = Verifier::new(program.clone(), workload.name, key.verification_key()).unwrap();
+    let db = MeasurementDatabase::build(&verifier, EngineConfig::default(), vec![vec![3u32]]).unwrap();
+
+    let mut fault =
+        lofat_workloads::attack::loop_counter_attack(program.symbol("input").unwrap(), 30);
+    let run = prover.attest_with_adversary(&[3], Nonce::from_counter(1), &mut fault).unwrap();
+    assert!(matches!(db.check(&[3], &run.report), Err(LofatError::Rejected(_))));
+}
+
+/// The attestation report payload can additionally be signed with a hash-based
+/// one-time signature for public verifiability.
+#[test]
+fn lamport_signed_report_is_publicly_verifiable() {
+    let workload = catalog::by_name("crc32").unwrap();
+    let program = workload.program().unwrap();
+    let mut prover = Prover::new(program, workload.name, DeviceKey::from_seed("ext-ots"));
+    let run = prover.attest(&workload.default_input, Nonce::from_counter(5)).unwrap();
+
+    let mut ots = LamportKeyPair::from_seed(b"ext-ots-key");
+    let public = ots.public_key();
+    let signature = ots.sign(&run.report.payload()).unwrap();
+    assert!(public.verify(&run.report.payload(), &signature).is_ok());
+    // Any other payload fails, and the key cannot sign twice.
+    assert!(public.verify(b"different payload", &signature).is_err());
+    assert!(ots.sign(&run.report.payload()).is_err());
+}
+
+/// The engine tracks the recursion depth of the attested execution: recursive
+/// Fibonacci reaches a call depth equal to its argument (minus the base cases).
+#[test]
+fn recursion_depth_is_reported() {
+    let workload = catalog::by_name("fibonacci").unwrap();
+    let shallow = common::attest_workload(&workload, &[3]).0.stats.max_call_depth;
+    let deep = common::attest_workload(&workload, &[9]).0.stats.max_call_depth;
+    assert!(deep > shallow);
+    assert_eq!(deep, 9, "fib(9) recurses 8 levels below the top-level call");
+    // A call-free workload reports zero.
+    let flat = catalog::by_name("diamond-paths").unwrap();
+    assert_eq!(common::attest_workload(&flat, &[8]).0.stats.max_call_depth, 0);
+}
+
+/// The disassembler's control-flow site count agrees with the C-FLAT instrumentation
+/// report (both count the sites the respective scheme watches/rewrites).
+#[test]
+fn disassembler_and_instrumentation_report_agree() {
+    for workload in catalog::all() {
+        let program = workload.program().unwrap();
+        let sites = disasm::control_flow_sites(&program);
+        let report = CflatAttestor::new().instrumentation_report(&program);
+        assert_eq!(sites as u64, report.rewrite_sites, "workload `{}`", workload.name);
+        let text = disasm::listing(&program);
+        assert_eq!(
+            text.matches('*').count(),
+            sites,
+            "workload `{}`: every control-flow site is marked",
+            workload.name
+        );
+    }
+}
