@@ -18,7 +18,10 @@ fn print_table() {
     let cfg = Cfg::from_program(&program).expect("cfg");
     let loops = cfg.natural_loops();
     let enumeration = enumerate_loop_paths(&cfg, &loops.loops()[0], 64).expect("paths");
-    println!("statically valid encodings : {:?} (paper: [\"0011\", \"011\"])", enumeration.encoding_strings());
+    println!(
+        "statically valid encodings : {:?} (paper: [\"0011\", \"011\"])",
+        enumeration.encoding_strings()
+    );
 
     let (measurement, _) = attest_workload(&workload, &[8]);
     let record = &measurement.metadata.loops[0];

@@ -19,7 +19,8 @@ fn print_table() {
     println!("\n=== E8: attack detection matrix ===");
     println!("{:<52} {:>10} {:>10}", "attack", "expected", "observed");
 
-    let cases: Vec<(&str, &str, Vec<u32>, bool, Box<dyn Fn(&lofat_rv32::Program) -> attack::Fault>)> = vec![
+    type FaultBuilder = Box<dyn Fn(&lofat_rv32::Program) -> attack::Fault>;
+    let cases: Vec<(&str, &str, Vec<u32>, bool, FaultBuilder)> = vec![
         (
             "① non-control-data (decision variable)",
             "fig4-loop",
@@ -74,15 +75,11 @@ fn print_table() {
         let program = workload.program().expect("assemble");
         let key = DeviceKey::from_seed("e8-bench");
         let mut prover = Prover::new(program.clone(), workload.name, key.clone());
-        let mut verifier =
-            Verifier::new(program.clone(), workload.name, key.verification_key()).expect("verifier");
+        let mut verifier = Verifier::new(program.clone(), workload.name, key.verification_key())
+            .expect("verifier");
         let mut fault = build_fault(&program);
-        let observed = verdict(run_attestation_with_adversary(
-            &mut verifier,
-            &mut prover,
-            input,
-            &mut fault,
-        ));
+        let observed =
+            verdict(run_attestation_with_adversary(&mut verifier, &mut prover, input, &mut fault));
         let expected = if detected { "REJECTED" } else { "accepted" };
         println!("{:<52} {:>10} {:>10}", name, expected, observed);
     }
@@ -102,7 +99,8 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let mut prover = Prover::new(program.clone(), workload.name, key.clone());
             let mut verifier =
-                Verifier::new(program.clone(), workload.name, key.verification_key()).expect("verifier");
+                Verifier::new(program.clone(), workload.name, key.verification_key())
+                    .expect("verifier");
             run_attestation(&mut verifier, &mut prover, vec![5]).expect("accepted")
         })
     });
@@ -110,13 +108,16 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let mut prover = Prover::new(program.clone(), workload.name, key.clone());
             let mut verifier =
-                Verifier::new(program.clone(), workload.name, key.verification_key()).expect("verifier");
+                Verifier::new(program.clone(), workload.name, key.verification_key())
+                    .expect("verifier");
             let mut fault = attack::loop_counter_attack(program.symbol("input").unwrap(), 40);
             run_attestation_with_adversary(&mut verifier, &mut prover, vec![5], &mut fault)
         })
     });
     group.bench_function("verifier_offline_cfg_analysis", |b| {
-        b.iter(|| Verifier::new(program.clone(), workload.name, key.verification_key()).expect("verifier"))
+        b.iter(|| {
+            Verifier::new(program.clone(), workload.name, key.verification_key()).expect("verifier")
+        })
     });
     group.finish();
 }

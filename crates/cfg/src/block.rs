@@ -3,7 +3,9 @@
 use lofat_rv32::isa::Instruction;
 
 /// Index of a basic block inside a [`crate::Cfg`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct BlockId(pub usize);
 
 impl std::fmt::Display for BlockId {

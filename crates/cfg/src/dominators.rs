@@ -123,12 +123,7 @@ impl Dominators {
     }
 }
 
-fn intersect(
-    idom: &[Option<BlockId>],
-    order_index: &[usize],
-    a: BlockId,
-    b: BlockId,
-) -> BlockId {
+fn intersect(idom: &[Option<BlockId>], order_index: &[usize], a: BlockId, b: BlockId) -> BlockId {
     let mut finger1 = a;
     let mut finger2 = b;
     while finger1 != finger2 {
@@ -153,8 +148,7 @@ mod tests {
 
     #[test]
     fn diamond_dominance() {
-        let cfg = cfg(
-            r#"
+        let cfg = cfg(r#"
             .text
             main:
                 bnez a0, then
@@ -164,8 +158,7 @@ mod tests {
                 li   a1, 2
             join:
                 ecall
-            "#,
-        );
+            "#);
         let dom = cfg.dominators();
         let entry = cfg.entry();
         let join = cfg.blocks().last().unwrap().id;
@@ -180,8 +173,7 @@ mod tests {
 
     #[test]
     fn loop_header_dominates_body() {
-        let cfg = cfg(
-            r#"
+        let cfg = cfg(r#"
             .text
             main:
                 li t0, 4
@@ -191,8 +183,7 @@ mod tests {
             body_end:
                 bnez t0, loop
                 ecall
-            "#,
-        );
+            "#);
         let dom = cfg.dominators();
         let header = cfg.block_at(cfg.block(cfg.entry()).end).unwrap();
         for block in cfg.blocks() {

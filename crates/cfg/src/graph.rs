@@ -274,11 +274,9 @@ fn make_terminator(pc: u32, inst: &Instruction) -> Terminator {
             target: pc.wrapping_add(offset as u32),
             linking: rd.is_link(),
         },
-        Instruction::Jalr { rd, .. } => Terminator::IndirectJump {
-            at: pc,
-            linking: rd.is_link(),
-            is_return: inst.is_return(),
-        },
+        Instruction::Jalr { rd, .. } => {
+            Terminator::IndirectJump { at: pc, linking: rd.is_link(), is_return: inst.is_return() }
+        }
         Instruction::Ecall | Instruction::Ebreak => Terminator::Exit { at: pc },
         _ => unreachable!("only block-ending instructions produce terminators"),
     }
@@ -318,8 +316,7 @@ mod tests {
 
     #[test]
     fn if_else_diamond() {
-        let cfg = cfg(
-            r#"
+        let cfg = cfg(r#"
             .text
             main:
                 bnez a0, then
@@ -329,8 +326,7 @@ mod tests {
                 li   a1, 2
             join:
                 ecall
-            "#,
-        );
+            "#);
         assert_eq!(cfg.block_count(), 4);
         let entry_succs = cfg.successors(cfg.entry());
         assert_eq!(entry_succs.len(), 2);
@@ -343,16 +339,14 @@ mod tests {
 
     #[test]
     fn call_produces_call_and_fallthrough_edges() {
-        let cfg = cfg(
-            r#"
+        let cfg = cfg(r#"
             .text
             main:
                 call helper
                 ecall
             helper:
                 ret
-            "#,
-        );
+            "#);
         let entry = cfg.entry();
         let kinds: Vec<EdgeKind> = cfg.successor_edges(entry).map(|e| e.kind).collect();
         assert!(kinds.contains(&EdgeKind::Call));
@@ -365,8 +359,7 @@ mod tests {
 
     #[test]
     fn indirect_call_edges_point_to_known_functions() {
-        let cfg = cfg(
-            r#"
+        let cfg = cfg(r#"
             .text
             main:
                 la   t1, helper
@@ -377,8 +370,7 @@ mod tests {
             other:
                 call helper
                 ret
-            "#,
-        );
+            "#);
         let indirect: Vec<&Edge> =
             cfg.edges().iter().filter(|e| e.kind == EdgeKind::Indirect).collect();
         assert!(!indirect.is_empty(), "indirect call should over-approximate to call targets");

@@ -212,8 +212,7 @@ mod tests {
 
     #[test]
     fn nested_loops_have_increasing_depth() {
-        let cfg = cfg(
-            r#"
+        let cfg = cfg(r#"
             .text
             main:
                 li   t0, 3
@@ -225,8 +224,7 @@ mod tests {
                 addi t0, t0, -1
                 bnez t0, outer
                 ecall
-            "#,
-        );
+            "#);
         let nest = cfg.natural_loops();
         assert_eq!(nest.len(), 2);
         assert_eq!(nest.max_depth(), 2);
@@ -243,8 +241,7 @@ mod tests {
     #[test]
     fn while_with_if_else_is_one_loop_with_branching_body() {
         // The Fig. 4 shape: while (cond1) { if (cond2) bb4 else bb5; bb6 }.
-        let cfg = cfg(
-            r#"
+        let cfg = cfg(r#"
             .text
             main:
                 li   t0, 4
@@ -261,8 +258,7 @@ mod tests {
                 j    while_head
             exit:
                 ecall
-            "#,
-        );
+            "#);
         let nest = cfg.natural_loops();
         assert_eq!(nest.len(), 1);
         let l = &nest.loops()[0];

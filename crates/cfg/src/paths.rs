@@ -76,8 +76,7 @@ impl PathEnumeration {
 
     /// The set of valid encodings as bit strings.
     pub fn encoding_strings(&self) -> Vec<String> {
-        let mut strings: Vec<String> =
-            self.paths.iter().map(LoopPath::encoding_string).collect();
+        let mut strings: Vec<String> = self.paths.iter().map(LoopPath::encoding_string).collect();
         strings.sort();
         strings.dedup();
         strings
@@ -168,8 +167,7 @@ mod tests {
     /// The two valid paths encode to `011` and `0011` exactly as in the paper.
     #[test]
     fn fig4_encodings_match_paper() {
-        let cfg = cfg(
-            r#"
+        let cfg = cfg(r#"
             .text
             main:
                 li   t0, 4
@@ -186,8 +184,7 @@ mod tests {
                 j    while_head        # back edge contributes a 1
             exit:
                 ecall                  # N7
-            "#,
-        );
+            "#);
         let nest = cfg.natural_loops();
         assert_eq!(nest.len(), 1);
         let enumeration = enumerate_loop_paths(&cfg, &nest.loops()[0], 64).unwrap();
@@ -213,8 +210,7 @@ mod tests {
     #[test]
     fn path_explosion_is_bounded() {
         // A loop body with many successive diamonds has 2^n paths.
-        let cfg = cfg(
-            r#"
+        let cfg = cfg(r#"
             .text
             main:
                 li   t0, 8
@@ -236,8 +232,7 @@ mod tests {
                 j    head
             out:
                 ecall
-            "#,
-        );
+            "#);
         let nest = cfg.natural_loops();
         let l = &nest.loops()[0];
         assert!(enumerate_loop_paths(&cfg, l, 4).is_err());

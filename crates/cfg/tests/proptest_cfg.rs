@@ -105,7 +105,7 @@ proptest! {
         let mut previous_end = 0u32;
         for block in cfg.blocks() {
             prop_assert!(block.start >= previous_end, "blocks are ordered and disjoint");
-            prop_assert!(block.len() > 0);
+            prop_assert!(!block.is_empty());
             covered += block.len();
             previous_end = block.end;
         }

@@ -165,7 +165,8 @@ mod tests {
 
     #[test]
     fn straight_line_code_has_minimal_overhead() {
-        let program = assemble(".text\nmain:\n    li a0, 1\n    addi a0, a0, 2\n    ecall\n").unwrap();
+        let program =
+            assemble(".text\nmain:\n    li a0, 1\n    addi a0, a0, 2\n    ecall\n").unwrap();
         let run = CflatAttestor::new().attest(&program, 1_000).unwrap();
         assert_eq!(run.events, 0);
         assert_eq!(run.overhead_cycles, 0);
@@ -179,7 +180,10 @@ mod tests {
         let b = attestor.attest(&loop_program(5), 100_000).unwrap();
         let c = attestor.attest(&loop_program(6), 100_000).unwrap();
         assert_eq!(a.measurement, b.measurement);
-        assert_ne!(a.measurement, c.measurement, "without loop compression every iteration is hashed");
+        assert_ne!(
+            a.measurement, c.measurement,
+            "without loop compression every iteration is hashed"
+        );
     }
 
     #[test]

@@ -178,10 +178,9 @@ mod tests {
     #[test]
     fn deeper_nesting_costs_proportionally_more_brams() {
         let model = AreaModel::new();
-        let shallow = model
-            .estimate(&EngineConfig::builder().max_nesting_depth(1).build().unwrap());
-        let deep = model
-            .estimate(&EngineConfig::builder().max_nesting_depth(4).build().unwrap());
+        let shallow =
+            model.estimate(&EngineConfig::builder().max_nesting_depth(1).build().unwrap());
+        let deep = model.estimate(&EngineConfig::builder().max_nesting_depth(4).build().unwrap());
         assert_eq!(shallow.total_brams, 17);
         assert_eq!(deep.total_brams, 65);
         assert!(deep.logic_overhead > shallow.logic_overhead);

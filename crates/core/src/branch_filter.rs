@@ -105,13 +105,7 @@ mod tests {
     }
 
     fn plain(pc: u32) -> RetiredInst {
-        RetiredInst {
-            cycle: 0,
-            pc,
-            inst: Instruction::Ecall,
-            next_pc: pc + 4,
-            branch: None,
-        }
+        RetiredInst { cycle: 0, pc, inst: Instruction::Ecall, next_pc: pc + 4, branch: None }
     }
 
     #[test]

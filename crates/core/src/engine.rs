@@ -350,8 +350,7 @@ mod tests {
         let program = assemble_or_panic(LOOP_PROGRAM);
         let compressed =
             attest_program(&program, EngineConfig::default(), 100_000).unwrap().0.stats;
-        let uncompressed_cfg =
-            EngineConfig::builder().loop_compression(false).build().unwrap();
+        let uncompressed_cfg = EngineConfig::builder().loop_compression(false).build().unwrap();
         let uncompressed = attest_program(&program, uncompressed_cfg, 100_000).unwrap().0.stats;
         assert!(uncompressed.pairs_hashed > compressed.pairs_hashed);
         assert_eq!(uncompressed.pairs_compressed, 0);

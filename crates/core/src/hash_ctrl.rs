@@ -37,7 +37,11 @@ pub struct HashController {
 impl HashController {
     /// Creates a controller driving a freshly initialised hash engine.
     pub fn new(config: HashEngineConfig) -> Self {
-        Self { engine: HashEngine::new(config), queue: VecDeque::new(), stats: HashControllerStats::default() }
+        Self {
+            engine: HashEngine::new(config),
+            queue: VecDeque::new(),
+            stats: HashControllerStats::default(),
+        }
     }
 
     /// Submits one `(Src, Dest)` pair for inclusion in the authenticator.

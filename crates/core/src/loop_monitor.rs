@@ -312,12 +312,7 @@ impl LoopMonitor {
             return;
         }
         let depth = self.stack.len() + 1;
-        self.stack.push(ActiveLoop::new(
-            event.target,
-            event.pair.src + 4,
-            depth,
-            &self.config,
-        ));
+        self.stack.push(ActiveLoop::new(event.target, event.pair.src + 4, depth, &self.config));
         self.max_nesting_observed = self.max_nesting_observed.max(self.stack.len());
         output.loops_entered += 1;
     }

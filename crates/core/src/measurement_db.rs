@@ -193,9 +193,8 @@ mod tests {
     #[test]
     fn unknown_inputs_are_reported() {
         let (mut prover, verifier) = setup();
-        let db =
-            MeasurementDatabase::build(&verifier, EngineConfig::default(), vec![vec![1u32]])
-                .unwrap();
+        let db = MeasurementDatabase::build(&verifier, EngineConfig::default(), vec![vec![1u32]])
+            .unwrap();
         let run = prover.attest(&[9], Nonce::from_counter(1)).unwrap();
         let err = db.check(&[9], &run.report).unwrap_err();
         assert!(matches!(err, LofatError::InvalidConfig { .. }));
@@ -206,15 +205,11 @@ mod tests {
     #[test]
     fn wrong_program_id_is_rejected() {
         let (mut prover, verifier) = setup();
-        let db =
-            MeasurementDatabase::build(&verifier, EngineConfig::default(), vec![vec![2u32]])
-                .unwrap();
+        let db = MeasurementDatabase::build(&verifier, EngineConfig::default(), vec![vec![2u32]])
+            .unwrap();
         let mut run = prover.attest(&[2], Nonce::from_counter(1)).unwrap();
         run.report.program_id = "other".into();
         let err = db.check(&[2], &run.report).unwrap_err();
-        assert!(matches!(
-            err,
-            LofatError::Rejected(RejectionReason::ProgramIdMismatch { .. })
-        ));
+        assert!(matches!(err, LofatError::Rejected(RejectionReason::ProgramIdMismatch { .. })));
     }
 }

@@ -193,12 +193,8 @@ mod tests {
     fn size_grows_with_paths_and_targets() {
         let base = sample().size_bytes();
         let mut more = sample();
-        more.loops[0]
-            .paths
-            .push(PathRecord { path_id: 0b111, first_occurrence: 2, iterations: 1 });
-        more.loops[1]
-            .indirect_targets
-            .push(IndirectTargetRecord { target: 0x3000, code: 2 });
+        more.loops[0].paths.push(PathRecord { path_id: 0b111, first_occurrence: 2, iterations: 1 });
+        more.loops[1].indirect_targets.push(IndirectTargetRecord { target: 0x3000, code: 2 });
         assert!(more.size_bytes() > base);
     }
 }

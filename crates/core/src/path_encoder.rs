@@ -120,7 +120,7 @@ mod tests {
         enc.push_bit(true);
         enc.push_code(0b0101, 4);
         assert_eq!(enc.bits_used(), 5);
-        assert_eq!(enc.path_id(), 0b1_1_0101);
+        assert_eq!(enc.path_id(), 0b11_0101);
     }
 
     #[test]

@@ -74,8 +74,7 @@ pub fn run_attestation_with_adversary<A: Adversary + ?Sized>(
     adversary: &mut A,
 ) -> Result<ProtocolOutcome, LofatError> {
     let challenge = verifier.challenge(input);
-    let prover_run =
-        prover.attest_with_adversary(&challenge.input, challenge.nonce, adversary)?;
+    let prover_run = prover.attest_with_adversary(&challenge.input, challenge.nonce, adversary)?;
     let verdict = verifier.verify(&prover_run.report, &challenge)?;
     Ok(ProtocolOutcome { challenge, prover_run, verdict })
 }

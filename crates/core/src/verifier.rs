@@ -242,8 +242,7 @@ impl Verifier {
         input: &[u32],
     ) -> Result<(Measurement, ExitInfo), LofatError> {
         if input.is_empty() {
-            let (measurement, exit) =
-                attest_program(&self.program, self.config, self.max_cycles)?;
+            let (measurement, exit) = attest_program(&self.program, self.config, self.max_cycles)?;
             return Ok((measurement, exit));
         }
         let mut engine = crate::engine::LofatEngine::for_program(&self.program, self.config)?;
@@ -393,9 +392,8 @@ mod tests {
                 cpu.memory_mut().poke_bytes(input_len, &3u32.to_le_bytes()).unwrap();
             }
         };
-        let run = prover
-            .attest_with_adversary(&challenge.input, challenge.nonce, &mut attack)
-            .unwrap();
+        let run =
+            prover.attest_with_adversary(&challenge.input, challenge.nonce, &mut attack).unwrap();
         assert_eq!(run.exit.register_a0, 3);
         let err = verifier.verify(&run.report, &challenge).unwrap_err();
         assert!(matches!(

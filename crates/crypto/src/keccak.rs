@@ -100,8 +100,8 @@ impl KeccakState {
 
     /// Applies the full 24-round Keccak-f\[1600\] permutation in place.
     pub fn permute(&mut self) {
-        for round in 0..ROUNDS {
-            self.round(ROUND_CONSTANTS[round]);
+        for rc in ROUND_CONSTANTS {
+            self.round(rc);
         }
     }
 

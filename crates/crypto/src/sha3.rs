@@ -240,19 +240,13 @@ mod tests {
     #[test]
     fn sha3_256_empty_vector() {
         let d = Sha3_256::digest(b"");
-        assert_eq!(
-            d.to_hex(),
-            "a7ffc6f8bf1ed76651c14756a061d662f580ff4de43b49fa82d80a4b80f8434a"
-        );
+        assert_eq!(d.to_hex(), "a7ffc6f8bf1ed76651c14756a061d662f580ff4de43b49fa82d80a4b80f8434a");
     }
 
     #[test]
     fn sha3_256_abc_vector() {
         let d = Sha3_256::digest(b"abc");
-        assert_eq!(
-            d.to_hex(),
-            "3a985da74fe225b2045c172d6bd390bd855f086e3e9d525b46bfe24511431532"
-        );
+        assert_eq!(d.to_hex(), "3a985da74fe225b2045c172d6bd390bd855f086e3e9d525b46bfe24511431532");
     }
 
     #[test]

@@ -1,0 +1,148 @@
+//! Known-answer tests against published NIST FIPS 202 vectors, plus sign/verify
+//! round-trips for the HMAC and Lamport constructions built on top of SHA-3.
+//!
+//! Sources:
+//! * Keccak-f[1600] intermediate values from the Keccak team's reference
+//!   `KeccakF-1600-IntermediateValues.txt` (permutation of the all-zero state).
+//! * SHA3-256 / SHA3-512 digests of `""`, `"abc"` and one million `a`s from the
+//!   NIST FIPS 202 example values.
+
+use lofat_crypto::keccak::KeccakState;
+use lofat_crypto::sign::HmacVerifier;
+use lofat_crypto::{
+    DeviceKey, Hmac, HmacSigner, LamportKeyPair, Sha3_256, Sha3_512, SignatureVerifier, Signer,
+};
+
+/// First lanes of Keccak-f[1600] applied once to the all-zero state.
+const KECCAK_F_ZERO_ONCE: [u64; 5] = [
+    0xf125_8f79_40e1_dde7,
+    0x84d5_ccf9_33c0_478a,
+    0xd598_261e_a65a_a9ee,
+    0xbd15_4730_6f80_494d,
+    0x8b28_4e05_6253_d057,
+];
+
+/// First lanes after applying the permutation a second time.
+const KECCAK_F_ZERO_TWICE: [u64; 5] = [
+    0x2d5c_954d_f96e_cb3c,
+    0x6a33_2cd0_7057_b56d,
+    0x093d_8d12_70d7_6b6c,
+    0x8a20_d9b2_5569_d094,
+    0x4f9c_4f99_e5e7_f156,
+];
+
+#[test]
+fn keccak_f1600_permutation_of_zero_state() {
+    let mut state = KeccakState::new();
+    state.permute();
+    for (index, &expected) in KECCAK_F_ZERO_ONCE.iter().enumerate() {
+        assert_eq!(
+            state.lanes()[index],
+            expected,
+            "lane {index} after one permutation of the zero state"
+        );
+    }
+    state.permute();
+    for (index, &expected) in KECCAK_F_ZERO_TWICE.iter().enumerate() {
+        assert_eq!(
+            state.lanes()[index],
+            expected,
+            "lane {index} after two permutations of the zero state"
+        );
+    }
+}
+
+#[test]
+fn sha3_256_nist_short_vectors() {
+    assert_eq!(
+        Sha3_256::digest(b"").to_hex(),
+        "a7ffc6f8bf1ed76651c14756a061d662f580ff4de43b49fa82d80a4b80f8434a"
+    );
+    assert_eq!(
+        Sha3_256::digest(b"abc").to_hex(),
+        "3a985da74fe225b2045c172d6bd390bd855f086e3e9d525b46bfe24511431532"
+    );
+    assert_eq!(
+        Sha3_256::digest(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq").to_hex(),
+        "41c0dba2a9d6240849100376a8235e2c82e1b9998a999e21db32dd97496d3376"
+    );
+}
+
+#[test]
+fn sha3_512_nist_short_vectors() {
+    assert_eq!(
+        Sha3_512::digest(b"").to_hex(),
+        "a69f73cca23a9ac5c8b567dc185a756e97c982164fe25859e0d1dcc1475c80a6\
+         15b2123af1f5f94c11e3e9402c3ac558f500199d95b6d3e301758586281dcd26"
+    );
+    assert_eq!(
+        Sha3_512::digest(b"abc").to_hex(),
+        "b751850b1a57168a5693cd924b6b096e08f621827444f70d884f5d0240d2712e\
+         10e116e9192af3c91a7ec57647e3934057340b4cf408d5a56592f8274eec53f0"
+    );
+}
+
+#[test]
+fn sha3_256_nist_million_a_vector() {
+    let mut hasher = Sha3_256::new();
+    let chunk = [b'a'; 1000];
+    for _ in 0..1000 {
+        hasher.update(chunk);
+    }
+    assert_eq!(
+        hasher.finalize().to_hex(),
+        "5c8875ae474a3634ba4fd55ec85bffd661f32aca75c6d699d0cdcb6c115891c1"
+    );
+}
+
+#[test]
+fn sha3_512_nist_million_a_vector() {
+    let mut hasher = Sha3_512::new();
+    let chunk = [b'a'; 1000];
+    for _ in 0..1000 {
+        hasher.update(chunk);
+    }
+    assert_eq!(
+        hasher.finalize().to_hex(),
+        "3c3a876da14034ab60627c077bb98f7e120a2a5370212dffb3385a18d4f38859\
+         ed311d0a9d5141ce9cc5c66ee689b266a8aa18ace8282a0e0db596c90b0a7b87"
+    );
+}
+
+#[test]
+fn hmac_mac_and_verify_round_trip() {
+    let key = b"lofat hmac key";
+    let message = b"attestation report payload";
+    let tag = Hmac::mac(key, message);
+    assert!(Hmac::verify(key, message, &tag));
+    assert!(!Hmac::verify(key, b"attestation report payloae", &tag));
+    assert!(!Hmac::verify(b"other key", message, &tag));
+
+    // Incremental MAC equals one-shot MAC across arbitrary split points.
+    let mut incremental = Hmac::new(key);
+    incremental.update(&message[..7]);
+    incremental.update(&message[7..]);
+    assert_eq!(incremental.finalize(), tag);
+}
+
+#[test]
+fn hmac_signer_round_trip_through_device_key() {
+    let key = DeviceKey::from_seed("nist-kat-device");
+    let mut signer = HmacSigner::new(key.clone());
+    let payload = b"A || L || N";
+    let signature = signer.sign(payload).expect("sign");
+    let verifier = HmacVerifier::new(key.verification_key());
+    assert!(verifier.verify(payload, &signature).is_ok());
+    assert!(verifier.verify(b"A || L || N'", &signature).is_err());
+}
+
+#[test]
+fn lamport_sign_verify_round_trip() {
+    let mut keypair = LamportKeyPair::from_seed(b"nist-kat-lamport");
+    let public = keypair.public_key();
+    let message = b"one-time attestation";
+    let signature = keypair.sign(message).expect("first signature");
+    assert!(public.verify(message, &signature).is_ok());
+    assert!(public.verify(b"another message", &signature).is_err());
+    assert!(keypair.sign(message).is_err(), "Lamport keys are strictly one-time");
+}

@@ -1,11 +1,11 @@
 //! Property-based tests of the cryptographic substrate.
 
+use lofat_crypto::lamport::LamportPublicKey;
+use lofat_crypto::sign::HmacVerifier;
 use lofat_crypto::{
     DeviceKey, HashEngine, HashEngineConfig, Hmac, LamportKeyPair, Sha3_256, Sha3_512,
     SignatureVerifier, Signer,
 };
-use lofat_crypto::lamport::LamportPublicKey;
-use lofat_crypto::sign::HmacVerifier;
 use proptest::prelude::*;
 
 proptest! {

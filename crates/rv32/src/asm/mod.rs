@@ -150,9 +150,15 @@ impl Assembler {
                         let (name, value) = parse_equ(operands, *line_no, &equs)?;
                         equs.insert(name, value);
                     }
-                    ".word" => advance(&mut section, &mut text_pc, &mut data_pc, 4 * operands.len() as u32),
-                    ".half" => advance(&mut section, &mut text_pc, &mut data_pc, 2 * operands.len() as u32),
-                    ".byte" => advance(&mut section, &mut text_pc, &mut data_pc, operands.len() as u32),
+                    ".word" => {
+                        advance(&mut section, &mut text_pc, &mut data_pc, 4 * operands.len() as u32)
+                    }
+                    ".half" => {
+                        advance(&mut section, &mut text_pc, &mut data_pc, 2 * operands.len() as u32)
+                    }
+                    ".byte" => {
+                        advance(&mut section, &mut text_pc, &mut data_pc, operands.len() as u32)
+                    }
                     ".space" | ".zero" => {
                         let n = expect_literal(operands, 0, *line_no, &equs)?;
                         advance(&mut section, &mut text_pc, &mut data_pc, n as u32);
@@ -197,19 +203,40 @@ impl Assembler {
                     ".word" => {
                         for op in operands {
                             let value = ctx.resolve(op, *line_no)? as u32;
-                            emit_data(&mut section, &mut text, &mut data, &mut text_pc, &mut data_pc, &value.to_le_bytes());
+                            emit_data(
+                                &mut section,
+                                &mut text,
+                                &mut data,
+                                &mut text_pc,
+                                &mut data_pc,
+                                &value.to_le_bytes(),
+                            );
                         }
                     }
                     ".half" => {
                         for op in operands {
                             let value = ctx.resolve(op, *line_no)? as u16;
-                            emit_data(&mut section, &mut text, &mut data, &mut text_pc, &mut data_pc, &value.to_le_bytes());
+                            emit_data(
+                                &mut section,
+                                &mut text,
+                                &mut data,
+                                &mut text_pc,
+                                &mut data_pc,
+                                &value.to_le_bytes(),
+                            );
                         }
                     }
                     ".byte" => {
                         for op in operands {
                             let value = ctx.resolve(op, *line_no)? as u8;
-                            emit_data(&mut section, &mut text, &mut data, &mut text_pc, &mut data_pc, &[value]);
+                            emit_data(
+                                &mut section,
+                                &mut text,
+                                &mut data,
+                                &mut text_pc,
+                                &mut data_pc,
+                                &[value],
+                            );
                         }
                     }
                     ".space" | ".zero" => {
@@ -228,7 +255,7 @@ impl Assembler {
                         let align = 1u32 << n;
                         match section {
                             Section::Text => {
-                                while text_pc % align != 0 {
+                                while !text_pc.is_multiple_of(align) {
                                     text.push(
                                         Instruction::AluImm {
                                             op: crate::isa::AluImmOp::Addi,
@@ -242,7 +269,7 @@ impl Assembler {
                                 }
                             }
                             Section::Data => {
-                                while data_pc % align != 0 {
+                                while !data_pc.is_multiple_of(align) {
                                     data.push(0);
                                     data_pc += 1;
                                 }
@@ -252,8 +279,7 @@ impl Assembler {
                     _ => unreachable!("rejected in pass 1"),
                 },
                 Some(Statement::Instruction { mnemonic, operands }) => {
-                    let instructions =
-                        pseudo::expand(mnemonic, operands, text_pc, *line_no, &ctx)?;
+                    let instructions = pseudo::expand(mnemonic, operands, text_pc, *line_no, &ctx)?;
                     for inst in instructions {
                         text.push(inst.encode());
                         text_pc += 4;
@@ -328,9 +354,9 @@ fn parse_equ(
     };
     let value = match &operands[1] {
         Operand::Literal(v) => *v,
-        Operand::Symbol(s) => *equs
-            .get(s)
-            .ok_or_else(|| err(line, format!("undefined constant `{s}` in .equ")))?,
+        Operand::Symbol(s) => {
+            *equs.get(s).ok_or_else(|| err(line, format!("undefined constant `{s}` in .equ")))?
+        }
         other => return Err(err(line, format!("invalid .equ value {other:?}"))),
     };
     Ok((name, value))
@@ -344,10 +370,9 @@ fn expect_literal(
 ) -> Result<i64, Rv32Error> {
     match operands.get(index) {
         Some(Operand::Literal(v)) => Ok(*v),
-        Some(Operand::Symbol(s)) => equs
-            .get(s)
-            .copied()
-            .ok_or_else(|| err(line, format!("undefined constant `{s}`"))),
+        Some(Operand::Symbol(s)) => {
+            equs.get(s).copied().ok_or_else(|| err(line, format!("undefined constant `{s}`")))
+        }
         _ => Err(err(line, "expected a literal operand".to_string())),
     }
 }
@@ -372,7 +397,7 @@ fn emit_data(
             // Data in the text section is rare in our workloads; pack into words.
             // Only whole words are supported to keep instruction indexing intact.
             let mut padded = bytes.to_vec();
-            while padded.len() % 4 != 0 {
+            while !padded.len().is_multiple_of(4) {
                 padded.push(0);
             }
             for chunk in padded.chunks(4) {

@@ -64,7 +64,10 @@ pub(crate) fn parse_line(raw: &str, line_no: usize) -> Result<Line, Rv32Error> {
     // Peel off leading `label:` definitions.
     while let Some(colon) = rest.find(':') {
         let candidate = rest[..colon].trim();
-        if !candidate.is_empty() && is_identifier(candidate) && !rest[..colon].contains(char::is_whitespace) {
+        if !candidate.is_empty()
+            && is_identifier(candidate)
+            && !rest[..colon].contains(char::is_whitespace)
+        {
             line.labels.push(candidate.to_string());
             rest = rest[colon + 1..].trim();
         } else {

@@ -196,26 +196,56 @@ pub(crate) fn expand(
         }
 
         // --- other pseudo-instructions --------------------------------------------------
-        "nop" => single(Instruction::AluImm { op: AluImmOp::Addi, rd: Reg::ZERO, rs1: Reg::ZERO, imm: 0 }),
+        "nop" => single(Instruction::AluImm {
+            op: AluImmOp::Addi,
+            rd: Reg::ZERO,
+            rs1: Reg::ZERO,
+            imm: 0,
+        }),
         "mv" => {
             ops.expect(2)?;
-            single(Instruction::AluImm { op: AluImmOp::Addi, rd: ops.reg(0)?, rs1: ops.reg(1)?, imm: 0 })
+            single(Instruction::AluImm {
+                op: AluImmOp::Addi,
+                rd: ops.reg(0)?,
+                rs1: ops.reg(1)?,
+                imm: 0,
+            })
         }
         "not" => {
             ops.expect(2)?;
-            single(Instruction::AluImm { op: AluImmOp::Xori, rd: ops.reg(0)?, rs1: ops.reg(1)?, imm: -1 })
+            single(Instruction::AluImm {
+                op: AluImmOp::Xori,
+                rd: ops.reg(0)?,
+                rs1: ops.reg(1)?,
+                imm: -1,
+            })
         }
         "neg" => {
             ops.expect(2)?;
-            single(Instruction::Alu { op: AluOp::Sub, rd: ops.reg(0)?, rs1: Reg::ZERO, rs2: ops.reg(1)? })
+            single(Instruction::Alu {
+                op: AluOp::Sub,
+                rd: ops.reg(0)?,
+                rs1: Reg::ZERO,
+                rs2: ops.reg(1)?,
+            })
         }
         "seqz" => {
             ops.expect(2)?;
-            single(Instruction::AluImm { op: AluImmOp::Sltiu, rd: ops.reg(0)?, rs1: ops.reg(1)?, imm: 1 })
+            single(Instruction::AluImm {
+                op: AluImmOp::Sltiu,
+                rd: ops.reg(0)?,
+                rs1: ops.reg(1)?,
+                imm: 1,
+            })
         }
         "snez" => {
             ops.expect(2)?;
-            single(Instruction::Alu { op: AluOp::Sltu, rd: ops.reg(0)?, rs1: Reg::ZERO, rs2: ops.reg(1)? })
+            single(Instruction::Alu {
+                op: AluOp::Sltu,
+                rd: ops.reg(0)?,
+                rs1: Reg::ZERO,
+                rs2: ops.reg(1)?,
+            })
         }
         "li" => {
             ops.expect(2)?;
@@ -235,6 +265,26 @@ pub(crate) fn expand(
                 ];
             }
             Ok(seq)
+        }
+
+        // --- upper-immediate instructions ------------------------------------------------
+        "lui" | "auipc" => {
+            ops.expect(2)?;
+            let upper = ops.imm(1)?;
+            if !(0..=0xf_ffff).contains(&upper) {
+                return Err(err(
+                    line,
+                    format!("{mnemonic} immediate {upper} out of range 0..=0xfffff"),
+                ));
+            }
+            let rd = ops.reg(0)?;
+            let imm = upper << 12;
+            let imm = imm as u32 as i32;
+            if mnemonic == "lui" {
+                single(Instruction::Lui { rd, imm })
+            } else {
+                single(Instruction::Auipc { rd, imm })
+            }
         }
 
         // --- system ----------------------------------------------------------------------
@@ -296,24 +346,28 @@ impl OperandReader<'_> {
         if self.operands.len() == count {
             Ok(())
         } else {
-            Err(err(
-                self.line,
-                format!("expected {count} operands, found {}", self.operands.len()),
-            ))
+            Err(err(self.line, format!("expected {count} operands, found {}", self.operands.len())))
         }
     }
 
     fn reg(&self, index: usize) -> Result<Reg, Rv32Error> {
         match self.operands.get(index) {
             Some(Operand::Reg(reg)) => Ok(*reg),
-            other => Err(err(self.line, format!("operand {index} must be a register, found {other:?}"))),
+            other => {
+                Err(err(self.line, format!("operand {index} must be a register, found {other:?}")))
+            }
         }
     }
 
     fn imm(&self, index: usize) -> Result<i64, Rv32Error> {
         match self.operands.get(index) {
-            Some(op @ (Operand::Literal(_) | Operand::Symbol(_))) => self.ctx.resolve(op, self.line),
-            other => Err(err(self.line, format!("operand {index} must be an immediate, found {other:?}"))),
+            Some(op @ (Operand::Literal(_) | Operand::Symbol(_))) => {
+                self.ctx.resolve(op, self.line)
+            }
+            other => Err(err(
+                self.line,
+                format!("operand {index} must be an immediate, found {other:?}"),
+            )),
         }
     }
 
@@ -322,7 +376,10 @@ impl OperandReader<'_> {
             Some(Operand::Memory { offset, base }) => {
                 let offset = self.ctx.resolve(offset, self.line)?;
                 if !fits_i12(offset) {
-                    return Err(err(self.line, format!("memory offset {offset} does not fit in 12 bits")));
+                    return Err(err(
+                        self.line,
+                        format!("memory offset {offset} does not fit in 12 bits"),
+                    ));
                 }
                 Ok((offset, *base))
             }

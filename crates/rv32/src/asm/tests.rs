@@ -141,14 +141,17 @@ fn indirect_call_through_register() {
 
 #[test]
 fn symbols_and_entry_point() {
-    let program = assemble(r#"
+    let program = assemble(
+        r#"
         .text
         helper:
             ret
         main:
             li a0, 1
             ecall
-    "#).unwrap();
+    "#,
+    )
+    .unwrap();
     // Entry point is `main`, not the first instruction.
     assert_eq!(program.entry, program.symbol("main").unwrap());
     assert!(program.symbol("helper").unwrap() < program.entry);
@@ -172,7 +175,8 @@ fn print_syscall_collects_console_output() {
 
 #[test]
 fn trace_contains_expected_branch_count() {
-    let program = assemble(r#"
+    let program = assemble(
+        r#"
         .text
         main:
             li   t0, 4
@@ -180,7 +184,9 @@ fn trace_contains_expected_branch_count() {
             addi t0, t0, -1
             bnez t0, loop
             ecall
-    "#).unwrap();
+    "#,
+    )
+    .unwrap();
     let mut cpu = Cpu::new(&program).unwrap();
     let mut sink = VecSink::new();
     cpu.run_traced(10_000, &mut sink).unwrap();
@@ -220,10 +226,8 @@ fn undefined_symbol_rejected() {
 #[test]
 fn branch_out_of_range_rejected() {
     // Force a branch past the ±4 KiB window using .space inside .text.
-    let source = format!(
-        ".text\nmain:\n    beqz zero, far\n    .space {}\nfar:\n    ecall\n",
-        8192
-    );
+    let source =
+        format!(".text\nmain:\n    beqz zero, far\n    .space {}\nfar:\n    ecall\n", 8192);
     let err = assemble(&source).unwrap_err();
     match err {
         Rv32Error::Assembly { message, .. } => assert!(message.contains("range")),

@@ -208,7 +208,9 @@ impl Cpu {
                 let value = alu(op, a, b);
                 self.set_reg(rd, value);
                 extra_cycles += match op {
-                    AluOp::Mul | AluOp::Mulh | AluOp::Mulhsu | AluOp::Mulhu => self.config.mul_penalty,
+                    AluOp::Mul | AluOp::Mulh | AluOp::Mulhsu | AluOp::Mulhu => {
+                        self.config.mul_penalty
+                    }
                     AluOp::Div | AluOp::Divu | AluOp::Rem | AluOp::Remu => self.config.div_penalty,
                     _ => 0,
                 };
@@ -322,13 +324,7 @@ fn alu(op: AluOp, a: u32, b: u32) -> u32 {
                 ((a as i32) / (b as i32)) as u32
             }
         }
-        AluOp::Divu => {
-            if b == 0 {
-                u32::MAX
-            } else {
-                a / b
-            }
-        }
+        AluOp::Divu => a.checked_div(b).unwrap_or(u32::MAX),
         AluOp::Rem => {
             if b == 0 {
                 a
@@ -338,13 +334,7 @@ fn alu(op: AluOp, a: u32, b: u32) -> u32 {
                 ((a as i32) % (b as i32)) as u32
             }
         }
-        AluOp::Remu => {
-            if b == 0 {
-                a
-            } else {
-                a % b
-            }
-        }
+        AluOp::Remu => a.checked_rem(b).unwrap_or(a),
     }
 }
 
@@ -454,8 +444,7 @@ mod tests {
         let mut cpu = build(&insts);
         let mut sink = VecSink::new();
         cpu.run_traced(100, &mut sink).unwrap();
-        let kinds: Vec<_> =
-            sink.events.iter().filter_map(|e| e.branch.map(|b| b.kind)).collect();
+        let kinds: Vec<_> = sink.events.iter().filter_map(|e| e.branch.map(|b| b.kind)).collect();
         assert_eq!(kinds, vec![BranchKind::DirectCall, BranchKind::Return]);
         // The return's (Src, Dest) pair points back to the instruction after the call.
         let ret = sink.events.iter().find(|e| e.inst.is_return()).unwrap();

@@ -83,8 +83,11 @@ pub fn listing(program: &Program) -> String {
                 let _ = writeln!(out, "  {:#010x}: {:08x} {marker} {inst}", line.addr, line.word);
             }
             None => {
-                let _ =
-                    writeln!(out, "  {:#010x}: {:08x} {marker} .word {:#x}", line.addr, line.word, line.word);
+                let _ = writeln!(
+                    out,
+                    "  {:#010x}: {:08x} {marker} .word {:#x}",
+                    line.addr, line.word, line.word
+                );
             }
         }
     }

@@ -759,7 +759,12 @@ mod tests {
                 rs2: Reg::new(11),
                 offset: -4096,
             });
-            roundtrip(Instruction::Branch { cond, rs1: Reg::new(0), rs2: Reg::new(31), offset: 4094 });
+            roundtrip(Instruction::Branch {
+                cond,
+                rs1: Reg::new(0),
+                rs2: Reg::new(31),
+                offset: 4094,
+            });
         }
         roundtrip(Instruction::Jal { rd: Reg::RA, offset: -1048576 });
         roundtrip(Instruction::Jal { rd: Reg::ZERO, offset: 1048574 });
@@ -779,24 +784,15 @@ mod tests {
     #[test]
     fn known_encoding_addi() {
         // addi sp, sp, -16  =>  0xff010113 (standard example from the paper's Fig. 3 listing)
-        let inst = Instruction::AluImm {
-            op: AluImmOp::Addi,
-            rd: Reg::SP,
-            rs1: Reg::SP,
-            imm: -16,
-        };
+        let inst = Instruction::AluImm { op: AluImmOp::Addi, rd: Reg::SP, rs1: Reg::SP, imm: -16 };
         assert_eq!(inst.encode(), 0xff01_0113);
     }
 
     #[test]
     fn known_encoding_sw_and_lw() {
         // sw ra, 12(sp) => 0x00112623 ; lw ra, 12(sp) => 0x00c12083
-        let sw = Instruction::Store {
-            width: StoreWidth::Word,
-            rs2: Reg::RA,
-            rs1: Reg::SP,
-            offset: 12,
-        };
+        let sw =
+            Instruction::Store { width: StoreWidth::Word, rs2: Reg::RA, rs1: Reg::SP, offset: 12 };
         assert_eq!(sw.encode(), 0x0011_2623);
         let lw =
             Instruction::Load { width: LoadWidth::Word, rd: Reg::RA, rs1: Reg::SP, offset: 12 };
@@ -818,12 +814,7 @@ mod tests {
         assert!(call.is_control_flow() && call.is_linking() && !call.is_return());
         let jump = Instruction::Jal { rd: Reg::ZERO, offset: -8 };
         assert!(jump.is_control_flow() && !jump.is_linking());
-        let add = Instruction::Alu {
-            op: AluOp::Add,
-            rd: Reg::A0,
-            rs1: Reg::A0,
-            rs2: Reg::A1,
-        };
+        let add = Instruction::Alu { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A0, rs2: Reg::A1 };
         assert!(!add.is_control_flow());
     }
 
@@ -847,14 +838,11 @@ mod tests {
 
     #[test]
     fn display_formats_reasonably() {
-        let inst = Instruction::Load { width: LoadWidth::Word, rd: Reg::RA, rs1: Reg::SP, offset: 12 };
+        let inst =
+            Instruction::Load { width: LoadWidth::Word, rd: Reg::RA, rs1: Reg::SP, offset: 12 };
         assert_eq!(inst.to_string(), "lw ra, 12(sp)");
-        let inst = Instruction::Branch {
-            cond: BranchCond::Ne,
-            rs1: Reg::T0,
-            rs2: Reg::ZERO,
-            offset: -8,
-        };
+        let inst =
+            Instruction::Branch { cond: BranchCond::Ne, rs1: Reg::T0, rs2: Reg::ZERO, offset: -8 };
         assert_eq!(inst.to_string(), "bne t0, zero, -8");
     }
 }

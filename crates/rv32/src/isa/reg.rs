@@ -6,7 +6,9 @@ use std::fmt;
 ///
 /// The newtype guarantees the register index is always in `0..32` and provides the
 /// standard ABI names used by the assembler and disassembler.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct Reg(u8);
 
 impl Reg {

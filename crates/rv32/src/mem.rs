@@ -155,7 +155,7 @@ impl Memory {
     ///
     /// Fails on unmapped or non-executable addresses and on misaligned PCs.
     pub fn fetch(&self, pc: u32) -> Result<u32, Rv32Error> {
-        if pc % 4 != 0 {
+        if !pc.is_multiple_of(4) {
             return Err(Rv32Error::Misaligned { addr: pc, required: 4 });
         }
         let segment = self.segment_for(pc, 4)?;

@@ -68,7 +68,7 @@ impl Program {
     /// Returns a decode error for invalid words; `None`-like out-of-range PCs are
     /// reported as [`Rv32Error::MemoryUnmapped`].
     pub fn instruction_at(&self, pc: u32) -> Result<Instruction, Rv32Error> {
-        if pc < self.text_base || pc >= self.text_end() || pc % 4 != 0 {
+        if pc < self.text_base || pc >= self.text_end() || !pc.is_multiple_of(4) {
             return Err(Rv32Error::MemoryUnmapped { addr: pc, size: 4 });
         }
         let index = ((pc - self.text_base) / 4) as usize;

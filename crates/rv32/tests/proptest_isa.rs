@@ -76,10 +76,8 @@ fn any_instruction() -> impl Strategy<Value = Instruction> {
         (any_branch_cond(), any_reg(), any_reg(), -2048i32..=2047).prop_map(
             |(cond, rs1, rs2, half)| Instruction::Branch { cond, rs1, rs2, offset: half * 2 }
         ),
-        (any_reg(), -524_288i32..=524_287).prop_map(|(rd, half)| Instruction::Jal {
-            rd,
-            offset: half * 2
-        }),
+        (any_reg(), -524_288i32..=524_287)
+            .prop_map(|(rd, half)| Instruction::Jal { rd, offset: half * 2 }),
         (any_reg(), any_reg(), -2048i32..=2047).prop_map(|(rd, rs1, offset)| Instruction::Jalr {
             rd,
             rs1,
@@ -202,13 +200,7 @@ fn reference_alu(op: AluOp, a: u32, b: u32) -> u32 {
                 ((a as i32) / (b as i32)) as u32
             }
         }
-        AluOp::Divu => {
-            if b == 0 {
-                u32::MAX
-            } else {
-                a / b
-            }
-        }
+        AluOp::Divu => a.checked_div(b).unwrap_or(u32::MAX),
         AluOp::Rem => {
             if b == 0 {
                 a
@@ -218,12 +210,6 @@ fn reference_alu(op: AluOp, a: u32, b: u32) -> u32 {
                 ((a as i32) % (b as i32)) as u32
             }
         }
-        AluOp::Remu => {
-            if b == 0 {
-                a
-            } else {
-                a % b
-            }
-        }
+        AluOp::Remu => a.checked_rem(b).unwrap_or(a),
     }
 }

@@ -1,0 +1,347 @@
+//! Exhaustive assemble → encode → decode → disassemble round-trips.
+//!
+//! Three layers, together covering every variant of `isa::Instruction`:
+//!
+//! 1. every (op, width, cond) variant survives `encode` → `decode` bit-exactly,
+//!    including negative and extreme immediates;
+//! 2. an assembly program using every base mnemonic assembles, and every emitted
+//!    word decodes back to an instruction that re-encodes to the identical word
+//!    (the disassembler listing renders each line);
+//! 3. every pseudo-instruction expands to its documented base-instruction
+//!    sequence.
+
+use lofat_rv32::asm::assemble;
+use lofat_rv32::disasm::{listing, listing_lines};
+use lofat_rv32::isa::{AluImmOp, AluOp, BranchCond, Instruction, LoadWidth, Reg, StoreWidth};
+
+const ALU_OPS: [AluOp; 18] = [
+    AluOp::Add,
+    AluOp::Sub,
+    AluOp::Sll,
+    AluOp::Slt,
+    AluOp::Sltu,
+    AluOp::Xor,
+    AluOp::Srl,
+    AluOp::Sra,
+    AluOp::Or,
+    AluOp::And,
+    AluOp::Mul,
+    AluOp::Mulh,
+    AluOp::Mulhsu,
+    AluOp::Mulhu,
+    AluOp::Div,
+    AluOp::Divu,
+    AluOp::Rem,
+    AluOp::Remu,
+];
+
+const ALU_IMM_OPS: [AluImmOp; 9] = [
+    AluImmOp::Addi,
+    AluImmOp::Slti,
+    AluImmOp::Sltiu,
+    AluImmOp::Xori,
+    AluImmOp::Ori,
+    AluImmOp::Andi,
+    AluImmOp::Slli,
+    AluImmOp::Srli,
+    AluImmOp::Srai,
+];
+
+const LOAD_WIDTHS: [LoadWidth; 5] = [
+    LoadWidth::Byte,
+    LoadWidth::Half,
+    LoadWidth::Word,
+    LoadWidth::ByteUnsigned,
+    LoadWidth::HalfUnsigned,
+];
+
+const STORE_WIDTHS: [StoreWidth; 3] = [StoreWidth::Byte, StoreWidth::Half, StoreWidth::Word];
+
+const BRANCH_CONDS: [BranchCond; 6] = [
+    BranchCond::Eq,
+    BranchCond::Ne,
+    BranchCond::Lt,
+    BranchCond::Ge,
+    BranchCond::Ltu,
+    BranchCond::Geu,
+];
+
+fn assert_roundtrip(inst: Instruction) {
+    let word = inst.encode();
+    let decoded = Instruction::decode(word, 0x1000)
+        .unwrap_or_else(|e| panic!("decode {inst} ({word:#010x}): {e}"));
+    assert_eq!(inst, decoded, "encode/decode round trip for {inst}");
+    assert_eq!(decoded.encode(), word, "re-encode is stable for {inst}");
+}
+
+#[test]
+fn every_alu_variant_round_trips() {
+    let (r1, r2, r3) = (Reg::new(5), Reg::new(10), Reg::new(31));
+    for op in ALU_OPS {
+        assert_roundtrip(Instruction::Alu { op, rd: r1, rs1: r2, rs2: r3 });
+        assert_roundtrip(Instruction::Alu { op, rd: Reg::ZERO, rs1: Reg::ZERO, rs2: Reg::ZERO });
+    }
+}
+
+#[test]
+fn every_alu_imm_variant_round_trips() {
+    for op in ALU_IMM_OPS {
+        let imms: &[i32] = match op {
+            // Shift amounts are 5-bit unsigned.
+            AluImmOp::Slli | AluImmOp::Srli | AluImmOp::Srai => &[0, 1, 17, 31],
+            _ => &[-2048, -1, 0, 1, 2047],
+        };
+        for &imm in imms {
+            assert_roundtrip(Instruction::AluImm { op, rd: Reg::new(7), rs1: Reg::new(28), imm });
+        }
+    }
+}
+
+#[test]
+fn every_load_store_variant_round_trips() {
+    for width in LOAD_WIDTHS {
+        for offset in [-2048, -4, 0, 3, 2047] {
+            assert_roundtrip(Instruction::Load {
+                width,
+                rd: Reg::new(9),
+                rs1: Reg::new(18),
+                offset,
+            });
+        }
+    }
+    for width in STORE_WIDTHS {
+        for offset in [-2048, -4, 0, 3, 2047] {
+            assert_roundtrip(Instruction::Store {
+                width,
+                rs2: Reg::new(9),
+                rs1: Reg::new(18),
+                offset,
+            });
+        }
+    }
+}
+
+#[test]
+fn every_branch_jump_and_system_variant_round_trips() {
+    for cond in BRANCH_CONDS {
+        for offset in [-4096, -2, 0, 2, 4094] {
+            assert_roundtrip(Instruction::Branch {
+                cond,
+                rs1: Reg::new(6),
+                rs2: Reg::new(21),
+                offset,
+            });
+        }
+    }
+    for offset in [-1_048_576, -2, 0, 2, 1_048_574] {
+        assert_roundtrip(Instruction::Jal { rd: Reg::RA, offset });
+    }
+    for offset in [-2048, -1, 0, 1, 2047] {
+        assert_roundtrip(Instruction::Jalr { rd: Reg::RA, rs1: Reg::new(15), offset });
+    }
+    for upper in [i32::MIN, -4096, 0, 4096, i32::MAX & !0xfff] {
+        assert_roundtrip(Instruction::Lui { rd: Reg::new(20), imm: upper });
+        assert_roundtrip(Instruction::Auipc { rd: Reg::new(20), imm: upper });
+    }
+    assert_roundtrip(Instruction::Ecall);
+    assert_roundtrip(Instruction::Ebreak);
+    assert_roundtrip(Instruction::Fence);
+}
+
+/// Assembly source exercising every base mnemonic the assembler knows.
+const ALL_MNEMONICS: &str = r#".text
+main:
+    add t0, t1, t2
+    sub t0, t1, t2
+    sll t0, t1, t2
+    slt t0, t1, t2
+    sltu t0, t1, t2
+    xor t0, t1, t2
+    srl t0, t1, t2
+    sra t0, t1, t2
+    or t0, t1, t2
+    and t0, t1, t2
+    mul t0, t1, t2
+    mulh t0, t1, t2
+    mulhsu t0, t1, t2
+    mulhu t0, t1, t2
+    div t0, t1, t2
+    divu t0, t1, t2
+    rem t0, t1, t2
+    remu t0, t1, t2
+    addi t0, t1, -42
+    slti t0, t1, 11
+    sltiu t0, t1, 11
+    xori t0, t1, 0x55
+    ori t0, t1, 0x55
+    andi t0, t1, 0x55
+    slli t0, t1, 3
+    srli t0, t1, 3
+    srai t0, t1, 3
+    lb a0, -8(sp)
+    lh a0, -8(sp)
+    lw a0, -8(sp)
+    lbu a0, -8(sp)
+    lhu a0, -8(sp)
+    sb a0, 12(sp)
+    sh a0, 12(sp)
+    sw a0, 12(sp)
+target:
+    beq a0, a1, target
+    bne a0, a1, target
+    blt a0, a1, target
+    bge a0, a1, target
+    bltu a0, a1, target
+    bgeu a0, a1, target
+    lui a2, 0xfffff
+    auipc a3, 0
+    jal ra, target
+    jalr ra, a4, 16
+    fence
+    ebreak
+    ecall
+"#;
+
+#[test]
+fn assembled_mnemonics_decode_and_reencode_bit_exactly() {
+    let program = assemble(ALL_MNEMONICS).expect("assemble every mnemonic");
+    let lines = listing_lines(&program);
+    assert_eq!(lines.len(), program.text.len());
+    for line in &lines {
+        let inst = line
+            .inst
+            .unwrap_or_else(|| panic!("word {:#010x} at {:#x} must decode", line.word, line.addr));
+        assert_eq!(
+            inst.encode(),
+            line.word,
+            "decode({:#010x}) -> {inst} -> encode must be bit-exact",
+            line.word
+        );
+    }
+    // The rendered listing names every mnemonic we assembled.
+    let text = listing(&program);
+    for mnemonic in [
+        "add", "sub", "sll", "slt", "sltu", "xor", "srl", "sra", "or", "and", "mul", "mulh",
+        "mulhsu", "mulhu", "div", "divu", "rem", "remu", "addi", "slti", "sltiu", "xori", "ori",
+        "andi", "slli", "srli", "srai", "lb", "lh", "lw", "lbu", "lhu", "sb", "sh", "sw", "beq",
+        "bne", "blt", "bge", "bltu", "bgeu", "lui", "auipc", "jal", "jalr", "fence", "ebreak",
+        "ecall",
+    ] {
+        assert!(
+            text.lines().any(|l| l.contains(&format!(" {mnemonic} "))
+                || l.trim_end().ends_with(&format!(" {mnemonic}"))),
+            "listing must contain `{mnemonic}`:\n{text}"
+        );
+    }
+}
+
+/// Assembles a single instruction line (plus an `ecall` terminator) and returns
+/// the decoded text-segment instructions.
+fn expand(line: &str) -> Vec<Instruction> {
+    let source = format!(".text\nmain:\n    {line}\n");
+    let program = assemble(&source).unwrap_or_else(|e| panic!("assemble `{line}`: {e}"));
+    program.iter_instructions().map(|(_, inst)| inst).collect()
+}
+
+#[test]
+fn pseudo_instructions_expand_to_documented_sequences() {
+    use Instruction::*;
+
+    let t0 = Reg::parse("t0").unwrap();
+    let t1 = Reg::parse("t1").unwrap();
+    let a0 = Reg::A0;
+
+    // Small `li` fits a single addi from x0.
+    assert_eq!(
+        expand("li t0, 42"),
+        vec![AluImm { op: AluImmOp::Addi, rd: t0, rs1: Reg::ZERO, imm: 42 }]
+    );
+    // Large `li` needs lui + addi.
+    assert_eq!(
+        expand("li t0, 0x12345678"),
+        vec![
+            Lui { rd: t0, imm: 0x12345000 },
+            AluImm { op: AluImmOp::Addi, rd: t0, rs1: t0, imm: 0x678 },
+        ]
+    );
+    // When the low half is ≥ 0x800 the upper part is rounded up so the
+    // sign-extended addi lands on the target.
+    assert_eq!(
+        expand("li t0, 0x12345abc"),
+        vec![
+            Lui { rd: t0, imm: 0x12346000 },
+            AluImm { op: AluImmOp::Addi, rd: t0, rs1: t0, imm: 0xabc - 0x1000 },
+        ]
+    );
+    assert_eq!(
+        expand("nop"),
+        vec![AluImm { op: AluImmOp::Addi, rd: Reg::ZERO, rs1: Reg::ZERO, imm: 0 }]
+    );
+    assert_eq!(expand("mv a0, t0"), vec![AluImm { op: AluImmOp::Addi, rd: a0, rs1: t0, imm: 0 }]);
+    assert_eq!(expand("not a0, t0"), vec![AluImm { op: AluImmOp::Xori, rd: a0, rs1: t0, imm: -1 }]);
+    assert_eq!(expand("neg a0, t0"), vec![Alu { op: AluOp::Sub, rd: a0, rs1: Reg::ZERO, rs2: t0 }]);
+    assert_eq!(
+        expand("seqz a0, t0"),
+        vec![AluImm { op: AluImmOp::Sltiu, rd: a0, rs1: t0, imm: 1 }]
+    );
+    assert_eq!(
+        expand("snez a0, t0"),
+        vec![Alu { op: AluOp::Sltu, rd: a0, rs1: Reg::ZERO, rs2: t0 }]
+    );
+    assert_eq!(expand("jr t0"), vec![Jalr { rd: Reg::ZERO, rs1: t0, offset: 0 }]);
+    assert_eq!(expand("ret"), vec![Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 }]);
+    assert_eq!(expand("jalr t0"), vec![Jalr { rd: Reg::RA, rs1: t0, offset: 0 }]);
+
+    // Branch aliases against a label at the instruction itself (offset 0).
+    assert_eq!(
+        expand("beqz t0, main"),
+        vec![Branch { cond: BranchCond::Eq, rs1: t0, rs2: Reg::ZERO, offset: 0 }]
+    );
+    assert_eq!(
+        expand("bnez t0, main"),
+        vec![Branch { cond: BranchCond::Ne, rs1: t0, rs2: Reg::ZERO, offset: 0 }]
+    );
+    assert_eq!(
+        expand("bltz t0, main"),
+        vec![Branch { cond: BranchCond::Lt, rs1: t0, rs2: Reg::ZERO, offset: 0 }]
+    );
+    assert_eq!(
+        expand("bgez t0, main"),
+        vec![Branch { cond: BranchCond::Ge, rs1: t0, rs2: Reg::ZERO, offset: 0 }]
+    );
+    assert_eq!(
+        expand("blez t0, main"),
+        vec![Branch { cond: BranchCond::Ge, rs1: Reg::ZERO, rs2: t0, offset: 0 }]
+    );
+    assert_eq!(
+        expand("bgtz t0, main"),
+        vec![Branch { cond: BranchCond::Lt, rs1: Reg::ZERO, rs2: t0, offset: 0 }]
+    );
+    // Swapped-operand aliases.
+    assert_eq!(
+        expand("bgt t0, t1, main"),
+        vec![Branch { cond: BranchCond::Lt, rs1: t1, rs2: t0, offset: 0 }]
+    );
+    assert_eq!(
+        expand("ble t0, t1, main"),
+        vec![Branch { cond: BranchCond::Ge, rs1: t1, rs2: t0, offset: 0 }]
+    );
+    assert_eq!(
+        expand("bgtu t0, t1, main"),
+        vec![Branch { cond: BranchCond::Ltu, rs1: t1, rs2: t0, offset: 0 }]
+    );
+    assert_eq!(
+        expand("bleu t0, t1, main"),
+        vec![Branch { cond: BranchCond::Geu, rs1: t1, rs2: t0, offset: 0 }]
+    );
+    // Jump aliases.
+    assert_eq!(expand("j main"), vec![Jal { rd: Reg::ZERO, offset: 0 }]);
+    assert_eq!(expand("call main"), vec![Jal { rd: Reg::RA, offset: 0 }]);
+    assert_eq!(expand("tail main"), vec![Jal { rd: Reg::ZERO, offset: 0 }]);
+
+    // `la` always expands to exactly lui + addi (8 bytes).
+    let la = expand("la t0, 0x2000");
+    assert_eq!(la.len(), 2, "la is a fixed 8-byte sequence, got {la:?}");
+    assert!(matches!(la[0], Lui { rd, .. } if rd == t0));
+    assert!(matches!(la[1], AluImm { op: AluImmOp::Addi, rd, rs1, .. } if rd == t0 && rs1 == t0));
+}

@@ -76,7 +76,7 @@ pub fn data_only_attack(output_addr: u32, malicious_value: u32) -> Fault {
     Box::new(move |cpu: &mut Cpu, retired: u64| {
         // Re-assert the malicious value periodically so the program's own writes do
         // not mask it, but never touch anything control flow depends on.
-        if retired > 0 && retired % 16 == 0 {
+        if retired > 0 && retired.is_multiple_of(16) {
             cpu.memory_mut()
                 .poke_bytes(output_addr, &malicious_value.to_le_bytes())
                 .expect("writable memory");
@@ -104,7 +104,11 @@ mod tests {
         (program, cpu)
     }
 
-    fn run_with_fault(source: &str, input: &[u32], mut fault: Fault) -> (lofat_rv32::Program, Cpu, u32) {
+    fn run_with_fault(
+        source: &str,
+        input: &[u32],
+        mut fault: Fault,
+    ) -> (lofat_rv32::Program, Cpu, u32) {
         let (program, mut cpu) = load(source, input);
         let result = loop {
             let retired = cpu.instructions();

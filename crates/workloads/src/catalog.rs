@@ -165,9 +165,9 @@ mod tests {
     #[test]
     fn every_workload_assembles_and_matches_its_reference_on_default_input() {
         for workload in all() {
-            let program = workload.program().unwrap_or_else(|e| {
-                panic!("workload `{}` failed to assemble: {e}", workload.name)
-            });
+            let program = workload
+                .program()
+                .unwrap_or_else(|e| panic!("workload `{}` failed to assemble: {e}", workload.name));
             let mut cpu = Cpu::new(&program).unwrap();
             let input = &workload.default_input;
             if !input.is_empty() {
@@ -175,9 +175,7 @@ mod tests {
                 let bytes: Vec<u8> = input.iter().flat_map(|w| w.to_le_bytes()).collect();
                 cpu.memory_mut().poke_bytes(addr, &bytes).unwrap();
                 if let Some(len) = program.symbol("input_len") {
-                    cpu.memory_mut()
-                        .poke_bytes(len, &(input.len() as u32).to_le_bytes())
-                        .unwrap();
+                    cpu.memory_mut().poke_bytes(len, &(input.len() as u32).to_le_bytes()).unwrap();
                 }
             }
             let exit = cpu.run(10_000_000).unwrap();

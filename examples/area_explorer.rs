@@ -16,7 +16,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let model = AreaModel::new();
 
     println!("sweep of ℓ (branches per loop path), n = 4, depth = 3");
-    println!("{:>4} {:>14} {:>12} {:>12} {:>10} {:>9}", "ℓ", "bits/loop", "total bits", "BRAMs", "logic", "Fmax");
+    println!(
+        "{:>4} {:>14} {:>12} {:>12} {:>10} {:>9}",
+        "ℓ", "bits/loop", "total bits", "BRAMs", "logic", "Fmax"
+    );
     for max_path_bits in [8u32, 10, 12, 14, 16, 18] {
         let config = EngineConfig::builder().max_path_bits(max_path_bits).build()?;
         let estimate = model.estimate(&config);
@@ -52,7 +55,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  loop memory      : {} bits (paper: ≈1.5 Mbit)", paper.total_loop_memory_bits);
     println!("  block RAMs       : {} (paper: 49 × 36 Kbit)", paper.total_brams);
     println!("  logic overhead   : {:.0}% (paper: ≈20 %)", paper.logic_overhead * 100.0);
-    println!("  registers / LUTs : {:.0}% / {:.0}% (paper: 4 % / 6 %)", paper.register_utilisation * 100.0, paper.lut_utilisation * 100.0);
-    println!("  max clock        : {:.0} MHz (paper: 80 MHz, 150 MHz hash engine)", paper.max_clock_mhz);
+    println!(
+        "  registers / LUTs : {:.0}% / {:.0}% (paper: 4 % / 6 %)",
+        paper.register_utilisation * 100.0,
+        paper.lut_utilisation * 100.0
+    );
+    println!(
+        "  max clock        : {:.0} MHz (paper: 80 MHz, 150 MHz hash engine)",
+        paper.max_clock_mhz
+    );
     Ok(())
 }

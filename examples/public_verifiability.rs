@@ -74,7 +74,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let other = prover.attest(&[9], Nonce::from_counter(44))?;
     match database.check(&[7], &other.report) {
         Ok(_) => println!("  cross-check          : unexpectedly matched"),
-        Err(_) => println!("  cross-check          : report for input 9 correctly rejected against reference 7"),
+        Err(_) => println!(
+            "  cross-check          : report for input 9 correctly rejected against reference 7"
+        ),
     }
     Ok(())
 }

@@ -49,15 +49,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = &outcome.prover_run.report;
     println!("program result (a0)        : {}", outcome.prover_run.exit.register_a0);
     println!("CPU cycles                 : {}", outcome.prover_run.exit.cycles);
-    println!("processor overhead         : {} cycles (LO-FAT observes in parallel)", stats.processor_overhead_cycles);
+    println!(
+        "processor overhead         : {} cycles (LO-FAT observes in parallel)",
+        stats.processor_overhead_cycles
+    );
     println!("control-flow events        : {}", stats.branch_events);
     println!("loops tracked              : {}", stats.loops_entered);
     println!("iterations compressed      : {}", stats.iterations_counted);
     println!("pairs hashed / compressed  : {} / {}", stats.pairs_hashed, stats.pairs_compressed);
     println!("engine latency (internal)  : {} cycles", stats.internal_latency_cycles);
     println!("authenticator A            : {}", report.authenticator);
-    println!("metadata L                 : {} loop record(s), {} bytes", report.metadata.loop_count(), report.metadata.size_bytes());
+    println!(
+        "metadata L                 : {} loop record(s), {} bytes",
+        report.metadata.loop_count(),
+        report.metadata.size_bytes()
+    );
     println!("report wire size           : {} bytes", report.wire_size());
-    println!("verifier verdict           : ACCEPTED (replay a0 = {})", outcome.verdict.replay_exit.register_a0);
+    println!(
+        "verifier verdict           : ACCEPTED (replay a0 = {})",
+        outcome.verdict.replay_exit.register_a0
+    );
     Ok(())
 }

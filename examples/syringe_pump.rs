@@ -22,14 +22,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let device_key = DeviceKey::from_seed("syringe-pump-device");
 
     let mut prover = Prover::new(program.clone(), workload.name, device_key.clone());
-    let mut verifier = Verifier::new(program.clone(), workload.name, device_key.verification_key())?;
+    let mut verifier =
+        Verifier::new(program.clone(), workload.name, device_key.verification_key())?;
 
     // --- Benign run: the clinician requests 3 units. --------------------------------
     let outcome = run_attestation(&mut verifier, &mut prover, vec![3])?;
     println!("benign run:");
     println!("  dispensed units          : {}", outcome.prover_run.exit.register_a0);
     println!("  loop records in metadata : {}", outcome.prover_run.report.metadata.loop_count());
-    println!("  total loop iterations    : {}", outcome.prover_run.report.metadata.total_iterations());
+    println!(
+        "  total loop iterations    : {}",
+        outcome.prover_run.report.metadata.total_iterations()
+    );
     println!("  verdict                  : ACCEPTED");
 
     // --- Attack: the adversary rewrites the requested volume in memory. -------------

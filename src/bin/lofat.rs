@@ -105,12 +105,9 @@ fn prepare_cpu(program: &Program, input: &[u32]) -> Result<Cpu, Box<dyn std::err
 }
 
 fn cmd_workloads() -> CliResult {
-    println!("{:<16} {:<55} {}", "name", "description", "default input");
+    println!("{:<16} {:<55} default input", "name", "description");
     for workload in catalog::all() {
-        println!(
-            "{:<16} {:<55} {:?}",
-            workload.name, workload.description, workload.default_input
-        );
+        println!("{:<16} {:<55} {:?}", workload.name, workload.description, workload.default_input);
     }
     Ok(())
 }
@@ -120,8 +117,16 @@ fn cmd_asm(args: &[String]) -> CliResult {
     let (program, label) = load_program(name)?;
     println!("program        : {label}");
     println!("text base      : {:#010x}", program.text_base);
-    println!("text size      : {} instructions ({} bytes)", program.text.len(), program.text.len() * 4);
-    println!("data base      : {:#010x} ({} bytes initialised)", program.data_base, program.data.len());
+    println!(
+        "text size      : {} instructions ({} bytes)",
+        program.text.len(),
+        program.text.len() * 4
+    );
+    println!(
+        "data base      : {:#010x} ({} bytes initialised)",
+        program.data_base,
+        program.data.len()
+    );
     println!("entry point    : {:#010x}", program.entry);
     println!("control-flow sites: {}", disasm::control_flow_sites(&program));
     println!("symbols:");
@@ -215,10 +220,20 @@ fn cmd_area(args: &[String]) -> CliResult {
         .build()?;
     let estimate = AreaModel::new().estimate(&config);
     println!("configuration  : ℓ = {l}, n = {n}, depth = {depth}");
-    println!("loop memory    : {} bits ({} bits per loop)", estimate.total_loop_memory_bits, estimate.path_memory_bits_per_loop);
-    println!("block RAMs     : {} ({} per loop + 1 shared)", estimate.total_brams, estimate.brams_per_loop);
+    println!(
+        "loop memory    : {} bits ({} bits per loop)",
+        estimate.total_loop_memory_bits, estimate.path_memory_bits_per_loop
+    );
+    println!(
+        "block RAMs     : {} ({} per loop + 1 shared)",
+        estimate.total_brams, estimate.brams_per_loop
+    );
     println!("logic overhead : {:.1}%", estimate.logic_overhead * 100.0);
-    println!("registers/LUTs : {:.1}% / {:.1}%", estimate.register_utilisation * 100.0, estimate.lut_utilisation * 100.0);
+    println!(
+        "registers/LUTs : {:.1}% / {:.1}%",
+        estimate.register_utilisation * 100.0,
+        estimate.lut_utilisation * 100.0
+    );
     println!("max clock      : {:.0} MHz", estimate.max_clock_mhz);
     Ok(())
 }

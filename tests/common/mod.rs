@@ -1,10 +1,22 @@
 //! Shared helpers for the per-experiment integration tests.
+//!
+//! Two families of helpers keep the nine `e1`–`e9` suites free of boilerplate:
+//!
+//! * **program loading / raw runs** — [`cpu_with_input`], [`run_plain`],
+//!   [`run_attested`], [`attest_workload`] follow the workload calling
+//!   convention (an `input` buffer plus optional `input_len` symbol);
+//! * **attestation sessions** — [`attestation_session`], [`workload_session`]
+//!   and [`attest_and_verify`] build matched prover/verifier pairs sharing a
+//!   seed-derived device key and (optionally) drive the full
+//!   challenge→attest→verify protocol.
 
 #![allow(dead_code)]
 
-use lofat::{EngineConfig, LofatEngine, Measurement};
+use lofat::protocol::ProtocolOutcome;
+use lofat::{EngineConfig, LofatEngine, Measurement, Prover, Verifier};
+use lofat_crypto::DeviceKey;
 use lofat_rv32::{Cpu, ExitInfo, Program};
-use lofat_workloads::Workload;
+use lofat_workloads::{catalog, Workload};
 
 /// Loads `input` into a fresh CPU for `program` following the workload convention
 /// (`input` buffer plus optional `input_len`).
@@ -47,4 +59,30 @@ pub fn run_attested(
 pub fn attest_workload(workload: &Workload, input: &[u32]) -> (Measurement, ExitInfo) {
     let program = workload.program().expect("assemble workload");
     run_attested(&program, input, EngineConfig::default())
+}
+
+/// Builds a matched prover/verifier pair for `program` under `program_id`, both
+/// sides sharing a device key derived from `seed`.
+pub fn attestation_session(program: &Program, program_id: &str, seed: &str) -> (Prover, Verifier) {
+    let key = DeviceKey::from_seed(seed);
+    let prover = Prover::new(program.clone(), program_id, key.clone());
+    let verifier = Verifier::new(program.clone(), program_id, key.verification_key())
+        .expect("construct verifier");
+    (prover, verifier)
+}
+
+/// Loads a catalogue workload by name and builds an attestation session for it.
+pub fn workload_session(name: &str, seed: &str) -> (Program, Prover, Verifier) {
+    let program =
+        catalog::by_name(name).expect("workload exists").program().expect("assemble workload");
+    let (prover, verifier) = attestation_session(&program, name, seed);
+    (program, prover, verifier)
+}
+
+/// Runs the full challenge→attest→verify protocol for a catalogue workload and
+/// returns the accepted outcome.
+pub fn attest_and_verify(name: &str, seed: &str, input: Vec<u32>) -> ProtocolOutcome {
+    let (_, mut prover, mut verifier) = workload_session(name, seed);
+    lofat::protocol::run_attestation(&mut verifier, &mut prover, input)
+        .unwrap_or_else(|e| panic!("honest attestation of workload `{name}` rejected: {e}"))
 }

@@ -4,11 +4,12 @@
 //! exactly two valid paths, encoded `011` and `0011`; "other path encodings are
 //! considered invalid and detected by V".
 
-use lofat::{AttestationReport, EngineConfig, LofatError, Prover, RejectionReason, Verifier};
+mod common;
+
+use lofat::{AttestationReport, EngineConfig, LofatError, RejectionReason};
 use lofat_cfg::paths::enumerate_loop_paths;
 use lofat_cfg::Cfg;
 use lofat_crypto::{DeviceKey, Signer};
-use lofat_rv32::Cpu;
 use lofat_workloads::catalog;
 
 fn fig4_program() -> lofat_rv32::Program {
@@ -16,13 +17,7 @@ fn fig4_program() -> lofat_rv32::Program {
 }
 
 fn attest_with_input(input: u32) -> lofat::Measurement {
-    let program = fig4_program();
-    let mut engine = lofat::LofatEngine::for_program(&program, EngineConfig::default()).unwrap();
-    let mut cpu = Cpu::new(&program).unwrap();
-    let addr = program.symbol("input").unwrap();
-    cpu.memory_mut().poke_bytes(addr, &input.to_le_bytes()).unwrap();
-    cpu.run_traced(1_000_000, &mut engine).unwrap();
-    engine.finalize().unwrap()
+    common::run_attested(&fig4_program(), &[input], EngineConfig::default()).0
 }
 
 /// The static enumeration of the Fig. 4 loop yields exactly the paper's encodings.
@@ -68,10 +63,7 @@ fn single_iteration_produces_no_counted_paths() {
 /// encoding outside the valid set — the Fig. 4 "invalid encodings detected" claim.
 #[test]
 fn verifier_rejects_invalid_path_encoding() {
-    let program = fig4_program();
-    let key = DeviceKey::from_seed("e1-device");
-    let mut prover = Prover::new(program.clone(), "fig4-loop", key.clone());
-    let mut verifier = Verifier::new(program, "fig4-loop", key.verification_key()).unwrap();
+    let (_, mut prover, mut verifier) = common::workload_session("fig4-loop", "e1-device");
 
     let challenge = verifier.challenge(vec![6]);
     let run = prover.attest(&challenge.input, challenge.nonce).unwrap();
@@ -110,9 +102,7 @@ fn verifier_rejects_invalid_path_encoding() {
 /// the two paper encodings.
 #[test]
 fn verifier_valid_path_table_matches_paper() {
-    let program = fig4_program();
-    let key = DeviceKey::from_seed("e1-device");
-    let verifier = Verifier::new(program, "fig4-loop", key.verification_key()).unwrap();
+    let (_, _, verifier) = common::workload_session("fig4-loop", "e1-device");
     let tables = verifier.valid_loop_paths();
     assert_eq!(tables.len(), 1);
     let ids = tables.values().next().unwrap();
@@ -140,11 +130,7 @@ fn observed_paths_are_always_subset_of_valid_set() {
 /// End-to-end: the honest Fig. 4 attestation is accepted.
 #[test]
 fn honest_fig4_attestation_accepted() {
-    let program = fig4_program();
-    let key = DeviceKey::from_seed("e1-accept");
-    let mut prover = Prover::new(program.clone(), "fig4-loop", key.clone());
-    let mut verifier = Verifier::new(program, "fig4-loop", key.verification_key()).unwrap();
-    let outcome = lofat::protocol::run_attestation(&mut verifier, &mut prover, vec![7]).unwrap();
+    let outcome = common::attest_and_verify("fig4-loop", "e1-accept", vec![7]);
     let expected = catalog::by_name("fig4-loop").unwrap().expected_result(&[7]);
     assert_eq!(outcome.prover_run.exit.register_a0, expected);
 }

@@ -70,8 +70,7 @@ fn software_overhead_is_linear_in_events() {
         measured.push((run.events, run.overhead_cycles));
     }
     // Overhead per event is a constant.
-    let per_event: Vec<f64> =
-        measured.iter().map(|&(e, o)| o as f64 / e as f64).collect();
+    let per_event: Vec<f64> = measured.iter().map(|&(e, o)| o as f64 / e as f64).collect();
     for window in per_event.windows(2) {
         assert!((window[0] - window[1]).abs() < 1e-9, "overhead per event must be constant");
     }

@@ -45,7 +45,9 @@ fn no_stalls_and_no_drops_despite_internal_latency() {
         let (measurement, attested) =
             common::run_attested(&program, input, EngineConfig::default());
         assert_eq!(plain.cycles, attested.cycles, "workload `{}` stalled", workload.name);
-        assert!(measurement.stats.internal_latency_cycles > 0 || measurement.stats.branch_events == 0);
+        assert!(
+            measurement.stats.internal_latency_cycles > 0 || measurement.stats.branch_events == 0
+        );
         // The measurement itself proves nothing was dropped: every pair is either
         // hashed or accounted as compressed.
         let covered = measurement.stats.pairs_hashed + measurement.stats.pairs_compressed;

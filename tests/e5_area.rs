@@ -59,9 +59,8 @@ fn coarser_granularity_reduces_memory_significantly() {
     // requirements significantly at the expense of coarser granularity."
     let model = AreaModel::new();
     let fine = model.estimate(&EngineConfig::paper_prototype());
-    let coarse = model.estimate(
-        &EngineConfig::builder().max_path_bits(8).max_nesting_depth(2).build().unwrap(),
-    );
+    let coarse = model
+        .estimate(&EngineConfig::builder().max_path_bits(8).max_nesting_depth(2).build().unwrap());
     assert!(coarse.total_loop_memory_bits * 100 < fine.total_loop_memory_bits);
     assert!(coarse.total_brams < fine.total_brams / 10);
 }
@@ -72,7 +71,10 @@ fn removing_the_cam_reaches_the_hash_engine_clock() {
     let mut config = EngineConfig::paper_prototype();
     config.indirect_target_bits = 0;
     let estimate = model.estimate(&config);
-    assert!((estimate.max_clock_mhz - 150.0).abs() < 1e-9, "§6.1: eliminating the CAM access raises the clock");
+    assert!(
+        (estimate.max_clock_mhz - 150.0).abs() < 1e-9,
+        "§6.1: eliminating the CAM access raises the clock"
+    );
 }
 
 #[test]

@@ -7,8 +7,7 @@
 
 mod common;
 
-use lofat::{EngineConfig, Prover, Verifier};
-use lofat_crypto::DeviceKey;
+use lofat::EngineConfig;
 use lofat_workloads::catalog;
 
 /// The dispatch interpreter exercises indirect calls inside the main loop; all
@@ -19,12 +18,8 @@ fn indirect_targets_are_recorded_with_cam_codes() {
     let input = vec![0u32, 1, 2, 3, 0, 1];
     let (measurement, _) = common::attest_workload(&workload, &input);
 
-    let with_indirect: Vec<_> = measurement
-        .metadata
-        .loops
-        .iter()
-        .filter(|l| !l.indirect_targets.is_empty())
-        .collect();
+    let with_indirect: Vec<_> =
+        measurement.metadata.loops.iter().filter(|l| !l.indirect_targets.is_empty()).collect();
     assert!(!with_indirect.is_empty(), "the dispatch loop must record indirect targets");
 
     let program = workload.program().unwrap();
@@ -81,13 +76,8 @@ fn capacity_is_two_to_the_n_minus_one() {
 #[test]
 fn indirect_heavy_workload_attests_end_to_end() {
     let workload = catalog::by_name("dispatch").unwrap();
-    let program = workload.program().unwrap();
-    let key = DeviceKey::from_seed("e6-device");
-    let mut prover = Prover::new(program.clone(), workload.name, key.clone());
-    let mut verifier = Verifier::new(program, workload.name, key.verification_key()).unwrap();
     let input = vec![3u32, 2, 1, 0, 3, 2, 1, 0, 2];
-    let outcome =
-        lofat::protocol::run_attestation(&mut verifier, &mut prover, input.clone()).unwrap();
+    let outcome = common::attest_and_verify(workload.name, "e6-device", input.clone());
     assert_eq!(outcome.prover_run.exit.register_a0, workload.expected_result(&input));
 }
 
@@ -97,14 +87,10 @@ fn indirect_heavy_workload_attests_end_to_end() {
 #[test]
 fn overflow_is_deterministic_and_still_verifiable() {
     let workload = catalog::by_name("dispatch").unwrap();
-    let program = workload.program().unwrap();
     let narrow = EngineConfig::builder().indirect_target_bits(2).build().unwrap();
-    let key = DeviceKey::from_seed("e6-narrow");
-    let mut prover =
-        Prover::new(program.clone(), workload.name, key.clone()).with_config(narrow);
-    let mut verifier = Verifier::new(program, workload.name, key.verification_key())
-        .unwrap()
-        .with_config(narrow);
+    let (_, prover, verifier) = common::workload_session(workload.name, "e6-narrow");
+    let mut prover = prover.with_config(narrow);
+    let mut verifier = verifier.with_config(narrow);
     let input = vec![0u32, 1, 2, 3, 0, 1, 2, 3];
     let outcome =
         lofat::protocol::run_attestation(&mut verifier, &mut prover, input.clone()).unwrap();

@@ -40,7 +40,8 @@ fn metadata_grows_with_distinct_paths() {
 fn metadata_grows_with_indirect_targets() {
     let workload = catalog::by_name("dispatch").unwrap();
     let program = workload.program().unwrap();
-    let one_handler = common::run_attested(&program, &[0, 0, 0, 0], lofat::EngineConfig::default()).0;
+    let one_handler =
+        common::run_attested(&program, &[0, 0, 0, 0], lofat::EngineConfig::default()).0;
     let four_handlers =
         common::run_attested(&program, &[0, 1, 2, 3, 0, 1, 2, 3], lofat::EngineConfig::default()).0;
     let targets = |m: &lofat::Measurement| {

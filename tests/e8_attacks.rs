@@ -7,22 +7,21 @@
 //! Pure data-oriented attacks that leave the control flow untouched are out of
 //! scope by design and must *not* be flagged (no false positives).
 
-use lofat::protocol::{run_attestation, run_attestation_with_adversary};
+mod common;
+
+use lofat::protocol::run_attestation_with_adversary;
 use lofat::{LofatError, Prover, RejectionReason, Verifier};
 use lofat_crypto::DeviceKey;
 use lofat_workloads::attack;
 use lofat_workloads::catalog;
 
 fn setup(name: &str) -> (lofat_rv32::Program, Prover, Verifier) {
-    let workload = catalog::by_name(name).unwrap();
-    let program = workload.program().unwrap();
-    let key = DeviceKey::from_seed("e8-device");
-    let prover = Prover::new(program.clone(), name, key.clone());
-    let verifier = Verifier::new(program.clone(), name, key.verification_key()).unwrap();
-    (program, prover, verifier)
+    common::workload_session(name, "e8-device")
 }
 
-fn assert_rejected(result: Result<lofat::protocol::ProtocolOutcome, LofatError>) -> RejectionReason {
+fn assert_rejected(
+    result: Result<lofat::protocol::ProtocolOutcome, LofatError>,
+) -> RejectionReason {
     match result {
         Err(LofatError::Rejected(reason)) => reason,
         Ok(_) => panic!("attack was accepted"),
@@ -120,14 +119,8 @@ fn data_only_attack_is_not_detected() {
 #[test]
 fn honest_runs_of_all_workloads_are_accepted() {
     for workload in catalog::all() {
-        let program = workload.program().unwrap();
-        let key = DeviceKey::from_seed("e8-honest");
-        let mut prover = Prover::new(program.clone(), workload.name, key.clone());
-        let mut verifier =
-            Verifier::new(program, workload.name, key.verification_key()).unwrap();
         let outcome =
-            run_attestation(&mut verifier, &mut prover, workload.default_input.clone())
-                .unwrap_or_else(|e| panic!("workload `{}` rejected: {e}", workload.name));
+            common::attest_and_verify(workload.name, "e8-honest", workload.default_input.clone());
         assert_eq!(
             outcome.prover_run.exit.register_a0,
             workload.expected_result(&workload.default_input),

@@ -63,9 +63,11 @@ fn hashed_pairs_scale_constant_vs_linear_in_iterations() {
     }
     // Compressed: the per-run hash work is bounded by a small constant regardless of
     // the iteration count (new paths only).
-    let compressed_growth =
-        *compressed_points.last().unwrap() as f64 / compressed_points[0] as f64;
-    assert!(compressed_growth < 1.5, "compressed hash work is ~constant, grew {compressed_growth}x");
+    let compressed_growth = *compressed_points.last().unwrap() as f64 / compressed_points[0] as f64;
+    assert!(
+        compressed_growth < 1.5,
+        "compressed hash work is ~constant, grew {compressed_growth}x"
+    );
     // Naive: hash work grows proportionally with iterations (~8x for an 8x sweep).
     let naive_growth = *naive_points.last().unwrap() as f64 / naive_points[0] as f64;
     assert!(naive_growth > 5.0, "naive hash work grows with iterations, grew only {naive_growth}x");
@@ -130,14 +132,9 @@ fn compressed_authenticator_is_iteration_count_independent() {
 fn naive_configuration_still_verifies_end_to_end() {
     let (_, naive_cfg) = configs();
     let workload = catalog::by_name("fig4-loop").unwrap();
-    let program = workload.program().unwrap();
-    let key = lofat_crypto::DeviceKey::from_seed("e9-device");
-    let mut prover =
-        lofat::Prover::new(program.clone(), workload.name, key.clone()).with_config(naive_cfg);
-    let mut verifier = lofat::Verifier::new(program, workload.name, key.verification_key())
-        .unwrap()
-        .with_config(naive_cfg);
-    let outcome =
-        lofat::protocol::run_attestation(&mut verifier, &mut prover, vec![13]).unwrap();
+    let (_, prover, verifier) = common::workload_session(workload.name, "e9-device");
+    let mut prover = prover.with_config(naive_cfg);
+    let mut verifier = verifier.with_config(naive_cfg);
+    let outcome = lofat::protocol::run_attestation(&mut verifier, &mut prover, vec![13]).unwrap();
     assert_eq!(outcome.prover_run.exit.register_a0, workload.expected_result(&[13]));
 }

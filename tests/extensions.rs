@@ -4,9 +4,9 @@
 
 mod common;
 
-use lofat::{EngineConfig, LofatError, MeasurementDatabase, Prover, Verifier};
+use lofat::{EngineConfig, LofatError, MeasurementDatabase};
 use lofat_cflat::CflatAttestor;
-use lofat_crypto::{DeviceKey, LamportKeyPair, Nonce, SignatureVerifier, Signer};
+use lofat_crypto::{LamportKeyPair, Nonce, SignatureVerifier, Signer};
 use lofat_rv32::disasm;
 use lofat_workloads::catalog;
 
@@ -15,13 +15,11 @@ use lofat_workloads::catalog;
 #[test]
 fn measurement_database_round_trip() {
     let workload = catalog::by_name("fig4-loop").unwrap();
-    let program = workload.program().unwrap();
-    let key = DeviceKey::from_seed("ext-db");
-    let mut prover = Prover::new(program.clone(), workload.name, key.clone());
-    let verifier = Verifier::new(program, workload.name, key.verification_key()).unwrap();
+    let (_, mut prover, verifier) = common::workload_session(workload.name, "ext-db");
 
     let inputs: Vec<Vec<u32>> = (1..=6u32).map(|n| vec![n]).collect();
-    let db = MeasurementDatabase::build(&verifier, EngineConfig::default(), inputs.clone()).unwrap();
+    let db =
+        MeasurementDatabase::build(&verifier, EngineConfig::default(), inputs.clone()).unwrap();
     assert_eq!(db.len(), 6);
 
     for input in &inputs {
@@ -39,11 +37,9 @@ fn measurement_database_round_trip() {
 #[test]
 fn measurement_database_detects_attacks() {
     let workload = catalog::by_name("syringe-pump").unwrap();
-    let program = workload.program().unwrap();
-    let key = DeviceKey::from_seed("ext-db-attack");
-    let mut prover = Prover::new(program.clone(), workload.name, key.clone());
-    let verifier = Verifier::new(program.clone(), workload.name, key.verification_key()).unwrap();
-    let db = MeasurementDatabase::build(&verifier, EngineConfig::default(), vec![vec![3u32]]).unwrap();
+    let (program, mut prover, verifier) = common::workload_session(workload.name, "ext-db-attack");
+    let db =
+        MeasurementDatabase::build(&verifier, EngineConfig::default(), vec![vec![3u32]]).unwrap();
 
     let mut fault =
         lofat_workloads::attack::loop_counter_attack(program.symbol("input").unwrap(), 30);
@@ -56,8 +52,7 @@ fn measurement_database_detects_attacks() {
 #[test]
 fn lamport_signed_report_is_publicly_verifiable() {
     let workload = catalog::by_name("crc32").unwrap();
-    let program = workload.program().unwrap();
-    let mut prover = Prover::new(program, workload.name, DeviceKey::from_seed("ext-ots"));
+    let (_, mut prover, _) = common::workload_session(workload.name, "ext-ots");
     let run = prover.attest(&workload.default_input, Nonce::from_counter(5)).unwrap();
 
     let mut ots = LamportKeyPair::from_seed(b"ext-ots-key");

@@ -11,8 +11,7 @@
 
 mod common;
 
-use lofat::{EngineConfig, Prover, Verifier};
-use lofat_crypto::DeviceKey;
+use lofat::EngineConfig;
 use lofat_workloads::catalog;
 use proptest::prelude::*;
 
@@ -28,12 +27,7 @@ proptest! {
     #[test]
     fn random_sorting_inputs_attest_and_verify(input in small_input()) {
         let workload = catalog::by_name("bubble-sort").unwrap();
-        let program = workload.program().unwrap();
-        let key = DeviceKey::from_seed("proptest");
-        let mut prover = Prover::new(program.clone(), workload.name, key.clone());
-        let mut verifier = Verifier::new(program, workload.name, key.verification_key()).unwrap();
-        let outcome =
-            lofat::protocol::run_attestation(&mut verifier, &mut prover, input.clone()).unwrap();
+        let outcome = common::attest_and_verify(workload.name, "proptest", input.clone());
         prop_assert_eq!(outcome.prover_run.exit.register_a0, workload.expected_result(&input));
     }
 

@@ -1,0 +1,272 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of the `criterion 0.5` API used by this workspace
+//! (see `vendor/README.md`) with plain wall-clock measurement: a short warm-up
+//! followed by `sample_size` timed samples, reporting the median per-iteration
+//! time. No plots, no statistics beyond min/median/max, no saved baselines.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimiser from deleting a benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Identifier for one benchmark within a group: a function name plus an
+/// optional parameter rendered as `name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        let mut id = function_name.into();
+        let _ = write!(id, "/{parameter}");
+        Self { id }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(id: &str) -> Self {
+        Self { id: id.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+/// Throughput annotation; accepted and echoed in the report line.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Top-level benchmark driver, handed to every target by `criterion_group!`.
+#[derive(Debug)]
+pub struct Criterion {
+    default_sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <substring>` filters benchmarks like real criterion;
+        // harness flags such as `--bench` are ignored.
+        let filter = std::env::args().skip(1).find(|arg| !arg.starts_with('-'));
+        Self { default_sample_size: 20, filter }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.default_sample_size = n;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, group_name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: group_name.into(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let sample_size = self.default_sample_size;
+        self.run_one(None, &id.id, sample_size, None, &mut routine);
+        self
+    }
+
+    fn matches_filter(&self, full_name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| full_name.contains(f))
+    }
+
+    fn run_one<F>(
+        &mut self,
+        group: Option<&str>,
+        id: &str,
+        sample_size: usize,
+        throughput: Option<Throughput>,
+        routine: &mut F,
+    ) where
+        F: FnMut(&mut Bencher),
+    {
+        let full_name = match group {
+            Some(group) => format!("{group}/{id}"),
+            None => id.to_string(),
+        };
+        if !self.matches_filter(&full_name) {
+            return;
+        }
+        let mut bencher = Bencher { samples: Vec::new(), sample_size };
+        routine(&mut bencher);
+        bencher.report(&full_name, throughput);
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = Some(n);
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let sample_size = self.sample_size.unwrap_or(self.criterion.default_sample_size);
+        let throughput = self.throughput;
+        let name = self.name.clone();
+        self.criterion.run_one(Some(&name), &id.id, sample_size, throughput, &mut routine);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| routine(b, input))
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Collects timing samples for one benchmark.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, choosing an iteration count per sample so that each
+    /// sample takes a measurable amount of wall-clock time.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up & calibration: find how many iterations fill ~2ms.
+        let mut iters_per_sample = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(2) || iters_per_sample >= 1 << 20 {
+                break;
+            }
+            iters_per_sample *= 4;
+        }
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / iters_per_sample as u32);
+        }
+    }
+
+    fn report(&self, name: &str, throughput: Option<Throughput>) {
+        if self.samples.is_empty() {
+            println!("{name:<48} (no samples collected)");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        let median = sorted[sorted.len() / 2];
+        let min = sorted[0];
+        let max = sorted[sorted.len() - 1];
+        let rate = match throughput {
+            Some(Throughput::Bytes(bytes)) if median.as_nanos() > 0 => {
+                let mib_per_s = bytes as f64 / (1024.0 * 1024.0) / median.as_secs_f64();
+                format!("  thrpt: {mib_per_s:.1} MiB/s")
+            }
+            Some(Throughput::Elements(elements)) if median.as_nanos() > 0 => {
+                let elem_per_s = elements as f64 / median.as_secs_f64();
+                format!("  thrpt: {elem_per_s:.0} elem/s")
+            }
+            _ => String::new(),
+        };
+        println!("{name:<48} time: [{min:>10?} {median:>10?} {max:>10?}]{rate}");
+    }
+}
+
+/// Declares a benchmark group function that runs each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the `main` function for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion { default_sample_size: 20, filter: None };
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        group.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats_with_parameter() {
+        let id = BenchmarkId::new("encode", 128);
+        assert_eq!(id.id, "encode/128");
+    }
+}

@@ -1,0 +1,68 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Length specification for [`vec`]: a fixed size or a half-open/inclusive range.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    min: usize,
+    max_inclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(len: usize) -> Self {
+        Self { min: len, max_inclusive: len }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(range: core::ops::Range<usize>) -> Self {
+        assert!(range.start < range.end, "vec size range is empty");
+        Self { min: range.start, max_inclusive: range.end - 1 }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(range: core::ops::RangeInclusive<usize>) -> Self {
+        assert!(range.start() <= range.end(), "vec size range is empty");
+        Self { min: *range.start(), max_inclusive: *range.end() }
+    }
+}
+
+/// Generates a `Vec` whose length is drawn from `size` and whose elements come
+/// from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len =
+            rng.below_inclusive(self.size.min as i128, self.size.max_inclusive as i128) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::any;
+
+    #[test]
+    fn vec_lengths_stay_in_range() {
+        let strategy = vec(any::<u8>(), 2..10);
+        let mut rng = TestRng::from_seed(9);
+        for _ in 0..500 {
+            let v = strategy.generate(&mut rng);
+            assert!((2..10).contains(&v.len()));
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Provides the subset of the `proptest 1.x` API used by this workspace (see
+//! `vendor/README.md`): the `proptest!` macro, `prop_oneof!`, the
+//! `prop_assert*!` family, `Strategy` with `prop_map`, `Just`, `any`,
+//! integer-range / tuple / collection / regex-lite string strategies and a
+//! deterministic runner whose case count can be capped with the
+//! `PROPTEST_CASES` environment variable.
+//!
+//! There is no shrinking: a failing case reports its case index and seed so it
+//! can be re-run deterministically, which is enough for CI triage.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy, StrategyExt};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines a block of property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+///     #[test]
+///     fn my_property(x in 0u32..100, flag in any::<bool>()) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($config:expr); $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $config;
+                $crate::test_runner::run(__config, stringify!($name), |__rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strategy), __rng);)+
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+}
+
+/// Picks one of several strategies (all producing the same value type) uniformly.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::StrategyExt::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__left, __right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__left == *__right,
+            "assertion failed: `{:?}` == `{:?}`",
+            __left,
+            __right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__left, __right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__left == *__right,
+            "{}: `{:?}` == `{:?}`",
+            format!($($fmt)*),
+            __left,
+            __right
+        );
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__left, __right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__left != *__right,
+            "assertion failed: `{:?}` != `{:?}`",
+            __left,
+            __right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__left, __right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__left != *__right,
+            "{}: `{:?}` != `{:?}`",
+            format!($($fmt)*),
+            __left,
+            __right
+        );
+    }};
+}

@@ -1,0 +1,328 @@
+//! Value-generation strategies for the vendored proptest subset.
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of one type.
+///
+/// Object-safe so strategies of heterogeneous concrete types can be unified in
+/// [`Union`] (what `prop_oneof!` produces); the combinator methods live on the
+/// blanket extension trait [`StrategyExt`].
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Combinators available on every sized strategy.
+pub trait StrategyExt: Strategy + Sized {
+    /// Maps generated values through `f` (proptest's `prop_map`).
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases this strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: 'static,
+    {
+        Box::new(self)
+    }
+}
+
+impl<S: Strategy + Sized> StrategyExt for S {}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Always generates a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy returned by [`StrategyExt::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice between several boxed strategies (`prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Self { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let index = rng.below_inclusive(0, self.options.len() as i128 - 1) as usize;
+        self.options[index].generate(rng)
+    }
+}
+
+/// Types with a canonical `any::<T>()` strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The canonical strategy for `T` (`any::<bool>()`, `any::<u32>()`, ...).
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+pub struct AnyStrategy<T>(std::marker::PhantomData<fn() -> T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "strategy range is empty");
+                rng.below_inclusive(self.start as i128, self.end as i128 - 1) as $t
+            }
+        }
+
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "strategy range is empty");
+                rng.below_inclusive(*self.start() as i128, *self.end() as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+/// Regex-lite string strategy: a `&str` pattern is a sequence of atoms
+/// (literal characters or `[a-z0-9_]`-style classes with ranges), each
+/// optionally repeated with `{n}`, `{m,n}`, `?`, `+` or `*` (the unbounded
+/// forms are capped at 8 repetitions). This covers patterns like
+/// `"[a-z]{1,12}"`; anything fancier panics loudly.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let count = rng.below_inclusive(atom.min as i128, atom.max as i128) as u32;
+            for _ in 0..count {
+                let index = rng.below_inclusive(0, atom.chars.len() as i128 - 1) as usize;
+                out.push(atom.chars[index]);
+            }
+        }
+        out
+    }
+}
+
+struct PatternAtom {
+    chars: Vec<char>,
+    min: u32,
+    max: u32,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<PatternAtom> {
+    let mut atoms = Vec::new();
+    let mut input = pattern.chars().peekable();
+    while let Some(c) = input.next() {
+        let chars = match c {
+            '[' => {
+                let mut class = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    match input.next() {
+                        Some(']') => break,
+                        Some('-') if prev.is_some() && input.peek().is_some_and(|&n| n != ']') => {
+                            let start = prev.take().expect("checked");
+                            let end = input.next().expect("checked");
+                            // `start` itself was already pushed; append the rest.
+                            for code in (start as u32 + 1)..=(end as u32) {
+                                class.extend(char::from_u32(code));
+                            }
+                        }
+                        Some(ch) => {
+                            class.push(ch);
+                            prev = Some(ch);
+                        }
+                        None => panic!("unterminated character class in pattern `{pattern}`"),
+                    }
+                }
+                assert!(!class.is_empty(), "empty character class in pattern `{pattern}`");
+                class
+            }
+            '\\' => vec![input
+                .next()
+                .unwrap_or_else(|| panic!("dangling escape in pattern `{pattern}`"))],
+            '(' | ')' | '|' | '.' | '^' | '$' => {
+                panic!("unsupported regex feature `{c}` in pattern `{pattern}` (vendored proptest subset)")
+            }
+            literal => vec![literal],
+        };
+        let (min, max) = match input.peek() {
+            Some('{') => {
+                input.next();
+                let mut spec = String::new();
+                for ch in input.by_ref() {
+                    if ch == '}' {
+                        break;
+                    }
+                    spec.push(ch);
+                }
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("bad repetition lower bound"),
+                        hi.trim().parse().expect("bad repetition upper bound"),
+                    ),
+                    None => {
+                        let n = spec.trim().parse().expect("bad repetition count");
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                input.next();
+                (0, 1)
+            }
+            Some('+') => {
+                input.next();
+                (1, 8)
+            }
+            Some('*') => {
+                input.next();
+                (0, 8)
+            }
+            _ => (1, 1),
+        };
+        assert!(min <= max, "bad repetition `{{{min},{max}}}` in pattern `{pattern}`");
+        atoms.push(PatternAtom { chars, min, max });
+    }
+    atoms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_pattern_generates_matching_values() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..200 {
+            let s = "[a-z]{1,12}".generate(&mut rng);
+            assert!((1..=12).contains(&s.len()), "bad length: {s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "bad chars: {s:?}");
+        }
+    }
+
+    #[test]
+    fn ranges_honour_bounds() {
+        let mut rng = TestRng::from_seed(2);
+        for _ in 0..1000 {
+            let v = (-2048i32..=2047).generate(&mut rng);
+            assert!((-2048..=2047).contains(&v));
+            let u = (0u8..32).generate(&mut rng);
+            assert!(u < 32);
+        }
+    }
+
+    #[test]
+    fn union_uses_every_option() {
+        let mut rng = TestRng::from_seed(3);
+        let union = Union::new(vec![Just(1u32).boxed(), Just(2u32).boxed(), Just(3u32).boxed()]);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[union.generate(&mut rng) as usize - 1] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+}

@@ -1,0 +1,164 @@
+//! Deterministic test runner for the vendored proptest subset.
+
+/// Configuration for a `proptest!` block.
+///
+/// `PROPTEST_CASES` (if set and parseable) *caps* the configured case count so
+/// CI can bound the total work without editing every suite.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+    /// Accepted for API compatibility; this subset never shrinks.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256, max_shrink_iters: 0 }
+    }
+}
+
+impl ProptestConfig {
+    /// Case count after applying the `PROPTEST_CASES` environment cap.
+    pub fn effective_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse::<u32>().ok()) {
+            Some(cap) => self.cases.min(cap.max(1)),
+            None => self.cases,
+        }
+    }
+}
+
+/// A failed assertion inside a property body.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    pub fn fail(message: String) -> Self {
+        Self { message }
+    }
+
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Deterministic RNG handed to strategies (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> Self {
+        // Avoid the all-zero fixed point.
+        Self { state: seed ^ 0x6a09_e667_f3bc_c908 }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform draw from the inclusive span `[low, high]` expressed in i128 so a
+    /// single implementation covers every primitive integer width.
+    pub fn below_inclusive(&mut self, low: i128, high: i128) -> i128 {
+        debug_assert!(low <= high);
+        let span = (high - low) as u128 + 1;
+        let offset = ((self.next_u64() as u128) * span) >> 64;
+        low + offset as i128
+    }
+}
+
+/// Runs `body` for every case of the property called `name`.
+///
+/// Seeds are derived from the property name and case index, so runs are fully
+/// deterministic and a reported failure can be replayed exactly.
+pub fn run<F>(config: ProptestConfig, name: &str, mut body: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let cases = config.effective_cases();
+    for case in 0..cases {
+        let seed = derive_seed(name, case);
+        let mut rng = TestRng::from_seed(seed);
+        if let Err(error) = body(&mut rng) {
+            panic!("property `{name}` failed at case {case}/{cases} (seed {seed:#018x}): {error}");
+        }
+    }
+}
+
+fn derive_seed(name: &str, case: u32) -> u64 {
+    // FNV-1a over the property name, mixed with the case index.
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash.wrapping_add(u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `PROPTEST_CASES` caps the configured case count; both env states are
+    /// exercised in one test because the variable is process-global.
+    #[test]
+    fn proptest_cases_env_caps_the_case_count() {
+        std::env::remove_var("PROPTEST_CASES");
+        let config = ProptestConfig { cases: 64, ..ProptestConfig::default() };
+        assert_eq!(config.effective_cases(), 64);
+
+        std::env::set_var("PROPTEST_CASES", "16");
+        assert_eq!(config.effective_cases(), 16, "env caps larger configs");
+        let small = ProptestConfig { cases: 4, ..ProptestConfig::default() };
+        assert_eq!(small.effective_cases(), 4, "env never raises a smaller config");
+
+        std::env::set_var("PROPTEST_CASES", "not-a-number");
+        assert_eq!(config.effective_cases(), 64, "unparseable env is ignored");
+
+        std::env::set_var("PROPTEST_CASES", "0");
+        assert_eq!(config.effective_cases(), 1, "zero is clamped to one case");
+
+        std::env::remove_var("PROPTEST_CASES");
+    }
+
+    #[test]
+    fn runner_is_deterministic_and_reports_failures() {
+        let mut values_a = Vec::new();
+        let mut values_b = Vec::new();
+        let config = ProptestConfig { cases: 8, ..ProptestConfig::default() };
+        run(config.clone(), "determinism", |rng| {
+            values_a.push(rng.next_u64());
+            Ok(())
+        });
+        run(config, "determinism", |rng| {
+            values_b.push(rng.next_u64());
+            Ok(())
+        });
+        assert_eq!(values_a, values_b);
+
+        let result = std::panic::catch_unwind(|| {
+            run(ProptestConfig { cases: 1, ..ProptestConfig::default() }, "fails", |_| {
+                Err(TestCaseError::fail("expected failure".into()))
+            });
+        });
+        let message = *result.expect_err("runner must panic").downcast::<String>().unwrap();
+        assert!(message.contains("expected failure") && message.contains("case 0"), "{message}");
+    }
+}

@@ -1,0 +1,10 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace only uses `derive(serde::Serialize, serde::Deserialize)` to
+//! mark report/metadata types as wire-format candidates; nothing serializes
+//! in-tree yet. This stub re-exports no-op derive macros so those annotations
+//! compile without network access. See `vendor/README.md`.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};

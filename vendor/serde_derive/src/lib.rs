@@ -1,0 +1,18 @@
+//! No-op derive macros backing the vendored `serde` stub.
+//!
+//! `derive(serde::Serialize)` throughout the workspace records *intent* — the
+//! types are wire-format candidates — but nothing in-tree serializes yet, so
+//! the derives expand to nothing. Swap in real serde (delete `vendor/`) to get
+//! actual implementations.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
