@@ -52,6 +52,7 @@ impl BranchFilter {
     }
 
     /// Returns `true` if `pc` lies inside the attested region.
+    #[inline]
     pub fn in_region(&self, pc: u32) -> bool {
         pc >= self.attest_start && pc < self.attest_end
     }
@@ -69,6 +70,20 @@ impl BranchFilter {
             return None;
         }
         self.stats.instructions_in_region += 1;
+        self.filter_in_region(retired)
+    }
+
+    /// Filters one retired instruction already known to lie inside the attested
+    /// region (the caller performed the [`BranchFilter::in_region`] test).
+    ///
+    /// Hot-path variant used by the engine: the per-instruction counters
+    /// (`instructions_observed`, `instructions_in_region`) are *not* maintained
+    /// here — the engine keeps its own authoritative instruction count in
+    /// [`crate::engine::EngineStats`] — only `branch_events` is.  Use
+    /// [`BranchFilter::filter`] when this filter's own instruction statistics
+    /// matter.
+    #[inline]
+    pub fn filter_in_region(&mut self, retired: &RetiredInst) -> Option<BranchEvent> {
         let info = retired.branch?;
         self.stats.branch_events += 1;
         let backward = info.taken && info.target <= retired.pc;

@@ -69,6 +69,15 @@ impl BranchesMemory {
         std::mem::take(&mut self.pairs)
     }
 
+    /// Moves all buffered pairs into `out`, keeping this buffer's capacity.
+    ///
+    /// This is the hot-path variant of [`BranchesMemory::drain`]: the steady-state
+    /// trace path re-uses both the buffer and the destination allocation, so a
+    /// path completing inside a loop costs no heap traffic.
+    pub fn drain_into(&mut self, out: &mut Vec<BranchPair>) {
+        out.append(&mut self.pairs);
+    }
+
     /// Discards all buffered pairs (repeated path — already covered by the counter).
     pub fn discard(&mut self) -> usize {
         let n = self.pairs.len();

@@ -87,8 +87,14 @@ impl IndirectTargetCam {
 
     /// Clears the CAM for re-use by a subsequent loop execution (the hardware re-uses
     /// the memory after a loop exits).
+    ///
+    /// Resets the overflow/lookup counters too: they are reported per activation
+    /// (via [`crate::loop_monitor::MonitorOutput::cam_overflows`] at loop exit),
+    /// so a recycled CAM must start from zero exactly like a freshly built one.
     pub fn clear(&mut self) {
         self.entries.clear();
+        self.overflows = 0;
+        self.lookups = 0;
     }
 }
 
@@ -129,6 +135,19 @@ mod tests {
         cam.clear();
         assert!(cam.is_empty());
         assert_eq!(cam.encode(0x99), 1);
+    }
+
+    #[test]
+    fn clear_resets_overflow_and_lookup_counters() {
+        // 1-bit codes: capacity 1, so the second distinct target overflows.
+        let mut cam = IndirectTargetCam::new(1);
+        cam.encode(0x10);
+        cam.encode(0x20);
+        assert_eq!(cam.overflows(), 1);
+        assert_eq!(cam.lookups(), 2);
+        cam.clear();
+        assert_eq!(cam.overflows(), 0, "recycled CAM must not re-report old overflows");
+        assert_eq!(cam.lookups(), 0);
     }
 
     #[test]

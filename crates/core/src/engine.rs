@@ -99,6 +99,11 @@ pub struct LofatEngine {
     hash: HashController,
     metadata: Metadata,
     stats: EngineStats,
+    /// Reusable monitor-output scratch: cleared and refilled by every monitor
+    /// call, drained by [`LofatEngine::absorb_scratch`].  Owning it here (instead
+    /// of allocating a fresh output per step) is what makes the steady-state
+    /// trace path allocation-free.
+    scratch: MonitorOutput,
     /// Current call depth (linking branches minus returns), for the recursion stat.
     call_depth: usize,
     finalized: bool,
@@ -121,6 +126,7 @@ impl LofatEngine {
             hash: HashController::new(config.hash_engine),
             metadata: Metadata::new(),
             stats: EngineStats::default(),
+            scratch: MonitorOutput::new(),
             call_depth: 0,
             finalized: false,
             config,
@@ -149,29 +155,35 @@ impl LofatEngine {
     }
 
     /// Processes one retired instruction (the [`TraceSink`] entry point).
+    #[inline]
     pub fn observe(&mut self, retired: &RetiredInst) {
         if self.finalized {
             return;
         }
         self.stats.instructions_observed += 1;
 
-        // 1. Loop-exit detection runs for every retired instruction in the region.
         if self.filter.in_region(retired.pc) {
-            let output = self.monitor.check_exits(retired.pc);
-            self.absorb(output, 0);
-        }
-
-        // 2. Control-flow instructions are filtered in and forwarded.
-        if let Some(event) = self.filter.filter(retired) {
-            self.stats.branch_events += 1;
-            if event.kind.is_linking() {
-                self.call_depth += 1;
-                self.stats.max_call_depth = self.stats.max_call_depth.max(self.call_depth);
-            } else if event.kind == lofat_rv32::trace::BranchKind::Return {
-                self.call_depth = self.call_depth.saturating_sub(1);
+            // 1. Loop-exit detection runs for every retired instruction in the
+            //    region.  `needs_exit_check` is a single stack-top probe, so the
+            //    common "no loop exits here" case touches no output buffer at all.
+            if self.monitor.needs_exit_check(retired.pc) {
+                self.monitor.check_exits(retired.pc, &mut self.scratch);
+                self.absorb_scratch(0);
             }
-            let output = self.monitor.on_branch(&event);
-            self.absorb(output, BRANCH_EVENT_LATENCY);
+
+            // 2. Control-flow instructions are filtered in and forwarded (the
+            //    region test above is shared with the filter).
+            if let Some(event) = self.filter.filter_in_region(retired) {
+                self.stats.branch_events += 1;
+                if event.kind.is_linking() {
+                    self.call_depth += 1;
+                    self.stats.max_call_depth = self.stats.max_call_depth.max(self.call_depth);
+                } else if event.kind == lofat_rv32::trace::BranchKind::Return {
+                    self.call_depth = self.call_depth.saturating_sub(1);
+                }
+                self.monitor.on_branch(&event, &mut self.scratch);
+                self.absorb_scratch(BRANCH_EVENT_LATENCY);
+            }
         }
 
         // 3. The hash path advances one cycle per processor cycle (it runs in
@@ -179,7 +191,10 @@ impl LofatEngine {
         self.hash.pump();
     }
 
-    fn absorb(&mut self, output: MonitorOutput, base_latency: u64) {
+    /// Drains the monitor-output scratch into the statistics, the hash controller
+    /// and the metadata, leaving the scratch empty with its capacity intact.
+    fn absorb_scratch(&mut self, base_latency: u64) {
+        let output = &mut self.scratch;
         self.stats.internal_latency_cycles += base_latency;
         self.stats.internal_latency_cycles += LOOP_EXIT_LATENCY * output.loops_exited as u64;
         self.stats.loops_entered += output.loops_entered as u64;
@@ -192,8 +207,8 @@ impl LofatEngine {
         self.stats.pairs_hashed += output.hash_now.len() as u64;
         self.stats.max_nesting_observed =
             self.stats.max_nesting_observed.max(self.monitor.max_nesting_observed());
-        self.hash.submit_all(output.hash_now);
-        self.metadata.loops.extend(output.completed);
+        self.hash.submit_batch(&mut output.hash_now);
+        self.metadata.loops.append(&mut output.completed);
     }
 
     /// Ends the attested execution: flushes active loops, drains the hash engine and
@@ -206,8 +221,8 @@ impl LofatEngine {
         if self.finalized {
             return Err(LofatError::EngineFinalized);
         }
-        let output = self.monitor.finalize();
-        self.absorb(output, 0);
+        self.monitor.finalize(&mut self.scratch);
+        self.absorb_scratch(0);
         let authenticator = self.hash.finalize()?;
         self.finalized = true;
         Ok(Measurement {
@@ -219,6 +234,7 @@ impl LofatEngine {
 }
 
 impl TraceSink for LofatEngine {
+    #[inline]
     fn retire(&mut self, inst: &RetiredInst) {
         self.observe(inst);
     }

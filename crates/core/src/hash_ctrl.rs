@@ -54,14 +54,59 @@ impl HashController {
     }
 
     /// Submits a batch of pairs (a newly observed loop path).
+    ///
+    /// The whole batch is enqueued first, `max_queue_depth` is updated once for
+    /// the resulting occupancy and the engine is pumped once — words are absorbed
+    /// in runs instead of paying one offer/pump round trip per word.  An empty
+    /// batch is a no-op (no pump), exactly like the per-pair loop it replaces.
+    ///
+    /// Invariants of batching: the digest, `pairs_submitted`, the engine's
+    /// `words_absorbed`, `permutations`, total `busy_cycles` and `words_dropped`
+    /// (always 0 — back-pressure) are identical to per-pair submission.  What
+    /// batching deliberately changes is the *occupancy* accounting:
+    /// `max_queue_depth` now reflects the batch high-water mark (the pre-batch
+    /// code pumped between pairs, hiding it) and cycle counters advance once per
+    /// pump rather than once per pair.
     pub fn submit_all(&mut self, pairs: impl IntoIterator<Item = BranchPair>) {
-        for pair in pairs {
-            self.submit(pair);
+        let before = self.queue.len();
+        self.queue.extend(pairs);
+        self.finish_batch(before);
+    }
+
+    /// Hot-path variant of [`HashController::submit_all`]: drains `pairs` into the
+    /// controller queue without consuming the caller's allocation, so the engine
+    /// can reuse its scratch buffer across steps.
+    pub fn submit_batch(&mut self, pairs: &mut Vec<BranchPair>) {
+        if pairs.is_empty() {
+            return;
         }
+        let before = self.queue.len();
+        self.queue.extend(pairs.drain(..));
+        self.finish_batch(before);
+    }
+
+    /// Shared tail of the batch submission paths: accounts for everything
+    /// enqueued past `before` and pumps once (no-op for an empty batch).
+    fn finish_batch(&mut self, before: usize) {
+        let pushed = self.queue.len() - before;
+        if pushed == 0 {
+            return;
+        }
+        self.stats.pairs_submitted += pushed as u64;
+        self.stats.max_queue_depth = self.stats.max_queue_depth.max(self.queue.len());
+        self.pump();
     }
 
     /// Advances the engine by one cycle and feeds it from the queue.
+    #[inline]
     pub fn pump(&mut self) {
+        // Idle fast path: nothing queued, nothing buffered, no permutation
+        // running — the cycle counters advance and nothing else can change.
+        if self.queue.is_empty() && self.engine.is_idle() {
+            self.engine.tick_idle();
+            self.stats.cycles += 1;
+            return;
+        }
         // Move queued pairs into the engine's input buffer while there is room; the
         // controller applies back-pressure instead of offering into a full buffer, so
         // the engine never observes a dropped word.

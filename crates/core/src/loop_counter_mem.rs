@@ -8,8 +8,6 @@
 //! occurred, because the metadata reports path encodings "in order of first
 //! occurrence".
 
-use std::collections::BTreeMap;
-
 /// Result of recording one completed loop iteration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PathObservation {
@@ -26,12 +24,19 @@ pub enum PathObservation {
 }
 
 /// Per-loop path-indexed iteration counters.
+///
+/// Stored as `(path_id, count)` entries in first-occurrence order — the order the
+/// metadata reports — with a last-hit probe in front: steady-state loops repeat
+/// the same path over and over, so the common record is one compare and one add.
+/// The linear fallback scan mirrors the associative lookup of the hardware's
+/// on-chip counter memory (the number of distinct paths per loop is small by the
+/// paper's own premise).
 #[derive(Debug, Clone, Default)]
 pub struct LoopCounterMemory {
-    /// Path ID → iteration count.
-    counters: BTreeMap<u32, u64>,
-    /// Path IDs in order of first occurrence.
-    first_occurrence: Vec<u32>,
+    /// `(path_id, iteration count)` in order of first occurrence.
+    entries: Vec<(u32, u64)>,
+    /// Index of the entry that served the most recent record.
+    last_hit: usize,
 }
 
 impl LoopCounterMemory {
@@ -41,46 +46,61 @@ impl LoopCounterMemory {
     }
 
     /// Records one completed iteration that followed the path `path_id`.
+    #[inline]
     pub fn record(&mut self, path_id: u32) -> PathObservation {
-        let counter = self.counters.entry(path_id).or_insert(0);
-        *counter += 1;
-        if *counter == 1 {
-            self.first_occurrence.push(path_id);
-            PathObservation::NewPath { order: self.first_occurrence.len() - 1 }
+        if let Some(&mut (id, ref mut count)) = self.entries.get_mut(self.last_hit) {
+            if id == path_id {
+                *count += 1;
+                return PathObservation::Repeated { count: *count };
+            }
+        }
+        if let Some(index) = self.entries.iter().position(|&(id, _)| id == path_id) {
+            self.last_hit = index;
+            let count = &mut self.entries[index].1;
+            *count += 1;
+            PathObservation::Repeated { count: *count }
         } else {
-            PathObservation::Repeated { count: *counter }
+            self.entries.push((path_id, 1));
+            self.last_hit = self.entries.len() - 1;
+            PathObservation::NewPath { order: self.entries.len() - 1 }
         }
     }
 
     /// Iteration count of a path (0 if never seen).
     pub fn count(&self, path_id: u32) -> u64 {
-        self.counters.get(&path_id).copied().unwrap_or(0)
+        self.entries.iter().find(|&&(id, _)| id == path_id).map(|&(_, c)| c).unwrap_or(0)
     }
 
     /// Number of distinct paths observed.
     pub fn distinct_paths(&self) -> usize {
-        self.first_occurrence.len()
+        self.entries.len()
     }
 
     /// Total number of iterations recorded across all paths.
     pub fn total_iterations(&self) -> u64 {
-        self.counters.values().sum()
+        self.entries.iter().map(|&(_, c)| c).sum()
     }
 
     /// Path IDs in order of first occurrence.
-    pub fn first_occurrence_order(&self) -> &[u32] {
-        &self.first_occurrence
+    pub fn first_occurrence_order(&self) -> Vec<u32> {
+        self.entries.iter().map(|&(id, _)| id).collect()
     }
 
     /// `(path_id, count)` pairs in order of first occurrence.
     pub fn entries(&self) -> Vec<(u32, u64)> {
-        self.first_occurrence.iter().map(|&id| (id, self.count(id))).collect()
+        self.entries.clone()
+    }
+
+    /// Borrowed view of the `(path_id, count)` pairs in first-occurrence order
+    /// (the allocation-free variant of [`LoopCounterMemory::entries`]).
+    pub fn entries_slice(&self) -> &[(u32, u64)] {
+        &self.entries
     }
 
     /// Clears the memory for re-use by a subsequent loop execution.
     pub fn clear(&mut self) {
-        self.counters.clear();
-        self.first_occurrence.clear();
+        self.entries.clear();
+        self.last_hit = 0;
     }
 }
 

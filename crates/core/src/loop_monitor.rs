@@ -22,21 +22,25 @@ use crate::path_encoder::PathEncoder;
 use lofat_rv32::trace::BranchKind;
 
 /// One tracked loop activation.
+///
+/// The three fields probed by the per-instruction exit check (`entry`, `exit`,
+/// `pending_calls`) lead the struct so [`LoopMonitor::needs_exit_check`] touches
+/// a single cache line of the stack top.
 #[derive(Debug, Clone)]
 struct ActiveLoop {
     /// Loop entry node address (target of the backward branch).
     entry: u32,
     /// Loop exit node address (the block following the backward branch).
     exit: u32,
+    /// Outstanding calls made from inside the loop; while non-zero the executed code
+    /// belongs to a callee and must not affect loop tracking or exit detection.
+    pending_calls: usize,
     /// Nesting depth (1 = outermost tracked loop).
     depth: usize,
     encoder: PathEncoder,
     counters: LoopCounterMemory,
     cam: IndirectTargetCam,
     current_path: BranchesMemory,
-    /// Outstanding calls made from inside the loop; while non-zero the executed code
-    /// belongs to a callee and must not affect loop tracking or exit detection.
-    pending_calls: usize,
     /// Set if any iteration overflowed the path encoder.
     overflowed: bool,
 }
@@ -56,22 +60,41 @@ impl ActiveLoop {
         }
     }
 
+    /// Re-arms a recycled activation for a fresh loop entry, keeping the heap
+    /// capacity its buffers grew on previous activations.
+    fn reset(&mut self, entry: u32, exit: u32, depth: usize) {
+        self.entry = entry;
+        self.exit = exit;
+        self.depth = depth;
+        self.pending_calls = 0;
+        self.overflowed = false;
+        self.encoder.reset();
+        self.counters.clear();
+        self.cam.clear();
+        debug_assert!(self.current_path.is_empty(), "recycled activation still holds pairs");
+    }
+
     fn contains(&self, pc: u32) -> bool {
         pc >= self.entry && pc < self.exit
     }
 
-    fn into_record(self) -> (LoopRecord, Vec<BranchPair>, u64) {
-        let cam_overflows = self.cam.overflows();
+    /// Finishes this activation: pushes its [`LoopRecord`] and any leftover
+    /// partial-path pairs into `out` and bumps the exit counters.  The activation
+    /// is left drained so the monitor can recycle it.
+    ///
+    /// The leftover pairs of a partial (uncounted) path must still be covered by
+    /// the authenticator, so they land in `out.hash_now` for direct hashing.
+    fn finish_into(&mut self, out: &mut MonitorOutput) {
         let record = LoopRecord {
             entry: self.entry,
             exit: self.exit,
             nesting_depth: self.depth,
             paths: self
                 .counters
-                .entries()
-                .into_iter()
+                .entries_slice()
+                .iter()
                 .enumerate()
-                .map(|(order, (path_id, iterations))| PathRecord {
+                .map(|(order, &(path_id, iterations))| PathRecord {
                     path_id,
                     first_occurrence: order,
                     iterations,
@@ -85,14 +108,20 @@ impl ActiveLoop {
                 .collect(),
             encoder_overflowed: self.overflowed,
         };
-        // Whatever is left of a partial (uncounted) path must still be covered by the
-        // authenticator, so the caller hashes these pairs directly.
-        let mut current_path = self.current_path;
-        (record, current_path.drain(), cam_overflows)
+        out.cam_overflows += self.cam.overflows();
+        self.current_path.drain_into(&mut out.hash_now);
+        out.completed.push(record);
+        out.loops_exited += 1;
     }
 }
 
 /// What the engine must do as a result of a loop-monitor step.
+///
+/// The engine owns one `MonitorOutput` and threads it through
+/// [`LoopMonitor::check_exits`], [`LoopMonitor::on_branch`] and
+/// [`LoopMonitor::finalize`] as a reusable scratch buffer: each call clears the
+/// previous contents (retaining the `Vec` capacities), so the steady-state trace
+/// path performs no per-instruction heap allocation.
 #[derive(Debug, Clone, Default)]
 pub struct MonitorOutput {
     /// `(Src, Dest)` pairs to forward to the hash engine now.
@@ -116,6 +145,43 @@ pub struct MonitorOutput {
     pub untracked_loops: u64,
 }
 
+impl MonitorOutput {
+    /// Creates an empty output buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resets all counters and empties both buffers, retaining their capacity.
+    pub fn clear(&mut self) {
+        self.hash_now.clear();
+        self.completed.clear();
+        self.loops_exited = 0;
+        self.loops_entered = 0;
+        self.iterations_counted = 0;
+        self.new_paths = 0;
+        self.pairs_compressed = 0;
+        self.cam_overflows = 0;
+        self.untracked_loops = 0;
+    }
+}
+
+/// Inline copy of the innermost loop's exit-probe state.
+///
+/// [`LoopMonitor::needs_exit_check`] runs once per retired instruction; reading
+/// these plain fields avoids chasing the stack's heap pointer on that path.  The
+/// cache is refreshed at the end of every mutating monitor call.
+#[derive(Debug, Clone, Copy, Default)]
+struct TopProbe {
+    /// `true` while at least one loop is tracked.
+    active: bool,
+    /// `true` while the innermost loop is suspended inside a callee.
+    in_callee: bool,
+    /// Innermost loop entry address.
+    entry: u32,
+    /// Innermost loop exit address (exclusive).
+    exit: u32,
+}
+
 /// The loop monitor.
 #[derive(Debug, Clone)]
 pub struct LoopMonitor {
@@ -123,12 +189,38 @@ pub struct LoopMonitor {
     stack: Vec<ActiveLoop>,
     /// Deepest simultaneous nesting observed.
     max_nesting_observed: usize,
+    /// Cached innermost-loop probe state (see [`TopProbe`]).
+    probe: TopProbe,
+    /// Recycled activations: the buffers of exited loops keep their capacity, so
+    /// re-entering a loop in steady state allocates nothing.  Bounded by the
+    /// configured nesting depth.
+    spares: Vec<ActiveLoop>,
 }
 
 impl LoopMonitor {
     /// Creates an idle loop monitor.
     pub fn new(config: EngineConfig) -> Self {
-        Self { config, stack: Vec::new(), max_nesting_observed: 0 }
+        Self {
+            config,
+            stack: Vec::new(),
+            max_nesting_observed: 0,
+            probe: TopProbe::default(),
+            spares: Vec::new(),
+        }
+    }
+
+    /// Refreshes the [`TopProbe`] cache from the stack top.  Every public
+    /// mutating entry point ends with this call.
+    fn refresh_probe(&mut self) {
+        self.probe = match self.stack.last() {
+            None => TopProbe::default(),
+            Some(top) => TopProbe {
+                active: true,
+                in_callee: top.pending_calls > 0,
+                entry: top.entry,
+                exit: top.exit,
+            },
+        };
     }
 
     /// Returns `true` while at least one loop is being tracked.
@@ -146,28 +238,42 @@ impl LoopMonitor {
         self.max_nesting_observed
     }
 
+    /// Returns `true` if [`LoopMonitor::check_exits`] would close at least one
+    /// loop for a retirement at `pc`.
+    ///
+    /// This is the engine's per-instruction fast path: a single stack-top probe
+    /// with no output-buffer traffic, so the (overwhelmingly common) "nothing
+    /// exits" case costs a handful of compares.
+    #[inline]
+    pub fn needs_exit_check(&self, pc: u32) -> bool {
+        let probe = &self.probe;
+        debug_assert_eq!(probe.active, !self.stack.is_empty(), "stale exit probe");
+        probe.active && !probe.in_callee && !(pc >= probe.entry && pc < probe.exit)
+    }
+
     /// Loop-exit detection, run for every retired instruction *before* the branch is
     /// processed: execution proceeding to or past the exit node of the innermost
     /// tracked loop (and not inside a callee) terminates that loop (§5.1).
-    pub fn check_exits(&mut self, pc: u32) -> MonitorOutput {
-        let mut output = MonitorOutput::default();
+    ///
+    /// `output` is cleared first and then filled (reusable scratch).
+    pub fn check_exits(&mut self, pc: u32, output: &mut MonitorOutput) {
+        output.clear();
         while let Some(top) = self.stack.last() {
             if top.pending_calls > 0 || top.contains(pc) {
                 break;
             }
-            let finished = self.stack.pop().expect("non-empty");
-            let (record, leftover, cam_overflows) = finished.into_record();
-            output.hash_now.extend(leftover);
-            output.completed.push(record);
-            output.loops_exited += 1;
-            output.cam_overflows += cam_overflows;
+            let mut finished = self.stack.pop().expect("non-empty");
+            finished.finish_into(output);
+            self.spares.push(finished);
         }
-        output
+        self.refresh_probe();
     }
 
     /// Processes one filtered control-flow event.
-    pub fn on_branch(&mut self, event: &BranchEvent) -> MonitorOutput {
-        let mut output = MonitorOutput::default();
+    ///
+    /// `output` is cleared first and then filled (reusable scratch).
+    pub fn on_branch(&mut self, event: &BranchEvent, output: &mut MonitorOutput) {
+        output.clear();
 
         // Inside a callee launched from the tracked loop: maintain the call depth and
         // hash the pair directly — callee control flow is not path-compressed.
@@ -179,30 +285,30 @@ impl LoopMonitor {
                     top.pending_calls -= 1;
                 }
                 output.hash_now.push(event.pair);
-                return output;
+                self.refresh_probe();
+                return;
             }
         }
 
         let inside = self.stack.last().map(|top| top.contains(event.pair.src)).unwrap_or(false);
         if inside {
-            self.on_branch_inside_loop(event, &mut output);
+            self.on_branch_inside_loop(event, output);
         } else {
-            self.on_branch_outside_loop(event, &mut output);
+            self.on_branch_outside_loop(event, output);
         }
-        output
+        self.refresh_probe();
     }
 
     /// Finalizes all still-active loops (end of the attested execution).
-    pub fn finalize(&mut self) -> MonitorOutput {
-        let mut output = MonitorOutput::default();
-        while let Some(active) = self.stack.pop() {
-            let (record, leftover, cam_overflows) = active.into_record();
-            output.hash_now.extend(leftover);
-            output.completed.push(record);
-            output.loops_exited += 1;
-            output.cam_overflows += cam_overflows;
+    ///
+    /// `output` is cleared first and then filled (reusable scratch).
+    pub fn finalize(&mut self, output: &mut MonitorOutput) {
+        output.clear();
+        while let Some(mut active) = self.stack.pop() {
+            active.finish_into(output);
+            self.spares.push(active);
         }
-        output
+        self.refresh_probe();
     }
 
     fn on_branch_inside_loop(&mut self, event: &BranchEvent, output: &mut MonitorOutput) {
@@ -218,46 +324,25 @@ impl LoopMonitor {
             return;
         }
 
-        // Back edge to the entry of a tracked loop (innermost or an outer one)?
-        let backward_to_tracked = event.taken
-            && event.kind != BranchKind::Return
-            && self.stack.iter().any(|l| l.entry == event.target);
-        if backward_to_tracked {
+        // Back edge to the entry of the *innermost* tracked loop?  This is the
+        // steady-state iteration event, dispatched first with no stack scan.
+        let innermost_entry = self.stack.last().expect("inside loop").entry;
+        let backward = event.taken && event.kind != BranchKind::Return;
+        if backward && event.target == innermost_entry {
+            self.complete_iteration(event, output);
+            return;
+        }
+
+        // Back edge to the entry of an *outer* tracked loop?
+        if backward && self.stack.iter().any(|l| l.entry == event.target) {
             // Abandon any inner loops the transfer skips over (e.g. `continue` of an
             // outer loop from inside an inner one).
             while self.stack.last().map(|l| l.entry != event.target).unwrap_or(false) {
-                let finished = self.stack.pop().expect("non-empty");
-                let (record, leftover, cam_overflows) = finished.into_record();
-                output.hash_now.extend(leftover);
-                output.completed.push(record);
-                output.loops_exited += 1;
-                output.cam_overflows += cam_overflows;
+                let mut finished = self.stack.pop().expect("non-empty");
+                finished.finish_into(output);
+                self.spares.push(finished);
             }
-            let indirect_bits = self.config.indirect_target_bits;
-            let compression = self.config.loop_compression;
-            let top = self.stack.last_mut().expect("target loop present");
-            Self::record_decision(top, event, indirect_bits);
-            // Completed one iteration of the (now innermost) loop.
-            let path_id = top.encoder.path_id();
-            if top.encoder.overflowed() {
-                top.overflowed = true;
-            }
-            let observation = top.counters.record(path_id);
-            output.iterations_counted += 1;
-            match observation {
-                PathObservation::NewPath { .. } => {
-                    output.new_paths += 1;
-                    output.hash_now.extend(top.current_path.drain());
-                }
-                PathObservation::Repeated { .. } => {
-                    if compression {
-                        output.pairs_compressed += top.current_path.discard() as u64;
-                    } else {
-                        output.hash_now.extend(top.current_path.drain());
-                    }
-                }
-            }
-            top.encoder.reset();
+            self.complete_iteration(event, output);
             return;
         }
 
@@ -287,6 +372,36 @@ impl LoopMonitor {
         }
     }
 
+    /// Records the closing back edge of one completed iteration of the (now
+    /// innermost) loop: encodes the final decision, looks up the path counter and
+    /// either compresses the buffered pairs or forwards them for hashing.
+    fn complete_iteration(&mut self, event: &BranchEvent, output: &mut MonitorOutput) {
+        let indirect_bits = self.config.indirect_target_bits;
+        let compression = self.config.loop_compression;
+        let top = self.stack.last_mut().expect("target loop present");
+        Self::record_decision(top, event, indirect_bits);
+        let path_id = top.encoder.path_id();
+        if top.encoder.overflowed() {
+            top.overflowed = true;
+        }
+        let observation = top.counters.record(path_id);
+        output.iterations_counted += 1;
+        match observation {
+            PathObservation::NewPath { .. } => {
+                output.new_paths += 1;
+                top.current_path.drain_into(&mut output.hash_now);
+            }
+            PathObservation::Repeated { .. } => {
+                if compression {
+                    output.pairs_compressed += top.current_path.discard() as u64;
+                } else {
+                    top.current_path.drain_into(&mut output.hash_now);
+                }
+            }
+        }
+        top.encoder.reset();
+    }
+
     /// Pushes path-encoder bits / CAM codes and buffers the pair for the current path.
     fn record_decision(top: &mut ActiveLoop, event: &BranchEvent, indirect_bits: u32) {
         match event.kind {
@@ -312,7 +427,14 @@ impl LoopMonitor {
             return;
         }
         let depth = self.stack.len() + 1;
-        self.stack.push(ActiveLoop::new(event.target, event.pair.src + 4, depth, &self.config));
+        let activation = match self.spares.pop() {
+            Some(mut husk) => {
+                husk.reset(event.target, event.pair.src + 4, depth);
+                husk
+            }
+            None => ActiveLoop::new(event.target, event.pair.src + 4, depth, &self.config),
+        };
+        self.stack.push(activation);
         self.max_nesting_observed = self.max_nesting_observed.max(self.stack.len());
         output.loops_entered += 1;
     }
@@ -341,6 +463,36 @@ mod tests {
         EngineConfig::default()
     }
 
+    /// Test shims preserving the old value-returning call style on top of the
+    /// reusable scratch-buffer API.
+    fn on_branch(monitor: &mut LoopMonitor, event: &BranchEvent) -> MonitorOutput {
+        let mut out = MonitorOutput::new();
+        monitor.on_branch(event, &mut out);
+        out
+    }
+
+    fn check_exits(monitor: &mut LoopMonitor, pc: u32) -> MonitorOutput {
+        assert_eq!(
+            monitor.needs_exit_check(pc),
+            {
+                let mut probe = MonitorOutput::new();
+                let mut clone = monitor.clone();
+                clone.check_exits(pc, &mut probe);
+                probe.loops_exited > 0
+            },
+            "needs_exit_check must predict whether check_exits closes a loop"
+        );
+        let mut out = MonitorOutput::new();
+        monitor.check_exits(pc, &mut out);
+        out
+    }
+
+    fn finalize(monitor: &mut LoopMonitor) -> MonitorOutput {
+        let mut out = MonitorOutput::new();
+        monitor.finalize(&mut out);
+        out
+    }
+
     #[test]
     fn loop_entry_and_iteration_counting() {
         let mut monitor = LoopMonitor::new(config());
@@ -348,7 +500,7 @@ mod tests {
         let back = event(0x1010, 0x1008, BranchKind::Conditional, true);
 
         // First occurrence: non-loop branch, hashed directly, loop entered.
-        let out = monitor.on_branch(&back);
+        let out = on_branch(&mut monitor, &back);
         assert_eq!(out.hash_now.len(), 1);
         assert_eq!(out.loops_entered, 1);
         assert!(monitor.is_tracking());
@@ -357,9 +509,9 @@ mod tests {
         let mut new_paths = 0;
         let mut compressed = 0;
         for _ in 0..3 {
-            let out = monitor.check_exits(0x1008);
+            let out = check_exits(&mut monitor, 0x1008);
             assert_eq!(out.loops_exited, 0);
-            let out = monitor.on_branch(&back);
+            let out = on_branch(&mut monitor, &back);
             new_paths += out.new_paths;
             compressed += out.pairs_compressed;
         }
@@ -367,7 +519,7 @@ mod tests {
         assert!(compressed > 0);
 
         // Execution proceeds past the exit node → loop exits with one record.
-        let out = monitor.check_exits(0x1014);
+        let out = check_exits(&mut monitor, 0x1014);
         assert_eq!(out.loops_exited, 1);
         assert_eq!(out.completed.len(), 1);
         let record = &out.completed[0];
@@ -384,11 +536,11 @@ mod tests {
         cfg.loop_compression = false;
         let mut monitor = LoopMonitor::new(cfg);
         let back = event(0x1010, 0x1008, BranchKind::Conditional, true);
-        monitor.on_branch(&back);
+        on_branch(&mut monitor, &back);
         let mut hashed = 0;
         for _ in 0..5 {
-            monitor.check_exits(0x1008);
-            let out = monitor.on_branch(&back);
+            check_exits(&mut monitor, 0x1008);
+            let out = on_branch(&mut monitor, &back);
             hashed += out.hash_now.len();
             assert_eq!(out.pairs_compressed, 0);
         }
@@ -402,13 +554,13 @@ mod tests {
         let mut monitor = LoopMonitor::new(cfg);
         // Outer loop back edge at 0x1100 → 0x1000, inner at 0x1080 → 0x1040, and a
         // third level at 0x1060 → 0x1050 that exceeds the capacity.
-        monitor.on_branch(&event(0x1100, 0x1000, BranchKind::Conditional, true));
-        monitor.check_exits(0x1000);
-        let out = monitor.on_branch(&event(0x1080, 0x1040, BranchKind::Conditional, true));
+        on_branch(&mut monitor, &event(0x1100, 0x1000, BranchKind::Conditional, true));
+        check_exits(&mut monitor, 0x1000);
+        let out = on_branch(&mut monitor, &event(0x1080, 0x1040, BranchKind::Conditional, true));
         assert_eq!(out.loops_entered, 1);
         assert_eq!(monitor.depth(), 2);
-        monitor.check_exits(0x1040);
-        let out = monitor.on_branch(&event(0x1060, 0x1050, BranchKind::Conditional, true));
+        check_exits(&mut monitor, 0x1040);
+        let out = on_branch(&mut monitor, &event(0x1060, 0x1050, BranchKind::Conditional, true));
         assert_eq!(out.loops_entered, 0);
         assert_eq!(out.untracked_loops, 1);
         assert_eq!(monitor.max_nesting_observed(), 2);
@@ -418,35 +570,35 @@ mod tests {
     fn calls_inside_loop_suppress_exit_detection() {
         let mut monitor = LoopMonitor::new(config());
         // Enter a loop spanning [0x1000, 0x1020).
-        monitor.on_branch(&event(0x101c, 0x1000, BranchKind::Conditional, true));
+        on_branch(&mut monitor, &event(0x101c, 0x1000, BranchKind::Conditional, true));
         // Call a function at 0x2000 from inside the loop.
         let call = event(0x1008, 0x2000, BranchKind::DirectCall, true);
-        let out = monitor.on_branch(&call);
+        let out = on_branch(&mut monitor, &call);
         assert_eq!(out.hash_now.len(), 1, "call pair is hashed directly");
         // Executing callee code far outside the loop must not exit the loop.
-        let out = monitor.check_exits(0x2000);
+        let out = check_exits(&mut monitor, 0x2000);
         assert_eq!(out.loops_exited, 0);
         // The callee's own branches are hashed directly.
         let callee_branch = event(0x2008, 0x200c, BranchKind::Conditional, false);
-        let out = monitor.on_branch(&callee_branch);
+        let out = on_branch(&mut monitor, &callee_branch);
         assert_eq!(out.hash_now.len(), 1);
         // Return back into the loop re-enables exit detection.
         let ret = event(0x2010, 0x100c, BranchKind::Return, true);
-        monitor.on_branch(&ret);
-        let out = monitor.check_exits(0x1030);
+        on_branch(&mut monitor, &ret);
+        let out = check_exits(&mut monitor, 0x1030);
         assert_eq!(out.loops_exited, 1);
     }
 
     #[test]
     fn indirect_branches_in_loops_use_cam_codes() {
         let mut monitor = LoopMonitor::new(config());
-        monitor.on_branch(&event(0x1040, 0x1000, BranchKind::Conditional, true));
+        on_branch(&mut monitor, &event(0x1040, 0x1000, BranchKind::Conditional, true));
         // An indirect jump inside the loop body.
         let indirect = event(0x1010, 0x1020, BranchKind::IndirectJump, true);
-        monitor.on_branch(&indirect);
+        on_branch(&mut monitor, &indirect);
         // Complete the iteration, then exit and inspect the record.
-        monitor.on_branch(&event(0x1040, 0x1000, BranchKind::Conditional, true));
-        let out = monitor.check_exits(0x2000);
+        on_branch(&mut monitor, &event(0x1040, 0x1000, BranchKind::Conditional, true));
+        let out = check_exits(&mut monitor, 0x2000);
         let record = &out.completed[0];
         assert_eq!(record.indirect_targets.len(), 1);
         assert_eq!(record.indirect_targets[0].target, 0x1020);
@@ -457,8 +609,8 @@ mod tests {
     #[test]
     fn finalize_flushes_active_loops() {
         let mut monitor = LoopMonitor::new(config());
-        monitor.on_branch(&event(0x1010, 0x1008, BranchKind::Conditional, true));
-        let out = monitor.finalize();
+        on_branch(&mut monitor, &event(0x1010, 0x1008, BranchKind::Conditional, true));
+        let out = finalize(&mut monitor);
         assert_eq!(out.loops_exited, 1);
         assert_eq!(out.completed.len(), 1);
         assert!(!monitor.is_tracking());
@@ -468,14 +620,38 @@ mod tests {
     fn continue_of_outer_loop_closes_inner_loop() {
         let mut monitor = LoopMonitor::new(config());
         // Outer loop [0x1000, 0x1104), inner loop [0x1040, 0x1084).
-        monitor.on_branch(&event(0x1100, 0x1000, BranchKind::Conditional, true));
-        monitor.check_exits(0x1000);
-        monitor.on_branch(&event(0x1080, 0x1040, BranchKind::Conditional, true));
+        on_branch(&mut monitor, &event(0x1100, 0x1000, BranchKind::Conditional, true));
+        check_exits(&mut monitor, 0x1000);
+        on_branch(&mut monitor, &event(0x1080, 0x1040, BranchKind::Conditional, true));
         assert_eq!(monitor.depth(), 2);
         // From inside the inner loop, jump straight back to the outer entry.
-        let out = monitor.on_branch(&event(0x1060, 0x1000, BranchKind::DirectJump, true));
+        let out = on_branch(&mut monitor, &event(0x1060, 0x1000, BranchKind::DirectJump, true));
         assert_eq!(out.loops_exited, 1, "inner loop is closed");
         assert_eq!(out.iterations_counted, 1, "outer loop iteration is counted");
         assert_eq!(monitor.depth(), 1);
+    }
+
+    /// A recycled activation must not inherit the previous loop's CAM overflow
+    /// count (regression test for the spares-pool counter reset).
+    #[test]
+    fn recycled_activation_does_not_inherit_cam_overflows() {
+        let mut cfg = config();
+        cfg.indirect_target_bits = 1; // CAM capacity 1: second target overflows
+        let mut monitor = LoopMonitor::new(cfg);
+
+        // Loop A: two distinct indirect jumps inside → one CAM overflow.
+        on_branch(&mut monitor, &event(0x1040, 0x1000, BranchKind::Conditional, true));
+        on_branch(&mut monitor, &event(0x1010, 0x1020, BranchKind::IndirectJump, true));
+        on_branch(&mut monitor, &event(0x1014, 0x1024, BranchKind::IndirectJump, true));
+        let out = check_exits(&mut monitor, 0x2000);
+        assert_eq!(out.loops_exited, 1);
+        assert_eq!(out.cam_overflows, 1, "loop A overflowed its 1-entry CAM");
+
+        // Loop B recycles A's activation and runs no indirect branches at all.
+        on_branch(&mut monitor, &event(0x3040, 0x3000, BranchKind::Conditional, true));
+        on_branch(&mut monitor, &event(0x3040, 0x3000, BranchKind::Conditional, true));
+        let out = check_exits(&mut monitor, 0x4000);
+        assert_eq!(out.loops_exited, 1);
+        assert_eq!(out.cam_overflows, 0, "recycled activation re-reported stale overflows");
     }
 }

@@ -159,8 +159,28 @@ impl HashEngine {
     }
 
     /// Number of words currently waiting in the input cache buffer.
+    #[inline]
     pub fn buffered(&self) -> usize {
         self.buffer.len()
+    }
+
+    /// Returns `true` when the engine has nothing to do this cycle: no buffered
+    /// input and no running permutation.  A step in this state only advances the
+    /// cycle counter, which [`HashEngine::tick_idle`] does directly.
+    #[inline]
+    pub fn is_idle(&self) -> bool {
+        self.buffer.is_empty() && self.busy_remaining == 0
+    }
+
+    /// Advances one clock cycle through the idle fast path.
+    ///
+    /// Exactly equivalent to [`HashEngine::step`] when [`HashEngine::is_idle`]
+    /// is `true` (the cycle counter advances, nothing else changes); callers use
+    /// it to skip the absorb/busy bookkeeping on idle cycles.
+    #[inline]
+    pub fn tick_idle(&mut self) {
+        debug_assert!(self.is_idle());
+        self.stats.cycles += 1;
     }
 
     /// Offers a 64-bit word to the engine's input cache buffer.
@@ -187,6 +207,7 @@ impl HashEngine {
     ///
     /// In a ready cycle one buffered word is absorbed; when the block fills the
     /// permutation starts and the engine is busy for the configured number of cycles.
+    #[inline]
     pub fn step(&mut self) {
         self.stats.cycles += 1;
         if self.busy_remaining > 0 {

@@ -39,6 +39,11 @@ const ROUND_CONSTANTS: [u64; ROUNDS] = [
 ];
 
 /// Rotation offsets for the ρ (rho) step, indexed `[x + 5 * y]`.
+///
+/// The unrolled [`KeccakState::round`] bakes these constants into the code; the
+/// table is kept as the authoritative FIPS 202 reference and is checked against
+/// the unrolled constants by a test below.
+#[cfg(test)]
 const RHO_OFFSETS: [u32; STATE_LANES] = [
     0, 1, 62, 28, 27, //
     36, 44, 6, 55, 20, //
@@ -105,47 +110,84 @@ impl KeccakState {
         }
     }
 
-    /// One Keccak round: θ, ρ, π, χ, ι.
+    /// One Keccak round: θ, ρ, π, χ, ι — fully unrolled.
+    ///
+    /// All 25 lanes are held in locals, the ρ rotation amounts and π target
+    /// positions are baked in as constants and every array access uses a constant
+    /// index, so the compiler emits straight-line code with no bounds checks and
+    /// no `% 5` index arithmetic.  θ is fused into ρ/π (each lane picks up its
+    /// column parity `D[x]` as it is rotated into place).
+    #[inline]
     fn round(&mut self, rc: u64) {
+        let a = &self.lanes;
+
+        // θ (theta): column parities and the per-column mix values.
+        let c0 = a[0] ^ a[5] ^ a[10] ^ a[15] ^ a[20];
+        let c1 = a[1] ^ a[6] ^ a[11] ^ a[16] ^ a[21];
+        let c2 = a[2] ^ a[7] ^ a[12] ^ a[17] ^ a[22];
+        let c3 = a[3] ^ a[8] ^ a[13] ^ a[18] ^ a[23];
+        let c4 = a[4] ^ a[9] ^ a[14] ^ a[19] ^ a[24];
+        let d0 = c4 ^ c1.rotate_left(1);
+        let d1 = c0 ^ c2.rotate_left(1);
+        let d2 = c1 ^ c3.rotate_left(1);
+        let d3 = c2 ^ c4.rotate_left(1);
+        let d4 = c3 ^ c0.rotate_left(1);
+
+        // θ-apply + ρ (rotate) + π (permute): B[y, 2x+3y] = rot(A[x, y] ^ D[x]).
+        // Locals are named after the *destination* index `nx + 5 * ny`.
+        let b0 = a[0] ^ d0;
+        let b10 = (a[1] ^ d1).rotate_left(1);
+        let b20 = (a[2] ^ d2).rotate_left(62);
+        let b5 = (a[3] ^ d3).rotate_left(28);
+        let b15 = (a[4] ^ d4).rotate_left(27);
+        let b16 = (a[5] ^ d0).rotate_left(36);
+        let b1 = (a[6] ^ d1).rotate_left(44);
+        let b11 = (a[7] ^ d2).rotate_left(6);
+        let b21 = (a[8] ^ d3).rotate_left(55);
+        let b6 = (a[9] ^ d4).rotate_left(20);
+        let b7 = (a[10] ^ d0).rotate_left(3);
+        let b17 = (a[11] ^ d1).rotate_left(10);
+        let b2 = (a[12] ^ d2).rotate_left(43);
+        let b12 = (a[13] ^ d3).rotate_left(25);
+        let b22 = (a[14] ^ d4).rotate_left(39);
+        let b23 = (a[15] ^ d0).rotate_left(41);
+        let b8 = (a[16] ^ d1).rotate_left(45);
+        let b18 = (a[17] ^ d2).rotate_left(15);
+        let b3 = (a[18] ^ d3).rotate_left(21);
+        let b13 = (a[19] ^ d4).rotate_left(8);
+        let b14 = (a[20] ^ d0).rotate_left(18);
+        let b24 = (a[21] ^ d1).rotate_left(2);
+        let b9 = (a[22] ^ d2).rotate_left(61);
+        let b19 = (a[23] ^ d3).rotate_left(56);
+        let b4 = (a[24] ^ d4).rotate_left(14);
+
+        // χ (chi) row by row, with ι (iota) folded into lane 0.
         let a = &mut self.lanes;
-
-        // θ (theta)
-        let mut c = [0u64; 5];
-        for (x, cx) in c.iter_mut().enumerate() {
-            *cx = a[x] ^ a[x + 5] ^ a[x + 10] ^ a[x + 15] ^ a[x + 20];
-        }
-        let mut d = [0u64; 5];
-        for x in 0..5 {
-            d[x] = c[(x + 4) % 5] ^ c[(x + 1) % 5].rotate_left(1);
-        }
-        for y in 0..5 {
-            for x in 0..5 {
-                a[x + 5 * y] ^= d[x];
-            }
-        }
-
-        // ρ (rho) and π (pi)
-        let mut b = [0u64; STATE_LANES];
-        for y in 0..5 {
-            for x in 0..5 {
-                let idx = x + 5 * y;
-                let rotated = a[idx].rotate_left(RHO_OFFSETS[idx]);
-                // π: B[y, 2x + 3y] = rot(A[x, y])
-                let nx = y;
-                let ny = (2 * x + 3 * y) % 5;
-                b[nx + 5 * ny] = rotated;
-            }
-        }
-
-        // χ (chi)
-        for y in 0..5 {
-            for x in 0..5 {
-                a[x + 5 * y] = b[x + 5 * y] ^ ((!b[(x + 1) % 5 + 5 * y]) & b[(x + 2) % 5 + 5 * y]);
-            }
-        }
-
-        // ι (iota)
-        a[0] ^= rc;
+        a[0] = b0 ^ (!b1 & b2) ^ rc;
+        a[1] = b1 ^ (!b2 & b3);
+        a[2] = b2 ^ (!b3 & b4);
+        a[3] = b3 ^ (!b4 & b0);
+        a[4] = b4 ^ (!b0 & b1);
+        a[5] = b5 ^ (!b6 & b7);
+        a[6] = b6 ^ (!b7 & b8);
+        a[7] = b7 ^ (!b8 & b9);
+        a[8] = b8 ^ (!b9 & b5);
+        a[9] = b9 ^ (!b5 & b6);
+        a[10] = b10 ^ (!b11 & b12);
+        a[11] = b11 ^ (!b12 & b13);
+        a[12] = b12 ^ (!b13 & b14);
+        a[13] = b13 ^ (!b14 & b10);
+        a[14] = b14 ^ (!b10 & b11);
+        a[15] = b15 ^ (!b16 & b17);
+        a[16] = b16 ^ (!b17 & b18);
+        a[17] = b17 ^ (!b18 & b19);
+        a[18] = b18 ^ (!b19 & b15);
+        a[19] = b19 ^ (!b15 & b16);
+        a[20] = b20 ^ (!b21 & b22);
+        a[21] = b21 ^ (!b22 & b23);
+        a[22] = b22 ^ (!b23 & b24);
+        a[23] = b23 ^ (!b24 & b20);
+        a[24] = b24 ^ (!b20 & b21);
     }
 }
 
@@ -203,5 +245,58 @@ mod tests {
         a.permute();
         b.permute();
         assert_eq!(a, b);
+    }
+
+    /// Straightforward looped FIPS 202 round, kept as the oracle for the unrolled
+    /// implementation (uses the authoritative `RHO_OFFSETS` table and the generic
+    /// `% 5` index arithmetic the hot path avoids).
+    fn reference_round(lanes: &mut [u64; STATE_LANES], rc: u64) {
+        let a = lanes;
+        let mut c = [0u64; 5];
+        for (x, cx) in c.iter_mut().enumerate() {
+            *cx = a[x] ^ a[x + 5] ^ a[x + 10] ^ a[x + 15] ^ a[x + 20];
+        }
+        let mut d = [0u64; 5];
+        for x in 0..5 {
+            d[x] = c[(x + 4) % 5] ^ c[(x + 1) % 5].rotate_left(1);
+        }
+        for y in 0..5 {
+            for x in 0..5 {
+                a[x + 5 * y] ^= d[x];
+            }
+        }
+        let mut b = [0u64; STATE_LANES];
+        for y in 0..5 {
+            for x in 0..5 {
+                let idx = x + 5 * y;
+                let rotated = a[idx].rotate_left(RHO_OFFSETS[idx]);
+                let nx = y;
+                let ny = (2 * x + 3 * y) % 5;
+                b[nx + 5 * ny] = rotated;
+            }
+        }
+        for y in 0..5 {
+            for x in 0..5 {
+                a[x + 5 * y] = b[x + 5 * y] ^ ((!b[(x + 1) % 5 + 5 * y]) & b[(x + 2) % 5 + 5 * y]);
+            }
+        }
+        a[0] ^= rc;
+    }
+
+    /// The unrolled round must match the looped reference round on states that
+    /// exercise every lane, for every round constant.
+    #[test]
+    fn unrolled_round_matches_reference_round() {
+        let mut unrolled = KeccakState::new();
+        // A state with all lanes distinct and asymmetric.
+        for i in 0..STATE_LANES {
+            unrolled.xor_lane(i, (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        }
+        let mut reference = *unrolled.lanes();
+        for (round, rc) in ROUND_CONSTANTS.iter().enumerate() {
+            unrolled.round(*rc);
+            reference_round(&mut reference, *rc);
+            assert_eq!(unrolled.lanes(), &reference, "diverged at round {round}");
+        }
     }
 }

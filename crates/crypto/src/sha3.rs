@@ -85,17 +85,48 @@ struct Sponge {
 
 impl Sponge {
     fn new(rate_bytes: usize, output_bytes: usize) -> Self {
+        // The word-aligned absorb path in `update` relies on full lanes never
+        // straddling the rate boundary.
+        debug_assert!(rate_bytes.is_multiple_of(8), "rate must be a whole number of lanes");
         Self { state: KeccakState::new(), rate_bytes, output_bytes, offset: 0 }
     }
 
+    #[inline]
     fn update(&mut self, data: &[u8]) {
-        for &byte in data {
-            self.state.xor_byte(self.offset, byte);
-            self.offset += 1;
+        let mut data = data;
+        // Head: absorb byte-wise until the write position is lane-aligned.
+        while !data.is_empty() && !self.offset.is_multiple_of(8) {
+            self.absorb_byte(data[0]);
+            data = &data[1..];
+        }
+        // Body: XOR whole little-endian u64 lanes.  Both supported rates (72 and
+        // 136 bytes) are lane multiples, so a full lane never straddles the rate
+        // boundary and the permutation fires at exactly the same input positions
+        // as the byte-wise path.
+        while data.len() >= 8 {
+            let (lane_bytes, rest) = data.split_at(8);
+            let word = u64::from_le_bytes(lane_bytes.try_into().expect("8 bytes"));
+            self.state.xor_lane(self.offset / 8, word);
+            self.offset += 8;
             if self.offset == self.rate_bytes {
                 self.state.permute();
                 self.offset = 0;
             }
+            data = rest;
+        }
+        // Tail: remaining bytes of a partial lane.
+        for &byte in data {
+            self.absorb_byte(byte);
+        }
+    }
+
+    #[inline]
+    fn absorb_byte(&mut self, byte: u8) {
+        self.state.xor_byte(self.offset, byte);
+        self.offset += 1;
+        if self.offset == self.rate_bytes {
+            self.state.permute();
+            self.offset = 0;
         }
     }
 
@@ -257,6 +288,22 @@ mod tests {
             h.update(chunk);
         }
         assert_eq!(h.finalize(), Sha3_512::digest(data));
+    }
+
+    /// Every chunking of the same input must produce the same digest, exercising
+    /// the lane-aligned fast path against the byte-wise head/tail paths at all
+    /// offsets relative to the 8-byte lane and the 72-byte rate boundaries.
+    #[test]
+    fn chunked_updates_hit_aligned_and_unaligned_paths() {
+        let data: Vec<u8> = (0..640u32).map(|i| (i * 31 + 7) as u8).collect();
+        let oneshot = Sha3_512::digest(&data);
+        for chunk_size in [1, 3, 5, 8, 9, 16, 64, 71, 72, 73, 144, 640] {
+            let mut h = Sha3_512::new();
+            for chunk in data.chunks(chunk_size) {
+                h.update(chunk);
+            }
+            assert_eq!(h.finalize(), oneshot, "chunk size {chunk_size}");
+        }
     }
 
     #[test]

@@ -77,6 +77,18 @@ pub struct Cpu {
     instructions: u64,
     /// Values printed via the `print` environment call (a7 = 1), for examples/tests.
     console: Vec<u32>,
+    /// Base address of the predecoded text segment.
+    text_base: u32,
+    /// Text segment decoded once at load time, indexed by `(pc - text_base) / 4`.
+    /// `None` marks words that do not decode (e.g. literal pools); those fall back
+    /// to decode-on-fetch so the fault is reported exactly as before.
+    predecoded: Vec<Option<Instruction>>,
+    /// When `false`, every step fetches and decodes from memory (the verified
+    /// fallback path; also used by the differential regression tests).
+    predecode_enabled: bool,
+    /// Set when the memory may have been mutated behind the cache's back (any
+    /// `memory_mut` access); the next step re-decodes the text segment.
+    predecode_stale: bool,
 }
 
 impl Cpu {
@@ -100,7 +112,7 @@ impl Cpu {
         let mut regs = [0u32; 32];
         regs[Reg::SP.index()] = program.initial_sp();
         regs[Reg::GP.index()] = program.data_base;
-        Ok(Self {
+        let mut cpu = Self {
             regs,
             pc: program.entry,
             memory,
@@ -108,7 +120,52 @@ impl Cpu {
             cycles: 0,
             instructions: 0,
             console: Vec::new(),
-        })
+            text_base: program.text_base,
+            predecoded: Vec::new(),
+            predecode_enabled: true,
+            predecode_stale: false,
+        };
+        cpu.rebuild_predecode()?;
+        Ok(cpu)
+    }
+
+    /// Enables or disables the predecoded-execution fast path.
+    ///
+    /// With predecoding disabled every step performs the original
+    /// fetch-from-memory + decode round trip; results are identical either way
+    /// (the differential regression suite asserts this over the whole workload
+    /// catalogue), only the simulation throughput differs.
+    pub fn set_predecode(&mut self, enabled: bool) {
+        self.predecode_enabled = enabled;
+    }
+
+    /// Returns `true` while the predecoded fast path is enabled.
+    pub fn predecode_enabled(&self) -> bool {
+        self.predecode_enabled
+    }
+
+    /// (Re-)decodes the text segment into the dense predecode table.
+    ///
+    /// Runs once at construction and again after any `memory_mut` access (the
+    /// only way the code bytes can change: direct stores into the `rx` text
+    /// segment fault before they modify anything).
+    fn rebuild_predecode(&mut self) -> Result<(), Rv32Error> {
+        let text_len = self
+            .memory
+            .segments()
+            .iter()
+            .find(|s| s.base == self.text_base && s.perms.execute)
+            .map(|s| s.bytes.len() / 4)
+            .unwrap_or(0);
+        self.predecoded.clear();
+        self.predecoded.reserve(text_len);
+        for index in 0..text_len {
+            let pc = self.text_base + (index as u32) * 4;
+            let word = self.memory.fetch(pc)?;
+            self.predecoded.push(Instruction::decode(word, pc).ok());
+        }
+        self.predecode_stale = false;
+        Ok(())
     }
 
     /// Current program counter.
@@ -144,7 +201,12 @@ impl Cpu {
     }
 
     /// Mutable view of the memory (used by the attack-injection utilities).
+    ///
+    /// Conservatively marks the predecode table stale: the caller may poke any
+    /// byte, including the text segment, so the next step re-decodes the code
+    /// from memory (self-modifying-memory safety for the fast path).
     pub fn memory_mut(&mut self) -> &mut Memory {
+        self.predecode_stale = true;
         &mut self.memory
     }
 
@@ -184,6 +246,28 @@ impl Cpu {
         }
     }
 
+    /// Returns the decoded instruction at `pc`: a predecode-table lookup on the
+    /// fast path, the original fetch + decode round trip otherwise.
+    #[inline]
+    fn fetch_decoded(&mut self, pc: u32) -> Result<Instruction, Rv32Error> {
+        if self.predecode_enabled {
+            if self.predecode_stale {
+                self.rebuild_predecode()?;
+            }
+            let offset = pc.wrapping_sub(self.text_base);
+            if offset & 3 == 0 {
+                if let Some(Some(inst)) = self.predecoded.get((offset / 4) as usize) {
+                    return Ok(*inst);
+                }
+            }
+        }
+        // Verified fallback: out-of-text PCs, misaligned PCs and non-decodable
+        // words go through the memory model so faults are reported identically to
+        // the decode-on-fetch path.
+        let word = self.memory.fetch(pc)?;
+        Instruction::decode(word, pc)
+    }
+
     /// Executes a single instruction, reporting it to `sink`.
     ///
     /// Returns `Some(exit)` when the program terminates.
@@ -193,8 +277,7 @@ impl Cpu {
     /// Propagates fetch/decode/memory faults.
     pub fn step<S: TraceSink>(&mut self, sink: &mut S) -> Result<Option<ExitInfo>, Rv32Error> {
         let pc = self.pc;
-        let word = self.memory.fetch(pc)?;
-        let inst = Instruction::decode(word, pc)?;
+        let inst = self.fetch_decoded(pc)?;
 
         let mut next_pc = pc.wrapping_add(4);
         let mut branch: Option<BranchInfo> = None;
@@ -528,5 +611,57 @@ mod tests {
         let mut cpu = build(&insts);
         let exit = cpu.run(10).unwrap();
         assert_eq!(exit.reason, ExitReason::Ebreak);
+    }
+
+    #[test]
+    fn predecode_and_fallback_agree() {
+        let insts = vec![
+            addi(Reg::A0, Reg::ZERO, 0),
+            addi(Reg::T0, Reg::ZERO, 7),
+            Instruction::Alu { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A0, rs2: Reg::T0 },
+            addi(Reg::T0, Reg::T0, -1),
+            Instruction::Branch { cond: BranchCond::Ne, rs1: Reg::T0, rs2: Reg::ZERO, offset: -8 },
+            Instruction::Ecall,
+        ];
+        let mut fast = build(&insts);
+        assert!(fast.predecode_enabled());
+        let mut slow = build(&insts);
+        slow.set_predecode(false);
+        let fast_exit = fast.run(1_000).unwrap();
+        let slow_exit = slow.run(1_000).unwrap();
+        assert_eq!(fast_exit, slow_exit);
+        assert_eq!(fast.regs, slow.regs);
+    }
+
+    #[test]
+    fn predecode_invalidated_by_memory_poke() {
+        // Run `addi a0, zero, 1; ecall`, but poke the first instruction into
+        // `addi a0, zero, 99` through the adversary/loader interface before
+        // stepping: the predecode table must notice the self-modified code.
+        let insts = vec![addi(Reg::A0, Reg::ZERO, 1), Instruction::Ecall];
+        let mut cpu = build(&insts);
+        let patched = addi(Reg::A0, Reg::ZERO, 99).encode();
+        cpu.memory_mut()
+            .poke_bytes(crate::program::DEFAULT_TEXT_BASE, &patched.to_le_bytes())
+            .unwrap();
+        let exit = cpu.run(10).unwrap();
+        assert_eq!(exit.register_a0, 99, "stale predecode served the old instruction");
+    }
+
+    #[test]
+    fn predecode_falls_back_outside_text() {
+        // Jump into the data segment: the fallback path must report the same
+        // permission fault the decode-on-fetch core raises.
+        let insts = vec![
+            Instruction::Lui { rd: Reg::T0, imm: crate::program::DEFAULT_DATA_BASE as i32 },
+            Instruction::Jalr { rd: Reg::ZERO, rs1: Reg::T0, offset: 0 },
+        ];
+        let mut fast = build(&insts);
+        let mut slow = build(&insts);
+        slow.set_predecode(false);
+        let fast_err = fast.run(10).unwrap_err();
+        let slow_err = slow.run(10).unwrap_err();
+        assert!(matches!(fast_err, Rv32Error::MemoryPermission { .. }));
+        assert_eq!(format!("{fast_err:?}"), format!("{slow_err:?}"));
     }
 }

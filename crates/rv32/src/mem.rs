@@ -60,6 +60,11 @@ impl Segment {
 #[derive(Debug, Clone, Default)]
 pub struct Memory {
     segments: Vec<Segment>,
+    /// Index of the segment that served the most recent access.  Real programs
+    /// exhibit strong locality (data accesses hit `.data` or the stack run after
+    /// run), so probing this segment first turns the linear segment scan into a
+    /// single bounds check on the hot path.
+    last_hit: std::cell::Cell<usize>,
 }
 
 impl Memory {
@@ -100,17 +105,35 @@ impl Memory {
     }
 
     fn segment_for(&self, addr: u32, size: u32) -> Result<&Segment, Rv32Error> {
-        self.segments
+        let last = self.last_hit.get();
+        if let Some(segment) = self.segments.get(last) {
+            if segment.contains(addr, size) {
+                return Ok(segment);
+            }
+        }
+        let index = self
+            .segments
             .iter()
-            .find(|s| s.contains(addr, size))
-            .ok_or(Rv32Error::MemoryUnmapped { addr, size })
+            .position(|s| s.contains(addr, size))
+            .ok_or(Rv32Error::MemoryUnmapped { addr, size })?;
+        self.last_hit.set(index);
+        Ok(&self.segments[index])
     }
 
     fn segment_for_mut(&mut self, addr: u32, size: u32) -> Result<&mut Segment, Rv32Error> {
-        self.segments
-            .iter_mut()
-            .find(|s| s.contains(addr, size))
-            .ok_or(Rv32Error::MemoryUnmapped { addr, size })
+        let last = self.last_hit.get();
+        let index = if self.segments.get(last).is_some_and(|s| s.contains(addr, size)) {
+            last
+        } else {
+            let index = self
+                .segments
+                .iter()
+                .position(|s| s.contains(addr, size))
+                .ok_or(Rv32Error::MemoryUnmapped { addr, size })?;
+            self.last_hit.set(index);
+            index
+        };
+        Ok(&mut self.segments[index])
     }
 
     /// Loads `size ∈ {1, 2, 4}` bytes as a little-endian value.
@@ -158,7 +181,14 @@ impl Memory {
         if !pc.is_multiple_of(4) {
             return Err(Rv32Error::Misaligned { addr: pc, required: 4 });
         }
-        let segment = self.segment_for(pc, 4)?;
+        // Plain scan, not the `last_hit` cache: fetches hit the text segment
+        // (placed first by the loader) while loads/stores hit data/stack, so
+        // sharing the cache between them would thrash it on every access.
+        let segment = self
+            .segments
+            .iter()
+            .find(|s| s.contains(pc, 4))
+            .ok_or(Rv32Error::MemoryUnmapped { addr: pc, size: 4 })?;
         if !segment.perms.execute {
             return Err(Rv32Error::MemoryPermission { addr: pc, access: AccessKind::Execute });
         }

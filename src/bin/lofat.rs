@@ -9,6 +9,7 @@
 //!                                            the measurement (A, L, stats)
 //! lofat verify <file.s|workload> [inputs..]  full prover/verifier round trip
 //! lofat area [l n depth]                   area model for a configuration
+//! lofat bench-json [--out F] [--smoke]     write the E10 hot-path trajectory JSON
 //! ```
 //!
 //! Arguments that name a file ending in `.s`/`.asm` are assembled from disk; any
@@ -36,6 +37,7 @@ fn main() -> ExitCode {
         "attest" => cmd_attest(&args[1..]),
         "verify" => cmd_verify(&args[1..]),
         "area" => cmd_area(&args[1..]),
+        "bench-json" => cmd_bench_json(&args[1..]),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -60,7 +62,10 @@ commands:
   run <file.s|workload> [inputs..]   execute without attestation
   attest <file.s|workload> [inputs..]  execute under the LO-FAT engine
   verify <file.s|workload> [inputs..]  full attestation round trip
-  area [l n depth]                   print the area model estimate";
+  area [l n depth]                   print the area model estimate
+  bench-json [--out FILE] [--smoke]  measure hot-path throughput (E10) and
+                                     write the trajectory JSON (default:
+                                     BENCH_e10.json; --smoke: short windows)";
 
 type CliResult = Result<(), Box<dyn std::error::Error>>;
 
@@ -207,6 +212,54 @@ fn cmd_verify(args: &[String]) -> CliResult {
         }
         Err(other) => Err(other.into()),
     }
+}
+
+fn cmd_bench_json(args: &[String]) -> CliResult {
+    use lofat_bench::throughput::{measure, to_json, ThroughputSample, BASELINE};
+
+    let mut out_path = "BENCH_e10.json".to_string();
+    let mut smoke = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--out" => {
+                out_path = iter.next().ok_or("bench-json: --out requires a file path")?.to_string();
+            }
+            "--smoke" => smoke = true,
+            other => return Err(format!("bench-json: unknown argument `{other}`").into()),
+        }
+    }
+
+    let (window, reps) = if smoke { (0.02, 1) } else { (1.0, 4) };
+    eprintln!(
+        "measuring hot paths (best of {reps} × {window}s windows{})…",
+        if smoke { ", smoke mode" } else { "" }
+    );
+    let current = measure(window, reps);
+    let json = to_json(&BASELINE, &current);
+    std::fs::write(&out_path, &json)?;
+
+    let print = |label: &str, sample: &ThroughputSample| {
+        println!(
+            "{label:<9} attested {:>12.0} instr/s | plain {:>12.0} instr/s | \
+             sha3-512 {:>12.0} B/s | permutation {:>6.1} ns",
+            sample.attested_instructions_per_sec,
+            sample.plain_instructions_per_sec,
+            sample.hashed_bytes_per_sec,
+            sample.ns_per_permutation,
+        );
+    };
+    print("baseline", &BASELINE);
+    print("current", &current);
+    println!(
+        "speedup   attested {:.2}x | plain {:.2}x | sha3-512 {:.2}x | permutation {:.2}x",
+        current.attested_instructions_per_sec / BASELINE.attested_instructions_per_sec,
+        current.plain_instructions_per_sec / BASELINE.plain_instructions_per_sec,
+        current.hashed_bytes_per_sec / BASELINE.hashed_bytes_per_sec,
+        BASELINE.ns_per_permutation / current.ns_per_permutation,
+    );
+    println!("wrote {out_path}");
+    Ok(())
 }
 
 fn cmd_area(args: &[String]) -> CliResult {

@@ -1,0 +1,116 @@
+//! E10 differential regression — the predecoded fast path is observationally
+//! identical to decode-on-fetch.
+//!
+//! Every workload of the `lofat-workloads` catalogue runs twice under the
+//! LO-FAT engine: once on the predecoded CPU (the default) and once with
+//! predecoding forced off (`Cpu::set_predecode(false)`), and the two runs must
+//! agree on *everything* the attestation protocol can see: the exit
+//! information, the authenticator `A`, the loop metadata `L`, every
+//! [`lofat::EngineStats`] counter and the console output.
+
+mod common;
+
+use common::cpu_with_input;
+use lofat::{EngineConfig, LofatEngine};
+use lofat_workloads::catalog;
+
+const MAX_CYCLES: u64 = 50_000_000;
+
+/// Runs `workload` on `input`, attested, with or without predecoding.
+fn attest(
+    workload: &lofat_workloads::Workload,
+    input: &[u32],
+    predecode: bool,
+) -> (lofat::Measurement, lofat_rv32::ExitInfo, Vec<u32>) {
+    let program = workload.program().expect("assemble");
+    let mut engine = LofatEngine::for_program(&program, EngineConfig::default()).expect("engine");
+    let mut cpu = cpu_with_input(&program, input);
+    cpu.set_predecode(predecode);
+    assert_eq!(cpu.predecode_enabled(), predecode);
+    let exit = cpu.run_traced(MAX_CYCLES, &mut engine).expect("attested run");
+    let measurement = engine.finalize().expect("finalize");
+    (measurement, exit, cpu.console().to_vec())
+}
+
+#[test]
+fn whole_catalogue_agrees_between_predecode_and_decode_on_fetch() {
+    for workload in catalog::all() {
+        let input = workload.default_input.clone();
+        let (fast_m, fast_exit, fast_console) = attest(&workload, &input, true);
+        let (slow_m, slow_exit, slow_console) = attest(&workload, &input, false);
+
+        assert_eq!(fast_exit, slow_exit, "`{}`: ExitInfo diverged", workload.name);
+        assert_eq!(
+            fast_m.authenticator, slow_m.authenticator,
+            "`{}`: authenticator diverged",
+            workload.name
+        );
+        assert_eq!(fast_m.metadata, slow_m.metadata, "`{}`: metadata diverged", workload.name);
+        assert_eq!(fast_m.stats, slow_m.stats, "`{}`: engine stats diverged", workload.name);
+        assert_eq!(
+            fast_m.signed_payload(),
+            slow_m.signed_payload(),
+            "`{}`: signed payload diverged",
+            workload.name
+        );
+        assert_eq!(fast_console, slow_console, "`{}`: console diverged", workload.name);
+
+        // Both paths must also produce the functionally correct result.
+        assert_eq!(
+            fast_exit.register_a0,
+            workload.expected_result(&input),
+            "`{}`: wrong result",
+            workload.name
+        );
+    }
+}
+
+/// Alternative inputs exercise different control flow through the same text
+/// segments (different paths through the predecode table).
+#[test]
+fn alternative_inputs_agree_between_paths() {
+    let cases: &[(&str, &[u32])] = &[
+        ("syringe-pump", &[1]),
+        ("syringe-pump", &[97]),
+        ("fig4-loop", &[0]),
+        ("fig4-loop", &[31]),
+        ("bubble-sort", &[5, 4, 3, 2, 1, 0, 9, 8]),
+        ("crc32", &[0, 0xffff_ffff]),
+    ];
+    for &(name, input) in cases {
+        let workload = catalog::by_name(name).expect("workload");
+        let (fast_m, fast_exit, _) = attest(&workload, input, true);
+        let (slow_m, slow_exit, _) = attest(&workload, input, false);
+        assert_eq!(fast_exit, slow_exit, "`{name}` {input:?}: ExitInfo diverged");
+        assert_eq!(fast_m, slow_m, "`{name}` {input:?}: measurement diverged");
+    }
+}
+
+/// Poking the text segment mid-run (the self-modifying-memory escape hatch)
+/// invalidates the predecode table, so both paths see the patched code.
+#[test]
+fn mid_run_code_patch_agrees_between_paths() {
+    let workload = catalog::by_name("syringe-pump").expect("workload");
+    let program = workload.program().expect("assemble");
+    let run = |predecode: bool| {
+        let mut engine =
+            LofatEngine::for_program(&program, EngineConfig::default()).expect("engine");
+        let mut cpu = cpu_with_input(&program, &[4]);
+        cpu.set_predecode(predecode);
+        // Execute a few instructions, then patch the *next* instruction into an
+        // `ebreak` through the loader/adversary interface: the very next fetch
+        // must see the modified code on both paths.
+        for _ in 0..8 {
+            cpu.step(&mut engine).expect("step");
+        }
+        let ebreak = 0x0010_0073u32; // ebreak encoding
+        let patch_at = cpu.pc();
+        cpu.memory_mut().poke_bytes(patch_at, &ebreak.to_le_bytes()).expect("poke");
+        let exit = cpu.run_traced(MAX_CYCLES, &mut engine).expect("run");
+        (exit, engine.finalize().expect("finalize"))
+    };
+    let (fast_exit, fast_m) = run(true);
+    let (slow_exit, slow_m) = run(false);
+    assert_eq!(fast_exit, slow_exit);
+    assert_eq!(fast_m, slow_m);
+}

@@ -1,0 +1,160 @@
+//! E11 — the steady-state trace path performs no per-instruction heap
+//! allocation.
+//!
+//! A counting global allocator wraps the system allocator; after an attested
+//! loop workload has warmed up (loop entered, first paths hashed, every buffer
+//! at capacity), thousands of further retired instructions must not allocate
+//! at all.  This pins the engine-owned scratch buffers, the recycled loop
+//! activations, the capacity-retaining branches memory and the idle hash-path
+//! fast path in place: a regression in any of them shows up as a nonzero
+//! allocation delta.
+//!
+//! Loop *exits* are the one legitimate source of heap traffic (each emits a
+//! [`lofat::metadata::LoopRecord`] that owns its path table); the second test
+//! checks that allocations scale with the number of records, never with the
+//! instruction count.
+//!
+//! The property test is bounded by `PROPTEST_CASES` like every other property
+//! suite in the workspace.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use lofat::{EngineConfig, LofatEngine};
+use lofat_rv32::asm::assemble;
+use lofat_rv32::Cpu;
+use proptest::prelude::*;
+
+/// System allocator wrapper counting every allocation and reallocation.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// The allocation counter is process-global while libtest runs tests on
+/// parallel threads, so every test takes this lock around its measured window
+/// to keep the deltas attributable.
+static MEASUREMENT_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn allocation_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// A flat counted loop: after warm-up the engine sees the same compressed path
+/// every iteration and nothing exits, so the window must be allocation-free.
+fn flat_loop_source(trips: u32) -> String {
+    format!(
+        r#"
+        .text
+        main:
+            li   s0, {trips}
+            li   a0, 0
+        loop:
+            addi a0, a0, 1
+            xori t1, a0, 0x55
+            addi s0, s0, -1
+            bnez s0, loop
+            ecall
+        "#
+    )
+}
+
+/// Nested loops: the inner loop exits and re-enters once per outer iteration,
+/// emitting one loop record each time.
+const NESTED_LOOP: &str = r#"
+    .text
+    main:
+        li   s0, 4000          # outer trip count
+        li   a0, 0
+    outer_loop:
+        li   t0, 5             # inner trip count
+    inner_loop:
+        addi a0, a0, 1
+        addi t0, t0, -1
+        bnez t0, inner_loop
+        addi s0, s0, -1
+        bnez s0, outer_loop
+        ecall
+"#;
+
+fn attested_cpu(source: &str) -> (Cpu, LofatEngine) {
+    let program = assemble(source).expect("assemble");
+    let engine = LofatEngine::for_program(&program, EngineConfig::default()).expect("engine");
+    let cpu = Cpu::new(&program).expect("load");
+    (cpu, engine)
+}
+
+/// Steps `n` instructions, asserting the program does not exit.
+fn step_n(cpu: &mut Cpu, engine: &mut LofatEngine, n: u32) {
+    for _ in 0..n {
+        assert!(cpu.step(engine).expect("step").is_none(), "workload exited too early");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+    #[test]
+    fn steady_state_observe_is_allocation_free(trips in 2_000u32..20_000) {
+        let _serialized = MEASUREMENT_LOCK.lock().unwrap();
+        // Setup (allocates freely): assemble, load, attach the engine.
+        let (mut cpu, mut engine) = attested_cpu(&flat_loop_source(trips));
+
+        // Warm-up: loop entered, first path hashed, buffers at capacity.
+        step_n(&mut cpu, &mut engine, 100);
+
+        // Steady state: thousands of retired instructions, zero allocations.
+        let before = allocation_count();
+        step_n(&mut cpu, &mut engine, 4_000);
+        let delta = allocation_count() - before;
+        prop_assert_eq!(
+            delta,
+            0,
+            "steady-state attested execution allocated {} times over 4000 instructions",
+            delta
+        );
+    }
+}
+
+/// Nested loops exit and re-enter continuously; the recycled activations keep
+/// the per-instruction path allocation-free, and the only heap traffic left is
+/// the loop records themselves — bounded by exits, independent of the
+/// per-iteration instruction volume.
+#[test]
+fn nested_loop_allocations_scale_with_records_not_instructions() {
+    let _serialized = MEASUREMENT_LOCK.lock().unwrap();
+    let (mut cpu, mut engine) = attested_cpu(NESTED_LOOP);
+    step_n(&mut cpu, &mut engine, 300);
+
+    let exits_before = engine.stats().loops_exited;
+    let before = allocation_count();
+    step_n(&mut cpu, &mut engine, 30_000);
+    let delta = allocation_count() - before;
+    let exits = engine.stats().loops_exited - exits_before;
+
+    assert!(exits > 500, "expected many inner-loop exits, saw {exits}");
+    // Each exit legitimately allocates its record's path table (plus amortised
+    // growth of the metadata vector); 3 allocations per exit is generous.
+    assert!(
+        delta <= 3 * exits,
+        "allocations ({delta}) not bounded by loop exits ({exits}) — \
+         something allocates per instruction"
+    );
+}
