@@ -29,6 +29,11 @@ pub enum LofatError {
         /// Name of the missing symbol.
         name: String,
     },
+    /// A wire-format envelope could not be encoded or decoded.
+    Wire(crate::wire::WireError),
+    /// A protocol session refused the interaction (wrong session, replay,
+    /// expiry, unexpected message kind, …).
+    Session(crate::session::SessionError),
 }
 
 impl fmt::Display for LofatError {
@@ -44,6 +49,8 @@ impl fmt::Display for LofatError {
             LofatError::MissingSymbol { name } => {
                 write!(f, "program does not define the required symbol `{name}`")
             }
+            LofatError::Wire(e) => write!(f, "wire format error: {e}"),
+            LofatError::Session(e) => write!(f, "session error: {e}"),
         }
     }
 }
@@ -54,8 +61,22 @@ impl Error for LofatError {
             LofatError::Hash(e) | LofatError::Signature(e) => Some(e),
             LofatError::Execution(e) => Some(e),
             LofatError::Analysis(e) => Some(e),
+            LofatError::Wire(e) => Some(e),
+            LofatError::Session(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<crate::wire::WireError> for LofatError {
+    fn from(e: crate::wire::WireError) -> Self {
+        LofatError::Wire(e)
+    }
+}
+
+impl From<crate::session::SessionError> for LofatError {
+    fn from(e: crate::session::SessionError) -> Self {
+        LofatError::Session(e)
     }
 }
 

@@ -24,6 +24,16 @@
 //! | [`area`] | BRAM / logic area model (§6.2) |
 //! | [`prover`], [`verifier`], [`protocol`], [`report`] | the Fig. 2 attestation protocol |
 //!
+//! The protocol itself is layered sans-I/O (nothing below performs I/O; bytes
+//! in, bytes out):
+//!
+//! | Module | Layer |
+//! |---|---|
+//! | [`wire`] | versioned envelopes + the deterministic byte codec |
+//! | [`session`] | per-round-trip state machines ([`session::VerifierSession`], [`session::ProverSession`]) |
+//! | [`service`] | [`service::VerifierService`]: thousands of interleaved sessions, replay cache, expiry, stats |
+//! | [`protocol`] | the classic one-call adapter [`protocol::run_attestation`] over the layers above |
+//!
 //! # Quickstart
 //!
 //! ```
@@ -67,7 +77,10 @@ pub mod path_encoder;
 pub mod protocol;
 pub mod prover;
 pub mod report;
+pub mod service;
+pub mod session;
 pub mod verifier;
+pub mod wire;
 
 pub use area::{AreaEstimate, AreaModel};
 pub use branches_mem::BranchPair;
@@ -78,4 +91,11 @@ pub use measurement_db::{MeasurementDatabase, ReferenceMeasurement};
 pub use metadata::{LoopRecord, Metadata, PathRecord};
 pub use prover::{Adversary, NoAdversary, Prover, ProverRun};
 pub use report::AttestationReport;
+pub use service::{ServiceConfig, ServiceError, ServiceStats, VerifierService};
+pub use session::{
+    ProverSession, SessionDecision, SessionError, SessionOutcome, SessionState, VerifierSession,
+};
 pub use verifier::{Challenge, RejectionReason, Verdict, Verifier};
+pub use wire::{
+    ChallengeMsg, Envelope, EvidenceMsg, Message, SessionId, VerdictMsg, WireError, WIRE_VERSION,
+};

@@ -90,6 +90,28 @@ impl MeasurementDatabase {
         self.entries.get(input)
     }
 
+    /// Serialises the database with the deterministic wire codec, for shipping
+    /// to lightweight verifier front-ends (e.g. a
+    /// [`crate::service::VerifierService`] on another host).
+    ///
+    /// # Errors
+    ///
+    /// Fails only if a contained collection overflows the codec's `u32`
+    /// length prefix.
+    pub fn to_wire_bytes(&self) -> Result<Vec<u8>, serde::Error> {
+        serde::to_bytes(self)
+    }
+
+    /// Decodes a database previously encoded with
+    /// [`MeasurementDatabase::to_wire_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the decode error for malformed input.
+    pub fn from_wire_bytes(bytes: &[u8]) -> Result<Self, serde::Error> {
+        serde::from_bytes(bytes)
+    }
+
     /// Checks a report against the stored reference for `input` (signature and nonce
     /// checks are the caller's/`Verifier`'s responsibility — this is the measurement
     /// comparison only).

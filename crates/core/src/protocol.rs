@@ -12,10 +12,22 @@
 //!
 //! [`run_attestation`] drives one round trip between an in-process verifier and
 //! prover; the examples use it as the one-call entry point.
+//!
+//! Since the sans-I/O redesign this is a thin adapter over the session layer:
+//! it opens a [`crate::session::VerifierSession`], moves the challenge and the
+//! evidence through the [`crate::wire`] byte codec (so the in-process path
+//! exercises exactly the bytes a remote deployment would), and maps the
+//! session outcome back to the classic `Result` shape — acceptance returns the
+//! [`ProtocolOutcome`], rejection returns [`LofatError::Rejected`] with the
+//! same [`crate::verifier::RejectionReason`]s as before.  Multi-session and
+//! remote deployments should use [`crate::session`] /
+//! [`crate::service::VerifierService`] directly.
 
 use crate::error::LofatError;
 use crate::prover::{Adversary, NoAdversary, Prover, ProverRun};
+use crate::session::{ProverSession, SessionDecision, SessionError};
 use crate::verifier::{Challenge, Verdict, Verifier};
+use crate::wire::{Envelope, SessionId};
 
 /// Everything produced by one protocol round trip.
 #[derive(Debug, Clone)]
@@ -73,10 +85,43 @@ pub fn run_attestation_with_adversary<A: Adversary + ?Sized>(
     input: Vec<u32>,
     adversary: &mut A,
 ) -> Result<ProtocolOutcome, LofatError> {
-    let challenge = verifier.challenge(input);
-    let prover_run = prover.attest_with_adversary(&challenge.input, challenge.nonce, adversary)?;
-    let verdict = verifier.verify(&prover_run.report, &challenge)?;
-    Ok(ProtocolOutcome { challenge, prover_run, verdict })
+    // One in-process session with no deadline; the messages still travel
+    // through the full wire codec so this path is bit-for-bit the remote one.
+    let mut session = verifier.begin_session(SessionId(1), input, u64::MAX);
+    let challenge = session.challenge().clone();
+    let challenge_bytes = session.challenge_envelope().encode()?;
+    let challenge_envelope = Envelope::decode(&challenge_bytes)?;
+
+    let (evidence_envelope, prover_run) = ProverSession::new(prover)
+        .respond_with_adversary(&challenge_envelope, adversary)
+        .map_err(|e| match e {
+            // The session-layer prover refuses mismatched programs up front;
+            // legacy `run_attestation` let the verifier reject the report, so
+            // restore that error shape here (note the swapped perspective:
+            // the verifier expected its own id and found the prover's).
+            LofatError::Session(SessionError::ProgramMismatch { expected, found }) => {
+                LofatError::Rejected(crate::verifier::RejectionReason::ProgramIdMismatch {
+                    expected: found,
+                    found: expected,
+                })
+            }
+            other => other,
+        })?;
+    let evidence_bytes = evidence_envelope.encode()?;
+    let evidence = Envelope::decode(&evidence_bytes)?;
+
+    let outcome = session.process_evidence(&evidence, verifier, 0).map_err(|e| match e {
+        // A golden-replay failure is the verifier's own error, same as before
+        // the redesign.
+        SessionError::Verifier(inner) => *inner,
+        other => LofatError::Session(other),
+    })?;
+    match outcome.decision {
+        SessionDecision::Accepted(verdict) => {
+            Ok(ProtocolOutcome { challenge, prover_run, verdict })
+        }
+        SessionDecision::Rejected(reason) => Err(LofatError::Rejected(reason)),
+    }
 }
 
 #[cfg(test)]
@@ -125,6 +170,22 @@ mod tests {
         let first = run_attestation(&mut verifier, &mut prover, vec![2]).unwrap();
         let second = run_attestation(&mut verifier, &mut prover, vec![2]).unwrap();
         assert_ne!(first.challenge.nonce, second.challenge.nonce);
+    }
+
+    #[test]
+    fn mismatched_program_ids_keep_the_legacy_rejection_shape() {
+        let program = assemble(PROGRAM).unwrap();
+        let key = DeviceKey::from_seed("protocol");
+        let mut prover = Prover::new(program.clone(), "prover-prog", key.clone());
+        let mut verifier = Verifier::new(program, "verifier-prog", key.verification_key()).unwrap();
+        let err = run_attestation(&mut verifier, &mut prover, vec![1]).unwrap_err();
+        assert!(matches!(
+            err,
+            LofatError::Rejected(crate::verifier::RejectionReason::ProgramIdMismatch {
+                ref expected,
+                ref found,
+            }) if expected == "verifier-prog" && found == "prover-prog"
+        ));
     }
 
     #[test]

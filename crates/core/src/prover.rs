@@ -103,6 +103,12 @@ impl Prover {
         &self.program_id
     }
 
+    /// Wraps this prover in a sans-I/O [`crate::session::ProverSession`] that
+    /// answers challenge envelopes with evidence envelopes.
+    pub fn session(&mut self) -> crate::session::ProverSession<'_> {
+        crate::session::ProverSession::new(self)
+    }
+
     /// Runs the attested program on input `input` and produces a signed report bound
     /// to `nonce`.
     ///

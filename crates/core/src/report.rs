@@ -46,6 +46,28 @@ impl AttestationReport {
     pub fn wire_size(&self) -> usize {
         self.payload().len() + self.signature.len()
     }
+
+    /// Serialises the report with the deterministic wire codec (the encoding
+    /// used inside [`crate::wire::EvidenceMsg`] envelopes).
+    ///
+    /// # Errors
+    ///
+    /// Fails only if a contained collection overflows the codec's `u32`
+    /// length prefix.
+    pub fn to_wire_bytes(&self) -> Result<Vec<u8>, serde::Error> {
+        serde::to_bytes(self)
+    }
+
+    /// Decodes a report previously encoded with
+    /// [`AttestationReport::to_wire_bytes`], rejecting truncated or trailing
+    /// input.
+    ///
+    /// # Errors
+    ///
+    /// Returns the decode error for malformed input.
+    pub fn from_wire_bytes(bytes: &[u8]) -> Result<Self, serde::Error> {
+        serde::from_bytes(bytes)
+    }
 }
 
 #[cfg(test)]

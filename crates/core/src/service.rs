@@ -1,0 +1,564 @@
+//! `VerifierService` — a multi-session verifier front-end.
+//!
+//! The paper's verifier fronts *many* embedded provers; this module scales the
+//! single-session state machine of [`crate::session`] to thousands of
+//! interleaved sessions against one shared [`MeasurementDatabase`]:
+//!
+//! * sessions are keyed by [`SessionId`] and live until decided or expired
+//!   (then they are evicted eagerly, so memory tracks outstanding work);
+//! * nonces are single-use across **all** sessions: session `n` carries
+//!   nonce `n`, so replayed evidence is recognised with O(1) memory — no
+//!   replay cache to grow with fleet size;
+//! * stale sessions expire on a service-local cycle clock
+//!   ([`VerifierService::advance_clock`] / [`VerifierService::expire_stale`]);
+//! * verification is the database mode of [`MeasurementDatabase`]: signature
+//!   and nonce checks plus a constant-time reference lookup — no golden replay
+//!   on the hot path, which is what lets one service instance front a large
+//!   device fleet;
+//! * every interaction updates [`ServiceStats`], including per-reason-code
+//!   rejection counts.
+//!
+//! The service is sans-I/O like the sessions: [`VerifierService::handle_bytes`]
+//! maps request bytes to response bytes and never panics on malformed input.
+
+use crate::error::LofatError;
+use crate::measurement_db::MeasurementDatabase;
+use crate::session::{SessionError, VerifierSession};
+use crate::verifier::{Challenge, RejectionReason};
+use crate::wire::{code, Envelope, Message, SessionId, VerdictMsg, WireError};
+use lofat_crypto::sign::HmacVerifier;
+use lofat_crypto::{Nonce, SignatureVerifier, VerificationKey};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Tunables of a [`VerifierService`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ServiceConfig {
+    /// Cycles (on the service clock) a session stays valid after opening.
+    pub session_deadline_cycles: u64,
+    /// Maximum number of live sessions; [`VerifierService::open_session`]
+    /// refuses beyond this.
+    pub max_live_sessions: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self { session_deadline_cycles: 1_000_000, max_live_sessions: 65_536 }
+    }
+}
+
+/// Counters the service maintains across all sessions.
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ServiceStats {
+    /// Sessions opened over the service lifetime.
+    pub sessions_opened: u64,
+    /// Evidence submissions accepted.
+    pub accepted: u64,
+    /// Evidence submissions rejected — any reason code except
+    /// [`code::SESSION_EXPIRED`], which counts in
+    /// [`ServiceStats::expired`] instead (expiry is a lifecycle event, not a
+    /// judgement of the evidence).
+    pub rejected: u64,
+    /// Sessions that expired before (or at) evidence submission.
+    pub expired: u64,
+    /// Submissions carrying an already-spent nonce.  Covers re-submissions
+    /// to decided sessions and cross-session nonce reuse; because replay
+    /// detection is O(1) (no per-session history), first-time evidence that
+    /// arrives after its session was swept by
+    /// [`VerifierService::expire_stale`] is indistinguishable from a replay
+    /// and lands here too.
+    pub replays_blocked: u64,
+    /// Envelopes that failed wire-level decoding.
+    pub wire_errors: u64,
+    /// Rejections by stable reason code ([`code`]).
+    pub rejections_by_code: BTreeMap<u16, u64>,
+}
+
+impl ServiceStats {
+    fn record_rejection(&mut self, reason_code: u16) {
+        self.rejected += 1;
+        *self.rejections_by_code.entry(reason_code).or_insert(0) += 1;
+    }
+}
+
+/// Errors returned by service entry points that cannot answer with a verdict.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ServiceError {
+    /// No reference measurement is precomputed for this input.
+    UnknownInput {
+        /// The input that has no database entry.
+        input: Vec<u32>,
+    },
+    /// The live-session limit was reached.
+    AtCapacity {
+        /// Live sessions at the time of the call.
+        live: usize,
+        /// The configured limit.
+        max: usize,
+    },
+    /// The session id is not (or no longer) known.
+    UnknownSession(SessionId),
+    /// A wire codec failure while building an outgoing envelope.
+    Wire(WireError),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::UnknownInput { input } => {
+                write!(f, "no reference measurement precomputed for input {input:?}")
+            }
+            ServiceError::AtCapacity { live, max } => {
+                write!(f, "live-session limit reached ({live}/{max})")
+            }
+            ServiceError::UnknownSession(id) => write!(f, "unknown {id}"),
+            ServiceError::Wire(e) => write!(f, "wire error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// A verifier front-end running many interleaved attestation sessions against
+/// one shared measurement database and verification key.
+///
+/// # Example
+///
+/// ```
+/// use lofat::service::{ServiceConfig, VerifierService};
+/// use lofat::session::ProverSession;
+/// use lofat::{EngineConfig, MeasurementDatabase, Prover, Verifier};
+/// use lofat_crypto::DeviceKey;
+/// use lofat_rv32::asm::assemble;
+///
+/// let program = assemble(
+///     ".text\nmain:\n    li t0, 4\nloop:\n    addi t0, t0, -1\n    bnez t0, loop\n    ecall\n",
+/// )?;
+/// let key = DeviceKey::from_seed("fleet");
+/// let mut prover = Prover::new(program.clone(), "demo", key.clone());
+///
+/// // Offline: build the reference database once.
+/// let verifier = Verifier::new(program, "demo", key.verification_key())?;
+/// let db = MeasurementDatabase::build(&verifier, EngineConfig::default(), vec![vec![]])?;
+///
+/// // Online: the service fronts provers without a simulator in the loop.
+/// let mut service =
+///     VerifierService::new(db, key.verification_key(), ServiceConfig::default());
+/// let id = service.open_session(vec![])?;
+/// let challenge_bytes = service.challenge_envelope(id)?.encode()?;
+/// let evidence_bytes = ProverSession::new(&mut prover).handle_bytes(&challenge_bytes)?;
+/// let verdict_bytes = service.handle_bytes(&evidence_bytes)?;
+/// # let _ = verdict_bytes;
+/// assert_eq!(service.stats().accepted, 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct VerifierService {
+    db: MeasurementDatabase,
+    key: HmacVerifier,
+    config: ServiceConfig,
+    sessions: BTreeMap<SessionId, VerifierSession>,
+    /// Sessions (and therefore nonces) issued so far: session `n` carries
+    /// `Nonce::from_counter(n)`, so replay detection needs no cache — a nonce
+    /// is consumed iff it was issued and its session is no longer live.
+    next_session: u64,
+    now_cycles: u64,
+    stats: ServiceStats,
+}
+
+impl VerifierService {
+    /// Creates a service over a prebuilt measurement database and the fleet's
+    /// verification key.
+    pub fn new(db: MeasurementDatabase, key: VerificationKey, config: ServiceConfig) -> Self {
+        Self {
+            db,
+            key: HmacVerifier::new(key),
+            config,
+            sessions: BTreeMap::new(),
+            next_session: 0,
+            now_cycles: 0,
+            stats: ServiceStats::default(),
+        }
+    }
+
+    /// The program this service attests.
+    pub fn program_id(&self) -> &str {
+        self.db.program_id()
+    }
+
+    /// The service-local cycle clock.
+    pub fn now_cycles(&self) -> u64 {
+        self.now_cycles
+    }
+
+    /// Advances the service clock (deadlines are measured against it).
+    pub fn advance_clock(&mut self, cycles: u64) {
+        self.now_cycles = self.now_cycles.saturating_add(cycles);
+    }
+
+    /// Number of sessions currently awaiting evidence.  Decided and expired
+    /// sessions are evicted eagerly (their nonces stay permanently consumed),
+    /// so this — and the [`ServiceConfig::max_live_sessions`] bound — tracks
+    /// outstanding work only.
+    pub fn live_sessions(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Service-level statistics.
+    pub fn stats(&self) -> &ServiceStats {
+        &self.stats
+    }
+
+    /// Looks up a held session.
+    pub fn session(&self, id: SessionId) -> Option<&VerifierSession> {
+        self.sessions.get(&id)
+    }
+
+    /// Opens a session for `input`, returning its id.  The challenge nonce is
+    /// unique across the service lifetime (single-use by construction).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::UnknownInput`] when no reference measurement
+    /// exists for `input` and [`ServiceError::AtCapacity`] at the live-session
+    /// limit.
+    pub fn open_session(&mut self, input: Vec<u32>) -> Result<SessionId, ServiceError> {
+        if self.db.reference(&input).is_none() {
+            return Err(ServiceError::UnknownInput { input });
+        }
+        if self.sessions.len() >= self.config.max_live_sessions {
+            // Capacity pressure triggers a sweep, so abandoned challenges
+            // (provers that never answered) can never wedge the service even
+            // if the embedder forgets to call `expire_stale` itself.
+            self.expire_stale();
+        }
+        if self.sessions.len() >= self.config.max_live_sessions {
+            return Err(ServiceError::AtCapacity {
+                live: self.sessions.len(),
+                max: self.config.max_live_sessions,
+            });
+        }
+        self.next_session += 1;
+        let id = SessionId(self.next_session);
+        let challenge = Challenge {
+            program_id: self.db.program_id().to_string(),
+            input,
+            // Session `n` always carries nonce `n` — the pairing the derived
+            // replay check in `nonce_consumed` relies on.
+            nonce: Nonce::from_counter(self.next_session),
+        };
+        let deadline = self.now_cycles.saturating_add(self.config.session_deadline_cycles);
+        self.sessions.insert(id, VerifierSession::new(id, challenge, deadline));
+        self.stats.sessions_opened += 1;
+        Ok(id)
+    }
+
+    /// The challenge envelope for an open session.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::UnknownSession`] for unknown ids.
+    pub fn challenge_envelope(&self, id: SessionId) -> Result<Envelope, ServiceError> {
+        self.sessions
+            .get(&id)
+            .map(VerifierSession::challenge_envelope)
+            .ok_or(ServiceError::UnknownSession(id))
+    }
+
+    /// Removes expired sessions (all held sessions are awaiting evidence —
+    /// decided ones are evicted at decision time), returning how many were
+    /// swept; each counts as [`ServiceStats::expired`].
+    pub fn expire_stale(&mut self) -> usize {
+        let now = self.now_cycles;
+        let stale: Vec<SessionId> = self
+            .sessions
+            .iter()
+            .filter(|(_, s)| now > s.deadline_cycles())
+            .map(|(id, _)| *id)
+            .collect();
+        let expired = stale.len();
+        for id in stale {
+            // The challenge nonce can never be answered again.
+            self.evict_session(id);
+            self.stats.expired += 1;
+        }
+        expired
+    }
+
+    /// Judges one evidence envelope and returns the verdict.  Infallible by
+    /// design: every failure mode maps to a rejecting [`VerdictMsg`] with a
+    /// stable [`code`], and the statistics are updated either way.
+    pub fn submit_evidence(&mut self, envelope: &Envelope) -> VerdictMsg {
+        let verdict = self.judge(envelope);
+        match verdict.reason_code {
+            code::ACCEPTED => self.stats.accepted += 1,
+            // Expiry is its own lifecycle category (consistent with
+            // `expire_stale`, which produces no verdict): it does not also
+            // count as a rejection, so accepted + rejected + expired
+            // reconciles with decided sessions.
+            code::SESSION_EXPIRED => self.stats.expired += 1,
+            code::SESSION_DECIDED | code::NONCE_REPLAYED => {
+                self.stats.replays_blocked += 1;
+                self.stats.record_rejection(verdict.reason_code);
+            }
+            _ => self.stats.record_rejection(verdict.reason_code),
+        }
+        verdict
+    }
+
+    /// Batch entry point: judges evidence envelopes in order and returns the
+    /// verdicts in the same order.
+    pub fn verify_evidence<'a>(
+        &mut self,
+        envelopes: impl IntoIterator<Item = &'a Envelope>,
+    ) -> Vec<VerdictMsg> {
+        envelopes.into_iter().map(|envelope| self.submit_evidence(envelope)).collect()
+    }
+
+    /// Fully sans-I/O surface: request bytes in, verdict-envelope bytes out.
+    /// Malformed requests yield a rejecting verdict addressed to session 0
+    /// rather than an error.
+    ///
+    /// # Errors
+    ///
+    /// Only fails if the *outgoing* verdict envelope cannot be encoded, which
+    /// would be a bug, not an input property.
+    pub fn handle_bytes(&mut self, bytes: &[u8]) -> Result<Vec<u8>, ServiceError> {
+        let (session, verdict) = match Envelope::decode(bytes) {
+            Ok(envelope) => {
+                let verdict = self.submit_evidence(&envelope);
+                (envelope.session, verdict)
+            }
+            Err(wire_error) => {
+                self.stats.wire_errors += 1;
+                self.stats.record_rejection(wire_error.code());
+                (SessionId(0), VerdictMsg::rejected(wire_error.code(), wire_error.to_string()))
+            }
+        };
+        Envelope::new(session, Message::Verdict(verdict)).encode().map_err(ServiceError::Wire)
+    }
+
+    /// The verification pipeline for one envelope.  Does not touch the
+    /// statistics; [`VerifierService::submit_evidence`] does.
+    fn judge(&mut self, envelope: &Envelope) -> VerdictMsg {
+        let id = envelope.session;
+        let Some(session) = self.sessions.get(&id) else {
+            // Decided sessions are evicted eagerly, so a replayed envelope
+            // usually lands here: report it as the replay it is.
+            if let Message::Evidence(evidence) = &envelope.message {
+                if self.nonce_consumed(&evidence.report.nonce) {
+                    return VerdictMsg::rejected(
+                        code::NONCE_REPLAYED,
+                        format!(
+                            "nonce {} is spent: its session already reached a verdict or expired",
+                            evidence.report.nonce
+                        ),
+                    );
+                }
+            }
+            return VerdictMsg::rejected(code::UNKNOWN_SESSION, format!("unknown {id}"));
+        };
+        let evidence = match session.accept_evidence(envelope, self.now_cycles) {
+            Ok(evidence) => evidence,
+            Err(e) => {
+                let verdict = VerdictMsg::rejected(e.code(), e.to_string());
+                if matches!(e, SessionError::Expired { .. }) {
+                    self.evict_session(id);
+                }
+                return verdict;
+            }
+        };
+        let report = &evidence.report;
+
+        // The three checks below reject *without* spending the session:
+        // anyone can address garbage (or replayed) evidence at a live session
+        // id, and an unauthenticated failure must not let them lock the
+        // honest prover out.  The session is only spent by evidence that is
+        // signed under the fleet key *and* bound to this session's nonce.
+
+        // Cross-session replay: a nonce consumed by any decided/expired
+        // session can never be accepted again, no matter where it is sent.
+        if self.nonce_consumed(&report.nonce) {
+            return VerdictMsg::rejected(
+                code::NONCE_REPLAYED,
+                format!(
+                    "nonce {} is spent: its session already reached a verdict or expired",
+                    report.nonce
+                ),
+            );
+        }
+
+        // Per-session nonce binding (evidence routed to the wrong session).
+        if report.nonce != session.nonce() {
+            return VerdictMsg::rejected(
+                RejectionReason::NonceMismatch.code(),
+                RejectionReason::NonceMismatch.to_string(),
+            );
+        }
+
+        // Authenticity.
+        if self.key.verify(&report.payload(), &report.signature).is_err() {
+            return VerdictMsg::rejected(
+                RejectionReason::BadSignature.code(),
+                RejectionReason::BadSignature.to_string(),
+            );
+        }
+
+        // Measurement comparison: [`MeasurementDatabase::check`] is the one
+        // implementation of the reference comparison.
+        let input = &session.challenge().input;
+        let verdict = match self.db.check(input, report) {
+            Ok(reference) => VerdictMsg::accepted(Some(reference.expected_result)),
+            Err(LofatError::Rejected(reason)) => {
+                VerdictMsg::rejected(reason.code(), reason.to_string())
+            }
+            Err(other) => VerdictMsg::rejected(code::UNKNOWN_INPUT, other.to_string()),
+        };
+        // Authenticated decision: the session is spent.  Evicting (rather
+        // than keeping a Decided tombstone) keeps the session map bounded by
+        // *outstanding* work, so decided sessions never count against
+        // `max_live_sessions`; `nonce_consumed` still blocks replays.
+        self.sessions.remove(&id);
+        verdict
+    }
+
+    /// Removes an expired session; its nonce stays consumed by construction.
+    fn evict_session(&mut self, id: SessionId) {
+        self.sessions.remove(&id);
+    }
+
+    /// Replay check with O(1) memory: session `n` carries
+    /// `Nonce::from_counter(n)`, so a nonce is consumed iff it was issued
+    /// (its counter is in `1..=next_session`, and the bytes match exactly)
+    /// and its session has been decided or expired (no longer live).
+    fn nonce_consumed(&self, nonce: &Nonce) -> bool {
+        let counter = u64::from_le_bytes(nonce.as_bytes()[..8].try_into().expect("8 bytes"));
+        counter >= 1
+            && counter <= self.next_session
+            && Nonce::from_counter(counter) == *nonce
+            && !self.sessions.contains_key(&SessionId(counter))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+    use crate::prover::Prover;
+    use crate::session::ProverSession;
+    use crate::verifier::Verifier;
+    use lofat_crypto::DeviceKey;
+    use lofat_rv32::asm::assemble;
+
+    const PROGRAM: &str = r#"
+        .data
+        input:
+            .space 8
+        .text
+        main:
+            la   t0, input
+            lw   t1, 0(t0)
+            li   a0, 0
+            beqz t1, done
+        loop:
+            addi a0, a0, 3
+            addi t1, t1, -1
+            bnez t1, loop
+        done:
+            ecall
+    "#;
+
+    fn setup(inputs: impl IntoIterator<Item = Vec<u32>>) -> (VerifierService, Prover) {
+        let program = assemble(PROGRAM).unwrap();
+        let key = DeviceKey::from_seed("svc-device");
+        let prover = Prover::new(program.clone(), "triple", key.clone());
+        let verifier = Verifier::new(program, "triple", key.verification_key()).unwrap();
+        let db = MeasurementDatabase::build(&verifier, EngineConfig::default(), inputs).unwrap();
+        let service = VerifierService::new(db, key.verification_key(), ServiceConfig::default());
+        (service, prover)
+    }
+
+    fn evidence_for(service: &VerifierService, prover: &mut Prover, id: SessionId) -> Envelope {
+        let challenge = service.challenge_envelope(id).unwrap();
+        let (evidence, _run) = ProverSession::new(prover).respond(&challenge).unwrap();
+        evidence
+    }
+
+    #[test]
+    fn honest_sessions_are_accepted() {
+        let (mut service, mut prover) = setup(vec![vec![2], vec![3]]);
+        let a = service.open_session(vec![2]).unwrap();
+        let b = service.open_session(vec![3]).unwrap();
+        let ev_a = evidence_for(&service, &mut prover, a);
+        let ev_b = evidence_for(&service, &mut prover, b);
+        // Interleaved: answer b first.
+        let verdicts = service.verify_evidence([&ev_b, &ev_a]);
+        assert!(verdicts.iter().all(|v| v.accepted), "{verdicts:?}");
+        assert_eq!(verdicts[0].expected_result, Some(9));
+        assert_eq!(verdicts[1].expected_result, Some(6));
+        assert_eq!(service.stats().accepted, 2);
+    }
+
+    #[test]
+    fn unknown_inputs_cannot_open_sessions() {
+        let (mut service, _) = setup(vec![vec![1]]);
+        let err = service.open_session(vec![9]).unwrap_err();
+        assert!(matches!(err, ServiceError::UnknownInput { .. }));
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let (mut service, _) = setup(vec![vec![1]]);
+        service.config.max_live_sessions = 2;
+        service.open_session(vec![1]).unwrap();
+        service.open_session(vec![1]).unwrap();
+        let err = service.open_session(vec![1]).unwrap_err();
+        assert!(matches!(err, ServiceError::AtCapacity { live: 2, max: 2 }));
+    }
+
+    #[test]
+    fn capacity_pressure_sweeps_expired_sessions() {
+        let (mut service, _) = setup(vec![vec![1]]);
+        service.config.max_live_sessions = 2;
+        service.config.session_deadline_cycles = 10;
+        service.open_session(vec![1]).unwrap();
+        service.open_session(vec![1]).unwrap();
+        service.advance_clock(11);
+        // At capacity, but both sessions are stale: open_session sweeps them
+        // instead of wedging on AtCapacity.
+        assert!(service.open_session(vec![1]).is_ok());
+        assert_eq!(service.stats().expired, 2);
+        assert_eq!(service.live_sessions(), 1);
+    }
+
+    #[test]
+    fn malformed_bytes_yield_a_verdict_not_a_panic() {
+        let (mut service, _) = setup(vec![vec![1]]);
+        let reply = service.handle_bytes(b"garbage").unwrap();
+        let envelope = Envelope::decode(&reply).unwrap();
+        let Message::Verdict(v) = envelope.message else { panic!("expected verdict") };
+        assert!(!v.accepted);
+        assert_eq!(v.reason_code, code::MALFORMED);
+        assert_eq!(service.stats().wire_errors, 1);
+    }
+
+    #[test]
+    fn expired_sessions_are_swept() {
+        let (mut service, _) = setup(vec![vec![1]]);
+        service.config.session_deadline_cycles = 10;
+        let _id = service.open_session(vec![1]).unwrap();
+        assert_eq!(service.expire_stale(), 0);
+        service.advance_clock(11);
+        assert_eq!(service.expire_stale(), 1);
+        assert_eq!(service.live_sessions(), 0);
+        assert_eq!(service.stats().expired, 1);
+    }
+}

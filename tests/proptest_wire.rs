@@ -1,0 +1,160 @@
+//! Property tests for the versioned wire format.
+//!
+//! * `Envelope::encode → Envelope::decode` is the identity for arbitrary
+//!   challenge/evidence/verdict messages;
+//! * decode rejects truncated input at *every* cut point, bad magic, bumped
+//!   versions and trailing bytes — always with a typed `WireError`, never a
+//!   panic;
+//! * arbitrary single-byte corruption never panics the decoder.
+//!
+//! Case counts honour the vendored proptest's `PROPTEST_CASES` cap.
+
+use lofat::wire::{ChallengeMsg, Envelope, EvidenceMsg, Message, SessionId, VerdictMsg};
+use lofat::{AttestationReport, LoopRecord, Metadata, PathRecord};
+use lofat_crypto::{Digest, Nonce, Signature};
+use proptest::prelude::*;
+
+fn nonce_strategy() -> impl Strategy<Value = Nonce> {
+    (any::<u64>(), any::<u64>()).prop_map(|(lo, hi)| {
+        let mut bytes = [0u8; 16];
+        bytes[..8].copy_from_slice(&lo.to_le_bytes());
+        bytes[8..].copy_from_slice(&hi.to_le_bytes());
+        Nonce::from_bytes(bytes)
+    })
+}
+
+fn path_strategy() -> impl Strategy<Value = PathRecord> {
+    (any::<u32>(), 0usize..8, any::<u64>()).prop_map(|(path_id, first_occurrence, iterations)| {
+        PathRecord { path_id, first_occurrence, iterations }
+    })
+}
+
+fn loop_strategy() -> impl Strategy<Value = LoopRecord> {
+    (
+        any::<u32>(),
+        any::<u32>(),
+        1usize..4,
+        proptest::collection::vec(path_strategy(), 0..3),
+        any::<bool>(),
+    )
+        .prop_map(|(entry, exit, nesting_depth, paths, encoder_overflowed)| LoopRecord {
+            entry,
+            exit,
+            nesting_depth,
+            paths,
+            indirect_targets: vec![],
+            encoder_overflowed,
+        })
+}
+
+fn report_strategy() -> impl Strategy<Value = AttestationReport> {
+    (
+        "[a-z]{1,12}",
+        proptest::collection::vec(any::<u8>(), 64),
+        proptest::collection::vec(loop_strategy(), 0..3),
+        nonce_strategy(),
+        proptest::collection::vec(any::<u8>(), 64),
+    )
+        .prop_map(|(program_id, digest, loops, nonce, signature)| AttestationReport {
+            program_id,
+            authenticator: Digest::from_bytes(digest),
+            metadata: Metadata { loops },
+            nonce,
+            signature: Signature::from_bytes(signature),
+        })
+}
+
+fn message_strategy() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        (
+            "[a-z]{1,10}",
+            proptest::collection::vec(any::<u32>(), 0..6),
+            nonce_strategy(),
+            any::<u64>()
+        )
+            .prop_map(|(program_id, input, nonce, deadline_cycles)| {
+                Message::Challenge(ChallengeMsg { program_id, input, nonce, deadline_cycles })
+            }),
+        report_strategy().prop_map(|report| Message::Evidence(EvidenceMsg { report })),
+        (any::<bool>(), 0u16..80, "[a-z ]{0,20}", any::<u32>(), any::<bool>()).prop_map(
+            |(accepted, reason_code, detail, result, has_result)| {
+                Message::Verdict(VerdictMsg {
+                    accepted,
+                    reason_code,
+                    detail,
+                    expected_result: has_result.then_some(result),
+                })
+            }
+        ),
+    ]
+}
+
+fn envelope_strategy() -> impl Strategy<Value = Envelope> {
+    (any::<u64>(), message_strategy())
+        .prop_map(|(session, message)| Envelope::new(SessionId(session), message))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    /// encode → decode is the identity.
+    #[test]
+    fn envelope_round_trips(envelope in envelope_strategy()) {
+        let bytes = envelope.encode().expect("encode");
+        let decoded = Envelope::decode(&bytes).expect("decode");
+        prop_assert_eq!(decoded, envelope);
+    }
+
+    /// Truncation at any cut point is a typed error, never a panic and never
+    /// a silent acceptance.
+    #[test]
+    fn truncated_envelopes_are_rejected(envelope in envelope_strategy(), cut in any::<usize>()) {
+        let bytes = envelope.encode().expect("encode");
+        let cut = cut % bytes.len().max(1);
+        prop_assert!(Envelope::decode(&bytes[..cut]).is_err());
+    }
+
+    /// A non-current version field is refused before the body is touched.
+    #[test]
+    fn bad_versions_are_rejected(envelope in envelope_strategy(), version in 0u16..u16::MAX) {
+        let mut bytes = envelope.encode().expect("encode");
+        if version == lofat::WIRE_VERSION {
+            return Ok(());
+        }
+        bytes[4..6].copy_from_slice(&version.to_le_bytes());
+        prop_assert!(matches!(
+            Envelope::decode(&bytes),
+            Err(lofat::WireError::UnsupportedVersion { found }) if found == version
+        ));
+    }
+
+    /// Trailing bytes after the declared body length are refused.
+    #[test]
+    fn trailing_bytes_are_rejected(envelope in envelope_strategy(), extra in 1usize..16) {
+        let mut bytes = envelope.encode().expect("encode");
+        bytes.extend(std::iter::repeat_n(0xAA, extra));
+        prop_assert!(matches!(
+            Envelope::decode(&bytes),
+            Err(lofat::WireError::TrailingBytes { extra: found }) if found == extra
+        ));
+    }
+
+    /// Arbitrary single-byte corruption never panics the decoder (it may
+    /// still decode to a different valid envelope, e.g. a flipped digest
+    /// byte — the signature check exists for that).
+    #[test]
+    fn corrupted_envelopes_never_panic(
+        envelope in envelope_strategy(),
+        index in any::<usize>(),
+        flip in 1u8..=255,
+    ) {
+        let mut bytes = envelope.encode().expect("encode");
+        let index = index % bytes.len();
+        bytes[index] ^= flip;
+        let _ = Envelope::decode(&bytes);
+        // Corrupting the magic must always be caught.
+        if index < 4 {
+            prop_assert!(Envelope::decode(&bytes).is_err());
+        }
+    }
+}

@@ -3,7 +3,7 @@
 use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
 
-/// Length specification for [`vec`]: a fixed size or a half-open/inclusive range.
+/// Length specification for [`vec()`]: a fixed size or a half-open/inclusive range.
 #[derive(Debug, Clone)]
 pub struct SizeRange {
     min: usize,

@@ -1,10 +1,567 @@
 //! Offline stand-in for the `serde` crate.
 //!
-//! The workspace only uses `derive(serde::Serialize, serde::Deserialize)` to
-//! mark report/metadata types as wire-format candidates; nothing serializes
-//! in-tree yet. This stub re-exports no-op derive macros so those annotations
-//! compile without network access. See `vendor/README.md`.
+//! Unlike the real serde, which abstracts over data formats, this vendored
+//! subset implements exactly one format: a compact, deterministic, little-endian
+//! binary codec (the wire format of the attestation protocol).  The surface the
+//! workspace relies on:
+//!
+//! * `#[derive(serde::Serialize, serde::Deserialize)]` — real derives (see
+//!   `vendor/serde_derive`) that implement the [`Serialize`]/[`Deserialize`]
+//!   traits below for structs and enums;
+//! * [`to_bytes`] / [`from_bytes`] — whole-value encode/decode entry points
+//!   (`from_bytes` rejects trailing bytes);
+//! * impls for the primitive and std types used in-tree (`u8`–`u128`, signed
+//!   ints, `usize`, `bool`, `f32`/`f64`, `String`, `Vec<T>`, `Option<T>`,
+//!   `BTreeMap<K, V>`, fixed-size arrays and small tuples).
+//!
+//! Encoding rules (all integers little-endian):
+//!
+//! | type | encoding |
+//! |---|---|
+//! | fixed-width ints, `f32`/`f64` | `to_le_bytes` (floats via `to_bits`) |
+//! | `usize` / `isize` | as `u64` / `i64` |
+//! | `bool` | one byte, `0` or `1` (decode rejects other values) |
+//! | `String`, `Vec<T>`, `BTreeMap<K, V>` | `u32` length, then elements |
+//! | `Option<T>` | one tag byte (`0`/`1`), then the value if present |
+//! | `[T; N]`, tuples | elements in order, no length prefix |
+//! | `enum` | `u32` variant index (declaration order), then the fields |
+//!
+//! The format is self-contained per type (no schema evolution); versioning is
+//! the caller's job — see `lofat::wire::Envelope`.  See `vendor/README.md` for
+//! the general vendoring policy.
 
 #![forbid(unsafe_code)]
 
+use std::collections::BTreeMap;
+use std::fmt;
+
 pub use serde_derive::{Deserialize, Serialize};
+
+/// Errors produced while encoding or decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The input ended before the value was complete.
+    UnexpectedEof {
+        /// Bytes the decoder needed.
+        needed: usize,
+        /// Bytes that were actually left.
+        remaining: usize,
+    },
+    /// Input bytes were left over after the value was decoded.
+    TrailingBytes {
+        /// Number of unconsumed bytes.
+        extra: usize,
+    },
+    /// A `bool` byte was neither `0` nor `1`.
+    InvalidBool(u8),
+    /// An `Option` tag byte was neither `0` nor `1`.
+    InvalidOptionTag(u8),
+    /// An enum variant index was out of range for the type.
+    InvalidVariant {
+        /// Name of the enum type.
+        type_name: &'static str,
+        /// The offending variant index.
+        tag: u32,
+    },
+    /// A decoded string was not valid UTF-8.
+    InvalidUtf8,
+    /// A collection was too large for the `u32` length prefix.
+    LengthOverflow {
+        /// The length that did not fit.
+        len: usize,
+    },
+    /// A decoded integer did not fit the target platform's `usize`/`isize`.
+    IntegerOverflow {
+        /// The offending value (sign-extended for `isize`).
+        value: u64,
+    },
+    /// A decoded map's keys were out of order or duplicated — the encoding is
+    /// canonical (strictly ascending keys), so such input was never produced
+    /// by [`to_bytes`].
+    NonCanonicalMap,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnexpectedEof { needed, remaining } => {
+                write!(f, "unexpected end of input: needed {needed} bytes, {remaining} remain")
+            }
+            Error::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after the decoded value")
+            }
+            Error::InvalidBool(b) => write!(f, "invalid bool byte {b:#04x}"),
+            Error::InvalidOptionTag(b) => write!(f, "invalid option tag byte {b:#04x}"),
+            Error::InvalidVariant { type_name, tag } => {
+                write!(f, "invalid variant index {tag} for enum `{type_name}`")
+            }
+            Error::InvalidUtf8 => write!(f, "decoded string is not valid UTF-8"),
+            Error::LengthOverflow { len } => {
+                write!(f, "collection length {len} exceeds the u32 length prefix")
+            }
+            Error::IntegerOverflow { value } => {
+                write!(f, "integer {value} does not fit the platform word size")
+            }
+            Error::NonCanonicalMap => {
+                write!(f, "map keys are out of order or duplicated (non-canonical encoding)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Constructs the error the derive macro reports for an unknown enum tag.
+pub fn invalid_variant(type_name: &'static str, tag: u32) -> Error {
+    Error::InvalidVariant { type_name, tag }
+}
+
+/// Byte-oriented encoder handed to [`Serialize::serialize`].
+#[derive(Debug, Default)]
+pub struct Serializer {
+    out: Vec<u8>,
+}
+
+impl Serializer {
+    /// Creates an empty serializer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the serializer and returns the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.out
+    }
+
+    /// Appends raw bytes to the output.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        self.out.extend_from_slice(bytes);
+    }
+
+    /// Appends a `u32` little-endian length prefix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::LengthOverflow`] if `len` does not fit in a `u32`.
+    pub fn write_len(&mut self, len: usize) -> Result<(), Error> {
+        let len32 = u32::try_from(len).map_err(|_| Error::LengthOverflow { len })?;
+        self.write_bytes(&len32.to_le_bytes());
+        Ok(())
+    }
+}
+
+/// Byte-oriented decoder handed to [`Deserialize::deserialize`].
+#[derive(Debug)]
+pub struct Deserializer<'de> {
+    input: &'de [u8],
+}
+
+impl<'de> Deserializer<'de> {
+    /// Creates a decoder over `input`.
+    pub fn new(input: &'de [u8]) -> Self {
+        Self { input }
+    }
+
+    /// Number of bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.input.len()
+    }
+
+    /// Consumes exactly `n` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnexpectedEof`] if fewer than `n` bytes remain.
+    pub fn read_bytes(&mut self, n: usize) -> Result<&'de [u8], Error> {
+        if self.input.len() < n {
+            return Err(Error::UnexpectedEof { needed: n, remaining: self.input.len() });
+        }
+        let (head, tail) = self.input.split_at(n);
+        self.input = tail;
+        Ok(head)
+    }
+
+    /// Consumes a `u32` little-endian length prefix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Error::UnexpectedEof`].
+    pub fn read_len(&mut self) -> Result<usize, Error> {
+        let bytes = self.read_bytes(4)?;
+        Ok(u32::from_le_bytes(bytes.try_into().expect("4 bytes")) as usize)
+    }
+
+    /// Checks that the whole input was consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::TrailingBytes`] if bytes remain.
+    pub fn finish(self) -> Result<(), Error> {
+        if self.input.is_empty() {
+            Ok(())
+        } else {
+            Err(Error::TrailingBytes { extra: self.input.len() })
+        }
+    }
+}
+
+/// Types encodable with the deterministic binary codec.
+pub trait Serialize {
+    /// Appends the encoding of `self` to `serializer`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::LengthOverflow`] if a contained collection exceeds the
+    /// `u32` length prefix.
+    fn serialize(&self, serializer: &mut Serializer) -> Result<(), Error>;
+}
+
+/// Types decodable with the deterministic binary codec.
+pub trait Deserialize: Sized {
+    /// Decodes one value from the front of `deserializer`'s input.
+    ///
+    /// # Errors
+    ///
+    /// Returns a decode [`Error`] when the input is truncated or malformed.
+    fn deserialize(deserializer: &mut Deserializer<'_>) -> Result<Self, Error>;
+}
+
+/// Encodes `value` to its deterministic byte representation.
+///
+/// # Errors
+///
+/// Returns [`Error::LengthOverflow`] if a contained collection exceeds the
+/// `u32` length prefix.
+pub fn to_bytes<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    let mut serializer = Serializer::new();
+    value.serialize(&mut serializer)?;
+    Ok(serializer.into_bytes())
+}
+
+/// Decodes a `T` from `bytes`, rejecting trailing input.
+///
+/// # Errors
+///
+/// Returns a decode [`Error`] when the input is truncated, malformed or longer
+/// than one encoded `T`.
+pub fn from_bytes<T: Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let mut deserializer = Deserializer::new(bytes);
+    let value = T::deserialize(&mut deserializer)?;
+    deserializer.finish()?;
+    Ok(value)
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self, serializer: &mut Serializer) -> Result<(), Error> {
+                serializer.write_bytes(&self.to_le_bytes());
+                Ok(())
+            }
+        }
+
+        impl Deserialize for $t {
+            fn deserialize(deserializer: &mut Deserializer<'_>) -> Result<Self, Error> {
+                let bytes = deserializer.read_bytes(core::mem::size_of::<$t>())?;
+                Ok(<$t>::from_le_bytes(bytes.try_into().expect("sized read")))
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, u64, u128, i8, i16, i32, i64, i128);
+
+impl Serialize for usize {
+    fn serialize(&self, serializer: &mut Serializer) -> Result<(), Error> {
+        (*self as u64).serialize(serializer)
+    }
+}
+
+impl Deserialize for usize {
+    fn deserialize(deserializer: &mut Deserializer<'_>) -> Result<Self, Error> {
+        let value = u64::deserialize(deserializer)?;
+        usize::try_from(value).map_err(|_| Error::IntegerOverflow { value })
+    }
+}
+
+impl Serialize for isize {
+    fn serialize(&self, serializer: &mut Serializer) -> Result<(), Error> {
+        (*self as i64).serialize(serializer)
+    }
+}
+
+impl Deserialize for isize {
+    fn deserialize(deserializer: &mut Deserializer<'_>) -> Result<Self, Error> {
+        let value = i64::deserialize(deserializer)?;
+        isize::try_from(value).map_err(|_| Error::IntegerOverflow { value: value as u64 })
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self, serializer: &mut Serializer) -> Result<(), Error> {
+        serializer.write_bytes(&[u8::from(*self)]);
+        Ok(())
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(deserializer: &mut Deserializer<'_>) -> Result<Self, Error> {
+        match deserializer.read_bytes(1)?[0] {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(Error::InvalidBool(other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self, serializer: &mut Serializer) -> Result<(), Error> {
+        self.to_bits().serialize(serializer)
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(deserializer: &mut Deserializer<'_>) -> Result<Self, Error> {
+        Ok(f32::from_bits(u32::deserialize(deserializer)?))
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize(&self, serializer: &mut Serializer) -> Result<(), Error> {
+        self.to_bits().serialize(serializer)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(deserializer: &mut Deserializer<'_>) -> Result<Self, Error> {
+        Ok(f64::from_bits(u64::deserialize(deserializer)?))
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self, serializer: &mut Serializer) -> Result<(), Error> {
+        self.as_str().serialize(serializer)
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(deserializer: &mut Deserializer<'_>) -> Result<Self, Error> {
+        let len = deserializer.read_len()?;
+        let bytes = deserializer.read_bytes(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| Error::InvalidUtf8)
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self, serializer: &mut Serializer) -> Result<(), Error> {
+        serializer.write_len(self.len())?;
+        serializer.write_bytes(self.as_bytes());
+        Ok(())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self, serializer: &mut Serializer) -> Result<(), Error> {
+        serializer.write_len(self.len())?;
+        for item in self {
+            item.serialize(serializer)?;
+        }
+        Ok(())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(deserializer: &mut Deserializer<'_>) -> Result<Self, Error> {
+        let len = deserializer.read_len()?;
+        // Bound the speculative allocation: a hostile length prefix must not
+        // reserve gigabytes before element decoding fails on EOF.
+        let mut out = Vec::with_capacity(len.min(4096));
+        for _ in 0..len {
+            out.push(T::deserialize(deserializer)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self, serializer: &mut Serializer) -> Result<(), Error> {
+        match self {
+            None => {
+                serializer.write_bytes(&[0]);
+                Ok(())
+            }
+            Some(value) => {
+                serializer.write_bytes(&[1]);
+                value.serialize(serializer)
+            }
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(deserializer: &mut Deserializer<'_>) -> Result<Self, Error> {
+        match deserializer.read_bytes(1)?[0] {
+            0 => Ok(None),
+            1 => Ok(Some(T::deserialize(deserializer)?)),
+            other => Err(Error::InvalidOptionTag(other)),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self, serializer: &mut Serializer) -> Result<(), Error> {
+        serializer.write_len(self.len())?;
+        for (key, value) in self {
+            key.serialize(serializer)?;
+            value.serialize(serializer)?;
+        }
+        Ok(())
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize(deserializer: &mut Deserializer<'_>) -> Result<Self, Error> {
+        let len = deserializer.read_len()?;
+        let mut out = BTreeMap::new();
+        for _ in 0..len {
+            let key = K::deserialize(deserializer)?;
+            let value = V::deserialize(deserializer)?;
+            // Encoding is canonical (iteration order of a BTreeMap): enforce
+            // strictly ascending keys so duplicate or reordered entries can
+            // never silently drop or shadow data.
+            if let Some((last, _)) = out.last_key_value() {
+                if *last >= key {
+                    return Err(Error::NonCanonicalMap);
+                }
+            }
+            out.insert(key, value);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self, serializer: &mut Serializer) -> Result<(), Error> {
+        for item in self {
+            item.serialize(serializer)?;
+        }
+        Ok(())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize(deserializer: &mut Deserializer<'_>) -> Result<Self, Error> {
+        let mut items = Vec::with_capacity(N);
+        for _ in 0..N {
+            items.push(T::deserialize(deserializer)?);
+        }
+        items.try_into().map_err(|_| Error::UnexpectedEof { needed: N, remaining: 0 })
+    }
+}
+
+macro_rules! impl_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self, serializer: &mut Serializer) -> Result<(), Error> {
+                $(self.$idx.serialize(serializer)?;)+
+                Ok(())
+            }
+        }
+
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(deserializer: &mut Deserializer<'_>) -> Result<Self, Error> {
+                Ok(($($name::deserialize(deserializer)?,)+))
+            }
+        }
+    };
+}
+
+impl_tuple!(A: 0);
+impl_tuple!(A: 0, B: 1);
+impl_tuple!(A: 0, B: 1, C: 2);
+impl_tuple!(A: 0, B: 1, C: 2, D: 3);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(from_bytes::<u32>(&to_bytes(&0xdead_beefu32).unwrap()).unwrap(), 0xdead_beef);
+        assert_eq!(from_bytes::<i64>(&to_bytes(&-42i64).unwrap()).unwrap(), -42);
+        assert_eq!(from_bytes::<usize>(&to_bytes(&7usize).unwrap()).unwrap(), 7);
+        assert!(from_bytes::<bool>(&to_bytes(&true).unwrap()).unwrap());
+        assert_eq!(from_bytes::<f64>(&to_bytes(&1.5f64).unwrap()).unwrap(), 1.5);
+    }
+
+    #[test]
+    fn collections_round_trip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(from_bytes::<Vec<u32>>(&to_bytes(&v).unwrap()).unwrap(), v);
+        let s = String::from("wire");
+        assert_eq!(from_bytes::<String>(&to_bytes(&s).unwrap()).unwrap(), s);
+        let m: BTreeMap<String, u32> = [(String::from("a"), 1), (String::from("b"), 2)].into();
+        assert_eq!(from_bytes::<BTreeMap<String, u32>>(&to_bytes(&m).unwrap()).unwrap(), m);
+        let arr = [9u8; 16];
+        assert_eq!(from_bytes::<[u8; 16]>(&to_bytes(&arr).unwrap()).unwrap(), arr);
+        let opt = Some(5u64);
+        assert_eq!(from_bytes::<Option<u64>>(&to_bytes(&opt).unwrap()).unwrap(), opt);
+        assert_eq!(from_bytes::<Option<u64>>(&to_bytes(&None::<u64>).unwrap()).unwrap(), None);
+    }
+
+    #[test]
+    fn truncation_and_trailing_are_rejected() {
+        let bytes = to_bytes(&vec![1u32, 2, 3]).unwrap();
+        for cut in 0..bytes.len() {
+            assert!(from_bytes::<Vec<u32>>(&bytes[..cut]).is_err(), "cut at {cut} accepted");
+        }
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert_eq!(
+            from_bytes::<Vec<u32>>(&extended).unwrap_err(),
+            Error::TrailingBytes { extra: 1 }
+        );
+    }
+
+    #[test]
+    fn invalid_payloads_are_rejected() {
+        assert_eq!(from_bytes::<bool>(&[2]).unwrap_err(), Error::InvalidBool(2));
+        assert_eq!(from_bytes::<Option<u8>>(&[9]).unwrap_err(), Error::InvalidOptionTag(9));
+        let bad_utf8 = to_bytes(&vec![0xffu8, 0xfe]).unwrap();
+        assert_eq!(from_bytes::<String>(&bad_utf8).unwrap_err(), Error::InvalidUtf8);
+    }
+
+    #[test]
+    fn non_canonical_maps_are_rejected() {
+        // length 2, key "a" twice: a legal decoder input only if duplicates
+        // were allowed — must be refused, not last-wins.
+        let mut bytes = 2u32.to_le_bytes().to_vec();
+        for _ in 0..2 {
+            bytes.extend_from_slice(&to_bytes(&String::from("a")).unwrap());
+            bytes.extend_from_slice(&to_bytes(&1u32).unwrap());
+        }
+        assert_eq!(
+            from_bytes::<BTreeMap<String, u32>>(&bytes).unwrap_err(),
+            Error::NonCanonicalMap
+        );
+
+        // Out-of-order keys ("b" before "a") are equally non-canonical.
+        let mut bytes = 2u32.to_le_bytes().to_vec();
+        for key in ["b", "a"] {
+            bytes.extend_from_slice(&to_bytes(&String::from(key)).unwrap());
+            bytes.extend_from_slice(&to_bytes(&1u32).unwrap());
+        }
+        assert_eq!(
+            from_bytes::<BTreeMap<String, u32>>(&bytes).unwrap_err(),
+            Error::NonCanonicalMap
+        );
+    }
+
+    #[test]
+    fn hostile_length_prefix_does_not_overallocate() {
+        // u32::MAX elements claimed, no payload: must fail cleanly on EOF.
+        let bytes = u32::MAX.to_le_bytes();
+        assert!(matches!(from_bytes::<Vec<u64>>(&bytes).unwrap_err(), Error::UnexpectedEof { .. }));
+    }
+}

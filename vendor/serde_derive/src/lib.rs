@@ -1,18 +1,388 @@
-//! No-op derive macros backing the vendored `serde` stub.
+//! Derive macros backing the vendored `serde` stand-in.
 //!
-//! `derive(serde::Serialize)` throughout the workspace records *intent* — the
-//! types are wire-format candidates — but nothing in-tree serializes yet, so
-//! the derives expand to nothing. Swap in real serde (delete `vendor/`) to get
-//! actual implementations.
+//! `#[derive(serde::Serialize, serde::Deserialize)]` generates real impls of
+//! the vendored `serde::Serialize`/`serde::Deserialize` traits (a compact
+//! deterministic binary codec — see `vendor/serde`).  Because the offline
+//! build cannot pull in `syn`/`quote`, the item is parsed directly from the
+//! `proc_macro::TokenStream`: enough to handle the shapes used in this
+//! workspace — non-generic structs (named, tuple and unit) and enums whose
+//! variants are unit, tuple or struct-like, with optional discriminants.
+//!
+//! Encoding: struct fields in declaration order; enums as a `u32` variant
+//! index (declaration order) followed by the variant's fields.  Generic types
+//! are rejected with a `compile_error!` pointing here.
 
-use proc_macro::TokenStream;
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+use std::iter::Peekable;
 
 #[proc_macro_derive(Serialize)]
-pub fn derive_serialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Trait::Serialize)
 }
 
 #[proc_macro_derive(Deserialize)]
-pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Trait::Deserialize)
+}
+
+#[derive(Clone, Copy)]
+enum Trait {
+    Serialize,
+    Deserialize,
+}
+
+fn expand(input: TokenStream, which: Trait) -> TokenStream {
+    let item = match Item::parse(input) {
+        Ok(item) => item,
+        Err(message) => {
+            let escaped = message.replace('"', "\\\"");
+            return format!("::core::compile_error!(\"{escaped}\");")
+                .parse()
+                .expect("compile_error literal parses");
+        }
+    };
+    let source = match which {
+        Trait::Serialize => item.impl_serialize(),
+        Trait::Deserialize => item.impl_deserialize(),
+    };
+    source.parse().expect("generated impl parses")
+}
+
+/// The parts of a field list the codegen needs.
+enum Fields {
+    /// `struct S;` / `Variant`
+    Unit,
+    /// `{ a: T, b: U }` — field names in declaration order.
+    Named(Vec<String>),
+    /// `( T, U )` — field count.
+    Tuple(usize),
+}
+
+enum Kind {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+fn skip_attributes(tokens: &mut Tokens) {
+    while let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() != '#' {
+            break;
+        }
+        tokens.next();
+        // The bracketed attribute body.
+        tokens.next();
+    }
+}
+
+fn skip_visibility(tokens: &mut Tokens) {
+    if let Some(TokenTree::Ident(ident)) = tokens.peek() {
+        if ident.to_string() == "pub" {
+            tokens.next();
+            if let Some(TokenTree::Group(g)) = tokens.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    tokens.next();
+                }
+            }
+        }
+    }
+}
+
+fn expect_ident(tokens: &mut Tokens, what: &str) -> Result<String, String> {
+    match tokens.next() {
+        Some(TokenTree::Ident(ident)) => Ok(ident.to_string()),
+        other => Err(format!("vendored serde derive: expected {what}, found {other:?}")),
+    }
+}
+
+/// Consumes tokens up to (and including) a top-level `,`, tracking `<...>`
+/// nesting so commas inside generic arguments don't split a field.
+fn skip_past_comma(tokens: &mut Tokens) {
+    let mut angle_depth = 0usize;
+    for token in tokens.by_ref() {
+        if let TokenTree::Punct(p) = &token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut tokens: Tokens = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    while tokens.peek().is_some() {
+        skip_attributes(&mut tokens);
+        skip_visibility(&mut tokens);
+        if tokens.peek().is_none() {
+            break;
+        }
+        fields.push(expect_ident(&mut tokens, "a field name")?);
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                return Err(format!("vendored serde derive: expected `:`, found {other:?}"));
+            }
+        }
+        skip_past_comma(&mut tokens);
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut tokens: Tokens = stream.into_iter().peekable();
+    let mut count = 0usize;
+    while tokens.peek().is_some() {
+        count += 1;
+        skip_past_comma(&mut tokens);
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<(String, Fields)>, String> {
+    let mut tokens: Tokens = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    while tokens.peek().is_some() {
+        skip_attributes(&mut tokens);
+        if tokens.peek().is_none() {
+            break;
+        }
+        let name = expect_ident(&mut tokens, "a variant name")?;
+        let fields = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner = g.stream();
+                tokens.next();
+                Fields::Named(parse_named_fields(inner)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner = g.stream();
+                tokens.next();
+                Fields::Tuple(count_tuple_fields(inner))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional `= discriminant` and the trailing comma.
+        skip_past_comma(&mut tokens);
+        variants.push((name, fields));
+    }
+    Ok(variants)
+}
+
+impl Item {
+    fn parse(input: TokenStream) -> Result<Self, String> {
+        let mut tokens: Tokens = input.into_iter().peekable();
+        skip_attributes(&mut tokens);
+        skip_visibility(&mut tokens);
+        let keyword = expect_ident(&mut tokens, "`struct` or `enum`")?;
+        let name = expect_ident(&mut tokens, "the type name")?;
+        if let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == '<' {
+                return Err(format!(
+                    "vendored serde derive: generic type `{name}` is not supported \
+                     (see vendor/serde_derive)"
+                ));
+            }
+        }
+        let kind = match keyword.as_str() {
+            "struct" => match tokens.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Kind::Struct(Fields::Named(parse_named_fields(g.stream())?))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Kind::Struct(Fields::Tuple(count_tuple_fields(g.stream())))
+                }
+                _ => Kind::Struct(Fields::Unit),
+            },
+            "enum" => match tokens.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Kind::Enum(parse_variants(g.stream())?)
+                }
+                other => {
+                    return Err(format!(
+                        "vendored serde derive: expected enum body, found {other:?}"
+                    ));
+                }
+            },
+            other => {
+                return Err(format!(
+                    "vendored serde derive: `{other}` items are not supported (only \
+                     structs and enums)"
+                ));
+            }
+        };
+        Ok(Item { name, kind })
+    }
+
+    fn impl_serialize(&self) -> String {
+        let name = &self.name;
+        let mut body = String::new();
+        match &self.kind {
+            Kind::Struct(Fields::Unit) => {
+                body.push_str("let _ = __serializer;\n");
+            }
+            Kind::Struct(Fields::Named(fields)) => {
+                for field in fields {
+                    let _ = writeln!(
+                        body,
+                        "serde::Serialize::serialize(&self.{field}, __serializer)?;"
+                    );
+                }
+            }
+            Kind::Struct(Fields::Tuple(count)) => {
+                for index in 0..*count {
+                    let _ = writeln!(
+                        body,
+                        "serde::Serialize::serialize(&self.{index}, __serializer)?;"
+                    );
+                }
+            }
+            Kind::Enum(variants) => {
+                body.push_str("match self {\n");
+                for (tag, (variant, fields)) in variants.iter().enumerate() {
+                    match fields {
+                        Fields::Unit => {
+                            let _ = writeln!(
+                                body,
+                                "{name}::{variant} => \
+                                 serde::Serialize::serialize(&{tag}u32, __serializer)?,"
+                            );
+                        }
+                        Fields::Named(field_names) => {
+                            let pattern = field_names.join(", ");
+                            let _ = writeln!(body, "{name}::{variant} {{ {pattern} }} => {{");
+                            let _ = writeln!(
+                                body,
+                                "serde::Serialize::serialize(&{tag}u32, __serializer)?;"
+                            );
+                            for field in field_names {
+                                let _ = writeln!(
+                                    body,
+                                    "serde::Serialize::serialize({field}, __serializer)?;"
+                                );
+                            }
+                            body.push_str("}\n");
+                        }
+                        Fields::Tuple(count) => {
+                            let bindings: Vec<String> =
+                                (0..*count).map(|i| format!("__f{i}")).collect();
+                            let pattern = bindings.join(", ");
+                            let _ = writeln!(body, "{name}::{variant}({pattern}) => {{");
+                            let _ = writeln!(
+                                body,
+                                "serde::Serialize::serialize(&{tag}u32, __serializer)?;"
+                            );
+                            for binding in &bindings {
+                                let _ = writeln!(
+                                    body,
+                                    "serde::Serialize::serialize({binding}, __serializer)?;"
+                                );
+                            }
+                            body.push_str("}\n");
+                        }
+                    }
+                }
+                body.push_str("}\n");
+            }
+        }
+        format!(
+            "#[automatically_derived]\n\
+             impl serde::Serialize for {name} {{\n\
+             fn serialize(&self, __serializer: &mut serde::Serializer)\n\
+             -> ::core::result::Result<(), serde::Error> {{\n\
+             {body}\
+             ::core::result::Result::Ok(())\n\
+             }}\n\
+             }}\n"
+        )
+    }
+
+    fn impl_deserialize(&self) -> String {
+        let name = &self.name;
+        let body = match &self.kind {
+            Kind::Struct(Fields::Unit) => {
+                format!(
+                    "let _ = __deserializer;\n\
+                     ::core::result::Result::Ok({name})\n"
+                )
+            }
+            Kind::Struct(Fields::Named(fields)) => {
+                let mut inits = String::new();
+                for field in fields {
+                    let _ = writeln!(
+                        inits,
+                        "{field}: serde::Deserialize::deserialize(__deserializer)?,"
+                    );
+                }
+                format!("::core::result::Result::Ok({name} {{ {inits} }})\n")
+            }
+            Kind::Struct(Fields::Tuple(count)) => {
+                let args =
+                    vec!["serde::Deserialize::deserialize(__deserializer)?"; *count].join(",\n");
+                format!("::core::result::Result::Ok({name}({args}))\n")
+            }
+            Kind::Enum(variants) => {
+                let mut arms = String::new();
+                for (tag, (variant, fields)) in variants.iter().enumerate() {
+                    match fields {
+                        Fields::Unit => {
+                            let _ = writeln!(
+                                arms,
+                                "{tag}u32 => ::core::result::Result::Ok({name}::{variant}),"
+                            );
+                        }
+                        Fields::Named(field_names) => {
+                            let mut inits = String::new();
+                            for field in field_names {
+                                let _ = writeln!(
+                                    inits,
+                                    "{field}: serde::Deserialize::deserialize(__deserializer)?,"
+                                );
+                            }
+                            let _ = writeln!(
+                                arms,
+                                "{tag}u32 => ::core::result::Result::Ok({name}::{variant} {{ \
+                                 {inits} }}),"
+                            );
+                        }
+                        Fields::Tuple(count) => {
+                            let args =
+                                vec!["serde::Deserialize::deserialize(__deserializer)?"; *count]
+                                    .join(",\n");
+                            let _ = writeln!(
+                                arms,
+                                "{tag}u32 => \
+                                 ::core::result::Result::Ok({name}::{variant}({args})),"
+                            );
+                        }
+                    }
+                }
+                format!(
+                    "match <u32 as serde::Deserialize>::deserialize(__deserializer)? {{\n\
+                     {arms}\
+                     __tag => ::core::result::Result::Err(\
+                     serde::invalid_variant(\"{name}\", __tag)),\n\
+                     }}\n"
+                )
+            }
+        };
+        format!(
+            "#[automatically_derived]\n\
+             impl serde::Deserialize for {name} {{\n\
+             fn deserialize(__deserializer: &mut serde::Deserializer<'_>)\n\
+             -> ::core::result::Result<Self, serde::Error> {{\n\
+             {body}\
+             }}\n\
+             }}\n"
+        )
+    }
 }
