@@ -10,6 +10,9 @@ use lofat::{EngineConfig, LofatEngine, Measurement};
 use lofat_rv32::{Cpu, ExitInfo, Program};
 use lofat_workloads::Workload;
 
+pub mod json;
+pub mod service_bench;
+
 /// Cycle budget for benchmark runs.
 pub const MAX_CYCLES: u64 = 50_000_000;
 
@@ -167,76 +170,56 @@ pub mod throughput {
         }
     }
 
-    fn field(out: &mut String, indent: &str, name: &str, value: f64, comma: bool) {
-        use std::fmt::Write as _;
-        let _ = write!(out, "{indent}\"{name}\": {value:.1}");
-        out.push_str(if comma { ",\n" } else { "\n" });
+    fn sample_object(w: &mut crate::json::JsonWriter, name: &str, sample: &ThroughputSample) {
+        w.begin_object(Some(name));
+        w.field_f64("attested_instructions_per_sec", sample.attested_instructions_per_sec, 1);
+        w.field_f64("plain_instructions_per_sec", sample.plain_instructions_per_sec, 1);
+        w.field_f64("hashed_bytes_per_sec", sample.hashed_bytes_per_sec, 1);
+        w.field_f64("ns_per_permutation", sample.ns_per_permutation, 1);
+        w.end_object();
     }
 
-    fn sample_object(out: &mut String, name: &str, sample: &ThroughputSample, comma: bool) {
-        out.push_str(&format!("  \"{name}\": {{\n"));
-        field(
-            out,
-            "    ",
-            "attested_instructions_per_sec",
-            sample.attested_instructions_per_sec,
-            true,
-        );
-        field(out, "    ", "plain_instructions_per_sec", sample.plain_instructions_per_sec, true);
-        field(out, "    ", "hashed_bytes_per_sec", sample.hashed_bytes_per_sec, true);
-        field(out, "    ", "ns_per_permutation", sample.ns_per_permutation, false);
-        out.push_str(if comma { "  },\n" } else { "  }\n" });
-    }
-
-    /// Renders the `BENCH_e10.json` document for a baseline/current pair.
+    /// Renders the `BENCH_e10.json` document for a baseline/current pair
+    /// (schema version 2: the shared bench-trajectory schema, emitted through
+    /// [`crate::json::JsonWriter`] like `BENCH_service.json`).
     pub fn to_json(baseline: &ThroughputSample, current: &ThroughputSample) -> String {
-        let mut out = String::new();
-        out.push_str("{\n");
-        out.push_str("  \"bench\": \"e10_throughput\",\n");
-        out.push_str("  \"schema_version\": 1,\n");
-        out.push_str("  \"workload\": \"syringe-pump\",\n");
-        out.push_str(&format!("  \"input_units\": {SYRINGE_UNITS},\n"));
-        out.push_str(
-            "  \"baseline_commit\": \"ae46754 (pre predecode/alloc-free/unrolled-keccak)\",\n",
+        let mut w = crate::json::JsonWriter::new();
+        w.begin_object(None);
+        w.field_str("bench", "e10_throughput");
+        w.field_u64("schema_version", crate::json::SCHEMA_VERSION);
+        w.field_str("workload", "syringe-pump");
+        w.field_u64("input_units", u64::from(SYRINGE_UNITS));
+        w.field_str("baseline_commit", "ae46754 (pre predecode/alloc-free/unrolled-keccak)");
+        w.field_str(
+            "measurement_note",
+            "baseline and current measured interleaved in the same session (best of N 1-2s \
+             wall-clock windows per build); regenerate `current` with `lofat bench-json`",
         );
-        out.push_str(
-            "  \"measurement_note\": \"baseline and current measured interleaved in the same \
-             session (best of N 1-2s wall-clock windows per build); regenerate `current` with \
-             `lofat bench-json`\",\n",
-        );
-        sample_object(&mut out, "baseline", baseline, true);
-        sample_object(&mut out, "current", current, true);
-        out.push_str("  \"speedup\": {\n");
-        field(
-            &mut out,
-            "    ",
+        sample_object(&mut w, "baseline", baseline);
+        sample_object(&mut w, "current", current);
+        w.begin_object(Some("speedup"));
+        w.field_f64(
             "attested_instructions_per_sec",
             current.attested_instructions_per_sec / baseline.attested_instructions_per_sec,
-            true,
+            1,
         );
-        field(
-            &mut out,
-            "    ",
+        w.field_f64(
             "plain_instructions_per_sec",
             current.plain_instructions_per_sec / baseline.plain_instructions_per_sec,
-            true,
+            1,
         );
-        field(
-            &mut out,
-            "    ",
+        w.field_f64(
             "hashed_bytes_per_sec",
             current.hashed_bytes_per_sec / baseline.hashed_bytes_per_sec,
-            true,
+            1,
         );
-        field(
-            &mut out,
-            "    ",
+        w.field_f64(
             "ns_per_permutation",
             baseline.ns_per_permutation / current.ns_per_permutation,
-            false,
+            1,
         );
-        out.push_str("  }\n");
-        out.push_str("}\n");
-        out
+        w.end_object();
+        w.end_object();
+        w.finish()
     }
 }

@@ -1,0 +1,347 @@
+//! E13 — sharded `VerifierService` + `ParallelVerifier` throughput sweep and
+//! the `BENCH_service.json` format.
+//!
+//! `lofat serve-bench` drives M producer threads submitting pre-generated
+//! evidence through a [`ParallelVerifier`] worker pool for each worker count
+//! in a sweep, and records sessions/sec plus p50/p99 decision latency per
+//! configuration.  Only the service is timed: the expensive part of each
+//! session — the prover's attested execution — happens once, up front, and
+//! the same evidence bytes are replayed against a *fresh* service per sweep
+//! point (a fresh service issues the same deterministic nonce sequence, so
+//! pre-generated evidence answers every instance).
+//!
+//! The recorded numbers are wall-clock and host-dependent; the committed
+//! `BENCH_service.json` carries a `host_cpus` field for exactly that reason.
+//! On a single-core host the worker sweep degenerates (workers time-slice one
+//! CPU), so the CI bench gate keys on absolute sessions/sec against the
+//! committed baseline, not on the scaling ratio.
+
+use lofat::pool::{ParallelVerifier, PoolConfig};
+use lofat::service::{ServiceConfig, VerifierService};
+use lofat::session::ProverSession;
+use lofat::wire::{Envelope, Message};
+use lofat::{EngineConfig, MeasurementDatabase, Prover, Verifier};
+use lofat_crypto::DeviceKey;
+use lofat_workloads::catalog;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::json::{JsonWriter, SCHEMA_VERSION};
+
+/// The workload the sweep attests (the same one E10 uses for the hot path).
+pub const WORKLOAD: &str = "syringe-pump";
+
+/// Syringe-pump units per session.  Smaller than E10's 2000: serve-bench
+/// measures the *service*, so prover runs are setup cost, not the subject.
+pub const UNITS: u32 = 200;
+
+/// Shape of one serve-bench run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceBenchConfig {
+    /// Sessions opened (and evidence envelopes verified) per sweep point.
+    pub sessions: usize,
+    /// Producer threads submitting concurrently.
+    pub producers: usize,
+    /// Session shards in the service under test.
+    pub shards: usize,
+    /// Worker counts to sweep, in order.
+    pub worker_counts: Vec<usize>,
+    /// Bounded queue capacity of the pool.
+    pub queue_capacity: usize,
+    /// Envelopes per producer-side `submit_batch` call.
+    pub submit_batch: usize,
+}
+
+impl ServiceBenchConfig {
+    /// CI smoke shape: identical to [`ServiceBenchConfig::full`] except for
+    /// the session count, so smoke-mode sessions/sec stays comparable to the
+    /// committed full-shape baseline (throughput is a steady-state rate; the
+    /// session count mostly sets how long the timed region lasts).
+    pub fn smoke() -> Self {
+        Self { sessions: 96, ..Self::full() }
+    }
+
+    /// Full shape for the committed trajectory numbers.
+    pub fn full() -> Self {
+        Self {
+            sessions: 768,
+            producers: 4,
+            shards: 8,
+            worker_counts: vec![1, 2, 4],
+            queue_capacity: 256,
+            submit_batch: 16,
+        }
+    }
+}
+
+/// Measured result for one worker count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepSample {
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Verified sessions per wall-clock second.
+    pub sessions_per_sec: f64,
+    /// Median queue→verdict latency, microseconds.
+    pub p50_latency_us: f64,
+    /// 99th-percentile queue→verdict latency, microseconds.
+    pub p99_latency_us: f64,
+    /// Accepting verdicts (must equal the session count for an honest sweep).
+    pub accepted: u64,
+}
+
+/// Everything one serve-bench run produces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceBenchReport {
+    /// The configuration the sweep ran with.
+    pub config: ServiceBenchConfig,
+    /// CPUs visible to this process (worker scaling is bounded by this).
+    pub host_cpus: usize,
+    /// One sample per entry of `config.worker_counts`.
+    pub samples: Vec<SweepSample>,
+}
+
+impl ServiceBenchReport {
+    /// Throughput of the last sweep point relative to the first (the
+    /// "1 worker → max workers" scaling factor when the sweep is `[1, …, K]`).
+    pub fn scaling_first_to_last(&self) -> f64 {
+        match (self.samples.first(), self.samples.last()) {
+            (Some(first), Some(last)) if first.sessions_per_sec > 0.0 => {
+                last.sessions_per_sec / first.sessions_per_sec
+            }
+            _ => 0.0,
+        }
+    }
+}
+
+fn percentile_us(sorted: &[Duration], fraction: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted.len() - 1) as f64 * fraction).round() as usize;
+    sorted[rank.min(sorted.len() - 1)].as_secs_f64() * 1e6
+}
+
+/// Pre-generates `sessions` evidence envelopes for the sweep workload.
+///
+/// A fresh [`VerifierService`] issues nonces `1..=n` deterministically, so one
+/// batch of evidence (produced against a throwaway instance) answers the
+/// sessions of every fresh instance the sweep creates.
+fn pregenerate_evidence(
+    db: &MeasurementDatabase,
+    key: &DeviceKey,
+    prover: &mut Prover,
+    input: &[u32],
+    sessions: usize,
+) -> Vec<Vec<u8>> {
+    let template =
+        VerifierService::new(db.clone(), key.verification_key(), ServiceConfig::default());
+    (0..sessions)
+        .map(|_| {
+            let id = template.open_session(input.to_vec()).expect("open template session");
+            let challenge =
+                template.challenge_envelope(id).expect("challenge").encode().expect("encode");
+            ProverSession::new(prover).handle_bytes(&challenge).expect("prover answers")
+        })
+        .collect()
+}
+
+/// Runs the worker sweep and returns the per-worker-count samples.
+pub fn measure(config: &ServiceBenchConfig) -> ServiceBenchReport {
+    let workload = catalog::by_name(WORKLOAD).expect("workload in catalogue");
+    let program = workload.program().expect("assemble");
+    let key = DeviceKey::from_seed("serve-bench-fleet");
+    let mut prover = Prover::new(program.clone(), WORKLOAD, key.clone());
+    let verifier =
+        Verifier::new(program, WORKLOAD, key.verification_key()).expect("construct verifier");
+    let input = vec![UNITS];
+    let db = MeasurementDatabase::build(&verifier, EngineConfig::default(), vec![input.clone()])
+        .expect("reference measurement");
+
+    let evidence = pregenerate_evidence(&db, &key, &mut prover, &input, config.sessions);
+
+    // Warm-up: one untimed single-threaded pass over the whole evidence set,
+    // so the first sweep point does not absorb first-touch costs (page
+    // faults, lazy allocator arenas, cold branch predictors) that later
+    // points get for free.
+    {
+        let warm = VerifierService::new(
+            db.clone(),
+            key.verification_key(),
+            ServiceConfig::sharded(config.shards),
+        );
+        for _ in 0..config.sessions {
+            warm.open_session(input.clone()).expect("open warm-up session");
+        }
+        for bytes in &evidence {
+            let _ = warm.handle_bytes(bytes).expect("warm-up verdict encodes");
+        }
+    }
+
+    let samples = config
+        .worker_counts
+        .iter()
+        .map(|&workers| sweep_point(config, &db, &key, &input, &evidence, workers))
+        .collect();
+
+    ServiceBenchReport {
+        config: config.clone(),
+        host_cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        samples,
+    }
+}
+
+/// One timed sweep point: fresh service, fresh pool, all producers submitting.
+fn sweep_point(
+    config: &ServiceBenchConfig,
+    db: &MeasurementDatabase,
+    key: &DeviceKey,
+    input: &[u32],
+    evidence: &[Vec<u8>],
+    workers: usize,
+) -> SweepSample {
+    let service = Arc::new(VerifierService::new(
+        db.clone(),
+        key.verification_key(),
+        ServiceConfig::sharded(config.shards),
+    ));
+    for _ in 0..config.sessions {
+        service.open_session(input.to_vec()).expect("open session");
+    }
+    let pool = ParallelVerifier::spawn(
+        Arc::clone(&service),
+        PoolConfig { workers, queue_capacity: config.queue_capacity, drain_burst: 8 },
+    );
+
+    // Producers: strided slices, batched submission, replies collected
+    // locally and merged once.  The per-producer batches are cloned *before*
+    // the clock starts and submitted by move, so the timed region measures
+    // queueing + verification, not benchmark-harness memcpy; decoding
+    // happens after the timed region too.
+    let producers = config.producers.max(1);
+    let batch_size = config.submit_batch.max(1);
+    let prebuilt: Vec<Vec<Vec<Vec<u8>>>> = (0..producers)
+        .map(|producer| {
+            let mine: Vec<Vec<u8>> =
+                evidence.iter().skip(producer).step_by(producers).cloned().collect();
+            mine.chunks(batch_size).map(<[Vec<u8>]>::to_vec).collect()
+        })
+        .collect();
+    let replies: Mutex<Vec<(Duration, Vec<u8>)>> = Mutex::new(Vec::with_capacity(config.sessions));
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for batches in prebuilt {
+            let pool = &pool;
+            let replies = &replies;
+            scope.spawn(move || {
+                let mut local = Vec::new();
+                for batch in batches {
+                    let tickets = pool.submit_batch(batch);
+                    for ticket in tickets {
+                        let reply = ticket.wait();
+                        local.push((reply.latency, reply.reply.expect("verdict encodes")));
+                    }
+                }
+                replies.lock().expect("reply lock").extend(local);
+            });
+        }
+    });
+    let elapsed = start.elapsed();
+    pool.join();
+
+    let replies = replies.into_inner().expect("reply lock");
+    let accepted = replies
+        .iter()
+        .filter(|(_, bytes)| {
+            matches!(
+                Envelope::decode(bytes).expect("verdict decodes").message,
+                Message::Verdict(v) if v.accepted
+            )
+        })
+        .count() as u64;
+    let mut latencies: Vec<Duration> = replies.iter().map(|(latency, _)| *latency).collect();
+    latencies.sort_unstable();
+
+    SweepSample {
+        workers,
+        sessions_per_sec: config.sessions as f64 / elapsed.as_secs_f64(),
+        p50_latency_us: percentile_us(&latencies, 0.50),
+        p99_latency_us: percentile_us(&latencies, 0.99),
+        accepted,
+    }
+}
+
+/// Renders the `BENCH_service.json` document (schema version 2: the shared
+/// bench-trajectory schema with a `service` section).
+pub fn to_json(report: &ServiceBenchReport) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object(None);
+    w.field_str("bench", "service_throughput");
+    w.field_u64("schema_version", SCHEMA_VERSION);
+    w.field_str("workload", WORKLOAD);
+    w.field_u64("input_units", u64::from(UNITS));
+    w.field_u64("host_cpus", report.host_cpus as u64);
+    w.field_str(
+        "measurement_note",
+        "wall-clock sweep over worker counts; only service verification is timed (evidence is \
+         pre-generated once and replayed against a fresh service per point). Worker scaling is \
+         bounded by host_cpus — on a single-core host the sweep degenerates to ~1x and the CI \
+         gate compares absolute sessions/sec instead. Regenerate with `lofat serve-bench`.",
+    );
+    w.begin_object(Some("service"));
+    w.field_u64("sessions", report.config.sessions as u64);
+    w.field_u64("producers", report.config.producers as u64);
+    w.field_u64("shards", report.config.shards as u64);
+    w.field_u64("queue_capacity", report.config.queue_capacity as u64);
+    w.field_u64("submit_batch", report.config.submit_batch as u64);
+    w.begin_array(Some("sweep"));
+    for sample in &report.samples {
+        w.begin_object(None);
+        w.field_u64("workers", sample.workers as u64);
+        w.field_f64("sessions_per_sec", sample.sessions_per_sec, 1);
+        w.field_f64("p50_latency_us", sample.p50_latency_us, 1);
+        w.field_f64("p99_latency_us", sample.p99_latency_us, 1);
+        w.field_u64("accepted", sample.accepted);
+        w.end_object();
+    }
+    w.end_array();
+    w.field_f64("scaling_first_to_last", report.scaling_first_to_last(), 2);
+    w.end_object();
+    w.end_object();
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_pick_sorted_ranks() {
+        let sorted: Vec<Duration> = (1..=100).map(Duration::from_micros).collect();
+        assert_eq!(percentile_us(&sorted, 0.0), 1.0);
+        assert!((percentile_us(&sorted, 0.5) - 51.0).abs() < 1.5);
+        assert_eq!(percentile_us(&sorted, 1.0), 100.0);
+        assert_eq!(percentile_us(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn tiny_sweep_runs_and_serialises() {
+        let config = ServiceBenchConfig {
+            sessions: 6,
+            producers: 2,
+            shards: 2,
+            worker_counts: vec![1, 2],
+            queue_capacity: 8,
+            submit_batch: 2,
+        };
+        let report = measure(&config);
+        assert_eq!(report.samples.len(), 2);
+        for sample in &report.samples {
+            assert_eq!(sample.accepted, 6, "honest sweep must accept everything");
+            assert!(sample.sessions_per_sec > 0.0);
+        }
+        let json = to_json(&report);
+        assert!(json.contains("\"service\": {"));
+        assert!(json.contains("\"schema_version\": 2"));
+        assert!(json.contains("\"sweep\": ["));
+    }
+}

@@ -31,7 +31,8 @@
 //! |---|---|
 //! | [`wire`] | versioned envelopes + the deterministic byte codec |
 //! | [`session`] | per-round-trip state machines ([`session::VerifierSession`], [`session::ProverSession`]) |
-//! | [`service`] | [`service::VerifierService`]: thousands of interleaved sessions, replay cache, expiry, stats |
+//! | [`service`] | [`service::VerifierService`]: thousands of interleaved sessions across lock-sharded state, replay detection, expiry, atomic stats |
+//! | [`pool`] | [`pool::ParallelVerifier`]: a bounded-queue worker pool draining `handle_bytes` work off the ingest thread |
 //! | [`protocol`] | the classic one-call adapter [`protocol::run_attestation`] over the layers above |
 //!
 //! # Quickstart
@@ -74,6 +75,7 @@ pub mod loop_monitor;
 pub mod measurement_db;
 pub mod metadata;
 pub mod path_encoder;
+pub mod pool;
 pub mod protocol;
 pub mod prover;
 pub mod report;
@@ -89,6 +91,7 @@ pub use engine::{attest_program, EngineStats, LofatEngine, Measurement};
 pub use error::LofatError;
 pub use measurement_db::{MeasurementDatabase, ReferenceMeasurement};
 pub use metadata::{LoopRecord, Metadata, PathRecord};
+pub use pool::{ParallelVerifier, PoolConfig, VerdictReply, VerdictTicket};
 pub use prover::{Adversary, NoAdversary, Prover, ProverRun};
 pub use report::AttestationReport;
 pub use service::{ServiceConfig, ServiceError, ServiceStats, VerifierService};

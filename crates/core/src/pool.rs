@@ -1,0 +1,454 @@
+//! `ParallelVerifier` — a worker pool draining verification work off the
+//! ingest thread.
+//!
+//! Verification is stateless per report (signature + nonce + reference
+//! comparison), so it is embarrassingly parallel: the pool owns `K` plain
+//! [`std::thread`] workers that pop evidence bytes from one bounded MPMC
+//! queue and run [`VerifierService::handle_bytes`] — the full decode → CFG
+//! evidence checks → Keccak authenticator/signature check → verdict-encode
+//! pipeline — concurrently, while producers (network front-ends, the
+//! `lofat serve-bench` harness, tests) only pay the cost of an enqueue.
+//!
+//! Design notes:
+//!
+//! * **Bounded queue, blocking producers.**  [`ParallelVerifier::submit`]
+//!   blocks while the queue is at capacity: backpressure propagates to the
+//!   ingest side instead of growing an unbounded buffer.
+//! * **MPMC with batched drains.**  Any number of producers may submit
+//!   concurrently; workers pop small bursts per lock acquisition so the queue
+//!   mutex does not become the bottleneck at high worker counts.
+//! * **Ticketed replies.**  Each submission returns a [`VerdictTicket`]; the
+//!   producer can block on [`VerdictTicket::wait`] or poll
+//!   [`VerdictTicket::try_take`].  The reply carries the queue→verdict
+//!   latency measured on the worker, which is what `serve-bench` aggregates
+//!   into p50/p99 decision latencies.
+//! * **No new dependencies.**  The queue is a `Mutex<VecDeque>` plus two
+//!   condvars; tickets are a one-slot `Mutex` + condvar.  Everything is std.
+//!
+//! Verdict-equivalence with the single-threaded path is a hard invariant
+//! (`tests/e13_concurrent_service.rs` proves it differentially): the pool
+//! adds *no* semantics — it only moves `handle_bytes` calls onto workers.
+
+use crate::service::{ServiceError, VerifierService};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tunables of a [`ParallelVerifier`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolConfig {
+    /// Number of worker threads (`0` is treated as `1`).
+    pub workers: usize,
+    /// Maximum queued (not yet started) jobs; submissions block beyond this.
+    pub queue_capacity: usize,
+    /// Maximum jobs a worker pops per queue-lock acquisition.
+    pub drain_burst: usize,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        Self { workers: 1, queue_capacity: 1024, drain_burst: 8 }
+    }
+}
+
+impl PoolConfig {
+    /// The default configuration with `workers` worker threads.
+    pub fn with_workers(workers: usize) -> Self {
+        Self { workers, ..Self::default() }
+    }
+}
+
+/// The worker-side answer to one submission.
+#[derive(Debug)]
+pub struct VerdictReply {
+    /// The encoded verdict envelope (or the service error — only possible
+    /// for outgoing-encode failures, or [`ServiceError::ShuttingDown`] when
+    /// the pool was closed before the job ran).
+    pub reply: Result<Vec<u8>, ServiceError>,
+    /// Time from enqueue to verdict, measured on the worker.
+    pub latency: Duration,
+}
+
+/// One-slot rendezvous between a worker and the producer that submitted the
+/// job.
+#[derive(Debug, Default)]
+struct TicketState {
+    slot: Mutex<Option<VerdictReply>>,
+    done: Condvar,
+}
+
+impl TicketState {
+    fn fulfil(&self, reply: VerdictReply) {
+        let mut slot = self.slot.lock().expect("ticket lock poisoned");
+        *slot = Some(reply);
+        self.done.notify_all();
+    }
+}
+
+/// A handle to one submitted verification job.
+#[derive(Debug)]
+pub struct VerdictTicket {
+    state: Arc<TicketState>,
+}
+
+impl VerdictTicket {
+    /// Blocks until the verdict is ready and returns it.
+    pub fn wait(self) -> VerdictReply {
+        let mut slot = self.state.slot.lock().expect("ticket lock poisoned");
+        loop {
+            if let Some(reply) = slot.take() {
+                return reply;
+            }
+            slot = self.state.done.wait(slot).expect("ticket lock poisoned");
+        }
+    }
+
+    /// Returns the verdict if it is already available (non-blocking).
+    pub fn try_take(&self) -> Option<VerdictReply> {
+        self.state.slot.lock().expect("ticket lock poisoned").take()
+    }
+}
+
+struct Job {
+    bytes: Vec<u8>,
+    enqueued: Instant,
+    ticket: Arc<TicketState>,
+}
+
+#[derive(Default)]
+struct QueueState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+struct Shared {
+    service: Arc<VerifierService>,
+    queue: Mutex<QueueState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+    drain_burst: usize,
+    jobs_completed: AtomicU64,
+}
+
+/// A pool of verification workers over one shared [`VerifierService`].
+///
+/// # Example
+///
+/// ```
+/// use lofat::pool::{ParallelVerifier, PoolConfig};
+/// use lofat::service::{ServiceConfig, VerifierService};
+/// use lofat::session::ProverSession;
+/// use lofat::{EngineConfig, MeasurementDatabase, Prover, Verifier};
+/// use lofat_crypto::DeviceKey;
+/// use lofat_rv32::asm::assemble;
+/// use std::sync::Arc;
+///
+/// let program = assemble(
+///     ".text\nmain:\n    li t0, 4\nloop:\n    addi t0, t0, -1\n    bnez t0, loop\n    ecall\n",
+/// )?;
+/// let key = DeviceKey::from_seed("fleet");
+/// let mut prover = Prover::new(program.clone(), "demo", key.clone());
+/// let verifier = Verifier::new(program, "demo", key.verification_key())?;
+/// let db = MeasurementDatabase::build(&verifier, EngineConfig::default(), vec![vec![]])?;
+/// let service = Arc::new(VerifierService::new(
+///     db,
+///     key.verification_key(),
+///     ServiceConfig::sharded(4),
+/// ));
+///
+/// let pool = ParallelVerifier::spawn(Arc::clone(&service), PoolConfig::with_workers(2));
+/// let id = service.open_session(vec![])?;
+/// let challenge = service.challenge_envelope(id)?.encode()?;
+/// let evidence = ProverSession::new(&mut prover).handle_bytes(&challenge)?;
+/// let ticket = pool.submit(evidence);
+/// let reply = ticket.wait();
+/// assert!(reply.reply.is_ok());
+/// pool.join();
+/// assert_eq!(service.stats().accepted, 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct ParallelVerifier {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ParallelVerifier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ParallelVerifier")
+            .field("workers", &self.workers.len())
+            .field("capacity", &self.shared.capacity)
+            .field("jobs_completed", &self.shared.jobs_completed.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl ParallelVerifier {
+    /// Spawns `config.workers` worker threads over `service`.
+    pub fn spawn(service: Arc<VerifierService>, config: PoolConfig) -> Self {
+        let shared = Arc::new(Shared {
+            service,
+            queue: Mutex::new(QueueState::default()),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: config.queue_capacity.max(1),
+            drain_burst: config.drain_burst.max(1),
+            jobs_completed: AtomicU64::new(0),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("lofat-verify-{index}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn verifier worker")
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    /// The service the workers verify against.
+    pub fn service(&self) -> &Arc<VerifierService> {
+        &self.shared.service
+    }
+
+    /// Number of worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Jobs fully processed (verdict delivered) so far.
+    pub fn jobs_completed(&self) -> u64 {
+        self.shared.jobs_completed.load(Ordering::Relaxed)
+    }
+
+    /// Submits one evidence envelope (encoded bytes) for verification.
+    /// Blocks while the queue is at capacity (backpressure); the returned
+    /// ticket resolves once a worker has produced the verdict.
+    pub fn submit(&self, bytes: Vec<u8>) -> VerdictTicket {
+        let mut tickets = self.submit_batch(std::iter::once(bytes));
+        tickets.pop().expect("one submission yields one ticket")
+    }
+
+    /// Submits a batch of evidence envelopes under one queue-lock
+    /// acquisition per capacity window, returning one ticket per envelope in
+    /// order.  Cheaper than per-envelope [`ParallelVerifier::submit`] when
+    /// the producer already holds a burst of work.
+    pub fn submit_batch(&self, batch: impl IntoIterator<Item = Vec<u8>>) -> Vec<VerdictTicket> {
+        let mut pending: VecDeque<Vec<u8>> = batch.into_iter().collect();
+        let mut tickets = Vec::with_capacity(pending.len());
+        while !pending.is_empty() {
+            let mut queue = self.shared.queue.lock().expect("queue lock poisoned");
+            while !queue.closed && queue.jobs.len() >= self.shared.capacity {
+                queue = self.shared.not_full.wait(queue).expect("queue lock poisoned");
+            }
+            if queue.closed {
+                // Resolve the remainder immediately: a closed pool never runs
+                // new work, and a hanging ticket would deadlock producers.
+                drop(queue);
+                tickets.extend(pending.drain(..).map(|_| shutdown_ticket()));
+                break;
+            }
+            let room = self.shared.capacity - queue.jobs.len();
+            for bytes in pending.drain(..room.min(pending.len())) {
+                let ticket = Arc::new(TicketState::default());
+                queue.jobs.push_back(Job {
+                    bytes,
+                    enqueued: Instant::now(),
+                    ticket: Arc::clone(&ticket),
+                });
+                tickets.push(VerdictTicket { state: ticket });
+            }
+            self.shared.not_empty.notify_all();
+        }
+        tickets
+    }
+
+    /// Closes the queue and joins all workers.  Already-queued jobs are still
+    /// verified; jobs submitted after the close resolve to
+    /// [`ServiceError::ShuttingDown`].
+    pub fn join(mut self) {
+        self.close_and_join();
+    }
+
+    fn close_and_join(&mut self) {
+        {
+            let mut queue = self.shared.queue.lock().expect("queue lock poisoned");
+            queue.closed = true;
+            self.shared.not_empty.notify_all();
+            self.shared.not_full.notify_all();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for ParallelVerifier {
+    fn drop(&mut self) {
+        self.close_and_join();
+    }
+}
+
+fn shutdown_ticket() -> VerdictTicket {
+    let state = Arc::new(TicketState::default());
+    state.fulfil(VerdictReply { reply: Err(ServiceError::ShuttingDown), latency: Duration::ZERO });
+    VerdictTicket { state }
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut burst: Vec<Job> = Vec::with_capacity(shared.drain_burst);
+    loop {
+        {
+            let mut queue = shared.queue.lock().expect("queue lock poisoned");
+            while queue.jobs.is_empty() && !queue.closed {
+                queue = shared.not_empty.wait(queue).expect("queue lock poisoned");
+            }
+            if queue.jobs.is_empty() && queue.closed {
+                return;
+            }
+            let take = queue.jobs.len().min(shared.drain_burst);
+            burst.extend(queue.jobs.drain(..take));
+            // Freed `take` slots; wake blocked producers.
+            shared.not_full.notify_all();
+        }
+        for job in burst.drain(..) {
+            let reply = shared.service.handle_bytes(&job.bytes);
+            let latency = job.enqueued.elapsed();
+            job.ticket.fulfil(VerdictReply { reply, latency });
+            shared.jobs_completed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+// Producers and workers hand these types across threads; keep that a
+// compile-time fact rather than a call-site inference failure.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ParallelVerifier>();
+    assert_send_sync::<VerdictTicket>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+    use crate::measurement_db::MeasurementDatabase;
+    use crate::prover::Prover;
+    use crate::service::ServiceConfig;
+    use crate::session::ProverSession;
+    use crate::verifier::Verifier;
+    use crate::wire::{Envelope, Message};
+    use lofat_crypto::DeviceKey;
+    use lofat_rv32::asm::assemble;
+
+    const PROGRAM: &str = r#"
+        .data
+        input:
+            .space 8
+        .text
+        main:
+            la   t0, input
+            lw   t1, 0(t0)
+            li   a0, 0
+            beqz t1, done
+        loop:
+            addi a0, a0, 3
+            addi t1, t1, -1
+            bnez t1, loop
+        done:
+            ecall
+    "#;
+
+    fn setup(shards: usize) -> (Arc<VerifierService>, Prover) {
+        let program = assemble(PROGRAM).unwrap();
+        let key = DeviceKey::from_seed("pool-device");
+        let prover = Prover::new(program.clone(), "triple", key.clone());
+        let verifier = Verifier::new(program, "triple", key.verification_key()).unwrap();
+        let db =
+            MeasurementDatabase::build(&verifier, EngineConfig::default(), vec![vec![2], vec![3]])
+                .unwrap();
+        let service = Arc::new(VerifierService::new(
+            db,
+            key.verification_key(),
+            ServiceConfig::sharded(shards),
+        ));
+        (service, prover)
+    }
+
+    fn decode_verdict(bytes: &[u8]) -> crate::wire::VerdictMsg {
+        let envelope = Envelope::decode(bytes).expect("verdict envelope decodes");
+        match envelope.message {
+            Message::Verdict(v) => v,
+            other => panic!("expected verdict, got {}", other.kind()),
+        }
+    }
+
+    #[test]
+    fn pool_verifies_submissions_and_reports_latency() {
+        let (service, mut prover) = setup(2);
+        let pool = ParallelVerifier::spawn(Arc::clone(&service), PoolConfig::with_workers(2));
+        let mut tickets = Vec::new();
+        for input in [vec![2u32], vec![3u32]] {
+            let id = service.open_session(input).unwrap();
+            let challenge = service.challenge_envelope(id).unwrap().encode().unwrap();
+            let evidence = ProverSession::new(&mut prover).handle_bytes(&challenge).unwrap();
+            tickets.push(pool.submit(evidence));
+        }
+        for ticket in tickets {
+            let reply = ticket.wait();
+            let verdict = decode_verdict(&reply.reply.expect("encodes"));
+            assert!(verdict.accepted, "{verdict:?}");
+        }
+        assert_eq!(pool.jobs_completed(), 2);
+        pool.join();
+        assert_eq!(service.stats().accepted, 2);
+    }
+
+    #[test]
+    fn batch_submission_preserves_order_and_capacity() {
+        let (service, mut prover) = setup(1);
+        // Capacity 2 forces the batch path to wrap around the bounded queue.
+        let config = PoolConfig { workers: 1, queue_capacity: 2, drain_burst: 4 };
+        let pool = ParallelVerifier::spawn(Arc::clone(&service), config);
+        let batch: Vec<Vec<u8>> = (0..6)
+            .map(|_| {
+                let id = service.open_session(vec![2]).unwrap();
+                let challenge = service.challenge_envelope(id).unwrap().encode().unwrap();
+                ProverSession::new(&mut prover).handle_bytes(&challenge).unwrap()
+            })
+            .collect();
+        let tickets = pool.submit_batch(batch);
+        assert_eq!(tickets.len(), 6);
+        for ticket in tickets {
+            assert!(decode_verdict(&ticket.wait().reply.unwrap()).accepted);
+        }
+        pool.join();
+        assert_eq!(service.stats().accepted, 6);
+    }
+
+    #[test]
+    fn malformed_bytes_come_back_as_verdicts() {
+        let (service, _) = setup(1);
+        let pool = ParallelVerifier::spawn(Arc::clone(&service), PoolConfig::default());
+        let reply = pool.submit(b"garbage".to_vec()).wait();
+        let verdict = decode_verdict(&reply.reply.unwrap());
+        assert!(!verdict.accepted);
+        assert_eq!(verdict.reason_code, crate::wire::code::MALFORMED);
+        pool.join();
+    }
+
+    #[test]
+    fn submissions_after_close_resolve_to_shutting_down() {
+        let (service, _) = setup(1);
+        let mut pool = ParallelVerifier::spawn(Arc::clone(&service), PoolConfig::default());
+        pool.close_and_join();
+        let tickets = pool.submit_batch([b"x".to_vec(), b"y".to_vec()]);
+        assert_eq!(tickets.len(), 2);
+        for ticket in tickets {
+            assert!(matches!(ticket.wait().reply, Err(ServiceError::ShuttingDown)));
+        }
+    }
+}

@@ -21,7 +21,11 @@
 //! [`ProtocolOutcome`], rejection returns [`LofatError::Rejected`] with the
 //! same [`crate::verifier::RejectionReason`]s as before.  Multi-session and
 //! remote deployments should use [`crate::session`] /
-//! [`crate::service::VerifierService`] directly.
+//! [`crate::service::VerifierService`] directly; high-throughput deployments
+//! additionally shard the service ([`crate::service::ServiceConfig::shards`])
+//! and drain verification through a [`crate::pool::ParallelVerifier`] worker
+//! pool — both are proven verdict-equivalent to this single-threaded path by
+//! `tests/e13_concurrent_service.rs`.
 
 use crate::error::LofatError;
 use crate::prover::{Adversary, NoAdversary, Prover, ProverRun};

@@ -1,25 +1,36 @@
-//! `VerifierService` — a multi-session verifier front-end.
+//! `VerifierService` — a sharded, thread-safe multi-session verifier front-end.
 //!
 //! The paper's verifier fronts *many* embedded provers; this module scales the
 //! single-session state machine of [`crate::session`] to thousands of
 //! interleaved sessions against one shared [`MeasurementDatabase`]:
 //!
+//! * session state is split across [`ServiceConfig::shards`] independent
+//!   shards, each behind its own lock; a session lives in shard
+//!   `(id - 1) % shards`, so two sessions in different shards never contend;
 //! * sessions are keyed by [`SessionId`] and live until decided or expired
 //!   (then they are evicted eagerly, so memory tracks outstanding work);
 //! * nonces are single-use across **all** sessions: session `n` carries
-//!   nonce `n`, so replayed evidence is recognised with O(1) memory — no
-//!   replay cache to grow with fleet size;
-//! * stale sessions expire on a service-local cycle clock
+//!   nonce `n`, and each shard owns the slice of the nonce space congruent to
+//!   its index, so replayed evidence is recognised with O(1) memory and at
+//!   most one (the owning) shard lock — no replay cache to grow with fleet
+//!   size, and no lock is ever held while another is acquired;
+//! * stale sessions expire on a service-wide atomic cycle clock
 //!   ([`VerifierService::advance_clock`] / [`VerifierService::expire_stale`]);
 //! * verification is the database mode of [`MeasurementDatabase`]: signature
 //!   and nonce checks plus a constant-time reference lookup — no golden replay
 //!   on the hot path, which is what lets one service instance front a large
 //!   device fleet;
-//! * every interaction updates [`ServiceStats`], including per-reason-code
-//!   rejection counts.
+//! * every interaction updates [`ServiceStats`] through one lock-free atomic
+//!   accounting path shared by [`VerifierService::handle_bytes`] and the typed
+//!   API, including per-reason-code rejection counts.
 //!
 //! The service is sans-I/O like the sessions: [`VerifierService::handle_bytes`]
 //! maps request bytes to response bytes and never panics on malformed input.
+//! Every entry point takes `&self`, and the service is `Send + Sync`: wrap it
+//! in an [`std::sync::Arc`] and call it from as many threads as you like, or
+//! hand it to a [`crate::pool::ParallelVerifier`] to drain a work queue with a
+//! dedicated worker pool.  The default configuration (one shard, no pool) is
+//! behaviourally identical to the pre-sharding single-threaded service.
 
 use crate::error::LofatError;
 use crate::measurement_db::MeasurementDatabase;
@@ -30,24 +41,44 @@ use lofat_crypto::sign::HmacVerifier;
 use lofat_crypto::{Nonce, SignatureVerifier, VerificationKey};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard};
 
 /// Tunables of a [`VerifierService`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct ServiceConfig {
     /// Cycles (on the service clock) a session stays valid after opening.
     pub session_deadline_cycles: u64,
-    /// Maximum number of live sessions; [`VerifierService::open_session`]
-    /// refuses beyond this.
+    /// Maximum number of live sessions across all shards;
+    /// [`VerifierService::open_session`] refuses beyond this.
     pub max_live_sessions: usize,
+    /// Number of session shards (`0` is treated as `1`).  Each shard owns its
+    /// own lock and its own slice of the nonce space; more shards means less
+    /// contention when many threads call the service concurrently.  The shard
+    /// count does not change any verdict, authenticator or statistic — only
+    /// how the session map is partitioned.
+    pub shards: usize,
 }
 
 impl Default for ServiceConfig {
     fn default() -> Self {
-        Self { session_deadline_cycles: 1_000_000, max_live_sessions: 65_536 }
+        Self { session_deadline_cycles: 1_000_000, max_live_sessions: 65_536, shards: 1 }
+    }
+}
+
+impl ServiceConfig {
+    /// The default configuration with `shards` session shards.
+    pub fn sharded(shards: usize) -> Self {
+        Self { shards, ..Self::default() }
     }
 }
 
 /// Counters the service maintains across all sessions.
+///
+/// This is the serialisable *snapshot* type returned by
+/// [`VerifierService::stats`]; internally the service keeps the counters in
+/// lock-free atomics so any thread can record an outcome without taking a
+/// shard lock.
 #[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct ServiceStats {
     /// Sessions opened over the service lifetime.
@@ -59,6 +90,17 @@ pub struct ServiceStats {
     /// [`ServiceStats::expired`] instead (expiry is a lifecycle event, not a
     /// judgement of the evidence).
     pub rejected: u64,
+    /// Sessions *spent* by an authenticated rejection (the evidence was signed
+    /// under the fleet key and bound to the session's nonce, but the
+    /// measurement comparison failed).  A subset of [`ServiceStats::rejected`]:
+    /// unauthenticated rejections (bad signature, misrouted nonce, replays,
+    /// malformed envelopes) do not consume a session and are excluded, which
+    /// is what makes the conservation law below hold exactly:
+    ///
+    /// ```text
+    /// sessions_opened == accepted + sessions_rejected + expired + live_sessions
+    /// ```
+    pub sessions_rejected: u64,
     /// Sessions that expired before (or at) evidence submission.
     pub expired: u64,
     /// Submissions carrying an already-spent nonce.  Covers re-submissions
@@ -75,9 +117,105 @@ pub struct ServiceStats {
 }
 
 impl ServiceStats {
-    fn record_rejection(&mut self, reason_code: u16) {
-        self.rejected += 1;
-        *self.rejections_by_code.entry(reason_code).or_insert(0) += 1;
+    /// The conservation law every service upholds: each opened session is
+    /// eventually accounted for exactly once — accepted, spent by an
+    /// authenticated rejection, expired, or still live.  Returns `true` when
+    /// the books balance for `live` currently-live sessions.
+    pub fn is_conserved(&self, live: usize) -> bool {
+        self.sessions_opened == self.accepted + self.sessions_rejected + self.expired + live as u64
+    }
+}
+
+/// Number of per-code counter slots the atomic stats keep.  All stable wire
+/// codes (see [`code`]) are far below this; anything larger shares an
+/// overflow slot so accounting never loses a rejection.
+const CODE_SLOTS: usize = 128;
+
+/// Lock-free internal counters behind [`ServiceStats`].  One accounting path
+/// ([`AtomicStats::record_verdict`]) classifies every verdict the service
+/// produces — whether it came from the typed API or from
+/// [`VerifierService::handle_bytes`] — so no outcome can be double- or
+/// under-counted.
+#[derive(Debug)]
+struct AtomicStats {
+    sessions_opened: AtomicU64,
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    sessions_rejected: AtomicU64,
+    expired: AtomicU64,
+    replays_blocked: AtomicU64,
+    wire_errors: AtomicU64,
+    by_code: [AtomicU64; CODE_SLOTS],
+}
+
+impl AtomicStats {
+    fn new() -> Self {
+        Self {
+            sessions_opened: AtomicU64::new(0),
+            accepted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            sessions_rejected: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            replays_blocked: AtomicU64::new(0),
+            wire_errors: AtomicU64::new(0),
+            by_code: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    fn record_rejection(&self, reason_code: u16) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+        let slot = (reason_code as usize).min(CODE_SLOTS - 1);
+        self.by_code[slot].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The one accounting path for verdicts.  `wire_error` marks verdicts
+    /// synthesised for envelopes that failed to decode; `spent_session` marks
+    /// verdicts that consumed (evicted) a live session.
+    fn record_verdict(&self, reason_code: u16, wire_error: bool, spent_session: bool) {
+        if wire_error {
+            self.wire_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        match reason_code {
+            code::ACCEPTED => {
+                self.accepted.fetch_add(1, Ordering::Relaxed);
+            }
+            // Expiry is its own lifecycle category (consistent with
+            // `expire_stale`, which produces no verdict): it does not also
+            // count as a rejection, so the conservation law reconciles.
+            code::SESSION_EXPIRED => {
+                self.expired.fetch_add(1, Ordering::Relaxed);
+            }
+            code::SESSION_DECIDED | code::NONCE_REPLAYED => {
+                self.replays_blocked.fetch_add(1, Ordering::Relaxed);
+                self.record_rejection(reason_code);
+            }
+            _ => {
+                self.record_rejection(reason_code);
+                if spent_session {
+                    self.sessions_rejected.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    fn snapshot(&self) -> ServiceStats {
+        let mut rejections_by_code = BTreeMap::new();
+        for (slot, counter) in self.by_code.iter().enumerate() {
+            let count = counter.load(Ordering::Relaxed);
+            if count > 0 {
+                rejections_by_code.insert(slot as u16, count);
+            }
+        }
+        ServiceStats {
+            sessions_opened: self.sessions_opened.load(Ordering::Relaxed),
+            accepted: self.accepted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            sessions_rejected: self.sessions_rejected.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+            replays_blocked: self.replays_blocked.load(Ordering::Relaxed),
+            wire_errors: self.wire_errors.load(Ordering::Relaxed),
+            rejections_by_code,
+        }
     }
 }
 
@@ -101,6 +239,9 @@ pub enum ServiceError {
     UnknownSession(SessionId),
     /// A wire codec failure while building an outgoing envelope.
     Wire(WireError),
+    /// The request was refused because the serving worker pool is shutting
+    /// down (see [`crate::pool::ParallelVerifier`]).
+    ShuttingDown,
 }
 
 impl fmt::Display for ServiceError {
@@ -114,6 +255,7 @@ impl fmt::Display for ServiceError {
             }
             ServiceError::UnknownSession(id) => write!(f, "unknown {id}"),
             ServiceError::Wire(e) => write!(f, "wire error: {e}"),
+            ServiceError::ShuttingDown => write!(f, "verifier pool is shutting down"),
         }
     }
 }
@@ -127,8 +269,27 @@ impl std::error::Error for ServiceError {
     }
 }
 
+/// One shard's worth of session state.  The `issued` watermark counts the
+/// sessions allocated to this shard so far; it is updated under the same lock
+/// as the map, which is what makes the per-shard replay check race-free: a
+/// nonce counter is *spent* iff this shard issued it and no longer holds it.
+#[derive(Debug, Default)]
+struct Shard {
+    sessions: BTreeMap<SessionId, VerifierSession>,
+    /// Sessions this shard has issued (locally 0-indexed: the k-th session of
+    /// shard `s` out of `N` carries the global counter `1 + s + k·N`).
+    issued: u64,
+}
+
 /// A verifier front-end running many interleaved attestation sessions against
 /// one shared measurement database and verification key.
+///
+/// The service is `Send + Sync`; all entry points take `&self`.  Session state
+/// is partitioned into [`ServiceConfig::shards`] independently locked shards
+/// (routing by [`SessionId`]); statistics and the cycle clock are atomics.
+/// One invariant is load-bearing for deadlock freedom: **no shard lock is ever
+/// held while another shard lock is acquired** — cross-shard replay checks
+/// release the session's shard before consulting the nonce's owning shard.
 ///
 /// # Example
 ///
@@ -150,7 +311,7 @@ impl std::error::Error for ServiceError {
 /// let db = MeasurementDatabase::build(&verifier, EngineConfig::default(), vec![vec![]])?;
 ///
 /// // Online: the service fronts provers without a simulator in the loop.
-/// let mut service =
+/// let service =
 ///     VerifierService::new(db, key.verification_key(), ServiceConfig::default());
 /// let id = service.open_session(vec![])?;
 /// let challenge_bytes = service.challenge_envelope(id)?.encode()?;
@@ -160,32 +321,92 @@ impl std::error::Error for ServiceError {
 /// assert_eq!(service.stats().accepted, 1);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct VerifierService {
     db: MeasurementDatabase,
     key: HmacVerifier,
     config: ServiceConfig,
-    sessions: BTreeMap<SessionId, VerifierSession>,
-    /// Sessions (and therefore nonces) issued so far: session `n` carries
-    /// `Nonce::from_counter(n)`, so replay detection needs no cache — a nonce
-    /// is consumed iff it was issued and its session is no longer live.
-    next_session: u64,
-    now_cycles: u64,
-    stats: ServiceStats,
+    shards: Vec<Mutex<Shard>>,
+    /// Round-robin `open_session` assignments.  This only picks the *shard*;
+    /// the session counter itself is allocated from the shard's `issued`
+    /// watermark under the shard lock, so issuance and map insertion are one
+    /// atomic step (sequential opens still receive dense ids `1, 2, 3, …`).
+    next_open: AtomicU64,
+    now_cycles: AtomicU64,
+    /// Live sessions across all shards.  Reserved (incremented) *before* the
+    /// shard insert so the [`ServiceConfig::max_live_sessions`] bound holds
+    /// strictly even under concurrent `open_session` calls.
+    live: AtomicUsize,
+    stats: AtomicStats,
+}
+
+// The service is shared across worker threads by construction; this assertion
+// turns an accidental `!Send`/`!Sync` field into a compile error here rather
+// than a trait-bound error at every call site.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<VerifierService>();
+    assert_send_sync::<ServiceStats>();
+    assert_send_sync::<ServiceError>();
+};
+
+impl Clone for VerifierService {
+    /// Clones a snapshot of the service (sessions, clock, statistics).  Locks
+    /// each shard briefly, one at a time, so under concurrent mutation the
+    /// snapshot is consistent *per shard*, not across shards; the clone's
+    /// live-session counter is derived from the cloned maps themselves, so it
+    /// always balances them exactly.
+    fn clone(&self) -> Self {
+        let mut live = 0usize;
+        let shards: Vec<Mutex<Shard>> = self
+            .shards
+            .iter()
+            .map(|shard| {
+                let guard = shard.lock().expect("shard lock poisoned");
+                live += guard.sessions.len();
+                Mutex::new(Shard { sessions: guard.sessions.clone(), issued: guard.issued })
+            })
+            .collect();
+        let stats = self.stats.snapshot();
+        let clone_stats = AtomicStats::new();
+        clone_stats.sessions_opened.store(stats.sessions_opened, Ordering::Relaxed);
+        clone_stats.accepted.store(stats.accepted, Ordering::Relaxed);
+        clone_stats.rejected.store(stats.rejected, Ordering::Relaxed);
+        clone_stats.sessions_rejected.store(stats.sessions_rejected, Ordering::Relaxed);
+        clone_stats.expired.store(stats.expired, Ordering::Relaxed);
+        clone_stats.replays_blocked.store(stats.replays_blocked, Ordering::Relaxed);
+        clone_stats.wire_errors.store(stats.wire_errors, Ordering::Relaxed);
+        for (code, count) in &stats.rejections_by_code {
+            clone_stats.by_code[(*code as usize).min(CODE_SLOTS - 1)]
+                .store(*count, Ordering::Relaxed);
+        }
+        Self {
+            db: self.db.clone(),
+            key: self.key.clone(),
+            config: self.config,
+            shards,
+            next_open: AtomicU64::new(self.next_open.load(Ordering::SeqCst)),
+            now_cycles: AtomicU64::new(self.now_cycles.load(Ordering::SeqCst)),
+            live: AtomicUsize::new(live),
+            stats: clone_stats,
+        }
+    }
 }
 
 impl VerifierService {
     /// Creates a service over a prebuilt measurement database and the fleet's
-    /// verification key.
+    /// verification key.  `config.shards == 0` is treated as one shard.
     pub fn new(db: MeasurementDatabase, key: VerificationKey, config: ServiceConfig) -> Self {
+        let shard_count = config.shards.max(1);
         Self {
             db,
             key: HmacVerifier::new(key),
             config,
-            sessions: BTreeMap::new(),
-            next_session: 0,
-            now_cycles: 0,
-            stats: ServiceStats::default(),
+            shards: (0..shard_count).map(|_| Mutex::new(Shard::default())).collect(),
+            next_open: AtomicU64::new(0),
+            now_cycles: AtomicU64::new(0),
+            live: AtomicUsize::new(0),
+            stats: AtomicStats::new(),
         }
     }
 
@@ -194,32 +415,54 @@ impl VerifierService {
         self.db.program_id()
     }
 
+    /// The configuration the service was built with.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Number of session shards (≥ 1).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
     /// The service-local cycle clock.
     pub fn now_cycles(&self) -> u64 {
-        self.now_cycles
+        self.now_cycles.load(Ordering::SeqCst)
     }
 
     /// Advances the service clock (deadlines are measured against it).
-    pub fn advance_clock(&mut self, cycles: u64) {
-        self.now_cycles = self.now_cycles.saturating_add(cycles);
+    pub fn advance_clock(&self, cycles: u64) {
+        let _ = self.now_cycles.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |now| {
+            Some(now.saturating_add(cycles))
+        });
     }
 
-    /// Number of sessions currently awaiting evidence.  Decided and expired
-    /// sessions are evicted eagerly (their nonces stay permanently consumed),
-    /// so this — and the [`ServiceConfig::max_live_sessions`] bound — tracks
-    /// outstanding work only.
+    /// Number of sessions currently awaiting evidence, across all shards.
+    /// Decided and expired sessions are evicted eagerly (their nonces stay
+    /// permanently consumed), so this — and the
+    /// [`ServiceConfig::max_live_sessions`] bound — tracks outstanding work
+    /// only.
     pub fn live_sessions(&self) -> usize {
-        self.sessions.len()
+        self.live.load(Ordering::SeqCst)
     }
 
-    /// Service-level statistics.
-    pub fn stats(&self) -> &ServiceStats {
-        &self.stats
+    /// A point-in-time snapshot of the service-level statistics.
+    pub fn stats(&self) -> ServiceStats {
+        self.stats.snapshot()
     }
 
-    /// Looks up a held session.
-    pub fn session(&self, id: SessionId) -> Option<&VerifierSession> {
-        self.sessions.get(&id)
+    /// Looks up a held session (a clone: the original stays behind its shard
+    /// lock).
+    pub fn session(&self, id: SessionId) -> Option<VerifierSession> {
+        self.shard(id).sessions.get(&id).cloned()
+    }
+
+    /// The shard that owns `id`, locked.  Session `n` lives in shard
+    /// `(n - 1) % shards`, so each shard owns the slice of the session-counter
+    /// (and therefore nonce) space congruent to its own index.
+    fn shard(&self, id: SessionId) -> MutexGuard<'_, Shard> {
+        let index = (id.0.wrapping_sub(1) % self.shards.len() as u64) as usize;
+        self.shards[index].lock().expect("shard lock poisoned")
     }
 
     /// Opens a session for `input`, returning its id.  The challenge nonce is
@@ -230,35 +473,73 @@ impl VerifierService {
     /// Returns [`ServiceError::UnknownInput`] when no reference measurement
     /// exists for `input` and [`ServiceError::AtCapacity`] at the live-session
     /// limit.
-    pub fn open_session(&mut self, input: Vec<u32>) -> Result<SessionId, ServiceError> {
+    pub fn open_session(&self, input: Vec<u32>) -> Result<SessionId, ServiceError> {
         if self.db.reference(&input).is_none() {
             return Err(ServiceError::UnknownInput { input });
         }
-        if self.sessions.len() >= self.config.max_live_sessions {
-            // Capacity pressure triggers a sweep, so abandoned challenges
-            // (provers that never answered) can never wedge the service even
-            // if the embedder forgets to call `expire_stale` itself.
-            self.expire_stale();
-        }
-        if self.sessions.len() >= self.config.max_live_sessions {
-            return Err(ServiceError::AtCapacity {
-                live: self.sessions.len(),
-                max: self.config.max_live_sessions,
-            });
-        }
-        self.next_session += 1;
-        let id = SessionId(self.next_session);
-        let challenge = Challenge {
-            program_id: self.db.program_id().to_string(),
-            input,
-            // Session `n` always carries nonce `n` — the pairing the derived
-            // replay check in `nonce_consumed` relies on.
-            nonce: Nonce::from_counter(self.next_session),
+        self.reserve_live_slot()?;
+        let program_id = self.db.program_id().to_string();
+        let deadline = self.now_cycles().saturating_add(self.config.session_deadline_cycles);
+        // Round-robin picks the shard; the counter itself is allocated from
+        // the shard's `issued` watermark *under the shard lock*, making
+        // issuance and map insertion one atomic step: `nonce_consumed` (which
+        // reads `issued` and the map under the same lock) can never observe a
+        // counter as issued without also seeing its still-live session.
+        // Sequential opens keep receiving dense ids `1, 2, 3, …`; concurrent
+        // opens receive unique ids in lock-acquisition order per shard.
+        let shard_count = self.shards.len() as u64;
+        let shard_index = (self.next_open.fetch_add(1, Ordering::SeqCst) % shard_count) as usize;
+        let id = {
+            let mut shard = self.shards[shard_index].lock().expect("shard lock poisoned");
+            // The `issued`-th session of shard `s` carries the global counter
+            // `1 + s + issued·N` — shard `s` owns the counter (and nonce)
+            // slice congruent to `s`.
+            let counter = 1 + shard_index as u64 + shard.issued * shard_count;
+            shard.issued += 1;
+            let id = SessionId(counter);
+            let challenge = Challenge {
+                program_id,
+                input,
+                // Session `n` always carries nonce `n` — the pairing the
+                // derived replay check in `nonce_consumed` relies on.
+                nonce: Nonce::from_counter(counter),
+            };
+            shard.sessions.insert(id, VerifierSession::new(id, challenge, deadline));
+            id
         };
-        let deadline = self.now_cycles.saturating_add(self.config.session_deadline_cycles);
-        self.sessions.insert(id, VerifierSession::new(id, challenge, deadline));
-        self.stats.sessions_opened += 1;
+        self.stats.sessions_opened.fetch_add(1, Ordering::Relaxed);
         Ok(id)
+    }
+
+    /// Reserves one live-session slot, sweeping stale sessions when the limit
+    /// is hit.  The compare-exchange loop keeps the bound strict under
+    /// concurrent opens: two racing calls can never both take the last slot.
+    fn reserve_live_slot(&self) -> Result<(), ServiceError> {
+        let mut swept = false;
+        loop {
+            let live = self.live.load(Ordering::SeqCst);
+            if live >= self.config.max_live_sessions {
+                if swept {
+                    return Err(ServiceError::AtCapacity {
+                        live,
+                        max: self.config.max_live_sessions,
+                    });
+                }
+                // Capacity pressure triggers a sweep, so abandoned challenges
+                // (provers that never answered) can never wedge the service
+                // even if the embedder forgets to call `expire_stale` itself.
+                self.expire_stale();
+                swept = true;
+                continue;
+            }
+            if self
+                .live
+                .compare_exchange(live, live + 1, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                return Ok(());
+            }
+        }
     }
 
     /// The challenge envelope for an open session.
@@ -267,7 +548,8 @@ impl VerifierService {
     ///
     /// Returns [`ServiceError::UnknownSession`] for unknown ids.
     pub fn challenge_envelope(&self, id: SessionId) -> Result<Envelope, ServiceError> {
-        self.sessions
+        self.shard(id)
+            .sessions
             .get(&id)
             .map(VerifierSession::challenge_envelope)
             .ok_or(ServiceError::UnknownSession(id))
@@ -275,49 +557,43 @@ impl VerifierService {
 
     /// Removes expired sessions (all held sessions are awaiting evidence —
     /// decided ones are evicted at decision time), returning how many were
-    /// swept; each counts as [`ServiceStats::expired`].
-    pub fn expire_stale(&mut self) -> usize {
-        let now = self.now_cycles;
-        let stale: Vec<SessionId> = self
-            .sessions
-            .iter()
-            .filter(|(_, s)| now > s.deadline_cycles())
-            .map(|(id, _)| *id)
-            .collect();
-        let expired = stale.len();
-        for id in stale {
-            // The challenge nonce can never be answered again.
-            self.evict_session(id);
-            self.stats.expired += 1;
+    /// swept; each counts as [`ServiceStats::expired`].  Shards are swept one
+    /// at a time, so the service stays responsive while sweeping.
+    pub fn expire_stale(&self) -> usize {
+        let now = self.now_cycles();
+        let mut expired = 0;
+        for shard in &self.shards {
+            let mut guard = shard.lock().expect("shard lock poisoned");
+            let stale: Vec<SessionId> = guard
+                .sessions
+                .iter()
+                .filter(|(_, s)| now > s.deadline_cycles())
+                .map(|(id, _)| *id)
+                .collect();
+            for id in stale {
+                // The challenge nonce can never be answered again.
+                guard.sessions.remove(&id);
+                expired += 1;
+            }
         }
+        self.live.fetch_sub(expired, Ordering::SeqCst);
+        self.stats.expired.fetch_add(expired as u64, Ordering::Relaxed);
         expired
     }
 
     /// Judges one evidence envelope and returns the verdict.  Infallible by
     /// design: every failure mode maps to a rejecting [`VerdictMsg`] with a
     /// stable [`code`], and the statistics are updated either way.
-    pub fn submit_evidence(&mut self, envelope: &Envelope) -> VerdictMsg {
-        let verdict = self.judge(envelope);
-        match verdict.reason_code {
-            code::ACCEPTED => self.stats.accepted += 1,
-            // Expiry is its own lifecycle category (consistent with
-            // `expire_stale`, which produces no verdict): it does not also
-            // count as a rejection, so accepted + rejected + expired
-            // reconciles with decided sessions.
-            code::SESSION_EXPIRED => self.stats.expired += 1,
-            code::SESSION_DECIDED | code::NONCE_REPLAYED => {
-                self.stats.replays_blocked += 1;
-                self.stats.record_rejection(verdict.reason_code);
-            }
-            _ => self.stats.record_rejection(verdict.reason_code),
-        }
+    pub fn submit_evidence(&self, envelope: &Envelope) -> VerdictMsg {
+        let (verdict, spent_session) = self.judge(envelope);
+        self.stats.record_verdict(verdict.reason_code, false, spent_session);
         verdict
     }
 
     /// Batch entry point: judges evidence envelopes in order and returns the
     /// verdicts in the same order.
     pub fn verify_evidence<'a>(
-        &mut self,
+        &self,
         envelopes: impl IntoIterator<Item = &'a Envelope>,
     ) -> Vec<VerdictMsg> {
         envelopes.into_iter().map(|envelope| self.submit_evidence(envelope)).collect()
@@ -331,15 +607,17 @@ impl VerifierService {
     ///
     /// Only fails if the *outgoing* verdict envelope cannot be encoded, which
     /// would be a bug, not an input property.
-    pub fn handle_bytes(&mut self, bytes: &[u8]) -> Result<Vec<u8>, ServiceError> {
+    pub fn handle_bytes(&self, bytes: &[u8]) -> Result<Vec<u8>, ServiceError> {
         let (session, verdict) = match Envelope::decode(bytes) {
             Ok(envelope) => {
                 let verdict = self.submit_evidence(&envelope);
                 (envelope.session, verdict)
             }
             Err(wire_error) => {
-                self.stats.wire_errors += 1;
-                self.stats.record_rejection(wire_error.code());
+                // Same accounting path as the typed API (`submit_evidence`),
+                // with the wire-error flag set: the rejection is classified
+                // once, by `record_verdict`, never ad hoc at the call site.
+                self.stats.record_verdict(wire_error.code(), true, false);
                 (SessionId(0), VerdictMsg::rejected(wire_error.code(), wire_error.to_string()))
             }
         };
@@ -347,105 +625,160 @@ impl VerifierService {
     }
 
     /// The verification pipeline for one envelope.  Does not touch the
-    /// statistics; [`VerifierService::submit_evidence`] does.
-    fn judge(&mut self, envelope: &Envelope) -> VerdictMsg {
+    /// statistics; [`VerifierService::submit_evidence`] does.  Returns the
+    /// verdict plus whether it consumed (evicted) a live session.
+    ///
+    /// Lock discipline: the session's shard lock is taken twice, briefly —
+    /// once for the transport checks and nonce binding, once to spend the
+    /// session — and always released *before*
+    /// [`VerifierService::nonce_consumed`] locks the nonce's owning shard, so
+    /// no two shard locks are ever held at once.  The expensive work (Keccak
+    /// signature verification, measurement comparison) runs **between** the
+    /// two critical sections against the shared read-only key/database
+    /// handles, so same-shard sessions verify in parallel; the eviction in
+    /// the second critical section is the linearisation point that keeps
+    /// acceptance exactly-once per nonce.
+    fn judge(&self, envelope: &Envelope) -> (VerdictMsg, bool) {
         let id = envelope.session;
-        let Some(session) = self.sessions.get(&id) else {
-            // Decided sessions are evicted eagerly, so a replayed envelope
-            // usually lands here: report it as the replay it is.
-            if let Message::Evidence(evidence) = &envelope.message {
-                if self.nonce_consumed(&evidence.report.nonce) {
-                    return VerdictMsg::rejected(
-                        code::NONCE_REPLAYED,
-                        format!(
-                            "nonce {} is spent: its session already reached a verdict or expired",
-                            evidence.report.nonce
-                        ),
-                    );
+
+        // Critical section 1: transport checks + nonce binding.  Everything
+        // here is cheap (map lookup, field compares); the session's input is
+        // copied out so the reference lookup below needs no lock.
+        let input: Vec<u32> = {
+            let mut shard = self.shard(id);
+            let Some(session) = shard.sessions.get(&id) else {
+                drop(shard);
+                // Decided sessions are evicted eagerly, so a replayed
+                // envelope usually lands here: report it as the replay it is.
+                if let Message::Evidence(evidence) = &envelope.message {
+                    if self.nonce_consumed(&evidence.report.nonce) {
+                        return (replayed_nonce_verdict(&evidence.report.nonce), false);
+                    }
                 }
+                return (
+                    VerdictMsg::rejected(code::UNKNOWN_SESSION, format!("unknown {id}")),
+                    false,
+                );
+            };
+            let evidence = match session.accept_evidence(envelope, self.now_cycles()) {
+                Ok(evidence) => evidence,
+                Err(e) => {
+                    let verdict = VerdictMsg::rejected(e.code(), e.to_string());
+                    if matches!(e, SessionError::Expired { .. }) {
+                        shard.sessions.remove(&id);
+                        self.live.fetch_sub(1, Ordering::SeqCst);
+                    }
+                    return (verdict, false);
+                }
+            };
+
+            // The nonce-binding and signature checks reject *without*
+            // spending the session: anyone can address garbage (or replayed)
+            // evidence at a live session id, and an unauthenticated failure
+            // must not let them lock the honest prover out.  The session is
+            // only spent by evidence that is signed under the fleet key
+            // *and* bound to this session's nonce.
+            if evidence.report.nonce != session.nonce() {
+                // The nonce does not belong to this session: either a
+                // cross-session replay (a nonce consumed by any
+                // decided/expired session can never be accepted again, no
+                // matter where it is sent) or evidence routed to the wrong
+                // session.  Deciding which may require the nonce's *owning*
+                // shard, so release this one first — the misdelivery leaves
+                // this session untouched anyway.
+                let nonce = evidence.report.nonce;
+                drop(shard);
+                if self.nonce_consumed(&nonce) {
+                    return (replayed_nonce_verdict(&nonce), false);
+                }
+                return (
+                    VerdictMsg::rejected(
+                        RejectionReason::NonceMismatch.code(),
+                        RejectionReason::NonceMismatch.to_string(),
+                    ),
+                    false,
+                );
             }
-            return VerdictMsg::rejected(code::UNKNOWN_SESSION, format!("unknown {id}"));
+            session.challenge().input.clone()
         };
-        let evidence = match session.accept_evidence(envelope, self.now_cycles) {
-            Ok(evidence) => evidence,
-            Err(e) => {
-                let verdict = VerdictMsg::rejected(e.code(), e.to_string());
-                if matches!(e, SessionError::Expired { .. }) {
-                    self.evict_session(id);
-                }
-                return verdict;
-            }
+        // `accept_evidence` succeeded above, so the message is evidence.
+        let Message::Evidence(evidence) = &envelope.message else {
+            unreachable!("accept_evidence only accepts evidence messages");
         };
         let report = &evidence.report;
 
-        // The three checks below reject *without* spending the session:
-        // anyone can address garbage (or replayed) evidence at a live session
-        // id, and an unauthenticated failure must not let them lock the
-        // honest prover out.  The session is only spent by evidence that is
-        // signed under the fleet key *and* bound to this session's nonce.
+        // Lock-free section: authenticity and measurement comparison against
+        // the shared read-only verification key and database.
 
-        // Cross-session replay: a nonce consumed by any decided/expired
-        // session can never be accepted again, no matter where it is sent.
-        if self.nonce_consumed(&report.nonce) {
-            return VerdictMsg::rejected(
-                code::NONCE_REPLAYED,
-                format!(
-                    "nonce {} is spent: its session already reached a verdict or expired",
-                    report.nonce
-                ),
-            );
-        }
-
-        // Per-session nonce binding (evidence routed to the wrong session).
-        if report.nonce != session.nonce() {
-            return VerdictMsg::rejected(
-                RejectionReason::NonceMismatch.code(),
-                RejectionReason::NonceMismatch.to_string(),
-            );
-        }
-
-        // Authenticity.
         if self.key.verify(&report.payload(), &report.signature).is_err() {
-            return VerdictMsg::rejected(
-                RejectionReason::BadSignature.code(),
-                RejectionReason::BadSignature.to_string(),
+            return (
+                VerdictMsg::rejected(
+                    RejectionReason::BadSignature.code(),
+                    RejectionReason::BadSignature.to_string(),
+                ),
+                false,
             );
         }
 
         // Measurement comparison: [`MeasurementDatabase::check`] is the one
         // implementation of the reference comparison.
-        let input = &session.challenge().input;
-        let verdict = match self.db.check(input, report) {
+        let verdict = match self.db.check(&input, report) {
             Ok(reference) => VerdictMsg::accepted(Some(reference.expected_result)),
             Err(LofatError::Rejected(reason)) => {
                 VerdictMsg::rejected(reason.code(), reason.to_string())
             }
             Err(other) => VerdictMsg::rejected(code::UNKNOWN_INPUT, other.to_string()),
         };
-        // Authenticated decision: the session is spent.  Evicting (rather
-        // than keeping a Decided tombstone) keeps the session map bounded by
+
+        // Critical section 2: spend the session.  Evicting (rather than
+        // keeping a Decided tombstone) keeps the session map bounded by
         // *outstanding* work, so decided sessions never count against
-        // `max_live_sessions`; `nonce_consumed` still blocks replays.
-        self.sessions.remove(&id);
-        verdict
+        // `max_live_sessions`; `nonce_consumed` still blocks replays.  The
+        // eviction is the exactly-once linearisation point: when several
+        // threads verified the same evidence concurrently, only the one that
+        // removes the session delivers its verdict — the rest observe the
+        // now-spent nonce, exactly as if they had submitted after it.
+        // (Session ids are never reused, so the session found here is
+        // necessarily the one checked above.)
+        let mut shard = self.shard(id);
+        if shard.sessions.remove(&id).is_none() {
+            drop(shard);
+            return (replayed_nonce_verdict(&report.nonce), false);
+        }
+        self.live.fetch_sub(1, Ordering::SeqCst);
+        let spent_by_rejection = !verdict.accepted;
+        (verdict, spent_by_rejection)
     }
 
-    /// Removes an expired session; its nonce stays consumed by construction.
-    fn evict_session(&mut self, id: SessionId) {
-        self.sessions.remove(&id);
-    }
-
-    /// Replay check with O(1) memory: session `n` carries
-    /// `Nonce::from_counter(n)`, so a nonce is consumed iff it was issued
-    /// (its counter is in `1..=next_session`, and the bytes match exactly)
-    /// and its session has been decided or expired (no longer live).
+    /// Replay check with O(1) memory and at most one shard lock: session `n`
+    /// carries `Nonce::from_counter(n)` and lives in shard `(n - 1) % shards`,
+    /// so a nonce is consumed iff its owning shard issued its slot (checked
+    /// against the shard's `issued` watermark, under the same lock that
+    /// allocated it, so a concurrent `open_session` can never be
+    /// half-observed) and the session is no longer live.
+    ///
+    /// Callers must not hold any shard lock (see the lock discipline note on
+    /// [`VerifierService::judge`]).
     fn nonce_consumed(&self, nonce: &Nonce) -> bool {
         let counter = u64::from_le_bytes(nonce.as_bytes()[..8].try_into().expect("8 bytes"));
-        counter >= 1
-            && counter <= self.next_session
-            && Nonce::from_counter(counter) == *nonce
-            && !self.sessions.contains_key(&SessionId(counter))
+        if counter < 1 || Nonce::from_counter(counter) != *nonce {
+            return false;
+        }
+        // `shard()` routes to shard `(counter - 1) % N`; within that shard the
+        // counter occupies slot `(counter - 1) / N`, and slots are issued
+        // contiguously under the shard lock.
+        let shard = self.shard(SessionId(counter));
+        let slot = (counter - 1) / self.shards.len() as u64;
+        slot < shard.issued && !shard.sessions.contains_key(&SessionId(counter))
     }
+}
+
+/// The verdict for evidence echoing a nonce that was already consumed.
+fn replayed_nonce_verdict(nonce: &Nonce) -> VerdictMsg {
+    VerdictMsg::rejected(
+        code::NONCE_REPLAYED,
+        format!("nonce {nonce} is spent: its session already reached a verdict or expired"),
+    )
 }
 
 #[cfg(test)]
@@ -457,6 +790,7 @@ mod tests {
     use crate::verifier::Verifier;
     use lofat_crypto::DeviceKey;
     use lofat_rv32::asm::assemble;
+    use std::sync::Arc;
 
     const PROGRAM: &str = r#"
         .data
@@ -476,14 +810,21 @@ mod tests {
             ecall
     "#;
 
-    fn setup(inputs: impl IntoIterator<Item = Vec<u32>>) -> (VerifierService, Prover) {
+    fn setup_with(
+        inputs: impl IntoIterator<Item = Vec<u32>>,
+        config: ServiceConfig,
+    ) -> (VerifierService, Prover) {
         let program = assemble(PROGRAM).unwrap();
         let key = DeviceKey::from_seed("svc-device");
         let prover = Prover::new(program.clone(), "triple", key.clone());
         let verifier = Verifier::new(program, "triple", key.verification_key()).unwrap();
         let db = MeasurementDatabase::build(&verifier, EngineConfig::default(), inputs).unwrap();
-        let service = VerifierService::new(db, key.verification_key(), ServiceConfig::default());
+        let service = VerifierService::new(db, key.verification_key(), config);
         (service, prover)
+    }
+
+    fn setup(inputs: impl IntoIterator<Item = Vec<u32>>) -> (VerifierService, Prover) {
+        setup_with(inputs, ServiceConfig::default())
     }
 
     fn evidence_for(service: &VerifierService, prover: &mut Prover, id: SessionId) -> Envelope {
@@ -494,7 +835,7 @@ mod tests {
 
     #[test]
     fn honest_sessions_are_accepted() {
-        let (mut service, mut prover) = setup(vec![vec![2], vec![3]]);
+        let (service, mut prover) = setup(vec![vec![2], vec![3]]);
         let a = service.open_session(vec![2]).unwrap();
         let b = service.open_session(vec![3]).unwrap();
         let ev_a = evidence_for(&service, &mut prover, a);
@@ -505,19 +846,20 @@ mod tests {
         assert_eq!(verdicts[0].expected_result, Some(9));
         assert_eq!(verdicts[1].expected_result, Some(6));
         assert_eq!(service.stats().accepted, 2);
+        assert!(service.stats().is_conserved(service.live_sessions()));
     }
 
     #[test]
     fn unknown_inputs_cannot_open_sessions() {
-        let (mut service, _) = setup(vec![vec![1]]);
+        let (service, _) = setup(vec![vec![1]]);
         let err = service.open_session(vec![9]).unwrap_err();
         assert!(matches!(err, ServiceError::UnknownInput { .. }));
     }
 
     #[test]
     fn capacity_is_enforced() {
-        let (mut service, _) = setup(vec![vec![1]]);
-        service.config.max_live_sessions = 2;
+        let config = ServiceConfig { max_live_sessions: 2, ..ServiceConfig::default() };
+        let (service, _) = setup_with(vec![vec![1]], config);
         service.open_session(vec![1]).unwrap();
         service.open_session(vec![1]).unwrap();
         let err = service.open_session(vec![1]).unwrap_err();
@@ -526,9 +868,12 @@ mod tests {
 
     #[test]
     fn capacity_pressure_sweeps_expired_sessions() {
-        let (mut service, _) = setup(vec![vec![1]]);
-        service.config.max_live_sessions = 2;
-        service.config.session_deadline_cycles = 10;
+        let config = ServiceConfig {
+            max_live_sessions: 2,
+            session_deadline_cycles: 10,
+            ..ServiceConfig::default()
+        };
+        let (service, _) = setup_with(vec![vec![1]], config);
         service.open_session(vec![1]).unwrap();
         service.open_session(vec![1]).unwrap();
         service.advance_clock(11);
@@ -537,28 +882,96 @@ mod tests {
         assert!(service.open_session(vec![1]).is_ok());
         assert_eq!(service.stats().expired, 2);
         assert_eq!(service.live_sessions(), 1);
+        assert!(service.stats().is_conserved(service.live_sessions()));
     }
 
     #[test]
     fn malformed_bytes_yield_a_verdict_not_a_panic() {
-        let (mut service, _) = setup(vec![vec![1]]);
+        let (service, _) = setup(vec![vec![1]]);
         let reply = service.handle_bytes(b"garbage").unwrap();
         let envelope = Envelope::decode(&reply).unwrap();
         let Message::Verdict(v) = envelope.message else { panic!("expected verdict") };
         assert!(!v.accepted);
         assert_eq!(v.reason_code, code::MALFORMED);
         assert_eq!(service.stats().wire_errors, 1);
+        // One accounting path: the wire error is also a counted rejection.
+        assert_eq!(service.stats().rejected, 1);
+        assert_eq!(service.stats().rejections_by_code.get(&code::MALFORMED), Some(&1));
     }
 
     #[test]
     fn expired_sessions_are_swept() {
-        let (mut service, _) = setup(vec![vec![1]]);
-        service.config.session_deadline_cycles = 10;
+        let config = ServiceConfig { session_deadline_cycles: 10, ..ServiceConfig::default() };
+        let (service, _) = setup_with(vec![vec![1]], config);
         let _id = service.open_session(vec![1]).unwrap();
         assert_eq!(service.expire_stale(), 0);
         service.advance_clock(11);
         assert_eq!(service.expire_stale(), 1);
         assert_eq!(service.live_sessions(), 0);
         assert_eq!(service.stats().expired, 1);
+        assert!(service.stats().is_conserved(0));
+    }
+
+    #[test]
+    fn sharding_routes_sessions_and_preserves_verdicts() {
+        let (sharded, mut prover) =
+            setup_with((0..6u32).map(|n| vec![n]), ServiceConfig::sharded(4));
+        assert_eq!(sharded.shard_count(), 4);
+        let ids: Vec<SessionId> =
+            (0..6u32).map(|n| sharded.open_session(vec![n]).unwrap()).collect();
+        // Ids are allocated in open order regardless of the shard count.
+        assert_eq!(ids, (1..=6).map(SessionId).collect::<Vec<_>>());
+        let evidence: Vec<Envelope> =
+            ids.iter().map(|id| evidence_for(&sharded, &mut prover, *id)).collect();
+        for (n, ev) in evidence.iter().enumerate().rev() {
+            let verdict = sharded.submit_evidence(ev);
+            assert!(verdict.accepted, "session {n}: {verdict:?}");
+            assert_eq!(verdict.expected_result, Some(3 * n as u32));
+        }
+        // Cross-shard replay: evidence for session 1 (shard 0) resubmitted to
+        // session 7 (shard 2 after reopening) is recognised as a spent nonce.
+        let fresh = sharded.open_session(vec![1]).unwrap();
+        let mut cross = evidence[0].clone();
+        cross.session = fresh;
+        let verdict = sharded.submit_evidence(&cross);
+        assert_eq!(verdict.reason_code, code::NONCE_REPLAYED);
+        assert!(sharded.stats().is_conserved(sharded.live_sessions()));
+    }
+
+    #[test]
+    fn concurrent_submissions_accept_each_nonce_once() {
+        let (service, mut prover) = setup_with([vec![2]], ServiceConfig::sharded(1));
+        let id = service.open_session(vec![2]).unwrap();
+        let evidence = evidence_for(&service, &mut prover, id);
+        let service = Arc::new(service);
+        let threads = 8u32;
+        let accepted = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let service = Arc::clone(&service);
+                    let evidence = evidence.clone();
+                    scope.spawn(move || u32::from(service.submit_evidence(&evidence).accepted))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u32>()
+        });
+        assert_eq!(accepted, 1, "exactly one submission may win the nonce");
+        let stats = service.stats();
+        assert_eq!(stats.accepted, 1);
+        assert_eq!(stats.replays_blocked, u64::from(threads) - 1);
+        assert!(stats.is_conserved(service.live_sessions()));
+    }
+
+    #[test]
+    fn service_clone_is_a_snapshot() {
+        let (service, mut prover) = setup(vec![vec![2]]);
+        let id = service.open_session(vec![2]).unwrap();
+        let evidence = evidence_for(&service, &mut prover, id);
+        let snapshot = service.clone();
+        assert!(service.submit_evidence(&evidence).accepted);
+        // The snapshot still holds the live session and its own statistics.
+        assert_eq!(snapshot.live_sessions(), 1);
+        assert_eq!(snapshot.stats().accepted, 0);
+        assert!(snapshot.submit_evidence(&evidence).accepted);
     }
 }

@@ -6,7 +6,8 @@
 //! encoded bytes over whatever transport they have (an in-process call, a
 //! socket, a radio link) and feed them back in.  This is what makes
 //! concurrency, loss, replay and remote deployment representable — see
-//! [`crate::service::VerifierService`] for the multi-session front-end and
+//! [`crate::service::VerifierService`] for the sharded multi-session
+//! front-end (and [`crate::pool::ParallelVerifier`] for its worker pool) and
 //! [`crate::protocol::run_attestation`] for the classic in-process adapter,
 //! now a thin wrapper over these sessions.
 //!

@@ -116,6 +116,18 @@ impl Verifier for HmacVerifier {
     }
 }
 
+// The sharded `VerifierService` and its worker pool share one verification-key
+// handle (and the signer side may live behind an `Arc` in fleet simulations):
+// verification is `&self` over plain owned data, so these types must stay
+// thread-safe.  Keep that a compile-time guarantee of this crate, not an
+// accident of field choice.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<HmacVerifier>();
+    assert_send_sync::<VerificationKey>();
+    assert_send_sync::<Signature>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""CI bench-regression gate for the committed performance trajectory.
+
+Compares freshly measured bench documents against the baselines committed at
+the repo root and fails (exit 1) when a headline metric regresses beyond the
+tolerance:
+
+* ``BENCH_e10.json``      -> ``current.attested_instructions_per_sec``
+  (hot-path throughput: CPU model + trace port + LO-FAT engine)
+* ``BENCH_service.json``  -> best ``sessions_per_sec`` across the worker sweep
+  (sharded VerifierService + ParallelVerifier pool)
+
+The gate is one-sided: faster-than-baseline runs always pass (refresh the
+committed baselines with ``lofat bench-json`` / ``lofat serve-bench`` when an
+improvement should become the new floor).  The scaling ratio of the worker
+sweep is deliberately *not* gated — it is bounded by the host's core count
+(see ``host_cpus`` in the document), which differs between the machine that
+committed the baseline and the CI runner.
+
+Usage:
+  python3 scripts/bench_gate.py \
+    --e10-baseline BENCH_e10.json --e10-current BENCH_e10.current.json \
+    --service-baseline BENCH_service.json \
+    --service-current BENCH_service.current.json \
+    --tolerance 0.25
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    version = document.get("schema_version")
+    if version != 2:
+        sys.exit(f"{path}: unsupported schema_version {version!r} (want 2)")
+    return document
+
+
+def e10_metric(document, path):
+    try:
+        return float(document["current"]["attested_instructions_per_sec"])
+    except (KeyError, TypeError, ValueError) as error:
+        sys.exit(f"{path}: missing attested_instructions_per_sec: {error}")
+
+
+def service_metric(document, path):
+    try:
+        sweep = document["service"]["sweep"]
+        rates = [float(sample["sessions_per_sec"]) for sample in sweep]
+    except (KeyError, TypeError, ValueError) as error:
+        sys.exit(f"{path}: missing service sweep: {error}")
+    if not rates:
+        sys.exit(f"{path}: empty service sweep")
+    return max(rates)
+
+
+def check(name, baseline, current, tolerance):
+    floor = baseline * (1.0 - tolerance)
+    ratio = current / baseline if baseline > 0 else float("inf")
+    verdict = "ok" if current >= floor else "REGRESSED"
+    print(
+        f"{name:<28} baseline {baseline:>14.1f}  current {current:>14.1f}  "
+        f"({ratio:6.2f}x, floor {floor:>14.1f})  {verdict}"
+    )
+    return current >= floor
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--e10-baseline", required=True)
+    parser.add_argument("--e10-current", required=True)
+    parser.add_argument("--service-baseline", required=True)
+    parser.add_argument("--service-current", required=True)
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional regression (default 0.25 = 25%%)",
+    )
+    args = parser.parse_args()
+
+    ok = True
+    ok &= check(
+        "attested instructions/sec",
+        e10_metric(load(args.e10_baseline), args.e10_baseline),
+        e10_metric(load(args.e10_current), args.e10_current),
+        args.tolerance,
+    )
+    ok &= check(
+        "service sessions/sec",
+        service_metric(load(args.service_baseline), args.service_baseline),
+        service_metric(load(args.service_current), args.service_current),
+        args.tolerance,
+    )
+    if not ok:
+        sys.exit(
+            f"bench gate: regression beyond the {args.tolerance:.0%} tolerance "
+            "(see table above)"
+        )
+    print(f"bench gate: all metrics within the {args.tolerance:.0%} tolerance")
+
+
+if __name__ == "__main__":
+    main()

@@ -10,6 +10,8 @@
 //! lofat verify <file.s|workload> [inputs..]  full prover/verifier round trip
 //! lofat area [l n depth]                   area model for a configuration
 //! lofat bench-json [--out F] [--smoke]     write the E10 hot-path trajectory JSON
+//! lofat serve-bench [--out F] [--smoke]    sweep the sharded service over worker
+//!                                          counts and write BENCH_service.json
 //! ```
 //!
 //! Arguments that name a file ending in `.s`/`.asm` are assembled from disk; any
@@ -43,6 +45,7 @@ fn main() -> ExitCode {
         "sessions" => cmd_sessions(&args[1..]),
         "area" => cmd_area(&args[1..]),
         "bench-json" => cmd_bench_json(&args[1..]),
+        "serve-bench" => cmd_serve_bench(&args[1..]),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -74,7 +77,13 @@ commands:
   area [l n depth]                   print the area model estimate
   bench-json [--out FILE] [--smoke]  measure hot-path throughput (E10) and
                                      write the trajectory JSON (default:
-                                     BENCH_e10.json; --smoke: short windows)";
+                                     BENCH_e10.json; --smoke: short windows)
+  serve-bench [--out FILE] [--smoke] [--sessions N] [--producers M]
+              [--shards S] [--workers LIST]
+                                     sweep the sharded VerifierService +
+                                     ParallelVerifier pool over worker counts
+                                     (default 1,2,4) and write sessions/sec +
+                                     p50/p99 latency to BENCH_service.json";
 
 type CliResult = Result<(), Box<dyn std::error::Error>>;
 
@@ -275,7 +284,7 @@ fn cmd_sessions(args: &[String]) -> CliResult {
             MeasurementDatabase::build(&verifier, EngineConfig::default(), vec![input.clone()])?;
         let config =
             ServiceConfig { session_deadline_cycles: deadline_cycles, ..ServiceConfig::default() };
-        let mut service = VerifierService::new(db, key.verification_key(), config);
+        let service = VerifierService::new(db, key.verification_key(), config);
 
         // Open all sessions up front, then answer them interleaved.
         let ids: Vec<_> = (0..sessions_per_workload)
@@ -414,6 +423,104 @@ fn cmd_bench_json(args: &[String]) -> CliResult {
         current.plain_instructions_per_sec / BASELINE.plain_instructions_per_sec,
         current.hashed_bytes_per_sec / BASELINE.hashed_bytes_per_sec,
         BASELINE.ns_per_permutation / current.ns_per_permutation,
+    );
+    println!("wrote {out_path}");
+    Ok(())
+}
+
+/// `lofat serve-bench` — sweep the sharded [`VerifierService`] +
+/// `ParallelVerifier` pool over worker counts and write `BENCH_service.json`.
+fn cmd_serve_bench(args: &[String]) -> CliResult {
+    use lofat_bench::service_bench::{measure, to_json, ServiceBenchConfig};
+
+    let mut out_path = "BENCH_service.json".to_string();
+    let mut smoke = false;
+    let mut sessions: Option<usize> = None;
+    let mut producers: Option<usize> = None;
+    let mut shards: Option<usize> = None;
+    let mut workers: Option<Vec<usize>> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--out" => {
+                out_path =
+                    iter.next().ok_or("serve-bench: --out requires a file path")?.to_string();
+            }
+            "--smoke" => smoke = true,
+            "--sessions" => {
+                sessions = Some(iter.next().ok_or("serve-bench: --sessions needs N")?.parse()?);
+            }
+            "--producers" => {
+                producers = Some(iter.next().ok_or("serve-bench: --producers needs M")?.parse()?);
+            }
+            "--shards" => {
+                shards = Some(iter.next().ok_or("serve-bench: --shards needs S")?.parse()?);
+            }
+            "--workers" => {
+                let list = iter.next().ok_or("serve-bench: --workers needs a list like 1,2,4")?;
+                workers = Some(
+                    list.split(',')
+                        .map(|w| w.trim().parse())
+                        .collect::<Result<Vec<usize>, _>>()
+                        .map_err(|_| format!("serve-bench: invalid --workers list `{list}`"))?,
+                );
+            }
+            other => return Err(format!("serve-bench: unknown argument `{other}`").into()),
+        }
+    }
+
+    let mut config = if smoke { ServiceBenchConfig::smoke() } else { ServiceBenchConfig::full() };
+    if let Some(n) = sessions {
+        config.sessions = n.max(1);
+    }
+    if let Some(m) = producers {
+        config.producers = m.max(1);
+    }
+    if let Some(s) = shards {
+        config.shards = s.max(1);
+    }
+    if let Some(list) = workers {
+        if list.is_empty() || list.contains(&0) {
+            return Err("serve-bench: --workers needs positive counts".into());
+        }
+        config.worker_counts = list;
+    }
+
+    eprintln!(
+        "sweeping {} sessions × workers {:?} ({} producers, {} shards{})…",
+        config.sessions,
+        config.worker_counts,
+        config.producers,
+        config.shards,
+        if smoke { ", smoke mode" } else { "" }
+    );
+    let report = measure(&config);
+    for sample in &report.samples {
+        if sample.accepted != config.sessions as u64 {
+            return Err(format!(
+                "serve-bench: only {}/{} sessions accepted at {} workers — the honest sweep \
+                 must accept everything",
+                sample.accepted, config.sessions, sample.workers
+            )
+            .into());
+        }
+    }
+    std::fs::write(&out_path, to_json(&report))?;
+
+    println!("{:>8} {:>16} {:>14} {:>14}", "workers", "sessions/sec", "p50 (µs)", "p99 (µs)");
+    for sample in &report.samples {
+        println!(
+            "{:>8} {:>16.1} {:>14.1} {:>14.1}",
+            sample.workers, sample.sessions_per_sec, sample.p50_latency_us, sample.p99_latency_us
+        );
+    }
+    println!(
+        "scaling   {:.2}x ({} → {} workers, {} host cpu{})",
+        report.scaling_first_to_last(),
+        report.samples.first().map_or(0, |s| s.workers),
+        report.samples.last().map_or(0, |s| s.workers),
+        report.host_cpus,
+        if report.host_cpus == 1 { "" } else { "s" },
     );
     println!("wrote {out_path}");
     Ok(())

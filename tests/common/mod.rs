@@ -14,8 +14,8 @@
 
 use lofat::protocol::ProtocolOutcome;
 use lofat::{
-    EngineConfig, LofatEngine, Measurement, MeasurementDatabase, Prover, ServiceConfig, Verifier,
-    VerifierService,
+    EngineConfig, LofatEngine, Measurement, MeasurementDatabase, Prover, ServiceConfig,
+    ServiceStats, Verifier, VerifierService,
 };
 use lofat_crypto::DeviceKey;
 use lofat_rv32::{Cpu, ExitInfo, Program};
@@ -105,4 +105,21 @@ pub fn workload_service(
         .expect("precompute reference measurements");
     let key = DeviceKey::from_seed(seed).verification_key();
     (program, VerifierService::new(db, key, config), prover)
+}
+
+/// Asserts the service-stats conservation law: every opened session is
+/// accounted for exactly once — accepted, spent by an authenticated
+/// rejection, expired, or still live.  (Unauthenticated rejections — bad
+/// signatures, misrouted nonces, replays, malformed envelopes — do not
+/// consume sessions and therefore do not appear in the balance.)
+pub fn assert_stats_conserved(stats: &ServiceStats, live: usize) {
+    assert!(
+        stats.is_conserved(live),
+        "stats conservation violated: opened {} != accepted {} + sessions_rejected {} + \
+         expired {} + live {live} ({stats:?})",
+        stats.sessions_opened,
+        stats.accepted,
+        stats.sessions_rejected,
+        stats.expired,
+    );
 }

@@ -43,7 +43,7 @@ fn evidence_for(service: &VerifierService, prover: &mut lofat::Prover, id: Sessi
 
 #[test]
 fn replayed_evidence_is_blocked_in_and_across_sessions() {
-    let (_, mut service, mut prover) =
+    let (_, service, mut prover) =
         common::workload_service("fig4-loop", "e12-replay", &[vec![4]], ServiceConfig::default());
 
     let first = service.open_session(vec![4]).unwrap();
@@ -72,11 +72,12 @@ fn replayed_evidence_is_blocked_in_and_across_sessions() {
     // prover can still answer it (no replay-based denial of service).
     let honest = evidence_for(&service, &mut prover, second);
     assert!(service.submit_evidence(&honest).accepted);
+    common::assert_stats_conserved(&service.stats(), service.live_sessions());
 }
 
 #[test]
 fn evidence_to_the_wrong_session_is_rejected() {
-    let (_, mut service, mut prover) = common::workload_service(
+    let (_, service, mut prover) = common::workload_service(
         "fig4-loop",
         "e12-cross",
         &[vec![2], vec![3]],
@@ -106,7 +107,7 @@ fn evidence_to_the_wrong_session_is_rejected() {
 #[test]
 fn verdict_after_expiry_is_rejected() {
     let config = ServiceConfig { session_deadline_cycles: 100, ..ServiceConfig::default() };
-    let (_, mut service, mut prover) =
+    let (_, service, mut prover) =
         common::workload_service("fig4-loop", "e12-expiry", &[vec![5]], config);
 
     let id = service.open_session(vec![5]).unwrap();
@@ -129,11 +130,12 @@ fn verdict_after_expiry_is_rejected() {
     smuggled.session = fresh;
     let verdict = service.submit_evidence(&smuggled);
     assert_eq!(verdict.reason_code, code::NONCE_REPLAYED);
+    common::assert_stats_conserved(&service.stats(), service.live_sessions());
 }
 
 #[test]
 fn non_evidence_messages_are_refused() {
-    let (_, mut service, _prover) =
+    let (_, service, _prover) =
         common::workload_service("fig4-loop", "e12-kind", &[vec![1]], ServiceConfig::default());
     let id = service.open_session(vec![1]).unwrap();
     let challenge = service.challenge_envelope(id).unwrap();
@@ -145,7 +147,7 @@ fn non_evidence_messages_are_refused() {
 #[test]
 fn stale_sessions_expire_on_sweep() {
     let config = ServiceConfig { session_deadline_cycles: 50, ..ServiceConfig::default() };
-    let (_, mut service, _prover) =
+    let (_, service, _prover) =
         common::workload_service("fig4-loop", "e12-sweep", &[vec![1]], config);
     for _ in 0..5 {
         service.open_session(vec![1]).unwrap();
@@ -155,6 +157,7 @@ fn stale_sessions_expire_on_sweep() {
     assert_eq!(service.expire_stale(), 5);
     assert_eq!(service.live_sessions(), 0);
     assert_eq!(service.stats().expired, 5);
+    common::assert_stats_conserved(&service.stats(), 0);
 }
 
 // ---------------------------------------------------------------------------
@@ -166,7 +169,7 @@ fn interleaved_sessions_at_scale_with_single_use_nonces() {
     let n = session_count();
     let workload = catalog::by_name("fig4-loop").unwrap();
     let inputs: Vec<Vec<u32>> = (1..=8u32).map(|k| vec![k]).collect();
-    let (_, mut service, mut prover) =
+    let (_, service, mut prover) =
         common::workload_service("fig4-loop", "e12-fleet", &inputs, ServiceConfig::default());
 
     // Open all sessions up front (they interleave arbitrarily afterwards).
@@ -205,6 +208,8 @@ fn interleaved_sessions_at_scale_with_single_use_nonces() {
         assert!(!verdict.accepted);
         assert_eq!(verdict.reason_code, code::NONCE_REPLAYED);
     }
+    // Conservation: every opened session is accounted for exactly once.
+    common::assert_stats_conserved(&service.stats(), service.live_sessions());
 }
 
 // ---------------------------------------------------------------------------
