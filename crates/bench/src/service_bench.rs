@@ -15,6 +15,13 @@
 //! On a single-core host the worker sweep degenerates (workers time-slice one
 //! CPU), so the CI bench gate keys on absolute sessions/sec against the
 //! committed baseline, not on the scaling ratio.
+//!
+//! Besides the in-process sweep, the same points run once more through a
+//! `lofat-net` `VerifierServer` on a loopback socket (`loopback_sweep` in the
+//! document): identical service, identical evidence, but every frame crosses
+//! TCP and every latency is a client-observed round trip — the difference
+//! between the two sweeps is the measured transport cost.  The CI gate keys
+//! only on the in-process sweep.
 
 use lofat::pool::{ParallelVerifier, PoolConfig};
 use lofat::service::{ServiceConfig, VerifierService};
@@ -22,6 +29,7 @@ use lofat::session::ProverSession;
 use lofat::wire::{Envelope, Message};
 use lofat::{EngineConfig, MeasurementDatabase, Prover, Verifier};
 use lofat_crypto::DeviceKey;
+use lofat_net::{ProverClient, ServerConfig, VerifierServer};
 use lofat_workloads::catalog;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -98,6 +106,13 @@ pub struct ServiceBenchReport {
     pub host_cpus: usize,
     /// One sample per entry of `config.worker_counts`.
     pub samples: Vec<SweepSample>,
+    /// The same sweep over a loopback TCP socket: the service behind a
+    /// `lofat_net::VerifierServer`, `config.producers` client connections
+    /// submitting evidence frames and waiting for each verdict frame.
+    /// Latencies here are client-observed round trips (framing + socket +
+    /// queue + verification), so loopback rows are expected to sit above the
+    /// in-process ones — the gap *is* the measured transport cost.
+    pub loopback: Vec<SweepSample>,
 }
 
 impl ServiceBenchReport {
@@ -182,11 +197,17 @@ pub fn measure(config: &ServiceBenchConfig) -> ServiceBenchReport {
         .iter()
         .map(|&workers| sweep_point(config, &db, &key, &input, &evidence, workers))
         .collect();
+    let loopback = config
+        .worker_counts
+        .iter()
+        .map(|&workers| loopback_point(config, &db, &key, &input, &evidence, workers))
+        .collect();
 
     ServiceBenchReport {
         config: config.clone(),
         host_cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
         samples,
+        loopback,
     }
 }
 
@@ -270,6 +291,84 @@ fn sweep_point(
     }
 }
 
+/// One timed loopback-socket sweep point: fresh service and `VerifierServer`
+/// on an ephemeral port, `config.producers` client connections each driving
+/// its strided share of the pre-generated evidence frame by frame (submit,
+/// then wait for the verdict frame — per-client round trips, the way a real
+/// prover fleet talks to the service).
+fn loopback_point(
+    config: &ServiceBenchConfig,
+    db: &MeasurementDatabase,
+    key: &DeviceKey,
+    input: &[u32],
+    evidence: &[Vec<u8>],
+    workers: usize,
+) -> SweepSample {
+    let service = Arc::new(VerifierService::new(
+        db.clone(),
+        key.verification_key(),
+        ServiceConfig::sharded(config.shards),
+    ));
+    for _ in 0..config.sessions {
+        service.open_session(input.to_vec()).expect("open session");
+    }
+    let server_config = ServerConfig {
+        pool: PoolConfig { workers, queue_capacity: config.queue_capacity, drain_burst: 8 },
+        ..ServerConfig::default()
+    };
+    let server = VerifierServer::bind("127.0.0.1:0", Arc::clone(&service), server_config)
+        .expect("bind loopback server");
+    let addr = server.local_addr();
+
+    let clients = config.producers.max(1);
+    // Connect and clone each client's share before the clock starts: the
+    // timed region is framing + socket + queue + verification only.
+    let prepared: Vec<(ProverClient, Vec<Vec<u8>>)> = (0..clients)
+        .map(|client| {
+            let mine: Vec<Vec<u8>> =
+                evidence.iter().skip(client).step_by(clients).cloned().collect();
+            (ProverClient::connect(addr).expect("connect bench client"), mine)
+        })
+        .collect();
+    let replies: Mutex<Vec<(Duration, bool)>> = Mutex::new(Vec::with_capacity(config.sessions));
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for (mut client, mine) in prepared {
+            let replies = &replies;
+            scope.spawn(move || {
+                let mut local = Vec::with_capacity(mine.len());
+                for bytes in mine {
+                    let sent = Instant::now();
+                    client.send_frame(&bytes).expect("submit evidence frame");
+                    let reply =
+                        client.recv_frame().expect("read verdict frame").expect("server answered");
+                    let accepted = matches!(
+                        Envelope::decode(&reply).expect("verdict decodes").message,
+                        Message::Verdict(v) if v.accepted
+                    );
+                    local.push((sent.elapsed(), accepted));
+                }
+                replies.lock().expect("reply lock").extend(local);
+            });
+        }
+    });
+    let elapsed = start.elapsed();
+    server.shutdown();
+
+    let replies = replies.into_inner().expect("reply lock");
+    let accepted = replies.iter().filter(|(_, accepted)| *accepted).count() as u64;
+    let mut latencies: Vec<Duration> = replies.iter().map(|(latency, _)| *latency).collect();
+    latencies.sort_unstable();
+
+    SweepSample {
+        workers,
+        sessions_per_sec: config.sessions as f64 / elapsed.as_secs_f64(),
+        p50_latency_us: percentile_us(&latencies, 0.50),
+        p99_latency_us: percentile_us(&latencies, 0.99),
+        accepted,
+    }
+}
+
 /// Renders the `BENCH_service.json` document (schema version 2: the shared
 /// bench-trajectory schema with a `service` section).
 pub fn to_json(report: &ServiceBenchReport) -> String {
@@ -285,7 +384,10 @@ pub fn to_json(report: &ServiceBenchReport) -> String {
         "wall-clock sweep over worker counts; only service verification is timed (evidence is \
          pre-generated once and replayed against a fresh service per point). Worker scaling is \
          bounded by host_cpus — on a single-core host the sweep degenerates to ~1x and the CI \
-         gate compares absolute sessions/sec instead. Regenerate with `lofat serve-bench`.",
+         gate compares absolute sessions/sec instead. loopback_sweep runs the same points \
+         through a lofat-net VerifierServer on 127.0.0.1 with `producers` client connections; \
+         its latencies are client-observed round trips, so the gap to `sweep` is the transport \
+         cost. Regenerate with `lofat serve-bench`.",
     );
     w.begin_object(Some("service"));
     w.field_u64("sessions", report.config.sessions as u64);
@@ -293,18 +395,24 @@ pub fn to_json(report: &ServiceBenchReport) -> String {
     w.field_u64("shards", report.config.shards as u64);
     w.field_u64("queue_capacity", report.config.queue_capacity as u64);
     w.field_u64("submit_batch", report.config.submit_batch as u64);
-    w.begin_array(Some("sweep"));
-    for sample in &report.samples {
-        w.begin_object(None);
-        w.field_u64("workers", sample.workers as u64);
-        w.field_f64("sessions_per_sec", sample.sessions_per_sec, 1);
-        w.field_f64("p50_latency_us", sample.p50_latency_us, 1);
-        w.field_f64("p99_latency_us", sample.p99_latency_us, 1);
-        w.field_u64("accepted", sample.accepted);
-        w.end_object();
-    }
-    w.end_array();
+    let sweep_rows = |w: &mut JsonWriter, name: &str, samples: &[SweepSample]| {
+        w.begin_array(Some(name));
+        for sample in samples {
+            w.begin_object(None);
+            w.field_u64("workers", sample.workers as u64);
+            w.field_f64("sessions_per_sec", sample.sessions_per_sec, 1);
+            w.field_f64("p50_latency_us", sample.p50_latency_us, 1);
+            w.field_f64("p99_latency_us", sample.p99_latency_us, 1);
+            w.field_u64("accepted", sample.accepted);
+            w.end_object();
+        }
+        w.end_array();
+    };
+    sweep_rows(&mut w, "sweep", &report.samples);
     w.field_f64("scaling_first_to_last", report.scaling_first_to_last(), 2);
+    // Loopback-socket rows: same shape, latencies are client-observed round
+    // trips over TCP (`producers` is the client-connection count).
+    sweep_rows(&mut w, "loopback_sweep", &report.loopback);
     w.end_object();
     w.end_object();
     w.finish()
@@ -335,7 +443,8 @@ mod tests {
         };
         let report = measure(&config);
         assert_eq!(report.samples.len(), 2);
-        for sample in &report.samples {
+        assert_eq!(report.loopback.len(), 2);
+        for sample in report.samples.iter().chain(&report.loopback) {
             assert_eq!(sample.accepted, 6, "honest sweep must accept everything");
             assert!(sample.sessions_per_sec > 0.0);
         }
@@ -343,5 +452,6 @@ mod tests {
         assert!(json.contains("\"service\": {"));
         assert!(json.contains("\"schema_version\": 2"));
         assert!(json.contains("\"sweep\": ["));
+        assert!(json.contains("\"loopback_sweep\": ["));
     }
 }

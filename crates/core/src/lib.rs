@@ -35,6 +35,10 @@
 //! | [`pool`] | [`pool::ParallelVerifier`]: a bounded-queue worker pool draining `handle_bytes` work off the ingest thread |
 //! | [`protocol`] | the classic one-call adapter [`protocol::run_attestation`] over the layers above |
 //!
+//! The first real I/O boundary lives outside this crate: the `lofat-net`
+//! workspace member frames these envelopes over TCP (`VerifierServer` /
+//! `ProverClient`) without adding any protocol semantics.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -100,5 +104,6 @@ pub use session::{
 };
 pub use verifier::{Challenge, RejectionReason, Verdict, Verifier};
 pub use wire::{
-    ChallengeMsg, Envelope, EvidenceMsg, Message, SessionId, VerdictMsg, WireError, WIRE_VERSION,
+    ChallengeMsg, Envelope, EvidenceMsg, Message, SessionId, SessionRequestMsg, VerdictMsg,
+    WireError, WIRE_VERSION,
 };

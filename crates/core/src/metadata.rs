@@ -88,21 +88,30 @@ impl Metadata {
     /// and covered by the attestation signature.
     ///
     /// Layout (all little-endian):
-    /// `loop_count:u32` then per loop: `entry:u32, exit:u32, depth:u32,
-    /// overflowed:u8, path_count:u32, {path_id:u32, first_occurrence:u32,
+    /// `loop_count:u32` then per loop: `entry:u32, exit:u32, depth:u64,
+    /// overflowed:u8, path_count:u32, {path_id:u32, first_occurrence:u64,
     /// iterations:u64}*, target_count:u32, {target:u32, code:u32}*`.
+    ///
+    /// The `usize` fields (`nesting_depth`, `first_occurrence`) are encoded at
+    /// their full width, matching the wire codec (which carries `usize` as
+    /// `u64`).  This must stay injective over everything the wire can decode:
+    /// an earlier u32 truncation here meant two distinct wire reports shared
+    /// one signature, so an attacker flipping a high byte of either field
+    /// produced an *authenticated* `MetadataMismatch` that spent the live
+    /// session — a remote denial of service the wire fuzzer
+    /// (`tests/fuzz_wire_net.rs`) caught on its first full run.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
         out.extend_from_slice(&(self.loops.len() as u32).to_le_bytes());
         for l in &self.loops {
             out.extend_from_slice(&l.entry.to_le_bytes());
             out.extend_from_slice(&l.exit.to_le_bytes());
-            out.extend_from_slice(&(l.nesting_depth as u32).to_le_bytes());
+            out.extend_from_slice(&(l.nesting_depth as u64).to_le_bytes());
             out.push(u8::from(l.encoder_overflowed));
             out.extend_from_slice(&(l.paths.len() as u32).to_le_bytes());
             for p in &l.paths {
                 out.extend_from_slice(&p.path_id.to_le_bytes());
-                out.extend_from_slice(&(p.first_occurrence as u32).to_le_bytes());
+                out.extend_from_slice(&(p.first_occurrence as u64).to_le_bytes());
                 out.extend_from_slice(&p.iterations.to_le_bytes());
             }
             out.extend_from_slice(&(l.indirect_targets.len() as u32).to_le_bytes());
@@ -170,8 +179,10 @@ mod tests {
         let b = m.to_bytes();
         assert_eq!(a, b);
         assert_eq!(m.size_bytes(), a.len());
-        // Header + 2 loop headers + 3 paths + 1 target.
-        let expected = 4 + 2 * (4 + 4 + 4 + 1 + 4 + 4) + 3 * (4 + 4 + 8) + (4 + 4);
+        // Header + 2 loop headers (entry + exit + depth:u64 + overflowed +
+        // path count + target count) + 3 paths (id + first_occurrence:u64 +
+        // iterations) + 1 target.
+        let expected = 4 + 2 * (4 + 4 + 8 + 1 + 4 + 4) + 3 * (4 + 8 + 8) + (4 + 4);
         assert_eq!(a.len(), expected);
     }
 

@@ -608,20 +608,50 @@ impl VerifierService {
     /// Only fails if the *outgoing* verdict envelope cannot be encoded, which
     /// would be a bug, not an input property.
     pub fn handle_bytes(&self, bytes: &[u8]) -> Result<Vec<u8>, ServiceError> {
-        let (session, verdict) = match Envelope::decode(bytes) {
+        match Envelope::decode(bytes) {
             Ok(envelope) => {
                 let verdict = self.submit_evidence(&envelope);
-                (envelope.session, verdict)
+                Envelope::new(envelope.session, Message::Verdict(verdict))
+                    .encode()
+                    .map_err(ServiceError::Wire)
             }
-            Err(wire_error) => {
-                // Same accounting path as the typed API (`submit_evidence`),
-                // with the wire-error flag set: the rejection is classified
-                // once, by `record_verdict`, never ad hoc at the call site.
-                self.stats.record_verdict(wire_error.code(), true, false);
-                (SessionId(0), VerdictMsg::rejected(wire_error.code(), wire_error.to_string()))
-            }
-        };
-        Envelope::new(session, Message::Verdict(verdict)).encode().map_err(ServiceError::Wire)
+            Err(wire_error) => self.reject_unparseable(SessionId(0), &wire_error),
+        }
+    }
+
+    /// Records a wire-level failure and returns the encoded rejecting verdict
+    /// envelope, addressed to `session` (use [`SessionId`]`(0)` when the input
+    /// never named one).
+    ///
+    /// This is the *one* accounting path for input that failed before it
+    /// became a typed [`Envelope`]: [`VerifierService::handle_bytes`] routes
+    /// its decode failures here, and socket transports (see the `lofat-net`
+    /// crate) call it for framing-level rejections — an oversized length
+    /// prefix, a frame that ended early — where a complete byte string never
+    /// existed to feed through `handle_bytes`.  Both end up in the same
+    /// `record_verdict` classification as typed rejections (counted under
+    /// [`ServiceStats::wire_errors`], [`ServiceStats::rejected`] and the
+    /// per-code map, never spending a session), which is what keeps the
+    /// conservation law `opened == accepted + sessions_rejected + expired +
+    /// live` exact over socket traffic: malformed bytes arriving mid-session
+    /// can neither consume the session they interrupted nor escape the books.
+    ///
+    /// # Errors
+    ///
+    /// Only fails if the outgoing verdict envelope cannot be encoded, which
+    /// would be a bug, not an input property.
+    pub fn reject_unparseable(
+        &self,
+        session: SessionId,
+        error: &WireError,
+    ) -> Result<Vec<u8>, ServiceError> {
+        self.stats.record_verdict(error.code(), true, false);
+        Envelope::new(
+            session,
+            Message::Verdict(VerdictMsg::rejected(error.code(), error.to_string())),
+        )
+        .encode()
+        .map_err(ServiceError::Wire)
     }
 
     /// The verification pipeline for one envelope.  Does not touch the
@@ -897,6 +927,30 @@ mod tests {
         // One accounting path: the wire error is also a counted rejection.
         assert_eq!(service.stats().rejected, 1);
         assert_eq!(service.stats().rejections_by_code.get(&code::MALFORMED), Some(&1));
+    }
+
+    #[test]
+    fn transport_rejections_share_the_accounting_path() {
+        let (service, _) = setup(vec![vec![1]]);
+        // A transport-level failure (no complete byte string ever existed)
+        // reported through `reject_unparseable` must count exactly like the
+        // same failure surfacing through `handle_bytes`.
+        let live = service.open_session(vec![1]).unwrap();
+        let reply =
+            service.reject_unparseable(live, &WireError::Oversized { len: usize::MAX }).unwrap();
+        let envelope = Envelope::decode(&reply).unwrap();
+        assert_eq!(envelope.session, live, "the verdict is addressed to the hinted session");
+        let Message::Verdict(v) = envelope.message else { panic!("expected verdict") };
+        assert!(!v.accepted);
+        assert_eq!(v.reason_code, code::MALFORMED);
+        let _ = service.handle_bytes(b"also garbage").unwrap();
+        let stats = service.stats();
+        assert_eq!(stats.wire_errors, 2);
+        assert_eq!(stats.rejected, 2);
+        assert_eq!(stats.rejections_by_code.get(&code::MALFORMED), Some(&2));
+        // Neither path consumed the live session the bytes interrupted.
+        assert_eq!(service.live_sessions(), 1);
+        assert!(stats.is_conserved(1));
     }
 
     #[test]

@@ -84,6 +84,10 @@ pub mod code {
     /// The verifier itself failed (e.g. a golden-replay execution error) —
     /// an infrastructure fault, not a statement about the evidence.
     pub const INTERNAL_ERROR: u16 = 72;
+    /// A session request was refused because the service is at its
+    /// live-session limit (try again later; nothing about the prover is
+    /// judged).
+    pub const AT_CAPACITY: u16 = 73;
 }
 
 /// Identifier of one protocol session, unique per [`crate::service::VerifierService`].
@@ -96,6 +100,22 @@ impl fmt::Display for SessionId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "session#{}", self.0)
     }
+}
+
+/// A prover's request to open an attestation session for one program input.
+///
+/// This is the first message a *remote* prover sends when it connects to a
+/// verifier over a transport (see the `lofat-net` crate): in-process embedders
+/// call [`crate::service::VerifierService::open_session`] directly instead.
+/// The verifier answers with either a [`ChallengeMsg`] (the session is open)
+/// or a refusing [`VerdictMsg`] ([`code::PROGRAM_ID_MISMATCH`],
+/// [`code::UNKNOWN_INPUT`] or [`code::AT_CAPACITY`]).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SessionRequestMsg {
+    /// The program the prover wants to attest (`id_S`).
+    pub program_id: String,
+    /// The program input the prover will run under.
+    pub input: Vec<u32>,
 }
 
 /// The challenge `(id_S, i, N)` sent from verifier to prover, plus the
@@ -155,6 +175,13 @@ pub enum Message {
     Evidence(EvidenceMsg),
     /// Verifier → prover/operator: the decision.
     Verdict(VerdictMsg),
+    /// Prover → verifier: open a session for this program and input.
+    ///
+    /// Appended in wire revision 1 of version 1: the variant index extends the
+    /// enum, so envelopes carrying the three original kinds are byte-identical
+    /// to those of earlier builds, and earlier builds reject this kind as a
+    /// malformed body rather than misparsing it.
+    SessionRequest(SessionRequestMsg),
 }
 
 impl Message {
@@ -164,6 +191,7 @@ impl Message {
             Message::Challenge(_) => "challenge",
             Message::Evidence(_) => "evidence",
             Message::Verdict(_) => "verdict",
+            Message::SessionRequest(_) => "session-request",
         }
     }
 }
@@ -388,5 +416,41 @@ mod tests {
     fn message_kinds_are_named() {
         assert_eq!(challenge_envelope().message.kind(), "challenge");
         assert_eq!(Message::Verdict(VerdictMsg::accepted(None)).kind(), "verdict");
+    }
+
+    #[test]
+    fn session_request_round_trips() {
+        let envelope = Envelope::new(
+            SessionId(0),
+            Message::SessionRequest(SessionRequestMsg {
+                program_id: "fig4-loop".into(),
+                input: vec![4],
+            }),
+        );
+        let bytes = envelope.encode().unwrap();
+        let decoded = Envelope::decode(&bytes).unwrap();
+        assert_eq!(decoded, envelope);
+        assert_eq!(decoded.message.kind(), "session-request");
+    }
+
+    #[test]
+    fn session_request_variant_does_not_shift_existing_encodings() {
+        // The new variant is appended, so the original kinds keep their
+        // discriminants: a challenge body still opens with variant index 0.
+        let bytes = challenge_envelope().encode().unwrap();
+        assert_eq!(&bytes[HEADER_BYTES..HEADER_BYTES + 4], &0u32.to_le_bytes());
+        let verdict = Envelope::new(SessionId(1), Message::Verdict(VerdictMsg::accepted(None)))
+            .encode()
+            .unwrap();
+        assert_eq!(&verdict[HEADER_BYTES..HEADER_BYTES + 4], &2u32.to_le_bytes());
+        // ...and the new variant itself sits at index 3, which transports may
+        // peek (without a full decode) to route session requests.
+        let request = Envelope::new(
+            SessionId(0),
+            Message::SessionRequest(SessionRequestMsg { program_id: "p".into(), input: vec![] }),
+        )
+        .encode()
+        .unwrap();
+        assert_eq!(&request[HEADER_BYTES..HEADER_BYTES + 4], &3u32.to_le_bytes());
     }
 }

@@ -1,0 +1,161 @@
+//! Typed errors for the TCP transport.
+
+use lofat::wire::{code, WireError};
+use lofat::LofatError;
+use std::fmt;
+use std::io;
+
+/// Errors produced by the `lofat-net` transport layer.
+///
+/// Every variant that corresponds to a wire-level rejection maps onto the
+/// stable numeric reason codes of [`lofat::wire::code`] via
+/// [`NetError::reason_code`], so a caller can treat a refusal received over
+/// the socket and one produced locally uniformly.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum NetError {
+    /// An I/O failure on the socket (connect, read or write).
+    Io(io::Error),
+    /// A read or write missed its per-connection deadline.
+    Timeout {
+        /// What the connection was doing when the deadline passed.
+        during: &'static str,
+    },
+    /// The peer announced a frame larger than the negotiated maximum.
+    FrameTooLarge {
+        /// The announced payload length.
+        len: usize,
+        /// The maximum this endpoint accepts.
+        max: usize,
+    },
+    /// The peer closed the connection in the middle of a frame.
+    ClosedMidFrame {
+        /// Bytes of the frame that did arrive.
+        got: usize,
+        /// Bytes the frame announced.
+        wanted: usize,
+    },
+    /// The peer closed the connection where a reply frame was expected.
+    Closed,
+    /// A received frame failed wire-level decoding.
+    Wire(WireError),
+    /// The peer answered with a message kind the protocol step cannot accept.
+    UnexpectedMessage {
+        /// The kind this step was waiting for.
+        expected: &'static str,
+        /// The kind found in the envelope.
+        found: &'static str,
+    },
+    /// The verifier refused to open a session, answering a rejecting verdict
+    /// where a challenge was expected.
+    Refused {
+        /// Stable numeric reason ([`lofat::wire::code`]).
+        code: u16,
+        /// Human-readable detail from the verdict.
+        detail: String,
+    },
+    /// The local prover failed to answer the challenge (execution or signing
+    /// error, or a challenge naming a program this prover does not attest).
+    Attest(Box<LofatError>),
+}
+
+impl NetError {
+    /// The stable [`lofat::wire::code`] reason this error corresponds to, when
+    /// there is one.  Transport-only failures (I/O, timeouts, clean closes)
+    /// have no wire code and return `None`.
+    pub fn reason_code(&self) -> Option<u16> {
+        match self {
+            NetError::Wire(e) => Some(e.code()),
+            NetError::FrameTooLarge { .. } => Some(code::MALFORMED),
+            NetError::ClosedMidFrame { .. } => Some(code::MALFORMED),
+            NetError::UnexpectedMessage { .. } => Some(code::UNEXPECTED_MESSAGE),
+            NetError::Refused { code, .. } => Some(*code),
+            _ => None,
+        }
+    }
+
+    /// Classifies an [`io::Error`] from a socket with deadlines configured:
+    /// `WouldBlock`/`TimedOut` become [`NetError::Timeout`], everything else
+    /// stays an I/O error.
+    pub(crate) fn from_io(error: io::Error, during: &'static str) -> Self {
+        match error.kind() {
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => NetError::Timeout { during },
+            _ => NetError::Io(error),
+        }
+    }
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "socket i/o failure: {e}"),
+            NetError::Timeout { during } => write!(f, "deadline passed while {during}"),
+            NetError::FrameTooLarge { len, max } => {
+                write!(f, "peer announced a {len}-byte frame (maximum {max})")
+            }
+            NetError::ClosedMidFrame { got, wanted } => {
+                write!(f, "peer closed mid-frame ({got} of {wanted} bytes arrived)")
+            }
+            NetError::Closed => write!(f, "peer closed where a reply was expected"),
+            NetError::Wire(e) => write!(f, "wire error: {e}"),
+            NetError::UnexpectedMessage { expected, found } => {
+                write!(f, "expected a {expected} message, found a {found} message")
+            }
+            NetError::Refused { code, detail } => {
+                write!(f, "verifier refused the session (code {code}): {detail}")
+            }
+            NetError::Attest(e) => write!(f, "prover failed to answer: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io(e) => Some(e),
+            NetError::Wire(e) => Some(e),
+            NetError::Attest(e) => Some(e.as_ref()),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl From<WireError> for NetError {
+    fn from(e: WireError) -> Self {
+        NetError::Wire(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reason_codes_map_to_the_wire_contract() {
+        assert_eq!(NetError::FrameTooLarge { len: 9, max: 4 }.reason_code(), Some(code::MALFORMED));
+        assert_eq!(
+            NetError::Wire(WireError::UnsupportedVersion { found: 9 }).reason_code(),
+            Some(code::UNSUPPORTED_VERSION)
+        );
+        assert_eq!(
+            NetError::Refused { code: code::AT_CAPACITY, detail: String::new() }.reason_code(),
+            Some(code::AT_CAPACITY)
+        );
+        assert_eq!(NetError::Closed.reason_code(), None);
+        assert_eq!(NetError::Timeout { during: "reading" }.reason_code(), None);
+    }
+
+    #[test]
+    fn timeouts_are_classified_from_io_kinds() {
+        let timeout = io::Error::new(io::ErrorKind::WouldBlock, "slow");
+        assert!(matches!(NetError::from_io(timeout, "reading"), NetError::Timeout { .. }));
+        let broken = io::Error::new(io::ErrorKind::BrokenPipe, "gone");
+        assert!(matches!(NetError::from_io(broken, "writing"), NetError::Io(_)));
+    }
+}

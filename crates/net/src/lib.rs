@@ -1,0 +1,50 @@
+//! # `lofat-net` — the LO-FAT attestation protocol over real sockets.
+//!
+//! Everything below `lofat-net` is sans-I/O: [`lofat::wire`] encodes
+//! envelopes, [`lofat::session`] runs the per-round-trip state machines, and
+//! [`lofat::service::VerifierService`] (with its
+//! [`lofat::pool::ParallelVerifier`] worker pool) judges evidence for
+//! thousands of interleaved sessions.  This crate is the first process-visible
+//! I/O boundary: it frames those envelope bytes over TCP and nothing else —
+//! no verdict, authenticator byte or statistic may depend on whether the
+//! round trip crossed a socket (`tests/e14_network.rs` proves this
+//! differentially against the in-process service).
+//!
+//! * [`frame`] — length-prefixed framing with partial-read/short-write
+//!   handling and a hostile-length bound;
+//! * [`VerifierServer`] — a `TcpListener` front-end for a shared
+//!   `VerifierService`: bounded accept queue, per-connection deadlines,
+//!   verification on the `ParallelVerifier` pool, graceful shutdown that
+//!   drains in-flight verdicts;
+//! * [`ProverClient`] — drives a `ProverSession` bytes-in/bytes-out against a
+//!   remote verifier;
+//! * [`NetError`] — typed failures mapping wire rejections onto the stable
+//!   [`lofat::wire::code`] reason codes.
+//!
+//! One session over the wire (framing in [`frame`], messages in
+//! [`lofat::wire`]):
+//!
+//! ```text
+//! ProverClient                                VerifierServer
+//!      │  frame[ SessionRequest(id_S, i) ]  ──────▶  open_session
+//!      │  ◀──────  frame[ Challenge(id_S, i, N) ]    (or refusing Verdict)
+//!   attest
+//!      │  frame[ Evidence(report) ]  ──────▶  ParallelVerifier → handle_bytes
+//!      │  ◀──────  frame[ Verdict(code, detail) ]
+//! ```
+//!
+//! Everything is std (`TcpListener`/`TcpStream` + threads); the crate adds no
+//! dependencies beyond the workspace's own.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod error;
+pub mod frame;
+pub mod server;
+
+pub use client::{ClientConfig, NetAttestation, ProverClient};
+pub use error::NetError;
+pub use frame::{DEFAULT_MAX_FRAME_BYTES, FRAME_HEADER_BYTES};
+pub use server::{ServerConfig, VerifierServer};

@@ -1,0 +1,555 @@
+//! `VerifierServer` — the sharded verifier service behind a TCP listener.
+//!
+//! The server owns three layers the rest of the workspace already provides
+//! and adds only transport:
+//!
+//! * an accept loop over a [`TcpListener`] with a **bounded connection
+//!   count** — beyond [`ServerConfig::max_connections`] the acceptor stops
+//!   pulling from the kernel backlog until a slot frees, so a connection
+//!   flood backpressures at the socket layer instead of spawning unbounded
+//!   threads;
+//! * one handler thread per connection enforcing **per-connection read/write
+//!   deadlines** and the frame-size bound of [`crate::frame`];
+//! * the existing [`ParallelVerifier`] worker pool: every evidence frame is a
+//!   `handle_bytes` job, so verification parallelism and verdict semantics
+//!   are exactly those of the in-process service.
+//!
+//! Accounting discipline: the server never touches statistics itself.
+//! Well-formed and malformed envelope bytes alike flow through
+//! [`VerifierService::handle_bytes`]; framing-level rejections (an oversized
+//! length prefix, a frame cut short), where a complete byte string never
+//! existed, are reported through [`VerifierService::reject_unparseable`] —
+//! the same `record_verdict` path — so the conservation law
+//! `opened == accepted + sessions_rejected + expired + live` holds over
+//! socket traffic exactly as it does in-process.  Session-request *refusals*
+//! (unknown input, capacity, wrong program) mirror the typed
+//! [`VerifierService::open_session`] errors, which touch no counters either.
+//!
+//! Shutdown is graceful: [`VerifierServer::shutdown`] stops the acceptor,
+//! nudges idle connections closed, waits for handlers to finish writing the
+//! replies already in flight, and drains the pool queue before returning.
+
+use crate::error::NetError;
+use crate::frame::{read_frame, write_frame, DEFAULT_MAX_FRAME_BYTES};
+use lofat::pool::{ParallelVerifier, PoolConfig};
+use lofat::service::{ServiceError, VerifierService};
+use lofat::wire::{code, Envelope, Message, SessionId, SessionRequestMsg, VerdictMsg, WireError};
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tunables of a [`VerifierServer`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Maximum connections served concurrently; the acceptor waits for a free
+    /// slot beyond this (bounded accept queue).
+    pub max_connections: usize,
+    /// Per-connection read deadline (`None` waits forever; the default is
+    /// finite so half-open peers and slow-loris writers cannot pin a handler,
+    /// and so shutdown is never blocked on an idle connection).
+    pub read_timeout: Option<Duration>,
+    /// Per-connection write deadline.
+    pub write_timeout: Option<Duration>,
+    /// Maximum accepted frame payload, in bytes.
+    pub max_frame_bytes: usize,
+    /// Worker-pool shape for the verification work (see [`PoolConfig`]).
+    pub pool: PoolConfig,
+    /// When set, every connection event is appended to this file as it
+    /// happens (one line per event), so a crashed or failing run leaves its
+    /// server log on disk.  The same events are always available in memory
+    /// via [`VerifierServer::events`].
+    pub log_path: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            max_connections: 64,
+            read_timeout: Some(Duration::from_secs(10)),
+            write_timeout: Some(Duration::from_secs(10)),
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            pool: PoolConfig::default(),
+            log_path: None,
+        }
+    }
+}
+
+/// Cap on the in-memory event log (oldest entries are dropped first).
+const MAX_LOG_LINES: usize = 4096;
+
+struct EventLog {
+    lines: Mutex<(u64, std::collections::VecDeque<String>)>,
+    file: Option<Mutex<std::fs::File>>,
+}
+
+impl EventLog {
+    fn new(path: Option<&PathBuf>) -> Self {
+        let file = path.and_then(|p| {
+            if let Some(dir) = p.parent() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+            std::fs::OpenOptions::new().create(true).append(true).open(p).ok().map(Mutex::new)
+        });
+        Self { lines: Mutex::new((0, std::collections::VecDeque::new())), file }
+    }
+
+    fn push(&self, event: String) {
+        let line = {
+            let mut lines = self.lines.lock().expect("log lock poisoned");
+            lines.0 += 1;
+            let line = format!("[{:>6}] {event}", lines.0);
+            lines.1.push_back(line.clone());
+            while lines.1.len() > MAX_LOG_LINES {
+                lines.1.pop_front();
+            }
+            line
+        };
+        if let Some(file) = &self.file {
+            let mut file = file.lock().expect("log file lock poisoned");
+            let _ = writeln!(file, "{line}");
+        }
+    }
+
+    fn snapshot(&self) -> Vec<String> {
+        self.lines.lock().expect("log lock poisoned").1.iter().cloned().collect()
+    }
+}
+
+/// Connection registry: active count for the bounded accept queue plus a
+/// read-half handle per live connection so shutdown can nudge idle handlers
+/// out of their blocking reads.
+#[derive(Default)]
+struct Connections {
+    active: usize,
+    streams: HashMap<u64, TcpStream>,
+}
+
+struct Shared {
+    service: Arc<VerifierService>,
+    pool: ParallelVerifier,
+    read_timeout: Option<Duration>,
+    write_timeout: Option<Duration>,
+    max_frame_bytes: usize,
+    max_connections: usize,
+    shutting_down: AtomicBool,
+    connections: Mutex<Connections>,
+    slot_freed: Condvar,
+    connections_served: AtomicU64,
+    frames_served: AtomicU64,
+    log: EventLog,
+}
+
+/// A verifier service listening on a TCP socket.
+///
+/// Each accepted connection speaks length-prefixed [`Envelope`] frames (see
+/// [`crate::frame`]): a [`Message::SessionRequest`] opens a session and is
+/// answered with the challenge; an evidence frame is verified on the shared
+/// [`ParallelVerifier`] pool and answered with the verdict; anything else —
+/// including bytes that do not decode at all — is answered with the rejecting
+/// verdict the in-process [`VerifierService`] produces for the same input.
+/// One connection may run any number of sessions back to back.
+///
+/// # Example
+///
+/// ```
+/// use lofat::service::{ServiceConfig, VerifierService};
+/// use lofat::{EngineConfig, MeasurementDatabase, Prover, Verifier};
+/// use lofat_crypto::DeviceKey;
+/// use lofat_net::{ProverClient, ServerConfig, VerifierServer};
+/// use lofat_rv32::asm::assemble;
+/// use std::sync::Arc;
+///
+/// let program = assemble(
+///     ".text\nmain:\n    li t0, 4\nloop:\n    addi t0, t0, -1\n    bnez t0, loop\n    ecall\n",
+/// )?;
+/// let key = DeviceKey::from_seed("fleet");
+/// let mut prover = Prover::new(program.clone(), "demo", key.clone());
+/// let verifier = Verifier::new(program, "demo", key.verification_key())?;
+/// let db = MeasurementDatabase::build(&verifier, EngineConfig::default(), vec![vec![]])?;
+/// let service = Arc::new(VerifierService::new(
+///     db,
+///     key.verification_key(),
+///     ServiceConfig::default(),
+/// ));
+///
+/// // Serve on an ephemeral loopback port; attest over a real socket.
+/// let server = VerifierServer::bind("127.0.0.1:0", Arc::clone(&service), ServerConfig::default())?;
+/// let mut client = ProverClient::connect(server.local_addr())?;
+/// let outcome = client.attest(&mut prover, vec![])?;
+/// assert!(outcome.verdict.accepted);
+/// drop(client);
+/// server.shutdown();
+/// assert_eq!(service.stats().accepted, 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct VerifierServer {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for VerifierServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VerifierServer")
+            .field("local_addr", &self.local_addr)
+            .field("connections_served", &self.connections_served())
+            .field("frames_served", &self.frames_served())
+            .finish()
+    }
+}
+
+impl VerifierServer {
+    /// Binds a listener on `addr` (use port 0 for an ephemeral port), spawns
+    /// the verification pool and the acceptor thread, and starts serving.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Io`] if the listener cannot be bound.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        service: Arc<VerifierService>,
+        config: ServerConfig,
+    ) -> Result<Self, NetError> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let pool = ParallelVerifier::spawn(Arc::clone(&service), config.pool);
+        let shared = Arc::new(Shared {
+            service,
+            pool,
+            read_timeout: config.read_timeout,
+            write_timeout: config.write_timeout,
+            max_frame_bytes: config.max_frame_bytes,
+            max_connections: config.max_connections.max(1),
+            shutting_down: AtomicBool::new(false),
+            connections: Mutex::new(Connections::default()),
+            slot_freed: Condvar::new(),
+            connections_served: AtomicU64::new(0),
+            frames_served: AtomicU64::new(0),
+            log: EventLog::new(config.log_path.as_ref()),
+        });
+        shared.log.push(format!(
+            "listen addr={local_addr} program={} workers={} max_connections={}",
+            shared.service.program_id(),
+            shared.pool.worker_count(),
+            shared.max_connections,
+        ));
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("lofat-net-accept".into())
+                .spawn(move || accept_loop(&listener, &shared))
+                .expect("spawn acceptor")
+        };
+        Ok(Self { shared, local_addr, acceptor: Some(acceptor) })
+    }
+
+    /// The bound address (with the actual port when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The service this server fronts.
+    pub fn service(&self) -> &Arc<VerifierService> {
+        &self.shared.service
+    }
+
+    /// Connections accepted over the server lifetime.
+    pub fn connections_served(&self) -> u64 {
+        self.shared.connections_served.load(Ordering::Relaxed)
+    }
+
+    /// Frames answered over the server lifetime.
+    pub fn frames_served(&self) -> u64 {
+        self.shared.frames_served.load(Ordering::Relaxed)
+    }
+
+    /// Connections currently being served.
+    pub fn active_connections(&self) -> usize {
+        self.shared.connections.lock().expect("connection lock poisoned").active
+    }
+
+    /// A snapshot of the in-memory event log (the most recent few thousand
+    /// events; the full history goes to [`ServerConfig::log_path`] when set).
+    pub fn events(&self) -> Vec<String> {
+        self.shared.log.snapshot()
+    }
+
+    /// Gracefully shuts the server down: stop accepting, nudge idle
+    /// connections closed, let handlers finish the replies already in
+    /// flight, then drain the verification pool.  In-flight verdicts are
+    /// delivered, not dropped.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.shared.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.shared.log.push("shutdown requested".into());
+        // Wake an acceptor waiting for a slot.  No handler is spawned (or
+        // registered) after this point: the acceptor re-checks the flag
+        // before serving anything it accepts.
+        self.shared.slot_freed.notify_all();
+        // Close the read half of every live connection: handlers blocked in
+        // `read_frame` observe EOF and wind down after flushing their reply;
+        // handlers mid-verification still write their verdict (the write
+        // half stays open).  This must happen before joining the acceptor —
+        // the acceptor joins the handlers, and a handler parked in a read
+        // would otherwise hold that join until its deadline.
+        {
+            let connections = self.shared.connections.lock().expect("connection lock poisoned");
+            for stream in connections.streams.values() {
+                let _ = stream.shutdown(Shutdown::Read);
+            }
+        }
+        // Unblock an acceptor parked in accept(), then collect it (it joins
+        // every handler on the way out).  A wildcard bind address is not
+        // connectable everywhere — aim the wake-up at loopback on the bound
+        // port instead.
+        let mut wake = self.local_addr;
+        if wake.ip().is_unspecified() {
+            wake.set_ip(match wake {
+                SocketAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                SocketAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+            });
+        }
+        let _ = TcpStream::connect(wake);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        self.shared.log.push(format!(
+            "shutdown complete connections={} frames={}",
+            self.connections_served(),
+            self.frames_served(),
+        ));
+        // Dropping the last `Shared` handle (handlers are gone) closes the
+        // pool queue and joins its workers, draining queued jobs.
+    }
+}
+
+impl Drop for VerifierServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    let mut next_id = 0u64;
+    loop {
+        // Bounded accept queue: do not pull another connection off the
+        // backlog until a handler slot is free.
+        {
+            let mut connections = shared.connections.lock().expect("connection lock poisoned");
+            while connections.active >= shared.max_connections
+                && !shared.shutting_down.load(Ordering::SeqCst)
+            {
+                connections = shared.slot_freed.wait(connections).expect("connection lock");
+            }
+            if shared.shutting_down.load(Ordering::SeqCst) {
+                break;
+            }
+            connections.active += 1;
+        }
+        let (stream, peer) = match listener.accept() {
+            Ok(accepted) => accepted,
+            Err(e) => {
+                release_slot(shared, None);
+                shared.log.push(format!("accept error: {e}"));
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+        };
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            // The wake-up connection from `shutdown` (or anything racing it).
+            release_slot(shared, None);
+            break;
+        }
+        next_id += 1;
+        let id = next_id;
+        shared.connections_served.fetch_add(1, Ordering::Relaxed);
+        shared.log.push(format!("accept id={id} peer={peer}"));
+        if let Ok(read_half) = stream.try_clone() {
+            shared.connections.lock().expect("connection lock").streams.insert(id, read_half);
+        }
+        handlers.retain(|handle| !handle.is_finished());
+        let worker = {
+            let shared = Arc::clone(shared);
+            std::thread::Builder::new()
+                .name(format!("lofat-net-conn-{id}"))
+                .spawn(move || {
+                    serve_connection(&shared, stream, id);
+                    release_slot(&shared, Some(id));
+                })
+                .expect("spawn connection handler")
+        };
+        handlers.push(worker);
+    }
+    for handle in handlers {
+        let _ = handle.join();
+    }
+}
+
+fn release_slot(shared: &Shared, id: Option<u64>) {
+    let mut connections = shared.connections.lock().expect("connection lock poisoned");
+    connections.active -= 1;
+    if let Some(id) = id {
+        connections.streams.remove(&id);
+    }
+    shared.slot_freed.notify_all();
+}
+
+/// Serves one connection until the peer closes, a deadline fires, framing
+/// desynchronises, or shutdown is requested.
+fn serve_connection(shared: &Shared, mut stream: TcpStream, id: u64) {
+    let _ = stream.set_read_timeout(shared.read_timeout);
+    let _ = stream.set_write_timeout(shared.write_timeout);
+    // Verdicts are small frames in a request/response rhythm: never let
+    // Nagle hold one back waiting for payload that is not coming.
+    let _ = stream.set_nodelay(true);
+    let mut frames = 0u64;
+    loop {
+        let frame = match read_frame(&mut stream, shared.max_frame_bytes) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => {
+                shared.log.push(format!("close id={id} frames={frames} (peer closed)"));
+                return;
+            }
+            Err(NetError::FrameTooLarge { len, max }) => {
+                // The length prefix itself is hostile.  No complete byte
+                // string exists to feed `handle_bytes`, so report it through
+                // the service's shared accounting path, answer the verdict,
+                // and close (the stream cannot be resynchronised).
+                if let Ok(reply) =
+                    shared.service.reject_unparseable(SessionId(0), &WireError::Oversized { len })
+                {
+                    let _ = write_frame(&mut stream, &reply, shared.max_frame_bytes);
+                }
+                shared.log.push(format!(
+                    "close id={id} frames={frames} (frame of {len} bytes exceeds {max})"
+                ));
+                return;
+            }
+            Err(NetError::ClosedMidFrame { got, wanted }) => {
+                // A truncated frame still enters the books (same path as a
+                // truncated envelope through `handle_bytes`); the peer is
+                // gone, so there is nobody to answer.
+                let _ = shared.service.reject_unparseable(
+                    SessionId(0),
+                    &WireError::Truncated { needed: wanted, have: got },
+                );
+                shared
+                    .log
+                    .push(format!("close id={id} frames={frames} (mid-frame EOF {got}/{wanted})"));
+                return;
+            }
+            Err(NetError::Timeout { .. }) => {
+                shared.log.push(format!("close id={id} frames={frames} (read deadline)"));
+                return;
+            }
+            Err(e) => {
+                shared.log.push(format!("close id={id} frames={frames} (read error: {e})"));
+                return;
+            }
+        };
+        let reply = if is_session_request_frame(&frame) {
+            match Envelope::decode(&frame) {
+                Ok(Envelope { message: Message::SessionRequest(request), .. }) => {
+                    session_request_reply(shared, &request)
+                }
+                // The peek was optimistic; let the service classify whatever
+                // this really is (counted like any other malformed input).
+                _ => shared.service.handle_bytes(&frame),
+            }
+        } else {
+            // Evidence, misdirected kinds, replays and malformed bytes: all
+            // verification and classification runs on the pool via
+            // `handle_bytes`, which decodes exactly once and never panics.
+            shared.pool.submit(frame).wait().reply
+        };
+        let reply = match reply {
+            Ok(reply) => reply,
+            Err(e) => {
+                shared.log.push(format!("close id={id} frames={frames} (service error: {e})"));
+                return;
+            }
+        };
+        // Count the frame *before* the reply hits the wire: the instant the
+        // peer can observe its verdict, the counter already includes it.
+        frames += 1;
+        shared.frames_served.fetch_add(1, Ordering::Relaxed);
+        if let Err(e) = write_frame(&mut stream, &reply, shared.max_frame_bytes) {
+            shared.log.push(format!("close id={id} frames={frames} (write failed: {e})"));
+            return;
+        }
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            shared.log.push(format!("close id={id} frames={frames} (shutdown)"));
+            return;
+        }
+    }
+}
+
+/// The serde variant index of [`Message::SessionRequest`] (pinned by the
+/// wire-format tests in `lofat::wire`): declaration order `Challenge` = 0,
+/// `Evidence` = 1, `Verdict` = 2, `SessionRequest` = 3.
+const SESSION_REQUEST_VARIANT: [u8; 4] = 3u32.to_le_bytes();
+
+/// Cheap structural peek: does this frame *look like* a current-version
+/// session-request envelope?  Avoids fully decoding evidence bodies (the
+/// largest message in the protocol) on the ingest thread just to learn the
+/// message kind — evidence goes to the pool, which decodes exactly once.  A
+/// false positive merely costs one inline decode; a false negative is
+/// impossible for well-formed frames (the fields checked here are fixed
+/// offsets of the envelope header).
+fn is_session_request_frame(frame: &[u8]) -> bool {
+    use lofat::wire::{HEADER_BYTES, WIRE_MAGIC, WIRE_VERSION};
+    frame.len() >= HEADER_BYTES + 4
+        && frame[..4] == WIRE_MAGIC
+        && frame[4..6] == WIRE_VERSION.to_le_bytes()
+        && frame[HEADER_BYTES..HEADER_BYTES + 4] == SESSION_REQUEST_VARIANT
+}
+
+/// Answers a [`Message::SessionRequest`]: the challenge envelope on success,
+/// a refusing verdict otherwise.  Refusals mirror the typed
+/// [`VerifierService::open_session`] errors, which do not touch statistics —
+/// an unopened session has nothing to conserve.
+fn session_request_reply(
+    shared: &Shared,
+    request: &SessionRequestMsg,
+) -> Result<Vec<u8>, ServiceError> {
+    let service = &shared.service;
+    let refusal = if request.program_id != service.program_id() {
+        VerdictMsg::rejected(
+            code::PROGRAM_ID_MISMATCH,
+            format!(
+                "this verifier attests `{}`, not `{}`",
+                service.program_id(),
+                request.program_id
+            ),
+        )
+    } else {
+        match service.open_session(request.input.clone()) {
+            Ok(id) => {
+                return service.challenge_envelope(id)?.encode().map_err(ServiceError::Wire);
+            }
+            Err(ServiceError::UnknownInput { input }) => VerdictMsg::rejected(
+                code::UNKNOWN_INPUT,
+                format!("no reference measurement precomputed for input {input:?}"),
+            ),
+            Err(ServiceError::AtCapacity { live, max }) => VerdictMsg::rejected(
+                code::AT_CAPACITY,
+                format!("live-session limit reached ({live}/{max}), try again later"),
+            ),
+            Err(other) => VerdictMsg::rejected(code::INTERNAL_ERROR, other.to_string()),
+        }
+    };
+    Envelope::new(SessionId(0), Message::Verdict(refusal)).encode().map_err(ServiceError::Wire)
+}

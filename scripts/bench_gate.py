@@ -10,6 +10,13 @@ tolerance:
 * ``BENCH_service.json``  -> best ``sessions_per_sec`` across the worker sweep
   (sharded VerifierService + ParallelVerifier pool)
 
+``BENCH_service.json`` may additionally carry a ``loopback_sweep`` section
+(the same points served over a lofat-net TCP socket on 127.0.0.1).  Those
+rows are printed for the record but deliberately *not* gated: loopback
+round-trip latency is far more sensitive to kernel/scheduler noise on shared
+CI runners than the in-process numbers, and the transport adds no
+verification semantics to regress (e14 proves that differentially).
+
 The gate is one-sided: faster-than-baseline runs always pass (refresh the
 committed baselines with ``lofat bench-json`` / ``lofat serve-bench`` when an
 improvement should become the new floor).  The scaling ratio of the worker
@@ -57,6 +64,24 @@ def service_metric(document, path):
     return max(rates)
 
 
+def loopback_info(document, path):
+    """Prints the loopback-socket rows when present (informational only)."""
+    sweep = document.get("service", {}).get("loopback_sweep")
+    if not sweep:
+        return
+    for sample in sweep:
+        try:
+            print(
+                f"  loopback ({path}): {sample['workers']} worker(s) "
+                f"{float(sample['sessions_per_sec']):>10.1f} sessions/sec, "
+                f"p50 {float(sample['p50_latency_us']):>8.1f} us, "
+                f"p99 {float(sample['p99_latency_us']):>8.1f} us "
+                f"(not gated)"
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            sys.exit(f"{path}: malformed loopback_sweep row: {error}")
+
+
 def check(name, baseline, current, tolerance):
     floor = baseline * (1.0 - tolerance)
     ratio = current / baseline if baseline > 0 else float("inf")
@@ -89,12 +114,16 @@ def main():
         e10_metric(load(args.e10_current), args.e10_current),
         args.tolerance,
     )
+    service_baseline = load(args.service_baseline)
+    service_current = load(args.service_current)
     ok &= check(
         "service sessions/sec",
-        service_metric(load(args.service_baseline), args.service_baseline),
-        service_metric(load(args.service_current), args.service_current),
+        service_metric(service_baseline, args.service_baseline),
+        service_metric(service_current, args.service_current),
         args.tolerance,
     )
+    loopback_info(service_baseline, args.service_baseline)
+    loopback_info(service_current, args.service_current)
     if not ok:
         sys.exit(
             f"bench gate: regression beyond the {args.tolerance:.0%} tolerance "

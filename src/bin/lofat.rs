@@ -8,6 +8,8 @@
 //! lofat attest <file.s|workload> [inputs..]  run under the LO-FAT engine and print
 //!                                            the measurement (A, L, stats)
 //! lofat verify <file.s|workload> [inputs..]  full prover/verifier round trip
+//! lofat serve <workload> [--addr A]        verifier service on a TCP socket
+//! lofat attest <workload> --connect ADDR   attest against a remote verifier
 //! lofat area [l n depth]                   area model for a configuration
 //! lofat bench-json [--out F] [--smoke]     write the E10 hot-path trajectory JSON
 //! lofat serve-bench [--out F] [--smoke]    sweep the sharded service over worker
@@ -17,6 +19,7 @@
 //! Arguments that name a file ending in `.s`/`.asm` are assembled from disk; any
 //! other name is looked up in the `lofat-workloads` catalogue.
 
+use lofat::pool::PoolConfig;
 use lofat::protocol::run_attestation;
 use lofat::session::ProverSession;
 use lofat::wire::{Envelope, EvidenceMsg, Message};
@@ -24,10 +27,12 @@ use lofat::{
     AreaModel, EngineConfig, MeasurementDatabase, Prover, ServiceConfig, Verifier, VerifierService,
 };
 use lofat_crypto::DeviceKey;
+use lofat_net::{ProverClient, ServerConfig, VerifierServer};
 use lofat_rv32::asm::assemble;
 use lofat_rv32::{disasm, Cpu, Program};
 use lofat_workloads::{attack, catalog};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -43,6 +48,7 @@ fn main() -> ExitCode {
         "attest" => cmd_attest(&args[1..]),
         "verify" => cmd_verify(&args[1..]),
         "sessions" => cmd_sessions(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
         "area" => cmd_area(&args[1..]),
         "bench-json" => cmd_bench_json(&args[1..]),
         "serve-bench" => cmd_serve_bench(&args[1..]),
@@ -74,6 +80,15 @@ commands:
                                      run N interleaved sessions (honest +
                                      adversarial mix) through VerifierService
                                      and print the service stats table
+  serve <workload> [--addr A] [--shards S] [--workers K] [--inputs i1,i2 ..]
+        [--deadline-cycles D]        serve the VerifierService for one workload
+                                     over TCP (default addr 127.0.0.1:4508)
+                                     until interrupted; the session clock
+                                     ticks at 1 cycle/us and stale sessions
+                                     are swept (default deadline: 60s)
+  attest <workload> [inputs..] --connect ADDR
+                                     attest against a remote `lofat serve`
+                                     instead of the local engine
   area [l n depth]                   print the area model estimate
   bench-json [--out FILE] [--smoke]  measure hot-path throughput (E10) and
                                      write the trajectory JSON (default:
@@ -185,6 +200,13 @@ fn cmd_run(args: &[String]) -> CliResult {
 }
 
 fn cmd_attest(args: &[String]) -> CliResult {
+    // `--connect ADDR` switches from the local engine to a remote verifier.
+    if let Some(at) = args.iter().position(|a| a == "--connect") {
+        let addr = args.get(at + 1).ok_or("attest: --connect requires an address")?.clone();
+        let mut rest = args.to_vec();
+        rest.drain(at..=at + 1);
+        return cmd_attest_remote(&rest, &addr);
+    }
     let name = args.first().ok_or("attest: missing <file.s|workload>")?;
     let (program, label) = load_program(name)?;
     let input = parse_inputs(&args[1..])?;
@@ -206,6 +228,146 @@ fn cmd_attest(args: &[String]) -> CliResult {
     println!("max loop nesting     : {}", stats.max_nesting_observed);
     println!("max call depth       : {}", stats.max_call_depth);
     Ok(())
+}
+
+/// `lofat attest <workload> [inputs..] --connect ADDR` — run the attested
+/// execution locally and let a remote `lofat serve` judge the evidence.
+fn cmd_attest_remote(args: &[String], addr: &str) -> CliResult {
+    let name = args.first().ok_or("attest: missing <file.s|workload>")?;
+    let (program, label) = load_program(name)?;
+    let input = parse_inputs(&args[1..])?;
+    let input = if input.is_empty() { default_input_for(name).unwrap_or_default() } else { input };
+    let key = DeviceKey::from_seed("lofat-cli-fleet");
+    let mut prover = Prover::new(program, label.clone(), key);
+    let mut client = ProverClient::connect(addr)?;
+    let outcome = client.attest(&mut prover, input.clone())?;
+    println!("program   : {label}");
+    println!("verifier  : {addr}");
+    println!("session   : {}", outcome.session);
+    println!("input     : {input:?}");
+    if outcome.verdict.accepted {
+        println!("verdict   : ACCEPTED");
+        if let Some(result) = outcome.verdict.expected_result {
+            println!("result    : {result}");
+        }
+    } else {
+        println!(
+            "verdict   : REJECTED — code {} ({})",
+            outcome.verdict.reason_code, outcome.verdict.detail
+        );
+    }
+    println!(
+        "wire      : {} challenge + {} evidence bytes",
+        outcome.challenge_bytes.len(),
+        outcome.evidence_bytes.len()
+    );
+    Ok(())
+}
+
+/// The catalogue default input for `name`, when it names a workload.
+fn default_input_for(name: &str) -> Option<Vec<u32>> {
+    catalog::by_name(name).map(|w| w.default_input)
+}
+
+/// `lofat serve` — put the sharded `VerifierService` for one workload behind
+/// a TCP listener and serve until interrupted.
+fn cmd_serve(args: &[String]) -> CliResult {
+    let mut workload_name: Option<String> = None;
+    let mut addr = "127.0.0.1:4508".to_string();
+    let mut shards = 4usize;
+    let mut workers = 2usize;
+    // Serve mode ticks the logical clock at 1 cycle/µs (see below), so this
+    // default gives an unanswered challenge 60 seconds before it is swept.
+    let mut deadline_cycles = 60_000_000u64;
+    let mut inputs: Option<Vec<Vec<u32>>> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--addr" => addr = iter.next().ok_or("serve: --addr requires host:port")?.clone(),
+            "--shards" => {
+                shards = iter.next().ok_or("serve: --shards needs S")?.parse()?;
+            }
+            "--workers" => {
+                workers = iter.next().ok_or("serve: --workers needs K")?.parse()?;
+            }
+            "--deadline-cycles" => {
+                deadline_cycles =
+                    iter.next().ok_or("serve: --deadline-cycles needs a count")?.parse()?;
+            }
+            "--inputs" => {
+                // Comma-separated words per input; repeat the flag for more.
+                let list = iter.next().ok_or("serve: --inputs needs a list like 3,5")?;
+                let parsed = list
+                    .split(',')
+                    .filter(|w| !w.is_empty())
+                    .map(|w| w.trim().parse())
+                    .collect::<Result<Vec<u32>, _>>()
+                    .map_err(|_| format!("serve: invalid --inputs list `{list}`"))?;
+                inputs.get_or_insert_with(Vec::new).push(parsed);
+            }
+            other if !other.starts_with("--") => workload_name = Some(other.to_string()),
+            other => return Err(format!("serve: unknown argument `{other}`").into()),
+        }
+    }
+    let name = workload_name.ok_or("serve: missing <workload>")?;
+    let workload = catalog::by_name(&name)
+        .ok_or_else(|| format!("`{name}` is not a known workload (try `lofat workloads`)"))?;
+    let program = workload.program()?;
+    let inputs = inputs.unwrap_or_else(|| vec![workload.default_input.clone()]);
+
+    let key = DeviceKey::from_seed("lofat-cli-fleet");
+    let verifier = Verifier::new(program, workload.name, key.verification_key())?;
+    eprintln!("precomputing {} reference measurement(s) for `{name}`…", inputs.len());
+    let db = MeasurementDatabase::build(&verifier, EngineConfig::default(), inputs.clone())?;
+    let config = ServiceConfig {
+        session_deadline_cycles: deadline_cycles,
+        shards,
+        ..ServiceConfig::default()
+    };
+    let service = Arc::new(VerifierService::new(db, key.verification_key(), config));
+    let server_config =
+        ServerConfig { pool: PoolConfig::with_workers(workers), ..ServerConfig::default() };
+    let server = VerifierServer::bind(addr.as_str(), Arc::clone(&service), server_config)?;
+    println!(
+        "serving `{name}` on {} ({} shard{}, {} worker{}, inputs {:?})",
+        server.local_addr(),
+        shards,
+        if shards == 1 { "" } else { "s" },
+        workers,
+        if workers == 1 { "" } else { "s" },
+        inputs,
+    );
+    println!("attest against it with: lofat attest {name} --connect {}", server.local_addr());
+    // The service deadline clock is logical (`advance_clock`); the transport
+    // deliberately never touches it (e14 relies on that), so serve mode must
+    // drive it itself: one cycle per microsecond of wall time, ticked every
+    // few seconds with a sweep — abandoned session requests expire and
+    // release capacity instead of pinning `max_live_sessions` forever.
+    let started = std::time::Instant::now();
+    let mut ticks = 0u64;
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(5));
+        let now_cycles = started.elapsed().as_micros() as u64;
+        service.advance_clock(now_cycles.saturating_sub(service.now_cycles()));
+        let swept = service.expire_stale();
+        if swept > 0 {
+            println!("[expiry] swept {swept} stale session(s)");
+        }
+        ticks += 1;
+        // A stats pulse once a minute.
+        if ticks.is_multiple_of(12) {
+            let stats = service.stats();
+            println!(
+                "[stats] opened {} accepted {} rejected {} replays {} expired {} live {}",
+                stats.sessions_opened,
+                stats.accepted,
+                stats.rejected,
+                stats.replays_blocked,
+                stats.expired,
+                service.live_sessions(),
+            );
+        }
+    }
 }
 
 fn cmd_verify(args: &[String]) -> CliResult {
@@ -495,11 +657,16 @@ fn cmd_serve_bench(args: &[String]) -> CliResult {
         if smoke { ", smoke mode" } else { "" }
     );
     let report = measure(&config);
-    for sample in &report.samples {
+    for (mode, sample) in report
+        .samples
+        .iter()
+        .map(|s| ("in-process", s))
+        .chain(report.loopback.iter().map(|s| ("loopback", s)))
+    {
         if sample.accepted != config.sessions as u64 {
             return Err(format!(
-                "serve-bench: only {}/{} sessions accepted at {} workers — the honest sweep \
-                 must accept everything",
+                "serve-bench: only {}/{} sessions accepted at {} workers ({mode}) — the honest \
+                 sweep must accept everything",
                 sample.accepted, config.sessions, sample.workers
             )
             .into());
@@ -507,11 +674,23 @@ fn cmd_serve_bench(args: &[String]) -> CliResult {
     }
     std::fs::write(&out_path, to_json(&report))?;
 
-    println!("{:>8} {:>16} {:>14} {:>14}", "workers", "sessions/sec", "p50 (µs)", "p99 (µs)");
-    for sample in &report.samples {
+    println!(
+        "{:>12} {:>8} {:>16} {:>14} {:>14}",
+        "mode", "workers", "sessions/sec", "p50 (µs)", "p99 (µs)"
+    );
+    for (mode, sample) in report
+        .samples
+        .iter()
+        .map(|s| ("in-process", s))
+        .chain(report.loopback.iter().map(|s| ("loopback", s)))
+    {
         println!(
-            "{:>8} {:>16.1} {:>14.1} {:>14.1}",
-            sample.workers, sample.sessions_per_sec, sample.p50_latency_us, sample.p99_latency_us
+            "{:>12} {:>8} {:>16.1} {:>14.1} {:>14.1}",
+            mode,
+            sample.workers,
+            sample.sessions_per_sec,
+            sample.p50_latency_us,
+            sample.p99_latency_us,
         );
     }
     println!(

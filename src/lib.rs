@@ -12,5 +12,13 @@ pub use lofat;
 pub use lofat_cfg;
 pub use lofat_cflat;
 pub use lofat_crypto;
+pub use lofat_net;
 pub use lofat_rv32;
 pub use lofat_workloads;
+
+// The network transport is the newest layer; surface its entry points at the
+// umbrella root so examples and downstreams can reach them without spelling
+// the member crate.
+pub use lofat_net::{
+    ClientConfig, NetAttestation, NetError, ProverClient, ServerConfig, VerifierServer,
+};

@@ -107,6 +107,42 @@ pub fn workload_service(
     (program, VerifierService::new(db, key, config), prover)
 }
 
+/// Builds a [`VerifierService`] for a catalogue workload wrapped in the
+/// `Arc` the network server wants, plus the matched prover (see
+/// [`workload_service`]).
+pub fn workload_service_arc(
+    name: &str,
+    seed: &str,
+    inputs: &[Vec<u32>],
+    config: ServiceConfig,
+) -> (Program, std::sync::Arc<VerifierService>, Prover) {
+    let (program, service, prover) = workload_service(name, seed, inputs, config);
+    (program, std::sync::Arc::new(service), prover)
+}
+
+/// A [`lofat_net::ServerConfig`] for the network suites: short deadlines (the
+/// tests run on loopback) and a per-test server log under `target/e14/` (or
+/// `$E14_LOG_DIR`) so a failing CI run can upload what the server saw.
+pub fn net_server_config(test_name: &str) -> lofat_net::ServerConfig {
+    let dir = std::env::var("E14_LOG_DIR").unwrap_or_else(|_| "target/e14".to_string());
+    lofat_net::ServerConfig {
+        read_timeout: Some(std::time::Duration::from_secs(5)),
+        write_timeout: Some(std::time::Duration::from_secs(5)),
+        log_path: Some(std::path::Path::new(&dir).join(format!("{test_name}.log"))),
+        ..lofat_net::ServerConfig::default()
+    }
+}
+
+/// Decodes an encoded verdict envelope and returns its [`lofat::VerdictMsg`],
+/// panicking on any other message kind (the shape every service/transport
+/// reply in the e13/e14/fuzz suites must have).
+pub fn decode_verdict(bytes: &[u8]) -> lofat::VerdictMsg {
+    match lofat::Envelope::decode(bytes).expect("verdict envelope decodes").message {
+        lofat::Message::Verdict(v) => v,
+        other => panic!("expected a verdict, got {}", other.kind()),
+    }
+}
+
 /// Asserts the service-stats conservation law: every opened session is
 /// accounted for exactly once — accepted, spent by an authenticated
 /// rejection, expired, or still live.  (Unauthenticated rejections — bad

@@ -117,13 +117,6 @@ fn generate_fleet(
     Fleet { challenges, evidence, inputs }
 }
 
-fn decode_verdict(bytes: &[u8]) -> VerdictMsg {
-    match Envelope::decode(bytes).expect("verdict envelope decodes").message {
-        Message::Verdict(v) => v,
-        other => panic!("expected a verdict, got {}", other.kind()),
-    }
-}
-
 /// Submits `submissions` (in deterministic per-index association) and returns
 /// the decoded verdict per index.  `workers == 0` drives the service
 /// sequentially on this thread; otherwise a [`ParallelVerifier`] pool with
@@ -136,7 +129,7 @@ fn drive(
     if workers == 0 {
         return submissions
             .iter()
-            .map(|bytes| decode_verdict(&service.handle_bytes(bytes).expect("encodes")))
+            .map(|bytes| common::decode_verdict(&service.handle_bytes(bytes).expect("encodes")))
             .collect();
     }
     let pool = ParallelVerifier::spawn(
@@ -161,7 +154,7 @@ fn drive(
                     let tickets = pool.submit_batch(chunk.iter().map(|(_, bytes)| bytes.clone()));
                     for ((index, _), ticket) in chunk.iter().zip(tickets) {
                         let reply = ticket.wait();
-                        let verdict = decode_verdict(&reply.reply.expect("encodes"));
+                        let verdict = common::decode_verdict(&reply.reply.expect("encodes"));
                         verdicts.lock().unwrap()[*index] = Some(verdict);
                     }
                 }
@@ -341,7 +334,7 @@ fn expiry_and_sweep_agree_across_shard_counts() {
         // Late evidence now bounces as replays (the nonces are spent).
         let verdicts: Vec<VerdictMsg> = evidence
             .iter()
-            .map(|bytes| decode_verdict(&service.handle_bytes(bytes).unwrap()))
+            .map(|bytes| common::decode_verdict(&service.handle_bytes(bytes).unwrap()))
             .collect();
         for verdict in &verdicts {
             assert_eq!(verdict.reason_code, code::NONCE_REPLAYED, "{verdict:?}");
@@ -393,8 +386,9 @@ fn replay_hammer_accepts_each_nonce_exactly_once() {
                     let mut accepted = vec![0u64; evidence.len()];
                     for offset in 0..evidence.len() {
                         let index = (offset + t * 7) % evidence.len();
-                        let verdict =
-                            decode_verdict(&service.handle_bytes(&evidence[index]).unwrap());
+                        let verdict = common::decode_verdict(
+                            &service.handle_bytes(&evidence[index]).unwrap(),
+                        );
                         if verdict.accepted {
                             accepted[index] += 1;
                         }

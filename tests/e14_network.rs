@@ -1,0 +1,556 @@
+//! E14 — the attestation protocol over real sockets.
+//!
+//! `lofat-net` is pure transport: putting `VerifierServer`/`ProverClient`
+//! between the prover and the sharded `VerifierService` must change *no*
+//! byte of any challenge, no verdict and no statistic relative to driving the
+//! same service in-process.  Families of checks:
+//!
+//! * **Differential equivalence** — for every catalogue workload (honest
+//!   traffic mixed with adversarial runs and forged signatures) and for every
+//!   stock adversary class, the socket path produces byte-identical
+//!   challenges, byte-identical verdict envelopes (phase 1 and a full replay
+//!   phase 2) and an equal `ServiceStats` snapshot vs the in-process
+//!   reference.
+//! * **Concurrency** — several clients attesting at once through one server
+//!   all succeed, and the books still balance.
+//! * **Hostile framing mid-session** — garbage frames, bad versions,
+//!   oversized length prefixes and truncated frames are answered (or closed)
+//!   without panicking, are counted through the same `record_verdict` path as
+//!   typed rejections, and never consume the session they interrupted — the
+//!   conservation law `opened == accepted + sessions_rejected + expired +
+//!   live` holds over socket traffic.
+//! * **Lifecycle** — expiry and session-request refusals surface the stable
+//!   wire codes over the socket; graceful shutdown drains in-flight verdicts.
+//!
+//! `E14_SESSIONS` overrides the per-workload session count (CI runs a debug
+//! smoke pass and a full-scale release pass, mirroring e12/e13).  Each test
+//! writes the server's event log under `target/e14/` (override with
+//! `E14_LOG_DIR`) so CI can upload what the server saw on failure.
+
+mod common;
+
+use lofat::session::ProverSession;
+use lofat::wire::{code, Envelope, EvidenceMsg, Message, SessionId};
+use lofat::{ServiceConfig, ServiceStats};
+use lofat_crypto::Digest;
+use lofat_net::{NetError, ProverClient, VerifierServer};
+use lofat_rv32::Program;
+use lofat_workloads::{attack, catalog};
+use std::sync::Arc;
+
+fn sessions_per_workload() -> usize {
+    std::env::var("E14_SESSIONS").ok().and_then(|v| v.parse().ok()).unwrap_or(64).max(4)
+}
+
+/// Session `i`'s role in the deterministic traffic mix: honest (kinds 0–1),
+/// the scenario's adversary (kind 2) or a flipped-authenticator forgery that
+/// breaks the signature (kind 3).
+fn evidence_kind(index: usize) -> usize {
+    index % 4
+}
+
+struct Fleet {
+    /// Encoded challenge envelope per session, as a fresh service issues them.
+    challenges: Vec<Vec<u8>>,
+    /// Encoded evidence envelope per session.
+    evidence: Vec<Vec<u8>>,
+    /// Session inputs, in open order.
+    inputs: Vec<Vec<u32>>,
+}
+
+/// Pre-generates the fleet's traffic against a throwaway service: nonces are
+/// deterministic, so the same bytes answer every fresh service instance —
+/// including the one behind the TCP server.
+fn generate_fleet(
+    name: &str,
+    seed: &str,
+    input_pool: &[Vec<u32>],
+    mut adversary: impl FnMut(&Program) -> attack::Fault,
+    sessions: usize,
+) -> Fleet {
+    let (program, service, mut prover) =
+        common::workload_service(name, seed, input_pool, ServiceConfig::default());
+    let mut fleet = Fleet {
+        challenges: Vec::with_capacity(sessions),
+        evidence: Vec::with_capacity(sessions),
+        inputs: Vec::with_capacity(sessions),
+    };
+    for i in 0..sessions {
+        let input = input_pool[i % input_pool.len()].clone();
+        let id = service.open_session(input.clone()).expect("generator capacity");
+        assert_eq!(id, SessionId(i as u64 + 1), "ids are dense in open order");
+        let challenge = service.challenge_envelope(id).expect("challenge").encode().expect("enc");
+        let decoded = Envelope::decode(&challenge).expect("challenge decodes");
+        let envelope = match evidence_kind(i) {
+            2 => {
+                let mut fault = adversary(&program);
+                let (envelope, _run) = ProverSession::new(&mut prover)
+                    .respond_with_adversary(&decoded, &mut fault)
+                    .expect("adversarial prover runs");
+                envelope.encode().expect("encode evidence")
+            }
+            3 => {
+                let (_, run) =
+                    ProverSession::new(&mut prover).respond(&decoded).expect("prover runs");
+                let mut report = run.report;
+                let mut bytes = report.authenticator.as_bytes().to_vec();
+                bytes[0] ^= 0x01;
+                report.authenticator = Digest::from_bytes(bytes);
+                Envelope::new(id, Message::Evidence(EvidenceMsg { report }))
+                    .encode()
+                    .expect("encode forged evidence")
+            }
+            _ => ProverSession::new(&mut prover).handle_bytes(&challenge).expect("prover answers"),
+        };
+        fleet.challenges.push(challenge);
+        fleet.evidence.push(envelope);
+        fleet.inputs.push(input);
+    }
+    fleet
+}
+
+/// What one full drive of the fleet (phase 1 + full replay phase 2) produces.
+struct RunResult {
+    verdicts_p1: Vec<Vec<u8>>,
+    verdicts_p2: Vec<Vec<u8>>,
+    stats: ServiceStats,
+    live: usize,
+}
+
+/// The in-process reference: same service configuration, no socket.
+fn run_in_process(
+    name: &str,
+    seed: &str,
+    fleet: &Fleet,
+    input_pool: &[Vec<u32>],
+    config: ServiceConfig,
+) -> RunResult {
+    let (_, service, _prover) = common::workload_service(name, seed, input_pool, config);
+    for (i, input) in fleet.inputs.iter().enumerate() {
+        let id = service.open_session(input.clone()).expect("capacity");
+        let challenge = service.challenge_envelope(id).expect("challenge").encode().expect("enc");
+        assert_eq!(challenge, fleet.challenges[i], "{name}: reference challenge {i} differs");
+    }
+    let drive = |bytes: &Vec<u8>| service.handle_bytes(bytes).expect("verdict encodes");
+    let verdicts_p1: Vec<Vec<u8>> = fleet.evidence.iter().map(drive).collect();
+    let verdicts_p2: Vec<Vec<u8>> = fleet.evidence.iter().map(drive).collect();
+    let stats = service.stats();
+    let live = service.live_sessions();
+    common::assert_stats_conserved(&stats, live);
+    RunResult { verdicts_p1, verdicts_p2, stats, live }
+}
+
+/// The same drive through `VerifierServer`/`ProverClient` on a loopback
+/// socket: challenges are requested over the wire, evidence and replays are
+/// submitted as raw frames, verdict envelope bytes come back off the wire.
+fn run_over_socket(
+    test: &str,
+    name: &str,
+    seed: &str,
+    fleet: &Fleet,
+    input_pool: &[Vec<u32>],
+    config: ServiceConfig,
+) -> RunResult {
+    let (_, service, _prover) = common::workload_service_arc(name, seed, input_pool, config);
+    let server =
+        VerifierServer::bind("127.0.0.1:0", Arc::clone(&service), common::net_server_config(test))
+            .expect("bind loopback server");
+    let mut client = ProverClient::connect(server.local_addr()).expect("connect");
+    for (i, input) in fleet.inputs.iter().enumerate() {
+        let (challenge, bytes) =
+            client.request_challenge(name, input.clone()).expect("challenge over the wire");
+        assert_eq!(challenge.session, SessionId(i as u64 + 1));
+        assert_eq!(
+            bytes, fleet.challenges[i],
+            "{name}: socket challenge {i} differs from the in-process bytes"
+        );
+    }
+    let mut drive = |bytes: &Vec<u8>| {
+        client.send_frame(bytes).expect("submit evidence frame");
+        client.recv_frame().expect("read verdict frame").expect("server answered")
+    };
+    let verdicts_p1: Vec<Vec<u8>> = fleet.evidence.iter().map(&mut drive).collect();
+    let verdicts_p2: Vec<Vec<u8>> = fleet.evidence.iter().map(&mut drive).collect();
+    drop(client);
+    let stats = service.stats();
+    let live = service.live_sessions();
+    common::assert_stats_conserved(&stats, live);
+    server.shutdown();
+    RunResult { verdicts_p1, verdicts_p2, stats, live }
+}
+
+/// Socket path ≡ in-process path for one workload and adversary class.
+fn differential(
+    test: &str,
+    name: &str,
+    input_pool: &[Vec<u32>],
+    adversary: impl Fn(&Program) -> attack::Fault,
+) {
+    let sessions = sessions_per_workload();
+    let seed = format!("e14-{name}");
+    let fleet = generate_fleet(name, &seed, input_pool, &adversary, sessions);
+    let config = ServiceConfig::sharded(4);
+
+    let reference = run_in_process(name, &seed, &fleet, input_pool, config);
+    let socket = run_over_socket(test, name, &seed, &fleet, input_pool, config);
+
+    for (i, (want, got)) in reference.verdicts_p1.iter().zip(&socket.verdicts_p1).enumerate() {
+        assert_eq!(want, got, "{name}: phase-1 verdict bytes {i} diverge over the socket");
+    }
+    for (i, (want, got)) in reference.verdicts_p2.iter().zip(&socket.verdicts_p2).enumerate() {
+        assert_eq!(want, got, "{name}: replay verdict bytes {i} diverge over the socket");
+    }
+    assert_eq!(reference.stats, socket.stats, "{name}: stats diverge over the socket");
+    assert_eq!(reference.live, socket.live, "{name}: live sessions diverge over the socket");
+
+    // Semantic floor on the (already byte-compared) socket verdicts: honest
+    // sessions accepted, forged signatures named as such, replays all blocked.
+    for (i, bytes) in socket.verdicts_p1.iter().enumerate() {
+        let verdict = common::decode_verdict(bytes);
+        match evidence_kind(i) {
+            0 | 1 => assert!(verdict.accepted, "{name}: honest session {i}: {verdict:?}"),
+            3 => assert_eq!(
+                verdict.reason_code,
+                code::BAD_SIGNATURE,
+                "{name}: forged session {i}: {verdict:?}"
+            ),
+            _ => {}
+        }
+    }
+    for (i, bytes) in socket.verdicts_p2.iter().enumerate() {
+        let verdict = common::decode_verdict(bytes);
+        assert!(!verdict.accepted, "{name}: replay {i} accepted over the socket: {verdict:?}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Differential equivalence: the whole workload catalogue
+// ---------------------------------------------------------------------------
+
+#[test]
+fn differential_whole_catalogue_over_loopback() {
+    for workload in catalog::all() {
+        let program: Program = workload.program().expect("assemble");
+        let input_addr = program.symbol("input").expect("workloads define `input`");
+        differential(
+            "differential_whole_catalogue_over_loopback",
+            workload.name,
+            std::slice::from_ref(&workload.default_input),
+            move |_| attack::poke_at_instruction(2, input_addr, 1),
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Differential equivalence: every stock adversary class
+// ---------------------------------------------------------------------------
+
+#[test]
+fn differential_stock_loop_counter_attack() {
+    differential("differential_stock_loop_counter_attack", "syringe-pump", &[vec![3]], |program| {
+        attack::loop_counter_attack(program.symbol("input").expect("input"), 50)
+    });
+}
+
+#[test]
+fn differential_stock_non_control_data_attack() {
+    let inputs: Vec<Vec<u32>> = (1..=4u32).map(|k| vec![k]).collect();
+    differential("differential_stock_non_control_data_attack", "fig4-loop", &inputs, |program| {
+        attack::non_control_data_attack(program.symbol("input").expect("input"), 9)
+    });
+}
+
+#[test]
+fn differential_stock_code_pointer_attack() {
+    differential(
+        "differential_stock_code_pointer_attack",
+        "dispatch",
+        &[vec![0, 0, 2, 1]],
+        |program| {
+            attack::code_pointer_attack(
+                program.symbol("table").expect("table"),
+                0,
+                program.symbol("op_clear").expect("op_clear"),
+            )
+        },
+    );
+}
+
+#[test]
+fn differential_stock_return_address_attack() {
+    differential(
+        "differential_stock_return_address_attack",
+        "return-victim",
+        &[vec![21]],
+        |program| {
+            attack::return_address_attack(
+                program.symbol("process").expect("process") + 8,
+                12,
+                program.symbol("privileged").expect("privileged"),
+            )
+        },
+    );
+}
+
+#[test]
+fn differential_stock_data_only_attack() {
+    // Pure data-oriented manipulation leaves control flow intact: accepted on
+    // both paths, and identically so.
+    differential("differential_stock_data_only_attack", "syringe-pump", &[vec![3]], |program| {
+        attack::data_only_attack(program.symbol("motor_pulses").expect("pulses"), 9999)
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency: several clients through one server
+// ---------------------------------------------------------------------------
+
+#[test]
+fn concurrent_clients_all_attest_and_the_books_balance() {
+    let name = "fig4-loop";
+    let seed = "e14-concurrent";
+    let workload = catalog::by_name(name).unwrap();
+    let inputs: Vec<Vec<u32>> = (1..=4u32).map(|k| vec![k]).collect();
+    let clients = 4usize;
+    let per_client = sessions_per_workload().clamp(4, 32);
+
+    let (_, service, _) =
+        common::workload_service_arc(name, seed, &inputs, ServiceConfig::sharded(4));
+    let mut config = common::net_server_config("concurrent_clients");
+    config.pool = lofat::pool::PoolConfig::with_workers(2);
+    let server =
+        VerifierServer::bind("127.0.0.1:0", Arc::clone(&service), config).expect("bind server");
+    let addr = server.local_addr();
+
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let inputs = &inputs;
+            let workload = &workload;
+            scope.spawn(move || {
+                // Each client is its own device sharing the fleet key.
+                let (_, mut prover, _) = common::workload_session(name, seed);
+                let mut client = ProverClient::connect(addr).expect("connect");
+                for s in 0..per_client {
+                    let input = inputs[(c + s) % inputs.len()].clone();
+                    let outcome =
+                        client.attest(&mut prover, input.clone()).expect("attest over socket");
+                    assert!(
+                        outcome.verdict.accepted,
+                        "client {c} session {s}: {:?}",
+                        outcome.verdict
+                    );
+                    assert_eq!(
+                        outcome.verdict.expected_result,
+                        Some(workload.expected_result(&input)),
+                        "client {c} session {s} leaked another session's result"
+                    );
+                }
+            });
+        }
+    });
+
+    let total = (clients * per_client) as u64;
+    let stats = service.stats();
+    assert_eq!(stats.sessions_opened, total);
+    assert_eq!(stats.accepted, total);
+    assert_eq!(stats.rejected, 0);
+    assert_eq!(service.live_sessions(), 0);
+    common::assert_stats_conserved(&stats, 0);
+    assert_eq!(server.connections_served(), clients as u64);
+    // Every session cost exactly two frames (request + evidence).
+    assert_eq!(server.frames_served(), 2 * total);
+    server.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Hostile framing mid-session: counted, conserved, never session-consuming
+// ---------------------------------------------------------------------------
+
+#[test]
+fn malformed_frames_mid_session_stay_on_the_books() {
+    let name = "fig4-loop";
+    let seed = "e14-malformed";
+    let (_, service, mut prover) =
+        common::workload_service_arc(name, seed, &[vec![4]], ServiceConfig::default());
+    let server = VerifierServer::bind(
+        "127.0.0.1:0",
+        Arc::clone(&service),
+        common::net_server_config("malformed_frames_mid_session"),
+    )
+    .expect("bind server");
+
+    // A live session, mid-round-trip.
+    let mut client = ProverClient::connect(server.local_addr()).expect("connect");
+    let (challenge, _) = client.request_challenge(name, vec![4]).expect("challenge");
+    assert_eq!(service.live_sessions(), 1);
+
+    // ① Garbage bytes on the same connection: a MALFORMED verdict, counted.
+    client.send_frame(b"not an envelope").expect("send garbage");
+    let verdict = common::decode_verdict(&client.recv_frame().unwrap().expect("answered"));
+    assert_eq!(verdict.reason_code, code::MALFORMED);
+
+    // ② A version from the future: UNSUPPORTED_VERSION, counted.
+    let (evidence, _) = ProverSession::new(&mut prover).respond(&challenge).expect("prover");
+    let evidence_bytes = evidence.encode().unwrap();
+    let mut bumped = evidence_bytes.clone();
+    bumped[4] = 0xff;
+    client.send_frame(&bumped).expect("send bumped version");
+    let verdict = common::decode_verdict(&client.recv_frame().unwrap().expect("answered"));
+    assert_eq!(verdict.reason_code, code::UNSUPPORTED_VERSION);
+
+    // ③ A hostile length prefix on a fresh connection: the server answers a
+    // MALFORMED verdict and closes (the stream cannot be resynchronised).
+    {
+        use std::io::Write;
+        let mut raw = std::net::TcpStream::connect(server.local_addr()).expect("connect raw");
+        raw.write_all(&u32::MAX.to_le_bytes()).expect("hostile prefix");
+        let reply = lofat_net::frame::read_frame(&mut raw, 1 << 20)
+            .expect("server answers before closing")
+            .expect("a verdict frame");
+        assert_eq!(common::decode_verdict(&reply).reason_code, code::MALFORMED);
+        let closed = lofat_net::frame::read_frame(&mut raw, 1 << 20).expect("clean close");
+        assert_eq!(closed, None, "the connection is closed after a hostile prefix");
+    }
+
+    // ④ A truncated frame (slow-loris that gave up): counted once the close
+    // is observed; there is nobody left to answer.
+    {
+        use std::io::Write;
+        let mut raw = std::net::TcpStream::connect(server.local_addr()).expect("connect raw");
+        raw.write_all(&100u32.to_le_bytes()).expect("header");
+        raw.write_all(b"abc").expect("partial body");
+        drop(raw);
+        // The handler notices the close asynchronously; wait for the books.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while service.stats().wire_errors < 4 && std::time::Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+    }
+
+    // The interrupted session is still live and still answerable: malformed
+    // bytes never consumed it.
+    assert_eq!(service.live_sessions(), 1);
+    let (_, verdict) = client.submit_evidence(&evidence_bytes).expect("honest completion");
+    assert!(verdict.accepted, "{verdict:?}");
+
+    // All four hostile inputs went through the shared `record_verdict` path:
+    // counted as wire errors *and* rejections, spending no session — so the
+    // conservation law holds over everything this socket saw.
+    let stats = service.stats();
+    assert_eq!(stats.wire_errors, 4, "{stats:?}");
+    assert_eq!(stats.rejected, 4, "{stats:?}");
+    assert_eq!(stats.rejections_by_code.get(&code::MALFORMED), Some(&3));
+    assert_eq!(stats.rejections_by_code.get(&code::UNSUPPORTED_VERSION), Some(&1));
+    assert_eq!(stats.accepted, 1);
+    assert_eq!(stats.sessions_rejected, 0);
+    assert_eq!(service.live_sessions(), 0);
+    common::assert_stats_conserved(&stats, 0);
+    server.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle over the socket: expiry, refusals, graceful shutdown
+// ---------------------------------------------------------------------------
+
+#[test]
+fn expiry_surfaces_the_stable_code_over_the_socket() {
+    let name = "fig4-loop";
+    let seed = "e14-expiry";
+    let config = ServiceConfig { session_deadline_cycles: 100, ..ServiceConfig::default() };
+    let (_, service, mut prover) = common::workload_service_arc(name, seed, &[vec![3]], config);
+    let server = VerifierServer::bind(
+        "127.0.0.1:0",
+        Arc::clone(&service),
+        common::net_server_config("expiry_over_socket"),
+    )
+    .expect("bind server");
+    let mut client = ProverClient::connect(server.local_addr()).expect("connect");
+
+    let (challenge, _) = client.request_challenge(name, vec![3]).expect("challenge");
+    let (evidence, _) = ProverSession::new(&mut prover).respond(&challenge).expect("prover");
+    let evidence_bytes = evidence.encode().unwrap();
+
+    service.advance_clock(101);
+    let (_, verdict) = client.submit_evidence(&evidence_bytes).expect("late evidence");
+    assert_eq!(verdict.reason_code, code::SESSION_EXPIRED, "{verdict:?}");
+    // The nonce is spent; trying again is a replay, exactly as in-process.
+    let (_, verdict) = client.submit_evidence(&evidence_bytes).expect("replay");
+    assert_eq!(verdict.reason_code, code::NONCE_REPLAYED, "{verdict:?}");
+
+    let stats = service.stats();
+    assert_eq!(stats.expired, 1);
+    common::assert_stats_conserved(&stats, service.live_sessions());
+    server.shutdown();
+}
+
+#[test]
+fn session_request_refusals_carry_stable_codes() {
+    let name = "fig4-loop";
+    let seed = "e14-refusals";
+    let config = ServiceConfig { max_live_sessions: 1, ..ServiceConfig::default() };
+    let (_, service, _) = common::workload_service_arc(name, seed, &[vec![2]], config);
+    let server = VerifierServer::bind(
+        "127.0.0.1:0",
+        Arc::clone(&service),
+        common::net_server_config("session_request_refusals"),
+    )
+    .expect("bind server");
+    let mut client = ProverClient::connect(server.local_addr()).expect("connect");
+
+    let wrong_program = client.request_challenge("someone-else", vec![2]).unwrap_err();
+    assert!(
+        matches!(&wrong_program, NetError::Refused { code, .. } if *code == code::PROGRAM_ID_MISMATCH),
+        "{wrong_program:?}"
+    );
+    let unknown_input = client.request_challenge(name, vec![999]).unwrap_err();
+    assert!(
+        matches!(&unknown_input, NetError::Refused { code, .. } if *code == code::UNKNOWN_INPUT),
+        "{unknown_input:?}"
+    );
+    client.request_challenge(name, vec![2]).expect("first session opens");
+    let at_capacity = client.request_challenge(name, vec![2]).unwrap_err();
+    assert!(
+        matches!(&at_capacity, NetError::Refused { code, .. } if *code == code::AT_CAPACITY),
+        "{at_capacity:?}"
+    );
+
+    // Refusals mirror the typed `open_session` errors: no counter moved, so
+    // the one real session is all the books know about.
+    let stats = service.stats();
+    assert_eq!(stats.sessions_opened, 1);
+    assert_eq!(stats.rejected, 0);
+    common::assert_stats_conserved(&stats, 1);
+    server.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_inflight_and_refuses_the_rest() {
+    let name = "fig4-loop";
+    let seed = "e14-shutdown";
+    let (_, service, _) =
+        common::workload_service_arc(name, seed, &[vec![2]], ServiceConfig::default());
+    let server = VerifierServer::bind(
+        "127.0.0.1:0",
+        Arc::clone(&service),
+        common::net_server_config("graceful_shutdown"),
+    )
+    .expect("bind server");
+    let addr = server.local_addr();
+
+    // A full round trip, then the client goes idle without disconnecting.
+    let (_, mut prover, _) = common::workload_session(name, seed);
+    let mut client = ProverClient::connect(addr).expect("connect");
+    let outcome = client.attest(&mut prover, vec![2]).expect("attest");
+    assert!(outcome.verdict.accepted);
+
+    // Shutdown must complete promptly despite the idle connection (the read
+    // half is nudged closed) and must have delivered the in-flight verdict
+    // above rather than dropping it.
+    server.shutdown();
+    assert_eq!(service.stats().accepted, 1);
+
+    // The listener is gone: new round trips fail at connect or first frame.
+    let refused = ProverClient::connect(addr)
+        .and_then(|mut late| late.request_challenge(name, vec![2]).map(|_| ()));
+    assert!(refused.is_err(), "the server kept serving after shutdown");
+}
