@@ -1,0 +1,417 @@
+//! The differential harness and the reproducer seed-file format.
+//!
+//! [`diff_program`] runs one program three ways — the production
+//! [`Cpu`] with predecoding enabled, the same `Cpu` on the
+//! decode-on-fetch fallback path, and the [`OracleCpu`] — and compares the
+//! complete observable outcome: exit reason (or fault class + address), the
+//! full register file, the final pc, the console, the retired-instruction
+//! count and every byte of the data and stack segments.
+//!
+//! A mismatch produces a [`Divergence`] that serializes to a small text seed
+//! file (`# comment` lines plus one `w <8-hex>` line per instruction word).
+//! Seed files are raw program words — not RNG seeds — so a committed
+//! reproducer keeps reproducing even after the generator changes.
+
+use crate::interp::{Fault, FaultKind, OracleCpu, StopReason};
+use lofat_rv32::program::{
+    DEFAULT_DATA_BASE, DEFAULT_STACK_BASE, DEFAULT_STACK_SIZE, DEFAULT_TEXT_BASE,
+};
+use lofat_rv32::trace::NullSink;
+use lofat_rv32::{Cpu, ExitReason, Program, Reg, Rv32Error};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Harness-level failures (distinct from semantic divergences).
+#[derive(Debug)]
+pub enum DiffError {
+    /// A program image failed to load into one of the implementations.
+    Setup(String),
+    /// A seed file line did not parse.
+    BadSeedLine {
+        /// 1-based line number.
+        line: usize,
+        /// The offending line content.
+        content: String,
+    },
+    /// The production core reported an error the harness cannot classify.
+    UnknownFault(String),
+}
+
+impl fmt::Display for DiffError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiffError::Setup(message) => write!(f, "harness setup failed: {message}"),
+            DiffError::BadSeedLine { line, content } => {
+                write!(f, "seed file line {line} does not parse: {content:?}")
+            }
+            DiffError::UnknownFault(message) => {
+                write!(f, "unclassifiable fault from the production core: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DiffError {}
+
+/// How a single run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// `ecall` with `a7 != 1`.
+    Ecall,
+    /// `ebreak`.
+    Ebreak,
+    /// A fault (decode, unmapped, permission or misaligned) at an address.
+    Fault(Fault),
+    /// The step budget ran out.
+    StepLimit,
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Outcome::Ecall => write!(f, "exit via ecall"),
+            Outcome::Ebreak => write!(f, "exit via ebreak"),
+            Outcome::Fault(fault) => write!(f, "{fault}"),
+            Outcome::StepLimit => write!(f, "step limit"),
+        }
+    }
+}
+
+/// The complete observable result of running a program on one implementation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunSummary {
+    /// Which implementation produced this summary.
+    pub label: &'static str,
+    /// How the run ended.
+    pub outcome: Outcome,
+    /// Final register file.
+    pub regs: [u32; 32],
+    /// Final program counter.
+    pub pc: u32,
+    /// Instructions retired.
+    pub retired: u64,
+    /// Values printed through the `a7 == 1` environment call.
+    pub console: Vec<u32>,
+    /// Final bytes of the data segment.
+    pub data: Vec<u8>,
+    /// Final bytes of the stack segment.
+    pub stack: Vec<u8>,
+}
+
+/// A semantic divergence between implementations, self-contained enough to
+/// be committed as a regression seed.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// Human-readable description of the first mismatching field.
+    pub description: String,
+    /// The program words that trigger the divergence.
+    pub words: Vec<u32>,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.description)
+    }
+}
+
+impl Divergence {
+    /// Renders this divergence as a seed file (comments + program words).
+    pub fn seed_file(&self) -> String {
+        seed_text(&self.words, &self.description)
+    }
+
+    /// Writes the reproducer seed file into `dir` (created if missing) under
+    /// a deterministic content-derived name, returning the path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_reproducer(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("divergence-{:016x}.seed", fnv(&self.words)));
+        std::fs::write(&path, self.seed_file())?;
+        Ok(path)
+    }
+}
+
+/// FNV-1a over the program words, for stable reproducer file names.
+fn fnv(words: &[u32]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for word in words {
+        for byte in word.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    hash
+}
+
+/// Serializes program words as seed-file text.  Every line of `comment`
+/// becomes a `#` header line.
+pub fn seed_text(words: &[u32], comment: &str) -> String {
+    let mut out = String::new();
+    for line in comment.lines() {
+        out.push_str("# ");
+        out.push_str(line);
+        out.push('\n');
+    }
+    for word in words {
+        out.push_str(&format!("w {word:08x}\n"));
+    }
+    out
+}
+
+/// Parses seed-file text back into program words.
+///
+/// The format is line-oriented: blank lines and `#` comments are skipped,
+/// every other line must be `w <8-hex-digits>`.
+///
+/// # Errors
+///
+/// Returns [`DiffError::BadSeedLine`] for any line that does not parse.
+pub fn parse_seed(text: &str) -> Result<Vec<u32>, DiffError> {
+    let mut words = Vec::new();
+    for (index, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let bad = || DiffError::BadSeedLine { line: index + 1, content: raw.to_string() };
+        let hex = line.strip_prefix("w ").ok_or_else(bad)?;
+        let word = u32::from_str_radix(hex.trim(), 16).map_err(|_| bad())?;
+        words.push(word);
+    }
+    Ok(words)
+}
+
+/// Builds a program image from raw instruction words using the default
+/// memory layout (the seed-file counterpart of
+/// [`Program::from_instructions`], but without requiring the words to
+/// decode — regression seeds deliberately include invalid encodings).
+pub fn program_from_words(words: &[u32]) -> Program {
+    Program {
+        text_base: DEFAULT_TEXT_BASE,
+        text: words.to_vec(),
+        data_base: DEFAULT_DATA_BASE,
+        data: Vec::new(),
+        entry: DEFAULT_TEXT_BASE,
+        symbols: BTreeMap::new(),
+        stack_size: DEFAULT_STACK_SIZE,
+    }
+}
+
+/// Maps a production-core error onto the oracle's fault taxonomy.
+fn fault_of(error: &Rv32Error) -> Result<Fault, DiffError> {
+    match error {
+        Rv32Error::DecodeInvalid { pc, .. } => Ok(Fault { kind: FaultKind::Decode, addr: *pc }),
+        Rv32Error::MemoryUnmapped { addr, .. } => {
+            Ok(Fault { kind: FaultKind::Unmapped, addr: *addr })
+        }
+        Rv32Error::MemoryPermission { addr, .. } => {
+            Ok(Fault { kind: FaultKind::Permission, addr: *addr })
+        }
+        Rv32Error::Misaligned { addr, .. } => {
+            Ok(Fault { kind: FaultKind::Misaligned, addr: *addr })
+        }
+        other => Err(DiffError::UnknownFault(format!("{other:?}"))),
+    }
+}
+
+/// Returns the final bytes of the segment based at `base` from a `Cpu`.
+fn cpu_segment_bytes(cpu: &Cpu, base: u32) -> Vec<u8> {
+    cpu.memory()
+        .segments()
+        .iter()
+        .find(|s| s.base == base)
+        .map(|s| s.bytes.clone())
+        .unwrap_or_default()
+}
+
+/// Runs `program` on the production core, predecoded or not, for at most
+/// `max_steps` retired instructions.
+fn run_cpu(program: &Program, predecode: bool, max_steps: u64) -> Result<RunSummary, DiffError> {
+    let label = if predecode { "cpu/predecode" } else { "cpu/fetch" };
+    let mut cpu = Cpu::new(program)
+        .map_err(|e| DiffError::Setup(format!("{label}: program failed to load: {e:?}")))?;
+    cpu.set_predecode(predecode);
+    let mut outcome = Outcome::StepLimit;
+    while cpu.instructions() < max_steps {
+        match cpu.step(&mut NullSink) {
+            Ok(None) => {}
+            Ok(Some(exit)) => {
+                outcome = match exit.reason {
+                    ExitReason::Ecall => Outcome::Ecall,
+                    ExitReason::Ebreak => Outcome::Ebreak,
+                };
+                break;
+            }
+            Err(error) => {
+                outcome = Outcome::Fault(fault_of(&error)?);
+                break;
+            }
+        }
+    }
+    let mut regs = [0u32; 32];
+    for (index, slot) in regs.iter_mut().enumerate() {
+        *slot = cpu.reg(Reg::new(index as u8));
+    }
+    Ok(RunSummary {
+        label,
+        outcome,
+        regs,
+        pc: cpu.pc(),
+        retired: cpu.instructions(),
+        console: cpu.console().to_vec(),
+        data: cpu_segment_bytes(&cpu, program.data_base),
+        stack: cpu_segment_bytes(&cpu, DEFAULT_STACK_BASE),
+    })
+}
+
+/// Runs `program` on the oracle for at most `max_steps` retired instructions.
+fn run_oracle(program: &Program, max_steps: u64) -> RunSummary {
+    let mut cpu = OracleCpu::new(program);
+    let outcome = match cpu.run(max_steps) {
+        Ok(StopReason::Ecall) => Outcome::Ecall,
+        Ok(StopReason::Ebreak) => Outcome::Ebreak,
+        Ok(StopReason::StepLimit) => Outcome::StepLimit,
+        Err(fault) => Outcome::Fault(fault),
+    };
+    let data_len = program.data.len().max(4096) as u32;
+    let data = (0..data_len).map(|i| cpu.mem().peek(program.data_base + i).unwrap_or(0)).collect();
+    let stack = (0..program.stack_size)
+        .map(|i| cpu.mem().peek(DEFAULT_STACK_BASE + i).unwrap_or(0))
+        .collect();
+    RunSummary {
+        label: "oracle",
+        outcome,
+        regs: *cpu.regs(),
+        pc: cpu.pc(),
+        retired: cpu.retired(),
+        console: cpu.console().to_vec(),
+        data,
+        stack,
+    }
+}
+
+/// Describes the first mismatch between two summaries, or `None` when they
+/// agree on every compared field.
+fn first_mismatch(a: &RunSummary, b: &RunSummary) -> Option<String> {
+    let pair = format!("{} vs {}", a.label, b.label);
+    if a.outcome != b.outcome {
+        return Some(format!("{pair}: outcome {} != {}", a.outcome, b.outcome));
+    }
+    if a.retired != b.retired {
+        return Some(format!("{pair}: retired {} != {}", a.retired, b.retired));
+    }
+    if a.pc != b.pc {
+        return Some(format!("{pair}: final pc {:#010x} != {:#010x}", a.pc, b.pc));
+    }
+    for index in 0..32 {
+        if a.regs[index] != b.regs[index] {
+            return Some(format!(
+                "{pair}: x{index} = {:#010x} != {:#010x}",
+                a.regs[index], b.regs[index]
+            ));
+        }
+    }
+    if a.console != b.console {
+        return Some(format!("{pair}: console {:?} != {:?}", a.console, b.console));
+    }
+    for (what, left, right) in [("data", &a.data, &b.data), ("stack", &a.stack, &b.stack)] {
+        if left.len() != right.len() {
+            return Some(format!("{pair}: {what} length {} != {}", left.len(), right.len()));
+        }
+        if let Some(at) = (0..left.len()).find(|&i| left[i] != right[i]) {
+            return Some(format!(
+                "{pair}: {what}[{at:#x}] = {:#04x} != {:#04x}",
+                left[at], right[at]
+            ));
+        }
+    }
+    None
+}
+
+/// Runs `program` through the production core (both paths) and the oracle
+/// and diffs the complete observable outcome.
+///
+/// # Errors
+///
+/// Returns a [`Divergence`] on the first mismatch, or a [`DiffError`] if
+/// the harness itself could not run the program.
+pub fn diff_program(program: &Program, max_steps: u64) -> Result<(), Box<Divergence>> {
+    let divergence =
+        |description: String| Box::new(Divergence { description, words: program.text.clone() });
+    let fast =
+        run_cpu(program, true, max_steps).map_err(|e| divergence(format!("harness: {e}")))?;
+    let slow =
+        run_cpu(program, false, max_steps).map_err(|e| divergence(format!("harness: {e}")))?;
+    let oracle = run_oracle(program, max_steps);
+    for (a, b) in [(&fast, &slow), (&fast, &oracle), (&slow, &oracle)] {
+        if let Some(mismatch) = first_mismatch(a, b) {
+            return Err(divergence(mismatch));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, GenConfig};
+
+    #[test]
+    fn seed_roundtrip() {
+        let words = vec![0x0000_0073, 0xdead_beef, 0x0010_0073];
+        let text = seed_text(&words, "two lines\nof comment");
+        assert!(text.starts_with("# two lines\n# of comment\n"));
+        assert_eq!(parse_seed(&text).expect("roundtrip"), words);
+    }
+
+    #[test]
+    fn seed_parser_rejects_garbage() {
+        assert!(matches!(parse_seed("w xyz").unwrap_err(), DiffError::BadSeedLine { line: 1, .. }));
+        assert!(matches!(parse_seed("nonsense").unwrap_err(), DiffError::BadSeedLine { .. }));
+    }
+
+    #[test]
+    fn generated_programs_diff_clean() {
+        let config = GenConfig::default();
+        for seed in 0..32 {
+            let program = generate(&config, seed);
+            let bound = config.step_bound(program.text.len());
+            if let Err(divergence) = diff_program(&program, bound) {
+                panic!("seed {seed}: {divergence}\n{}", divergence.seed_file());
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_word_programs_diff_clean() {
+        // Regression shapes for the decoder-laxity bugs: the three
+        // implementations must agree that these fault (same class, same pc).
+        for words in [
+            vec![0x0000_0173], // ecall with rd = x2 (reserved)
+            vec![0x0200_9093], // slli with funct7 = 1 (reserved)
+            vec![0x0000_100f], // fence.i (unsupported)
+            vec![0x0000_3003], // ld (RV64-only load width)
+            vec![0xffff_ffff], // all-ones
+            vec![0x0000_0000], // all-zeroes
+        ] {
+            let program = program_from_words(&words);
+            if let Err(divergence) = diff_program(&program, 16) {
+                panic!("words {words:x?}: {divergence}");
+            }
+        }
+    }
+
+    #[test]
+    fn divergence_reproducer_writes_and_reparses() {
+        let divergence = Divergence { description: "synthetic".into(), words: vec![0x0000_0073] };
+        let dir = std::env::temp_dir().join("lofat-oracle-selftest");
+        let path = divergence.write_reproducer(&dir).expect("write");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        assert_eq!(parse_seed(&text).expect("parse"), divergence.words);
+        let _ = std::fs::remove_file(path);
+    }
+}

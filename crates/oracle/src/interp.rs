@@ -1,0 +1,683 @@
+//! The naive reference interpreter.
+//!
+//! Written independently from `lofat-rv32`'s core against the RISC-V
+//! unprivileged spec (RV32IM), on purpose in a different style: an explicit
+//! bit-field decoder with no lookup tables, a byte-at-a-time memory with a
+//! fresh linear region scan per access, and 64-bit arithmetic wherever the
+//! spec describes a wide intermediate.  The only shared item is the
+//! [`Instruction`] *type*, used as the lingua franca for decoded fields so
+//! the differential harness can also diff the two decoders against each
+//! other.
+
+use lofat_rv32::isa::{AluImmOp, AluOp, BranchCond, Instruction, LoadWidth, Reg, StoreWidth};
+use lofat_rv32::Program;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// What kind of fault the oracle raised (mirrors the `Cpu` fault taxonomy so
+/// the harness can compare outcomes across implementations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultKind {
+    /// An instruction word did not decode to a supported RV32IM encoding.
+    Decode,
+    /// An access touched no mapped region.
+    Unmapped,
+    /// An access violated region permissions.
+    Permission,
+    /// A misaligned instruction fetch.
+    Misaligned,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::Decode => write!(f, "decode"),
+            FaultKind::Unmapped => write!(f, "unmapped"),
+            FaultKind::Permission => write!(f, "permission"),
+            FaultKind::Misaligned => write!(f, "misaligned"),
+        }
+    }
+}
+
+/// A fault, with the address it anchors to (the pc for decode/fetch faults,
+/// the data address for memory faults).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fault {
+    /// The fault class.
+    pub kind: FaultKind,
+    /// Faulting address.
+    pub addr: u32,
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} fault at {:#010x}", self.kind, self.addr)
+    }
+}
+
+/// Why a run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// `ecall` with `a7 != 1` (normal termination in this environment).
+    Ecall,
+    /// `ebreak`.
+    Ebreak,
+    /// The step budget ran out before the program exited.
+    StepLimit,
+}
+
+/// One permissioned memory region of the oracle.
+#[derive(Debug, Clone)]
+struct Region {
+    base: u32,
+    bytes: Vec<u8>,
+    read: bool,
+    write: bool,
+    execute: bool,
+}
+
+impl Region {
+    /// `true` when `[addr, addr + size)` lies fully inside the region,
+    /// computed in 64 bits so addresses near `u32::MAX` cannot wrap.
+    fn holds(&self, addr: u32, size: u32) -> bool {
+        let lo = u64::from(addr);
+        let hi = lo + u64::from(size);
+        lo >= u64::from(self.base) && hi <= u64::from(self.base) + self.bytes.len() as u64
+    }
+}
+
+/// The oracle's flat memory: a list of regions scanned linearly on every
+/// access, bytes moved one at a time.
+#[derive(Debug, Clone, Default)]
+pub struct OracleMem {
+    regions: Vec<Region>,
+    /// Every address written through [`OracleMem::write`] (store
+    /// instructions), for touched-memory diffing.
+    written: BTreeSet<u32>,
+}
+
+impl OracleMem {
+    fn region(&self, addr: u32, size: u32) -> Result<&Region, Fault> {
+        self.regions
+            .iter()
+            .find(|r| r.holds(addr, size))
+            .ok_or(Fault { kind: FaultKind::Unmapped, addr })
+    }
+
+    /// Reads `size` bytes little-endian (a data load).
+    pub fn read(&self, addr: u32, size: u32) -> Result<u32, Fault> {
+        let region = self.region(addr, size)?;
+        if !region.read {
+            return Err(Fault { kind: FaultKind::Permission, addr });
+        }
+        let mut value: u32 = 0;
+        for i in (0..size).rev() {
+            let at = (addr - region.base + i) as usize;
+            value = (value << 8) | u32::from(region.bytes[at]);
+        }
+        Ok(value)
+    }
+
+    /// Writes the low `size` bytes of `value` little-endian (a data store).
+    pub fn write(&mut self, addr: u32, size: u32, value: u32) -> Result<(), Fault> {
+        // Find-then-mutate in two passes to keep the borrow checker naive too.
+        let index = self
+            .regions
+            .iter()
+            .position(|r| r.holds(addr, size))
+            .ok_or(Fault { kind: FaultKind::Unmapped, addr })?;
+        if !self.regions[index].write {
+            return Err(Fault { kind: FaultKind::Permission, addr });
+        }
+        for i in 0..size {
+            let at = (addr - self.regions[index].base + i) as usize;
+            self.regions[index].bytes[at] = (value >> (8 * i)) as u8;
+            self.written.insert(addr + i);
+        }
+        Ok(())
+    }
+
+    /// Fetches one instruction word (alignment- and execute-checked).
+    pub fn fetch(&self, pc: u32) -> Result<u32, Fault> {
+        if !pc.is_multiple_of(4) {
+            return Err(Fault { kind: FaultKind::Misaligned, addr: pc });
+        }
+        let region = self.region(pc, 4)?;
+        if !region.execute {
+            return Err(Fault { kind: FaultKind::Permission, addr: pc });
+        }
+        let mut word: u32 = 0;
+        for i in (0..4).rev() {
+            let at = (pc - region.base + i) as usize;
+            word = (word << 8) | u32::from(region.bytes[at]);
+        }
+        Ok(word)
+    }
+
+    /// Reads a byte ignoring permissions (harness/debugger view).
+    pub fn peek(&self, addr: u32) -> Option<u8> {
+        let region = self.regions.iter().find(|r| r.holds(addr, 1))?;
+        Some(region.bytes[(addr - region.base) as usize])
+    }
+
+    /// Addresses written by store instructions so far, in order.
+    pub fn written_addrs(&self) -> impl Iterator<Item = u32> + '_ {
+        self.written.iter().copied()
+    }
+}
+
+/// Decodes a 32-bit RV32IM instruction word, independently of
+/// [`Instruction::decode`].
+///
+/// Field extraction and validity checks are spelled out from the spec tables;
+/// the differential suites diff this decoder against the production one over
+/// random words, so neither may be laxer than the other.
+///
+/// # Errors
+///
+/// Returns a [`FaultKind::Decode`] fault for any word outside the supported
+/// RV32IM subset.
+pub fn decode_word(word: u32, pc: u32) -> Result<Instruction, Fault> {
+    let bad = Fault { kind: FaultKind::Decode, addr: pc };
+    let bits = |hi: u32, lo: u32| -> u32 { (word >> lo) & ((1u64 << (hi - lo + 1)) as u32 - 1) };
+    let reg = |at: u32| -> Reg { Reg::new(bits(at + 4, at) as u8) };
+    let rd = reg(7);
+    let rs1 = reg(15);
+    let rs2 = reg(20);
+    let funct3 = bits(14, 12);
+    let funct7 = bits(31, 25);
+    // I-type immediate: bits 31:20, sign-extended.
+    let imm_i = (word as i32) >> 20;
+    // S-type: 31:25 | 11:7.
+    let imm_s = (((word as i32) >> 25) << 5) | bits(11, 7) as i32;
+    // B-type: 31 | 7 | 30:25 | 11:8, scaled by 2.
+    let imm_b = (((word as i32) >> 31) << 12)
+        | ((bits(7, 7) as i32) << 11)
+        | ((bits(30, 25) as i32) << 5)
+        | ((bits(11, 8) as i32) << 1);
+    // J-type: 31 | 19:12 | 20 | 30:21, scaled by 2.
+    let imm_j = (((word as i32) >> 31) << 20)
+        | ((bits(19, 12) as i32) << 12)
+        | ((bits(20, 20) as i32) << 11)
+        | ((bits(30, 21) as i32) << 1);
+    // U-type: bits 31:12, kept in place.
+    let imm_u = (word & 0xffff_f000) as i32;
+
+    match bits(6, 0) {
+        // OP: R-type register-register ALU, RV32I funct7 ∈ {0x00, 0x20}, M ext 0x01.
+        0b011_0011 => {
+            let op = match (funct7, funct3) {
+                (0x00, 0) => AluOp::Add,
+                (0x20, 0) => AluOp::Sub,
+                (0x00, 1) => AluOp::Sll,
+                (0x00, 2) => AluOp::Slt,
+                (0x00, 3) => AluOp::Sltu,
+                (0x00, 4) => AluOp::Xor,
+                (0x00, 5) => AluOp::Srl,
+                (0x20, 5) => AluOp::Sra,
+                (0x00, 6) => AluOp::Or,
+                (0x00, 7) => AluOp::And,
+                (0x01, 0) => AluOp::Mul,
+                (0x01, 1) => AluOp::Mulh,
+                (0x01, 2) => AluOp::Mulhsu,
+                (0x01, 3) => AluOp::Mulhu,
+                (0x01, 4) => AluOp::Div,
+                (0x01, 5) => AluOp::Divu,
+                (0x01, 6) => AluOp::Rem,
+                (0x01, 7) => AluOp::Remu,
+                _ => return Err(bad),
+            };
+            Ok(Instruction::Alu { op, rd, rs1, rs2 })
+        }
+        // OP-IMM: I-type; shifts carry a funct7-like discriminator in 31:25.
+        0b001_0011 => {
+            let (op, imm) = match funct3 {
+                0 => (AluImmOp::Addi, imm_i),
+                2 => (AluImmOp::Slti, imm_i),
+                3 => (AluImmOp::Sltiu, imm_i),
+                4 => (AluImmOp::Xori, imm_i),
+                6 => (AluImmOp::Ori, imm_i),
+                7 => (AluImmOp::Andi, imm_i),
+                1 if funct7 == 0x00 => (AluImmOp::Slli, bits(24, 20) as i32),
+                5 if funct7 == 0x00 => (AluImmOp::Srli, bits(24, 20) as i32),
+                5 if funct7 == 0x20 => (AluImmOp::Srai, bits(24, 20) as i32),
+                _ => return Err(bad),
+            };
+            Ok(Instruction::AluImm { op, rd, rs1, imm })
+        }
+        // LOAD: funct3 selects width/signedness; 3, 6 and 7 are reserved.
+        0b000_0011 => {
+            let width = match funct3 {
+                0 => LoadWidth::Byte,
+                1 => LoadWidth::Half,
+                2 => LoadWidth::Word,
+                4 => LoadWidth::ByteUnsigned,
+                5 => LoadWidth::HalfUnsigned,
+                _ => return Err(bad),
+            };
+            Ok(Instruction::Load { width, rd, rs1, offset: imm_i })
+        }
+        // STORE: byte/half/word only.
+        0b010_0011 => {
+            let width = match funct3 {
+                0 => StoreWidth::Byte,
+                1 => StoreWidth::Half,
+                2 => StoreWidth::Word,
+                _ => return Err(bad),
+            };
+            Ok(Instruction::Store { width, rs2, rs1, offset: imm_s })
+        }
+        // BRANCH: funct3 2 and 3 are reserved.
+        0b110_0011 => {
+            let cond = match funct3 {
+                0 => BranchCond::Eq,
+                1 => BranchCond::Ne,
+                4 => BranchCond::Lt,
+                5 => BranchCond::Ge,
+                6 => BranchCond::Ltu,
+                7 => BranchCond::Geu,
+                _ => return Err(bad),
+            };
+            Ok(Instruction::Branch { cond, rs1, rs2, offset: imm_b })
+        }
+        0b011_0111 => Ok(Instruction::Lui { rd, imm: imm_u }),
+        0b001_0111 => Ok(Instruction::Auipc { rd, imm: imm_u }),
+        0b110_1111 => Ok(Instruction::Jal { rd, offset: imm_j }),
+        0b110_0111 => {
+            if funct3 != 0 {
+                return Err(bad);
+            }
+            Ok(Instruction::Jalr { rd, rs1, offset: imm_i })
+        }
+        // SYSTEM: only the two exact canonical words are ECALL / EBREAK
+        // (rd, funct3 and rs1 must all be zero per the spec).
+        0b111_0011 => match word {
+            0x0000_0073 => Ok(Instruction::Ecall),
+            0x0010_0073 => Ok(Instruction::Ebreak),
+            _ => Err(bad),
+        },
+        // MISC-MEM: FENCE requires funct3 = 0; the fm/pred/succ bits are
+        // ordering hints a simple in-order core may ignore.  FENCE.I
+        // (funct3 = 1) is outside the supported subset.
+        0b000_1111 => {
+            if funct3 != 0 {
+                return Err(bad);
+            }
+            Ok(Instruction::Fence)
+        }
+        _ => Err(bad),
+    }
+}
+
+/// The reference interpreter.
+#[derive(Debug, Clone)]
+pub struct OracleCpu {
+    regs: [u32; 32],
+    pc: u32,
+    mem: OracleMem,
+    retired: u64,
+    console: Vec<u32>,
+}
+
+impl OracleCpu {
+    /// Loads `program` following the same loader conventions as
+    /// [`lofat_rv32::Cpu::new`]: `rx` text from the encoded words, `rw` data
+    /// padded to at least 4096 bytes, an `rw` stack, `pc` at the entry point,
+    /// `sp` at the top of the stack and `gp` at the data base.
+    ///
+    /// The conventions are re-stated here (not imported) so the oracle stays
+    /// an independent reading of the contract.
+    pub fn new(program: &Program) -> Self {
+        let mut text = Vec::with_capacity(program.text.len() * 4);
+        for word in &program.text {
+            for i in 0..4 {
+                text.push((word >> (8 * i)) as u8);
+            }
+        }
+        let mut data = program.data.clone();
+        if data.len() < 4096 {
+            data.resize(4096, 0);
+        }
+        let stack_base = lofat_rv32::program::DEFAULT_STACK_BASE;
+        let regions = vec![
+            Region {
+                base: program.text_base,
+                bytes: text,
+                read: true,
+                write: false,
+                execute: true,
+            },
+            Region {
+                base: program.data_base,
+                bytes: data,
+                read: true,
+                write: true,
+                execute: false,
+            },
+            Region {
+                base: stack_base,
+                bytes: vec![0u8; program.stack_size as usize],
+                read: true,
+                write: true,
+                execute: false,
+            },
+        ];
+        let mut regs = [0u32; 32];
+        regs[2] = stack_base + program.stack_size; // sp
+        regs[3] = program.data_base; // gp
+        Self {
+            regs,
+            pc: program.entry,
+            mem: OracleMem { regions, written: BTreeSet::new() },
+            retired: 0,
+            console: Vec::new(),
+        }
+    }
+
+    /// Current register file.
+    pub fn regs(&self) -> &[u32; 32] {
+        &self.regs
+    }
+
+    /// Current program counter.
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// Instructions retired so far.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Values printed through the `a7 == 1` environment call.
+    pub fn console(&self) -> &[u32] {
+        &self.console
+    }
+
+    /// The oracle's memory.
+    pub fn mem(&self) -> &OracleMem {
+        &self.mem
+    }
+
+    /// Mutable access to the oracle's memory (harness input loading).
+    pub fn mem_mut(&mut self) -> &mut OracleMem {
+        &mut self.mem
+    }
+
+    fn set(&mut self, rd: Reg, value: u32) {
+        if rd.index() != 0 {
+            self.regs[rd.index()] = value;
+        }
+    }
+
+    fn get(&self, r: Reg) -> u32 {
+        self.regs[r.index()]
+    }
+
+    /// Executes one instruction.
+    ///
+    /// Returns `Some` when the program exits.  On a fault the architectural
+    /// state (registers, memory, pc, retired count) is left exactly as it was
+    /// before the faulting instruction, matching the `Cpu`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the fault raised by the fetch, decode or execute stage.
+    pub fn step(&mut self) -> Result<Option<StopReason>, Fault> {
+        let pc = self.pc;
+        let word = self.mem.fetch(pc)?;
+        let inst = decode_word(word, pc)?;
+        let mut next = pc.wrapping_add(4);
+        let mut stop = None;
+
+        match inst {
+            Instruction::Alu { op, rd, rs1, rs2 } => {
+                let value = alu_ref(op, self.get(rs1), self.get(rs2));
+                self.set(rd, value);
+            }
+            Instruction::AluImm { op, rd, rs1, imm } => {
+                // Register-immediate ops are the register-register ops with
+                // the immediate in the rs2 slot (shift amounts already
+                // masked to 5 bits by the decoder).
+                let twin = match op {
+                    AluImmOp::Addi => AluOp::Add,
+                    AluImmOp::Slti => AluOp::Slt,
+                    AluImmOp::Sltiu => AluOp::Sltu,
+                    AluImmOp::Xori => AluOp::Xor,
+                    AluImmOp::Ori => AluOp::Or,
+                    AluImmOp::Andi => AluOp::And,
+                    AluImmOp::Slli => AluOp::Sll,
+                    AluImmOp::Srli => AluOp::Srl,
+                    AluImmOp::Srai => AluOp::Sra,
+                };
+                let value = alu_ref(twin, self.get(rs1), imm as u32);
+                self.set(rd, value);
+            }
+            Instruction::Load { width, rd, rs1, offset } => {
+                let addr = self.get(rs1).wrapping_add(offset as u32);
+                let size = match width {
+                    LoadWidth::Byte | LoadWidth::ByteUnsigned => 1,
+                    LoadWidth::Half | LoadWidth::HalfUnsigned => 2,
+                    LoadWidth::Word => 4,
+                };
+                let raw = self.mem.read(addr, size)?;
+                let value = match width {
+                    // Sign-extend by shifting up to bit 31 and arithmetic-
+                    // shifting back down.
+                    LoadWidth::Byte => (((raw << 24) as i32) >> 24) as u32,
+                    LoadWidth::Half => (((raw << 16) as i32) >> 16) as u32,
+                    LoadWidth::Word | LoadWidth::ByteUnsigned | LoadWidth::HalfUnsigned => raw,
+                };
+                self.set(rd, value);
+            }
+            Instruction::Store { width, rs2, rs1, offset } => {
+                let addr = self.get(rs1).wrapping_add(offset as u32);
+                let size = match width {
+                    StoreWidth::Byte => 1,
+                    StoreWidth::Half => 2,
+                    StoreWidth::Word => 4,
+                };
+                self.mem.write(addr, size, self.get(rs2))?;
+            }
+            Instruction::Branch { cond, rs1, rs2, offset } => {
+                let (a, b) = (self.get(rs1), self.get(rs2));
+                let taken = match cond {
+                    BranchCond::Eq => a == b,
+                    BranchCond::Ne => a != b,
+                    BranchCond::Lt => (a as i32) < (b as i32),
+                    BranchCond::Ge => (a as i32) >= (b as i32),
+                    BranchCond::Ltu => a < b,
+                    BranchCond::Geu => a >= b,
+                };
+                if taken {
+                    next = pc.wrapping_add(offset as u32);
+                }
+            }
+            Instruction::Lui { rd, imm } => self.set(rd, imm as u32),
+            Instruction::Auipc { rd, imm } => self.set(rd, pc.wrapping_add(imm as u32)),
+            Instruction::Jal { rd, offset } => {
+                self.set(rd, pc.wrapping_add(4));
+                next = pc.wrapping_add(offset as u32);
+            }
+            Instruction::Jalr { rd, rs1, offset } => {
+                // Target computed before the link write so `jalr rd, rd` uses
+                // the old value; bit 0 of the target is cleared per spec.
+                let target = self.get(rs1).wrapping_add(offset as u32) & 0xffff_fffe;
+                self.set(rd, pc.wrapping_add(4));
+                next = target;
+            }
+            Instruction::Ecall => {
+                if self.get(Reg::A7) == 1 {
+                    let printed = self.get(Reg::A0);
+                    self.console.push(printed);
+                } else {
+                    stop = Some(StopReason::Ecall);
+                }
+            }
+            Instruction::Ebreak => stop = Some(StopReason::Ebreak),
+            Instruction::Fence => {}
+        }
+
+        self.retired += 1;
+        self.pc = next;
+        Ok(stop)
+    }
+
+    /// Runs until exit or until `max_steps` instructions retired.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first fault.
+    pub fn run(&mut self, max_steps: u64) -> Result<StopReason, Fault> {
+        while self.retired < max_steps {
+            if let Some(stop) = self.step()? {
+                return Ok(stop);
+            }
+        }
+        Ok(StopReason::StepLimit)
+    }
+}
+
+/// Reference ALU, shared by the register and immediate forms.
+///
+/// Wide operations go through explicit 64-bit intermediates; div/rem spell
+/// out the spec's three cases (normal, divide-by-zero, signed overflow).
+fn alu_ref(op: AluOp, a: u32, b: u32) -> u32 {
+    match op {
+        AluOp::Add => ((u64::from(a) + u64::from(b)) & 0xffff_ffff) as u32,
+        AluOp::Sub => ((u64::from(a) + u64::from(!b) + 1) & 0xffff_ffff) as u32,
+        AluOp::Sll => ((u64::from(a) << (b % 32)) & 0xffff_ffff) as u32,
+        AluOp::Slt => u32::from((a as i32) < (b as i32)),
+        AluOp::Sltu => u32::from(a < b),
+        AluOp::Xor => a ^ b,
+        AluOp::Srl => a >> (b % 32),
+        AluOp::Sra => ((i64::from(a as i32) >> (b % 32)) & 0xffff_ffff) as u32,
+        AluOp::Or => a | b,
+        AluOp::And => a & b,
+        AluOp::Mul => ((i64::from(a as i32) * i64::from(b as i32)) & 0xffff_ffff) as u32,
+        AluOp::Mulh => ((i64::from(a as i32) * i64::from(b as i32)) >> 32) as u32,
+        AluOp::Mulhsu => ((i64::from(a as i32) * (i64::from(b) & 0xffff_ffff)) >> 32) as u32,
+        AluOp::Mulhu => ((u64::from(a) * u64::from(b)) >> 32) as u32,
+        AluOp::Div => {
+            let (sa, sb) = (a as i32, b as i32);
+            if sb == 0 {
+                0xffff_ffff
+            } else if sa == i32::MIN && sb == -1 {
+                // Signed overflow: quotient is the dividend.
+                sa as u32
+            } else {
+                (sa / sb) as u32
+            }
+        }
+        AluOp::Divu => a.checked_div(b).unwrap_or(0xffff_ffff),
+        AluOp::Rem => {
+            let (sa, sb) = (a as i32, b as i32);
+            if sb == 0 {
+                sa as u32
+            } else if sa == i32::MIN && sb == -1 {
+                0
+            } else {
+                (sa % sb) as u32
+            }
+        }
+        AluOp::Remu => {
+            if b == 0 {
+                a
+            } else {
+                a % b
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lofat_rv32::isa::Reg;
+
+    fn addi(rd: Reg, rs1: Reg, imm: i32) -> Instruction {
+        Instruction::AluImm { op: AluImmOp::Addi, rd, rs1, imm }
+    }
+
+    fn run_program(insts: &[Instruction]) -> OracleCpu {
+        let program = Program::from_instructions(insts);
+        let mut cpu = OracleCpu::new(&program);
+        cpu.run(100_000).expect("oracle run");
+        cpu
+    }
+
+    #[test]
+    fn loop_sums_like_the_reference() {
+        let insts = vec![
+            addi(Reg::A0, Reg::ZERO, 0),
+            addi(Reg::T0, Reg::ZERO, 5),
+            Instruction::Alu { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A0, rs2: Reg::T0 },
+            addi(Reg::T0, Reg::T0, -1),
+            Instruction::Branch { cond: BranchCond::Ne, rs1: Reg::T0, rs2: Reg::ZERO, offset: -8 },
+            Instruction::Ecall,
+        ];
+        let cpu = run_program(&insts);
+        assert_eq!(cpu.regs()[10], 15);
+        assert_eq!(cpu.retired(), 2 + 3 * 5 + 1);
+    }
+
+    #[test]
+    fn decode_agrees_with_production_on_canonical_words() {
+        for inst in [
+            Instruction::Alu {
+                op: AluOp::Mulh,
+                rd: Reg::new(5),
+                rs1: Reg::new(6),
+                rs2: Reg::new(7),
+            },
+            addi(Reg::A0, Reg::SP, -16),
+            Instruction::Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 },
+            Instruction::Ecall,
+            Instruction::Ebreak,
+            Instruction::Fence,
+        ] {
+            let word = inst.encode();
+            assert_eq!(decode_word(word, 0).expect("decode"), inst);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_reserved_encodings() {
+        // SLLI with a non-zero funct7, ECALL with a non-zero rd, FENCE.I.
+        let slli_bad =
+            Instruction::AluImm { op: AluImmOp::Slli, rd: Reg::T0, rs1: Reg::T0, imm: 1 }.encode()
+                | (1 << 25);
+        assert!(decode_word(slli_bad, 0).is_err());
+        assert!(decode_word(0x0000_0073 | (2 << 7), 0).is_err());
+        assert!(decode_word(0x0000_100f, 0).is_err());
+    }
+
+    #[test]
+    fn memory_wrap_around_is_unmapped_not_a_crash() {
+        let program = Program::from_instructions(&[Instruction::Ecall]);
+        let cpu = OracleCpu::new(&program);
+        assert_eq!(
+            cpu.mem().read(u32::MAX, 4).unwrap_err().kind,
+            FaultKind::Unmapped,
+            "an access wrapping the address space must fault, not panic"
+        );
+    }
+
+    #[test]
+    fn faulting_instruction_retires_nothing() {
+        // Load from unmapped memory: the register file and counters must be
+        // untouched afterwards.
+        let insts = vec![Instruction::Load {
+            width: LoadWidth::Word,
+            rd: Reg::A0,
+            rs1: Reg::ZERO,
+            offset: -4,
+        }];
+        let program = Program::from_instructions(&insts);
+        let mut cpu = OracleCpu::new(&program);
+        let fault = cpu.run(10).unwrap_err();
+        assert_eq!(fault.kind, FaultKind::Unmapped);
+        assert_eq!(cpu.retired(), 0);
+        assert_eq!(cpu.regs()[10], 0);
+    }
+}

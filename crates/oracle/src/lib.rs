@@ -1,0 +1,40 @@
+//! Independent RV32IM reference oracle for differential ISA testing.
+//!
+//! Every verdict the LO-FAT verifier issues rests on the RV32 semantics of
+//! `lofat-rv32`'s [`Cpu`](lofat_rv32::Cpu).  Until this crate existed those
+//! semantics were only ever checked against *themselves* (the predecode path
+//! against the decode-on-fetch path of the same core), so a semantic bug
+//! shared by both paths passed silently.  This crate breaks that loop with
+//! three deliberately independent pieces:
+//!
+//! * [`interp`] — a naive reference interpreter written from the RISC-V spec:
+//!   its own decoder (straight-line bit extraction, no tables), its own flat
+//!   memory model and its own ALU, sharing nothing with `lofat-rv32` beyond
+//!   the [`Instruction`](lofat_rv32::Instruction) *type* used to name decoded
+//!   fields;
+//! * [`gen`] — a structure-aware program generator producing constrained
+//!   random RV32IM instruction sequences with valid branch targets, bounded
+//!   loops and guaranteed termination via a fuel counter;
+//! * [`diff`] — the differential harness: runs a program through the `Cpu`
+//!   twice (predecode and decode-on-fetch) and through the oracle, then diffs
+//!   final register file, data/stack memory, console output, retired-
+//!   instruction count and fault outcomes.  Divergences serialize to
+//!   reproducer seed files that are committed under `tests/corpus/isa/`.
+//!
+//! The oracle is *intentionally* slow and boring: one linear segment scan per
+//! access, byte-at-a-time memory, a fresh `match` per instruction.  Boring is
+//! the point — it has no fast path to share a bug with.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diff;
+pub mod gen;
+pub mod interp;
+
+pub use diff::{
+    diff_program, parse_seed, program_from_words, seed_text, DiffError, Divergence, Outcome,
+    RunSummary,
+};
+pub use gen::{generate, GenConfig};
+pub use interp::{decode_word, Fault, FaultKind, OracleCpu, OracleMem, StopReason};

@@ -1,0 +1,182 @@
+//! Property tests pinning the memory-model *edge* semantics of the
+//! production [`lofat_rv32::Memory`] against the independently written
+//! [`OracleMem`](lofat_oracle::OracleMem).
+//!
+//! The differential CPU harness only reaches addresses generated programs
+//! compute; this suite drives the two memory models directly with
+//! adversarially chosen accesses — segment boundaries, the last valid
+//! address, out-of-bounds, unaligned, permission-protected text, and the
+//! top of the address space where `addr + size` overflows `u32` — and
+//! requires bit-identical results *and* identical fault classification.
+//!
+//! Bounded by `PROPTEST_CASES` like every property suite in the workspace.
+
+use lofat_oracle::{FaultKind, OracleCpu};
+use lofat_rv32::program::{
+    Program, DEFAULT_DATA_BASE, DEFAULT_STACK_BASE, DEFAULT_STACK_SIZE, DEFAULT_TEXT_BASE,
+};
+use lofat_rv32::{Memory, Rv32Error};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// The shared test image: a one-word text segment and a small patterned
+/// data payload (padded to 4 KiB by both loaders).
+fn program() -> Program {
+    Program {
+        text_base: DEFAULT_TEXT_BASE,
+        text: vec![0x0000_0073], // ecall
+        data_base: DEFAULT_DATA_BASE,
+        data: (0..64u32).map(|i| (i * 37 + 11) as u8).collect(),
+        entry: DEFAULT_TEXT_BASE,
+        symbols: BTreeMap::new(),
+        stack_size: DEFAULT_STACK_SIZE,
+    }
+}
+
+fn pair() -> (Memory, OracleCpu) {
+    let program = program();
+    let memory = program.build_memory().expect("production image");
+    let oracle = OracleCpu::new(&program);
+    (memory, oracle)
+}
+
+const DATA_END: u32 = DEFAULT_DATA_BASE + 4096;
+const STACK_END: u32 = DEFAULT_STACK_BASE + DEFAULT_STACK_SIZE;
+
+/// Addresses biased towards every edge the models disagree on when buggy.
+fn addr_strategy() -> impl Strategy<Value = u32> {
+    prop_oneof![
+        // In and around the data segment, including its last valid bytes.
+        (DEFAULT_DATA_BASE - 8)..(DEFAULT_DATA_BASE + 16),
+        (DATA_END - 8)..(DATA_END + 8),
+        // The text segment (mapped read-execute: stores must fault).
+        (DEFAULT_TEXT_BASE - 4)..(DEFAULT_TEXT_BASE + 12),
+        // The stack: base, interior, and one past the top.
+        (DEFAULT_STACK_BASE - 8)..(DEFAULT_STACK_BASE + 8),
+        (STACK_END - 8)..=(STACK_END + 7),
+        // The very top of the address space: `addr + size` overflows u32.
+        0xffff_fff8..=0xffff_ffffu32,
+        // Anywhere.
+        any::<u32>(),
+    ]
+}
+
+/// One raw access: load or store, any of the three sizes.
+#[derive(Debug, Clone)]
+struct Access {
+    addr: u32,
+    size: u32,
+    value: u32,
+    store: bool,
+}
+
+fn access_strategy() -> impl Strategy<Value = Access> {
+    (addr_strategy(), prop_oneof![Just(1u32), Just(2), Just(4)], any::<u32>(), any::<bool>())
+        .prop_map(|(addr, size, value, store)| Access { addr, size, value, store })
+}
+
+/// Collapses both error types onto the shared fault taxonomy so the
+/// classifications can be compared: (kind, faulting address).
+fn production_fault(error: &Rv32Error) -> (FaultKind, u32) {
+    match error {
+        Rv32Error::MemoryUnmapped { addr, .. } => (FaultKind::Unmapped, *addr),
+        Rv32Error::MemoryPermission { addr, .. } => (FaultKind::Permission, *addr),
+        Rv32Error::Misaligned { addr, .. } => (FaultKind::Misaligned, *addr),
+        other => panic!("memory access raised a non-memory error: {other:?}"),
+    }
+}
+
+proptest! {
+    /// Driving both models with the same access sequence produces the same
+    /// values, the same fault classifications, and the same final bytes.
+    #[test]
+    fn access_sequences_behave_identically(ops in proptest::collection::vec(access_strategy(), 1..40)) {
+        let (mut memory, mut oracle) = pair();
+        for (index, op) in ops.iter().enumerate() {
+            if op.store {
+                let a = memory.store(op.addr, op.size, op.value);
+                let b = oracle.mem_mut().write(op.addr, op.size, op.value);
+                match (a, b) {
+                    (Ok(()), Ok(())) => {}
+                    (Err(pe), Err(oe)) => prop_assert_eq!(
+                        production_fault(&pe),
+                        (oe.kind, oe.addr),
+                        "op {}: store {:#010x}+{} fault class",
+                        index, op.addr, op.size
+                    ),
+                    (a, b) => return Err(TestCaseError::fail(format!(
+                        "op {index}: store {:#010x}+{} split: production {a:?} vs oracle {b:?}",
+                        op.addr, op.size
+                    ))),
+                }
+            } else {
+                let a = memory.load(op.addr, op.size);
+                let b = oracle.mem().read(op.addr, op.size);
+                match (a, b) {
+                    (Ok(x), Ok(y)) => prop_assert_eq!(
+                        x, y, "op {}: load {:#010x}+{} value", index, op.addr, op.size
+                    ),
+                    (Err(pe), Err(oe)) => prop_assert_eq!(
+                        production_fault(&pe),
+                        (oe.kind, oe.addr),
+                        "op {}: load {:#010x}+{} fault class",
+                        index, op.addr, op.size
+                    ),
+                    (a, b) => return Err(TestCaseError::fail(format!(
+                        "op {index}: load {:#010x}+{} split: production {a:?} vs oracle {b:?}",
+                        op.addr, op.size
+                    ))),
+                }
+            }
+        }
+        // Whatever the op sequence did, the final bytes agree everywhere.
+        for (base, len) in [(DEFAULT_DATA_BASE, 4096u32), (DEFAULT_STACK_BASE, DEFAULT_STACK_SIZE)] {
+            let bytes = memory.peek_bytes(base, len).expect("segment readable");
+            for i in 0..len {
+                prop_assert_eq!(
+                    Some(bytes[i as usize]),
+                    oracle.mem().peek(base + i),
+                    "final byte at {:#010x}", base + i
+                );
+            }
+        }
+    }
+
+    /// A store at the last valid address of each writable segment succeeds
+    /// in both models; one byte further is the identical unmapped fault.
+    #[test]
+    fn last_valid_address_is_exact(size in prop_oneof![Just(1u32), Just(2), Just(4)], value in any::<u32>()) {
+        let (mut memory, mut oracle) = pair();
+        for end in [DATA_END, STACK_END] {
+            let last = end - size;
+            prop_assert!(memory.store(last, size, value).is_ok(), "production store at {last:#010x}+{size}");
+            prop_assert!(oracle.mem_mut().write(last, size, value).is_ok(), "oracle store at {last:#010x}+{size}");
+            let a = memory.store(last + 1, size, value);
+            let b = oracle.mem_mut().write(last + 1, size, value);
+            prop_assert!(a.is_err() && b.is_err(), "store straddling {end:#010x} must fault");
+            prop_assert_eq!(
+                production_fault(&a.unwrap_err()),
+                { let e = b.unwrap_err(); (e.kind, e.addr) },
+                "straddling fault class at {:#010x}", last + 1
+            );
+        }
+    }
+
+    /// Instruction fetch agrees too: alignment, permissions (fetching data
+    /// or stack), unmapped PCs and the overflow corner.
+    #[test]
+    fn fetch_behaves_identically(pc in addr_strategy()) {
+        let (memory, oracle) = pair();
+        match (memory.fetch(pc), oracle.mem().fetch(pc)) {
+            (Ok(x), Ok(y)) => prop_assert_eq!(x, y, "fetched word at {:#010x}", pc),
+            (Err(pe), Err(oe)) => prop_assert_eq!(
+                production_fault(&pe),
+                (oe.kind, oe.addr),
+                "fetch fault class at {:#010x}", pc
+            ),
+            (a, b) => return Err(TestCaseError::fail(format!(
+                "fetch {pc:#010x} split: production {a:?} vs oracle {b:?}"
+            ))),
+        }
+    }
+}

@@ -1,0 +1,468 @@
+//! Minimal ELF32 loader for externally-assembled static RV32 executables.
+//!
+//! The supported surface is deliberately tiny: little-endian `ELFCLASS32`
+//! `ET_EXEC` images for `EM_RISCV`, with one executable `PT_LOAD` segment
+//! (the text) and at most one writable `PT_LOAD` segment (the data).  That is
+//! exactly the shape `riscv32-unknown-elf-gcc -nostdlib -static` (or a bare
+//! assembler + linker script) produces for the freestanding programs this
+//! simulator attests.  Everything else — dynamic objects, interpreters,
+//! relocations, extra segment types, writable-and-executable segments — is
+//! rejected with a typed [`ElfError`] instead of being half-loaded.
+//!
+//! The loader maps the segments onto the [`Program`] image model: the
+//! executable segment becomes the instruction words, the writable segment the
+//! initialised data, and the stack keeps the simulator's fixed layout
+//! ([`crate::program::DEFAULT_STACK_BASE`]).
+
+use crate::program::{Program, DEFAULT_DATA_BASE, DEFAULT_STACK_BASE, DEFAULT_STACK_SIZE};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// ELF magic: `\x7fELF`.
+const MAGIC: [u8; 4] = [0x7f, b'E', b'L', b'F'];
+/// `EI_CLASS` value for 32-bit objects.
+const ELFCLASS32: u8 = 1;
+/// `EI_DATA` value for little-endian objects.
+const ELFDATA2LSB: u8 = 1;
+/// `e_type` value for executable objects.
+const ET_EXEC: u16 = 2;
+/// `e_machine` value for RISC-V.
+const EM_RISCV: u16 = 243;
+/// `p_type` value for loadable segments.
+const PT_LOAD: u32 = 1;
+/// Segment flag: executable.
+const PF_X: u32 = 1;
+/// Segment flag: writable.
+const PF_W: u32 = 2;
+/// Size of the ELF32 file header.
+const EHDR_SIZE: usize = 52;
+/// Size of one ELF32 program header.
+const PHDR_SIZE: usize = 32;
+
+/// Typed rejection reasons of the ELF32 loader.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ElfError {
+    /// The file is shorter than a structure the header claims it contains.
+    Truncated {
+        /// What was being read when the file ended.
+        what: &'static str,
+    },
+    /// The file does not start with `\x7fELF`.
+    BadMagic,
+    /// `EI_CLASS` is not `ELFCLASS32`.
+    NotElf32,
+    /// `EI_DATA` is not little-endian.
+    NotLittleEndian,
+    /// `e_type` is not `ET_EXEC` (dynamic/relocatable objects unsupported).
+    NotExecutable {
+        /// The actual `e_type` value.
+        e_type: u16,
+    },
+    /// `e_machine` is not `EM_RISCV`.
+    WrongMachine {
+        /// The actual `e_machine` value.
+        e_machine: u16,
+    },
+    /// `e_phentsize` is not the ELF32 program-header size.
+    BadPhentsize {
+        /// The actual `e_phentsize` value.
+        size: u16,
+    },
+    /// A program header has a type other than `PT_LOAD` or `PT_NULL`.
+    UnsupportedSegment {
+        /// The unsupported `p_type` value.
+        p_type: u32,
+    },
+    /// A loadable segment is both writable and executable.
+    WritableText {
+        /// The segment's virtual address.
+        vaddr: u32,
+    },
+    /// A loadable segment's `p_memsz` is smaller than its `p_filesz`.
+    MemszBelowFilesz {
+        /// The segment's virtual address.
+        vaddr: u32,
+    },
+    /// The image has no executable `PT_LOAD` segment.
+    NoTextSegment,
+    /// The image has more than one executable or more than one writable
+    /// `PT_LOAD` segment.
+    TooManySegments {
+        /// `"text"` or `"data"`.
+        which: &'static str,
+    },
+    /// The executable segment is not 4-byte aligned (address or size).
+    MisalignedText {
+        /// The segment's virtual address.
+        vaddr: u32,
+    },
+    /// The entry point lies outside the executable segment or is misaligned.
+    BadEntry {
+        /// The entry address.
+        entry: u32,
+    },
+    /// Two loadable segments overlap, or one collides with the simulator's
+    /// fixed stack region.
+    SegmentCollision {
+        /// Description of the colliding pair.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ElfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ElfError::Truncated { what } => write!(f, "truncated ELF file while reading {what}"),
+            ElfError::BadMagic => write!(f, "not an ELF file (bad magic)"),
+            ElfError::NotElf32 => write!(f, "not a 32-bit ELF object"),
+            ElfError::NotLittleEndian => write!(f, "not a little-endian ELF object"),
+            ElfError::NotExecutable { e_type } => {
+                write!(f, "unsupported e_type {e_type} (only static ET_EXEC is supported)")
+            }
+            ElfError::WrongMachine { e_machine } => {
+                write!(f, "unsupported e_machine {e_machine} (expected RISC-V, {EM_RISCV})")
+            }
+            ElfError::BadPhentsize { size } => {
+                write!(f, "unsupported e_phentsize {size} (expected {PHDR_SIZE})")
+            }
+            ElfError::UnsupportedSegment { p_type } => {
+                write!(f, "unsupported program header type {p_type:#x} (only PT_LOAD)")
+            }
+            ElfError::WritableText { vaddr } => {
+                write!(f, "segment at {vaddr:#010x} is both writable and executable")
+            }
+            ElfError::MemszBelowFilesz { vaddr } => {
+                write!(f, "segment at {vaddr:#010x} has p_memsz < p_filesz")
+            }
+            ElfError::NoTextSegment => write!(f, "no executable PT_LOAD segment"),
+            ElfError::TooManySegments { which } => {
+                write!(f, "more than one {which} PT_LOAD segment")
+            }
+            ElfError::MisalignedText { vaddr } => {
+                write!(f, "executable segment at {vaddr:#010x} is not 4-byte aligned")
+            }
+            ElfError::BadEntry { entry } => {
+                write!(f, "entry point {entry:#010x} outside the executable segment")
+            }
+            ElfError::SegmentCollision { detail } => write!(f, "segment collision: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ElfError {}
+
+/// One parsed `PT_LOAD` program header plus its file bytes, zero-extended to
+/// `p_memsz`.
+struct LoadSegment {
+    vaddr: u32,
+    bytes: Vec<u8>,
+    executable: bool,
+    writable: bool,
+}
+
+fn read_u16(bytes: &[u8], at: usize, what: &'static str) -> Result<u16, ElfError> {
+    let slice = bytes.get(at..at + 2).ok_or(ElfError::Truncated { what })?;
+    Ok(u16::from_le_bytes([slice[0], slice[1]]))
+}
+
+fn read_u32(bytes: &[u8], at: usize, what: &'static str) -> Result<u32, ElfError> {
+    let slice = bytes.get(at..at + 4).ok_or(ElfError::Truncated { what })?;
+    Ok(u32::from_le_bytes([slice[0], slice[1], slice[2], slice[3]]))
+}
+
+/// Parses a static RV32 ELF32 executable into a [`Program`] image.
+///
+/// # Errors
+///
+/// Returns a typed [`ElfError`] for anything outside the supported shape; the
+/// loader never maps a partially-validated image.
+pub fn parse(bytes: &[u8]) -> Result<Program, ElfError> {
+    if bytes.len() < EHDR_SIZE {
+        return Err(ElfError::Truncated { what: "file header" });
+    }
+    if bytes[0..4] != MAGIC {
+        return Err(ElfError::BadMagic);
+    }
+    if bytes[4] != ELFCLASS32 {
+        return Err(ElfError::NotElf32);
+    }
+    if bytes[5] != ELFDATA2LSB {
+        return Err(ElfError::NotLittleEndian);
+    }
+    let e_type = read_u16(bytes, 16, "e_type")?;
+    if e_type != ET_EXEC {
+        return Err(ElfError::NotExecutable { e_type });
+    }
+    let e_machine = read_u16(bytes, 18, "e_machine")?;
+    if e_machine != EM_RISCV {
+        return Err(ElfError::WrongMachine { e_machine });
+    }
+    let entry = read_u32(bytes, 24, "e_entry")?;
+    let phoff = read_u32(bytes, 28, "e_phoff")? as usize;
+    let phentsize = read_u16(bytes, 42, "e_phentsize")?;
+    if phentsize as usize != PHDR_SIZE {
+        return Err(ElfError::BadPhentsize { size: phentsize });
+    }
+    let phnum = read_u16(bytes, 44, "e_phnum")? as usize;
+
+    let mut segments: Vec<LoadSegment> = Vec::new();
+    for index in 0..phnum {
+        let at = phoff + index * PHDR_SIZE;
+        let p_type = read_u32(bytes, at, "program header")?;
+        if p_type == 0 {
+            continue; // PT_NULL: explicitly ignorable.
+        }
+        if p_type != PT_LOAD {
+            return Err(ElfError::UnsupportedSegment { p_type });
+        }
+        let p_offset = read_u32(bytes, at + 4, "p_offset")? as usize;
+        let p_vaddr = read_u32(bytes, at + 8, "p_vaddr")?;
+        let p_filesz = read_u32(bytes, at + 16, "p_filesz")? as usize;
+        let p_memsz = read_u32(bytes, at + 20, "p_memsz")? as usize;
+        let p_flags = read_u32(bytes, at + 24, "p_flags")?;
+        if p_memsz < p_filesz {
+            return Err(ElfError::MemszBelowFilesz { vaddr: p_vaddr });
+        }
+        if p_memsz == 0 {
+            continue; // Nothing to map.
+        }
+        let executable = p_flags & PF_X != 0;
+        let writable = p_flags & PF_W != 0;
+        if executable && writable {
+            return Err(ElfError::WritableText { vaddr: p_vaddr });
+        }
+        let file_bytes = bytes
+            .get(p_offset..p_offset + p_filesz)
+            .ok_or(ElfError::Truncated { what: "segment contents" })?;
+        let mut segment_bytes = file_bytes.to_vec();
+        segment_bytes.resize(p_memsz, 0);
+        segments.push(LoadSegment { vaddr: p_vaddr, bytes: segment_bytes, executable, writable });
+    }
+
+    // Collision checks: among the loadable segments and against the fixed
+    // stack region the simulator always maps.
+    let range = |s: &LoadSegment| (u64::from(s.vaddr), u64::from(s.vaddr) + s.bytes.len() as u64);
+    for (i, a) in segments.iter().enumerate() {
+        let (a_lo, a_hi) = range(a);
+        for b in segments.iter().skip(i + 1) {
+            let (b_lo, b_hi) = range(b);
+            if a_lo < b_hi && b_lo < a_hi {
+                return Err(ElfError::SegmentCollision {
+                    detail: format!("segments at {:#010x} and {:#010x}", a.vaddr, b.vaddr),
+                });
+            }
+        }
+        let stack_lo = u64::from(DEFAULT_STACK_BASE);
+        let stack_hi = stack_lo + u64::from(DEFAULT_STACK_SIZE);
+        if a_lo < stack_hi && stack_lo < a_hi {
+            return Err(ElfError::SegmentCollision {
+                detail: format!(
+                    "segment at {:#010x} overlaps the stack region [{:#010x}, {:#010x})",
+                    a.vaddr, DEFAULT_STACK_BASE, stack_hi
+                ),
+            });
+        }
+    }
+
+    let mut text: Option<&LoadSegment> = None;
+    let mut data: Option<&LoadSegment> = None;
+    for segment in &segments {
+        let slot = if segment.executable { &mut text } else { &mut data };
+        let which = if segment.executable { "text" } else { "data" };
+        if slot.replace(segment).is_some() {
+            return Err(ElfError::TooManySegments { which });
+        }
+    }
+    let text = text.ok_or(ElfError::NoTextSegment)?;
+    if text.vaddr % 4 != 0 || text.bytes.len() % 4 != 0 {
+        return Err(ElfError::MisalignedText { vaddr: text.vaddr });
+    }
+    let text_end = text.vaddr + text.bytes.len() as u32;
+    if entry < text.vaddr || entry >= text_end || entry % 4 != 0 {
+        return Err(ElfError::BadEntry { entry });
+    }
+    let words: Vec<u32> =
+        text.bytes.chunks_exact(4).map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect();
+
+    let (data_base, data_bytes) = match data {
+        Some(segment) => {
+            debug_assert!(segment.writable, "non-executable PT_LOAD is data");
+            (segment.vaddr, segment.bytes.clone())
+        }
+        None => (DEFAULT_DATA_BASE, Vec::new()),
+    };
+
+    Ok(Program {
+        text_base: text.vaddr,
+        text: words,
+        data_base,
+        data: data_bytes,
+        entry,
+        symbols: BTreeMap::new(),
+        stack_size: DEFAULT_STACK_SIZE,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{AluImmOp, Instruction, Reg};
+    use crate::Cpu;
+
+    /// Builds a minimal ELF32 image in memory: header, program headers,
+    /// then the segment contents appended in order.
+    fn build_elf(
+        e_type: u16,
+        machine: u16,
+        entry: u32,
+        phdrs: &[(u32, u32, Vec<u8>, u32)],
+    ) -> Vec<u8> {
+        // phdrs: (p_type, p_vaddr, contents, p_flags); p_memsz == p_filesz.
+        let phoff = EHDR_SIZE;
+        let data_off = phoff + phdrs.len() * PHDR_SIZE;
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC);
+        out.push(ELFCLASS32);
+        out.push(ELFDATA2LSB);
+        out.push(1); // EI_VERSION
+        out.resize(16, 0); // padding
+        out.extend_from_slice(&e_type.to_le_bytes());
+        out.extend_from_slice(&machine.to_le_bytes());
+        out.extend_from_slice(&1u32.to_le_bytes()); // e_version
+        out.extend_from_slice(&entry.to_le_bytes());
+        out.extend_from_slice(&(phoff as u32).to_le_bytes());
+        out.extend_from_slice(&0u32.to_le_bytes()); // e_shoff
+        out.extend_from_slice(&0u32.to_le_bytes()); // e_flags
+        out.extend_from_slice(&(EHDR_SIZE as u16).to_le_bytes());
+        out.extend_from_slice(&(PHDR_SIZE as u16).to_le_bytes());
+        out.extend_from_slice(&(phdrs.len() as u16).to_le_bytes());
+        out.extend_from_slice(&0u16.to_le_bytes()); // e_shentsize
+        out.extend_from_slice(&0u16.to_le_bytes()); // e_shnum
+        out.extend_from_slice(&0u16.to_le_bytes()); // e_shstrndx
+        assert_eq!(out.len(), EHDR_SIZE);
+        let mut offset = data_off;
+        for (p_type, vaddr, contents, flags) in phdrs {
+            out.extend_from_slice(&p_type.to_le_bytes());
+            out.extend_from_slice(&(offset as u32).to_le_bytes());
+            out.extend_from_slice(&vaddr.to_le_bytes()); // p_vaddr
+            out.extend_from_slice(&vaddr.to_le_bytes()); // p_paddr
+            out.extend_from_slice(&(contents.len() as u32).to_le_bytes()); // p_filesz
+            out.extend_from_slice(&(contents.len() as u32).to_le_bytes()); // p_memsz
+            out.extend_from_slice(&flags.to_le_bytes());
+            out.extend_from_slice(&4u32.to_le_bytes()); // p_align
+            offset += contents.len();
+        }
+        for (_, _, contents, _) in phdrs {
+            out.extend_from_slice(contents);
+        }
+        out
+    }
+
+    fn text_bytes() -> Vec<u8> {
+        // addi a0, zero, 7; ecall
+        let insts = [
+            Instruction::AluImm { op: AluImmOp::Addi, rd: Reg::A0, rs1: Reg::ZERO, imm: 7 },
+            Instruction::Ecall,
+        ];
+        insts.iter().flat_map(|i| i.encode().to_le_bytes()).collect()
+    }
+
+    #[test]
+    fn loads_and_runs_a_minimal_executable() {
+        let elf = build_elf(
+            ET_EXEC,
+            EM_RISCV,
+            0x1000,
+            &[
+                (PT_LOAD, 0x1000, text_bytes(), 5),      // r-x
+                (PT_LOAD, 0x10000, vec![1, 2, 3, 4], 6), // rw-
+            ],
+        );
+        let program = parse(&elf).expect("parse");
+        assert_eq!(program.text_base, 0x1000);
+        assert_eq!(program.entry, 0x1000);
+        assert_eq!(program.data_base, 0x10000);
+        assert_eq!(program.data, vec![1, 2, 3, 4]);
+        let mut cpu = Cpu::new(&program).expect("load");
+        let exit = cpu.run(1_000).expect("run");
+        assert_eq!(exit.register_a0, 7);
+    }
+
+    #[test]
+    fn text_only_image_gets_default_data_base() {
+        let elf = build_elf(ET_EXEC, EM_RISCV, 0x1000, &[(PT_LOAD, 0x1000, text_bytes(), 5)]);
+        let program = parse(&elf).expect("parse");
+        assert_eq!(program.data_base, DEFAULT_DATA_BASE);
+        assert!(program.data.is_empty());
+    }
+
+    #[test]
+    fn rejections_are_typed() {
+        let good = build_elf(ET_EXEC, EM_RISCV, 0x1000, &[(PT_LOAD, 0x1000, text_bytes(), 5)]);
+
+        assert_eq!(parse(&[]), Err(ElfError::Truncated { what: "file header" }));
+        let mut bad = good.clone();
+        bad[0] = 0;
+        assert_eq!(parse(&bad), Err(ElfError::BadMagic));
+        let mut bad = good.clone();
+        bad[4] = 2; // ELFCLASS64
+        assert_eq!(parse(&bad), Err(ElfError::NotElf32));
+        let mut bad = good.clone();
+        bad[5] = 2; // big-endian
+        assert_eq!(parse(&bad), Err(ElfError::NotLittleEndian));
+
+        let dynamic = build_elf(3, EM_RISCV, 0x1000, &[(PT_LOAD, 0x1000, text_bytes(), 5)]);
+        assert_eq!(parse(&dynamic), Err(ElfError::NotExecutable { e_type: 3 }));
+        let x86 = build_elf(ET_EXEC, 3, 0x1000, &[(PT_LOAD, 0x1000, text_bytes(), 5)]);
+        assert_eq!(parse(&x86), Err(ElfError::WrongMachine { e_machine: 3 }));
+
+        // PT_INTERP (3) → unsupported segment type.
+        let interp = build_elf(
+            ET_EXEC,
+            EM_RISCV,
+            0x1000,
+            &[(PT_LOAD, 0x1000, text_bytes(), 5), (3, 0, b"/lib/ld.so".to_vec(), 4)],
+        );
+        assert_eq!(parse(&interp), Err(ElfError::UnsupportedSegment { p_type: 3 }));
+
+        // Writable + executable segment.
+        let wx = build_elf(ET_EXEC, EM_RISCV, 0x1000, &[(PT_LOAD, 0x1000, text_bytes(), 7)]);
+        assert_eq!(parse(&wx), Err(ElfError::WritableText { vaddr: 0x1000 }));
+
+        // No executable segment at all.
+        let noexec = build_elf(ET_EXEC, EM_RISCV, 0x1000, &[(PT_LOAD, 0x10000, vec![0; 8], 6)]);
+        assert_eq!(parse(&noexec), Err(ElfError::NoTextSegment));
+
+        // Entry outside the text segment.
+        let badentry = build_elf(ET_EXEC, EM_RISCV, 0x2000, &[(PT_LOAD, 0x1000, text_bytes(), 5)]);
+        assert_eq!(parse(&badentry), Err(ElfError::BadEntry { entry: 0x2000 }));
+
+        // Misaligned entry.
+        let odd = build_elf(ET_EXEC, EM_RISCV, 0x1002, &[(PT_LOAD, 0x1000, text_bytes(), 5)]);
+        assert_eq!(parse(&odd), Err(ElfError::BadEntry { entry: 0x1002 }));
+
+        // Segment overlapping the fixed stack region.
+        let clash = build_elf(
+            ET_EXEC,
+            EM_RISCV,
+            0x1000,
+            &[(PT_LOAD, 0x1000, text_bytes(), 5), (PT_LOAD, DEFAULT_STACK_BASE, vec![0; 16], 6)],
+        );
+        assert!(matches!(parse(&clash), Err(ElfError::SegmentCollision { .. })));
+
+        // Two executable segments.
+        let two_text = build_elf(
+            ET_EXEC,
+            EM_RISCV,
+            0x1000,
+            &[(PT_LOAD, 0x1000, text_bytes(), 5), (PT_LOAD, 0x3000, text_bytes(), 5)],
+        );
+        assert_eq!(parse(&two_text), Err(ElfError::TooManySegments { which: "text" }));
+
+        // Truncated segment contents.
+        let mut short = good;
+        short.truncate(short.len() - 2);
+        assert_eq!(parse(&short), Err(ElfError::Truncated { what: "segment contents" }));
+    }
+}

@@ -460,7 +460,13 @@ impl Instruction {
                     0b100 => AluImmOp::Xori,
                     0b110 => AluImmOp::Ori,
                     0b111 => AluImmOp::Andi,
-                    0b001 => AluImmOp::Slli,
+                    0b001 => {
+                        // SLLI reserves the funct7 field: only 0b000_0000 is RV32I.
+                        if funct7 != 0 {
+                            return Err(invalid());
+                        }
+                        AluImmOp::Slli
+                    }
                     0b101 => {
                         if funct7 == 0b010_0000 {
                             AluImmOp::Srai
@@ -519,12 +525,24 @@ impl Instruction {
                 }
                 Instruction::Jalr { rd, rs1, offset: imm_i(word) }
             }
-            OPCODE_SYSTEM => match word >> 20 {
-                0 => Instruction::Ecall,
-                1 => Instruction::Ebreak,
+            // ECALL/EBREAK are single exact encodings: rd, funct3 and rs1
+            // must all be zero, so anything but the two canonical words is
+            // reserved (previously the high-bit check alone let e.g.
+            // `ecall` with a nonzero rd alias to Ecall).
+            OPCODE_SYSTEM => match word {
+                0x0000_0073 => Instruction::Ecall,
+                0x0010_0073 => Instruction::Ebreak,
                 _ => return Err(invalid()),
             },
-            OPCODE_MISC_MEM => Instruction::Fence,
+            // FENCE is funct3 = 0 (the fm/pred/succ hint bits are ignored by
+            // the in-order core); FENCE.I (funct3 = 1) and the other MISC-MEM
+            // encodings are outside the supported subset.
+            OPCODE_MISC_MEM => {
+                if funct3 != 0 {
+                    return Err(invalid());
+                }
+                Instruction::Fence
+            }
             _ => return Err(invalid()),
         };
         Ok(inst)

@@ -36,8 +36,8 @@ impl Reg {
     /// # Panics
     ///
     /// Panics if `index >= 32`.
-    pub fn new(index: u8) -> Self {
-        assert!(index < 32, "register index {index} out of range");
+    pub const fn new(index: u8) -> Self {
+        assert!(index < 32, "register index out of range");
         Reg(index)
     }
 

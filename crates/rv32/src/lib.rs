@@ -49,6 +49,7 @@
 pub mod asm;
 pub mod cpu;
 pub mod disasm;
+pub mod elf;
 pub mod error;
 pub mod isa;
 pub mod mem;

@@ -52,7 +52,9 @@ impl Segment {
     }
 
     fn contains(&self, addr: u32, size: u32) -> bool {
-        addr >= self.base && addr + size <= self.end()
+        // Checked arithmetic: an access near u32::MAX must report "not
+        // contained" (→ typed unmapped fault), not wrap around or overflow.
+        addr >= self.base && addr.checked_add(size).is_some_and(|end| end <= self.end())
     }
 }
 

@@ -16,7 +16,7 @@ pub const DEFAULT_STACK_BASE: u32 = 0x0002_0000;
 pub const DEFAULT_STACK_SIZE: u32 = 0x8000;
 
 /// An assembled program image: code, initialised data and symbols.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct Program {
     /// Base address of the code segment.
     pub text_base: u32,

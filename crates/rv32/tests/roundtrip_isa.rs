@@ -8,11 +8,18 @@
 //!    word decodes back to an instruction that re-encodes to the identical word
 //!    (the disassembler listing renders each line);
 //! 3. every pseudo-instruction expands to its documented base-instruction
-//!    sequence.
+//!    sequence;
+//! 4. a negative layer asserts the decoder's *rejection* behaviour: every
+//!    reserved or illegal encoding must produce a typed
+//!    [`Rv32Error::DecodeInvalid`] — on direct decode and through both CPU
+//!    execution paths — and must never panic or alias to a real instruction.
 
 use lofat_rv32::asm::assemble;
 use lofat_rv32::disasm::{listing, listing_lines};
 use lofat_rv32::isa::{AluImmOp, AluOp, BranchCond, Instruction, LoadWidth, Reg, StoreWidth};
+use lofat_rv32::program::{Program, DEFAULT_TEXT_BASE};
+use lofat_rv32::trace::NullSink;
+use lofat_rv32::{Cpu, Rv32Error};
 
 const ALU_OPS: [AluOp; 18] = [
     AluOp::Add,
@@ -344,4 +351,124 @@ fn pseudo_instructions_expand_to_documented_sequences() {
     assert_eq!(la.len(), 2, "la is a fixed 8-byte sequence, got {la:?}");
     assert!(matches!(la[0], Lui { rd, .. } if rd == t0));
     assert!(matches!(la[1], AluImm { op: AluImmOp::Addi, rd, rs1, .. } if rd == t0 && rs1 == t0));
+}
+
+// --- Negative suite: reserved and illegal encodings -------------------------
+
+/// Asserts `word` is rejected with a typed decode error carrying the right
+/// pc and word — directly, and through both CPU execution paths (which must
+/// fault on the first step without retiring anything or moving the pc).
+fn assert_rejected(word: u32, why: &str) {
+    match Instruction::decode(word, 0x1000) {
+        Err(Rv32Error::DecodeInvalid { pc, word: reported }) => {
+            assert_eq!(pc, 0x1000, "{why}: fault pc for {word:#010x}");
+            assert_eq!(reported, word, "{why}: fault word for {word:#010x}");
+        }
+        Err(other) => panic!("{why}: {word:#010x} raised {other:?}, want DecodeInvalid"),
+        Ok(inst) => panic!("{why}: {word:#010x} aliased to `{inst}`"),
+    }
+    let program = Program { text: vec![word], ..Program::from_instructions(&[Instruction::Ecall]) };
+    for predecode in [true, false] {
+        let path = if predecode { "predecode" } else { "fetch" };
+        let mut cpu = Cpu::new(&program).expect("invalid words load (literal-pool rule)");
+        cpu.set_predecode(predecode);
+        match cpu.step(&mut NullSink) {
+            Err(Rv32Error::DecodeInvalid { pc, word: reported }) => {
+                assert_eq!(pc, DEFAULT_TEXT_BASE, "{why}/{path}: fault pc");
+                assert_eq!(reported, word, "{why}/{path}: fault word");
+            }
+            other => panic!("{why}/{path}: {word:#010x} stepped to {other:?}"),
+        }
+        assert_eq!(cpu.instructions(), 0, "{why}/{path}: faulting instruction must not retire");
+        assert_eq!(cpu.pc(), DEFAULT_TEXT_BASE, "{why}/{path}: faulting instruction moved pc");
+    }
+}
+
+#[test]
+fn reserved_encodings_are_rejected_on_every_path() {
+    let cases: &[(u32, &str)] = &[
+        // Compressed / short encodings: bits 1:0 must be 11.
+        (0x0000_0000, "all-zero word (canonical illegal instruction)"),
+        (0x0000_0001, "16-bit encoding quadrant 0"),
+        (0x0000_4002, "16-bit encoding quadrant 2"),
+        (0xffff_ffff, "all-ones word"),
+        // OP-IMM shifts: funct7 (bits 31:25) is part of the encoding.
+        (0x0200_9093, "slli with funct7 = 0000001"),
+        (0x8000_9093, "slli with funct7 = 1000000"),
+        (0x0200_d093, "srli with funct7 = 0000001"),
+        (0x6000_d093, "srai with funct7 = 1100000 (bogus)"),
+        // OP: undefined funct7/funct3 combinations.
+        (0x4000_1033, "sub-family funct7 with sll funct3"),
+        (0x4000_7033, "sub-family funct7 with and funct3"),
+        (0x0600_0033, "funct7 = 0000011 (neither base nor M)"),
+        (0xfe00_0033, "funct7 = 1111111"),
+        // LOAD: funct3 3/6/7 are RV64 or reserved widths.
+        (0x0000_3003, "ld (RV64 load width)"),
+        (0x0000_6003, "lwu (RV64 load width)"),
+        (0x0000_7003, "load funct3 = 111"),
+        // STORE: funct3 > 2 is RV64 or reserved.
+        (0x0000_3023, "sd (RV64 store width)"),
+        (0x0000_7023, "store funct3 = 111"),
+        // BRANCH: funct3 2/3 are reserved.
+        (0x0000_2063, "branch funct3 = 010"),
+        (0x0000_3063, "branch funct3 = 011"),
+        // JALR requires funct3 = 0.
+        (0x0000_1067, "jalr with funct3 = 001"),
+        // MISC-MEM: only fence (funct3 = 0) is supported.
+        (0x0000_100f, "fence.i"),
+        (0x0000_200f, "misc-mem funct3 = 010"),
+        // SYSTEM: only the canonical ecall/ebreak words exist in this subset.
+        (0x0000_0173, "ecall with rd = x2"),
+        (0x0008_0073, "ecall with rs1 = a6"),
+        (0x0000_4073, "csrrwi (Zicsr, unsupported)"),
+        (0x0010_0173, "ebreak with rd = x2"),
+        (0x3020_0073, "mret (privileged, unsupported)"),
+        (0x1050_0073, "wfi (privileged, unsupported)"),
+        // Major opcodes outside the RV32IM subset.
+        (0x0000_0007, "flw (RV32F)"),
+        (0x0000_0027, "fsw (RV32F)"),
+        (0x0000_202f, "amo (RV32A)"),
+        (0x0000_0043, "fmadd (RV32F)"),
+        (0x0000_005b, "custom opcode 1011011"),
+        (0x0000_007f, "opcode 1111111"),
+    ];
+    for &(word, why) in cases {
+        assert_rejected(word, why);
+    }
+}
+
+/// Single-bit corruptions of canonical words must never alias back onto a
+/// *different* valid instruction that re-encodes to the original: whatever
+/// still decodes must be the faithful image of the corrupted word.
+#[test]
+fn bit_flips_never_alias() {
+    let canon: &[u32] = &[
+        Instruction::Ecall.encode(),
+        Instruction::Ebreak.encode(),
+        Instruction::Fence.encode(),
+        Instruction::AluImm { op: AluImmOp::Slli, rd: Reg::new(1), rs1: Reg::new(1), imm: 1 }
+            .encode(),
+        Instruction::Jalr { rd: Reg::RA, rs1: Reg::new(15), offset: -4 }.encode(),
+    ];
+    for &word in canon {
+        for bit in 0..32 {
+            let mutated = word ^ (1 << bit);
+            if let Ok(inst) = Instruction::decode(mutated, 0x1000) {
+                // FENCE is the one deliberate exception: the spec makes the
+                // pred/succ/rd/rs1 fields ordering annotations every RV32I
+                // implementation must accept (external toolchains emit
+                // `fence iorw,iorw` = 0x0ff0000f), and the unit `Fence`
+                // canonicalises them away on re-encode.
+                if mutated & 0x7f == 0x0f {
+                    assert_eq!(inst, Instruction::Fence);
+                    continue;
+                }
+                assert_eq!(
+                    inst.encode(),
+                    mutated,
+                    "bit {bit} of {word:#010x}: `{inst}` does not re-encode to {mutated:#010x}"
+                );
+            }
+        }
+    }
 }

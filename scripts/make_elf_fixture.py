@@ -1,0 +1,193 @@
+#!/usr/bin/env python3
+"""Regenerates the checked-in ELF32 fixture `tests/fixtures/fib10.elf`.
+
+The fixture stands in for an externally-assembled static RV32 binary (the
+container has no RISC-V cross-toolchain), so this script deliberately encodes
+the instruction words by hand from the RISC-V spec tables — independently of
+the in-tree assembler — and lays out a minimal `ET_EXEC` ELF32 image with one
+`r-x` PT_LOAD (text at 0x1000) and one `rw-` PT_LOAD (data at 0x10000).
+
+The program computes fib(10) = 55 iteratively, stores/loads the result
+through the data segment, makes one call/return pair (so the attested run
+exercises a loop, a conditional branch and a subroutine), and exits via
+`ecall` with a0 = 55.
+
+Usage: python3 scripts/make_elf_fixture.py [output-path]
+"""
+
+import struct
+import sys
+
+TEXT_BASE = 0x1000
+DATA_BASE = 0x10000
+
+
+# --- RV32I encoders (hand-written from the spec, not from the simulator) ---
+
+def r_type(funct7, rs2, rs1, funct3, rd, opcode):
+    return (funct7 << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | opcode
+
+
+def i_type(imm, rs1, funct3, rd, opcode):
+    return ((imm & 0xFFF) << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | opcode
+
+
+def s_type(imm, rs2, rs1, funct3, opcode):
+    imm &= 0xFFF
+    return (
+        ((imm >> 5) << 25)
+        | (rs2 << 20)
+        | (rs1 << 15)
+        | (funct3 << 12)
+        | ((imm & 0x1F) << 7)
+        | opcode
+    )
+
+
+def b_type(imm, rs2, rs1, funct3, opcode):
+    imm &= 0x1FFF
+    return (
+        ((imm >> 12) & 1) << 31
+        | ((imm >> 5) & 0x3F) << 25
+        | rs2 << 20
+        | rs1 << 15
+        | funct3 << 12
+        | ((imm >> 1) & 0xF) << 8
+        | ((imm >> 11) & 1) << 7
+        | opcode
+    )
+
+
+def j_type(imm, rd, opcode):
+    imm &= 0x1FFFFF
+    return (
+        ((imm >> 20) & 1) << 31
+        | ((imm >> 1) & 0x3FF) << 21
+        | ((imm >> 11) & 1) << 20
+        | ((imm >> 12) & 0xFF) << 12
+        | rd << 7
+        | opcode
+    )
+
+
+def addi(rd, rs1, imm):
+    return i_type(imm, rs1, 0b000, rd, 0b0010011)
+
+
+def add(rd, rs1, rs2):
+    return r_type(0, rs2, rs1, 0b000, rd, 0b0110011)
+
+
+def sw(rs2, imm, rs1):
+    return s_type(imm, rs2, rs1, 0b010, 0b0100011)
+
+
+def lw(rd, imm, rs1):
+    return i_type(imm, rs1, 0b010, rd, 0b0000011)
+
+
+def bne(rs1, rs2, imm):
+    return b_type(imm, rs2, rs1, 0b001, 0b1100011)
+
+
+def jal(rd, imm):
+    return j_type(imm, rd, 0b1101111)
+
+
+def jalr(rd, rs1, imm):
+    return i_type(imm, rs1, 0b000, rd, 0b1100111)
+
+
+ECALL = 0x00000073
+
+# Registers
+X0, RA, GP = 0, 1, 3
+T0, T1 = 5, 6
+A0, A1, A2, A7 = 10, 11, 12, 17
+
+# --- The program ---------------------------------------------------------
+#
+# 0x1000  addi t0, x0, 10        ; loop counter
+# 0x1004  addi a0, x0, 0         ; fib(0)
+# 0x1008  addi a1, x0, 1         ; fib(1)
+# loop:
+# 0x100c  add  t1, a0, a1
+# 0x1010  addi a0, a1, 0
+# 0x1014  addi a1, t1, 0
+# 0x1018  addi t0, t0, -1
+# 0x101c  bne  t0, x0, loop      ; -16
+# 0x1020  sw   a0, 0(gp)         ; park the result in .data
+# 0x1024  lw   a2, 0(gp)         ; and read it back
+# 0x1028  jal  ra, leaf          ; +12 -> 0x1034
+# 0x102c  addi a7, x0, 0         ; exit syscall number
+# 0x1030  ecall
+# leaf:
+# 0x1034  add  a0, a0, x0        ; identity
+# 0x1038  jalr x0, ra, 0         ; ret
+
+TEXT = [
+    addi(T0, X0, 10),
+    addi(A0, X0, 0),
+    addi(A1, X0, 1),
+    add(T1, A0, A1),
+    addi(A0, A1, 0),
+    addi(A1, T1, 0),
+    addi(T0, T0, -1),
+    bne(T0, X0, -16),
+    sw(A0, 0, GP),
+    lw(A2, 0, GP),
+    jal(RA, 12),
+    addi(A7, X0, 0),
+    ECALL,
+    add(A0, A0, X0),
+    jalr(X0, RA, 0),
+]
+
+DATA = struct.pack("<4I", 0, 0x11223344, 0x55667788, 0x99AABBCC)
+
+
+def build_elf(text_words, data_bytes):
+    text = b"".join(struct.pack("<I", w) for w in text_words)
+    ehdr_size, phdr_size, phnum = 52, 32, 2
+    text_off = ehdr_size + phnum * phdr_size
+    data_off = text_off + len(text)
+
+    ident = b"\x7fELF" + bytes([1, 1, 1, 0]) + b"\x00" * 8
+    ehdr = ident + struct.pack(
+        "<HHIIIIIHHHHHH",
+        2,          # e_type    = ET_EXEC
+        243,        # e_machine = EM_RISCV
+        1,          # e_version
+        TEXT_BASE,  # e_entry
+        ehdr_size,  # e_phoff
+        0,          # e_shoff
+        0,          # e_flags
+        ehdr_size,  # e_ehsize
+        phdr_size,  # e_phentsize
+        phnum,      # e_phnum
+        0, 0, 0,    # e_shentsize, e_shnum, e_shstrndx
+    )
+
+    def phdr(offset, vaddr, size, flags):
+        # p_type=PT_LOAD, offset, vaddr, paddr, filesz, memsz, flags, align
+        return struct.pack("<8I", 1, offset, vaddr, vaddr, size, size, flags, 4)
+
+    return (
+        ehdr
+        + phdr(text_off, TEXT_BASE, len(text), 0b101)   # r-x
+        + phdr(data_off, DATA_BASE, len(data_bytes), 0b110)  # rw-
+        + text
+        + data_bytes
+    )
+
+
+def main():
+    out = sys.argv[1] if len(sys.argv) > 1 else "tests/fixtures/fib10.elf"
+    image = build_elf(TEXT, DATA)
+    with open(out, "wb") as fh:
+        fh.write(image)
+    print(f"wrote {out}: {len(image)} bytes, {len(TEXT)} instructions, fib(10) = 55")
+
+
+if __name__ == "__main__":
+    main()

@@ -10,6 +10,7 @@
 //! lofat verify <file.s|workload> [inputs..]  full prover/verifier round trip
 //! lofat serve <workload> [--addr A]        verifier service on a TCP socket
 //! lofat attest <workload> --connect ADDR   attest against a remote verifier
+//! lofat attest --elf <path> [inputs..]     attest an external static RV32 ELF32
 //! lofat area [l n depth]                   area model for a configuration
 //! lofat bench-json [--out F] [--smoke]     write the E10 hot-path trajectory JSON
 //! lofat serve-bench [--out F] [--smoke]    sweep the sharded service over worker
@@ -89,6 +90,10 @@ commands:
   attest <workload> [inputs..] --connect ADDR
                                      attest against a remote `lofat serve`
                                      instead of the local engine
+  attest --elf <path> [inputs..]     ingest an externally-assembled static
+                                     RV32 ELF32 executable (ET_EXEC, one r-x
+                                     PT_LOAD + optional rw PT_LOAD) and attest
+                                     it under the local engine
   area [l n depth]                   print the area model estimate
   bench-json [--out FILE] [--smoke]  measure hot-path throughput (E10) and
                                      write the trajectory JSON (default:
@@ -200,6 +205,20 @@ fn cmd_run(args: &[String]) -> CliResult {
 }
 
 fn cmd_attest(args: &[String]) -> CliResult {
+    // `--elf PATH` ingests an externally-assembled static RV32 ELF32 binary
+    // instead of an assembly file / catalogue workload.
+    if let Some(at) = args.iter().position(|a| a == "--elf") {
+        let path = args.get(at + 1).ok_or("attest: --elf requires a file path")?.clone();
+        if args.iter().any(|a| a == "--connect") {
+            return Err("attest: --elf cannot be combined with --connect".into());
+        }
+        let mut rest = args.to_vec();
+        rest.drain(at..=at + 1);
+        let bytes = std::fs::read(&path)?;
+        let program = lofat_rv32::elf::parse(&bytes)?;
+        let input = parse_inputs(&rest)?;
+        return attest_local(&program, &path, &input);
+    }
     // `--connect ADDR` switches from the local engine to a remote verifier.
     if let Some(at) = args.iter().position(|a| a == "--connect") {
         let addr = args.get(at + 1).ok_or("attest: --connect requires an address")?.clone();
@@ -210,8 +229,13 @@ fn cmd_attest(args: &[String]) -> CliResult {
     let name = args.first().ok_or("attest: missing <file.s|workload>")?;
     let (program, label) = load_program(name)?;
     let input = parse_inputs(&args[1..])?;
-    let mut engine = lofat::LofatEngine::for_program(&program, EngineConfig::default())?;
-    let mut cpu = prepare_cpu(&program, &input)?;
+    attest_local(&program, &label, &input)
+}
+
+/// Runs one program under the local LO-FAT engine and prints the measurement.
+fn attest_local(program: &Program, label: &str, input: &[u32]) -> CliResult {
+    let mut engine = lofat::LofatEngine::for_program(program, EngineConfig::default())?;
+    let mut cpu = prepare_cpu(program, input)?;
     let exit = cpu.run_traced(50_000_000, &mut engine)?;
     let measurement = engine.finalize()?;
     let stats = measurement.stats;

@@ -1,0 +1,125 @@
+//! e15 — Differential ISA validation against an independent oracle, plus
+//! ELF32 ingestion attested end-to-end.
+//!
+//! Every earlier suite checks the simulator against itself (e10 diffs the
+//! predecode path against the fetch path of the *same* core).  This suite
+//! breaks that loop: `lofat-oracle` carries a deliberately naive RV32
+//! interpreter written independently from the spec, a structure-aware
+//! program generator, and a harness that diffs the complete observable
+//! outcome (exit reason, register file, pc, console, retired count, data
+//! and stack bytes) across the production core — both decode paths — and
+//! the oracle.
+//!
+//! Scale knobs:
+//!
+//! * `E15_PROGRAMS` — number of generated programs to diff (default 1000);
+//! * `E15_DIVERGENCE_DIR` — where reproducer seed files are written on
+//!   failure (default `target/isa_divergence`), for CI artifact upload.
+//!
+//! A failure prints the seed-file text inline; drop it into
+//! `tests/corpus/isa/` and `fuzz_isa` will replay it forever after.
+
+mod common;
+
+use lofat_oracle::{diff_program, generate, Divergence, GenConfig};
+use lofat_rv32::Program;
+use std::path::PathBuf;
+
+fn program_budget() -> u64 {
+    std::env::var("E15_PROGRAMS").ok().and_then(|v| v.parse().ok()).unwrap_or(1000)
+}
+
+fn divergence_dir() -> PathBuf {
+    PathBuf::from(
+        std::env::var("E15_DIVERGENCE_DIR").unwrap_or_else(|_| "target/isa_divergence".to_string()),
+    )
+}
+
+/// Writes the reproducer (best effort) and panics with the seed-file text.
+fn report(divergence: &Divergence, context: &str) -> ! {
+    let written = match divergence.write_reproducer(&divergence_dir()) {
+        Ok(path) => format!("reproducer written to {}", path.display()),
+        Err(error) => format!("failed to write reproducer: {error}"),
+    };
+    panic!(
+        "{context}: {divergence}\n{written}\n\
+         seed file (commit under tests/corpus/isa/ as a regression):\n{}",
+        divergence.seed_file()
+    );
+}
+
+/// The tentpole: ≥1000 generated programs, three implementations, zero
+/// divergences.
+#[test]
+fn generated_programs_match_the_oracle() {
+    let config = GenConfig::default();
+    let budget = program_budget();
+    for seed in 0..budget {
+        let program = generate(&config, seed);
+        let bound = config.step_bound(program.text.len());
+        if let Err(divergence) = diff_program(&program, bound) {
+            report(&divergence, &format!("generator seed {seed}"));
+        }
+    }
+}
+
+/// Same barrage under a second generator shape: long straight-line blocks,
+/// more subroutines, tighter fuel — exercises different branch-offset and
+/// call-depth distributions than the default config.
+#[test]
+fn generated_programs_match_the_oracle_wide_blocks() {
+    let config = GenConfig { blocks: 4, block_len: 24, subroutines: 4, fuel: 8 };
+    let budget = (program_budget() / 4).max(8);
+    for seed in 0..budget {
+        let program = generate(&config, seed);
+        let bound = config.step_bound(program.text.len());
+        if let Err(divergence) = diff_program(&program, bound) {
+            report(&divergence, &format!("wide-block generator seed {seed}"));
+        }
+    }
+}
+
+fn load_fixture() -> Program {
+    let bytes = std::fs::read("tests/fixtures/fib10.elf").expect("read tests/fixtures/fib10.elf");
+    lofat_rv32::elf::parse(&bytes).expect("fixture parses as a static RV32 executable")
+}
+
+/// The externally-assembled ELF fixture must agree with the oracle too —
+/// its encodings come from a separate hand-written assembler, so this
+/// cross-checks three independent encoders at once.
+#[test]
+fn elf_fixture_matches_the_oracle() {
+    let program = load_fixture();
+    if let Err(divergence) = diff_program(&program, 10_000) {
+        report(&divergence, "fib10.elf");
+    }
+}
+
+/// End-to-end: the ELF fixture is ingested, attested and verified through
+/// the full challenge→attest→verify protocol, and computes fib(10) = 55.
+#[test]
+fn elf_fixture_attests_end_to_end() {
+    let program = load_fixture();
+    let (mut prover, mut verifier) =
+        common::attestation_session(&program, "fib10-elf", "e15-elf-seed");
+    let outcome = lofat::protocol::run_attestation(&mut verifier, &mut prover, Vec::new())
+        .expect("honest attestation of the ELF fixture accepted");
+    assert_eq!(outcome.prover_run.exit.register_a0, 55, "fib(10)");
+    assert_eq!(outcome.verdict.replay_exit, outcome.prover_run.exit);
+}
+
+/// A tampered fixture (one flipped instruction bit) must be rejected: the
+/// loader happily loads it — the *attestation* is what catches the change.
+#[test]
+fn tampered_elf_fixture_is_rejected() {
+    let mut program = load_fixture();
+    // Flip the immediate of the first instruction: addi t0, x0, 10 -> 11.
+    program.text[0] ^= 1 << 20;
+    let reference = load_fixture();
+    let key = lofat_crypto::DeviceKey::from_seed("e15-elf-seed");
+    let mut prover = lofat::Prover::new(program, "fib10-elf", key.clone());
+    let mut verifier = lofat::Verifier::new(reference, "fib10-elf", key.verification_key())
+        .expect("construct verifier");
+    let result = lofat::protocol::run_attestation(&mut verifier, &mut prover, Vec::new());
+    assert!(result.is_err(), "tampered fixture must not verify");
+}

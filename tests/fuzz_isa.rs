@@ -1,0 +1,184 @@
+//! ISA fuzzing: corpus replay, decoder agreement and generated barrages.
+//!
+//! Three layers, in order of determinism:
+//!
+//! 1. **Corpus replay** — every committed seed file under
+//!    `tests/corpus/isa/` is replayed through the differential harness
+//!    before any new fuzzing happens.  Seed files hold raw program words
+//!    (`w <8-hex>` lines), so regressions keep reproducing even after the
+//!    generator changes.
+//! 2. **Decoder agreement** — a proptest over raw instruction words: the
+//!    production decoder ([`lofat_rv32::Instruction::decode`]) and the
+//!    oracle's independently written [`lofat_oracle::decode_word`] must
+//!    agree on accept/reject, and on the decoded instruction when both
+//!    accept.  Bounded by `PROPTEST_CASES`.
+//! 3. **Generated barrage** — fresh structure-aware programs diffed across
+//!    both production decode paths and the oracle (`FUZZ_ISA_PROGRAMS`,
+//!    default 256).
+//!
+//! Any divergence writes a reproducer seed file under
+//! `target/isa_divergence/` (override with `E15_DIVERGENCE_DIR`); commit it
+//! to `tests/corpus/isa/` to turn the finding into a permanent regression.
+
+use lofat_oracle::{
+    decode_word, diff_program, generate, parse_seed, program_from_words, GenConfig,
+};
+use lofat_rv32::Instruction;
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+
+const CORPUS_DIR: &str = "tests/corpus/isa";
+
+/// Step budget for corpus programs: generous, because seed files may
+/// contain arbitrary loops — all three implementations share the bound, so
+/// a genuine infinite loop compares equal as `StepLimit`.
+const CORPUS_STEP_BOUND: u64 = 20_000;
+
+fn divergence_dir() -> PathBuf {
+    PathBuf::from(
+        std::env::var("E15_DIVERGENCE_DIR").unwrap_or_else(|_| "target/isa_divergence".to_string()),
+    )
+}
+
+fn corpus_files() -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(CORPUS_DIR)
+        .unwrap_or_else(|e| panic!("corpus directory {CORPUS_DIR} missing: {e}"))
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|path| path.extension().is_some_and(|ext| ext == "seed"))
+        .collect();
+    files.sort();
+    files
+}
+
+fn replay(path: &Path) {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    let words = parse_seed(&text).unwrap_or_else(|e| panic!("parse {}: {e}", path.display()));
+    assert!(!words.is_empty(), "{} holds no program words", path.display());
+    let program = program_from_words(&words);
+    if let Err(divergence) = diff_program(&program, CORPUS_STEP_BOUND) {
+        panic!("committed seed {} diverges again: {divergence}", path.display());
+    }
+}
+
+/// Replays every committed regression seed.  This test is the contract that
+/// the corpus stays green: it runs before (and independently of) any fresh
+/// fuzzing below.
+#[test]
+fn corpus_replays_clean() {
+    let files = corpus_files();
+    assert!(!files.is_empty(), "{CORPUS_DIR} must hold at least one committed seed");
+    for path in &files {
+        replay(path);
+    }
+}
+
+proptest! {
+    /// Decoder agreement over raw words: the two independently written
+    /// decoders accept exactly the same language, and agree on the decoded
+    /// instruction inside it.
+    #[test]
+    fn decoders_agree_on_random_words(word in any::<u32>(), pc_index in 0u32..1024) {
+        let pc = 0x1000 + pc_index * 4;
+        let production = Instruction::decode(word, pc);
+        let oracle = decode_word(word, pc);
+        match (&production, &oracle) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b, "word {:#010x} decodes differently", word),
+            (Err(_), Err(_)) => {}
+            (a, b) => {
+                return Err(TestCaseError::fail(format!(
+                    "word {word:#010x}: production {a:?} vs oracle {b:?}"
+                )));
+            }
+        }
+        // Accepted words must re-encode to themselves on the production
+        // side (the oracle has no encoder, which is the point) — except
+        // FENCE, whose pred/succ/rd/rs1 annotation fields are valid per the
+        // spec but canonicalised away by the unit `Fence` representation.
+        if let Ok(inst) = production {
+            if word & 0x7f != 0x0f {
+                prop_assert_eq!(inst.encode(), word, "word {:#010x} is not a fixed point", word);
+            }
+        }
+    }
+
+    /// Decoder agreement biased towards the boundary words that caught real
+    /// bugs: opcode/funct fields mutate around otherwise valid encodings.
+    #[test]
+    fn decoders_agree_near_valid_encodings(seed in any::<u64>(), flip in 0u32..32) {
+        let program = generate(&GenConfig::default(), seed % 64);
+        let index = (seed as usize / 64) % program.text.len();
+        let word = program.text[index] ^ (1 << flip);
+        let pc = program.text_base + (index as u32) * 4;
+        let production = Instruction::decode(word, pc);
+        let oracle = decode_word(word, pc);
+        prop_assert_eq!(
+            production.is_ok(),
+            oracle.is_ok(),
+            "mutated word {:#010x} splits the decoders", word
+        );
+        if let (Ok(a), Ok(b)) = (production, oracle) {
+            prop_assert_eq!(a, b);
+        }
+    }
+}
+
+/// Real-world fence words: external toolchains encode `fence` with
+/// pred/succ annotation bits set (`fence iorw,iorw` = 0x0ff0000f); both
+/// decoders must accept them — random sampling almost never lands on the
+/// MISC-MEM opcode, so this is pinned deterministically.
+#[test]
+fn real_world_fence_words_decode_everywhere() {
+    for word in [0x0ff0_000fu32, 0x0330_000f, 0x0820_000f, 0x0000_000f] {
+        assert_eq!(
+            Instruction::decode(word, 0x1000).expect("production accepts fence"),
+            Instruction::Fence,
+            "{word:#010x}"
+        );
+        assert!(decode_word(word, 0x1000).is_ok(), "oracle rejects fence word {word:#010x}");
+    }
+}
+
+/// Tooling, not a test: refreshes the generated-program seeds in the
+/// corpus (`gen-*.seed`).  Run with
+/// `cargo test --test fuzz_isa regenerate_generated_corpus -- --ignored`
+/// after changing the generator, then commit the result.
+#[test]
+#[ignore = "corpus tooling; writes into tests/corpus/isa"]
+fn regenerate_generated_corpus() {
+    let config = GenConfig::default();
+    for seed in 0..2u64 {
+        let program = generate(&config, seed);
+        let text = lofat_oracle::seed_text(
+            &program.text,
+            &format!(
+                "A structure-aware generated program (generator seed {seed}), frozen as\n\
+                 raw words so it keeps replaying bit-for-bit after generator changes."
+            ),
+        );
+        std::fs::write(format!("{CORPUS_DIR}/gen-{seed}.seed"), text).expect("write corpus seed");
+    }
+}
+
+/// Fresh generated programs through the full differential harness.  Smaller
+/// than e15's barrage by default — this binary is the fast fuzzing entry
+/// point; e15 is the release-scale one.
+#[test]
+fn generated_barrage_diffs_clean() {
+    let budget: u64 =
+        std::env::var("FUZZ_ISA_PROGRAMS").ok().and_then(|v| v.parse().ok()).unwrap_or(256);
+    let config = GenConfig::default();
+    // Disjoint seed range from e15 (which starts at 0) so the two suites
+    // together cover more of the space instead of re-running it.
+    for seed in (1 << 32)..(1 << 32) + budget {
+        let program = generate(&config, seed);
+        let bound = config.step_bound(program.text.len());
+        if let Err(divergence) = diff_program(&program, bound) {
+            let written = match divergence.write_reproducer(&divergence_dir()) {
+                Ok(path) => format!("reproducer written to {}", path.display()),
+                Err(error) => format!("failed to write reproducer: {error}"),
+            };
+            panic!("fuzz seed {seed}: {divergence}\n{written}\n{}", divergence.seed_file());
+        }
+    }
+}
