@@ -97,6 +97,30 @@ pub struct SweepSample {
     pub accepted: u64,
 }
 
+/// Warm-verdict-cache vs cold-path comparison: the same evidence set replayed
+/// single-threaded through `handle_bytes` against a cached and an uncached
+/// service.  Every pre-generated envelope attests the same workload and input,
+/// so all of them share one verdict-cache key (payload-minus-nonce): after one
+/// untimed priming envelope the warm pass is all cache hits — resume the
+/// cached MAC snapshot, absorb the nonce, finalize, spend the session — while
+/// the cold pass re-absorbs the full signed prefix and re-checks the
+/// measurement for every envelope.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CachePathSample {
+    /// Envelopes in each timed pass (the priming envelope is untimed).
+    pub sessions: usize,
+    /// Sessions/sec with the verdict cache disabled (`with_verdict_cache(0)`).
+    pub cold_sessions_per_sec: f64,
+    /// Sessions/sec against the warm default-capacity cache.
+    pub warm_sessions_per_sec: f64,
+    /// `warm_sessions_per_sec / cold_sessions_per_sec`.
+    pub warm_speedup: f64,
+    /// Cache hits the warm service recorded (must equal `sessions`).
+    pub cache_hits: u64,
+    /// Cache misses the warm service recorded (the priming envelope only).
+    pub cache_misses: u64,
+}
+
 /// Everything one serve-bench run produces.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServiceBenchReport {
@@ -104,6 +128,11 @@ pub struct ServiceBenchReport {
     pub config: ServiceBenchConfig,
     /// CPUs visible to this process (worker scaling is bounded by this).
     pub host_cpus: usize,
+    /// Packed-Keccak kernel tier the host dispatched to (`avx512`/`avx2`/
+    /// `scalar`) — recorded so throughput rows compare like for like.
+    pub simd_tier: &'static str,
+    /// Warm-cache vs cold-path sequential comparison.
+    pub cache: CachePathSample,
     /// One sample per entry of `config.worker_counts`.
     pub samples: Vec<SweepSample>,
     /// The same sweep over a loopback TCP socket: the service behind a
@@ -192,6 +221,7 @@ pub fn measure(config: &ServiceBenchConfig) -> ServiceBenchReport {
         }
     }
 
+    let cache = cache_point(&db, &key, &input, &evidence);
     let samples = config
         .worker_counts
         .iter()
@@ -206,8 +236,62 @@ pub fn measure(config: &ServiceBenchConfig) -> ServiceBenchReport {
     ServiceBenchReport {
         config: config.clone(),
         host_cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        simd_tier: lofat_crypto::simd_tier(),
+        cache,
         samples,
         loopback,
+    }
+}
+
+/// The warm-vs-cold verdict-cache comparison (see [`CachePathSample`]).
+///
+/// Both passes are single-threaded `handle_bytes` loops over the same
+/// evidence, both skip the first envelope from the timed region (it primes
+/// the cache on the warm service and first-touch costs on both), so the two
+/// rates isolate exactly the per-envelope verification cost the cache
+/// removes: full signed-prefix HMAC absorption plus the measurement-database
+/// check, versus resuming the cached MAC snapshot over the nonce alone.
+fn cache_point(
+    db: &MeasurementDatabase,
+    key: &DeviceKey,
+    input: &[u32],
+    evidence: &[Vec<u8>],
+) -> CachePathSample {
+    assert!(evidence.len() >= 2, "cache comparison needs a priming envelope plus a timed one");
+    let timed = evidence.len() - 1;
+    let run = |service: &VerifierService| -> f64 {
+        for _ in 0..evidence.len() {
+            service.open_session(input.to_vec()).expect("open cache-bench session");
+        }
+        let _ = service.handle_bytes(&evidence[0]).expect("priming verdict encodes");
+        let start = Instant::now();
+        for bytes in &evidence[1..] {
+            std::hint::black_box(service.handle_bytes(bytes).expect("verdict encodes"));
+        }
+        timed as f64 / start.elapsed().as_secs_f64()
+    };
+
+    // One shard on both sides: the comparison is sequential, and cache shards
+    // are congruent with session shards, so a single shard lets the one
+    // priming miss warm the only cache copy (on S shards the first envelope
+    // landing on each *other* shard would also miss).
+    let cold = VerifierService::new(
+        db.clone(),
+        key.verification_key(),
+        ServiceConfig::sharded(1).with_verdict_cache(0),
+    );
+    let cold_sessions_per_sec = run(&cold);
+    let warm = VerifierService::new(db.clone(), key.verification_key(), ServiceConfig::sharded(1));
+    let warm_sessions_per_sec = run(&warm);
+    let stats = warm.stats();
+
+    CachePathSample {
+        sessions: timed,
+        cold_sessions_per_sec,
+        warm_sessions_per_sec,
+        warm_speedup: warm_sessions_per_sec / cold_sessions_per_sec,
+        cache_hits: stats.cache_hits,
+        cache_misses: stats.cache_misses,
     }
 }
 
@@ -379,6 +463,7 @@ pub fn to_json(report: &ServiceBenchReport) -> String {
     w.field_str("workload", WORKLOAD);
     w.field_u64("input_units", u64::from(UNITS));
     w.field_u64("host_cpus", report.host_cpus as u64);
+    w.field_str("simd_tier", report.simd_tier);
     w.field_str(
         "measurement_note",
         "wall-clock sweep over worker counts; only service verification is timed (evidence is \
@@ -387,7 +472,10 @@ pub fn to_json(report: &ServiceBenchReport) -> String {
          gate compares absolute sessions/sec instead. loopback_sweep runs the same points \
          through a lofat-net VerifierServer on 127.0.0.1 with `producers` client connections; \
          its latencies are client-observed round trips, so the gap to `sweep` is the transport \
-         cost. Regenerate with `lofat serve-bench`.",
+         cost. cache_path replays the same evidence single-threaded against a warm \
+         default-capacity verdict cache (one untimed priming miss, then all hits) and against \
+         a cache-disabled service; warm_speedup is the verification cost the cache removes. \
+         Regenerate with `lofat serve-bench`.",
     );
     w.begin_object(Some("service"));
     w.field_u64("sessions", report.config.sessions as u64);
@@ -395,6 +483,17 @@ pub fn to_json(report: &ServiceBenchReport) -> String {
     w.field_u64("shards", report.config.shards as u64);
     w.field_u64("queue_capacity", report.config.queue_capacity as u64);
     w.field_u64("submit_batch", report.config.submit_batch as u64);
+    // Warm-vs-cold verdict-cache row: same evidence, single-threaded, the
+    // first envelope untimed (it primes the cache); `warm_speedup` is the
+    // per-envelope verification cost the cache removes.
+    w.begin_object(Some("cache_path"));
+    w.field_u64("sessions", report.cache.sessions as u64);
+    w.field_f64("cold_sessions_per_sec", report.cache.cold_sessions_per_sec, 1);
+    w.field_f64("warm_sessions_per_sec", report.cache.warm_sessions_per_sec, 1);
+    w.field_f64("warm_speedup", report.cache.warm_speedup, 2);
+    w.field_u64("cache_hits", report.cache.cache_hits);
+    w.field_u64("cache_misses", report.cache.cache_misses);
+    w.end_object();
     let sweep_rows = |w: &mut JsonWriter, name: &str, samples: &[SweepSample]| {
         w.begin_array(Some(name));
         for sample in samples {
@@ -448,9 +547,18 @@ mod tests {
             assert_eq!(sample.accepted, 6, "honest sweep must accept everything");
             assert!(sample.sessions_per_sec > 0.0);
         }
+        assert_eq!(report.cache.sessions, 5, "one priming envelope, five timed");
+        assert_eq!(report.cache.cache_misses, 1, "only the priming envelope misses");
+        assert_eq!(report.cache.cache_hits, 5, "every timed warm envelope must hit");
+        assert!(report.cache.cold_sessions_per_sec > 0.0);
+        assert!(report.cache.warm_sessions_per_sec > 0.0);
+        assert!(["avx512", "avx2", "scalar"].contains(&report.simd_tier));
         let json = to_json(&report);
         assert!(json.contains("\"service\": {"));
         assert!(json.contains("\"schema_version\": 2"));
+        assert!(json.contains("\"simd_tier\": "));
+        assert!(json.contains("\"cache_path\": {"));
+        assert!(json.contains("\"warm_speedup\": "));
         assert!(json.contains("\"sweep\": ["));
         assert!(json.contains("\"loopback_sweep\": ["));
     }

@@ -145,6 +145,32 @@ impl HashController {
         }
         Ok(self.engine.finalize()?)
     }
+
+    /// Finalizes many independent controllers together, returning their
+    /// authenticators in controller order.  Each controller's queue is pumped
+    /// dry exactly as by [`HashController::finalize`] (per-controller cycle
+    /// accounting is unchanged), then the underlying engines' digests are
+    /// drained through the multi-lane batch path
+    /// ([`HashEngine::finalize_many`]) in groups of four with a scalar tail.
+    /// Digests are bit-identical to per-controller `finalize` calls.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any controller was already finalized (no engine is
+    /// finalized in that case).
+    pub fn finalize_all<'a>(
+        controllers: impl IntoIterator<Item = &'a mut HashController>,
+    ) -> Result<Vec<Digest>, LofatError> {
+        let controllers: Vec<&'a mut HashController> = controllers.into_iter().collect();
+        let mut engines = Vec::with_capacity(controllers.len());
+        for controller in controllers {
+            while !controller.queue.is_empty() {
+                controller.pump();
+            }
+            engines.push(&mut controller.engine);
+        }
+        Ok(HashEngine::finalize_many(engines)?)
+    }
 }
 
 impl Default for HashController {
@@ -201,6 +227,44 @@ mod tests {
         let mut ctrl = HashController::default();
         ctrl.finalize().unwrap();
         assert!(ctrl.finalize().is_err());
+    }
+
+    #[test]
+    fn finalize_all_matches_individual_finalizes() {
+        // Batch sizes straddling the 4-lane boundary; each controller carries
+        // a different stream (fed via `submit_all`, some still queued).
+        for batch in 0usize..=9 {
+            let mut batched: Vec<HashController> = (0..batch)
+                .map(|c| {
+                    let mut ctrl = HashController::default();
+                    let pairs: Vec<BranchPair> = (0..30 * c as u32 + 5)
+                        .map(|i| BranchPair::new(0x1000 + 4 * i, 0x2000 + 8 * c as u32 + i))
+                        .collect();
+                    ctrl.submit_all(pairs);
+                    ctrl
+                })
+                .collect();
+            let mut reference = batched.clone();
+            let digests = HashController::finalize_all(batched.iter_mut()).unwrap();
+            assert_eq!(digests.len(), batch);
+            for (c, (digest, ctrl)) in digests.iter().zip(&mut reference).enumerate() {
+                assert_eq!(digest, &ctrl.finalize().unwrap(), "batch {batch}, controller {c}");
+            }
+            for ctrl in &mut batched {
+                assert!(ctrl.finalize().is_err(), "batch finalize marked the stream done");
+            }
+        }
+    }
+
+    #[test]
+    fn finalize_all_rejects_already_finalized_controllers() {
+        let mut done = HashController::default();
+        done.finalize().unwrap();
+        let mut fresh = HashController::default();
+        fresh.submit(BranchPair::new(1, 2));
+        let err = HashController::finalize_all([&mut fresh, &mut done]).unwrap_err();
+        assert!(matches!(err, LofatError::Hash(_)));
+        assert!(fresh.finalize().is_ok(), "the fresh controller is untouched");
     }
 
     #[test]

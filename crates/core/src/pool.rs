@@ -4,10 +4,12 @@
 //! Verification is stateless per report (signature + nonce + reference
 //! comparison), so it is embarrassingly parallel: the pool owns `K` plain
 //! [`std::thread`] workers that pop evidence bytes from one bounded MPMC
-//! queue and run [`VerifierService::handle_bytes`] — the full decode → CFG
-//! evidence checks → Keccak authenticator/signature check → verdict-encode
-//! pipeline — concurrently, while producers (network front-ends, the
-//! `lofat serve-bench` harness, tests) only pay the cost of an enqueue.
+//! queue and run [`VerifierService::handle_bytes_batch`] over each drained
+//! burst — the full decode → CFG evidence checks → Keccak
+//! authenticator/signature check → verdict-encode pipeline — concurrently,
+//! while producers (network front-ends, the `lofat serve-bench` harness,
+//! tests) only pay the cost of an enqueue.  Batching the burst lets the
+//! signature MACs finalize through the multi-lane Keccak path.
 //!
 //! Design notes:
 //!
@@ -27,7 +29,8 @@
 //!
 //! Verdict-equivalence with the single-threaded path is a hard invariant
 //! (`tests/e13_concurrent_service.rs` proves it differentially): the pool
-//! adds *no* semantics — it only moves `handle_bytes` calls onto workers.
+//! adds *no* semantics — it only moves `handle_bytes` work onto workers,
+//! batched per drained burst.
 
 use crate::service::{ServiceError, VerifierService};
 use std::collections::VecDeque;
@@ -314,8 +317,14 @@ fn worker_loop(shared: &Shared) {
             // Freed `take` slots; wake blocked producers.
             shared.not_full.notify_all();
         }
-        for job in burst.drain(..) {
-            let reply = shared.service.handle_bytes(&job.bytes);
+        // The whole burst goes through the batch entry point, so the Keccak
+        // finalizations of its signature MACs drain through the multi-lane
+        // path; verdicts (and their order within the burst) are exactly what
+        // per-job `handle_bytes` calls would produce.
+        let requests: Vec<&[u8]> = burst.iter().map(|job| job.bytes.as_slice()).collect();
+        let replies = shared.service.handle_bytes_batch(&requests);
+        drop(requests);
+        for (job, reply) in burst.drain(..).zip(replies) {
             let latency = job.enqueued.elapsed();
             job.ticket.fulfil(VerdictReply { reply, latency });
             shared.jobs_completed.fetch_add(1, Ordering::Relaxed);

@@ -40,6 +40,18 @@ impl AttestationReport {
         Self::signed_bytes(&self.program_id, &self.authenticator, &self.metadata, &self.nonce)
     }
 
+    /// The signed bytes *shared* by every report with this program id,
+    /// authenticator and metadata: [`AttestationReport::payload`] minus the
+    /// trailing nonce.  Two honest reports for the same measurement differ
+    /// only in the nonce (and therefore the signature), so this prefix is
+    /// what the verifier's verdict cache keys on — and the boundary at which
+    /// it snapshots the in-flight signature MAC.
+    pub fn signed_prefix(&self) -> Vec<u8> {
+        let mut bytes = self.payload();
+        bytes.truncate(bytes.len() - self.nonce.as_bytes().len());
+        bytes
+    }
+
     /// Total size of the report on the wire (authenticator + metadata + nonce +
     /// signature + program id), in bytes.  Experiment E7 tracks how the metadata
     /// portion grows with the workload's loop structure.
@@ -114,6 +126,18 @@ mod tests {
         let mut other = report();
         other.authenticator = Sha3_512::digest(b"other path");
         assert_ne!(base.payload(), other.payload());
+    }
+
+    #[test]
+    fn payload_is_prefix_then_nonce() {
+        let r = report();
+        let mut rebuilt = r.signed_prefix();
+        rebuilt.extend_from_slice(r.nonce.as_bytes());
+        assert_eq!(rebuilt, r.payload());
+
+        let mut other = report();
+        other.nonce = Nonce::from_counter(99);
+        assert_eq!(r.signed_prefix(), other.signed_prefix());
     }
 
     #[test]

@@ -34,12 +34,13 @@
 
 use crate::error::LofatError;
 use crate::measurement_db::MeasurementDatabase;
+use crate::report::AttestationReport;
 use crate::session::{SessionError, VerifierSession};
 use crate::verifier::{Challenge, RejectionReason};
 use crate::wire::{code, Envelope, Message, SessionId, VerdictMsg, WireError};
 use lofat_crypto::sign::HmacVerifier;
-use lofat_crypto::{Nonce, SignatureVerifier, VerificationKey};
-use std::collections::BTreeMap;
+use lofat_crypto::{Digest, Hmac, Nonce, VerificationKey};
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard};
@@ -58,11 +59,26 @@ pub struct ServiceConfig {
     /// count does not change any verdict, authenticator or statistic — only
     /// how the session map is partitioned.
     pub shards: usize,
+    /// Total capacity of the verdict cache, in entries across all cache
+    /// shards (`0` disables caching).  The cache memoises the *input-derived*
+    /// part of a verdict — signature-prefix absorption plus the measurement
+    /// comparison — keyed by `(input, signed prefix)`.  A hit still performs
+    /// the full per-session work: nonce binding, the HMAC tag check over the
+    /// complete payload, and the single-use nonce spend, so caching never
+    /// weakens authentication or replay protection (only entries written
+    /// after a *successful* signature check are ever stored).  Eviction is
+    /// FIFO per cache shard; cache shards are congruent to session shards.
+    pub verdict_cache_entries: usize,
 }
 
 impl Default for ServiceConfig {
     fn default() -> Self {
-        Self { session_deadline_cycles: 1_000_000, max_live_sessions: 65_536, shards: 1 }
+        Self {
+            session_deadline_cycles: 1_000_000,
+            max_live_sessions: 65_536,
+            shards: 1,
+            verdict_cache_entries: 1024,
+        }
     }
 }
 
@@ -70,6 +86,24 @@ impl ServiceConfig {
     /// The default configuration with `shards` session shards.
     pub fn sharded(shards: usize) -> Self {
         Self { shards, ..Self::default() }
+    }
+
+    /// Returns this configuration with the verdict cache bounded to
+    /// `entries` total entries (`0` disables the cache entirely).
+    ///
+    /// ```
+    /// use lofat::service::ServiceConfig;
+    ///
+    /// let cached = ServiceConfig::default().with_verdict_cache(4096);
+    /// assert_eq!(cached.verdict_cache_entries, 4096);
+    ///
+    /// // `0` turns the cache off: every submission runs the full pipeline.
+    /// let uncached = ServiceConfig::default().with_verdict_cache(0);
+    /// assert_eq!(uncached.verdict_cache_entries, 0);
+    /// ```
+    #[must_use]
+    pub fn with_verdict_cache(self, entries: usize) -> Self {
+        Self { verdict_cache_entries: entries, ..self }
     }
 }
 
@@ -112,17 +146,42 @@ pub struct ServiceStats {
     pub replays_blocked: u64,
     /// Envelopes that failed wire-level decoding.
     pub wire_errors: u64,
+    /// Session-spending verdicts served from the verdict cache (the
+    /// measurement comparison and signature-prefix absorption were skipped;
+    /// the nonce binding and full HMAC tag check still ran).  Counted at the
+    /// moment the session is spent, so with [`ServiceStats::cache_misses`] it
+    /// obeys its own conservation law:
+    ///
+    /// ```text
+    /// cache_hits + cache_misses == accepted + sessions_rejected
+    /// ```
+    pub cache_hits: u64,
+    /// Session-spending verdicts that ran the full pipeline (cache disabled,
+    /// entry absent, or entry evicted).  See [`ServiceStats::cache_hits`].
+    pub cache_misses: u64,
+    /// Verdict-cache entries evicted to make room (FIFO per cache shard).
+    pub cache_evictions: u64,
     /// Rejections by stable reason code ([`code`]).
     pub rejections_by_code: BTreeMap<u16, u64>,
 }
 
 impl ServiceStats {
-    /// The conservation law every service upholds: each opened session is
+    /// The conservation laws every service upholds.  Each opened session is
     /// eventually accounted for exactly once — accepted, spent by an
-    /// authenticated rejection, expired, or still live.  Returns `true` when
-    /// the books balance for `live` currently-live sessions.
+    /// authenticated rejection, expired, or still live — and every
+    /// session-spending verdict was classified as exactly one verdict-cache
+    /// hit or miss:
+    ///
+    /// ```text
+    /// sessions_opened       == accepted + sessions_rejected + expired + live
+    /// cache_hits + cache_misses == accepted + sessions_rejected
+    /// ```
+    ///
+    /// Returns `true` when both books balance for `live` currently-live
+    /// sessions.
     pub fn is_conserved(&self, live: usize) -> bool {
         self.sessions_opened == self.accepted + self.sessions_rejected + self.expired + live as u64
+            && self.cache_hits + self.cache_misses == self.accepted + self.sessions_rejected
     }
 }
 
@@ -145,6 +204,9 @@ struct AtomicStats {
     expired: AtomicU64,
     replays_blocked: AtomicU64,
     wire_errors: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    cache_evictions: AtomicU64,
     by_code: [AtomicU64; CODE_SLOTS],
 }
 
@@ -158,6 +220,9 @@ impl AtomicStats {
             expired: AtomicU64::new(0),
             replays_blocked: AtomicU64::new(0),
             wire_errors: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            cache_evictions: AtomicU64::new(0),
             by_code: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
@@ -214,6 +279,9 @@ impl AtomicStats {
             expired: self.expired.load(Ordering::Relaxed),
             replays_blocked: self.replays_blocked.load(Ordering::Relaxed),
             wire_errors: self.wire_errors.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
             rejections_by_code,
         }
     }
@@ -281,6 +349,72 @@ struct Shard {
     issued: u64,
 }
 
+/// Key of one verdict-cache entry: everything the cached work depends on.
+/// The measurement comparison is a pure function of `(input, signed prefix)`
+/// — the prefix is the report payload minus the nonce, so it binds program
+/// id, authenticator and metadata byte-for-byte — and the cached MAC snapshot
+/// is a pure function of the prefix alone.  Nothing per-session (nonce,
+/// session id, signature) may appear here: those are re-checked on every hit.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct CacheKey {
+    input: Vec<u32>,
+    prefix: Vec<u8>,
+}
+
+/// One memoised verdict: the measurement comparison's outcome plus the
+/// signature MAC with the signed prefix already absorbed.  Resuming the
+/// snapshot with a fresh nonce and comparing against the submitted signature
+/// *is* the full HMAC verification over the complete payload — the hit path
+/// skips re-absorbing the prefix, not any check.
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    verdict: VerdictMsg,
+    mac_prefix: Hmac,
+}
+
+/// One verdict-cache shard: a map behind the same-index session shard's
+/// sibling lock, with FIFO insertion order for eviction.  Only entries whose
+/// signature verified are ever inserted, so a forgery can never poison the
+/// cache.
+#[derive(Debug, Default)]
+struct CacheShard {
+    entries: BTreeMap<CacheKey, CacheEntry>,
+    order: VecDeque<CacheKey>,
+}
+
+/// Everything [`VerifierService::conclude`] needs to finish judging one
+/// evidence envelope once its signature tag has been finalized.  Produced by
+/// [`VerifierService::prepare`]; holding it does not hold any lock.
+struct PendingJudgement<'a> {
+    id: SessionId,
+    shard_index: usize,
+    report: &'a AttestationReport,
+    key: CacheKey,
+    /// The memoised measurement verdict (cache hit); `None` runs the
+    /// database comparison.
+    cached_verdict: Option<VerdictMsg>,
+    /// On a miss with the cache enabled: the prefix-only MAC snapshot to
+    /// store alongside the fresh verdict.
+    mac_prefix: Option<Hmac>,
+}
+
+/// The two ways [`VerifierService::prepare`] can leave one envelope.
+// The size gap between the variants is real (the pending MAC carries two
+// sponge states) but these values live only on the stack between `prepare`
+// and `conclude`; boxing would buy the lint a heap allocation per verified
+// report on the hot path.
+#[allow(clippy::large_enum_variant)]
+enum Prepared<'a> {
+    /// A verdict was reached before any signature work (unknown session,
+    /// expiry, replay, nonce mismatch) — `(verdict, spent_session)`.
+    Done((VerdictMsg, bool)),
+    /// The envelope passed the transport checks: its payload MAC is ready to
+    /// finalize, and the rest of the pipeline is queued behind the tag.
+    /// Keeping the MAC outside [`PendingJudgement`] lets batch callers drain
+    /// many tags through one multi-lane [`Hmac::finalize_many`] pass.
+    Pending(Hmac, PendingJudgement<'a>),
+}
+
 /// A verifier front-end running many interleaved attestation sessions against
 /// one shared measurement database and verification key.
 ///
@@ -327,6 +461,12 @@ pub struct VerifierService {
     key: HmacVerifier,
     config: ServiceConfig,
     shards: Vec<Mutex<Shard>>,
+    /// Verdict-cache shards, congruent to the session shards (the cache for
+    /// a session in shard `s` lives in `verdict_cache[s]`, behind its own
+    /// lock).  Empty when [`ServiceConfig::verdict_cache_entries`] is `0`.
+    verdict_cache: Vec<Mutex<CacheShard>>,
+    /// Per-cache-shard entry bound (total capacity split evenly, rounded up).
+    cache_shard_capacity: usize,
     /// Round-robin `open_session` assignments.  This only picks the *shard*;
     /// the session counter itself is allocated from the shard's `issued`
     /// watermark under the shard lock, so issuance and map insertion are one
@@ -367,6 +507,17 @@ impl Clone for VerifierService {
                 Mutex::new(Shard { sessions: guard.sessions.clone(), issued: guard.issued })
             })
             .collect();
+        let verdict_cache: Vec<Mutex<CacheShard>> = self
+            .verdict_cache
+            .iter()
+            .map(|cache| {
+                let guard = cache.lock().expect("cache shard lock poisoned");
+                Mutex::new(CacheShard {
+                    entries: guard.entries.clone(),
+                    order: guard.order.clone(),
+                })
+            })
+            .collect();
         let stats = self.stats.snapshot();
         let clone_stats = AtomicStats::new();
         clone_stats.sessions_opened.store(stats.sessions_opened, Ordering::Relaxed);
@@ -376,6 +527,9 @@ impl Clone for VerifierService {
         clone_stats.expired.store(stats.expired, Ordering::Relaxed);
         clone_stats.replays_blocked.store(stats.replays_blocked, Ordering::Relaxed);
         clone_stats.wire_errors.store(stats.wire_errors, Ordering::Relaxed);
+        clone_stats.cache_hits.store(stats.cache_hits, Ordering::Relaxed);
+        clone_stats.cache_misses.store(stats.cache_misses, Ordering::Relaxed);
+        clone_stats.cache_evictions.store(stats.cache_evictions, Ordering::Relaxed);
         for (code, count) in &stats.rejections_by_code {
             clone_stats.by_code[(*code as usize).min(CODE_SLOTS - 1)]
                 .store(*count, Ordering::Relaxed);
@@ -385,6 +539,8 @@ impl Clone for VerifierService {
             key: self.key.clone(),
             config: self.config,
             shards,
+            verdict_cache,
+            cache_shard_capacity: self.cache_shard_capacity,
             next_open: AtomicU64::new(self.next_open.load(Ordering::SeqCst)),
             now_cycles: AtomicU64::new(self.now_cycles.load(Ordering::SeqCst)),
             live: AtomicUsize::new(live),
@@ -398,11 +554,14 @@ impl VerifierService {
     /// verification key.  `config.shards == 0` is treated as one shard.
     pub fn new(db: MeasurementDatabase, key: VerificationKey, config: ServiceConfig) -> Self {
         let shard_count = config.shards.max(1);
+        let cache_shards = if config.verdict_cache_entries == 0 { 0 } else { shard_count };
         Self {
             db,
             key: HmacVerifier::new(key),
             config,
             shards: (0..shard_count).map(|_| Mutex::new(Shard::default())).collect(),
+            verdict_cache: (0..cache_shards).map(|_| Mutex::new(CacheShard::default())).collect(),
+            cache_shard_capacity: config.verdict_cache_entries.div_ceil(shard_count).max(1),
             next_open: AtomicU64::new(0),
             now_cycles: AtomicU64::new(0),
             live: AtomicUsize::new(0),
@@ -457,12 +616,48 @@ impl VerifierService {
         self.shard(id).sessions.get(&id).cloned()
     }
 
-    /// The shard that owns `id`, locked.  Session `n` lives in shard
+    /// The shard index that owns `id`: session `n` lives in shard
     /// `(n - 1) % shards`, so each shard owns the slice of the session-counter
-    /// (and therefore nonce) space congruent to its own index.
+    /// (and therefore nonce) space congruent to its own index.  The verdict
+    /// cache is sharded congruently (same index).
+    fn shard_index(&self, id: SessionId) -> usize {
+        (id.0.wrapping_sub(1) % self.shards.len() as u64) as usize
+    }
+
+    /// The shard that owns `id`, locked.
     fn shard(&self, id: SessionId) -> MutexGuard<'_, Shard> {
-        let index = (id.0.wrapping_sub(1) % self.shards.len() as u64) as usize;
-        self.shards[index].lock().expect("shard lock poisoned")
+        self.shards[self.shard_index(id)].lock().expect("shard lock poisoned")
+    }
+
+    /// Looks up a cached verdict in the cache shard congruent to the
+    /// session's shard.  The lock is held only for the map lookup and clone;
+    /// the MAC resume and tag comparison run outside it.  Returns `None`
+    /// when the cache is disabled.
+    fn cache_lookup(&self, shard_index: usize, key: &CacheKey) -> Option<CacheEntry> {
+        let cache = self.verdict_cache.get(shard_index)?;
+        cache.lock().expect("cache shard lock poisoned").entries.get(key).cloned()
+    }
+
+    /// Stores a freshly computed verdict, evicting the oldest entry of the
+    /// cache shard when it is full (FIFO).  Callers only reach this *after*
+    /// the submitted signature verified, so forged or tampered evidence can
+    /// never plant an entry.  A racing miss that populated the same key first
+    /// wins; this insert then becomes a no-op (the two computed identical
+    /// values — both are pure functions of the key).
+    fn cache_insert(&self, shard_index: usize, key: CacheKey, entry: CacheEntry) {
+        let Some(cache) = self.verdict_cache.get(shard_index) else { return };
+        let mut guard = cache.lock().expect("cache shard lock poisoned");
+        if guard.entries.contains_key(&key) {
+            return;
+        }
+        if guard.entries.len() >= self.cache_shard_capacity {
+            if let Some(oldest) = guard.order.pop_front() {
+                guard.entries.remove(&oldest);
+                self.stats.cache_evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        guard.order.push_back(key.clone());
+        guard.entries.insert(key, entry);
     }
 
     /// Opens a session for `input`, returning its id.  The challenge nonce is
@@ -619,6 +814,82 @@ impl VerifierService {
         }
     }
 
+    /// Batch counterpart of [`VerifierService::handle_bytes`]: judges many
+    /// requests together and returns one reply per request, in order.  Each
+    /// reply is exactly the bytes `handle_bytes` would have produced for that
+    /// request at the same point in the submission order — the batch adds no
+    /// semantics — but the expensive Keccak finalizations of all signature
+    /// MACs in the batch are drained through the multi-lane
+    /// [`Hmac::finalize_many`] path (4 payload MACs per pass of the
+    /// 4-way Keccak-f\[1600\] kernel), which is where the verifier's hash
+    /// floor is actually paid.  [`crate::pool::ParallelVerifier`] workers
+    /// feed their whole drain burst through here.
+    ///
+    /// # Errors
+    ///
+    /// As for `handle_bytes`: a per-request error only means the *outgoing*
+    /// verdict envelope could not be encoded, which would be a bug, not an
+    /// input property.
+    pub fn handle_bytes_batch<B: AsRef<[u8]>>(
+        &self,
+        requests: &[B],
+    ) -> Vec<Result<Vec<u8>, ServiceError>> {
+        let decoded: Vec<Result<Envelope, WireError>> =
+            requests.iter().map(|bytes| Envelope::decode(bytes.as_ref())).collect();
+
+        /// Where each request stands after the prepare pass.
+        // Stack-only, one per request in the burst; see `Prepared` for why
+        // the variant-size gap is not worth a per-report allocation.
+        #[allow(clippy::large_enum_variant)]
+        enum Slot<'a> {
+            Wire(&'a WireError),
+            Ready(SessionId, (VerdictMsg, bool)),
+            /// Index into the pending-MAC vector, plus the work to finish.
+            Pending(usize, SessionId, PendingJudgement<'a>),
+        }
+
+        let mut macs = Vec::new();
+        let slots: Vec<Slot<'_>> = decoded
+            .iter()
+            .map(|item| match item {
+                Err(wire_error) => Slot::Wire(wire_error),
+                Ok(envelope) => match self.prepare(envelope) {
+                    Prepared::Done(outcome) => Slot::Ready(envelope.session, outcome),
+                    Prepared::Pending(mac, pending) => {
+                        let index = macs.len();
+                        macs.push(mac);
+                        Slot::Pending(index, envelope.session, pending)
+                    }
+                },
+            })
+            .collect();
+
+        // One multi-lane pass over every pending signature MAC in the batch.
+        let mut tags: Vec<Option<Digest>> =
+            Hmac::finalize_many(macs).into_iter().map(Some).collect();
+
+        slots
+            .into_iter()
+            .map(|slot| match slot {
+                Slot::Wire(wire_error) => self.reject_unparseable(SessionId(0), wire_error),
+                Slot::Ready(session, (verdict, spent_session)) => {
+                    self.stats.record_verdict(verdict.reason_code, false, spent_session);
+                    Envelope::new(session, Message::Verdict(verdict))
+                        .encode()
+                        .map_err(ServiceError::Wire)
+                }
+                Slot::Pending(index, session, pending) => {
+                    let tag = tags[index].take().expect("one tag per pending judgement");
+                    let (verdict, spent_session) = self.conclude(pending, tag);
+                    self.stats.record_verdict(verdict.reason_code, false, spent_session);
+                    Envelope::new(session, Message::Verdict(verdict))
+                        .encode()
+                        .map_err(ServiceError::Wire)
+                }
+            })
+            .collect()
+    }
+
     /// Records a wire-level failure and returns the encoded rejecting verdict
     /// envelope, addressed to `session` (use [`SessionId`]`(0)` when the input
     /// never named one).
@@ -657,18 +928,30 @@ impl VerifierService {
     /// The verification pipeline for one envelope.  Does not touch the
     /// statistics; [`VerifierService::submit_evidence`] does.  Returns the
     /// verdict plus whether it consumed (evicted) a live session.
-    ///
-    /// Lock discipline: the session's shard lock is taken twice, briefly —
-    /// once for the transport checks and nonce binding, once to spend the
-    /// session — and always released *before*
-    /// [`VerifierService::nonce_consumed`] locks the nonce's owning shard, so
-    /// no two shard locks are ever held at once.  The expensive work (Keccak
-    /// signature verification, measurement comparison) runs **between** the
-    /// two critical sections against the shared read-only key/database
-    /// handles, so same-shard sessions verify in parallel; the eviction in
-    /// the second critical section is the linearisation point that keeps
-    /// acceptance exactly-once per nonce.
     fn judge(&self, envelope: &Envelope) -> (VerdictMsg, bool) {
+        match self.prepare(envelope) {
+            Prepared::Done(outcome) => outcome,
+            Prepared::Pending(mac, pending) => {
+                let tag = mac.finalize();
+                self.conclude(pending, tag)
+            }
+        }
+    }
+
+    /// Stage 1 of the pipeline: transport checks, nonce binding and the
+    /// verdict-cache consult — everything up to (but excluding) the Keccak
+    /// finalization of the signature MAC.  Batch callers collect the pending
+    /// MACs from many envelopes and finalize them together through the
+    /// multi-lane [`Hmac::finalize_many`]; [`VerifierService::judge`]
+    /// finalizes the single MAC inline.
+    ///
+    /// Lock discipline: the session's shard lock is taken briefly for the
+    /// transport checks and nonce binding, and always released *before*
+    /// [`VerifierService::nonce_consumed`] locks the nonce's owning shard, so
+    /// no two shard locks are ever held at once.  The cache shard lock (same
+    /// index as the session shard) is only taken *after* the session shard
+    /// lock is released, and all crypto runs outside every lock.
+    fn prepare<'a>(&self, envelope: &'a Envelope) -> Prepared<'a> {
         let id = envelope.session;
 
         // Critical section 1: transport checks + nonce binding.  Everything
@@ -682,13 +965,16 @@ impl VerifierService {
                 // envelope usually lands here: report it as the replay it is.
                 if let Message::Evidence(evidence) = &envelope.message {
                     if self.nonce_consumed(&evidence.report.nonce) {
-                        return (replayed_nonce_verdict(&evidence.report.nonce), false);
+                        return Prepared::Done((
+                            replayed_nonce_verdict(&evidence.report.nonce),
+                            false,
+                        ));
                     }
                 }
-                return (
+                return Prepared::Done((
                     VerdictMsg::rejected(code::UNKNOWN_SESSION, format!("unknown {id}")),
                     false,
-                );
+                ));
             };
             let evidence = match session.accept_evidence(envelope, self.now_cycles()) {
                 Ok(evidence) => evidence,
@@ -698,7 +984,7 @@ impl VerifierService {
                         shard.sessions.remove(&id);
                         self.live.fetch_sub(1, Ordering::SeqCst);
                     }
-                    return (verdict, false);
+                    return Prepared::Done((verdict, false));
                 }
             };
 
@@ -719,15 +1005,15 @@ impl VerifierService {
                 let nonce = evidence.report.nonce;
                 drop(shard);
                 if self.nonce_consumed(&nonce) {
-                    return (replayed_nonce_verdict(&nonce), false);
+                    return Prepared::Done((replayed_nonce_verdict(&nonce), false));
                 }
-                return (
+                return Prepared::Done((
                     VerdictMsg::rejected(
                         RejectionReason::NonceMismatch.code(),
                         RejectionReason::NonceMismatch.to_string(),
                     ),
                     false,
-                );
+                ));
             }
             session.challenge().input.clone()
         };
@@ -737,10 +1023,66 @@ impl VerifierService {
         };
         let report = &evidence.report;
 
-        // Lock-free section: authenticity and measurement comparison against
-        // the shared read-only verification key and database.
+        // Lock-free section: assemble the signature MAC over the payload,
+        // consulting the verdict cache for the input-derived work.  The
+        // payload is `signed_prefix ‖ nonce`, so resuming a prefix-absorbed
+        // MAC snapshot with this report's nonce yields exactly the MAC the
+        // uncached path computes over the whole payload — a hit skips the
+        // prefix absorption and the measurement comparison, never a check.
+        let shard_index = self.shard_index(id);
+        let key = CacheKey { input, prefix: report.signed_prefix() };
+        match self.cache_lookup(shard_index, &key) {
+            Some(entry) => {
+                let mut mac = entry.mac_prefix;
+                mac.update(report.nonce.as_bytes());
+                Prepared::Pending(
+                    mac,
+                    PendingJudgement {
+                        id,
+                        shard_index,
+                        report,
+                        key,
+                        cached_verdict: Some(entry.verdict),
+                        mac_prefix: None,
+                    },
+                )
+            }
+            None => {
+                let mut mac_prefix = self.key.mac_base().clone();
+                mac_prefix.update(&key.prefix);
+                let mut mac = mac_prefix.clone();
+                mac.update(report.nonce.as_bytes());
+                // Keep the prefix snapshot around for `cache_insert` only
+                // when there is a cache to insert into.
+                let mac_prefix = (!self.verdict_cache.is_empty()).then_some(mac_prefix);
+                Prepared::Pending(
+                    mac,
+                    PendingJudgement {
+                        id,
+                        shard_index,
+                        report,
+                        key,
+                        cached_verdict: None,
+                        mac_prefix,
+                    },
+                )
+            }
+        }
+    }
 
-        if self.key.verify(&report.payload(), &report.signature).is_err() {
+    /// Stage 2 of the pipeline: signature comparison, measurement comparison
+    /// (or its cached outcome), and spending the session.  `tag` is the
+    /// finalized MAC of the pending envelope's payload.
+    fn conclude(&self, pending: PendingJudgement<'_>, tag: Digest) -> (VerdictMsg, bool) {
+        let PendingJudgement { id, shard_index, report, key, cached_verdict, mac_prefix } = pending;
+
+        // The signature check rejects *without* spending the session: anyone
+        // can address garbage at a live session id, and an unauthenticated
+        // failure must not let them lock the honest prover out.  The session
+        // is only spent by evidence signed under the fleet key (checked
+        // here, cached or not) and bound to this session's nonce (checked in
+        // `prepare`).
+        if !tag.ct_eq_bytes(report.signature.as_bytes()) {
             return (
                 VerdictMsg::rejected(
                     RejectionReason::BadSignature.code(),
@@ -750,14 +1092,30 @@ impl VerifierService {
             );
         }
 
-        // Measurement comparison: [`MeasurementDatabase::check`] is the one
-        // implementation of the reference comparison.
-        let verdict = match self.db.check(&input, report) {
-            Ok(reference) => VerdictMsg::accepted(Some(reference.expected_result)),
-            Err(LofatError::Rejected(reason)) => {
-                VerdictMsg::rejected(reason.code(), reason.to_string())
+        let was_cache_hit = cached_verdict.is_some();
+        let verdict = match cached_verdict {
+            Some(verdict) => verdict,
+            None => {
+                // Measurement comparison: [`MeasurementDatabase::check`] is
+                // the one implementation of the reference comparison.
+                let verdict = match self.db.check(&key.input, report) {
+                    Ok(reference) => VerdictMsg::accepted(Some(reference.expected_result)),
+                    Err(LofatError::Rejected(reason)) => {
+                        VerdictMsg::rejected(reason.code(), reason.to_string())
+                    }
+                    Err(other) => VerdictMsg::rejected(code::UNKNOWN_INPUT, other.to_string()),
+                };
+                // Populate only now — after the signature verified — so the
+                // cache holds nothing an unauthenticated submission chose.
+                if let Some(mac_prefix) = mac_prefix {
+                    self.cache_insert(
+                        shard_index,
+                        key,
+                        CacheEntry { verdict: verdict.clone(), mac_prefix },
+                    );
+                }
+                verdict
             }
-            Err(other) => VerdictMsg::rejected(code::UNKNOWN_INPUT, other.to_string()),
         };
 
         // Critical section 2: spend the session.  Evicting (rather than
@@ -775,7 +1133,18 @@ impl VerifierService {
             drop(shard);
             return (replayed_nonce_verdict(&report.nonce), false);
         }
+        drop(shard);
         self.live.fetch_sub(1, Ordering::SeqCst);
+        // Hit/miss accounting happens exactly when the session is spent, so
+        // the cache books mirror the session books:
+        // `cache_hits + cache_misses == accepted + sessions_rejected`, even
+        // when concurrent duplicates raced (the losers took the replay path
+        // above and counted nothing).
+        if was_cache_hit {
+            self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+        }
         let spent_by_rejection = !verdict.accepted;
         (verdict, spent_by_rejection)
     }
@@ -1014,6 +1383,146 @@ mod tests {
         assert_eq!(stats.accepted, 1);
         assert_eq!(stats.replays_blocked, u64::from(threads) - 1);
         assert!(stats.is_conserved(service.live_sessions()));
+    }
+
+    #[test]
+    fn warm_cache_serves_identical_verdicts_and_counts_hits() {
+        // Two services, same fleet: one cached, one not.  Repeated identical
+        // measurements must yield byte-identical verdicts either way; only
+        // the hit/miss split may differ.
+        let (cached, mut prover) = setup(vec![vec![2]]);
+        let (uncached, mut prover2) =
+            setup_with(vec![vec![2]], ServiceConfig::default().with_verdict_cache(0));
+        let mut verdicts = (Vec::new(), Vec::new());
+        for _ in 0..3 {
+            let id = cached.open_session(vec![2]).unwrap();
+            let ev = evidence_for(&cached, &mut prover, id);
+            verdicts.0.push(cached.submit_evidence(&ev));
+            let id = uncached.open_session(vec![2]).unwrap();
+            let ev = evidence_for(&uncached, &mut prover2, id);
+            verdicts.1.push(uncached.submit_evidence(&ev));
+        }
+        assert_eq!(verdicts.0, verdicts.1);
+        assert!(verdicts.0.iter().all(|v| v.accepted));
+        let warm = cached.stats();
+        assert_eq!((warm.cache_misses, warm.cache_hits), (1, 2));
+        let cold = uncached.stats();
+        assert_eq!((cold.cache_misses, cold.cache_hits), (3, 0));
+        assert!(warm.is_conserved(0) && cold.is_conserved(0));
+    }
+
+    #[test]
+    fn forged_evidence_never_populates_the_cache() {
+        let (service, mut prover) = setup(vec![vec![2]]);
+        let id = service.open_session(vec![2]).unwrap();
+        let honest = evidence_for(&service, &mut prover, id);
+        // Tamper with the authenticator: the signature no longer covers the
+        // payload, so this is an unauthenticated forgery.
+        let Message::Evidence(mut evidence) = honest.message.clone() else { unreachable!() };
+        let mut bytes = evidence.report.authenticator.as_bytes().to_vec();
+        bytes[0] ^= 1;
+        evidence.report.authenticator = Digest::from_bytes(bytes);
+        let forged = Envelope::new(id, Message::Evidence(evidence));
+        let verdict = service.submit_evidence(&forged);
+        assert_eq!(verdict.reason_code, code::BAD_SIGNATURE);
+        // The forgery neither spent the session nor touched the cache books.
+        let stats = service.stats();
+        assert_eq!((stats.cache_hits, stats.cache_misses), (0, 0));
+        assert_eq!(service.live_sessions(), 1);
+        // The honest submission that follows must be a *miss*: had the
+        // forgery planted an entry, this would be a (poisoned) hit.
+        assert!(service.submit_evidence(&honest).accepted);
+        let stats = service.stats();
+        assert_eq!((stats.cache_hits, stats.cache_misses), (0, 1));
+        assert!(stats.is_conserved(0));
+    }
+
+    #[test]
+    fn cache_hit_never_skips_nonce_enforcement() {
+        let (service, mut prover) = setup(vec![vec![2]]);
+        // Warm the cache with an honest accept.
+        let warmup = service.open_session(vec![2]).unwrap();
+        let ev = evidence_for(&service, &mut prover, warmup);
+        assert!(service.submit_evidence(&ev).accepted);
+        assert_eq!(service.stats().cache_misses, 1);
+
+        // Replaying the spent evidence bounces even though its key is hot.
+        let replay = service.submit_evidence(&ev);
+        assert_eq!(replay.reason_code, code::NONCE_REPLAYED);
+
+        // Cross-session replay against a live session: the hot cache entry
+        // must not launder the spent nonce into the fresh session.
+        let fresh = service.open_session(vec![2]).unwrap();
+        let mut cross = ev.clone();
+        cross.session = fresh;
+        assert_eq!(service.submit_evidence(&cross).reason_code, code::NONCE_REPLAYED);
+
+        // A fresh honest run through the same (now cached) measurement is a
+        // hit — and the hit still spent the session exactly once.
+        let honest = evidence_for(&service, &mut prover, fresh);
+        assert!(service.submit_evidence(&honest).accepted);
+        assert_eq!(service.submit_evidence(&honest).reason_code, code::NONCE_REPLAYED);
+        let stats = service.stats();
+        assert_eq!((stats.cache_hits, stats.cache_misses), (1, 1));
+        assert_eq!(stats.replays_blocked, 3);
+        assert!(stats.is_conserved(0));
+    }
+
+    #[test]
+    fn cache_eviction_is_fifo_and_counted() {
+        let inputs: Vec<Vec<u32>> = (1..=3u32).map(|n| vec![n]).collect();
+        let config = ServiceConfig::default().with_verdict_cache(2);
+        let (service, mut prover) = setup_with(inputs.clone(), config);
+        let mut accept = |input: &Vec<u32>| {
+            let id = service.open_session(input.clone()).unwrap();
+            let ev = evidence_for(&service, &mut prover, id);
+            assert!(service.submit_evidence(&ev).accepted);
+        };
+        for input in &inputs {
+            accept(input); // 3 distinct keys through a 2-entry cache
+        }
+        assert_eq!(service.stats().cache_evictions, 1);
+        // Key 1 was evicted (FIFO): resubmitting it misses; key 3 still hits.
+        accept(&inputs[0]);
+        accept(&inputs[2]);
+        let stats = service.stats();
+        assert_eq!((stats.cache_misses, stats.cache_hits), (4, 1));
+        assert!(stats.is_conserved(0));
+    }
+
+    #[test]
+    fn handle_bytes_batch_matches_sequential_handle_bytes() {
+        // The same traffic — honest, duplicate-in-batch, garbage, cross-
+        // session replay — through one batch call vs per-request calls on a
+        // twin service: reply bytes must be identical position by position.
+        let build = || setup(vec![vec![2], vec![3]]);
+        let (batch_svc, mut prover) = build();
+        let (seq_svc, _) = build();
+        let a = batch_svc.open_session(vec![2]).unwrap();
+        let b = batch_svc.open_session(vec![3]).unwrap();
+        assert_eq!(seq_svc.open_session(vec![2]).unwrap(), a);
+        assert_eq!(seq_svc.open_session(vec![3]).unwrap(), b);
+        let ev_a = evidence_for(&batch_svc, &mut prover, a).encode().unwrap();
+        let ev_b = evidence_for(&batch_svc, &mut prover, b).encode().unwrap();
+        let requests: Vec<&[u8]> = vec![&ev_a[..], b"garbage", &ev_b, &ev_a, &ev_b];
+        let batch_replies: Vec<Vec<u8>> = batch_svc
+            .handle_bytes_batch(&requests)
+            .into_iter()
+            .map(|reply| reply.expect("encodes"))
+            .collect();
+        let seq_replies: Vec<Vec<u8>> =
+            requests.iter().map(|bytes| seq_svc.handle_bytes(bytes).expect("encodes")).collect();
+        assert_eq!(batch_replies, seq_replies);
+        // Everything but the scheduling-dependent cache split agrees.
+        let normalize = |mut stats: ServiceStats| {
+            stats.cache_hits = 0;
+            stats.cache_misses = 0;
+            stats.cache_evictions = 0;
+            stats
+        };
+        assert_eq!(normalize(batch_svc.stats()), normalize(seq_svc.stats()));
+        assert!(batch_svc.stats().is_conserved(0));
+        assert!(seq_svc.stats().is_conserved(0));
     }
 
     #[test]

@@ -256,6 +256,33 @@ impl HashEngine {
     pub fn is_finalized(&self) -> bool {
         self.finalized
     }
+
+    /// Finalizes many independent engines together: each is drained and
+    /// end-of-stream marked exactly as by [`HashEngine::finalize`], but the
+    /// final software digests are computed through the multi-lane sponge
+    /// ([`Sha3_512::finalize_many`]), four absorptions per pass of the 4-way
+    /// Keccak-f\[1600\] kernel.  Digests come back in engine order and are
+    /// bit-identical to per-engine `finalize` calls.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::EngineFinalized`] if any engine was already
+    /// finalized; no engine is modified in that case.
+    pub fn finalize_many<'a>(
+        engines: impl IntoIterator<Item = &'a mut HashEngine>,
+    ) -> Result<Vec<Digest>, CryptoError> {
+        let engines: Vec<&'a mut HashEngine> = engines.into_iter().collect();
+        if engines.iter().any(|engine| engine.finalized) {
+            return Err(CryptoError::EngineFinalized);
+        }
+        let mut hashers = Vec::with_capacity(engines.len());
+        for engine in engines {
+            engine.drain();
+            engine.finalized = true;
+            hashers.push(engine.hasher.clone());
+        }
+        Ok(Sha3_512::finalize_many(hashers))
+    }
 }
 
 impl Default for HashEngine {
@@ -368,6 +395,48 @@ mod tests {
         // 12 cycles and matches the offered density here.
         assert!(stats.throughput() <= 0.75 + 1e-9);
         assert!(stats.throughput() > 0.4);
+    }
+
+    #[test]
+    fn finalize_many_matches_individual_finalizes() {
+        // Batch sizes straddling the 4-lane boundary, engines with unequal
+        // stream lengths and residual buffered words.
+        for batch in 0usize..=9 {
+            let mut batched: Vec<HashEngine> = (0..batch)
+                .map(|e| {
+                    let mut engine = HashEngine::default();
+                    for word in 0..(7 * e as u64 + 3) {
+                        while engine.buffered() == engine.config().input_buffer_words {
+                            engine.step();
+                        }
+                        engine.offer(word ^ ((e as u64) << 32)).unwrap();
+                        engine.step();
+                    }
+                    engine
+                })
+                .collect();
+            let mut reference = batched.clone();
+            let digests = HashEngine::finalize_many(batched.iter_mut()).unwrap();
+            for (e, (digest, engine)) in digests.iter().zip(&mut reference).enumerate() {
+                assert_eq!(digest, &engine.finalize().unwrap(), "batch {batch}, engine {e}");
+            }
+            for engine in &batched {
+                assert!(engine.is_finalized());
+            }
+        }
+    }
+
+    #[test]
+    fn finalize_many_rejects_already_finalized_engines() {
+        let mut done = HashEngine::default();
+        done.finalize().unwrap();
+        let mut fresh = HashEngine::default();
+        fresh.offer(1).unwrap();
+        let err = HashEngine::finalize_many([&mut fresh, &mut done]).unwrap_err();
+        assert!(matches!(err, CryptoError::EngineFinalized));
+        // The fresh engine is untouched and still finalizes on its own.
+        assert!(!fresh.is_finalized());
+        assert!(fresh.finalize().is_ok());
     }
 
     #[test]

@@ -10,8 +10,8 @@ pub const STATE_LANES: usize = 25;
 /// Number of rounds of Keccak-f\[1600\].
 pub const ROUNDS: usize = 24;
 
-/// Round constants for the ι (iota) step.
-const ROUND_CONSTANTS: [u64; ROUNDS] = [
+/// Round constants for the ι (iota) step (shared with [`crate::keccak4`]).
+pub(crate) const ROUND_CONSTANTS: [u64; ROUNDS] = [
     0x0000_0000_0000_0001,
     0x0000_0000_0000_8082,
     0x8000_0000_0000_808a,
@@ -67,6 +67,14 @@ impl KeccakState {
         Self::default()
     }
 
+    /// Builds a state from raw lanes (index `x + 5 * y`, as returned by
+    /// [`KeccakState::lanes`]).  Used by the multi-lane batch path
+    /// ([`crate::keccak4`]) to hand states between the scalar and the 4-way
+    /// representation.
+    pub fn from_lanes(lanes: [u64; STATE_LANES]) -> Self {
+        Self { lanes }
+    }
+
     /// Returns the raw lanes of the state.
     pub fn lanes(&self) -> &[u64; STATE_LANES] {
         &self.lanes
@@ -104,91 +112,113 @@ impl KeccakState {
     }
 
     /// Applies the full 24-round Keccak-f\[1600\] permutation in place.
-    pub fn permute(&mut self) {
-        for rc in ROUND_CONSTANTS {
-            self.round(rc);
-        }
-    }
-
-    /// One Keccak round: θ, ρ, π, χ, ι — fully unrolled.
     ///
-    /// All 25 lanes are held in locals, the ρ rotation amounts and π target
-    /// positions are baked in as constants and every array access uses a constant
-    /// index, so the compiler emits straight-line code with no bounds checks and
-    /// no `% 5` index arithmetic.  θ is fused into ρ/π (each lane picks up its
-    /// column parity `D[x]` as it is rotated into place).
-    #[inline]
-    fn round(&mut self, rc: u64) {
-        let a = &self.lanes;
-
-        // θ (theta): column parities and the per-column mix values.
-        let c0 = a[0] ^ a[5] ^ a[10] ^ a[15] ^ a[20];
-        let c1 = a[1] ^ a[6] ^ a[11] ^ a[16] ^ a[21];
-        let c2 = a[2] ^ a[7] ^ a[12] ^ a[17] ^ a[22];
-        let c3 = a[3] ^ a[8] ^ a[13] ^ a[18] ^ a[23];
-        let c4 = a[4] ^ a[9] ^ a[14] ^ a[19] ^ a[24];
-        let d0 = c4 ^ c1.rotate_left(1);
-        let d1 = c0 ^ c2.rotate_left(1);
-        let d2 = c1 ^ c3.rotate_left(1);
-        let d3 = c2 ^ c4.rotate_left(1);
-        let d4 = c3 ^ c0.rotate_left(1);
-
-        // θ-apply + ρ (rotate) + π (permute): B[y, 2x+3y] = rot(A[x, y] ^ D[x]).
-        // Locals are named after the *destination* index `nx + 5 * ny`.
-        let b0 = a[0] ^ d0;
-        let b10 = (a[1] ^ d1).rotate_left(1);
-        let b20 = (a[2] ^ d2).rotate_left(62);
-        let b5 = (a[3] ^ d3).rotate_left(28);
-        let b15 = (a[4] ^ d4).rotate_left(27);
-        let b16 = (a[5] ^ d0).rotate_left(36);
-        let b1 = (a[6] ^ d1).rotate_left(44);
-        let b11 = (a[7] ^ d2).rotate_left(6);
-        let b21 = (a[8] ^ d3).rotate_left(55);
-        let b6 = (a[9] ^ d4).rotate_left(20);
-        let b7 = (a[10] ^ d0).rotate_left(3);
-        let b17 = (a[11] ^ d1).rotate_left(10);
-        let b2 = (a[12] ^ d2).rotate_left(43);
-        let b12 = (a[13] ^ d3).rotate_left(25);
-        let b22 = (a[14] ^ d4).rotate_left(39);
-        let b23 = (a[15] ^ d0).rotate_left(41);
-        let b8 = (a[16] ^ d1).rotate_left(45);
-        let b18 = (a[17] ^ d2).rotate_left(15);
-        let b3 = (a[18] ^ d3).rotate_left(21);
-        let b13 = (a[19] ^ d4).rotate_left(8);
-        let b14 = (a[20] ^ d0).rotate_left(18);
-        let b24 = (a[21] ^ d1).rotate_left(2);
-        let b9 = (a[22] ^ d2).rotate_left(61);
-        let b19 = (a[23] ^ d3).rotate_left(56);
-        let b4 = (a[24] ^ d4).rotate_left(14);
-
-        // χ (chi) row by row, with ι (iota) folded into lane 0.
-        let a = &mut self.lanes;
-        a[0] = b0 ^ (!b1 & b2) ^ rc;
-        a[1] = b1 ^ (!b2 & b3);
-        a[2] = b2 ^ (!b3 & b4);
-        a[3] = b3 ^ (!b4 & b0);
-        a[4] = b4 ^ (!b0 & b1);
-        a[5] = b5 ^ (!b6 & b7);
-        a[6] = b6 ^ (!b7 & b8);
-        a[7] = b7 ^ (!b8 & b9);
-        a[8] = b8 ^ (!b9 & b5);
-        a[9] = b9 ^ (!b5 & b6);
-        a[10] = b10 ^ (!b11 & b12);
-        a[11] = b11 ^ (!b12 & b13);
-        a[12] = b12 ^ (!b13 & b14);
-        a[13] = b13 ^ (!b14 & b10);
-        a[14] = b14 ^ (!b10 & b11);
-        a[15] = b15 ^ (!b16 & b17);
-        a[16] = b16 ^ (!b17 & b18);
-        a[17] = b17 ^ (!b18 & b19);
-        a[18] = b18 ^ (!b19 & b15);
-        a[19] = b19 ^ (!b15 & b16);
-        a[20] = b20 ^ (!b21 & b22);
-        a[21] = b21 ^ (!b22 & b23);
-        a[22] = b22 ^ (!b23 & b24);
-        a[23] = b23 ^ (!b24 & b20);
-        a[24] = b24 ^ (!b20 & b21);
+    /// The state is copied into a local array for the 24 rounds and written back
+    /// once: rounds then chain through values the optimiser knows nothing else
+    /// aliases, instead of loading and storing all 25 lanes through `&mut self`
+    /// every round.  (The PR that unrolled the round function sped up the
+    /// sponge absorb path but regressed this bare dependent-latency figure; the
+    /// local copy recovers it.)
+    pub fn permute(&mut self) {
+        permute_lanes(&mut self.lanes);
     }
+
+    /// One Keccak round applied directly to the stored lanes (test oracle entry
+    /// point; the hot path goes through [`KeccakState::permute`]).
+    #[cfg(test)]
+    fn round(&mut self, rc: u64) {
+        round_on(&mut self.lanes, rc);
+    }
+}
+
+/// The full 24-round permutation over a bare lane array (shared by
+/// [`KeccakState::permute`] and the packed fallback in [`crate::keccak4`]).
+pub(crate) fn permute_lanes(lanes: &mut [u64; STATE_LANES]) {
+    let mut local = *lanes;
+    for rc in ROUND_CONSTANTS {
+        round_on(&mut local, rc);
+    }
+    *lanes = local;
+}
+
+/// One Keccak round: θ, ρ, π, χ, ι — fully unrolled.
+///
+/// All 25 lanes are held in locals, the ρ rotation amounts and π target
+/// positions are baked in as constants and every array access uses a constant
+/// index, so the compiler emits straight-line code with no bounds checks and
+/// no `% 5` index arithmetic.  θ is fused into ρ/π (each lane picks up its
+/// column parity `D[x]` as it is rotated into place).
+#[inline]
+fn round_on(lanes: &mut [u64; STATE_LANES], rc: u64) {
+    let a: &[u64; STATE_LANES] = lanes;
+
+    // θ (theta): column parities and the per-column mix values.
+    let c0 = a[0] ^ a[5] ^ a[10] ^ a[15] ^ a[20];
+    let c1 = a[1] ^ a[6] ^ a[11] ^ a[16] ^ a[21];
+    let c2 = a[2] ^ a[7] ^ a[12] ^ a[17] ^ a[22];
+    let c3 = a[3] ^ a[8] ^ a[13] ^ a[18] ^ a[23];
+    let c4 = a[4] ^ a[9] ^ a[14] ^ a[19] ^ a[24];
+    let d0 = c4 ^ c1.rotate_left(1);
+    let d1 = c0 ^ c2.rotate_left(1);
+    let d2 = c1 ^ c3.rotate_left(1);
+    let d3 = c2 ^ c4.rotate_left(1);
+    let d4 = c3 ^ c0.rotate_left(1);
+
+    // θ-apply + ρ (rotate) + π (permute): B[y, 2x+3y] = rot(A[x, y] ^ D[x]).
+    // Locals are named after the *destination* index `nx + 5 * ny`.
+    let b0 = a[0] ^ d0;
+    let b10 = (a[1] ^ d1).rotate_left(1);
+    let b20 = (a[2] ^ d2).rotate_left(62);
+    let b5 = (a[3] ^ d3).rotate_left(28);
+    let b15 = (a[4] ^ d4).rotate_left(27);
+    let b16 = (a[5] ^ d0).rotate_left(36);
+    let b1 = (a[6] ^ d1).rotate_left(44);
+    let b11 = (a[7] ^ d2).rotate_left(6);
+    let b21 = (a[8] ^ d3).rotate_left(55);
+    let b6 = (a[9] ^ d4).rotate_left(20);
+    let b7 = (a[10] ^ d0).rotate_left(3);
+    let b17 = (a[11] ^ d1).rotate_left(10);
+    let b2 = (a[12] ^ d2).rotate_left(43);
+    let b12 = (a[13] ^ d3).rotate_left(25);
+    let b22 = (a[14] ^ d4).rotate_left(39);
+    let b23 = (a[15] ^ d0).rotate_left(41);
+    let b8 = (a[16] ^ d1).rotate_left(45);
+    let b18 = (a[17] ^ d2).rotate_left(15);
+    let b3 = (a[18] ^ d3).rotate_left(21);
+    let b13 = (a[19] ^ d4).rotate_left(8);
+    let b14 = (a[20] ^ d0).rotate_left(18);
+    let b24 = (a[21] ^ d1).rotate_left(2);
+    let b9 = (a[22] ^ d2).rotate_left(61);
+    let b19 = (a[23] ^ d3).rotate_left(56);
+    let b4 = (a[24] ^ d4).rotate_left(14);
+
+    // χ (chi) row by row, with ι (iota) folded into lane 0.
+    let a = lanes;
+    a[0] = b0 ^ (!b1 & b2) ^ rc;
+    a[1] = b1 ^ (!b2 & b3);
+    a[2] = b2 ^ (!b3 & b4);
+    a[3] = b3 ^ (!b4 & b0);
+    a[4] = b4 ^ (!b0 & b1);
+    a[5] = b5 ^ (!b6 & b7);
+    a[6] = b6 ^ (!b7 & b8);
+    a[7] = b7 ^ (!b8 & b9);
+    a[8] = b8 ^ (!b9 & b5);
+    a[9] = b9 ^ (!b5 & b6);
+    a[10] = b10 ^ (!b11 & b12);
+    a[11] = b11 ^ (!b12 & b13);
+    a[12] = b12 ^ (!b13 & b14);
+    a[13] = b13 ^ (!b14 & b10);
+    a[14] = b14 ^ (!b10 & b11);
+    a[15] = b15 ^ (!b16 & b17);
+    a[16] = b16 ^ (!b17 & b18);
+    a[17] = b17 ^ (!b18 & b19);
+    a[18] = b18 ^ (!b19 & b15);
+    a[19] = b19 ^ (!b15 & b16);
+    a[20] = b20 ^ (!b21 & b22);
+    a[21] = b21 ^ (!b22 & b23);
+    a[22] = b22 ^ (!b23 & b24);
+    a[23] = b23 ^ (!b24 & b20);
+    a[24] = b24 ^ (!b20 & b21);
 }
 
 #[cfg(test)]

@@ -1,0 +1,338 @@
+//! 4-way Keccak-f\[1600\].
+//!
+//! Four independent Keccak states are interleaved lane-wise: lane `i` of the
+//! packed state is `[u64; 4]` holding lane `i` of slots 0–3 — the same
+//! structure-of-arrays trick hardware Keccak cores use to fill wide
+//! datapaths, applied in software.  [`KeccakState4::permute`] dispatches to
+//! the runtime-selected SIMD kernel in `lofat-simd` (AVX-512 `vprolq` +
+//! `vpternlogq`, or AVX2 shift-pair rotates); on hosts with neither tier it
+//! de-interleaves and runs the scalar permutation per slot, which beats the
+//! portable packed formulation once LLVM scalarizes it.
+//!
+//! Whatever the path, a packed permutation is lane-for-lane identical to four
+//! scalar [`KeccakState::permute`] calls: [`KeccakState4::permute_portable`]
+//! keeps the θ/ρ/π/χ/ι `[u64; 4]` round in-crate as the reference the kernels
+//! are diffed against (tests below, plus the NIST-vector suite's proptest).
+//!
+//! Batching callers ([`crate::sha3`]'s multi-digest paths and
+//! [`crate::hmac::Hmac::finalize_many`]) group work into full 4-lane packs and
+//! fall back to the scalar permutation for ragged tails, so throughput scales
+//! without any behavioural difference.
+
+use crate::keccak::{permute_lanes, KeccakState, ROUND_CONSTANTS, STATE_LANES};
+
+/// Number of independent Keccak states processed per packed permutation.
+pub const LANES: usize = 4;
+
+/// One packed lane: the same Keccak lane across the four slots.
+type Pack = [u64; LANES];
+
+#[inline(always)]
+fn xor2(a: Pack, b: Pack) -> Pack {
+    [a[0] ^ b[0], a[1] ^ b[1], a[2] ^ b[2], a[3] ^ b[3]]
+}
+
+#[inline(always)]
+fn xor5(a: Pack, b: Pack, c: Pack, d: Pack, e: Pack) -> Pack {
+    [
+        a[0] ^ b[0] ^ c[0] ^ d[0] ^ e[0],
+        a[1] ^ b[1] ^ c[1] ^ d[1] ^ e[1],
+        a[2] ^ b[2] ^ c[2] ^ d[2] ^ e[2],
+        a[3] ^ b[3] ^ c[3] ^ d[3] ^ e[3],
+    ]
+}
+
+/// Rotate all four slots left by a compile-time constant (keeps the rotation
+/// amount an immediate in the vectorized code, like the scalar unroll).
+#[inline(always)]
+fn rotl<const R: u32>(a: Pack) -> Pack {
+    [a[0].rotate_left(R), a[1].rotate_left(R), a[2].rotate_left(R), a[3].rotate_left(R)]
+}
+
+/// θ-apply + ρ in one step: `rot(a ^ d)` per slot.
+#[inline(always)]
+fn xr<const R: u32>(a: Pack, d: Pack) -> Pack {
+    rotl::<R>(xor2(a, d))
+}
+
+/// χ: `b ^ (!c & d)` per slot.
+#[inline(always)]
+fn chi(b: Pack, c: Pack, d: Pack) -> Pack {
+    [b[0] ^ (!c[0] & d[0]), b[1] ^ (!c[1] & d[1]), b[2] ^ (!c[2] & d[2]), b[3] ^ (!c[3] & d[3])]
+}
+
+/// Four interleaved Keccak-f\[1600\] states.
+///
+/// Slot `s` of the packed state corresponds to one scalar [`KeccakState`];
+/// [`KeccakState4::permute`] advances all four at once.  Pack and unpack via
+/// [`KeccakState4::from_states`] / [`KeccakState4::into_states`], or address
+/// individual slots with the byte/lane accessors (mirroring the scalar API).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeccakState4 {
+    lanes: [Pack; STATE_LANES],
+}
+
+impl Default for KeccakState4 {
+    fn default() -> Self {
+        Self { lanes: [[0; LANES]; STATE_LANES] }
+    }
+}
+
+impl KeccakState4 {
+    /// Creates four all-zero states.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interleaves four scalar states into packed form.
+    pub fn from_states(states: &[KeccakState; LANES]) -> Self {
+        let mut packed = Self::new();
+        for (slot, state) in states.iter().enumerate() {
+            for (i, lane) in state.lanes().iter().enumerate() {
+                packed.lanes[i][slot] = *lane;
+            }
+        }
+        packed
+    }
+
+    /// De-interleaves the packed state back into four scalar states.
+    pub fn into_states(self) -> [KeccakState; LANES] {
+        let mut out = [[0u64; STATE_LANES]; LANES];
+        for (i, pack) in self.lanes.iter().enumerate() {
+            for (slot, lane) in pack.iter().enumerate() {
+                out[slot][i] = *lane;
+            }
+        }
+        out.map(KeccakState::from_lanes)
+    }
+
+    /// XORs a 64-bit word into lane `index` of slot `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= 4` or `index >= 25`.
+    pub fn xor_lane(&mut self, slot: usize, index: usize, value: u64) {
+        self.lanes[index][slot] ^= value;
+    }
+
+    /// Reads a byte of slot `slot` at byte offset `offset` (little-endian lane
+    /// order, matching [`KeccakState::byte`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= 4` or `offset >= 200`.
+    pub fn byte(&self, slot: usize, offset: usize) -> u8 {
+        let lane = offset / 8;
+        let shift = (offset % 8) * 8;
+        (self.lanes[lane][slot] >> shift) as u8
+    }
+
+    /// Applies the full 24-round permutation to all four slots at once.
+    ///
+    /// Uses the best SIMD kernel the host supports (see [`lofat_simd`]); on
+    /// hosts with none it runs the scalar permutation slot by slot.
+    pub fn permute(&mut self) {
+        if lofat_simd::keccak_f1600_x4(&mut self.lanes) {
+            return;
+        }
+        for slot in 0..LANES {
+            let mut lanes = std::array::from_fn(|i| self.lanes[i][slot]);
+            permute_lanes(&mut lanes);
+            for (i, lane) in lanes.iter().enumerate() {
+                self.lanes[i][slot] = *lane;
+            }
+        }
+    }
+
+    /// Portable packed permutation: every θ/ρ/π/χ/ι operation on `[u64; 4]`
+    /// batches, mirroring the scalar unroll round for round.
+    ///
+    /// This is the in-crate reference the SIMD kernels are checked against —
+    /// plain safe Rust with no dispatch, so a disagreement with
+    /// [`KeccakState4::permute`] isolates a kernel bug.  Not the hot path:
+    /// without wide registers LLVM scalarizes it into spill traffic.
+    pub fn permute_portable(&mut self) {
+        let mut lanes = self.lanes;
+        for rc in ROUND_CONSTANTS {
+            round4(&mut lanes, rc);
+        }
+        self.lanes = lanes;
+    }
+}
+
+/// One packed Keccak round, mirroring the scalar unroll in [`crate::keccak`]
+/// operation for operation — same fused θ, same baked ρ constants, same π
+/// destination naming (`b{nx + 5 * ny}`), same χ/ι tail.
+#[inline]
+fn round4(lanes: &mut [Pack; STATE_LANES], rc: u64) {
+    let a: &[Pack; STATE_LANES] = lanes;
+
+    // θ (theta): column parities and the per-column mix values.
+    let c0 = xor5(a[0], a[5], a[10], a[15], a[20]);
+    let c1 = xor5(a[1], a[6], a[11], a[16], a[21]);
+    let c2 = xor5(a[2], a[7], a[12], a[17], a[22]);
+    let c3 = xor5(a[3], a[8], a[13], a[18], a[23]);
+    let c4 = xor5(a[4], a[9], a[14], a[19], a[24]);
+    let d0 = xor2(c4, rotl::<1>(c1));
+    let d1 = xor2(c0, rotl::<1>(c2));
+    let d2 = xor2(c1, rotl::<1>(c3));
+    let d3 = xor2(c2, rotl::<1>(c4));
+    let d4 = xor2(c3, rotl::<1>(c0));
+
+    // θ-apply + ρ + π, destinations named `b{nx + 5 * ny}` as in the scalar round.
+    let b0 = xor2(a[0], d0);
+    let b10 = xr::<1>(a[1], d1);
+    let b20 = xr::<62>(a[2], d2);
+    let b5 = xr::<28>(a[3], d3);
+    let b15 = xr::<27>(a[4], d4);
+    let b16 = xr::<36>(a[5], d0);
+    let b1 = xr::<44>(a[6], d1);
+    let b11 = xr::<6>(a[7], d2);
+    let b21 = xr::<55>(a[8], d3);
+    let b6 = xr::<20>(a[9], d4);
+    let b7 = xr::<3>(a[10], d0);
+    let b17 = xr::<10>(a[11], d1);
+    let b2 = xr::<43>(a[12], d2);
+    let b12 = xr::<25>(a[13], d3);
+    let b22 = xr::<39>(a[14], d4);
+    let b23 = xr::<41>(a[15], d0);
+    let b8 = xr::<45>(a[16], d1);
+    let b18 = xr::<15>(a[17], d2);
+    let b3 = xr::<21>(a[18], d3);
+    let b13 = xr::<8>(a[19], d4);
+    let b14 = xr::<18>(a[20], d0);
+    let b24 = xr::<2>(a[21], d1);
+    let b9 = xr::<61>(a[22], d2);
+    let b19 = xr::<56>(a[23], d3);
+    let b4 = xr::<14>(a[24], d4);
+
+    // χ (chi) row by row, with ι (iota) folded into lane 0 of every slot.
+    let a = lanes;
+    a[0] = chi(b0, b1, b2);
+    a[0] = [a[0][0] ^ rc, a[0][1] ^ rc, a[0][2] ^ rc, a[0][3] ^ rc];
+    a[1] = chi(b1, b2, b3);
+    a[2] = chi(b2, b3, b4);
+    a[3] = chi(b3, b4, b0);
+    a[4] = chi(b4, b0, b1);
+    a[5] = chi(b5, b6, b7);
+    a[6] = chi(b6, b7, b8);
+    a[7] = chi(b7, b8, b9);
+    a[8] = chi(b8, b9, b5);
+    a[9] = chi(b9, b5, b6);
+    a[10] = chi(b10, b11, b12);
+    a[11] = chi(b11, b12, b13);
+    a[12] = chi(b12, b13, b14);
+    a[13] = chi(b13, b14, b10);
+    a[14] = chi(b14, b10, b11);
+    a[15] = chi(b15, b16, b17);
+    a[16] = chi(b16, b17, b18);
+    a[17] = chi(b17, b18, b19);
+    a[18] = chi(b18, b19, b15);
+    a[19] = chi(b19, b15, b16);
+    a[20] = chi(b20, b21, b22);
+    a[21] = chi(b21, b22, b23);
+    a[22] = chi(b22, b23, b24);
+    a[23] = chi(b23, b24, b20);
+    a[24] = chi(b24, b20, b21);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn distinct_state(seed: u64) -> KeccakState {
+        let mut st = KeccakState::new();
+        for i in 0..STATE_LANES {
+            st.xor_lane(i, (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(seed));
+        }
+        st
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let states = [distinct_state(1), distinct_state(2), distinct_state(3), distinct_state(4)];
+        let packed = KeccakState4::from_states(&states);
+        assert_eq!(packed.into_states(), states);
+    }
+
+    #[test]
+    fn packed_permute_matches_four_scalar_permutes() {
+        let mut states = [
+            distinct_state(0x1111),
+            distinct_state(0x2222),
+            KeccakState::new(),
+            distinct_state(0x4444),
+        ];
+        let mut packed = KeccakState4::from_states(&states);
+        for st in states.iter_mut() {
+            st.permute();
+        }
+        packed.permute();
+        assert_eq!(packed.into_states(), states);
+    }
+
+    #[test]
+    fn dispatched_permute_matches_portable_reference() {
+        for seed in 0..8u64 {
+            let states = [
+                distinct_state(seed * 4 + 1),
+                distinct_state(seed * 4 + 2),
+                distinct_state(seed * 4 + 3),
+                distinct_state(seed * 4 + 4),
+            ];
+            let mut dispatched = KeccakState4::from_states(&states);
+            let mut portable = dispatched;
+            dispatched.permute();
+            portable.permute_portable();
+            assert_eq!(dispatched, portable, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn portable_packed_permute_matches_four_scalar_permutes() {
+        let mut states = [
+            distinct_state(0xAAAA),
+            distinct_state(0xBBBB),
+            distinct_state(0xCCCC),
+            KeccakState::new(),
+        ];
+        let mut packed = KeccakState4::from_states(&states);
+        for st in states.iter_mut() {
+            st.permute();
+        }
+        packed.permute_portable();
+        assert_eq!(packed.into_states(), states);
+    }
+
+    #[test]
+    fn packed_zero_state_known_answer_in_every_slot() {
+        let mut packed = KeccakState4::new();
+        packed.permute();
+        let states = packed.into_states();
+        for st in &states {
+            assert_eq!(st.lanes()[0], 0xF125_8F79_40E1_DDE7);
+        }
+    }
+
+    #[test]
+    fn byte_accessor_matches_scalar() {
+        let states = [distinct_state(7), distinct_state(8), distinct_state(9), distinct_state(10)];
+        let packed = KeccakState4::from_states(&states);
+        for (slot, st) in states.iter().enumerate() {
+            for offset in [0usize, 1, 7, 8, 63, 64, 71, 135, 199] {
+                assert_eq!(packed.byte(slot, offset), st.byte(offset));
+            }
+        }
+    }
+
+    #[test]
+    fn xor_lane_targets_one_slot() {
+        let mut packed = KeccakState4::new();
+        packed.xor_lane(2, 5, 0xDEAD_BEEF);
+        let states = packed.into_states();
+        assert_eq!(states[2].lanes()[5], 0xDEAD_BEEF);
+        for slot in [0, 1, 3] {
+            assert_eq!(states[slot], KeccakState::new());
+        }
+    }
+}

@@ -77,6 +77,15 @@ impl VerificationKey {
     pub fn verify(&self, message: &[u8], tag: &Digest) -> bool {
         Hmac::verify(&self.bytes, message, tag)
     }
+
+    /// Returns a keyed-but-empty [`Hmac`] instance for this key.
+    ///
+    /// Cloning the returned base and absorbing a message is equivalent to
+    /// [`Hmac::new`] + update, minus the two key-schedule permutations — the
+    /// verifier service keeps one base per fleet key and clones it per report.
+    pub fn mac_base(&self) -> Hmac {
+        Hmac::new(&self.bytes)
+    }
 }
 
 impl std::fmt::Debug for VerificationKey {

@@ -37,8 +37,10 @@ pub mod error;
 pub mod hash_engine;
 pub mod hmac;
 pub mod keccak;
+pub mod keccak4;
 pub mod keys;
 pub mod lamport;
+mod multilane;
 pub mod nonce;
 pub mod sha3;
 pub mod sign;
@@ -46,8 +48,13 @@ pub mod sign;
 pub use error::CryptoError;
 pub use hash_engine::{EngineStatus, HashEngine, HashEngineConfig, HashEngineStats};
 pub use hmac::Hmac;
+pub use keccak4::KeccakState4;
 pub use keys::{DeviceKey, KeyRegister, VerificationKey};
 pub use lamport::{LamportKeyPair, LamportPublicKey};
+/// The SIMD kernel tier the packed 4-way Keccak permutation dispatches to on
+/// this host (`"avx512"`, `"avx2"` or `"scalar"`) — recorded in bench
+/// documents so throughput numbers can be compared like for like.
+pub use lofat_simd::active_tier as simd_tier;
 pub use nonce::Nonce;
 pub use sha3::{Digest, Sha3_256, Sha3_512};
 pub use sign::{HmacSigner, Signature, Signer, Verifier as SignatureVerifier};

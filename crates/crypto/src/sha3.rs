@@ -8,9 +8,9 @@
 use crate::keccak::KeccakState;
 
 /// Domain-separation/padding byte for SHA-3 (the `01` suffix plus first pad bit).
-const SHA3_PAD: u8 = 0x06;
+pub(crate) const SHA3_PAD: u8 = 0x06;
 /// Final padding byte (last bit of the pad10*1 rule).
-const FINAL_PAD: u8 = 0x80;
+pub(crate) const FINAL_PAD: u8 = 0x80;
 
 /// A finalized hash digest.
 ///
@@ -50,11 +50,17 @@ impl Digest {
     /// Constant-time-ish equality check (not constant time in the strict sense, but
     /// it always compares every byte).
     pub fn ct_eq(&self, other: &Digest) -> bool {
-        if self.bytes.len() != other.bytes.len() {
+        self.ct_eq_bytes(&other.bytes)
+    }
+
+    /// [`Digest::ct_eq`] against a raw byte slice (lets callers compare a
+    /// computed tag to wire bytes without allocating a `Digest`).
+    pub fn ct_eq_bytes(&self, other: &[u8]) -> bool {
+        if self.bytes.len() != other.len() {
             return false;
         }
         let mut acc = 0u8;
-        for (a, b) in self.bytes.iter().zip(other.bytes.iter()) {
+        for (a, b) in self.bytes.iter().zip(other.iter()) {
             acc |= a ^ b;
         }
         acc == 0
@@ -74,17 +80,20 @@ impl std::fmt::Display for Digest {
 }
 
 /// Generic Keccak sponge in absorbing phase with a fixed rate and output length.
+///
+/// Crate-visible so the multi-lane batch layer ([`crate::multilane`]) can pack
+/// sponge states into [`crate::keccak4::KeccakState4`] groups and hand them back.
 #[derive(Debug, Clone)]
-struct Sponge {
-    state: KeccakState,
-    rate_bytes: usize,
-    output_bytes: usize,
+pub(crate) struct Sponge {
+    pub(crate) state: KeccakState,
+    pub(crate) rate_bytes: usize,
+    pub(crate) output_bytes: usize,
     /// Number of bytes absorbed into the current rate block.
-    offset: usize,
+    pub(crate) offset: usize,
 }
 
 impl Sponge {
-    fn new(rate_bytes: usize, output_bytes: usize) -> Self {
+    pub(crate) fn new(rate_bytes: usize, output_bytes: usize) -> Self {
         // The word-aligned absorb path in `update` relies on full lanes never
         // straddling the rate boundary.
         debug_assert!(rate_bytes.is_multiple_of(8), "rate must be a whole number of lanes");
@@ -92,7 +101,7 @@ impl Sponge {
     }
 
     #[inline]
-    fn update(&mut self, data: &[u8]) {
+    pub(crate) fn update(&mut self, data: &[u8]) {
         let mut data = data;
         // Head: absorb byte-wise until the write position is lane-aligned.
         while !data.is_empty() && !self.offset.is_multiple_of(8) {
@@ -130,7 +139,7 @@ impl Sponge {
         }
     }
 
-    fn finalize(mut self) -> Digest {
+    pub(crate) fn finalize(mut self) -> Digest {
         // pad10*1 with SHA-3 domain separation.
         self.state.xor_byte(self.offset, SHA3_PAD);
         self.state.xor_byte(self.rate_bytes - 1, FINAL_PAD);
@@ -165,7 +174,7 @@ impl Sponge {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Sha3_512 {
-    sponge: Sponge,
+    pub(crate) sponge: Sponge,
 }
 
 impl Sha3_512 {
@@ -195,6 +204,34 @@ impl Sha3_512 {
         h.update(data);
         h.finalize()
     }
+
+    /// Hashes many independent messages, running full groups of four through
+    /// the 4-way packed permutation ([`crate::keccak4`]) and any ragged tail
+    /// through the scalar sponge.  Digests are bit-identical to
+    /// [`Sha3_512::digest`] per message.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use lofat_crypto::Sha3_512;
+    ///
+    /// let msgs: Vec<&[u8]> = vec![b"a", b"bb", b"ccc", b"dddd", b"eeeee"];
+    /// let batched = Sha3_512::digest_many(&msgs);
+    /// for (msg, digest) in msgs.iter().zip(&batched) {
+    ///     assert_eq!(digest, &Sha3_512::digest(msg));
+    /// }
+    /// ```
+    pub fn digest_many<T: AsRef<[u8]>>(messages: &[T]) -> Vec<Digest> {
+        crate::multilane::digest_each(&Sponge::new(Self::RATE_BYTES, Self::DIGEST_BYTES), messages)
+    }
+
+    /// Finalizes many in-flight hashers at once, draining full groups of four
+    /// through one packed final permutation each (the hashers may be at
+    /// arbitrary, unrelated absorb offsets).  Results are bit-identical to
+    /// calling [`Sha3_512::finalize`] on each hasher.
+    pub fn finalize_many(hashers: Vec<Sha3_512>) -> Vec<Digest> {
+        crate::multilane::finalize_each(hashers.into_iter().map(|h| h.sponge).collect())
+    }
 }
 
 impl Default for Sha3_512 {
@@ -206,7 +243,7 @@ impl Default for Sha3_512 {
 /// Incremental SHA-3-256 hasher (rate 1088 bits, 32-byte digest).
 #[derive(Debug, Clone)]
 pub struct Sha3_256 {
-    sponge: Sponge,
+    pub(crate) sponge: Sponge,
 }
 
 impl Sha3_256 {
@@ -235,6 +272,12 @@ impl Sha3_256 {
         let mut h = Self::new();
         h.update(data);
         h.finalize()
+    }
+
+    /// Hashes many independent messages through the 4-way packed permutation
+    /// (groups of four; scalar tail).  See [`Sha3_512::digest_many`].
+    pub fn digest_many<T: AsRef<[u8]>>(messages: &[T]) -> Vec<Digest> {
+        crate::multilane::digest_each(&Sponge::new(Self::RATE_BYTES, Self::DIGEST_BYTES), messages)
     }
 }
 

@@ -93,22 +93,41 @@ impl Signer for HmacSigner {
 }
 
 /// The verifier-side counterpart of [`HmacSigner`].
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct HmacVerifier {
     key: VerificationKey,
+    /// Keyed-but-empty MAC: cloning it skips the two key-schedule permutations
+    /// on every verification, and a clone with a message prefix absorbed can be
+    /// snapshotted and resumed (the verdict cache stores exactly that).
+    base: crate::hmac::Hmac,
 }
 
 impl HmacVerifier {
     /// Creates a verifier from the verification key shared with the prover.
     pub fn new(key: VerificationKey) -> Self {
-        Self { key }
+        let base = key.mac_base();
+        Self { key, base }
+    }
+
+    /// Returns the keyed-but-empty base MAC (see [`VerificationKey::mac_base`]).
+    pub fn mac_base(&self) -> &crate::hmac::Hmac {
+        &self.base
+    }
+}
+
+impl std::fmt::Debug for HmacVerifier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The keyed base MAC's sponge state is key-equivalent material; only
+        // the (already redacted) key field is shown.
+        f.debug_struct("HmacVerifier").field("key", &self.key).finish()
     }
 }
 
 impl Verifier for HmacVerifier {
     fn verify(&self, message: &[u8], signature: &Signature) -> Result<(), CryptoError> {
-        let tag = Digest::from_bytes(signature.as_bytes().to_vec());
-        if self.key.verify(message, &tag) {
+        let mut mac = self.base.clone();
+        mac.update(message);
+        if mac.finalize().ct_eq_bytes(signature.as_bytes()) {
             Ok(())
         } else {
             Err(CryptoError::SignatureMismatch)

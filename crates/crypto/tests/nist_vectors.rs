@@ -6,12 +6,20 @@
 //!   `KeccakF-1600-IntermediateValues.txt` (permutation of the all-zero state).
 //! * SHA3-256 / SHA3-512 digests of `""`, `"abc"` and one million `a`s from the
 //!   NIST FIPS 202 example values.
+//!
+//! Every golden digest is checked twice: through the scalar sponge and through
+//! the 4-lane batch path (`digest_many`), with the vector planted in each of
+//! the four lane positions and in ragged tail groups of 1–3 — so the
+//! multi-lane Keccak kernel is pinned to the same FIPS 202 answers in every
+//! slot it can occupy.
 
 use lofat_crypto::keccak::KeccakState;
 use lofat_crypto::sign::HmacVerifier;
 use lofat_crypto::{
-    DeviceKey, Hmac, HmacSigner, LamportKeyPair, Sha3_256, Sha3_512, SignatureVerifier, Signer,
+    DeviceKey, Hmac, HmacSigner, KeccakState4, LamportKeyPair, Sha3_256, Sha3_512,
+    SignatureVerifier, Signer,
 };
+use proptest::prelude::*;
 
 /// First lanes of Keccak-f[1600] applied once to the all-zero state.
 const KECCAK_F_ZERO_ONCE: [u64; 5] = [
@@ -107,6 +115,155 @@ fn sha3_512_nist_million_a_vector() {
         "3c3a876da14034ab60627c077bb98f7e120a2a5370212dffb3385a18d4f38859\
          ed311d0a9d5141ce9cc5c66ee689b266a8aa18ace8282a0e0db596c90b0a7b87"
     );
+}
+
+/// The FIPS 202 message/digest pairs for SHA3-256 (message, hex digest).
+fn sha3_256_vectors() -> Vec<(Vec<u8>, &'static str)> {
+    vec![
+        (b"".to_vec(), "a7ffc6f8bf1ed76651c14756a061d662f580ff4de43b49fa82d80a4b80f8434a"),
+        (b"abc".to_vec(), "3a985da74fe225b2045c172d6bd390bd855f086e3e9d525b46bfe24511431532"),
+        (
+            b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq".to_vec(),
+            "41c0dba2a9d6240849100376a8235e2c82e1b9998a999e21db32dd97496d3376",
+        ),
+        (vec![b'a'; 1_000_000], "5c8875ae474a3634ba4fd55ec85bffd661f32aca75c6d699d0cdcb6c115891c1"),
+    ]
+}
+
+/// The FIPS 202 message/digest pairs for SHA3-512 (message, hex digest).
+fn sha3_512_vectors() -> Vec<(Vec<u8>, &'static str)> {
+    vec![
+        (
+            b"".to_vec(),
+            "a69f73cca23a9ac5c8b567dc185a756e97c982164fe25859e0d1dcc1475c80a6\
+             15b2123af1f5f94c11e3e9402c3ac558f500199d95b6d3e301758586281dcd26",
+        ),
+        (
+            b"abc".to_vec(),
+            "b751850b1a57168a5693cd924b6b096e08f621827444f70d884f5d0240d2712e\
+             10e116e9192af3c91a7ec57647e3934057340b4cf408d5a56592f8274eec53f0",
+        ),
+        (
+            vec![b'a'; 1_000_000],
+            "3c3a876da14034ab60627c077bb98f7e120a2a5370212dffb3385a18d4f38859\
+             ed311d0a9d5141ce9cc5c66ee689b266a8aa18ace8282a0e0db596c90b0a7b87",
+        ),
+    ]
+}
+
+/// Distinct filler messages so the other lanes of a 4-lane group never hash
+/// the same bytes as the vector under test (a lane-mixing bug cannot hide).
+fn filler(slot: usize) -> Vec<u8> {
+    vec![0xA5 ^ slot as u8; 17 * slot + 3]
+}
+
+/// Plants `message` in every lane position of a full 4-lane group and checks
+/// the digest in that position against `expected`; the filler lanes are
+/// cross-checked against the scalar one-shot digest.
+fn check_all_lane_positions(
+    message: &[u8],
+    expected: &str,
+    digest_many: impl Fn(&[&[u8]]) -> Vec<String>,
+    digest_one: impl Fn(&[u8]) -> String,
+) {
+    for position in 0..4 {
+        let group: Vec<Vec<u8>> = (0..4)
+            .map(|slot| if slot == position { message.to_vec() } else { filler(slot) })
+            .collect();
+        let refs: Vec<&[u8]> = group.iter().map(Vec::as_slice).collect();
+        let digests = digest_many(&refs);
+        assert_eq!(digests.len(), 4);
+        for (slot, digest) in digests.iter().enumerate() {
+            let want =
+                if slot == position { expected.to_string() } else { digest_one(&group[slot]) };
+            assert_eq!(digest, &want, "lane position {position}, slot {slot}");
+        }
+    }
+    // Ragged groups of 1–3 take the scalar tail of the batch path; the
+    // vector must survive every tail length and position too.
+    for len in 1..4usize {
+        for position in 0..len {
+            let group: Vec<Vec<u8>> = (0..len)
+                .map(|slot| if slot == position { message.to_vec() } else { filler(slot) })
+                .collect();
+            let refs: Vec<&[u8]> = group.iter().map(Vec::as_slice).collect();
+            let digests = digest_many(&refs);
+            assert_eq!(digests[position], expected, "ragged group of {len}, vector at {position}");
+        }
+    }
+}
+
+#[test]
+fn sha3_256_vectors_through_every_lane_of_the_batch_path() {
+    for (message, expected) in sha3_256_vectors() {
+        check_all_lane_positions(
+            &message,
+            expected,
+            |group| Sha3_256::digest_many(group).iter().map(|d| d.to_hex()).collect(),
+            |msg| Sha3_256::digest(msg).to_hex(),
+        );
+    }
+}
+
+#[test]
+fn sha3_512_vectors_through_every_lane_of_the_batch_path() {
+    for (message, expected) in sha3_512_vectors() {
+        check_all_lane_positions(
+            &message,
+            expected,
+            |group| Sha3_512::digest_many(group).iter().map(|d| d.to_hex()).collect(),
+            |msg| Sha3_512::digest(msg).to_hex(),
+        );
+    }
+}
+
+#[test]
+fn keccak_f1600_zero_state_through_the_packed_permutation() {
+    // All four lanes of the packed state start at zero; one packed permute
+    // must land every slot on the published intermediate values.
+    let mut packed = KeccakState4::new();
+    packed.permute();
+    let states = packed.into_states();
+    for (slot, state) in states.iter().enumerate() {
+        for (index, &expected) in KECCAK_F_ZERO_ONCE.iter().enumerate() {
+            assert_eq!(state.lanes()[index], expected, "slot {slot}, lane {index}");
+        }
+    }
+}
+
+proptest! {
+    /// The dispatched packed permutation (SIMD kernel or slot-wise scalar
+    /// fallback) equals four independent scalar permutations on arbitrary
+    /// states — and so does the portable packed reference formulation.
+    #[test]
+    fn packed_permutation_matches_looped_scalar_on_random_states(
+        lanes in proptest::collection::vec(any::<u64>(), 100..=100),
+        rounds in 1usize..3,
+    ) {
+        let states: [KeccakState; 4] = std::array::from_fn(|slot| {
+            let mut state = [0u64; 25];
+            for (index, lane) in state.iter_mut().enumerate() {
+                *lane = lanes[25 * slot + index];
+            }
+            KeccakState::from_lanes(state)
+        });
+        let mut dispatched = KeccakState4::from_states(&states);
+        let mut portable = KeccakState4::from_states(&states);
+        let mut looped = states;
+        for _ in 0..rounds {
+            dispatched.permute();
+            portable.permute_portable();
+            for state in &mut looped {
+                state.permute();
+            }
+        }
+        let dispatched = dispatched.into_states();
+        let portable = portable.into_states();
+        for slot in 0..4 {
+            prop_assert_eq!(dispatched[slot].lanes(), looped[slot].lanes(), "slot {}", slot);
+            prop_assert_eq!(portable[slot].lanes(), looped[slot].lanes(), "portable {}", slot);
+        }
+    }
 }
 
 #[test]

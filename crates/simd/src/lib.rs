@@ -1,0 +1,487 @@
+//! Runtime-dispatched SIMD kernels for the LO-FAT workspace.
+//!
+//! The rest of the workspace is `forbid(unsafe_code)`; this crate is the one
+//! place that touches `core::arch` intrinsics, and it exposes only safe,
+//! shape-checked entry points.  Today it holds a single kernel: the 4-way
+//! Keccak-f\[1600\] permutation behind `lofat-crypto`'s batch hashing layer.
+//!
+//! # Why explicit intrinsics
+//!
+//! The portable `[u64; 4]`-per-lane formulation in `lofat_crypto::keccak4`
+//! autovectorizes poorly: without AVX-512 there is no 64-bit vector rotate
+//! (`vprolq`), and LLVM's cost model either scalarizes the packed round
+//! (spilling all 25 packs to the stack) or — with `-C target-cpu=native` —
+//! SLP-vectorizes the *scalar* round into something far slower.  Writing the
+//! packed round with explicit intrinsics sidesteps the cost model entirely:
+//! each tier is compiled exactly as written, inside a `#[target_feature]`
+//! function, and selected once at runtime with
+//! [`is_x86_feature_detected!`](std::arch::is_x86_feature_detected).
+//!
+//! # Tiers
+//!
+//! | tier     | requirements          | key instructions                                  |
+//! |----------|-----------------------|---------------------------------------------------|
+//! | `avx512` | AVX-512 F + VL        | `vprolq` (ρ), `vpternlogq` (θ parity and χ)       |
+//! | `avx2`   | AVX2                  | shift+or rotates, `vpandn`+`vpxor` χ              |
+//! | `scalar` | anything else         | none — [`keccak_f1600_x4`] returns `false`        |
+//!
+//! All tiers are bit-identical to the scalar permutation; the tests here pin
+//! every available tier against a portable reference round, and the
+//! `lofat-crypto` NIST-vector suite pins the dispatched result against the
+//! FIPS 202 golden vectors.
+//!
+//! Set `LOFAT_SIMD=scalar` (or `avx2`) in the environment to cap the tier
+//! below what the host supports — used by benches to measure the portable
+//! fallback on SIMD-capable hosts.  The variable is read once, at the first
+//! dispatch.
+
+#![warn(missing_docs)]
+
+/// Number of independent Keccak states processed per packed permutation.
+pub const LANES: usize = 4;
+
+/// Number of 64-bit lanes in one Keccak-f\[1600\] state.
+pub const STATE_LANES: usize = 25;
+
+const ROUNDS: usize = 24;
+
+/// Keccak-f\[1600\] round constants (FIPS 202 §3.2.5).
+const ROUND_CONSTANTS: [u64; ROUNDS] = [
+    0x0000_0000_0000_0001,
+    0x0000_0000_0000_8082,
+    0x8000_0000_0000_808a,
+    0x8000_0000_8000_8000,
+    0x0000_0000_0000_808b,
+    0x0000_0000_8000_0001,
+    0x8000_0000_8000_8081,
+    0x8000_0000_0000_8009,
+    0x0000_0000_0000_008a,
+    0x0000_0000_0000_0088,
+    0x0000_0000_8000_8009,
+    0x0000_0000_8000_000a,
+    0x0000_0000_8000_808b,
+    0x8000_0000_0000_008b,
+    0x8000_0000_0000_8089,
+    0x8000_0000_0000_8003,
+    0x8000_0000_0000_8002,
+    0x8000_0000_0000_0080,
+    0x0000_0000_0000_800a,
+    0x8000_0000_8000_000a,
+    0x8000_0000_8000_8081,
+    0x8000_0000_0000_8080,
+    0x0000_0000_8000_0001,
+    0x8000_0000_8000_8008,
+];
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Tier {
+    Scalar,
+    Avx2,
+    Avx512,
+}
+
+#[cfg(target_arch = "x86_64")]
+fn tier() -> Tier {
+    use std::sync::OnceLock;
+    static TIER: OnceLock<Tier> = OnceLock::new();
+    *TIER.get_or_init(|| {
+        let detected = if std::arch::is_x86_feature_detected!("avx512f")
+            && std::arch::is_x86_feature_detected!("avx512vl")
+        {
+            Tier::Avx512
+        } else if std::arch::is_x86_feature_detected!("avx2") {
+            Tier::Avx2
+        } else {
+            Tier::Scalar
+        };
+        let cap = match std::env::var("LOFAT_SIMD").ok().as_deref() {
+            Some("scalar") | Some("off") => Tier::Scalar,
+            Some("avx2") => Tier::Avx2,
+            _ => Tier::Avx512,
+        };
+        detected.min(cap)
+    })
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn tier() -> Tier {
+    Tier::Scalar
+}
+
+/// Name of the kernel tier the dispatcher selected on this host:
+/// `"avx512"`, `"avx2"` or `"scalar"`.
+///
+/// Recorded in bench documents so gates can refuse to compare SIMD-dependent
+/// rows across hosts with different capabilities.
+pub fn active_tier() -> &'static str {
+    match tier() {
+        Tier::Avx512 => "avx512",
+        Tier::Avx2 => "avx2",
+        Tier::Scalar => "scalar",
+    }
+}
+
+/// Runs Keccak-f\[1600\] on four interleaved states (lane `i` of the packed
+/// state is `[u64; 4]` holding lane `i` of slots 0–3) with the best available
+/// kernel.
+///
+/// Returns `false` — leaving `lanes` untouched — when the host supports no
+/// SIMD tier; the caller is expected to fall back to scalar permutations.
+pub fn keccak_f1600_x4(lanes: &mut [[u64; LANES]; STATE_LANES]) -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        match tier() {
+            // SAFETY: the dispatcher verified the required target features.
+            Tier::Avx512 => unsafe { x86::permute4_avx512(lanes) },
+            // SAFETY: as above — AVX2 was detected at runtime.
+            Tier::Avx2 => unsafe { x86::permute4_avx2(lanes) },
+            Tier::Scalar => return false,
+        }
+        true
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = lanes;
+        false
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    //! The x86-64 kernels.  Both tiers expand the same round body (the macro
+    //! below) over tier-specific helpers, so the dataflow — θ fused into ρ/π,
+    //! baked rotation constants, π destinations named `b{nx + 5 * ny}` — is
+    //! identical between tiers and matches the scalar unroll in
+    //! `lofat_crypto::keccak` operation for operation.
+
+    use super::{LANES, ROUND_CONSTANTS, STATE_LANES};
+    use core::arch::x86_64::*;
+
+    /// One packed Keccak round over `$a: [__m256i; 25]` with `$rcv` the
+    /// broadcast round constant.  Helper names (`x2`, `x5`, `rol`, `xr`,
+    /// `chi`) resolve in the expanding module, so each tier supplies its own
+    /// instruction selection.
+    macro_rules! round4 {
+        ($a:ident, $rcv:ident) => {{
+            // θ (theta): column parities and per-column mix values.
+            let c0 = x5($a[0], $a[5], $a[10], $a[15], $a[20]);
+            let c1 = x5($a[1], $a[6], $a[11], $a[16], $a[21]);
+            let c2 = x5($a[2], $a[7], $a[12], $a[17], $a[22]);
+            let c3 = x5($a[3], $a[8], $a[13], $a[18], $a[23]);
+            let c4 = x5($a[4], $a[9], $a[14], $a[19], $a[24]);
+            let d0 = x2(c4, rol::<1>(c1));
+            let d1 = x2(c0, rol::<1>(c2));
+            let d2 = x2(c1, rol::<1>(c3));
+            let d3 = x2(c2, rol::<1>(c4));
+            let d4 = x2(c3, rol::<1>(c0));
+
+            // θ-apply + ρ + π, destinations named `b{nx + 5 * ny}`.
+            let b0 = x2($a[0], d0);
+            let b10 = xr::<1>($a[1], d1);
+            let b20 = xr::<62>($a[2], d2);
+            let b5 = xr::<28>($a[3], d3);
+            let b15 = xr::<27>($a[4], d4);
+            let b16 = xr::<36>($a[5], d0);
+            let b1 = xr::<44>($a[6], d1);
+            let b11 = xr::<6>($a[7], d2);
+            let b21 = xr::<55>($a[8], d3);
+            let b6 = xr::<20>($a[9], d4);
+            let b7 = xr::<3>($a[10], d0);
+            let b17 = xr::<10>($a[11], d1);
+            let b2 = xr::<43>($a[12], d2);
+            let b12 = xr::<25>($a[13], d3);
+            let b22 = xr::<39>($a[14], d4);
+            let b23 = xr::<41>($a[15], d0);
+            let b8 = xr::<45>($a[16], d1);
+            let b18 = xr::<15>($a[17], d2);
+            let b3 = xr::<21>($a[18], d3);
+            let b13 = xr::<8>($a[19], d4);
+            let b14 = xr::<18>($a[20], d0);
+            let b24 = xr::<2>($a[21], d1);
+            let b9 = xr::<61>($a[22], d2);
+            let b19 = xr::<56>($a[23], d3);
+            let b4 = xr::<14>($a[24], d4);
+
+            // χ (chi) row by row, ι (iota) folded into lane 0.
+            $a[0] = x2(chi(b0, b1, b2), $rcv);
+            $a[1] = chi(b1, b2, b3);
+            $a[2] = chi(b2, b3, b4);
+            $a[3] = chi(b3, b4, b0);
+            $a[4] = chi(b4, b0, b1);
+            $a[5] = chi(b5, b6, b7);
+            $a[6] = chi(b6, b7, b8);
+            $a[7] = chi(b7, b8, b9);
+            $a[8] = chi(b8, b9, b5);
+            $a[9] = chi(b9, b5, b6);
+            $a[10] = chi(b10, b11, b12);
+            $a[11] = chi(b11, b12, b13);
+            $a[12] = chi(b12, b13, b14);
+            $a[13] = chi(b13, b14, b10);
+            $a[14] = chi(b14, b10, b11);
+            $a[15] = chi(b15, b16, b17);
+            $a[16] = chi(b16, b17, b18);
+            $a[17] = chi(b17, b18, b19);
+            $a[18] = chi(b18, b19, b15);
+            $a[19] = chi(b19, b15, b16);
+            $a[20] = chi(b20, b21, b22);
+            $a[21] = chi(b21, b22, b23);
+            $a[22] = chi(b22, b23, b24);
+            $a[23] = chi(b23, b24, b20);
+            $a[24] = chi(b24, b20, b21);
+        }};
+    }
+
+    /// Loads the packed state, runs 24 rounds with the expanding module's
+    /// helpers, stores it back.
+    macro_rules! permute4_body {
+        ($lanes:ident) => {{
+            let ptr = $lanes.as_mut_ptr().cast::<__m256i>();
+            let mut a = [_mm256_setzero_si256(); STATE_LANES];
+            for (i, slot) in a.iter_mut().enumerate() {
+                // SAFETY: `[[u64; 4]; 25]` is 25 contiguous unaligned 256-bit
+                // packs; `i < 25` stays in bounds.
+                *slot = unsafe { _mm256_loadu_si256(ptr.add(i)) };
+            }
+            for rc in ROUND_CONSTANTS {
+                let rcv = _mm256_set1_epi64x(rc as i64);
+                round4!(a, rcv);
+            }
+            for (i, slot) in a.iter().enumerate() {
+                // SAFETY: as above.
+                unsafe { _mm256_storeu_si256(ptr.add(i), *slot) };
+            }
+        }};
+    }
+
+    pub(super) use avx2::permute4_avx2;
+    pub(super) use avx512::permute4_avx512;
+
+    mod avx512 {
+        //! AVX-512 (F + VL) tier: native 64-bit rotate and three-input logic
+        //! on 256-bit registers.  VL also unlocks ymm16–31, enough to hold
+        //! the whole 25-pack state plus temporaries without spilling.
+
+        use super::*;
+
+        #[inline]
+        #[target_feature(enable = "avx2,avx512f,avx512vl")]
+        fn x2(a: __m256i, b: __m256i) -> __m256i {
+            _mm256_xor_si256(a, b)
+        }
+
+        /// Three-way XOR in one `vpternlogq` (truth table 0x96 = a ^ b ^ c).
+        #[inline]
+        #[target_feature(enable = "avx2,avx512f,avx512vl")]
+        fn x3(a: __m256i, b: __m256i, c: __m256i) -> __m256i {
+            _mm256_ternarylogic_epi64::<0x96>(a, b, c)
+        }
+
+        #[inline]
+        #[target_feature(enable = "avx2,avx512f,avx512vl")]
+        fn x5(a: __m256i, b: __m256i, c: __m256i, d: __m256i, e: __m256i) -> __m256i {
+            x3(x3(a, b, c), d, e)
+        }
+
+        /// `vprolq` — the rotate AVX2 lacks.
+        #[inline]
+        #[target_feature(enable = "avx2,avx512f,avx512vl")]
+        fn rol<const R: i32>(a: __m256i) -> __m256i {
+            _mm256_rol_epi64::<R>(a)
+        }
+
+        /// θ-apply + ρ in one step: `rot(a ^ d)`.
+        #[inline]
+        #[target_feature(enable = "avx2,avx512f,avx512vl")]
+        fn xr<const R: i32>(a: __m256i, d: __m256i) -> __m256i {
+            rol::<R>(x2(a, d))
+        }
+
+        /// χ in one `vpternlogq` (truth table 0xD2 = b ^ (!c & d)).
+        #[inline]
+        #[target_feature(enable = "avx2,avx512f,avx512vl")]
+        fn chi(b: __m256i, c: __m256i, d: __m256i) -> __m256i {
+            _mm256_ternarylogic_epi64::<0xD2>(b, c, d)
+        }
+
+        /// 4-way Keccak-f\[1600\], AVX-512 tier.
+        ///
+        /// Safe to call only after `avx512f` and `avx512vl` have been
+        /// runtime-detected (the dispatcher's job).
+        #[target_feature(enable = "avx2,avx512f,avx512vl")]
+        pub(in super::super) fn permute4_avx512(lanes: &mut [[u64; LANES]; STATE_LANES]) {
+            permute4_body!(lanes);
+        }
+    }
+
+    mod avx2 {
+        //! AVX2 tier: rotates via shift pairs (`vpsllq`/`vpsrlq` + `vpor`),
+        //! χ via `vpandn` + `vpxor`.  Slower than the AVX-512 tier but still
+        //! four states per pass on any post-2013 x86-64.
+
+        use super::*;
+
+        #[inline]
+        #[target_feature(enable = "avx2")]
+        fn x2(a: __m256i, b: __m256i) -> __m256i {
+            _mm256_xor_si256(a, b)
+        }
+
+        #[inline]
+        #[target_feature(enable = "avx2")]
+        fn x5(a: __m256i, b: __m256i, c: __m256i, d: __m256i, e: __m256i) -> __m256i {
+            x2(x2(x2(a, b), x2(c, d)), e)
+        }
+
+        /// Rotate via shift pair.  The shift counts are value-level (`R` and
+        /// `64 - R` through an xmm register) because stable Rust cannot form
+        /// the `64 - R` const generic; LLVM folds them back to immediates.
+        #[inline]
+        #[target_feature(enable = "avx2")]
+        fn rol<const R: i32>(a: __m256i) -> __m256i {
+            _mm256_or_si256(
+                _mm256_sll_epi64(a, _mm_cvtsi32_si128(R)),
+                _mm256_srl_epi64(a, _mm_cvtsi32_si128(64 - R)),
+            )
+        }
+
+        #[inline]
+        #[target_feature(enable = "avx2")]
+        fn xr<const R: i32>(a: __m256i, d: __m256i) -> __m256i {
+            rol::<R>(x2(a, d))
+        }
+
+        /// χ: `b ^ (!c & d)` via `vpandn` (which computes `!c & d`).
+        #[inline]
+        #[target_feature(enable = "avx2")]
+        fn chi(b: __m256i, c: __m256i, d: __m256i) -> __m256i {
+            _mm256_xor_si256(b, _mm256_andnot_si256(c, d))
+        }
+
+        /// 4-way Keccak-f\[1600\], AVX2 tier.
+        ///
+        /// Safe to call only after `avx2` has been runtime-detected.
+        #[target_feature(enable = "avx2")]
+        pub(in super::super) fn permute4_avx2(lanes: &mut [[u64; LANES]; STATE_LANES]) {
+            permute4_body!(lanes);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Straightforward portable Keccak-f[1600] (loop formulation, one state):
+    /// the in-crate oracle the kernels are pinned against.
+    fn reference_permute(lanes: &mut [u64; STATE_LANES]) {
+        const RHO: [[u32; 5]; 5] = [
+            [0, 36, 3, 41, 18],
+            [1, 44, 10, 45, 2],
+            [62, 6, 43, 15, 61],
+            [28, 55, 25, 21, 56],
+            [27, 20, 39, 8, 14],
+        ];
+        for rc in ROUND_CONSTANTS {
+            let mut c = [0u64; 5];
+            for x in 0..5 {
+                c[x] = (0..5).fold(0, |acc, y| acc ^ lanes[x + 5 * y]);
+            }
+            let mut d = [0u64; 5];
+            for x in 0..5 {
+                d[x] = c[(x + 4) % 5] ^ c[(x + 1) % 5].rotate_left(1);
+            }
+            let mut b = [0u64; STATE_LANES];
+            for x in 0..5 {
+                for y in 0..5 {
+                    let rotated = (lanes[x + 5 * y] ^ d[x]).rotate_left(RHO[x][y]);
+                    b[y + 5 * ((2 * x + 3 * y) % 5)] = rotated;
+                }
+            }
+            for x in 0..5 {
+                for y in 0..5 {
+                    lanes[x + 5 * y] =
+                        b[x + 5 * y] ^ (!b[(x + 1) % 5 + 5 * y] & b[(x + 2) % 5 + 5 * y]);
+                }
+            }
+            lanes[0] ^= rc;
+        }
+    }
+
+    fn splitmix(seed: &mut u64) -> u64 {
+        *seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *seed;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn random_packed(seed: &mut u64) -> [[u64; LANES]; STATE_LANES] {
+        std::array::from_fn(|_| std::array::from_fn(|_| splitmix(seed)))
+    }
+
+    fn reference_packed(mut packed: [[u64; LANES]; STATE_LANES]) -> [[u64; LANES]; STATE_LANES] {
+        // `slot` indexes the *inner* dimension of `packed`, so an iterator
+        // over the outer one cannot replace the range loop.
+        #[allow(clippy::needless_range_loop)]
+        for slot in 0..LANES {
+            let mut lanes = std::array::from_fn(|i| packed[i][slot]);
+            reference_permute(&mut lanes);
+            for (i, lane) in lanes.iter().enumerate() {
+                packed[i][slot] = *lane;
+            }
+        }
+        packed
+    }
+
+    #[test]
+    fn reference_zero_state_known_answer() {
+        let mut lanes = [0u64; STATE_LANES];
+        reference_permute(&mut lanes);
+        assert_eq!(lanes[0], 0xF125_8F79_40E1_DDE7);
+    }
+
+    #[test]
+    fn dispatched_kernel_matches_reference() {
+        let mut seed = 0x5EED;
+        for trial in 0..64 {
+            let packed = random_packed(&mut seed);
+            let mut kernel = packed;
+            if !keccak_f1600_x4(&mut kernel) {
+                assert_eq!(kernel, packed, "scalar tier must leave the state untouched");
+                return;
+            }
+            assert_eq!(kernel, reference_packed(packed), "trial {trial}");
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn every_supported_tier_matches_reference() {
+        type Kernel = fn(&mut [[u64; LANES]; STATE_LANES]);
+        let mut tiers: Vec<(&str, Kernel)> = Vec::new();
+        if std::arch::is_x86_feature_detected!("avx512f")
+            && std::arch::is_x86_feature_detected!("avx512vl")
+        {
+            // SAFETY: feature presence checked on the line above.
+            tiers.push(("avx512", |lanes| unsafe { x86::permute4_avx512(lanes) }));
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: feature presence checked on the line above.
+            tiers.push(("avx2", |lanes| unsafe { x86::permute4_avx2(lanes) }));
+        }
+        let mut seed = 0xFACE;
+        for (name, kernel) in tiers {
+            for trial in 0..64 {
+                let packed = random_packed(&mut seed);
+                let mut out = packed;
+                kernel(&mut out);
+                assert_eq!(out, reference_packed(packed), "{name} trial {trial}");
+            }
+        }
+    }
+
+    #[test]
+    fn active_tier_is_a_known_name() {
+        assert!(["avx512", "avx2", "scalar"].contains(&active_tier()));
+    }
+}

@@ -6,9 +6,29 @@ the repo root and fails (exit 1) when a headline metric regresses beyond the
 tolerance:
 
 * ``BENCH_e10.json``      -> ``current.attested_instructions_per_sec``
-  (hot-path throughput: CPU model + trace port + LO-FAT engine)
+  (hot-path throughput: CPU model + trace port + LO-FAT engine), plus the
+  scalar and 4-lane SHA-3-512 rates (``hashed_bytes_per_sec`` /
+  ``hashed_bytes_per_sec_x4``)
 * ``BENCH_service.json``  -> best ``sessions_per_sec`` across the worker sweep
-  (sharded VerifierService + ParallelVerifier pool)
+  (sharded VerifierService + ParallelVerifier pool), plus the verdict-cache
+  ``cache_path`` row (warm-vs-cold sequential comparison)
+
+Host-sensitivity rules:
+
+* Worker-scaling rows are only gated when the current host has the same
+  ``host_cpus`` as the machine that committed the baseline — a sweep measured
+  on one core count says nothing about another, so on mismatch the gate
+  prints the rows and refuses to compare them.  The ``cache_path`` row is
+  single-threaded and stays gated regardless.
+* The 4-lane rate is only compared against the baseline when both documents
+  record the same ``simd_tier`` (``avx512``/``avx2``/``scalar``) — the packed
+  kernel differs per tier, so cross-tier comparisons are meaningless.  The
+  *multiplier* gate (x4 must beat 2x the same run's scalar rate) applies on
+  any SIMD tier; a scalar host skips it, since the portable packed fallback
+  promises correctness, not speed.
+* The warm-cache speedup floor (>= 3x cold) is a same-run ratio and applies
+  everywhere: the cache removes the signed-prefix HMAC and the measurement
+  check, and that saving does not depend on the host.
 
 ``BENCH_service.json`` may additionally carry a ``loopback_sweep`` section
 (the same points served over a lofat-net TCP socket on 127.0.0.1).  Those
@@ -17,12 +37,9 @@ round-trip latency is far more sensitive to kernel/scheduler noise on shared
 CI runners than the in-process numbers, and the transport adds no
 verification semantics to regress (e14 proves that differentially).
 
-The gate is one-sided: faster-than-baseline runs always pass (refresh the
-committed baselines with ``lofat bench-json`` / ``lofat serve-bench`` when an
-improvement should become the new floor).  The scaling ratio of the worker
-sweep is deliberately *not* gated — it is bounded by the host's core count
-(see ``host_cpus`` in the document), which differs between the machine that
-committed the baseline and the CI runner.
+The regression gates are one-sided: faster-than-baseline runs always pass
+(refresh the committed baselines with ``lofat bench-json`` /
+``lofat serve-bench`` when an improvement should become the new floor).
 
 Usage:
   python3 scripts/bench_gate.py \
@@ -36,6 +53,14 @@ import argparse
 import json
 import sys
 
+# x4 throughput must be at least this multiple of the same run's scalar rate
+# on any host with a SIMD kernel (the 4-lane path's reason to exist).
+X4_MIN_MULTIPLIER = 2.0
+
+# Warm verdict-cache sessions/sec must be at least this multiple of the cold
+# path's on repeated identical reports.
+WARM_MIN_SPEEDUP = 3.0
+
 
 def load(path):
     with open(path, "r", encoding="utf-8") as handle:
@@ -46,11 +71,33 @@ def load(path):
     return document
 
 
-def e10_metric(document, path):
+def e10_current(document, path):
+    """The `current` sample of an E10 document, as a dict of floats."""
     try:
-        return float(document["current"]["attested_instructions_per_sec"])
+        sample = document["current"]
+        return {
+            "attested_instructions_per_sec": float(
+                sample["attested_instructions_per_sec"]
+            ),
+            "hashed_bytes_per_sec": float(sample["hashed_bytes_per_sec"]),
+            "hashed_bytes_per_sec_x4": float(sample["hashed_bytes_per_sec_x4"]),
+        }
     except (KeyError, TypeError, ValueError) as error:
-        sys.exit(f"{path}: missing attested_instructions_per_sec: {error}")
+        sys.exit(f"{path}: malformed e10 `current` sample: {error}")
+
+
+def simd_tier(document, path):
+    tier = document.get("simd_tier")
+    if tier not in ("avx512", "avx2", "scalar"):
+        sys.exit(f"{path}: missing or unknown simd_tier {tier!r}")
+    return tier
+
+
+def host_cpus(document, path):
+    try:
+        return int(document["host_cpus"])
+    except (KeyError, TypeError, ValueError) as error:
+        sys.exit(f"{path}: missing host_cpus: {error}")
 
 
 def service_metric(document, path):
@@ -62,6 +109,18 @@ def service_metric(document, path):
     if not rates:
         sys.exit(f"{path}: empty service sweep")
     return max(rates)
+
+
+def cache_path(document, path):
+    try:
+        row = document["service"]["cache_path"]
+        return {
+            "cold_sessions_per_sec": float(row["cold_sessions_per_sec"]),
+            "warm_sessions_per_sec": float(row["warm_sessions_per_sec"]),
+            "warm_speedup": float(row["warm_speedup"]),
+        }
+    except (KeyError, TypeError, ValueError) as error:
+        sys.exit(f"{path}: missing service cache_path row: {error}")
 
 
 def loopback_info(document, path):
@@ -93,6 +152,16 @@ def check(name, baseline, current, tolerance):
     return current >= floor
 
 
+def check_ratio(name, numerator, denominator, minimum):
+    ratio = numerator / denominator if denominator > 0 else float("inf")
+    verdict = "ok" if ratio >= minimum else "REGRESSED"
+    print(
+        f"{name:<28} {numerator:>14.1f} / {denominator:>14.1f}  "
+        f"({ratio:6.2f}x, need {minimum:.2f}x)  {verdict}"
+    )
+    return ratio >= minimum
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--e10-baseline", required=True)
@@ -108,20 +177,85 @@ def main():
     args = parser.parse_args()
 
     ok = True
+
+    e10_baseline_doc = load(args.e10_baseline)
+    e10_current_doc = load(args.e10_current)
+    baseline = e10_current(e10_baseline_doc, args.e10_baseline)
+    current = e10_current(e10_current_doc, args.e10_current)
+    baseline_tier = simd_tier(e10_baseline_doc, args.e10_baseline)
+    current_tier = simd_tier(e10_current_doc, args.e10_current)
+
     ok &= check(
         "attested instructions/sec",
-        e10_metric(load(args.e10_baseline), args.e10_baseline),
-        e10_metric(load(args.e10_current), args.e10_current),
+        baseline["attested_instructions_per_sec"],
+        current["attested_instructions_per_sec"],
         args.tolerance,
     )
+    ok &= check(
+        "sha3-512 bytes/sec",
+        baseline["hashed_bytes_per_sec"],
+        current["hashed_bytes_per_sec"],
+        args.tolerance,
+    )
+    if baseline_tier == current_tier:
+        ok &= check(
+            "sha3-512 x4 bytes/sec",
+            baseline["hashed_bytes_per_sec_x4"],
+            current["hashed_bytes_per_sec_x4"],
+            args.tolerance,
+        )
+    else:
+        print(
+            f"  refusing to gate x4 bytes/sec: simd tier "
+            f"{baseline_tier!r} (baseline) != {current_tier!r} (current) — "
+            f"packed kernels differ per tier"
+        )
+    if current_tier != "scalar":
+        ok &= check_ratio(
+            "x4 over scalar (same run)",
+            current["hashed_bytes_per_sec_x4"],
+            current["hashed_bytes_per_sec"],
+            X4_MIN_MULTIPLIER,
+        )
+    else:
+        print(
+            "  skipping x4-over-scalar multiplier: current host dispatches "
+            "the portable packed fallback (simd_tier scalar)"
+        )
+
     service_baseline = load(args.service_baseline)
     service_current = load(args.service_current)
+    baseline_cpus = host_cpus(service_baseline, args.service_baseline)
+    current_cpus = host_cpus(service_current, args.service_current)
+    if baseline_cpus == current_cpus:
+        ok &= check(
+            "service sessions/sec",
+            service_metric(service_baseline, args.service_baseline),
+            service_metric(service_current, args.service_current),
+            args.tolerance,
+        )
+    else:
+        print(
+            f"  refusing to gate worker-scaling rows: host_cpus "
+            f"{baseline_cpus} (baseline) != {current_cpus} (current) — a "
+            f"sweep measured on one core count says nothing about another"
+        )
+
+    baseline_cache = cache_path(service_baseline, args.service_baseline)
+    current_cache = cache_path(service_current, args.service_current)
     ok &= check(
-        "service sessions/sec",
-        service_metric(service_baseline, args.service_baseline),
-        service_metric(service_current, args.service_current),
+        "warm-cache sessions/sec",
+        baseline_cache["warm_sessions_per_sec"],
+        current_cache["warm_sessions_per_sec"],
         args.tolerance,
     )
+    ok &= check_ratio(
+        "warm over cold (same run)",
+        current_cache["warm_sessions_per_sec"],
+        current_cache["cold_sessions_per_sec"],
+        WARM_MIN_SPEEDUP,
+    )
+
     loopback_info(service_baseline, args.service_baseline)
     loopback_info(service_current, args.service_current)
     if not ok:

@@ -696,6 +696,14 @@ fn cmd_serve_bench(args: &[String]) -> CliResult {
             .into());
         }
     }
+    if report.cache.cache_hits != report.cache.sessions as u64 || report.cache.cache_misses != 1 {
+        return Err(format!(
+            "serve-bench: warm cache pass saw {} hits / {} misses over {} timed envelopes — \
+             expected every timed envelope to hit after the single priming miss",
+            report.cache.cache_hits, report.cache.cache_misses, report.cache.sessions,
+        )
+        .into());
+    }
     std::fs::write(&out_path, to_json(&report))?;
 
     println!(
@@ -724,6 +732,16 @@ fn cmd_serve_bench(args: &[String]) -> CliResult {
         report.samples.last().map_or(0, |s| s.workers),
         report.host_cpus,
         if report.host_cpus == 1 { "" } else { "s" },
+    );
+    println!(
+        "cache     cold {:.1} sessions/sec | warm {:.1} sessions/sec | {:.2}x \
+         ({} hits, {} miss, simd tier {})",
+        report.cache.cold_sessions_per_sec,
+        report.cache.warm_sessions_per_sec,
+        report.cache.warm_speedup,
+        report.cache.cache_hits,
+        report.cache.cache_misses,
+        report.simd_tier,
     );
     println!("wrote {out_path}");
     Ok(())

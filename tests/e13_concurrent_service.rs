@@ -250,8 +250,14 @@ fn differential_for_workload(
                 "{name}: replay verdict {i} diverges at {shards} shards / {workers} workers"
             );
         }
+        // Modulo the verdict-cache hit/miss split, which is scheduling-
+        // dependent under pooled workers (a burst of same-key submissions can
+        // all miss before the first populates the cache); the cache books
+        // themselves are pinned by `assert_stats_conserved` in
+        // `run_configuration` on both sides.
         assert_eq!(
-            ref_stats, stats,
+            common::stats_modulo_cache(&ref_stats),
+            common::stats_modulo_cache(&stats),
             "{name}: stats diverge at {shards} shards / {workers} workers"
         );
         assert_eq!(
