@@ -25,10 +25,10 @@
 
 use lofat::pool::{ParallelVerifier, PoolConfig};
 use lofat::service::{ServiceConfig, VerifierService};
-use lofat::session::ProverSession;
 use lofat::wire::{Envelope, Message};
 use lofat::{EngineConfig, MeasurementDatabase, Prover, Verifier};
 use lofat_crypto::DeviceKey;
+use lofat_fleet::SlotBehaviour;
 use lofat_net::{ProverClient, ServerConfig, VerifierServer};
 use lofat_workloads::catalog;
 use std::sync::{Arc, Mutex};
@@ -165,7 +165,8 @@ fn percentile_us(sorted: &[Duration], fraction: f64) -> f64 {
     sorted[rank.min(sorted.len() - 1)].as_secs_f64() * 1e6
 }
 
-/// Pre-generates `sessions` evidence envelopes for the sweep workload.
+/// Pre-generates `sessions` honest evidence envelopes for the sweep workload
+/// through the shared `lofat-fleet` session driver.
 ///
 /// A fresh [`VerifierService`] issues nonces `1..=n` deterministically, so one
 /// batch of evidence (produced against a throwaway instance) answers the
@@ -179,13 +180,11 @@ fn pregenerate_evidence(
 ) -> Vec<Vec<u8>> {
     let template =
         VerifierService::new(db.clone(), key.verification_key(), ServiceConfig::default());
-    (0..sessions)
-        .map(|_| {
-            let id = template.open_session(input.to_vec()).expect("open template session");
-            let challenge =
-                template.challenge_envelope(id).expect("challenge").encode().expect("encode");
-            ProverSession::new(prover).handle_bytes(&challenge).expect("prover answers")
-        })
+    let slots = (0..sessions).map(|_| (input.to_vec(), SlotBehaviour::Honest));
+    lofat_fleet::generate_traffic(&template, prover, slots)
+        .expect("pre-generate honest sweep traffic")
+        .into_iter()
+        .map(|slot| slot.evidence)
         .collect()
 }
 

@@ -74,6 +74,7 @@ pub mod config;
 pub mod engine;
 pub mod error;
 pub mod hash_ctrl;
+pub mod json;
 pub mod loop_counter_mem;
 pub mod loop_monitor;
 pub mod measurement_db;

@@ -183,6 +183,36 @@ impl ServiceStats {
         self.sessions_opened == self.accepted + self.sessions_rejected + self.expired + live as u64
             && self.cache_hits + self.cache_misses == self.accepted + self.sessions_rejected
     }
+
+    /// Compact one-line rendering of [`ServiceStats::rejections_by_code`] in
+    /// the shared `code:count;…` form (`"-"` when there were no rejections).
+    /// The CLI stats tables and the `lofat-fleet` manifests all print code
+    /// breakdowns through [`codes_summary`] so they stay diffable against
+    /// each other.
+    ///
+    /// ```
+    /// use lofat::service::ServiceStats;
+    ///
+    /// let mut stats = ServiceStats::default();
+    /// assert_eq!(stats.rejection_codes_summary(), "-");
+    /// stats.rejections_by_code.insert(3, 2);
+    /// stats.rejections_by_code.insert(67, 5);
+    /// assert_eq!(stats.rejection_codes_summary(), "3:2;67:5");
+    /// ```
+    pub fn rejection_codes_summary(&self) -> String {
+        codes_summary(&self.rejections_by_code)
+    }
+}
+
+/// Renders a `code → count` map as the stable `code:count;…` summary string
+/// (`"-"` when empty), ascending by code.  Shared by
+/// [`ServiceStats::rejection_codes_summary`] and the `lofat-fleet` manifest
+/// writers, so every surface prints verdict breakdowns identically.
+pub fn codes_summary(counts: &BTreeMap<u16, u64>) -> String {
+    if counts.is_empty() {
+        return "-".to_string();
+    }
+    counts.iter().map(|(code, count)| format!("{code}:{count}")).collect::<Vec<_>>().join(";")
 }
 
 /// Number of per-code counter slots the atomic stats keep.  All stable wire

@@ -1,0 +1,290 @@
+//! Deterministic expansion of a [`FleetSpec`] into concrete jobs.
+//!
+//! A **job** is one scenario: a workload section instantiated at one point of
+//! the section's `clients × arrival × faults` cross-product.  Inputs and
+//! adversaries are *within*-job mixes — slot `i` of a job plays
+//! `adversaries[i % len]` on `inputs[i % len]` — so they scale the traffic
+//! inside a scenario instead of multiplying the scenario count.
+//!
+//! Enumeration is pure and byte-deterministic: the same spec always yields
+//! the same jobs in the same order ([`listing`] renders the order as text CI
+//! can diff), and it validates everything execution will need — the workload
+//! exists in the catalogue, it assembles, and every adversary class in the
+//! mix binds to symbols the workload actually exports.
+
+use crate::driver::{behaviour_for, DriveError};
+use crate::spec::{Adversary, Arrival, FaultClass, FleetSpec, InputSpec, WorkloadPlan};
+use lofat_rv32::Rv32Error;
+use lofat_workloads::catalog;
+use std::fmt;
+
+/// One concrete scenario to execute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Job {
+    /// Position in the enumeration order (0-based, dense).
+    pub index: usize,
+    /// Index of the originating section in [`FleetSpec::sections`].
+    pub section: usize,
+    /// Catalogue workload name.
+    pub workload: String,
+    /// Resolved input vectors (round-robin over slots).
+    pub inputs: Vec<Vec<u32>>,
+    /// Adversary mix (round-robin over slots).
+    pub adversaries: Vec<Adversary>,
+    /// Concurrent clients driving this scenario.
+    pub clients: usize,
+    /// Arrival pacing pattern.
+    pub arrival: Arrival,
+    /// Transport fault injected on every `fault_every`-th slot.
+    pub fault: FaultClass,
+    /// Sessions in this scenario.
+    pub scale: usize,
+    /// Pacing quantum (µs) for `uniform`/`ramp` arrivals.
+    pub interval_us: u64,
+    /// Fault stride.
+    pub fault_every: usize,
+}
+
+impl Job {
+    /// The adversary slot `i` plays.
+    pub fn adversary_for_slot(&self, slot: usize) -> Adversary {
+        self.adversaries[slot % self.adversaries.len()]
+    }
+
+    /// The input vector slot `i` attests.
+    pub fn input_for_slot(&self, slot: usize) -> &[u32] {
+        &self.inputs[slot % self.inputs.len()]
+    }
+
+    /// Whether the job's fault class applies to slot `i`.
+    pub fn slot_is_faulted(&self, slot: usize) -> bool {
+        self.fault != FaultClass::None && slot % self.fault_every == self.fault_every - 1
+    }
+
+    /// A stable one-line label (`workload/clients/arrival/fault@scale`).
+    pub fn label(&self) -> String {
+        format!(
+            "{}/c{}/{}/{}@{}",
+            self.workload,
+            self.clients,
+            self.arrival.name(),
+            self.fault.name(),
+            self.scale
+        )
+    }
+}
+
+/// Errors from spec expansion.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum EnumerateError {
+    /// A section names a workload the catalogue does not have.
+    UnknownWorkload {
+        /// Index of the offending section.
+        section: usize,
+        /// The unknown name.
+        workload: String,
+    },
+    /// The workload's source failed to assemble.
+    Assemble {
+        /// The workload name.
+        workload: String,
+        /// The assembler error.
+        error: Rv32Error,
+    },
+    /// An adversary class in the mix does not apply to the workload.
+    AdversaryUnavailable {
+        /// The workload name.
+        workload: String,
+        /// The inapplicable class.
+        adversary: Adversary,
+        /// The symbol the workload lacks.
+        symbol: &'static str,
+    },
+}
+
+impl fmt::Display for EnumerateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnumerateError::UnknownWorkload { section, workload } => {
+                write!(f, "section {section}: workload `{workload}` is not in the catalogue")
+            }
+            EnumerateError::Assemble { workload, error } => {
+                write!(f, "workload `{workload}` failed to assemble: {error}")
+            }
+            EnumerateError::AdversaryUnavailable { workload, adversary, symbol } => {
+                write!(
+                    f,
+                    "workload `{workload}` does not support adversary `{}` (missing symbol `{symbol}`)",
+                    adversary.name()
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for EnumerateError {}
+
+/// The number of jobs [`enumerate`] will produce, straight from the spec's
+/// dimensions (no catalogue access): per section,
+/// `|clients| × |arrivals| × |faults|`.
+pub fn job_count(spec: &FleetSpec) -> usize {
+    spec.sections.iter().map(|s| s.clients.len() * s.arrivals.len() * s.faults.len()).sum()
+}
+
+fn resolve_inputs(plan: &WorkloadPlan, workload: &catalog::Workload) -> Vec<Vec<u32>> {
+    match &plan.inputs {
+        InputSpec::Default => vec![workload.default_input.clone()],
+        InputSpec::Explicit(vectors) => vectors.clone(),
+    }
+}
+
+/// Expands a spec into its jobs, in deterministic order: sections in file
+/// order, then `clients` (outer) × `arrivals` × `faults` (inner), each in
+/// list order.
+///
+/// # Errors
+///
+/// Validates every section up front: unknown workloads, assembly failures and
+/// adversary classes that do not bind to the workload's symbols are typed
+/// [`EnumerateError`]s, so execution never discovers them mid-run.
+pub fn enumerate(spec: &FleetSpec) -> Result<Vec<Job>, EnumerateError> {
+    let mut jobs = Vec::with_capacity(job_count(spec));
+    for (section_index, plan) in spec.sections.iter().enumerate() {
+        let workload =
+            catalog::by_name(&plan.workload).ok_or_else(|| EnumerateError::UnknownWorkload {
+                section: section_index,
+                workload: plan.workload.clone(),
+            })?;
+        let program = workload
+            .program()
+            .map_err(|error| EnumerateError::Assemble { workload: plan.workload.clone(), error })?;
+        for &adversary in &plan.adversaries {
+            if let Err(DriveError::MissingSymbol { symbol, .. }) =
+                behaviour_for(adversary, &program)
+            {
+                return Err(EnumerateError::AdversaryUnavailable {
+                    workload: plan.workload.clone(),
+                    adversary,
+                    symbol,
+                });
+            }
+        }
+        let inputs = resolve_inputs(plan, &workload);
+        for &clients in &plan.clients {
+            for &arrival in &plan.arrivals {
+                for &fault in &plan.faults {
+                    jobs.push(Job {
+                        index: jobs.len(),
+                        section: section_index,
+                        workload: plan.workload.clone(),
+                        inputs: inputs.clone(),
+                        adversaries: plan.adversaries.clone(),
+                        clients,
+                        arrival,
+                        fault,
+                        scale: plan.scale,
+                        interval_us: plan.interval_us,
+                        fault_every: plan.fault_every,
+                    });
+                }
+            }
+        }
+    }
+    Ok(jobs)
+}
+
+/// Renders an enumeration as stable text (one line per job) for diffing and
+/// `lofat fleet enumerate`.
+pub fn listing(jobs: &[Job]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for job in jobs {
+        let adversaries = job.adversaries.iter().map(|a| a.name()).collect::<Vec<_>>().join(",");
+        let _ = writeln!(
+            out,
+            "{:4}  {}  adversaries={}  inputs={}  interval-us={}  fault-every={}",
+            job.index,
+            job.label(),
+            adversaries,
+            job.inputs.len(),
+            job.interval_us,
+            job.fault_every
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::FleetSpec;
+
+    const SPEC: &str = "\
+fleet demo\n\
+scale = 4\n\
+[workload fig4-loop]\n\
+adversaries = honest, forge\n\
+clients = 1, 2\n\
+arrival = burst, uniform\n\
+faults = none, duplicate-frame\n\
+[workload gcd]\n\
+clients = 3\n";
+
+    #[test]
+    fn expands_the_cross_product_in_order() {
+        let spec = FleetSpec::parse(SPEC).unwrap();
+        let jobs = enumerate(&spec).unwrap();
+        assert_eq!(jobs.len(), job_count(&spec));
+        assert_eq!(jobs.len(), 2 * 2 * 2 + 1);
+        assert!(jobs.iter().enumerate().all(|(i, j)| j.index == i), "indices are dense");
+        // First section varies fault fastest, then arrival, then clients.
+        assert_eq!(jobs[0].label(), "fig4-loop/c1/burst/none@4");
+        assert_eq!(jobs[1].label(), "fig4-loop/c1/burst/duplicate-frame@4");
+        assert_eq!(jobs[2].label(), "fig4-loop/c1/uniform/none@4");
+        assert_eq!(jobs[4].label(), "fig4-loop/c2/burst/none@4");
+        assert_eq!(jobs[8].label(), "gcd/c3/burst/none@4");
+        assert_eq!(jobs[8].inputs, vec![vec![1071, 462]], "default input resolved");
+    }
+
+    #[test]
+    fn listing_is_deterministic() {
+        let spec = FleetSpec::parse(SPEC).unwrap();
+        let a = listing(&enumerate(&spec).unwrap());
+        let b = listing(&enumerate(&spec).unwrap());
+        assert_eq!(a, b);
+        assert_eq!(a.lines().count(), 9);
+    }
+
+    #[test]
+    fn slot_helpers_follow_the_round_robin_and_stride() {
+        let spec = FleetSpec::parse(
+            "fleet x\nfault-every = 3\n[workload fig4-loop]\nadversaries = honest, forge\nfaults = drop-connection\n",
+        )
+        .unwrap();
+        let jobs = enumerate(&spec).unwrap();
+        let job = &jobs[0];
+        assert_eq!(job.adversary_for_slot(0), Adversary::Honest);
+        assert_eq!(job.adversary_for_slot(1), Adversary::Forge);
+        assert_eq!(job.adversary_for_slot(2), Adversary::Honest);
+        assert!(!job.slot_is_faulted(0));
+        assert!(!job.slot_is_faulted(1));
+        assert!(job.slot_is_faulted(2));
+        assert!(job.slot_is_faulted(5));
+    }
+
+    #[test]
+    fn validation_is_typed() {
+        let spec = FleetSpec::parse("fleet x\n[workload no-such]\n").unwrap();
+        assert!(matches!(
+            enumerate(&spec),
+            Err(EnumerateError::UnknownWorkload { section: 0, .. })
+        ));
+        let spec = FleetSpec::parse("fleet x\n[workload fig4-loop]\nadversaries = code-pointer\n")
+            .unwrap();
+        assert!(matches!(
+            enumerate(&spec),
+            Err(EnumerateError::AdversaryUnavailable { adversary: Adversary::CodePointer, .. })
+        ));
+    }
+}

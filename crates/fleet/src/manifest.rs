@@ -1,0 +1,188 @@
+//! Result artifacts: the fleet manifest as JSON (full and golden projection)
+//! and CSV, rendered through the shared [`JsonWriter`] so they match the
+//! bench-trajectory documents structurally.
+//!
+//! Three views of one [`FleetReport`]:
+//!
+//! * [`manifest_json`] — everything, including latency percentiles and the
+//!   wire-level counters that legitimately differ between transports.
+//! * [`manifest_golden_json`] — only the fields that are **deterministic
+//!   across runs and transports** (verdict breakdowns and session-spending
+//!   statistics).  CI compares this byte-for-byte against a committed golden.
+//! * [`manifest_csv`] — one scenario per row, for spreadsheets and quick
+//!   `grep`.
+
+use crate::exec::{FleetReport, ScenarioOutcome};
+use lofat::json::JsonWriter;
+use lofat::service::codes_summary;
+
+/// Schema version stamped into every manifest document.
+pub const MANIFEST_SCHEMA_VERSION: u64 = 1;
+
+fn scenario_identity(w: &mut JsonWriter, outcome: &ScenarioOutcome) {
+    w.field_u64("job", outcome.job.index as u64);
+    w.field_str("workload", &outcome.job.workload);
+    w.field_str("transport", outcome.transport.name());
+    w.field_u64("clients", outcome.job.clients as u64);
+    w.field_str("arrival", outcome.job.arrival.name());
+    w.field_str("fault", outcome.job.fault.name());
+    w.field_u64("scale", outcome.job.scale as u64);
+}
+
+fn scenario_deterministic(w: &mut JsonWriter, outcome: &ScenarioOutcome) {
+    w.field_str("verdicts", &codes_summary(&outcome.verdicts));
+    w.field_u64("verdict_total", outcome.verdict_total);
+    w.field_u64("accepted_verdicts", outcome.accepted_verdicts);
+    w.field_u64("opened", outcome.stats.sessions_opened);
+    w.field_u64("accepted", outcome.stats.accepted);
+    w.field_u64("sessions_rejected", outcome.stats.sessions_rejected);
+    w.field_u64("expired", outcome.stats.expired);
+    w.field_u64("replays_blocked", outcome.stats.replays_blocked);
+    w.field_u64("live", outcome.live as u64);
+    w.field_bool("conserved", outcome.conserved);
+}
+
+fn document(report: &FleetReport, full: bool) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object(None);
+    w.field_u64("schema_version", MANIFEST_SCHEMA_VERSION);
+    w.field_str("fleet", &report.spec_name);
+    w.field_u64("scenarios_run", report.outcomes.len() as u64);
+    w.begin_array(Some("scenarios"));
+    for outcome in &report.outcomes {
+        w.begin_object(None);
+        scenario_identity(&mut w, outcome);
+        scenario_deterministic(&mut w, outcome);
+        if full {
+            w.field_u64("rejected", outcome.stats.rejected);
+            w.field_u64("wire_errors", outcome.stats.wire_errors);
+            w.field_str("rejection_codes", &outcome.stats.rejection_codes_summary());
+            w.field_u64("p50_latency_us", outcome.p50_latency_us);
+            w.field_u64("p99_latency_us", outcome.p99_latency_us);
+        }
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.finish()
+}
+
+/// The full manifest: identity, deterministic fields, wire counters and
+/// latency percentiles.
+pub fn manifest_json(report: &FleetReport) -> String {
+    document(report, true)
+}
+
+/// The golden projection: only fields that are byte-stable across runs,
+/// hosts and transports, so CI can `cmp` it against a committed file.
+pub fn manifest_golden_json(report: &FleetReport) -> String {
+    document(report, false)
+}
+
+/// CSV rendering, one scenario per row.
+pub fn manifest_csv(report: &FleetReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from(
+        "job,workload,transport,clients,arrival,fault,scale,verdicts,verdict_total,\
+         accepted_verdicts,opened,accepted,sessions_rejected,expired,replays_blocked,\
+         live,conserved,rejected,wire_errors,p50_latency_us,p99_latency_us\n",
+    );
+    for o in &report.outcomes {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            o.job.index,
+            o.job.workload,
+            o.transport.name(),
+            o.job.clients,
+            o.job.arrival.name(),
+            o.job.fault.name(),
+            o.job.scale,
+            codes_summary(&o.verdicts),
+            o.verdict_total,
+            o.accepted_verdicts,
+            o.stats.sessions_opened,
+            o.stats.accepted,
+            o.stats.sessions_rejected,
+            o.stats.expired,
+            o.stats.replays_blocked,
+            o.live,
+            o.conserved,
+            o.stats.rejected,
+            o.stats.wire_errors,
+            o.p50_latency_us,
+            o.p99_latency_us
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::Job;
+    use crate::exec::Transport;
+    use crate::spec::{Adversary, Arrival, FaultClass};
+    use lofat::ServiceStats;
+    use std::collections::BTreeMap;
+
+    fn sample_report() -> FleetReport {
+        let job = Job {
+            index: 0,
+            section: 0,
+            workload: "fig4-loop".to_string(),
+            inputs: vec![vec![6]],
+            adversaries: vec![Adversary::Honest, Adversary::Forge],
+            clients: 2,
+            arrival: Arrival::Burst,
+            fault: FaultClass::None,
+            scale: 4,
+            interval_us: 200,
+            fault_every: 3,
+        };
+        let mut verdicts = BTreeMap::new();
+        verdicts.insert(0u16, 2u64);
+        verdicts.insert(3u16, 2u64);
+        let stats = ServiceStats {
+            sessions_opened: 4,
+            accepted: 2,
+            sessions_rejected: 2,
+            ..ServiceStats::default()
+        };
+        let outcome = ScenarioOutcome {
+            job,
+            transport: Transport::Pool,
+            verdicts,
+            verdict_total: 4,
+            accepted_verdicts: 2,
+            p50_latency_us: 120,
+            p99_latency_us: 340,
+            stats,
+            live: 0,
+            conserved: true,
+        };
+        FleetReport { spec_name: "unit".to_string(), outcomes: vec![outcome] }
+    }
+
+    #[test]
+    fn golden_omits_the_nondeterministic_fields() {
+        let report = sample_report();
+        let golden = manifest_golden_json(&report);
+        let full = manifest_json(&report);
+        assert!(golden.contains("\"verdicts\": \"0:2;3:2\""));
+        assert!(golden.contains("\"conserved\": true"));
+        assert!(!golden.contains("latency"), "golden has no latency fields");
+        assert!(!golden.contains("wire_errors"));
+        assert!(full.contains("\"p50_latency_us\": 120"));
+        assert!(full.contains("\"wire_errors\": 0"));
+        assert!(full.contains("\"schema_version\": 1"));
+    }
+
+    #[test]
+    fn csv_has_a_row_per_scenario_plus_header() {
+        let report = sample_report();
+        let csv = manifest_csv(&report);
+        assert_eq!(csv.lines().count(), 2);
+        assert!(csv.lines().nth(1).unwrap().starts_with("0,fig4-loop,pool,2,burst,none,4,"));
+    }
+}

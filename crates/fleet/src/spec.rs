@@ -1,0 +1,863 @@
+//! The declarative fleet-spec format: a simple line/section text file, a
+//! hand-written parser with typed errors, and a canonical formatter.
+//!
+//! A spec opens with a `fleet <name>` header, optionally sets top-level
+//! defaults, and then declares one `[workload <name>]` section per traffic
+//! family.  `#` starts a comment; blank lines separate nothing in particular:
+//!
+//! ```text
+//! # Attack mix over two workloads, swept over client counts and faults.
+//! fleet smoke
+//! scale = 8                      # sessions per scenario (default 8)
+//! interval-us = 200              # pacing quantum for uniform/ramp arrivals
+//! fault-every = 3                # every 3rd slot is fault-injected
+//!
+//! [workload fig4-loop]
+//! inputs = 4 | 6                 # input vectors, '|'-separated; words by spaces
+//! adversaries = honest, poke, forge, replay
+//! clients = 1, 2                 # cross-product dimension
+//! arrival = burst, uniform       # cross-product dimension
+//! faults = none, duplicate-frame # cross-product dimension
+//! ```
+//!
+//! The **cross-product dimensions** are `clients × arrival × faults`, per
+//! section; `inputs` and `adversaries` are within-scenario *mixes*, assigned
+//! to session slots round-robin.  [`crate::enumerate::enumerate`] expands the
+//! product into deterministic [`crate::enumerate::Job`]s.
+//!
+//! Parsing is strict: unknown keys, duplicate keys, empty lists, duplicate
+//! list entries, zero counts, and malformed sections are all distinct
+//! [`SpecError`] variants, so a hostile or truncated spec names the offending
+//! line rather than half-applying.  [`FleetSpec::to_text`] renders a
+//! canonical form with every section fully resolved; `parse(to_text(spec))`
+//! reproduces `spec` exactly (property-tested).
+
+use std::fmt;
+
+/// Default sessions per scenario when a spec does not say.
+pub const DEFAULT_SCALE: usize = 8;
+/// Default pacing quantum (µs) for `uniform`/`ramp` arrivals.
+pub const DEFAULT_INTERVAL_US: u64 = 200;
+/// Default fault stride: every `fault-every`-th slot is fault-injected.
+pub const DEFAULT_FAULT_EVERY: usize = 3;
+
+/// One adversary class a session slot can play.  `honest`, `forge` and
+/// `replay` are protocol-level (no prover-side fault); the rest are the stock
+/// attack classes from `lofat_workloads::attack` and require the workload to
+/// export the symbols the attack targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Adversary {
+    /// A faithful prover: attested run, honest report.
+    Honest,
+    /// A data-memory poke early in the attested run.
+    Poke,
+    /// Corrupt a loop bound in memory (detected via loop counters).
+    LoopCounter,
+    /// Corrupt non-control data that decides a branch.
+    NonControlData,
+    /// Overwrite a function-pointer table entry.
+    CodePointer,
+    /// Overwrite a saved return address on the stack.
+    ReturnAddress,
+    /// Pure data-oriented manipulation — *not* detectable by control-flow
+    /// attestation, so these slots are expected to be accepted.
+    DataOnly,
+    /// Honest evidence with one authenticator byte flipped (breaks the
+    /// signature).
+    Forge,
+    /// Honest evidence in phase 1, re-submitted verbatim in phase 2 after the
+    /// session decided (expected `NONCE_REPLAYED`).
+    Replay,
+}
+
+impl Adversary {
+    /// Every class, in canonical order.
+    pub const ALL: [Adversary; 9] = [
+        Adversary::Honest,
+        Adversary::Poke,
+        Adversary::LoopCounter,
+        Adversary::NonControlData,
+        Adversary::CodePointer,
+        Adversary::ReturnAddress,
+        Adversary::DataOnly,
+        Adversary::Forge,
+        Adversary::Replay,
+    ];
+
+    /// The spec-file name of this class.
+    pub fn name(self) -> &'static str {
+        match self {
+            Adversary::Honest => "honest",
+            Adversary::Poke => "poke",
+            Adversary::LoopCounter => "loop-counter",
+            Adversary::NonControlData => "non-control-data",
+            Adversary::CodePointer => "code-pointer",
+            Adversary::ReturnAddress => "return-address",
+            Adversary::DataOnly => "data-only",
+            Adversary::Forge => "forge",
+            Adversary::Replay => "replay",
+        }
+    }
+
+    /// Parses a spec-file name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|a| a.name() == name)
+    }
+}
+
+/// How a scenario's client threads pace their session slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Arrival {
+    /// Submit as fast as possible.
+    Burst,
+    /// A fixed `interval-us` pause before each slot.
+    Uniform,
+    /// Pauses shrink linearly from `2 × interval-us` to zero — load ramps up.
+    Ramp,
+}
+
+impl Arrival {
+    /// Every pattern, in canonical order.
+    pub const ALL: [Arrival; 3] = [Arrival::Burst, Arrival::Uniform, Arrival::Ramp];
+
+    /// The spec-file name of this pattern.
+    pub fn name(self) -> &'static str {
+        match self {
+            Arrival::Burst => "burst",
+            Arrival::Uniform => "uniform",
+            Arrival::Ramp => "ramp",
+        }
+    }
+
+    /// Parses a spec-file name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|a| a.name() == name)
+    }
+}
+
+/// The transport-level fault a scenario injects on every `fault-every`-th
+/// slot.  Faults are invisible to the verdict stream by design — the
+/// differential suite proves the pool and socket transports produce identical
+/// verdict breakdowns under every class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultClass {
+    /// No fault: every slot is a clean round trip.
+    None,
+    /// The client sends a partial evidence frame and drops the connection
+    /// (socket), or simply never submits (pool) — the session stays live.
+    DropConnection,
+    /// The client sends a partial frame and *holds* the connection open while
+    /// traffic continues around it, giving up only at the end of the run.
+    SlowLoris,
+    /// The evidence frame is sent twice back-to-back; the duplicate must
+    /// bounce off replay/decided detection.
+    DuplicateFrame,
+    /// A hostile length prefix (socket) or undecodable blob (pool) precedes
+    /// the slot's real evidence; the service answers `MALFORMED` and the real
+    /// evidence must still be judged normally afterwards.
+    OversizedPrefix,
+}
+
+impl FaultClass {
+    /// Every class, in canonical order.
+    pub const ALL: [FaultClass; 5] = [
+        FaultClass::None,
+        FaultClass::DropConnection,
+        FaultClass::SlowLoris,
+        FaultClass::DuplicateFrame,
+        FaultClass::OversizedPrefix,
+    ];
+
+    /// The spec-file name of this class.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultClass::None => "none",
+            FaultClass::DropConnection => "drop-connection",
+            FaultClass::SlowLoris => "slow-loris",
+            FaultClass::DuplicateFrame => "duplicate-frame",
+            FaultClass::OversizedPrefix => "oversized-prefix",
+        }
+    }
+
+    /// Parses a spec-file name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|f| f.name() == name)
+    }
+}
+
+/// The input distribution of one workload section.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InputSpec {
+    /// Use the workload's catalogue default input.
+    Default,
+    /// Explicit input vectors, assigned to slots round-robin.
+    Explicit(Vec<Vec<u32>>),
+}
+
+/// One `[workload …]` section, with every value resolved (section overrides
+/// applied over the top-level defaults at parse time).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadPlan {
+    /// Catalogue workload name (validated at enumeration time).
+    pub workload: String,
+    /// Input distribution for the section's slots.
+    pub inputs: InputSpec,
+    /// Adversary mix, assigned to slots round-robin.
+    pub adversaries: Vec<Adversary>,
+    /// Client counts to sweep (cross-product dimension).
+    pub clients: Vec<usize>,
+    /// Arrival patterns to sweep (cross-product dimension).
+    pub arrivals: Vec<Arrival>,
+    /// Fault classes to sweep (cross-product dimension).
+    pub faults: Vec<FaultClass>,
+    /// Sessions per scenario.
+    pub scale: usize,
+    /// Pacing quantum (µs) for `uniform`/`ramp` arrivals.
+    pub interval_us: u64,
+    /// Fault stride: slot `i` is faulted when `i % fault_every == fault_every - 1`.
+    pub fault_every: usize,
+}
+
+/// A parsed fleet spec: the header name, the top-level defaults, and the
+/// workload sections.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetSpec {
+    /// The `fleet <name>` header.
+    pub name: String,
+    /// Top-level default for [`WorkloadPlan::scale`].
+    pub scale: usize,
+    /// Top-level default for [`WorkloadPlan::interval_us`].
+    pub interval_us: u64,
+    /// Top-level default for [`WorkloadPlan::fault_every`].
+    pub fault_every: usize,
+    /// The workload sections, in file order.
+    pub sections: Vec<WorkloadPlan>,
+}
+
+/// Typed parse errors; every variant names the offending line (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SpecError {
+    /// The first significant line is not a `fleet <name>` header.
+    MissingHeader,
+    /// The `fleet` header has no name, or extra tokens.
+    BadHeader {
+        /// Offending line number.
+        line: usize,
+    },
+    /// The fleet name contains characters outside `[A-Za-z0-9._-]`.
+    BadName {
+        /// Offending line number.
+        line: usize,
+        /// The rejected name.
+        name: String,
+    },
+    /// A `[…]` line that is not exactly `[workload <name>]`.
+    BadSection {
+        /// Offending line number.
+        line: usize,
+        /// The rejected line text.
+        text: String,
+    },
+    /// A line that is neither a section header nor a `key = value` pair.
+    NotAssignment {
+        /// Offending line number.
+        line: usize,
+        /// The rejected line text.
+        text: String,
+    },
+    /// A key this format does not define.
+    UnknownKey {
+        /// Offending line number.
+        line: usize,
+        /// The rejected key.
+        key: String,
+    },
+    /// A section-only key (`inputs`, `adversaries`, `clients`, `arrival`,
+    /// `faults`) used before any `[workload …]` section.
+    KeyOutsideSection {
+        /// Offending line number.
+        line: usize,
+        /// The key.
+        key: String,
+    },
+    /// The same key assigned twice in one scope.
+    DuplicateKey {
+        /// Offending line number.
+        line: usize,
+        /// The duplicated key.
+        key: String,
+    },
+    /// A value that does not parse for its key.
+    BadValue {
+        /// Offending line number.
+        line: usize,
+        /// The key.
+        key: String,
+        /// The rejected value text.
+        value: String,
+    },
+    /// A list key with no entries.
+    EmptyList {
+        /// Offending line number.
+        line: usize,
+        /// The key.
+        key: String,
+    },
+    /// The same entry listed twice for one key.
+    DuplicateEntry {
+        /// Offending line number.
+        line: usize,
+        /// The key.
+        key: String,
+        /// The duplicated entry.
+        entry: String,
+    },
+    /// An adversary/arrival/fault name this build does not define.
+    UnknownName {
+        /// Offending line number.
+        line: usize,
+        /// The key.
+        key: String,
+        /// The rejected name.
+        name: String,
+    },
+    /// A count key (`scale`, `clients`, `fault-every`) set to zero.
+    ZeroValue {
+        /// Offending line number.
+        line: usize,
+        /// The key.
+        key: String,
+    },
+    /// The spec declares no `[workload …]` section.
+    NoSections,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::MissingHeader => {
+                write!(f, "spec must open with a `fleet <name>` header")
+            }
+            SpecError::BadHeader { line } => {
+                write!(f, "line {line}: `fleet` header needs exactly one name")
+            }
+            SpecError::BadName { line, name } => {
+                write!(f, "line {line}: fleet name `{name}` (allowed: [A-Za-z0-9._-])")
+            }
+            SpecError::BadSection { line, text } => {
+                write!(f, "line {line}: bad section `{text}` (expected `[workload <name>]`)")
+            }
+            SpecError::NotAssignment { line, text } => {
+                write!(f, "line {line}: `{text}` is not a `key = value` assignment")
+            }
+            SpecError::UnknownKey { line, key } => write!(f, "line {line}: unknown key `{key}`"),
+            SpecError::KeyOutsideSection { line, key } => {
+                write!(f, "line {line}: `{key}` is only valid inside a [workload …] section")
+            }
+            SpecError::DuplicateKey { line, key } => {
+                write!(f, "line {line}: duplicate key `{key}` in this scope")
+            }
+            SpecError::BadValue { line, key, value } => {
+                write!(f, "line {line}: bad value `{value}` for `{key}`")
+            }
+            SpecError::EmptyList { line, key } => {
+                write!(f, "line {line}: `{key}` needs at least one entry")
+            }
+            SpecError::DuplicateEntry { line, key, entry } => {
+                write!(f, "line {line}: duplicate `{key}` entry `{entry}`")
+            }
+            SpecError::UnknownName { line, key, name } => {
+                write!(f, "line {line}: unknown {key} name `{name}`")
+            }
+            SpecError::ZeroValue { line, key } => {
+                write!(f, "line {line}: `{key}` must be at least 1")
+            }
+            SpecError::NoSections => write!(f, "spec declares no [workload …] section"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+fn is_name_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-')
+}
+
+/// Per-scope duplicate-key bookkeeping.
+#[derive(Default)]
+struct SeenKeys(Vec<&'static str>);
+
+impl SeenKeys {
+    fn check(&mut self, line: usize, key: &'static str) -> Result<(), SpecError> {
+        if self.0.contains(&key) {
+            return Err(SpecError::DuplicateKey { line, key: key.to_string() });
+        }
+        self.0.push(key);
+        Ok(())
+    }
+}
+
+/// The section being accumulated during parsing (values optional until the
+/// section closes, when defaults fill the gaps).
+struct PendingSection {
+    workload: String,
+    inputs: Option<InputSpec>,
+    adversaries: Option<Vec<Adversary>>,
+    clients: Option<Vec<usize>>,
+    arrivals: Option<Vec<Arrival>>,
+    faults: Option<Vec<FaultClass>>,
+    scale: Option<usize>,
+    interval_us: Option<u64>,
+    fault_every: Option<usize>,
+    seen: SeenKeys,
+}
+
+impl PendingSection {
+    fn new(workload: String) -> Self {
+        Self {
+            workload,
+            inputs: None,
+            adversaries: None,
+            clients: None,
+            arrivals: None,
+            faults: None,
+            scale: None,
+            interval_us: None,
+            fault_every: None,
+            seen: SeenKeys::default(),
+        }
+    }
+
+    fn finish(self, spec: &FleetSpec) -> WorkloadPlan {
+        WorkloadPlan {
+            workload: self.workload,
+            inputs: self.inputs.unwrap_or(InputSpec::Default),
+            adversaries: self.adversaries.unwrap_or_else(|| vec![Adversary::Honest]),
+            clients: self.clients.unwrap_or_else(|| vec![1]),
+            arrivals: self.arrivals.unwrap_or_else(|| vec![Arrival::Burst]),
+            faults: self.faults.unwrap_or_else(|| vec![FaultClass::None]),
+            scale: self.scale.unwrap_or(spec.scale),
+            interval_us: self.interval_us.unwrap_or(spec.interval_us),
+            fault_every: self.fault_every.unwrap_or(spec.fault_every),
+        }
+    }
+}
+
+fn parse_count(line: usize, key: &str, value: &str) -> Result<usize, SpecError> {
+    let n: usize = value.parse().map_err(|_| SpecError::BadValue {
+        line,
+        key: key.to_string(),
+        value: value.to_string(),
+    })?;
+    if n == 0 {
+        return Err(SpecError::ZeroValue { line, key: key.to_string() });
+    }
+    Ok(n)
+}
+
+fn parse_u64(line: usize, key: &str, value: &str) -> Result<u64, SpecError> {
+    value.parse().map_err(|_| SpecError::BadValue {
+        line,
+        key: key.to_string(),
+        value: value.to_string(),
+    })
+}
+
+/// Splits a comma list, rejecting empty lists, empty entries and duplicates.
+fn parse_list(line: usize, key: &str, value: &str) -> Result<Vec<String>, SpecError> {
+    if value.trim().is_empty() {
+        return Err(SpecError::EmptyList { line, key: key.to_string() });
+    }
+    let mut entries = Vec::new();
+    for raw in value.split(',') {
+        let entry = raw.trim();
+        if entry.is_empty() {
+            return Err(SpecError::BadValue {
+                line,
+                key: key.to_string(),
+                value: value.to_string(),
+            });
+        }
+        if entries.iter().any(|e| e == entry) {
+            return Err(SpecError::DuplicateEntry {
+                line,
+                key: key.to_string(),
+                entry: entry.to_string(),
+            });
+        }
+        entries.push(entry.to_string());
+    }
+    Ok(entries)
+}
+
+fn parse_named_list<T: Copy + PartialEq>(
+    line: usize,
+    key: &str,
+    value: &str,
+    lookup: impl Fn(&str) -> Option<T>,
+) -> Result<Vec<T>, SpecError> {
+    parse_list(line, key, value)?
+        .into_iter()
+        .map(|entry| {
+            lookup(&entry).ok_or(SpecError::UnknownName { line, key: key.to_string(), name: entry })
+        })
+        .collect()
+}
+
+fn parse_inputs(line: usize, value: &str) -> Result<InputSpec, SpecError> {
+    let trimmed = value.trim();
+    if trimmed == "default" {
+        return Ok(InputSpec::Default);
+    }
+    if trimmed.is_empty() {
+        return Err(SpecError::EmptyList { line, key: "inputs".to_string() });
+    }
+    let mut vectors = Vec::new();
+    for group in trimmed.split('|') {
+        let words: Vec<&str> = group.split_whitespace().collect();
+        if words.is_empty() {
+            return Err(SpecError::BadValue {
+                line,
+                key: "inputs".to_string(),
+                value: value.to_string(),
+            });
+        }
+        let vector = words
+            .into_iter()
+            .map(|w| {
+                w.parse::<u32>().map_err(|_| SpecError::BadValue {
+                    line,
+                    key: "inputs".to_string(),
+                    value: value.to_string(),
+                })
+            })
+            .collect::<Result<Vec<u32>, _>>()?;
+        vectors.push(vector);
+    }
+    Ok(InputSpec::Explicit(vectors))
+}
+
+impl FleetSpec {
+    /// Parses a spec from its text form.  See the module docs for the format.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`SpecError`] describing the first problem found; nothing
+    /// is half-applied.
+    pub fn parse(text: &str) -> Result<Self, SpecError> {
+        let mut spec: Option<FleetSpec> = None;
+        let mut top_seen = SeenKeys::default();
+        let mut sections: Vec<WorkloadPlan> = Vec::new();
+        let mut pending: Option<PendingSection> = None;
+
+        for (index, raw) in text.lines().enumerate() {
+            let line = index + 1;
+            let content = raw.split('#').next().unwrap_or("").trim();
+            if content.is_empty() {
+                continue;
+            }
+
+            // Header.
+            let Some(spec) = spec.as_mut() else {
+                let mut tokens = content.split_whitespace();
+                if tokens.next() != Some("fleet") {
+                    return Err(SpecError::MissingHeader);
+                }
+                let Some(name) = tokens.next() else {
+                    return Err(SpecError::BadHeader { line });
+                };
+                if tokens.next().is_some() {
+                    return Err(SpecError::BadHeader { line });
+                }
+                if !name.chars().all(is_name_char) {
+                    return Err(SpecError::BadName { line, name: name.to_string() });
+                }
+                spec = Some(FleetSpec {
+                    name: name.to_string(),
+                    scale: DEFAULT_SCALE,
+                    interval_us: DEFAULT_INTERVAL_US,
+                    fault_every: DEFAULT_FAULT_EVERY,
+                    sections: Vec::new(),
+                });
+                continue;
+            };
+
+            // Section header.
+            if content.starts_with('[') {
+                let inner = content
+                    .strip_prefix('[')
+                    .and_then(|r| r.strip_suffix(']'))
+                    .ok_or_else(|| SpecError::BadSection { line, text: content.to_string() })?;
+                let mut tokens = inner.split_whitespace();
+                let (kind, name, extra) = (tokens.next(), tokens.next(), tokens.next());
+                let (Some("workload"), Some(name), None) = (kind, name, extra) else {
+                    return Err(SpecError::BadSection { line, text: content.to_string() });
+                };
+                if !name.chars().all(is_name_char) {
+                    return Err(SpecError::BadSection { line, text: content.to_string() });
+                }
+                if let Some(done) = pending.take() {
+                    sections.push(done.finish(spec));
+                }
+                pending = Some(PendingSection::new(name.to_string()));
+                continue;
+            }
+
+            // `key = value`.
+            let Some((key, value)) = content.split_once('=') else {
+                return Err(SpecError::NotAssignment { line, text: content.to_string() });
+            };
+            let key = key.trim();
+            let value = value.trim();
+
+            match pending.as_mut() {
+                None => match key {
+                    "scale" => {
+                        top_seen.check(line, "scale")?;
+                        spec.scale = parse_count(line, key, value)?;
+                    }
+                    "interval-us" => {
+                        top_seen.check(line, "interval-us")?;
+                        spec.interval_us = parse_u64(line, key, value)?;
+                    }
+                    "fault-every" => {
+                        top_seen.check(line, "fault-every")?;
+                        spec.fault_every = parse_count(line, key, value)?;
+                    }
+                    "inputs" | "adversaries" | "clients" | "arrival" | "faults" => {
+                        return Err(SpecError::KeyOutsideSection { line, key: key.to_string() });
+                    }
+                    other => {
+                        return Err(SpecError::UnknownKey { line, key: other.to_string() });
+                    }
+                },
+                Some(section) => match key {
+                    "inputs" => {
+                        section.seen.check(line, "inputs")?;
+                        section.inputs = Some(parse_inputs(line, value)?);
+                    }
+                    "adversaries" => {
+                        section.seen.check(line, "adversaries")?;
+                        section.adversaries =
+                            Some(parse_named_list(line, key, value, Adversary::from_name)?);
+                    }
+                    "clients" => {
+                        section.seen.check(line, "clients")?;
+                        section.clients = Some(
+                            parse_list(line, key, value)?
+                                .into_iter()
+                                .map(|entry| parse_count(line, key, &entry))
+                                .collect::<Result<Vec<usize>, _>>()?,
+                        );
+                    }
+                    "arrival" => {
+                        section.seen.check(line, "arrival")?;
+                        section.arrivals =
+                            Some(parse_named_list(line, key, value, Arrival::from_name)?);
+                    }
+                    "faults" => {
+                        section.seen.check(line, "faults")?;
+                        section.faults =
+                            Some(parse_named_list(line, key, value, FaultClass::from_name)?);
+                    }
+                    "scale" => {
+                        section.seen.check(line, "scale")?;
+                        section.scale = Some(parse_count(line, key, value)?);
+                    }
+                    "interval-us" => {
+                        section.seen.check(line, "interval-us")?;
+                        section.interval_us = Some(parse_u64(line, key, value)?);
+                    }
+                    "fault-every" => {
+                        section.seen.check(line, "fault-every")?;
+                        section.fault_every = Some(parse_count(line, key, value)?);
+                    }
+                    other => {
+                        return Err(SpecError::UnknownKey { line, key: other.to_string() });
+                    }
+                },
+            }
+        }
+
+        let mut spec = spec.ok_or(SpecError::MissingHeader)?;
+        if let Some(done) = pending.take() {
+            sections.push(done.finish(&spec));
+        }
+        if sections.is_empty() {
+            return Err(SpecError::NoSections);
+        }
+        spec.sections = sections;
+        Ok(spec)
+    }
+
+    /// Renders the canonical text form: defaults first, then every section
+    /// with all keys explicit.  `FleetSpec::parse(spec.to_text())` returns a
+    /// spec equal to `spec`.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "fleet {}", self.name);
+        let _ = writeln!(out);
+        let _ = writeln!(out, "scale = {}", self.scale);
+        let _ = writeln!(out, "interval-us = {}", self.interval_us);
+        let _ = writeln!(out, "fault-every = {}", self.fault_every);
+        for section in &self.sections {
+            let _ = writeln!(out);
+            let _ = writeln!(out, "[workload {}]", section.workload);
+            match &section.inputs {
+                InputSpec::Default => {
+                    let _ = writeln!(out, "inputs = default");
+                }
+                InputSpec::Explicit(vectors) => {
+                    let rendered: Vec<String> = vectors
+                        .iter()
+                        .map(|v| v.iter().map(u32::to_string).collect::<Vec<_>>().join(" "))
+                        .collect();
+                    let _ = writeln!(out, "inputs = {}", rendered.join(" | "));
+                }
+            }
+            let _ = writeln!(
+                out,
+                "adversaries = {}",
+                section.adversaries.iter().map(|a| a.name()).collect::<Vec<_>>().join(", ")
+            );
+            let _ = writeln!(
+                out,
+                "clients = {}",
+                section.clients.iter().map(usize::to_string).collect::<Vec<_>>().join(", ")
+            );
+            let _ = writeln!(
+                out,
+                "arrival = {}",
+                section.arrivals.iter().map(|a| a.name()).collect::<Vec<_>>().join(", ")
+            );
+            let _ = writeln!(
+                out,
+                "faults = {}",
+                section.faults.iter().map(|f| f.name()).collect::<Vec<_>>().join(", ")
+            );
+            let _ = writeln!(out, "scale = {}", section.scale);
+            let _ = writeln!(out, "interval-us = {}", section.interval_us);
+            let _ = writeln!(out, "fault-every = {}", section.fault_every);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SMOKE: &str = "\
+# a comment\n\
+fleet demo\n\
+scale = 6\n\
+\n\
+[workload fig4-loop]\n\
+inputs = 4 | 6 2\n\
+adversaries = honest, forge\n\
+clients = 1, 2\n\
+arrival = burst\n\
+faults = none, duplicate-frame\n";
+
+    #[test]
+    fn parses_a_minimal_spec_with_defaults() {
+        let spec = FleetSpec::parse("fleet x\n[workload gcd]\n").unwrap();
+        assert_eq!(spec.name, "x");
+        assert_eq!(spec.scale, DEFAULT_SCALE);
+        assert_eq!(spec.sections.len(), 1);
+        let section = &spec.sections[0];
+        assert_eq!(section.workload, "gcd");
+        assert_eq!(section.inputs, InputSpec::Default);
+        assert_eq!(section.adversaries, vec![Adversary::Honest]);
+        assert_eq!(section.clients, vec![1]);
+        assert_eq!(section.arrivals, vec![Arrival::Burst]);
+        assert_eq!(section.faults, vec![FaultClass::None]);
+        assert_eq!(section.scale, DEFAULT_SCALE);
+    }
+
+    #[test]
+    fn parses_sections_values_and_comments() {
+        let spec = FleetSpec::parse(SMOKE).unwrap();
+        assert_eq!(spec.name, "demo");
+        assert_eq!(spec.scale, 6);
+        let section = &spec.sections[0];
+        assert_eq!(section.inputs, InputSpec::Explicit(vec![vec![4], vec![6, 2]]));
+        assert_eq!(section.adversaries, vec![Adversary::Honest, Adversary::Forge]);
+        assert_eq!(section.clients, vec![1, 2]);
+        assert_eq!(section.faults, vec![FaultClass::None, FaultClass::DuplicateFrame]);
+        assert_eq!(section.scale, 6, "section inherits the top-level default");
+    }
+
+    #[test]
+    fn round_trips_through_the_canonical_form() {
+        let spec = FleetSpec::parse(SMOKE).unwrap();
+        let text = spec.to_text();
+        let reparsed = FleetSpec::parse(&text).unwrap();
+        assert_eq!(reparsed, spec);
+        assert_eq!(reparsed.to_text(), text, "canonical form is a fixed point");
+    }
+
+    #[test]
+    fn typed_errors_name_the_problem() {
+        assert_eq!(FleetSpec::parse(""), Err(SpecError::MissingHeader));
+        assert_eq!(FleetSpec::parse("nope\n"), Err(SpecError::MissingHeader));
+        assert_eq!(FleetSpec::parse("fleet\n"), Err(SpecError::BadHeader { line: 1 }));
+        assert_eq!(FleetSpec::parse("fleet a b\n"), Err(SpecError::BadHeader { line: 1 }));
+        assert_eq!(FleetSpec::parse("fleet ok\n"), Err(SpecError::NoSections));
+        assert!(matches!(
+            FleetSpec::parse("fleet ok\n[workload]\n"),
+            Err(SpecError::BadSection { line: 2, .. })
+        ));
+        assert!(matches!(
+            FleetSpec::parse("fleet ok\nclients = 2\n[workload gcd]\n"),
+            Err(SpecError::KeyOutsideSection { line: 2, .. })
+        ));
+        assert!(matches!(
+            FleetSpec::parse("fleet ok\n[workload gcd]\nbanana = 1\n"),
+            Err(SpecError::UnknownKey { line: 3, .. })
+        ));
+        assert!(matches!(
+            FleetSpec::parse("fleet ok\n[workload gcd]\nscale = 2\nscale = 3\n"),
+            Err(SpecError::DuplicateKey { line: 4, .. })
+        ));
+        assert!(matches!(
+            FleetSpec::parse("fleet ok\n[workload gcd]\nscale = 0\n"),
+            Err(SpecError::ZeroValue { line: 3, .. })
+        ));
+        assert!(matches!(
+            FleetSpec::parse("fleet ok\n[workload gcd]\nadversaries = honest, honest\n"),
+            Err(SpecError::DuplicateEntry { line: 3, .. })
+        ));
+        assert!(matches!(
+            FleetSpec::parse("fleet ok\n[workload gcd]\nadversaries = martian\n"),
+            Err(SpecError::UnknownName { line: 3, .. })
+        ));
+        assert!(matches!(
+            FleetSpec::parse("fleet ok\n[workload gcd]\nfaults =\n"),
+            Err(SpecError::EmptyList { line: 3, .. })
+        ));
+        assert!(matches!(
+            FleetSpec::parse("fleet ok\n[workload gcd]\ninputs = 4 x\n"),
+            Err(SpecError::BadValue { line: 3, .. })
+        ));
+        assert!(matches!(
+            FleetSpec::parse("fleet ok\n[workload gcd]\njust words\n"),
+            Err(SpecError::NotAssignment { line: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn every_name_round_trips() {
+        for adversary in Adversary::ALL {
+            assert_eq!(Adversary::from_name(adversary.name()), Some(adversary));
+        }
+        for arrival in Arrival::ALL {
+            assert_eq!(Arrival::from_name(arrival.name()), Some(arrival));
+        }
+        for fault in FaultClass::ALL {
+            assert_eq!(FaultClass::from_name(fault.name()), Some(fault));
+        }
+    }
+}

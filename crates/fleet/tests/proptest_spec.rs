@@ -1,0 +1,235 @@
+//! Property-based tests of the fleet spec format.
+//!
+//! The parser and `to_text` together define the format; the properties pin
+//! the contract the rest of the pipeline leans on: formatting a spec and
+//! re-parsing it is the identity, the canonical form is a fixed point,
+//! hostile/truncated text is rejected with a typed error (never a panic),
+//! and the enumerator's job count is exactly the declared cross-product.
+
+use lofat_fleet::spec::{Adversary, Arrival, FaultClass, FleetSpec, InputSpec, WorkloadPlan};
+use lofat_fleet::{enumerate_jobs, job_count};
+use proptest::prelude::*;
+
+/// Picks a non-empty subsequence of `all` in stable order, driven by `mask`.
+fn subset<T: Copy>(all: &[T], mask: u64) -> Vec<T> {
+    let picked: Vec<T> =
+        all.iter().enumerate().filter(|(i, _)| mask >> i & 1 == 1).map(|(_, &item)| item).collect();
+    if picked.is_empty() {
+        vec![all[mask as usize % all.len()]]
+    } else {
+        picked
+    }
+}
+
+/// Builds one fully-resolved workload section from a handful of integer draws.
+/// Every field stays within what the parser can express, so `to_text` must
+/// round-trip it exactly.
+fn section(
+    workload: String,
+    adv_mask: u64,
+    dims: u64,
+    scale: usize,
+    inputs: InputSpec,
+) -> WorkloadPlan {
+    WorkloadPlan {
+        workload,
+        inputs,
+        adversaries: subset(&Adversary::ALL, adv_mask),
+        clients: subset(&[1, 2, 3, 4, 6, 8], dims),
+        arrivals: subset(&[Arrival::Burst, Arrival::Uniform, Arrival::Ramp], dims >> 6),
+        faults: subset(
+            &[
+                FaultClass::None,
+                FaultClass::DropConnection,
+                FaultClass::SlowLoris,
+                FaultClass::DuplicateFrame,
+                FaultClass::OversizedPrefix,
+            ],
+            dims >> 9,
+        ),
+        scale,
+        interval_us: (dims >> 14 & 0x3ff) + 1,
+        fault_every: (dims >> 24 & 0x7) as usize + 1,
+    }
+}
+
+fn input_spec(selector: u64) -> InputSpec {
+    match selector % 3 {
+        0 => InputSpec::Default,
+        1 => InputSpec::Explicit(vec![vec![(selector >> 2) as u32 % 97 + 1]]),
+        _ => InputSpec::Explicit(vec![
+            vec![(selector >> 2) as u32 % 97 + 1, (selector >> 9) as u32 % 13 + 1],
+            vec![(selector >> 16) as u32 % 7 + 1],
+        ]),
+    }
+}
+
+/// A random but well-formed spec: 1–3 sections, arbitrary names from the
+/// accepted charset, every dimension non-empty.
+fn build_spec(
+    name: String,
+    section_names: Vec<String>,
+    masks: (u64, u64, u64),
+    scale: usize,
+    inputs_selector: u64,
+) -> FleetSpec {
+    let (adv_mask, dims, extra) = masks;
+    let sections = section_names
+        .into_iter()
+        .enumerate()
+        .map(|(i, workload)| {
+            let rot = i as u64 * 7 + 1;
+            section(
+                workload,
+                adv_mask.rotate_right(rot as u32),
+                dims.rotate_right(rot as u32),
+                scale + i,
+                input_spec(inputs_selector.rotate_right(rot as u32)),
+            )
+        })
+        .collect();
+    FleetSpec {
+        name,
+        scale,
+        interval_us: extra & 0x3ff | 1,
+        fault_every: (extra >> 10 & 0x7) as usize + 1,
+        sections,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    /// `parse(to_text(spec)) == spec` for arbitrary well-formed specs, and the
+    /// canonical text is a fixed point of the round trip.
+    #[test]
+    fn format_then_parse_is_identity(
+        name in "[a-z][a-z0-9._-]{0,11}",
+        w1 in "[a-z][a-z0-9-]{0,7}",
+        w2 in "[A-Z0-9._-]{1,8}",
+        masks in (1u64..u64::MAX, 1u64..u64::MAX, 0u64..u64::MAX),
+        scale in 1usize..64,
+        sections in 1usize..4,
+    ) {
+        let section_names = [w1.clone(), w2, format!("{w1}-alt")];
+        let spec = build_spec(name, section_names[..sections].to_vec(), masks, scale, masks.2);
+        let canonical = spec.to_text();
+        let reparsed = FleetSpec::parse(&canonical);
+        prop_assert_eq!(&reparsed, &Ok(spec), "canonical text:\n{}", canonical);
+        prop_assert_eq!(
+            reparsed.expect("just matched Ok").to_text(),
+            canonical,
+            "to_text is not a fixed point"
+        );
+    }
+
+    /// Truncating well-formed text anywhere never panics the parser: it either
+    /// still parses (the cut fell on a whole-line boundary past the last
+    /// required element) or fails with a typed error.
+    #[test]
+    fn truncated_specs_fail_closed(
+        masks in (1u64..u64::MAX, 1u64..u64::MAX, 0u64..u64::MAX),
+        scale in 1usize..16,
+        cut_fraction in 0u32..1000,
+    ) {
+        let spec = build_spec(
+            "trunc".to_string(),
+            vec!["alpha".to_string(), "beta".to_string()],
+            masks,
+            scale,
+            masks.1,
+        );
+        let canonical = spec.to_text();
+        let mut cut = canonical.len() * cut_fraction as usize / 1000;
+        while !canonical.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        let truncated = &canonical[..cut];
+        match FleetSpec::parse(truncated) {
+            Ok(reparsed) => {
+                // Only a cut past the last section's final key can still parse,
+                // and then only as a prefix of the original spec.
+                prop_assert_eq!(&reparsed.name, &spec.name);
+                prop_assert!(reparsed.sections.len() <= spec.sections.len());
+            }
+            Err(err) => {
+                // Typed rejection; Display must not panic either.
+                let _ = err.to_string();
+            }
+        }
+    }
+
+    /// Re-assigning any key the canonical form already wrote is a duplicate-key
+    /// rejection, and an invented key is unknown — the format has no silent
+    /// last-write-wins semantics anywhere.
+    #[test]
+    fn duplicate_and_unknown_keys_are_rejected(
+        masks in (1u64..u64::MAX, 1u64..u64::MAX, 0u64..u64::MAX),
+        scale in 1usize..16,
+        hostile_key in "[a-z][a-z-]{0,10}",
+    ) {
+        let spec = build_spec(
+            "dup".to_string(),
+            vec!["alpha".to_string()],
+            masks,
+            scale,
+            masks.0,
+        );
+        let canonical = spec.to_text();
+
+        let duplicated = format!("{canonical}scale = 1\n");
+        prop_assert!(
+            matches!(
+                FleetSpec::parse(&duplicated),
+                Err(lofat_fleet::SpecError::DuplicateKey { .. })
+            ),
+            "trailing duplicate `scale` must be rejected"
+        );
+
+        const KNOWN: [&str; 8] = [
+            "scale", "interval-us", "fault-every", "inputs", "adversaries", "clients",
+            "arrival", "faults",
+        ];
+        if !KNOWN.contains(&hostile_key.as_str()) {
+            let hostile = format!("{canonical}{hostile_key} = 1\n");
+            prop_assert!(
+                matches!(
+                    FleetSpec::parse(&hostile),
+                    Err(lofat_fleet::SpecError::UnknownKey { .. })
+                ),
+                "invented key `{}` must be rejected",
+                hostile_key
+            );
+        }
+    }
+
+    /// The enumerator expands exactly the declared cross-product: for every
+    /// section, one job per (clients × arrival × fault) combination, in order.
+    #[test]
+    fn enumeration_count_is_the_cross_product(
+        masks in (1u64..u64::MAX, 1u64..u64::MAX, 0u64..u64::MAX),
+        scale in 1usize..8,
+        sections in 1usize..3,
+    ) {
+        // Real catalogue workloads with symbol-free adversaries so the
+        // enumerator's validation pass accepts every section.
+        let names = ["fig4-loop".to_string(), "gcd".to_string()];
+        let mut spec = build_spec("count".to_string(), names[..sections].to_vec(), masks, scale, 0);
+        for section in &mut spec.sections {
+            section.adversaries =
+                subset(&[Adversary::Honest, Adversary::Forge, Adversary::Replay], masks.0);
+            section.inputs = InputSpec::Default;
+        }
+        let jobs = enumerate_jobs(&spec).expect("catalogue sections enumerate");
+        let expected: usize = spec
+            .sections
+            .iter()
+            .map(|s| s.clients.len() * s.arrivals.len() * s.faults.len())
+            .sum();
+        prop_assert_eq!(jobs.len(), expected);
+        prop_assert_eq!(job_count(&spec), expected);
+        for (i, job) in jobs.iter().enumerate() {
+            prop_assert_eq!(job.index, i, "jobs are dense in enumeration order");
+        }
+    }
+}

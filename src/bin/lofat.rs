@@ -15,6 +15,9 @@
 //! lofat bench-json [--out F] [--smoke]     write the E10 hot-path trajectory JSON
 //! lofat serve-bench [--out F] [--smoke]    sweep the sharded service over worker
 //!                                          counts and write BENCH_service.json
+//! lofat fleet run <spec.fleet>             execute a declarative scenario fleet
+//!                                          over both transports, write manifests
+//! lofat fleet enumerate <spec.fleet>       print a fleet's deterministic job list
 //! ```
 //!
 //! Arguments that name a file ending in `.s`/`.asm` are assembled from disk; any
@@ -22,16 +25,16 @@
 
 use lofat::pool::PoolConfig;
 use lofat::protocol::run_attestation;
-use lofat::session::ProverSession;
-use lofat::wire::{Envelope, EvidenceMsg, Message};
 use lofat::{
     AreaModel, EngineConfig, MeasurementDatabase, Prover, ServiceConfig, Verifier, VerifierService,
 };
 use lofat_crypto::DeviceKey;
+use lofat_fleet::spec::Adversary as FleetAdversary;
+use lofat_fleet::{behaviour_for, generate_traffic, FleetSpec, SlotBehaviour};
 use lofat_net::{ProverClient, ServerConfig, VerifierServer};
 use lofat_rv32::asm::assemble;
 use lofat_rv32::{disasm, Cpu, Program};
-use lofat_workloads::{attack, catalog};
+use lofat_workloads::catalog;
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -53,6 +56,7 @@ fn main() -> ExitCode {
         "area" => cmd_area(&args[1..]),
         "bench-json" => cmd_bench_json(&args[1..]),
         "serve-bench" => cmd_serve_bench(&args[1..]),
+        "fleet" => cmd_fleet(&args[1..]),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -103,7 +107,18 @@ commands:
                                      sweep the sharded VerifierService +
                                      ParallelVerifier pool over worker counts
                                      (default 1,2,4) and write sessions/sec +
-                                     p50/p99 latency to BENCH_service.json";
+                                     p50/p99 latency to BENCH_service.json
+  fleet run <spec.fleet> [--transport pool|socket|both] [--out-dir DIR]
+            [--scale N]              expand a declarative fleet spec and drive
+                                     every scenario (workload × adversary mix ×
+                                     clients × arrival × fault injection) over
+                                     the chosen transport(s); with `both`,
+                                     assert the verdict breakdowns match, then
+                                     write manifest.json / manifest.csv /
+                                     manifest.golden.json under --out-dir
+                                     (default target/fleet)
+  fleet enumerate <spec.fleet>       print the deterministic job expansion of
+                                     a fleet spec without running it";
 
 type CliResult = Result<(), Box<dyn std::error::Error>>;
 
@@ -382,13 +397,14 @@ fn cmd_serve(args: &[String]) -> CliResult {
         if ticks.is_multiple_of(12) {
             let stats = service.stats();
             println!(
-                "[stats] opened {} accepted {} rejected {} replays {} expired {} live {}",
+                "[stats] opened {} accepted {} rejected {} replays {} expired {} live {} codes {}",
                 stats.sessions_opened,
                 stats.accepted,
                 stats.rejected,
                 stats.replays_blocked,
                 stats.expired,
                 service.live_sessions(),
+                stats.rejection_codes_summary(),
             );
         }
     }
@@ -454,7 +470,7 @@ fn cmd_sessions(args: &[String]) -> CliResult {
     };
 
     println!(
-        "{:<16} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "{:<16} {:>8} {:>8} {:>8} {:>8} {:>8}  codes",
         "workload", "sessions", "accepted", "rejected", "replays", "expired"
     );
     let mut totals = (0u64, 0u64, 0u64, 0u64, 0u64);
@@ -472,77 +488,57 @@ fn cmd_sessions(args: &[String]) -> CliResult {
             ServiceConfig { session_deadline_cycles: deadline_cycles, ..ServiceConfig::default() };
         let service = VerifierService::new(db, key.verification_key(), config);
 
-        // Open all sessions up front, then answer them interleaved.
-        let ids: Vec<_> = (0..sessions_per_workload)
-            .map(|_| service.open_session(input.clone()))
-            .collect::<Result<_, _>>()?;
-        let input_addr = program.symbol("input");
-        let mut last_honest: Option<Envelope> = None;
-        let mut honest_indices = Vec::new();
-        let mut evidence = Vec::with_capacity(ids.len());
-        for (i, id) in ids.iter().enumerate() {
-            let challenge = service.challenge_envelope(*id)?;
-            let tampered = tamper_every != 0 && (i + 1) % tamper_every == 0;
-            let envelope = if !tampered {
-                let (envelope, _run) = ProverSession::new(&mut prover).respond(&challenge)?;
-                last_honest = Some(envelope.clone());
-                honest_indices.push(i);
-                envelope
-            } else {
-                match (i / tamper_every) % 3 {
-                    // ① a data-memory fault during the attested run.
-                    0 if input_addr.is_some() => {
-                        let mut fault = attack::poke_at_instruction(2, input_addr.unwrap(), 1);
-                        let (envelope, _run) = ProverSession::new(&mut prover)
-                            .respond_with_adversary(&challenge, &mut fault)?;
-                        envelope
+        // The tamper mix, expressed as shared-driver slot behaviours: every
+        // `tamper_every`-th slot rotates through a data-memory fault, a
+        // replay-class slot (honest in phase 1, re-submitted in phase 2) and
+        // a flipped-authenticator forgery.  Workloads without an `input`
+        // symbol fall back to forging in the fault rotation.
+        let slots: Vec<(Vec<u32>, SlotBehaviour)> = (0..sessions_per_workload)
+            .map(|i| {
+                let tampered = tamper_every != 0 && (i + 1) % tamper_every == 0;
+                let behaviour = if !tampered {
+                    SlotBehaviour::Honest
+                } else {
+                    match (i / tamper_every) % 3 {
+                        0 => behaviour_for(FleetAdversary::Poke, &program)
+                            .unwrap_or(SlotBehaviour::Forge),
+                        1 => SlotBehaviour::Replay,
+                        _ => SlotBehaviour::Forge,
                     }
-                    // ② replay an earlier session's accepted evidence.
-                    1 if last_honest.is_some() => {
-                        let mut replay = last_honest.clone().unwrap();
-                        replay.session = *id;
-                        replay
-                    }
-                    // ③ flip an authenticator byte (breaks the signature).
-                    _ => {
-                        let (envelope, run) =
-                            ProverSession::new(&mut prover).respond(&challenge)?;
-                        let mut report = run.report;
-                        let mut bytes = report.authenticator.as_bytes().to_vec();
-                        bytes[0] ^= 0x01;
-                        report.authenticator = lofat_crypto::Digest::from_bytes(bytes);
-                        Envelope::new(envelope.session, Message::Evidence(EvidenceMsg { report }))
-                    }
-                }
-            };
-            evidence.push(envelope);
-        }
+                };
+                (input.clone(), behaviour)
+            })
+            .collect();
+        // The driver opens the sessions on the service itself and answers its
+        // challenges, so submission below is pure byte traffic.
+        let traffic = generate_traffic(&service, &mut prover, slots)?;
+
         // Interleave: strided submission order.  The service clock ticks once
         // per submission, so a small `--deadline-cycles` expires the sessions
         // that are answered late.
-        let n = evidence.len();
+        let n = traffic.len();
         let mut order: Vec<usize> = (0..n).collect();
         order.sort_by_key(|i| i.wrapping_mul(7919) % n.max(1));
         for i in order {
             service.advance_clock(1);
-            service.submit_evidence(&evidence[i]);
+            service.handle_bytes(&traffic[i].evidence)?;
         }
-        // Replay a slice of the *honest* evidence (those sessions are
-        // decided, unless they expired) — every resubmission must bounce off
-        // the spent-nonce check, never be accepted twice.
-        for &i in honest_indices.iter().step_by(4) {
-            service.submit_evidence(&evidence[i]);
+        // Phase 2: re-submit the replay-class slots — every resubmission must
+        // bounce off the spent-nonce check, never be accepted twice.
+        for slot in traffic.iter().filter(|s| s.replay) {
+            service.handle_bytes(&slot.evidence)?;
         }
 
         let stats = service.stats();
         println!(
-            "{:<16} {:>8} {:>8} {:>8} {:>8} {:>8}",
+            "{:<16} {:>8} {:>8} {:>8} {:>8} {:>8}  {}",
             workload.name,
             stats.sessions_opened,
             stats.accepted,
             stats.rejected,
             stats.replays_blocked,
-            stats.expired
+            stats.expired,
+            stats.rejection_codes_summary(),
         );
         totals.0 += stats.sessions_opened;
         totals.1 += stats.accepted;
@@ -554,8 +550,14 @@ fn cmd_sessions(args: &[String]) -> CliResult {
         }
     }
     println!(
-        "{:<16} {:>8} {:>8} {:>8} {:>8} {:>8}",
-        "total", totals.0, totals.1, totals.2, totals.3, totals.4
+        "{:<16} {:>8} {:>8} {:>8} {:>8} {:>8}  {}",
+        "total",
+        totals.0,
+        totals.1,
+        totals.2,
+        totals.3,
+        totals.4,
+        lofat::service::codes_summary(&by_code),
     );
     if !by_code.is_empty() {
         println!("\nrejections by stable reason code:");
@@ -744,6 +746,142 @@ fn cmd_serve_bench(args: &[String]) -> CliResult {
         report.simd_tier,
     );
     println!("wrote {out_path}");
+    Ok(())
+}
+
+/// `lofat fleet` — expand a declarative scenario spec and either print the
+/// job list (`enumerate`) or execute it (`run`), writing manifest artifacts.
+fn cmd_fleet(args: &[String]) -> CliResult {
+    let sub = args.first().ok_or("fleet: missing subcommand (run | enumerate)")?;
+    match sub.as_str() {
+        "enumerate" => cmd_fleet_enumerate(&args[1..]),
+        "run" => cmd_fleet_run(&args[1..]),
+        other => Err(format!("fleet: unknown subcommand `{other}` (run | enumerate)").into()),
+    }
+}
+
+fn load_fleet_spec(path: &str) -> Result<FleetSpec, Box<dyn std::error::Error>> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("fleet: cannot read spec `{path}`: {e}"))?;
+    FleetSpec::parse(&text).map_err(|e| format!("fleet: {path}: {e}").into())
+}
+
+fn cmd_fleet_enumerate(args: &[String]) -> CliResult {
+    let path = args.first().ok_or("fleet enumerate: missing <spec.fleet>")?;
+    let spec = load_fleet_spec(path)?;
+    let jobs = lofat_fleet::enumerate_jobs(&spec)?;
+    println!("fleet {} — {} scenario(s)", spec.name, jobs.len());
+    print!("{}", lofat_fleet::listing(&jobs));
+    Ok(())
+}
+
+fn cmd_fleet_run(args: &[String]) -> CliResult {
+    use lofat_fleet::{ExecOptions, Transport};
+
+    let mut spec_path: Option<String> = None;
+    let mut out_dir = "target/fleet".to_string();
+    let mut options = ExecOptions::default();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--transport" => {
+                let which = iter.next().ok_or("fleet run: --transport needs pool|socket|both")?;
+                match which.as_str() {
+                    "pool" => (options.pool, options.socket) = (true, false),
+                    "socket" => (options.pool, options.socket) = (false, true),
+                    "both" => (options.pool, options.socket) = (true, true),
+                    other => {
+                        return Err(format!(
+                            "fleet run: unknown transport `{other}` (pool|socket|both)"
+                        )
+                        .into());
+                    }
+                }
+            }
+            "--out-dir" => {
+                out_dir = iter.next().ok_or("fleet run: --out-dir needs a directory")?.clone();
+            }
+            "--scale" => {
+                options.scale_override =
+                    Some(iter.next().ok_or("fleet run: --scale needs N")?.parse()?);
+            }
+            other if !other.starts_with("--") => spec_path = Some(other.to_string()),
+            other => return Err(format!("fleet run: unknown argument `{other}`").into()),
+        }
+    }
+    let path = spec_path.ok_or("fleet run: missing <spec.fleet>")?;
+    let spec = load_fleet_spec(&path)?;
+    let jobs = lofat_fleet::enumerate_jobs(&spec)?;
+    eprintln!(
+        "fleet {}: {} scenario(s){}{}",
+        spec.name,
+        jobs.len(),
+        if options.pool { " × pool" } else { "" },
+        if options.socket { " × socket" } else { "" },
+    );
+
+    let report = lofat_fleet::run(&spec, options)?;
+    println!(
+        "{:<36} {:>7} {:>9} {:>6} {:>5}  verdicts",
+        "scenario", "transpt", "accepted", "live", "cons"
+    );
+    for outcome in &report.outcomes {
+        println!(
+            "{:<36} {:>7} {:>9} {:>6} {:>5}  {}",
+            outcome.job.label(),
+            outcome.transport.name(),
+            outcome.accepted_verdicts,
+            outcome.live,
+            if outcome.conserved { "ok" } else { "VIOLATED" },
+            lofat::service::codes_summary(&outcome.verdicts),
+        );
+    }
+
+    // Every scenario must keep the books balanced, on every transport.
+    if let Some(broken) = report.outcomes.iter().find(|o| !o.conserved) {
+        return Err(format!(
+            "fleet run: conservation violated in {} over {}",
+            broken.job.label(),
+            broken.transport.name()
+        )
+        .into());
+    }
+    // With both transports enabled, the pool and socket runs of each job must
+    // agree verdict-for-verdict — the transports add no semantics.
+    if options.pool && options.socket {
+        for pair in report.outcomes.chunks(2) {
+            let (pool, socket) = (&pair[0], &pair[1]);
+            assert_eq!(pool.transport, Transport::Pool);
+            assert_eq!(socket.transport, Transport::Socket);
+            if pool.verdicts != socket.verdicts {
+                return Err(format!(
+                    "fleet run: verdict breakdown diverged for {}: pool {} vs socket {}",
+                    pool.job.label(),
+                    lofat::service::codes_summary(&pool.verdicts),
+                    lofat::service::codes_summary(&socket.verdicts),
+                )
+                .into());
+            }
+            if pool.stats.accepted != socket.stats.accepted
+                || pool.stats.sessions_rejected != socket.stats.sessions_rejected
+                || pool.live != socket.live
+            {
+                return Err(format!(
+                    "fleet run: session accounting diverged for {}",
+                    pool.job.label()
+                )
+                .into());
+            }
+        }
+        println!("transports agree: verdict breakdowns identical for every scenario");
+    }
+
+    std::fs::create_dir_all(&out_dir)?;
+    let dir = std::path::Path::new(&out_dir);
+    std::fs::write(dir.join("manifest.json"), lofat_fleet::manifest_json(&report))?;
+    std::fs::write(dir.join("manifest.csv"), lofat_fleet::manifest_csv(&report))?;
+    std::fs::write(dir.join("manifest.golden.json"), lofat_fleet::manifest_golden_json(&report))?;
+    println!("wrote {out_dir}/manifest.json, manifest.csv, manifest.golden.json");
     Ok(())
 }
 

@@ -12,6 +12,7 @@ pub use lofat;
 pub use lofat_cfg;
 pub use lofat_cflat;
 pub use lofat_crypto;
+pub use lofat_fleet;
 pub use lofat_net;
 pub use lofat_oracle;
 pub use lofat_rv32;

@@ -30,9 +30,9 @@
 mod common;
 
 use lofat::session::ProverSession;
-use lofat::wire::{code, Envelope, EvidenceMsg, Message, SessionId};
+use lofat::wire::{code, SessionId};
 use lofat::{ServiceConfig, ServiceStats};
-use lofat_crypto::Digest;
+use lofat_fleet::SlotBehaviour;
 use lofat_net::{NetError, ProverClient, VerifierServer};
 use lofat_rv32::Program;
 use lofat_workloads::{attack, catalog};
@@ -58,9 +58,10 @@ struct Fleet {
     inputs: Vec<Vec<u32>>,
 }
 
-/// Pre-generates the fleet's traffic against a throwaway service: nonces are
-/// deterministic, so the same bytes answer every fresh service instance —
-/// including the one behind the TCP server.
+/// Pre-generates the fleet's traffic against a throwaway service through the
+/// shared `lofat-fleet` session driver: nonces are deterministic, so the same
+/// bytes answer every fresh service instance — including the one behind the
+/// TCP server.
 fn generate_fleet(
     name: &str,
     seed: &str,
@@ -70,41 +71,26 @@ fn generate_fleet(
 ) -> Fleet {
     let (program, service, mut prover) =
         common::workload_service(name, seed, input_pool, ServiceConfig::default());
+    let slots = (0..sessions).map(|i| {
+        let input = input_pool[i % input_pool.len()].clone();
+        let behaviour = match evidence_kind(i) {
+            2 => SlotBehaviour::Fault(adversary(&program)),
+            3 => SlotBehaviour::Forge,
+            _ => SlotBehaviour::Honest,
+        };
+        (input, behaviour)
+    });
+    let traffic = lofat_fleet::generate_traffic(&service, &mut prover, slots)
+        .expect("pre-generate e14 traffic");
     let mut fleet = Fleet {
         challenges: Vec::with_capacity(sessions),
         evidence: Vec::with_capacity(sessions),
         inputs: Vec::with_capacity(sessions),
     };
-    for i in 0..sessions {
-        let input = input_pool[i % input_pool.len()].clone();
-        let id = service.open_session(input.clone()).expect("generator capacity");
-        assert_eq!(id, SessionId(i as u64 + 1), "ids are dense in open order");
-        let challenge = service.challenge_envelope(id).expect("challenge").encode().expect("enc");
-        let decoded = Envelope::decode(&challenge).expect("challenge decodes");
-        let envelope = match evidence_kind(i) {
-            2 => {
-                let mut fault = adversary(&program);
-                let (envelope, _run) = ProverSession::new(&mut prover)
-                    .respond_with_adversary(&decoded, &mut fault)
-                    .expect("adversarial prover runs");
-                envelope.encode().expect("encode evidence")
-            }
-            3 => {
-                let (_, run) =
-                    ProverSession::new(&mut prover).respond(&decoded).expect("prover runs");
-                let mut report = run.report;
-                let mut bytes = report.authenticator.as_bytes().to_vec();
-                bytes[0] ^= 0x01;
-                report.authenticator = Digest::from_bytes(bytes);
-                Envelope::new(id, Message::Evidence(EvidenceMsg { report }))
-                    .encode()
-                    .expect("encode forged evidence")
-            }
-            _ => ProverSession::new(&mut prover).handle_bytes(&challenge).expect("prover answers"),
-        };
-        fleet.challenges.push(challenge);
-        fleet.evidence.push(envelope);
-        fleet.inputs.push(input);
+    for slot in traffic {
+        fleet.challenges.push(slot.challenge);
+        fleet.evidence.push(slot.evidence);
+        fleet.inputs.push(slot.input);
     }
     fleet
 }
