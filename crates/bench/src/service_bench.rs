@@ -29,8 +29,11 @@ use lofat::wire::{Envelope, Message};
 use lofat::{EngineConfig, MeasurementDatabase, Prover, Verifier};
 use lofat_crypto::DeviceKey;
 use lofat_fleet::SlotBehaviour;
-use lofat_net::{ProverClient, ServerConfig, VerifierServer};
+use lofat_net::{
+    raise_nofile_limit, EventLoopServer, NetLimits, ProverClient, ServerConfig, VerifierServer,
+};
 use lofat_workloads::catalog;
+use std::net::TcpStream;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -58,6 +61,15 @@ pub struct ServiceBenchConfig {
     pub queue_capacity: usize,
     /// Envelopes per producer-side `submit_batch` call.
     pub submit_batch: usize,
+    /// Concurrent-connection counts for the event-loop sweep (each point
+    /// holds this many idle connections while `active_connections` clients
+    /// run round trips).
+    pub connection_counts: Vec<usize>,
+    /// Clients running verification round trips during each connection-sweep
+    /// point.
+    pub active_connections: usize,
+    /// Round trips each active client runs per connection-sweep point.
+    pub rounds_per_active: usize,
 }
 
 impl ServiceBenchConfig {
@@ -66,7 +78,13 @@ impl ServiceBenchConfig {
     /// committed full-shape baseline (throughput is a steady-state rate; the
     /// session count mostly sets how long the timed region lasts).
     pub fn smoke() -> Self {
-        Self { sessions: 96, ..Self::full() }
+        Self {
+            sessions: 96,
+            connection_counts: vec![64, 256],
+            active_connections: 8,
+            rounds_per_active: 4,
+            ..Self::full()
+        }
     }
 
     /// Full shape for the committed trajectory numbers.
@@ -78,6 +96,9 @@ impl ServiceBenchConfig {
             worker_counts: vec![1, 2, 4],
             queue_capacity: 256,
             submit_batch: 16,
+            connection_counts: vec![256, 4096, 10_000],
+            active_connections: 32,
+            rounds_per_active: 8,
         }
     }
 }
@@ -121,6 +142,32 @@ pub struct CachePathSample {
     pub cache_misses: u64,
 }
 
+/// One point of the concurrent-connection sweep: `held` idle connections
+/// parked on an [`EventLoopServer`] while `active` clients run verification
+/// round trips — the scaling claim of the readiness-driven transport in one
+/// number (no per-connection threads: 10k connections is 10k entries in one
+/// epoll set, and the active round trips must not degrade).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConnectionSample {
+    /// The sweep's target connection count for this point.
+    pub connections: usize,
+    /// Idle connections actually held open (clamped when the file-descriptor
+    /// budget cannot be raised far enough).
+    pub held: usize,
+    /// Clients running round trips concurrently with the idle herd.
+    pub active: usize,
+    /// Total verification round trips completed across the active clients.
+    pub round_trips: u64,
+    /// Round trips per wall-clock second.
+    pub round_trips_per_sec: f64,
+    /// Median client-observed round-trip latency, microseconds.
+    pub p50_latency_us: f64,
+    /// 99th-percentile client-observed round-trip latency, microseconds.
+    pub p99_latency_us: f64,
+    /// Accepting verdicts (must equal `round_trips` for the honest sweep).
+    pub accepted: u64,
+}
+
 /// Everything one serve-bench run produces.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServiceBenchReport {
@@ -142,6 +189,10 @@ pub struct ServiceBenchReport {
     /// queue + verification), so loopback rows are expected to sit above the
     /// in-process ones — the gap *is* the measured transport cost.
     pub loopback: Vec<SweepSample>,
+    /// The concurrent-connection sweep over the readiness-driven
+    /// [`EventLoopServer`]: one sample per entry of
+    /// `config.connection_counts`.
+    pub connections: Vec<ConnectionSample>,
 }
 
 impl ServiceBenchReport {
@@ -231,6 +282,11 @@ pub fn measure(config: &ServiceBenchConfig) -> ServiceBenchReport {
         .iter()
         .map(|&workers| loopback_point(config, &db, &key, &input, &evidence, workers))
         .collect();
+    let connections = config
+        .connection_counts
+        .iter()
+        .map(|&count| connection_point(config, &db, &key, &input, &evidence, count))
+        .collect();
 
     ServiceBenchReport {
         config: config.clone(),
@@ -239,6 +295,7 @@ pub fn measure(config: &ServiceBenchConfig) -> ServiceBenchReport {
         cache,
         samples,
         loopback,
+        connections,
     }
 }
 
@@ -419,12 +476,12 @@ fn loopback_point(
         for (mut client, mine) in prepared {
             let replies = &replies;
             scope.spawn(move || {
+                let mut raw = client.raw();
                 let mut local = Vec::with_capacity(mine.len());
                 for bytes in mine {
                     let sent = Instant::now();
-                    client.send_frame(&bytes).expect("submit evidence frame");
-                    let reply =
-                        client.recv_frame().expect("read verdict frame").expect("server answered");
+                    raw.send(&bytes).expect("submit evidence frame");
+                    let reply = raw.recv().expect("read verdict frame").expect("server answered");
                     let accepted = matches!(
                         Envelope::decode(&reply).expect("verdict decodes").message,
                         Message::Verdict(v) if v.accepted
@@ -446,6 +503,120 @@ fn loopback_point(
     SweepSample {
         workers,
         sessions_per_sec: config.sessions as f64 / elapsed.as_secs_f64(),
+        p50_latency_us: percentile_us(&latencies, 0.50),
+        p99_latency_us: percentile_us(&latencies, 0.99),
+        accepted,
+    }
+}
+
+/// One concurrent-connection sweep point (see [`ConnectionSample`]): park
+/// `count` idle connections on an [`EventLoopServer`], then run
+/// `active_connections × rounds_per_active` verification round trips through
+/// it while the herd sits there.
+///
+/// The server's read deadline is disabled for this point — the idle herd is
+/// the subject, not a slow-loris attack — and the file-descriptor budget is
+/// raised to cover both sides of every loopback connection (the idle count
+/// is clamped to whatever budget the host actually grants, recorded in
+/// [`ConnectionSample::held`]).
+fn connection_point(
+    config: &ServiceBenchConfig,
+    db: &MeasurementDatabase,
+    key: &DeviceKey,
+    input: &[u32],
+    evidence: &[Vec<u8>],
+    count: usize,
+) -> ConnectionSample {
+    let active = config.active_connections.max(1);
+    let rounds = config.rounds_per_active.max(1);
+    let round_trips = (active * rounds).min(evidence.len());
+    let evidence = &evidence[..round_trips];
+
+    // Both ends of every loopback connection live in this process: two
+    // descriptors per connection, plus listener/epoll/pool overhead.
+    let wanted = 2 * (count + active) as u64 + 256;
+    let budget = raise_nofile_limit(wanted);
+    let held = if budget >= wanted {
+        count
+    } else {
+        (budget.saturating_sub(2 * active as u64 + 256) / 2).min(count as u64) as usize
+    };
+
+    let service = Arc::new(VerifierService::new(
+        db.clone(),
+        key.verification_key(),
+        ServiceConfig::sharded(config.shards),
+    ));
+    for _ in 0..round_trips {
+        service.open_session(input.to_vec()).expect("open session");
+    }
+    let workers = config.worker_counts.iter().copied().max().unwrap_or(1);
+    let server_config = ServerConfig {
+        max_connections: held + active + 8,
+        limits: NetLimits::server().with_read_timeout(None),
+        pool: PoolConfig { workers, queue_capacity: config.queue_capacity, drain_burst: 8 },
+        ..ServerConfig::default()
+    };
+    let server = EventLoopServer::bind("127.0.0.1:0", Arc::clone(&service), server_config)
+        .expect("bind event-loop server");
+    let addr = server.local_addr();
+
+    // Park the idle herd.  Holding the streams keeps the connections alive;
+    // they never send a byte.
+    let idle: Vec<TcpStream> =
+        (0..held).map(|_| TcpStream::connect(addr).expect("connect idle client")).collect();
+    // Wait until the event loop has actually accepted the whole herd, so the
+    // timed region measures round trips *through* a full epoll set.
+    let patience = Instant::now();
+    while server.active_connections() < held && patience.elapsed() < Duration::from_secs(60) {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(server.active_connections() >= held, "event loop accepted the idle herd");
+
+    let prepared: Vec<(ProverClient, Vec<Vec<u8>>)> = (0..active)
+        .map(|client| {
+            let mine: Vec<Vec<u8>> =
+                evidence.iter().skip(client).step_by(active).cloned().collect();
+            (ProverClient::connect(addr).expect("connect active client"), mine)
+        })
+        .collect();
+    let replies: Mutex<Vec<(Duration, bool)>> = Mutex::new(Vec::with_capacity(round_trips));
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for (mut client, mine) in prepared {
+            let replies = &replies;
+            scope.spawn(move || {
+                let mut raw = client.raw();
+                let mut local = Vec::with_capacity(mine.len());
+                for bytes in mine {
+                    let sent = Instant::now();
+                    raw.send(&bytes).expect("submit evidence frame");
+                    let reply = raw.recv().expect("read verdict frame").expect("server answered");
+                    let accepted = matches!(
+                        Envelope::decode(&reply).expect("verdict decodes").message,
+                        Message::Verdict(v) if v.accepted
+                    );
+                    local.push((sent.elapsed(), accepted));
+                }
+                replies.lock().expect("reply lock").extend(local);
+            });
+        }
+    });
+    let elapsed = start.elapsed();
+    drop(idle);
+    server.shutdown();
+
+    let replies = replies.into_inner().expect("reply lock");
+    let accepted = replies.iter().filter(|(_, accepted)| *accepted).count() as u64;
+    let mut latencies: Vec<Duration> = replies.iter().map(|(latency, _)| *latency).collect();
+    latencies.sort_unstable();
+
+    ConnectionSample {
+        connections: count,
+        held,
+        active,
+        round_trips: round_trips as u64,
+        round_trips_per_sec: round_trips as f64 / elapsed.as_secs_f64(),
         p50_latency_us: percentile_us(&latencies, 0.50),
         p99_latency_us: percentile_us(&latencies, 0.99),
         accepted,
@@ -474,6 +645,9 @@ pub fn to_json(report: &ServiceBenchReport) -> String {
          cost. cache_path replays the same evidence single-threaded against a warm \
          default-capacity verdict cache (one untimed priming miss, then all hits) and against \
          a cache-disabled service; warm_speedup is the verification cost the cache removes. \
+         connection_sweep parks `held` idle connections on a lofat-net EventLoopServer (one \
+         epoll loop thread, no per-connection threads) and times `active` clients' verification \
+         round trips through the full set; latencies are client-observed round trips. \
          Regenerate with `lofat serve-bench`.",
     );
     w.begin_object(Some("service"));
@@ -511,6 +685,22 @@ pub fn to_json(report: &ServiceBenchReport) -> String {
     // Loopback-socket rows: same shape, latencies are client-observed round
     // trips over TCP (`producers` is the client-connection count).
     sweep_rows(&mut w, "loopback_sweep", &report.loopback);
+    // Concurrent-connection rows: idle herd held on the event-loop server
+    // while the active clients run round trips through it.
+    w.begin_array(Some("connection_sweep"));
+    for sample in &report.connections {
+        w.begin_object(None);
+        w.field_u64("connections", sample.connections as u64);
+        w.field_u64("held", sample.held as u64);
+        w.field_u64("active", sample.active as u64);
+        w.field_u64("round_trips", sample.round_trips);
+        w.field_f64("round_trips_per_sec", sample.round_trips_per_sec, 1);
+        w.field_f64("p50_latency_us", sample.p50_latency_us, 1);
+        w.field_f64("p99_latency_us", sample.p99_latency_us, 1);
+        w.field_u64("accepted", sample.accepted);
+        w.end_object();
+    }
+    w.end_array();
     w.end_object();
     w.end_object();
     w.finish()
@@ -538,6 +728,9 @@ mod tests {
             worker_counts: vec![1, 2],
             queue_capacity: 8,
             submit_batch: 2,
+            connection_counts: vec![4],
+            active_connections: 2,
+            rounds_per_active: 3,
         };
         let report = measure(&config);
         assert_eq!(report.samples.len(), 2);
@@ -546,6 +739,12 @@ mod tests {
             assert_eq!(sample.accepted, 6, "honest sweep must accept everything");
             assert!(sample.sessions_per_sec > 0.0);
         }
+        assert_eq!(report.connections.len(), 1);
+        let point = &report.connections[0];
+        assert_eq!(point.held, 4, "tiny herd fits any fd budget");
+        assert_eq!(point.round_trips, 6, "2 active clients × 3 rounds");
+        assert_eq!(point.accepted, 6, "honest herd point accepts everything");
+        assert!(point.round_trips_per_sec > 0.0);
         assert_eq!(report.cache.sessions, 5, "one priming envelope, five timed");
         assert_eq!(report.cache.cache_misses, 1, "only the priming envelope misses");
         assert_eq!(report.cache.cache_hits, 5, "every timed warm envelope must hit");
@@ -560,5 +759,7 @@ mod tests {
         assert!(json.contains("\"warm_speedup\": "));
         assert!(json.contains("\"sweep\": ["));
         assert!(json.contains("\"loopback_sweep\": ["));
+        assert!(json.contains("\"connection_sweep\": ["));
+        assert!(json.contains("\"round_trips_per_sec\": "));
     }
 }

@@ -5,8 +5,9 @@
 //! Determinism is the whole point.  Traffic is pre-generated **once per
 //! section** against a throwaway template service ([`crate::driver`]); nonce
 //! determinism then lets the same bytes answer every fresh execution service,
-//! whether it sits behind [`lofat::ParallelVerifier`] or
-//! [`lofat_net::VerifierServer`].  Each scenario opens its sessions up front
+//! whether it sits behind [`lofat::ParallelVerifier`], a blocking
+//! [`lofat_net::VerifierServer`] or a readiness-driven
+//! [`lofat_net::EventLoopServer`].  Each scenario opens its sessions up front
 //! in slot order (asserting the issued challenges match the pre-generated
 //! bytes), drives phase 1 concurrently from `clients` workers over strided
 //! slots, then re-submits the replay-class slots in a sequential phase 2.
@@ -36,7 +37,7 @@ use lofat::{
     ServiceError, ServiceStats, Verifier, VerifierService,
 };
 use lofat_crypto::DeviceKey;
-use lofat_net::{NetError, ProverClient, ServerConfig, VerifierServer};
+use lofat_net::{EventLoopServer, NetError, NetLimits, ProverClient, ServerConfig, VerifierServer};
 use lofat_workloads::catalog;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -50,8 +51,10 @@ use std::time::{Duration, Instant};
 pub enum Transport {
     /// The in-process [`ParallelVerifier`] worker pool.
     Pool,
-    /// A live [`VerifierServer`] over loopback TCP.
+    /// A live blocking [`VerifierServer`] over loopback TCP.
     Socket,
+    /// A live readiness-driven [`EventLoopServer`] over loopback TCP.
+    Epoll,
 }
 
 impl Transport {
@@ -60,6 +63,7 @@ impl Transport {
         match self {
             Transport::Pool => "pool",
             Transport::Socket => "socket",
+            Transport::Epoll => "epoll",
         }
     }
 }
@@ -69,15 +73,17 @@ impl Transport {
 pub struct ExecOptions {
     /// Drive each job over the in-process pool.
     pub pool: bool,
-    /// Drive each job over a loopback TCP server.
+    /// Drive each job over a loopback blocking TCP server.
     pub socket: bool,
+    /// Drive each job over a loopback readiness-driven TCP server.
+    pub epoll: bool,
     /// Overrides every section's `scale` (CI smoke runs shrink here).
     pub scale_override: Option<usize>,
 }
 
 impl Default for ExecOptions {
     fn default() -> Self {
-        Self { pool: true, socket: true, scale_override: None }
+        Self { pool: true, socket: true, epoll: true, scale_override: None }
     }
 }
 
@@ -111,8 +117,8 @@ pub struct ScenarioOutcome {
 pub struct FleetReport {
     /// The spec's `fleet <name>` header.
     pub spec_name: String,
-    /// One outcome per executed job × transport, in job order with the pool
-    /// outcome (when enabled) before the socket outcome.
+    /// One outcome per executed job × transport, in job order with the
+    /// enabled transports in pool, socket, epoll order.
     pub outcomes: Vec<ScenarioOutcome>,
 }
 
@@ -495,17 +501,60 @@ fn run_pool_job(job: &Job, section: &SectionContext) -> Result<ScenarioOutcome, 
     Ok(collect_outcome(job, Transport::Pool, observations, &service))
 }
 
-/// Runs one job against a live loopback server.
-fn run_socket_job(job: &Job, section: &SectionContext) -> Result<ScenarioOutcome, ExecError> {
+/// Either live-server flavor behind the bits of surface the executor needs.
+enum AnyServer {
+    Blocking(VerifierServer),
+    Epoll(EventLoopServer),
+}
+
+impl AnyServer {
+    fn bind(
+        transport: Transport,
+        service: Arc<VerifierService>,
+        config: ServerConfig,
+    ) -> Result<Self, NetError> {
+        match transport {
+            Transport::Socket => {
+                Ok(AnyServer::Blocking(VerifierServer::bind("127.0.0.1:0", service, config)?))
+            }
+            Transport::Epoll => {
+                Ok(AnyServer::Epoll(EventLoopServer::bind("127.0.0.1:0", service, config)?))
+            }
+            Transport::Pool => unreachable!("pool jobs have no server"),
+        }
+    }
+
+    fn local_addr(&self) -> std::net::SocketAddr {
+        match self {
+            AnyServer::Blocking(server) => server.local_addr(),
+            AnyServer::Epoll(server) => server.local_addr(),
+        }
+    }
+
+    fn shutdown(self) {
+        match self {
+            AnyServer::Blocking(server) => server.shutdown(),
+            AnyServer::Epoll(server) => server.shutdown(),
+        }
+    }
+}
+
+/// Runs one job against a live loopback server of the given flavor.
+fn run_socket_job(
+    job: &Job,
+    section: &SectionContext,
+    transport: Transport,
+) -> Result<ScenarioOutcome, ExecError> {
     let (service, workers) = fresh_service(section, job.clients);
     let config = ServerConfig {
         max_connections: job.clients + job.scale + 8,
-        read_timeout: Some(Duration::from_secs(5)),
-        write_timeout: Some(Duration::from_secs(5)),
+        limits: NetLimits::server()
+            .with_read_timeout(Some(Duration::from_secs(5)))
+            .with_write_timeout(Some(Duration::from_secs(5))),
         pool: PoolConfig::with_workers(workers),
         ..ServerConfig::default()
     };
-    let server = VerifierServer::bind("127.0.0.1:0", Arc::clone(&service), config)?;
+    let server = AnyServer::bind(transport, Arc::clone(&service), config)?;
     let addr = server.local_addr();
     let outcome = (|| -> Result<ScenarioOutcome, ExecError> {
         // One opener requests every challenge in slot order, so session ids
@@ -524,7 +573,7 @@ fn run_socket_job(job: &Job, section: &SectionContext) -> Result<ScenarioOutcome
             observations.push(Observation { code: verdict.reason_code, latency_us: None });
         }
         drop(opener);
-        Ok(collect_outcome(job, Transport::Socket, observations, &service))
+        Ok(collect_outcome(job, transport, observations, &service))
     })();
     server.shutdown();
     outcome
@@ -556,7 +605,10 @@ pub fn run(spec: &FleetSpec, options: ExecOptions) -> Result<FleetReport, ExecEr
             outcomes.push(run_pool_job(job, section)?);
         }
         if options.socket {
-            outcomes.push(run_socket_job(job, section)?);
+            outcomes.push(run_socket_job(job, section, Transport::Socket)?);
+        }
+        if options.epoll {
+            outcomes.push(run_socket_job(job, section, Transport::Epoll)?);
         }
     }
     Ok(FleetReport { spec_name: spec.name.clone(), outcomes })
@@ -585,21 +637,26 @@ mod tests {
     }
 
     #[test]
-    fn a_tiny_fleet_runs_identically_on_both_transports() {
+    fn a_tiny_fleet_runs_identically_on_every_transport() {
         let spec = FleetSpec::parse(
             "fleet unit\nscale = 4\n[workload fig4-loop]\nadversaries = honest, forge\nfaults = none, duplicate-frame\n",
         )
         .unwrap();
         let report = run(&spec, ExecOptions::default()).expect("runs");
-        assert_eq!(report.outcomes.len(), 4, "2 jobs × 2 transports");
-        for pair in report.outcomes.chunks(2) {
-            let (pool, socket) = (&pair[0], &pair[1]);
+        assert_eq!(report.outcomes.len(), 6, "2 jobs × 3 transports");
+        for group in report.outcomes.chunks(3) {
+            let pool = &group[0];
             assert_eq!(pool.transport, Transport::Pool);
-            assert_eq!(socket.transport, Transport::Socket);
-            assert_eq!(pool.verdicts, socket.verdicts, "{}", pool.job.label());
-            assert!(pool.conserved && socket.conserved);
-            assert_eq!(pool.stats.accepted, socket.stats.accepted);
-            assert_eq!(pool.live, socket.live);
+            assert_eq!(group[1].transport, Transport::Socket);
+            assert_eq!(group[2].transport, Transport::Epoll);
+            for other in &group[1..] {
+                let label = format!("{} vs {}", pool.job.label(), other.transport.name());
+                assert_eq!(pool.verdicts, other.verdicts, "{label}");
+                assert!(other.conserved, "{label}");
+                assert_eq!(pool.stats.accepted, other.stats.accepted, "{label}");
+                assert_eq!(pool.live, other.live, "{label}");
+            }
+            assert!(pool.conserved);
         }
         let first = &report.outcomes[0];
         assert_eq!(first.accepted_verdicts, 2, "two honest slots of four");

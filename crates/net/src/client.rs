@@ -6,33 +6,52 @@
 //! carrying the stable [`lofat::wire::code`] reason codes.  The attested
 //! execution itself is exactly the in-process one — the network adds no
 //! semantics, which is what `tests/e14_network.rs` proves differentially.
+//!
+//! The typed methods ([`ProverClient::request_challenge`],
+//! [`ProverClient::submit_evidence`], [`ProverClient::attest`]) keep the
+//! connection in a strict request/reply rhythm.  Code that needs to put
+//! arbitrary bytes on the wire — the fuzz suites, pipelined benchmarks —
+//! takes the [`RawFrameIo`] handle via [`ProverClient::raw`]; the borrow
+//! makes the escape hatch explicit and keeps raw and typed traffic from
+//! interleaving by accident.
 
 use crate::error::NetError;
-use crate::frame::{read_frame, write_frame, DEFAULT_MAX_FRAME_BYTES};
+use crate::frame::{read_frame, write_frame};
+use crate::limits::NetLimits;
 use lofat::prover::{Adversary, NoAdversary, Prover};
 use lofat::session::ProverSession;
 use lofat::wire::{Envelope, Message, SessionId, SessionRequestMsg, VerdictMsg};
 use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
 
 /// Tunables of a [`ProverClient`].
+///
+/// The deadline and size knobs moved into [`ClientConfig::limits`] when
+/// [`NetLimits`] unified them across transports (`config.read_timeout` →
+/// `config.limits.read_timeout`, and so on).
 #[derive(Debug, Clone)]
 pub struct ClientConfig {
-    /// Socket read deadline (`None` waits forever).
-    pub read_timeout: Option<Duration>,
-    /// Socket write deadline.
-    pub write_timeout: Option<Duration>,
-    /// Maximum accepted frame payload, in bytes.
-    pub max_frame_bytes: usize,
+    /// Socket deadlines and frame bound — see [`NetLimits`].  Defaults to
+    /// [`NetLimits::client`] (30 s deadlines: the client waits on
+    /// verification work, not just I/O).
+    #[doc(alias = "read_timeout")]
+    #[doc(alias = "write_timeout")]
+    #[doc(alias = "max_frame_bytes")]
+    pub limits: NetLimits,
+}
+
+impl ClientConfig {
+    /// A config with explicit limits (`ClientConfig { limits }` spelled as a
+    /// builder).
+    #[must_use]
+    pub fn with_limits(limits: NetLimits) -> Self {
+        Self { limits }
+    }
 }
 
 impl Default for ClientConfig {
+    /// The client-side limits ([`NetLimits::client`]).
     fn default() -> Self {
-        Self {
-            read_timeout: Some(Duration::from_secs(30)),
-            write_timeout: Some(Duration::from_secs(30)),
-            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
-        }
+        Self { limits: NetLimits::client() }
     }
 }
 
@@ -49,9 +68,11 @@ pub struct NetAttestation {
     pub verdict: VerdictMsg,
 }
 
-/// A connection to a remote [`crate::VerifierServer`].
+/// A connection to a remote [`crate::VerifierServer`] or
+/// [`crate::EventLoopServer`].
 ///
-/// One client connection may run any number of sessions back to back; see
+/// One client connection may run any number of sessions back to back — or
+/// interleaved, when driven through [`ProverClient::raw`]; see
 /// [`crate::VerifierServer`] for a complete round-trip example.
 #[derive(Debug)]
 pub struct ProverClient {
@@ -66,7 +87,7 @@ impl ProverClient {
     ///
     /// Returns [`NetError::Io`] if the connection cannot be established.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, NetError> {
-        Self::connect_with(addr, &ClientConfig::default())
+        Self::connect_with(addr, ClientConfig::default())
     }
 
     /// Connects with explicit deadlines and frame bound.
@@ -74,30 +95,29 @@ impl ProverClient {
     /// # Errors
     ///
     /// Returns [`NetError::Io`] if the connection cannot be established.
-    pub fn connect_with(addr: impl ToSocketAddrs, config: &ClientConfig) -> Result<Self, NetError> {
+    pub fn connect_with(addr: impl ToSocketAddrs, config: ClientConfig) -> Result<Self, NetError> {
         let stream = TcpStream::connect(addr)?;
-        stream.set_read_timeout(config.read_timeout)?;
-        stream.set_write_timeout(config.write_timeout)?;
+        stream.set_read_timeout(config.limits.read_timeout)?;
+        stream.set_write_timeout(config.limits.write_timeout)?;
         stream.set_nodelay(true)?;
-        Ok(Self { stream, max_frame_bytes: config.max_frame_bytes })
+        Ok(Self { stream, max_frame_bytes: config.limits.max_frame_bytes })
     }
 
-    /// Sends one raw frame (any payload — the fuzz suites use this to put
-    /// hostile bytes on the wire).
+    /// The raw-frame escape hatch: send and receive arbitrary frame payloads
+    /// on this connection (the fuzz suites put hostile bytes on the wire
+    /// through this; pipelined drivers send several frames before reading).
     ///
-    /// # Errors
-    ///
-    /// Propagates framing and socket failures.
-    pub fn send_frame(&mut self, payload: &[u8]) -> Result<(), NetError> {
+    /// While the returned handle lives, the typed methods are unborrowable —
+    /// raw and typed traffic cannot interleave by accident.
+    pub fn raw(&mut self) -> RawFrameIo<'_> {
+        RawFrameIo { client: self }
+    }
+
+    fn send_frame(&mut self, payload: &[u8]) -> Result<(), NetError> {
         write_frame(&mut self.stream, payload, self.max_frame_bytes)
     }
 
-    /// Receives one raw frame payload; `None` when the server closed cleanly.
-    ///
-    /// # Errors
-    ///
-    /// Propagates framing and socket failures.
-    pub fn recv_frame(&mut self) -> Result<Option<Vec<u8>>, NetError> {
+    fn recv_frame(&mut self) -> Result<Option<Vec<u8>>, NetError> {
         read_frame(&mut self.stream, self.max_frame_bytes)
     }
 
@@ -193,5 +213,32 @@ impl ProverClient {
         let evidence_bytes = evidence.encode().map_err(NetError::Wire)?;
         let (_, verdict) = self.submit_evidence(&evidence_bytes)?;
         Ok(NetAttestation { session, challenge_bytes, evidence_bytes, verdict })
+    }
+}
+
+/// Raw frame I/O on a borrowed [`ProverClient`] connection — the explicit
+/// escape hatch below the typed protocol (see [`ProverClient::raw`]).
+#[derive(Debug)]
+pub struct RawFrameIo<'a> {
+    client: &'a mut ProverClient,
+}
+
+impl RawFrameIo<'_> {
+    /// Sends one raw frame (any payload — hostile bytes included).
+    ///
+    /// # Errors
+    ///
+    /// Propagates framing and socket failures.
+    pub fn send(&mut self, payload: &[u8]) -> Result<(), NetError> {
+        self.client.send_frame(payload)
+    }
+
+    /// Receives one raw frame payload; `None` when the server closed cleanly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates framing and socket failures.
+    pub fn recv(&mut self) -> Result<Option<Vec<u8>>, NetError> {
+        self.client.recv_frame()
     }
 }

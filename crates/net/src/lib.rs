@@ -12,12 +12,23 @@
 //!
 //! * [`frame`] — length-prefixed framing with partial-read/short-write
 //!   handling and a hostile-length bound;
-//! * [`VerifierServer`] — a `TcpListener` front-end for a shared
-//!   `VerifierService`: bounded accept queue, per-connection deadlines,
-//!   verification on the `ParallelVerifier` pool, graceful shutdown that
-//!   drains in-flight verdicts;
+//! * [`Connection`] — the sans-I/O per-connection state machine (bytes in →
+//!   frames, frames out → bytes, deadlines, session multiplexing, typed
+//!   [`CloseReason`]s) that **both** transports drive, so their semantics
+//!   agree by construction;
+//! * [`VerifierServer`] — the blocking transport: one thread per connection,
+//!   bounded accept queue, socket deadlines, verification on the
+//!   `ParallelVerifier` pool, graceful shutdown that drains in-flight
+//!   verdicts;
+//! * [`EventLoopServer`] — the readiness-driven transport: every connection
+//!   multiplexed onto one epoll loop thread (10k+ concurrent connections),
+//!   same config, same semantics;
+//! * [`NetLimits`] — the deadline/size knobs shared by [`ServerConfig`] and
+//!   [`ClientConfig`];
 //! * [`ProverClient`] — drives a `ProverSession` bytes-in/bytes-out against a
-//!   remote verifier;
+//!   remote verifier; [`RawFrameIo`] (via [`ProverClient::raw`]) is the
+//!   escape hatch for arbitrary frames — fuzzing, pipelining, interleaved
+//!   sessions;
 //! * [`NetError`] — typed failures mapping wire rejections onto the stable
 //!   [`lofat::wire::code`] reason codes.
 //!
@@ -34,17 +45,25 @@
 //! ```
 //!
 //! Everything is std (`TcpListener`/`TcpStream` + threads); the crate adds no
-//! dependencies beyond the workspace's own.
+//! dependencies beyond the workspace's own.  The only unsafe code is the
+//! epoll/rlimit syscall shims in [`event_loop`], each confined to a tiny
+//! `sys`-style module.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod conn;
 pub mod error;
+pub mod event_loop;
 pub mod frame;
+pub mod limits;
 pub mod server;
 
-pub use client::{ClientConfig, NetAttestation, ProverClient};
+pub use client::{ClientConfig, NetAttestation, ProverClient, RawFrameIo};
+pub use conn::{Admission, CloseReason, Connection};
 pub use error::NetError;
+pub use event_loop::{raise_nofile_limit, EventLoopServer};
 pub use frame::{DEFAULT_MAX_FRAME_BYTES, FRAME_HEADER_BYTES};
+pub use limits::{NetLimits, DEFAULT_MAX_SESSIONS_PER_CONNECTION};
 pub use server::{ServerConfig, VerifierServer};

@@ -1,4 +1,5 @@
-//! `VerifierServer` — the sharded verifier service behind a TCP listener.
+//! `VerifierServer` — the sharded verifier service behind a TCP listener,
+//! one blocking thread per connection.
 //!
 //! The server owns three layers the rest of the workspace already provides
 //! and adds only transport:
@@ -8,8 +9,11 @@
 //!   pulling from the kernel backlog until a slot frees, so a connection
 //!   flood backpressures at the socket layer instead of spawning unbounded
 //!   threads;
-//! * one handler thread per connection enforcing **per-connection read/write
-//!   deadlines** and the frame-size bound of [`crate::frame`];
+//! * one handler thread per connection driving the sans-I/O
+//!   [`Connection`] state machine (frame reassembly, session multiplexing,
+//!   typed close reasons — shared verbatim with the readiness-driven
+//!   [`crate::EventLoopServer`]), with **per-connection read/write
+//!   deadlines** enforced by the socket timeouts;
 //! * the existing [`ParallelVerifier`] worker pool: every evidence frame is a
 //!   `handle_bytes` job, so verification parallelism and verdict semantics
 //!   are exactly those of the in-process service.
@@ -21,42 +25,50 @@
 //! existed, are reported through [`VerifierService::reject_unparseable`] —
 //! the same `record_verdict` path — so the conservation law
 //! `opened == accepted + sessions_rejected + expired + live` holds over
-//! socket traffic exactly as it does in-process.  Session-request *refusals*
-//! (unknown input, capacity, wrong program) mirror the typed
-//! [`VerifierService::open_session`] errors, which touch no counters either.
+//! socket traffic exactly as it does in-process.  The mapping from close
+//! reason to book entry lives on [`CloseReason::wire_error`], shared by both
+//! transports.  Session-request *refusals* (unknown input, capacity, wrong
+//! program) mirror the typed [`VerifierService::open_session`] errors, which
+//! touch no counters either.
 //!
 //! Shutdown is graceful: [`VerifierServer::shutdown`] stops the acceptor,
 //! nudges idle connections closed, waits for handlers to finish writing the
 //! replies already in flight, and drains the pool queue before returning.
 
+use crate::conn::{
+    session_limit_refusal, session_request_reply, Admission, CloseReason, Connection,
+};
 use crate::error::NetError;
-use crate::frame::{read_frame, write_frame, DEFAULT_MAX_FRAME_BYTES};
+use crate::frame::write_frame;
+use crate::limits::NetLimits;
 use lofat::pool::{ParallelVerifier, PoolConfig};
 use lofat::service::{ServiceError, VerifierService};
-use lofat::wire::{code, Envelope, Message, SessionId, SessionRequestMsg, VerdictMsg, WireError};
+use lofat::wire::{Envelope, Message, SessionId};
 use std::collections::HashMap;
-use std::io::Write as _;
+use std::io::{ErrorKind, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
 
-/// Tunables of a [`VerifierServer`].
+/// Tunables of a [`VerifierServer`] (and of an [`crate::EventLoopServer`] —
+/// both transports share this config).
+///
+/// The per-connection deadline and size knobs moved into
+/// [`ServerConfig::limits`] when [`NetLimits`] unified them across transports
+/// (`config.read_timeout` → `config.limits.read_timeout`, and so on).
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Maximum connections served concurrently; the acceptor waits for a free
     /// slot beyond this (bounded accept queue).
     pub max_connections: usize,
-    /// Per-connection read deadline (`None` waits forever; the default is
-    /// finite so half-open peers and slow-loris writers cannot pin a handler,
-    /// and so shutdown is never blocked on an idle connection).
-    pub read_timeout: Option<Duration>,
-    /// Per-connection write deadline.
-    pub write_timeout: Option<Duration>,
-    /// Maximum accepted frame payload, in bytes.
-    pub max_frame_bytes: usize,
+    /// Per-connection deadlines, frame bound and session-multiplex cap —
+    /// see [`NetLimits`].
+    #[doc(alias = "read_timeout")]
+    #[doc(alias = "write_timeout")]
+    #[doc(alias = "max_frame_bytes")]
+    pub limits: NetLimits,
     /// Worker-pool shape for the verification work (see [`PoolConfig`]).
     pub pool: PoolConfig,
     /// When set, every connection event is appended to this file as it
@@ -70,9 +82,7 @@ impl Default for ServerConfig {
     fn default() -> Self {
         Self {
             max_connections: 64,
-            read_timeout: Some(Duration::from_secs(10)),
-            write_timeout: Some(Duration::from_secs(10)),
-            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            limits: NetLimits::server(),
             pool: PoolConfig::default(),
             log_path: None,
         }
@@ -82,13 +92,13 @@ impl Default for ServerConfig {
 /// Cap on the in-memory event log (oldest entries are dropped first).
 const MAX_LOG_LINES: usize = 4096;
 
-struct EventLog {
+pub(crate) struct EventLog {
     lines: Mutex<(u64, std::collections::VecDeque<String>)>,
     file: Option<Mutex<std::fs::File>>,
 }
 
 impl EventLog {
-    fn new(path: Option<&PathBuf>) -> Self {
+    pub(crate) fn new(path: Option<&PathBuf>) -> Self {
         let file = path.and_then(|p| {
             if let Some(dir) = p.parent() {
                 let _ = std::fs::create_dir_all(dir);
@@ -98,7 +108,7 @@ impl EventLog {
         Self { lines: Mutex::new((0, std::collections::VecDeque::new())), file }
     }
 
-    fn push(&self, event: String) {
+    pub(crate) fn push(&self, event: String) {
         let line = {
             let mut lines = self.lines.lock().expect("log lock poisoned");
             lines.0 += 1;
@@ -115,7 +125,7 @@ impl EventLog {
         }
     }
 
-    fn snapshot(&self) -> Vec<String> {
+    pub(crate) fn snapshot(&self) -> Vec<String> {
         self.lines.lock().expect("log lock poisoned").1.iter().cloned().collect()
     }
 }
@@ -132,9 +142,7 @@ struct Connections {
 struct Shared {
     service: Arc<VerifierService>,
     pool: ParallelVerifier,
-    read_timeout: Option<Duration>,
-    write_timeout: Option<Duration>,
-    max_frame_bytes: usize,
+    limits: NetLimits,
     max_connections: usize,
     shutting_down: AtomicBool,
     connections: Mutex<Connections>,
@@ -144,7 +152,8 @@ struct Shared {
     log: EventLog,
 }
 
-/// A verifier service listening on a TCP socket.
+/// A verifier service listening on a TCP socket, serving each connection on
+/// its own blocking thread.
 ///
 /// Each accepted connection speaks length-prefixed [`Envelope`] frames (see
 /// [`crate::frame`]): a [`Message::SessionRequest`] opens a session and is
@@ -152,7 +161,13 @@ struct Shared {
 /// [`ParallelVerifier`] pool and answered with the verdict; anything else —
 /// including bytes that do not decode at all — is answered with the rejecting
 /// verdict the in-process [`VerifierService`] produces for the same input.
-/// One connection may run any number of sessions back to back.
+/// One connection may interleave any number of sessions (up to
+/// [`NetLimits::max_sessions_per_connection`]) and pipeline frames —
+/// replies always come back in frame order.
+///
+/// For thousands of mostly-idle connections, prefer the readiness-driven
+/// [`crate::EventLoopServer`], which serves the same protocol from one
+/// thread; this server spends a thread (and its stack) per connection.
 ///
 /// # Example
 ///
@@ -221,9 +236,7 @@ impl VerifierServer {
         let shared = Arc::new(Shared {
             service,
             pool,
-            read_timeout: config.read_timeout,
-            write_timeout: config.write_timeout,
-            max_frame_bytes: config.max_frame_bytes,
+            limits: config.limits,
             max_connections: config.max_connections.max(1),
             shutting_down: AtomicBool::new(false),
             connections: Mutex::new(Connections::default()),
@@ -297,7 +310,7 @@ impl VerifierServer {
         // before serving anything it accepts.
         self.shared.slot_freed.notify_all();
         // Close the read half of every live connection: handlers blocked in
-        // `read_frame` observe EOF and wind down after flushing their reply;
+        // a read observe EOF and wind down after flushing their reply;
         // handlers mid-verification still write their verdict (the write
         // half stays open).  This must happen before joining the acceptor —
         // the acceptor joins the handlers, and a handler parked in a read
@@ -408,148 +421,112 @@ fn release_slot(shared: &Shared, id: Option<u64>) {
 }
 
 /// Serves one connection until the peer closes, a deadline fires, framing
-/// desynchronises, or shutdown is requested.
+/// desynchronises, or shutdown is requested.  The [`Connection`] machine
+/// decides *what* happens; this driver only moves bytes and blocks.
 fn serve_connection(shared: &Shared, mut stream: TcpStream, id: u64) {
-    let _ = stream.set_read_timeout(shared.read_timeout);
-    let _ = stream.set_write_timeout(shared.write_timeout);
+    let _ = stream.set_read_timeout(shared.limits.read_timeout);
+    let _ = stream.set_write_timeout(shared.limits.write_timeout);
     // Verdicts are small frames in a request/response rhythm: never let
     // Nagle hold one back waiting for payload that is not coming.
     let _ = stream.set_nodelay(true);
+    // Deadlines are enforced by the socket timeouts on this transport, so
+    // the machine's own clocks are never ticked here.
+    let mut conn = Connection::new(&shared.limits, 0);
     let mut frames = 0u64;
-    loop {
-        let frame = match read_frame(&mut stream, shared.max_frame_bytes) {
-            Ok(Some(frame)) => frame,
-            Ok(None) => {
-                shared.log.push(format!("close id={id} frames={frames} (peer closed)"));
-                return;
+    let mut buf = [0u8; 16 * 1024];
+    let close = 'serve: loop {
+        // Drain every complete frame (a pipelining client may have several
+        // buffered) before touching the socket again.
+        loop {
+            let frame = match conn.next_frame() {
+                Ok(Some(frame)) => frame,
+                Ok(None) => break,
+                Err(reason) => break 'serve reason,
+            };
+            let reply = match dispatch_frame(shared, &mut conn, frame) {
+                Ok(reply) => reply,
+                Err(e) => break 'serve CloseReason::ServiceError(e.to_string()),
+            };
+            // Count the frame *before* the reply hits the wire: the instant
+            // the peer can observe its verdict, the counter already includes
+            // it.
+            frames += 1;
+            shared.frames_served.fetch_add(1, Ordering::Relaxed);
+            if let Err(reason) = conn.frame_out(&reply) {
+                break 'serve reason;
             }
-            Err(NetError::FrameTooLarge { len, max }) => {
-                // The length prefix itself is hostile.  No complete byte
-                // string exists to feed `handle_bytes`, so report it through
-                // the service's shared accounting path, answer the verdict,
-                // and close (the stream cannot be resynchronised).
-                if let Ok(reply) =
-                    shared.service.reject_unparseable(SessionId(0), &WireError::Oversized { len })
-                {
-                    let _ = write_frame(&mut stream, &reply, shared.max_frame_bytes);
-                }
-                shared.log.push(format!(
-                    "close id={id} frames={frames} (frame of {len} bytes exceeds {max})"
-                ));
-                return;
+            if let Err(reason) = flush_replies(&mut stream, &mut conn) {
+                break 'serve reason;
             }
-            Err(NetError::ClosedMidFrame { got, wanted }) => {
-                // A truncated frame still enters the books (same path as a
-                // truncated envelope through `handle_bytes`); the peer is
-                // gone, so there is nobody to answer.
-                let _ = shared.service.reject_unparseable(
-                    SessionId(0),
-                    &WireError::Truncated { needed: wanted, have: got },
-                );
-                shared
-                    .log
-                    .push(format!("close id={id} frames={frames} (mid-frame EOF {got}/{wanted})"));
-                return;
+            if shared.shutting_down.load(Ordering::SeqCst) {
+                break 'serve CloseReason::Shutdown;
             }
-            Err(NetError::Timeout { .. }) => {
-                shared.log.push(format!("close id={id} frames={frames} (read deadline)"));
-                return;
-            }
-            Err(e) => {
-                shared.log.push(format!("close id={id} frames={frames} (read error: {e})"));
-                return;
-            }
-        };
-        let reply = if is_session_request_frame(&frame) {
-            match Envelope::decode(&frame) {
-                Ok(Envelope { message: Message::SessionRequest(request), .. }) => {
-                    session_request_reply(shared, &request)
-                }
-                // The peek was optimistic; let the service classify whatever
-                // this really is (counted like any other malformed input).
-                _ => shared.service.handle_bytes(&frame),
-            }
-        } else {
-            // Evidence, misdirected kinds, replays and malformed bytes: all
-            // verification and classification runs on the pool via
-            // `handle_bytes`, which decodes exactly once and never panics.
-            shared.pool.submit(frame).wait().reply
-        };
-        let reply = match reply {
-            Ok(reply) => reply,
-            Err(e) => {
-                shared.log.push(format!("close id={id} frames={frames} (service error: {e})"));
-                return;
-            }
-        };
-        // Count the frame *before* the reply hits the wire: the instant the
-        // peer can observe its verdict, the counter already includes it.
-        frames += 1;
-        shared.frames_served.fetch_add(1, Ordering::Relaxed);
-        if let Err(e) = write_frame(&mut stream, &reply, shared.max_frame_bytes) {
-            shared.log.push(format!("close id={id} frames={frames} (write failed: {e})"));
-            return;
         }
-        if shared.shutting_down.load(Ordering::SeqCst) {
-            shared.log.push(format!("close id={id} frames={frames} (shutdown)"));
-            return;
+        match stream.read(&mut buf) {
+            Ok(0) => break conn.peer_closed(),
+            Ok(n) => conn.bytes_in(&buf[..n], 0),
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                break CloseReason::ReadDeadline;
+            }
+            Err(e) => break CloseReason::ReadError(e.to_string()),
         }
+    };
+    // Framing-level rejections enter the books through the shared mapping;
+    // an oversized announcement is also answered (the peer is still there).
+    if let Some(wire_error) = close.wire_error() {
+        match shared.service.reject_unparseable(SessionId(0), &wire_error) {
+            Ok(reply) if close.answers_peer() => {
+                let _ = write_frame(&mut stream, &reply, shared.limits.max_frame_bytes);
+            }
+            _ => {}
+        }
+    }
+    shared.log.push(format!("close id={id} frames={frames} ({close})"));
+}
+
+/// Dispatches one complete frame per its [`Admission`] and returns the reply
+/// bytes.  Session requests are answered inline (opening is cheap and must
+/// not queue behind evidence); everything else verifies on the pool.
+fn dispatch_frame(
+    shared: &Shared,
+    conn: &mut Connection,
+    frame: Vec<u8>,
+) -> Result<Vec<u8>, ServiceError> {
+    match conn.admit(&frame) {
+        Admission::SessionRequest => match Envelope::decode(&frame) {
+            Ok(Envelope { message: Message::SessionRequest(request), .. }) => {
+                session_request_reply(&shared.service, &request)
+            }
+            // The peek was optimistic; let the service classify whatever
+            // this really is (counted like any other malformed input).
+            _ => shared.service.handle_bytes(&frame),
+        },
+        Admission::SessionLimit { session } => {
+            session_limit_refusal(session, shared.limits.max_sessions_per_connection)
+        }
+        // Evidence, misdirected kinds, replays and malformed bytes: all
+        // verification and classification runs on the pool via
+        // `handle_bytes`, which decodes exactly once and never panics.
+        Admission::Verify => shared.pool.submit(frame).wait().reply,
     }
 }
 
-/// The serde variant index of [`Message::SessionRequest`] (pinned by the
-/// wire-format tests in `lofat::wire`): declaration order `Challenge` = 0,
-/// `Evidence` = 1, `Verdict` = 2, `SessionRequest` = 3.
-const SESSION_REQUEST_VARIANT: [u8; 4] = 3u32.to_le_bytes();
-
-/// Cheap structural peek: does this frame *look like* a current-version
-/// session-request envelope?  Avoids fully decoding evidence bodies (the
-/// largest message in the protocol) on the ingest thread just to learn the
-/// message kind — evidence goes to the pool, which decodes exactly once.  A
-/// false positive merely costs one inline decode; a false negative is
-/// impossible for well-formed frames (the fields checked here are fixed
-/// offsets of the envelope header).
-fn is_session_request_frame(frame: &[u8]) -> bool {
-    use lofat::wire::{HEADER_BYTES, WIRE_MAGIC, WIRE_VERSION};
-    frame.len() >= HEADER_BYTES + 4
-        && frame[..4] == WIRE_MAGIC
-        && frame[4..6] == WIRE_VERSION.to_le_bytes()
-        && frame[HEADER_BYTES..HEADER_BYTES + 4] == SESSION_REQUEST_VARIANT
-}
-
-/// Answers a [`Message::SessionRequest`]: the challenge envelope on success,
-/// a refusing verdict otherwise.  Refusals mirror the typed
-/// [`VerifierService::open_session`] errors, which do not touch statistics —
-/// an unopened session has nothing to conserve.
-fn session_request_reply(
-    shared: &Shared,
-    request: &SessionRequestMsg,
-) -> Result<Vec<u8>, ServiceError> {
-    let service = &shared.service;
-    let refusal = if request.program_id != service.program_id() {
-        VerdictMsg::rejected(
-            code::PROGRAM_ID_MISMATCH,
-            format!(
-                "this verifier attests `{}`, not `{}`",
-                service.program_id(),
-                request.program_id
-            ),
-        )
-    } else {
-        match service.open_session(request.input.clone()) {
-            Ok(id) => {
-                return service.challenge_envelope(id)?.encode().map_err(ServiceError::Wire);
+/// Blocks until the connection's staged reply bytes are on the wire.
+fn flush_replies(stream: &mut TcpStream, conn: &mut Connection) -> Result<(), CloseReason> {
+    while conn.wants_write() {
+        match stream.write(conn.bytes_out()) {
+            Ok(0) => return Err(CloseReason::WriteFailed("socket accepted no bytes".into())),
+            Ok(n) => conn.consume_out(n),
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => {
+                return Err(CloseReason::WriteFailed(
+                    NetError::from_io(e, "writing a frame").to_string(),
+                ));
             }
-            Err(ServiceError::UnknownInput { input }) => VerdictMsg::rejected(
-                code::UNKNOWN_INPUT,
-                format!("no reference measurement precomputed for input {input:?}"),
-            ),
-            Err(ServiceError::AtCapacity { live, max }) => VerdictMsg::rejected(
-                code::AT_CAPACITY,
-                format!("live-session limit reached ({live}/{max}), try again later"),
-            ),
-            Err(other) => VerdictMsg::rejected(code::INTERNAL_ERROR, other.to_string()),
         }
-    };
-    Envelope::new(SessionId(0), Message::Verdict(refusal)).encode().map_err(ServiceError::Wire)
+    }
+    stream
+        .flush()
+        .map_err(|e| CloseReason::WriteFailed(NetError::from_io(e, "flushing a frame").to_string()))
 }

@@ -36,6 +36,10 @@ rows are printed for the record but deliberately *not* gated: loopback
 round-trip latency is far more sensitive to kernel/scheduler noise on shared
 CI runners than the in-process numbers, and the transport adds no
 verification semantics to regress (e14 proves that differentially).
+The ``connection_sweep`` section (many idle connections held by the epoll
+event loop while a small active set round-trips) is treated the same way:
+printed, never gated — the held-connection counts depend on the runner's
+file-descriptor budget and the latencies on its scheduler.
 
 The regression gates are one-sided: faster-than-baseline runs always pass
 (refresh the committed baselines with ``lofat bench-json`` /
@@ -139,6 +143,25 @@ def loopback_info(document, path):
             )
         except (KeyError, TypeError, ValueError) as error:
             sys.exit(f"{path}: malformed loopback_sweep row: {error}")
+
+
+def connection_info(document, path):
+    """Prints the connection-sweep rows when present (informational only)."""
+    sweep = document.get("service", {}).get("connection_sweep")
+    if not sweep:
+        return
+    for sample in sweep:
+        try:
+            print(
+                f"  connections ({path}): {sample['connections']:>6} requested, "
+                f"{sample['held']:>6} held + {sample['active']} active, "
+                f"{float(sample['round_trips_per_sec']):>10.1f} round-trips/sec, "
+                f"p50 {float(sample['p50_latency_us']):>8.1f} us, "
+                f"p99 {float(sample['p99_latency_us']):>8.1f} us "
+                f"(not gated)"
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            sys.exit(f"{path}: malformed connection_sweep row: {error}")
 
 
 def check(name, baseline, current, tolerance):
@@ -258,6 +281,8 @@ def main():
 
     loopback_info(service_baseline, args.service_baseline)
     loopback_info(service_current, args.service_current)
+    connection_info(service_baseline, args.service_baseline)
+    connection_info(service_current, args.service_current)
     if not ok:
         sys.exit(
             f"bench gate: regression beyond the {args.tolerance:.0%} tolerance "

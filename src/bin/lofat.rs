@@ -16,7 +16,7 @@
 //! lofat serve-bench [--out F] [--smoke]    sweep the sharded service over worker
 //!                                          counts and write BENCH_service.json
 //! lofat fleet run <spec.fleet>             execute a declarative scenario fleet
-//!                                          over both transports, write manifests
+//!                                          over every transport, write manifests
 //! lofat fleet enumerate <spec.fleet>       print a fleet's deterministic job list
 //! ```
 //!
@@ -106,15 +106,21 @@ commands:
               [--shards S] [--workers LIST]
                                      sweep the sharded VerifierService +
                                      ParallelVerifier pool over worker counts
-                                     (default 1,2,4) and write sessions/sec +
+                                     (default 1,2,4) plus the event-loop
+                                     connection sweep (10k-scale concurrent
+                                     connections) and write sessions/sec +
                                      p50/p99 latency to BENCH_service.json
-  fleet run <spec.fleet> [--transport pool|socket|both] [--out-dir DIR]
-            [--scale N]              expand a declarative fleet spec and drive
+  fleet run <spec.fleet> [--transport pool|socket|epoll|both|all]
+            [--out-dir DIR] [--scale N]
+                                     expand a declarative fleet spec and drive
                                      every scenario (workload × adversary mix ×
                                      clients × arrival × fault injection) over
-                                     the chosen transport(s); with `both`,
-                                     assert the verdict breakdowns match, then
-                                     write manifest.json / manifest.csv /
+                                     the chosen transport(s) — `both` is the
+                                     two original transports (pool + socket),
+                                     `all` (the default) adds the epoll event
+                                     loop; with more than one, assert the
+                                     verdict breakdowns match, then write
+                                     manifest.json / manifest.csv /
                                      manifest.golden.json under --out-dir
                                      (default target/fleet)
   fleet enumerate <spec.fleet>       print the deterministic job expansion of
@@ -698,6 +704,16 @@ fn cmd_serve_bench(args: &[String]) -> CliResult {
             .into());
         }
     }
+    for sample in &report.connections {
+        if sample.accepted != sample.round_trips {
+            return Err(format!(
+                "serve-bench: only {}/{} round trips accepted at {} connections — the \
+                 connection sweep must accept everything",
+                sample.accepted, sample.round_trips, sample.connections
+            )
+            .into());
+        }
+    }
     if report.cache.cache_hits != report.cache.sessions as u64 || report.cache.cache_misses != 1 {
         return Err(format!(
             "serve-bench: warm cache pass saw {} hits / {} misses over {} timed envelopes — \
@@ -735,6 +751,23 @@ fn cmd_serve_bench(args: &[String]) -> CliResult {
         report.host_cpus,
         if report.host_cpus == 1 { "" } else { "s" },
     );
+    if !report.connections.is_empty() {
+        println!(
+            "{:>12} {:>8} {:>8} {:>16} {:>14} {:>14}",
+            "connections", "held", "active", "round-trips/s", "p50 (µs)", "p99 (µs)"
+        );
+        for sample in &report.connections {
+            println!(
+                "{:>12} {:>8} {:>8} {:>16.1} {:>14.1} {:>14.1}",
+                sample.connections,
+                sample.held,
+                sample.active,
+                sample.round_trips_per_sec,
+                sample.p50_latency_us,
+                sample.p99_latency_us,
+            );
+        }
+    }
     println!(
         "cache     cold {:.1} sessions/sec | warm {:.1} sessions/sec | {:.2}x \
          ({} hits, {} miss, simd tier {})",
@@ -785,18 +818,21 @@ fn cmd_fleet_run(args: &[String]) -> CliResult {
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--transport" => {
-                let which = iter.next().ok_or("fleet run: --transport needs pool|socket|both")?;
-                match which.as_str() {
-                    "pool" => (options.pool, options.socket) = (true, false),
-                    "socket" => (options.pool, options.socket) = (false, true),
-                    "both" => (options.pool, options.socket) = (true, true),
+                let which =
+                    iter.next().ok_or("fleet run: --transport needs pool|socket|epoll|both|all")?;
+                (options.pool, options.socket, options.epoll) = match which.as_str() {
+                    "pool" => (true, false, false),
+                    "socket" => (false, true, false),
+                    "epoll" => (false, false, true),
+                    "both" => (true, true, false),
+                    "all" => (true, true, true),
                     other => {
                         return Err(format!(
-                            "fleet run: unknown transport `{other}` (pool|socket|both)"
+                            "fleet run: unknown transport `{other}` (pool|socket|epoll|both|all)"
                         )
                         .into());
                     }
-                }
+                };
             }
             "--out-dir" => {
                 out_dir = iter.next().ok_or("fleet run: --out-dir needs a directory")?.clone();
@@ -813,11 +849,12 @@ fn cmd_fleet_run(args: &[String]) -> CliResult {
     let spec = load_fleet_spec(&path)?;
     let jobs = lofat_fleet::enumerate_jobs(&spec)?;
     eprintln!(
-        "fleet {}: {} scenario(s){}{}",
+        "fleet {}: {} scenario(s){}{}{}",
         spec.name,
         jobs.len(),
         if options.pool { " × pool" } else { "" },
         if options.socket { " × socket" } else { "" },
+        if options.epoll { " × epoll" } else { "" },
     );
 
     let report = lofat_fleet::run(&spec, options)?;
@@ -846,31 +883,46 @@ fn cmd_fleet_run(args: &[String]) -> CliResult {
         )
         .into());
     }
-    // With both transports enabled, the pool and socket runs of each job must
-    // agree verdict-for-verdict — the transports add no semantics.
-    if options.pool && options.socket {
-        for pair in report.outcomes.chunks(2) {
-            let (pool, socket) = (&pair[0], &pair[1]);
-            assert_eq!(pool.transport, Transport::Pool);
-            assert_eq!(socket.transport, Transport::Socket);
-            if pool.verdicts != socket.verdicts {
-                return Err(format!(
-                    "fleet run: verdict breakdown diverged for {}: pool {} vs socket {}",
-                    pool.job.label(),
-                    lofat::service::codes_summary(&pool.verdicts),
-                    lofat::service::codes_summary(&socket.verdicts),
-                )
-                .into());
+    // With more than one transport enabled, every run of a job must agree
+    // verdict-for-verdict with the first — the transports add no semantics.
+    let enabled: Vec<Transport> = [
+        (options.pool, Transport::Pool),
+        (options.socket, Transport::Socket),
+        (options.epoll, Transport::Epoll),
+    ]
+    .into_iter()
+    .filter_map(|(on, t)| on.then_some(t))
+    .collect();
+    if enabled.len() > 1 {
+        for group in report.outcomes.chunks(enabled.len()) {
+            let first = &group[0];
+            for (outcome, want) in group.iter().zip(&enabled) {
+                assert_eq!(outcome.transport, *want);
             }
-            if pool.stats.accepted != socket.stats.accepted
-                || pool.stats.sessions_rejected != socket.stats.sessions_rejected
-                || pool.live != socket.live
-            {
-                return Err(format!(
-                    "fleet run: session accounting diverged for {}",
-                    pool.job.label()
-                )
-                .into());
+            for other in &group[1..] {
+                if first.verdicts != other.verdicts {
+                    return Err(format!(
+                        "fleet run: verdict breakdown diverged for {}: {} {} vs {} {}",
+                        first.job.label(),
+                        first.transport.name(),
+                        lofat::service::codes_summary(&first.verdicts),
+                        other.transport.name(),
+                        lofat::service::codes_summary(&other.verdicts),
+                    )
+                    .into());
+                }
+                if first.stats.accepted != other.stats.accepted
+                    || first.stats.sessions_rejected != other.stats.sessions_rejected
+                    || first.live != other.live
+                {
+                    return Err(format!(
+                        "fleet run: session accounting diverged for {} ({} vs {})",
+                        first.job.label(),
+                        first.transport.name(),
+                        other.transport.name(),
+                    )
+                    .into());
+                }
             }
         }
         println!("transports agree: verdict breakdowns identical for every scenario");

@@ -1,13 +1,15 @@
-//! E17 — declarative scenario fleets over both transports.
+//! E17 — declarative scenario fleets over every transport.
 //!
 //! `lofat-fleet` expands a text spec into a deterministic cross-product of
-//! scenarios and drives each one through the in-process worker pool *and* a
-//! live loopback server.  The suite pins the subsystem's three contracts:
+//! scenarios and drives each one through the in-process worker pool *and*
+//! live loopback servers of both flavors (blocking thread-per-connection and
+//! readiness-driven epoll).  The suite pins the subsystem's three contracts:
 //!
 //! * **Transport equivalence** — every job in `examples/fleets/smoke.fleet`
 //!   produces the identical verdict breakdown (count per wire code) on the
-//!   pool and on the socket, and `opened`/`accepted`/`sessions_rejected`/
-//!   `live` agree between the two runs.
+//!   pool, the blocking socket and the event loop, and
+//!   `opened`/`accepted`/`sessions_rejected`/`live` agree across the three
+//!   runs.
 //! * **Conservation under faults** — dropped connections, slow-loris partial
 //!   frames, duplicate frames and oversized length prefixes are all exercised
 //!   by the smoke fleet; no fault class panics the server or breaks either
@@ -36,33 +38,45 @@ fn load_spec(path: &str) -> FleetSpec {
     FleetSpec::parse(&text).expect("checked-in spec parses")
 }
 
-/// Runs a fleet on both transports and checks the cross-transport contract:
-/// outcomes arrive as (pool, socket) pairs per job, each pair's verdict map
-/// and session books agree, and every outcome satisfies both conservation
-/// laws.
-fn run_and_check_both_transports(spec: &FleetSpec) -> FleetReport {
-    let options = ExecOptions { pool: true, socket: true, scale_override: scale_override() };
+/// Runs a fleet on every transport and checks the cross-transport contract:
+/// outcomes arrive as (pool, socket, epoll) triples per job, each triple's
+/// verdict map and session books agree, and every outcome satisfies both
+/// conservation laws.
+fn run_and_check_all_transports(spec: &FleetSpec) -> FleetReport {
+    let options =
+        ExecOptions { pool: true, socket: true, epoll: true, scale_override: scale_override() };
     let report = run(spec, options).expect("fleet executes");
     let jobs = enumerate_jobs(spec).expect("spec enumerates");
-    assert_eq!(report.outcomes.len(), jobs.len() * 2, "one pool and one socket outcome per job");
-    for pair in report.outcomes.chunks(2) {
-        let (pool, socket) = (&pair[0], &pair[1]);
+    assert_eq!(
+        report.outcomes.len(),
+        jobs.len() * 3,
+        "one pool, one socket and one epoll outcome per job"
+    );
+    for group in report.outcomes.chunks(3) {
+        let pool = &group[0];
         assert_eq!(pool.transport, Transport::Pool);
-        assert_eq!(socket.transport, Transport::Socket);
-        assert_eq!(pool.job.index, socket.job.index, "pairs cover the same job");
+        assert_eq!(group[1].transport, Transport::Socket);
+        assert_eq!(group[2].transport, Transport::Epoll);
         let label = pool.job.label();
-        assert_eq!(
-            pool.verdicts, socket.verdicts,
-            "{label}: verdict breakdown differs between transports"
-        );
-        assert_eq!(pool.stats.sessions_opened, socket.stats.sessions_opened, "{label}: opened");
-        assert_eq!(pool.stats.accepted, socket.stats.accepted, "{label}: accepted");
-        assert_eq!(
-            pool.stats.sessions_rejected, socket.stats.sessions_rejected,
-            "{label}: sessions_rejected"
-        );
-        assert_eq!(pool.live, socket.live, "{label}: live sessions");
-        for outcome in pair {
+        for other in &group[1..] {
+            let name = other.transport.name();
+            assert_eq!(pool.job.index, other.job.index, "{label}: group covers the same job");
+            assert_eq!(
+                pool.verdicts, other.verdicts,
+                "{label} vs {name}: verdict breakdown differs between transports"
+            );
+            assert_eq!(
+                pool.stats.sessions_opened, other.stats.sessions_opened,
+                "{label} vs {name}: opened"
+            );
+            assert_eq!(pool.stats.accepted, other.stats.accepted, "{label} vs {name}: accepted");
+            assert_eq!(
+                pool.stats.sessions_rejected, other.stats.sessions_rejected,
+                "{label} vs {name}: sessions_rejected"
+            );
+            assert_eq!(pool.live, other.live, "{label} vs {name}: live sessions");
+        }
+        for outcome in group {
             assert!(
                 outcome.conserved && outcome.stats.is_conserved(outcome.live),
                 "{label} ({}): conservation violated: {:?} live={}",
@@ -78,7 +92,7 @@ fn run_and_check_both_transports(spec: &FleetSpec) -> FleetReport {
 #[test]
 fn smoke_fleet_agrees_across_transports_and_conserves() {
     let spec = load_spec("examples/fleets/smoke.fleet");
-    let report = run_and_check_both_transports(&spec);
+    let report = run_and_check_all_transports(&spec);
 
     // Every fault class the spec declares must actually have run, and every
     // scenario must have produced verdicts (faulted slots are dropped, never
@@ -106,7 +120,7 @@ fn smoke_fleet_agrees_across_transports_and_conserves() {
 #[test]
 fn smoke_fleet_oversized_prefix_jobs_surface_malformed() {
     let spec = load_spec("examples/fleets/smoke.fleet");
-    let report = run_and_check_both_transports(&spec);
+    let report = run_and_check_all_transports(&spec);
     let mut saw_oversized = false;
     for outcome in &report.outcomes {
         if outcome.job.fault != FaultClass::OversizedPrefix {
@@ -180,7 +194,7 @@ fn hostile_specs_are_rejected_with_typed_errors() {
 fn full_fleet_runs_at_release_scale_when_requested() {
     if std::env::var("E17_FULL").map(|v| v == "1").unwrap_or(false) {
         let spec = load_spec("examples/fleets/full.fleet");
-        run_and_check_both_transports(&spec);
+        run_and_check_all_transports(&spec);
     } else {
         eprintln!("e17: skipping full-fleet sweep (set E17_FULL=1 to run it)");
     }

@@ -6,7 +6,8 @@
 //! versions, trailing bytes, misdirected message kinds, oversized length
 //! prefixes, slow-loris partial frames) and for deterministic
 //! vendored-proptest barrages of structured mutations of honest evidence,
-//! the `VerifierServer` must
+//! the server must (whichever transport is behind it — `FUZZ_NET_TRANSPORT`
+//! picks `blocking` or `epoll`, default `epoll`; CI fuzzes both)
 //!
 //! * **never panic** — every case gets an answer, and an honest round trip
 //!   still succeeds after the barrage;
@@ -26,7 +27,7 @@ mod common;
 use lofat::session::ProverSession;
 use lofat::wire::{code, Envelope, Message, SessionId, VerdictMsg};
 use lofat::{Prover, ServiceConfig, VerifierService};
-use lofat_net::{ProverClient, VerifierServer};
+use lofat_net::ProverClient;
 use proptest::prelude::*;
 use std::io::Write as _;
 use std::sync::{Arc, Mutex, OnceLock};
@@ -34,10 +35,21 @@ use std::sync::{Arc, Mutex, OnceLock};
 const WORKLOAD: &str = "fig4-loop";
 const INPUT: &[u32] = &[4];
 
+/// The server flavor this whole binary fuzzes.  One transport per process —
+/// the corpus tests assert exact counter deltas against the shared harness,
+/// so the sweep happens across processes (CI runs both), not within one.
+fn transport() -> &'static str {
+    match std::env::var("FUZZ_NET_TRANSPORT").as_deref() {
+        Ok("blocking") => "blocking",
+        Ok("epoll") | Err(_) => "epoll",
+        Ok(other) => panic!("FUZZ_NET_TRANSPORT={other:?} (expected blocking|epoll)"),
+    }
+}
+
 /// One server shared by every fuzz case in this binary: surviving the whole
 /// barrage on a single instance *is* the no-panic property.
 struct Harness {
-    server: VerifierServer,
+    server: common::AnyServer,
     service: Arc<VerifierService>,
     prover: Mutex<Prover>,
 }
@@ -51,12 +63,11 @@ fn harness() -> &'static Harness {
             &[INPUT.to_vec()],
             ServiceConfig::sharded(2),
         );
-        let server = VerifierServer::bind(
-            "127.0.0.1:0",
+        let server = common::AnyServer::bind(
+            transport(),
             Arc::clone(&service),
-            common::net_server_config("fuzz_wire_net"),
-        )
-        .expect("bind fuzz server");
+            common::net_server_config(&format!("fuzz_wire_net.{}", transport())),
+        );
         Harness { server, service, prover: Mutex::new(prover) }
     })
 }
@@ -90,8 +101,9 @@ fn fresh_evidence(h: &Harness) -> (SessionId, Vec<u8>) {
 /// Sends one frame on a fresh connection and returns the decoded verdict.
 fn submit(h: &Harness, frame: &[u8]) -> VerdictMsg {
     let mut client = ProverClient::connect(h.server.local_addr()).expect("connect");
-    client.send_frame(frame).expect("send fuzz frame");
-    let reply = client.recv_frame().expect("read reply").expect("server answered");
+    let mut raw = client.raw();
+    raw.send(frame).expect("send fuzz frame");
+    let reply = raw.recv().expect("read reply").expect("server answered");
     common::decode_verdict(&reply)
 }
 
@@ -209,10 +221,9 @@ fn corpus_slow_loris_partial_frames_close_cleanly() {
         &[INPUT.to_vec()],
         ServiceConfig::default(),
     );
-    let mut config = common::net_server_config("fuzz_slow_loris");
-    config.read_timeout = Some(std::time::Duration::from_millis(200));
-    let server =
-        VerifierServer::bind("127.0.0.1:0", Arc::clone(&service), config).expect("bind server");
+    let mut config = common::net_server_config(&format!("fuzz_slow_loris.{}", transport()));
+    config.limits = config.limits.with_read_timeout(Some(std::time::Duration::from_millis(200)));
+    let server = common::AnyServer::bind(transport(), Arc::clone(&service), config);
 
     // ① Partial frame, then the peer gives up: counted once observed.
     {
