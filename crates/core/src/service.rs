@@ -37,7 +37,10 @@ use crate::measurement_db::MeasurementDatabase;
 use crate::report::AttestationReport;
 use crate::session::{SessionError, VerifierSession};
 use crate::verifier::{Challenge, RejectionReason};
-use crate::wire::{code, Envelope, Message, SessionId, VerdictMsg, WireError};
+use crate::wire::{
+    code, Envelope, Message, SessionId, SessionSnapshot, ShardSnapshot, SnapshotError, SnapshotMsg,
+    VerdictMsg, WireError,
+};
 use lofat_crypto::sign::HmacVerifier;
 use lofat_crypto::{Digest, Hmac, Nonce, VerificationKey};
 use std::collections::{BTreeMap, VecDeque};
@@ -69,6 +72,20 @@ pub struct ServiceConfig {
     /// after a *successful* signature check are ever stored).  Eviction is
     /// FIFO per cache shard; cache shards are congruent to session shards.
     pub verdict_cache_entries: usize,
+    /// This service's index within a statically partitioned multi-process
+    /// deployment (`0 ≤ partition_index < partition_count`; values `≥
+    /// partition_count` are reduced modulo it at construction).  See
+    /// [`ServiceConfig::partition_count`].
+    pub partition_index: u64,
+    /// Number of processes the session/nonce space is statically partitioned
+    /// across (`0` is treated as `1` — the default, unpartitioned case).
+    /// Partitioning extends the in-process shard congruence scheme one level
+    /// up: with `P` partitions of `S` shards each, shard `s` of partition `p`
+    /// owns the counters congruent to `p + s·P` modulo `S·P`, so the `N`
+    /// processes behind a fan-out front collectively issue the same dense
+    /// counter sequence `1, 2, 3, …` a single `S·P`-shard service would, and
+    /// no two processes can ever issue the same nonce.
+    pub partition_count: u64,
 }
 
 impl Default for ServiceConfig {
@@ -78,6 +95,8 @@ impl Default for ServiceConfig {
             max_live_sessions: 65_536,
             shards: 1,
             verdict_cache_entries: 1024,
+            partition_index: 0,
+            partition_count: 1,
         }
     }
 }
@@ -104,6 +123,20 @@ impl ServiceConfig {
     #[must_use]
     pub fn with_verdict_cache(self, entries: usize) -> Self {
         Self { verdict_cache_entries: entries, ..self }
+    }
+
+    /// Returns this configuration as partition `index` of `count` cooperating
+    /// processes (see [`ServiceConfig::partition_count`]).
+    ///
+    /// ```
+    /// use lofat::service::ServiceConfig;
+    ///
+    /// let backend = ServiceConfig::sharded(2).partitioned(1, 3);
+    /// assert_eq!((backend.partition_index, backend.partition_count), (1, 3));
+    /// ```
+    #[must_use]
+    pub fn partitioned(self, index: u64, count: u64) -> Self {
+        Self { partition_index: index, partition_count: count, ..self }
     }
 }
 
@@ -201,6 +234,43 @@ impl ServiceStats {
     /// ```
     pub fn rejection_codes_summary(&self) -> String {
         codes_summary(&self.rejections_by_code)
+    }
+
+    /// Folds another service's books into this one, field by field.
+    ///
+    /// Every counter is additive and partitioned deployments keep disjoint
+    /// session stripes (see [`ServiceConfig::partitioned`]), so summing the
+    /// per-partition snapshots yields the books a single service covering the
+    /// whole session space would have kept — including both conservation
+    /// laws, which survive addition:
+    ///
+    /// ```
+    /// use lofat::service::ServiceStats;
+    ///
+    /// let mut total = ServiceStats { sessions_opened: 2, accepted: 2, cache_misses: 2,
+    ///     ..ServiceStats::default() };
+    /// let mut part = ServiceStats { sessions_opened: 1, accepted: 1, cache_hits: 1,
+    ///     ..ServiceStats::default() };
+    /// part.rejections_by_code.insert(67, 3);
+    /// total.absorb(&part);
+    /// assert_eq!(total.sessions_opened, 3);
+    /// assert_eq!(total.rejections_by_code.get(&67), Some(&3));
+    /// assert!(total.is_conserved(0));
+    /// ```
+    pub fn absorb(&mut self, other: &ServiceStats) {
+        self.sessions_opened += other.sessions_opened;
+        self.accepted += other.accepted;
+        self.rejected += other.rejected;
+        self.sessions_rejected += other.sessions_rejected;
+        self.expired += other.expired;
+        self.replays_blocked += other.replays_blocked;
+        self.wire_errors += other.wire_errors;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.cache_evictions += other.cache_evictions;
+        for (code, count) in &other.rejections_by_code {
+            *self.rejections_by_code.entry(*code).or_insert(0) += count;
+        }
     }
 }
 
@@ -313,6 +383,26 @@ impl AtomicStats {
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
             rejections_by_code,
+        }
+    }
+
+    /// Overwrites every counter from a [`ServiceStats`] snapshot.  Inverse of
+    /// [`AtomicStats::snapshot`]; used when a service is cloned or restored
+    /// from a durable snapshot, never on a service that is concurrently
+    /// recording outcomes.
+    fn store(&self, stats: &ServiceStats) {
+        self.sessions_opened.store(stats.sessions_opened, Ordering::Relaxed);
+        self.accepted.store(stats.accepted, Ordering::Relaxed);
+        self.rejected.store(stats.rejected, Ordering::Relaxed);
+        self.sessions_rejected.store(stats.sessions_rejected, Ordering::Relaxed);
+        self.expired.store(stats.expired, Ordering::Relaxed);
+        self.replays_blocked.store(stats.replays_blocked, Ordering::Relaxed);
+        self.wire_errors.store(stats.wire_errors, Ordering::Relaxed);
+        self.cache_hits.store(stats.cache_hits, Ordering::Relaxed);
+        self.cache_misses.store(stats.cache_misses, Ordering::Relaxed);
+        self.cache_evictions.store(stats.cache_evictions, Ordering::Relaxed);
+        for (code, count) in &stats.rejections_by_code {
+            self.by_code[(*code as usize).min(CODE_SLOTS - 1)].store(*count, Ordering::Relaxed);
         }
     }
 }
@@ -548,22 +638,8 @@ impl Clone for VerifierService {
                 })
             })
             .collect();
-        let stats = self.stats.snapshot();
         let clone_stats = AtomicStats::new();
-        clone_stats.sessions_opened.store(stats.sessions_opened, Ordering::Relaxed);
-        clone_stats.accepted.store(stats.accepted, Ordering::Relaxed);
-        clone_stats.rejected.store(stats.rejected, Ordering::Relaxed);
-        clone_stats.sessions_rejected.store(stats.sessions_rejected, Ordering::Relaxed);
-        clone_stats.expired.store(stats.expired, Ordering::Relaxed);
-        clone_stats.replays_blocked.store(stats.replays_blocked, Ordering::Relaxed);
-        clone_stats.wire_errors.store(stats.wire_errors, Ordering::Relaxed);
-        clone_stats.cache_hits.store(stats.cache_hits, Ordering::Relaxed);
-        clone_stats.cache_misses.store(stats.cache_misses, Ordering::Relaxed);
-        clone_stats.cache_evictions.store(stats.cache_evictions, Ordering::Relaxed);
-        for (code, count) in &stats.rejections_by_code {
-            clone_stats.by_code[(*code as usize).min(CODE_SLOTS - 1)]
-                .store(*count, Ordering::Relaxed);
-        }
+        clone_stats.store(&self.stats.snapshot());
         Self {
             db: self.db.clone(),
             key: self.key.clone(),
@@ -581,8 +657,15 @@ impl Clone for VerifierService {
 
 impl VerifierService {
     /// Creates a service over a prebuilt measurement database and the fleet's
-    /// verification key.  `config.shards == 0` is treated as one shard.
+    /// verification key.  `config.shards == 0` is treated as one shard,
+    /// `config.partition_count == 0` as one partition, and the partition
+    /// index is reduced modulo the partition count — the stored
+    /// [`VerifierService::config`] reflects the normalised values, so counter
+    /// arithmetic never sees a degenerate configuration.
     pub fn new(db: MeasurementDatabase, key: VerificationKey, config: ServiceConfig) -> Self {
+        let mut config = config;
+        config.partition_count = config.partition_count.max(1);
+        config.partition_index %= config.partition_count;
         let shard_count = config.shards.max(1);
         let cache_shards = if config.verdict_cache_entries == 0 { 0 } else { shard_count };
         Self {
@@ -646,12 +729,23 @@ impl VerifierService {
         self.shard(id).sessions.get(&id).cloned()
     }
 
-    /// The shard index that owns `id`: session `n` lives in shard
-    /// `(n - 1) % shards`, so each shard owns the slice of the session-counter
-    /// (and therefore nonce) space congruent to its own index.  The verdict
-    /// cache is sharded congruently (same index).
+    /// The number of counter stripes the global session space is divided
+    /// into: `shards × partition_count`.  Stripe `(n - 1) % stripes` of
+    /// counter `n` encodes the owning partition (low digit, mod
+    /// `partition_count`) and shard (high digit).
+    fn stripes(&self) -> u64 {
+        self.shards.len() as u64 * self.config.partition_count
+    }
+
+    /// The *local* shard index that owns `id`: counter `n` belongs to shard
+    /// `((n - 1) % stripes) / partition_count` of the partition congruent to
+    /// `(n - 1) % partition_count`, so each shard of each partition owns its
+    /// own slice of the session-counter (and therefore nonce) space.  In the
+    /// default unpartitioned configuration this is the familiar
+    /// `(n - 1) % shards`.  The verdict cache is sharded congruently (same
+    /// index).
     fn shard_index(&self, id: SessionId) -> usize {
-        (id.0.wrapping_sub(1) % self.shards.len() as u64) as usize
+        ((id.0.wrapping_sub(1) % self.stripes()) / self.config.partition_count) as usize
     }
 
     /// The shard that owns `id`, locked.
@@ -716,10 +810,15 @@ impl VerifierService {
         let shard_index = (self.next_open.fetch_add(1, Ordering::SeqCst) % shard_count) as usize;
         let id = {
             let mut shard = self.shards[shard_index].lock().expect("shard lock poisoned");
-            // The `issued`-th session of shard `s` carries the global counter
-            // `1 + s + issued·N` — shard `s` owns the counter (and nonce)
-            // slice congruent to `s`.
-            let counter = 1 + shard_index as u64 + shard.issued * shard_count;
+            // The `issued`-th session of local shard `s` in partition `p` of
+            // `P` carries the global counter `1 + p + s·P + issued·(S·P)` —
+            // the shard owns the counter (and nonce) stripe congruent to
+            // `p + s·P` modulo `S·P`.  Unpartitioned (`P = 1`, `p = 0`) this
+            // is the familiar `1 + s + issued·S`.
+            let counter = 1
+                + self.config.partition_index
+                + shard_index as u64 * self.config.partition_count
+                + shard.issued * self.stripes();
             shard.issued += 1;
             let id = SessionId(counter);
             let challenge = Challenge {
@@ -1193,12 +1292,238 @@ impl VerifierService {
         if counter < 1 || Nonce::from_counter(counter) != *nonce {
             return false;
         }
-        // `shard()` routes to shard `(counter - 1) % N`; within that shard the
-        // counter occupies slot `(counter - 1) / N`, and slots are issued
-        // contiguously under the shard lock.
+        // A counter outside this partition's congruence class was issued (if
+        // ever) by a sibling process; this process cannot attest to its spend
+        // and answers "not consumed" — the evidence still bounces on the
+        // nonce-mismatch or unknown-session path, it just is not *named* a
+        // replay.  Unpartitioned services own every class, so the gate is
+        // vacuous there.
+        if (counter - 1) % self.config.partition_count != self.config.partition_index {
+            return false;
+        }
+        // `shard()` routes to the owning local shard; within that shard the
+        // counter occupies slot `(counter - 1) / stripes`, and slots are
+        // issued contiguously under the shard lock.
         let shard = self.shard(SessionId(counter));
-        let slot = (counter - 1) / self.shards.len() as u64;
+        let slot = (counter - 1) / self.stripes();
         slot < shard.issued && !shard.sessions.contains_key(&SessionId(counter))
+    }
+
+    // -----------------------------------------------------------------------
+    // Durability: snapshot / restore.
+    // -----------------------------------------------------------------------
+
+    /// A durable snapshot of the service: database, configuration, clock,
+    /// per-shard issuance watermarks and live sessions, and the statistics
+    /// books.  Equivalent to [`VerifierService::snapshot_with_reserve`] with
+    /// a zero reserve, which makes `snapshot → restore → snapshot` a
+    /// byte-identical fixed point.
+    pub fn snapshot(&self) -> SnapshotMsg {
+        self.snapshot_with_reserve(0)
+    }
+
+    /// A durable snapshot whose issuance watermarks are rounded **up** by
+    /// `reserve` future sessions per shard.  A service that snapshots
+    /// periodically and crashes can therefore never reissue a nonce it
+    /// handed out after the last write: as long as fewer than `reserve`
+    /// sessions were opened on any shard since, every counter issued by the
+    /// dead process lies below the restored watermark and registers as
+    /// consumed.  The skipped counters are sacrificed, not recycled — evidence
+    /// for them answers [`code::NONCE_REPLAYED`] — and the conservation laws
+    /// are unaffected (they never reference the watermark).
+    ///
+    /// Shards are locked briefly one at a time, so under concurrent mutation
+    /// the snapshot is consistent per shard, exactly like [`Clone`].
+    pub fn snapshot_with_reserve(&self, reserve: u64) -> SnapshotMsg {
+        let shards = self
+            .shards
+            .iter()
+            .map(|shard| {
+                let guard = shard.lock().expect("shard lock poisoned");
+                ShardSnapshot {
+                    issued: guard.issued.saturating_add(reserve),
+                    sessions: guard
+                        .sessions
+                        .values()
+                        .map(|session| SessionSnapshot {
+                            id: session.id().0,
+                            input: session.challenge().input.clone(),
+                            deadline_cycles: session.deadline_cycles(),
+                        })
+                        .collect(),
+                }
+            })
+            .collect();
+        SnapshotMsg {
+            program_id: self.db.program_id().to_string(),
+            config: self.config,
+            now_cycles: self.now_cycles(),
+            next_open: self.next_open.load(Ordering::SeqCst),
+            stats: self.stats.snapshot(),
+            shards,
+            db: self.db.clone(),
+        }
+    }
+
+    /// [`VerifierService::snapshot_with_reserve`] encoded to the durable wire
+    /// form (see [`SnapshotMsg::encode`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the codec's [`SnapshotError`] if the snapshot cannot be
+    /// encoded.
+    pub fn snapshot_bytes(&self, reserve: u64) -> Result<Vec<u8>, SnapshotError> {
+        self.snapshot_with_reserve(reserve).encode()
+    }
+
+    /// Reconstructs a service from a snapshot and the fleet's verification
+    /// key (key material is never part of a snapshot document).  Live
+    /// sessions resume awaiting evidence against their original nonces and
+    /// deadlines, the clock resumes from the snapshot value, and every
+    /// watermark is restored *exactly* as written — rounding (if any) was
+    /// applied by the writer, so restore can never lower one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::Invalid`] when the document is internally
+    /// inconsistent: the shard list does not match the configuration, a
+    /// session id lies outside its shard's counter stripe or above the
+    /// issuance watermark, a session's input has no reference measurement,
+    /// or ids repeat.
+    pub fn restore(msg: SnapshotMsg, key: VerificationKey) -> Result<Self, SnapshotError> {
+        let invalid = |reason: String| Err(SnapshotError::Invalid { reason });
+        if msg.db.program_id() != msg.program_id {
+            return invalid(format!(
+                "snapshot is for `{}` but embeds a database for `{}`",
+                msg.program_id,
+                msg.db.program_id()
+            ));
+        }
+        let partitions = msg.config.partition_count.max(1);
+        if msg.config.partition_index >= partitions {
+            return invalid(format!(
+                "partition index {} out of range for {} partition(s)",
+                msg.config.partition_index, partitions
+            ));
+        }
+        if msg.shards.len() != msg.config.shards.max(1) {
+            return invalid(format!(
+                "snapshot holds {} shard(s) but the configuration says {}",
+                msg.shards.len(),
+                msg.config.shards.max(1)
+            ));
+        }
+
+        let service = Self::new(msg.db, key, msg.config);
+        let stripes = service.stripes();
+        let mut live = 0usize;
+        let mut seen = std::collections::BTreeSet::new();
+        for (shard_index, shard_snapshot) in msg.shards.iter().enumerate() {
+            let mut shard = service.shards[shard_index].lock().expect("shard lock poisoned");
+            shard.issued = shard_snapshot.issued;
+            for session in &shard_snapshot.sessions {
+                let id = session.id;
+                if id == 0 {
+                    return invalid("session id 0 is reserved".to_string());
+                }
+                if (id - 1) % partitions != service.config.partition_index {
+                    return invalid(format!(
+                        "session {id} belongs to partition {} but this snapshot is partition {}",
+                        (id - 1) % partitions,
+                        service.config.partition_index
+                    ));
+                }
+                let owner = ((id - 1) % stripes) / partitions;
+                if owner != shard_index as u64 {
+                    return invalid(format!(
+                        "session {id} belongs to shard {owner} but was recorded in shard \
+                         {shard_index}"
+                    ));
+                }
+                if (id - 1) / stripes >= shard_snapshot.issued {
+                    return invalid(format!(
+                        "session {id} lies above shard {shard_index}'s issuance watermark \
+                         ({} issued)",
+                        shard_snapshot.issued
+                    ));
+                }
+                if service.db.reference(&session.input).is_none() {
+                    return invalid(format!(
+                        "session {id} challenges input {:?}, which has no reference measurement",
+                        session.input
+                    ));
+                }
+                if !seen.insert(id) {
+                    return invalid(format!("session {id} appears twice"));
+                }
+                let challenge = Challenge {
+                    program_id: msg.program_id.clone(),
+                    input: session.input.clone(),
+                    // Session `n` always carries nonce `n`; re-deriving it
+                    // here (instead of trusting a stored nonce) keeps the
+                    // pairing tamper-proof across restore.
+                    nonce: Nonce::from_counter(id),
+                };
+                shard.sessions.insert(
+                    SessionId(id),
+                    VerifierSession::new(SessionId(id), challenge, session.deadline_cycles),
+                );
+                live += 1;
+            }
+        }
+        service.live.store(live, Ordering::SeqCst);
+        service.next_open.store(msg.next_open, Ordering::SeqCst);
+        service.now_cycles.store(msg.now_cycles, Ordering::SeqCst);
+        service.stats.store(&msg.stats);
+        Ok(service)
+    }
+
+    /// [`VerifierService::restore`] from the encoded wire form.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapshotError`] from [`SnapshotMsg::decode`] or the restore
+    /// validation.  Never panics on malformed input.
+    pub fn restore_bytes(bytes: &[u8], key: VerificationKey) -> Result<Self, SnapshotError> {
+        Self::restore(SnapshotMsg::decode(bytes)?, key)
+    }
+
+    /// Writes a snapshot (with `reserve` — see
+    /// [`VerifierService::snapshot_with_reserve`]) to `path` atomically: the
+    /// document is written to a sibling temporary file and renamed into
+    /// place, so a crash mid-write leaves the previous snapshot intact and a
+    /// reader never observes a half-written document.
+    ///
+    /// # Errors
+    ///
+    /// Codec failures and any I/O error from writing or renaming.
+    pub fn write_snapshot(
+        &self,
+        path: impl AsRef<std::path::Path>,
+        reserve: u64,
+    ) -> Result<(), SnapshotError> {
+        let path = path.as_ref();
+        let bytes = self.snapshot_bytes(reserve)?;
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        std::fs::write(&tmp, &bytes)?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Restores a service from a snapshot file written by
+    /// [`VerifierService::write_snapshot`].
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error reading `path`, plus everything
+    /// [`VerifierService::restore_bytes`] can return.
+    pub fn restore_from_file(
+        path: impl AsRef<std::path::Path>,
+        key: VerificationKey,
+    ) -> Result<Self, SnapshotError> {
+        Self::restore_bytes(&std::fs::read(path)?, key)
     }
 }
 
@@ -1566,5 +1891,137 @@ mod tests {
         assert_eq!(snapshot.live_sessions(), 1);
         assert_eq!(snapshot.stats().accepted, 0);
         assert!(snapshot.submit_evidence(&evidence).accepted);
+    }
+
+    #[test]
+    fn partitions_tile_the_session_space_like_one_sharded_service() {
+        // Three 1-shard partitions must collectively issue the dense counter
+        // sequence a single 3-shard service issues, with no overlap.
+        let inputs: Vec<Vec<u32>> = (0..3u32).map(|n| vec![n]).collect();
+        let partitions: Vec<VerifierService> = (0..3)
+            .map(|p| setup_with(inputs.clone(), ServiceConfig::default().partitioned(p, 3)).0)
+            .collect();
+        let mut ids = Vec::new();
+        for round in 0..4u64 {
+            for (p, service) in partitions.iter().enumerate() {
+                let id = service.open_session(vec![(round % 3) as u32]).unwrap();
+                assert_eq!((id.0 - 1) % 3, p as u64, "partition {p} left its stripe: {id}");
+                ids.push(id.0);
+            }
+        }
+        ids.sort_unstable();
+        assert_eq!(ids, (1..=12).collect::<Vec<u64>>(), "the union is dense and disjoint");
+
+        // A spent nonce from a sibling partition is outside this partition's
+        // attestable space: the gate answers "not consumed", never panics.
+        let (partitioned, mut prover) =
+            setup_with(vec![vec![2]], ServiceConfig::default().partitioned(1, 3));
+        let id = partitioned.open_session(vec![2]).unwrap();
+        assert_eq!(id.0, 2);
+        let ev = evidence_for(&partitioned, &mut prover, id);
+        assert!(partitioned.submit_evidence(&ev).accepted);
+        assert_eq!(partitioned.submit_evidence(&ev).reason_code, code::NONCE_REPLAYED);
+        assert!(!partitioned.nonce_consumed(&Nonce::from_counter(1)));
+        assert!(!partitioned.nonce_consumed(&Nonce::from_counter(3)));
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip_is_a_byte_identical_fixed_point() {
+        let (service, mut prover) = setup(vec![vec![2], vec![3]]);
+        let spent = service.open_session(vec![2]).unwrap();
+        let ev = evidence_for(&service, &mut prover, spent);
+        assert!(service.submit_evidence(&ev).accepted);
+        let held = service.open_session(vec![3]).unwrap();
+        let pending = evidence_for(&service, &mut prover, held);
+        service.advance_clock(17);
+
+        let bytes = service.snapshot_bytes(0).unwrap();
+        let restored = VerifierService::restore_bytes(
+            &bytes,
+            DeviceKey::from_seed("svc-device").verification_key(),
+        )
+        .unwrap();
+        assert_eq!(restored.snapshot_bytes(0).unwrap(), bytes, "restore is a fixed point");
+        assert_eq!(restored.live_sessions(), 1);
+        assert_eq!(restored.now_cycles(), 17);
+        assert_eq!(restored.stats(), service.stats());
+
+        // The restored service still refuses the spent nonce and still
+        // accepts the held session's evidence.
+        assert_eq!(restored.submit_evidence(&ev).reason_code, code::NONCE_REPLAYED);
+        assert!(restored.submit_evidence(&pending).accepted);
+        assert!(restored.stats().is_conserved(restored.live_sessions()));
+    }
+
+    #[test]
+    fn reserved_watermarks_survive_a_crash_without_reissuing_nonces() {
+        let (service, mut prover) = setup(vec![vec![2]]);
+        let snapshot = service.snapshot_with_reserve(8);
+
+        // "Crash": sessions opened after the snapshot are lost...
+        let lost = service.open_session(vec![2]).unwrap();
+        let lost_evidence = evidence_for(&service, &mut prover, lost);
+
+        // ...and the restored process never reissues their counters: the next
+        // open lands beyond the reserve, and the lost nonce reads as spent.
+        let restored = VerifierService::restore(
+            snapshot,
+            DeviceKey::from_seed("svc-device").verification_key(),
+        )
+        .unwrap();
+        let fresh = restored.open_session(vec![2]).unwrap();
+        assert_eq!(fresh.0, 9, "the first post-restore counter clears the 8-session reserve");
+        assert_eq!(restored.submit_evidence(&lost_evidence).reason_code, code::NONCE_REPLAYED);
+        assert!(restored.stats().is_conserved(restored.live_sessions()));
+    }
+
+    #[test]
+    fn corrupted_snapshots_are_refused_with_typed_errors() {
+        use crate::wire::{SNAPSHOT_HEADER_BYTES, SNAPSHOT_VERSION};
+        let (service, _) = setup(vec![vec![2]]);
+        service.open_session(vec![2]).unwrap();
+        let bytes = service.snapshot_bytes(0).unwrap();
+        let key = || DeviceKey::from_seed("svc-device").verification_key();
+
+        for cut in [0, 3, 5, 9, SNAPSHOT_HEADER_BYTES - 1, bytes.len() - 1] {
+            assert!(
+                matches!(
+                    VerifierService::restore_bytes(&bytes[..cut], key()),
+                    Err(SnapshotError::Truncated { .. })
+                ),
+                "cut at {cut}"
+            );
+        }
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] ^= 0xff;
+        assert!(matches!(
+            VerifierService::restore_bytes(&bad_magic, key()),
+            Err(SnapshotError::BadMagic { .. })
+        ));
+        let mut bad_version = bytes.clone();
+        bad_version[4..6].copy_from_slice(&(SNAPSHOT_VERSION + 1).to_le_bytes());
+        assert!(matches!(
+            VerifierService::restore_bytes(&bad_version, key()),
+            Err(SnapshotError::UnsupportedVersion { found }) if found == SNAPSHOT_VERSION + 1
+        ));
+        let mut flipped = bytes.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x01;
+        assert!(matches!(
+            VerifierService::restore_bytes(&flipped, key()),
+            Err(SnapshotError::DigestMismatch)
+        ));
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(matches!(
+            VerifierService::restore_bytes(&trailing, key()),
+            Err(SnapshotError::TrailingBytes { extra: 1 })
+        ));
+
+        // A decodable document with an inconsistent body is refused too: a
+        // session claiming a counter above its shard's watermark.
+        let mut msg = service.snapshot();
+        msg.shards[0].issued = 0;
+        assert!(matches!(VerifierService::restore(msg, key()), Err(SnapshotError::Invalid { .. })));
     }
 }

@@ -346,6 +346,251 @@ impl std::error::Error for WireError {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Snapshots: the durable-state document.
+// ---------------------------------------------------------------------------
+
+/// Magic bytes opening every snapshot document.
+pub const SNAPSHOT_MAGIC: [u8; 4] = *b"LFSN";
+
+/// The snapshot-format version this build writes.  The format is append-only
+/// like the envelope codec: new fields extend [`SnapshotMsg`] under a new
+/// version number, and older documents keep decoding under theirs.
+pub const SNAPSHOT_VERSION: u16 = 1;
+
+/// Size of the fixed snapshot header in bytes: magic (4) + version (2) +
+/// body length (4) + SHA3-256 body digest (32).
+pub const SNAPSHOT_HEADER_BYTES: usize = 42;
+
+/// One still-open session as persisted in a snapshot.  The challenge nonce is
+/// *not* stored: session `n` always carries `Nonce::from_counter(n)`, so the
+/// restore path re-derives it — a tampered document cannot smuggle in a
+/// foreign nonce.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SessionSnapshot {
+    /// The session counter (and nonce counter).
+    pub id: u64,
+    /// The challenged program input.
+    pub input: Vec<u32>,
+    /// Expiry deadline on the service clock.
+    pub deadline_cycles: u64,
+}
+
+/// One shard's durable state: the issuance watermark plus its live sessions.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ShardSnapshot {
+    /// Sessions this shard has issued — **rounded up** by the writer's
+    /// reserve margin, never down, so counters handed out after the snapshot
+    /// was taken register as consumed (not fresh) after a crash-restore.
+    pub issued: u64,
+    /// The sessions still awaiting evidence, in ascending id order.
+    pub sessions: Vec<SessionSnapshot>,
+}
+
+/// The complete durable state of one
+/// [`VerifierService`](crate::service::VerifierService): measurement
+/// database, configuration, clock, per-shard nonce watermarks and live
+/// sessions, and the statistics books.
+///
+/// The verification key is deliberately **absent** — it is provided again at
+/// restore time, so a snapshot document never carries key material.  The
+/// verdict cache is also absent: it is a pure performance memo that restarts
+/// cold.
+///
+/// ```text
+/// offset  size  field
+/// 0       4     magic  "LFSN"
+/// 4       2     version (little-endian u16, currently 1)
+/// 6       4     body length (little-endian u32)
+/// 10      32    SHA3-256 digest of the body
+/// 42      n     body: serde encoding of `SnapshotMsg`
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SnapshotMsg {
+    /// The attested program (must match the embedded database).
+    pub program_id: String,
+    /// The service configuration, including the partition coordinates.
+    pub config: crate::service::ServiceConfig,
+    /// The service clock at snapshot time; restore resumes from here and the
+    /// restored sessions expire against it.
+    pub now_cycles: u64,
+    /// The round-robin shard cursor.
+    pub next_open: u64,
+    /// The statistics books at snapshot time.
+    pub stats: crate::service::ServiceStats,
+    /// Per-shard watermarks and live sessions, in shard order.
+    pub shards: Vec<ShardSnapshot>,
+    /// The reference measurement database.
+    pub db: crate::measurement_db::MeasurementDatabase,
+}
+
+impl SnapshotMsg {
+    /// Encodes the snapshot to its deterministic byte representation.  The
+    /// body digest makes bit rot (and tampering by anything weaker than a
+    /// second-preimage attack on SHA3-256) detectable before the body is
+    /// parsed at all.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::Codec`] if the body cannot be encoded and
+    /// [`SnapshotError::Oversized`] if it exceeds the `u32` length field.
+    pub fn encode(&self) -> Result<Vec<u8>, SnapshotError> {
+        let body = serde::to_bytes(self).map_err(SnapshotError::Codec)?;
+        let body_len =
+            u32::try_from(body.len()).map_err(|_| SnapshotError::Oversized { len: body.len() })?;
+        let digest = lofat_crypto::Sha3_256::digest(&body);
+        let mut out = Vec::with_capacity(SNAPSHOT_HEADER_BYTES + body.len());
+        out.extend_from_slice(&SNAPSHOT_MAGIC);
+        out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        out.extend_from_slice(&body_len.to_le_bytes());
+        out.extend_from_slice(digest.as_bytes());
+        out.extend_from_slice(&body);
+        Ok(out)
+    }
+
+    /// Decodes a snapshot document, refusing bad magic, unknown versions,
+    /// truncation, trailing bytes and any body whose digest does not match.
+    /// Never panics on malformed input.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`SnapshotError`] describing the first problem found.
+    pub fn decode(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        if bytes.len() < SNAPSHOT_HEADER_BYTES {
+            return Err(SnapshotError::Truncated {
+                needed: SNAPSHOT_HEADER_BYTES,
+                have: bytes.len(),
+            });
+        }
+        if bytes[..4] != SNAPSHOT_MAGIC {
+            return Err(SnapshotError::BadMagic {
+                found: [bytes[0], bytes[1], bytes[2], bytes[3]],
+            });
+        }
+        let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion { found: version });
+        }
+        let body_len = u32::from_le_bytes(bytes[6..10].try_into().expect("4 bytes")) as usize;
+        let stored_digest = &bytes[10..SNAPSHOT_HEADER_BYTES];
+        let body = &bytes[SNAPSHOT_HEADER_BYTES..];
+        if body.len() < body_len {
+            return Err(SnapshotError::Truncated {
+                // Saturate: a hostile length near `u32::MAX` must not overflow
+                // `usize` on 32-bit targets (decode never panics).
+                needed: SNAPSHOT_HEADER_BYTES.saturating_add(body_len),
+                have: bytes.len(),
+            });
+        }
+        if body.len() > body_len {
+            return Err(SnapshotError::TrailingBytes { extra: body.len() - body_len });
+        }
+        let digest = lofat_crypto::Sha3_256::digest(body);
+        if digest.as_bytes() != stored_digest {
+            return Err(SnapshotError::DigestMismatch);
+        }
+        serde::from_bytes(body).map_err(SnapshotError::Codec)
+    }
+}
+
+/// Errors produced by the snapshot codec and the restore path.
+///
+/// Unlike [`WireError`] this carries [`std::io::Error`] (for the file
+/// helpers on [`VerifierService`](crate::service::VerifierService)), so it
+/// is not `Clone`/`PartialEq`.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SnapshotError {
+    /// The input does not start with [`SNAPSHOT_MAGIC`].
+    BadMagic {
+        /// The four bytes found instead.
+        found: [u8; 4],
+    },
+    /// The document's version field is not a version this build reads.
+    UnsupportedVersion {
+        /// The version found in the document.
+        found: u16,
+    },
+    /// The input ended before the document was complete.
+    Truncated {
+        /// Total bytes the document needs.
+        needed: usize,
+        /// Bytes actually available.
+        have: usize,
+    },
+    /// Bytes were left over after the declared body length.
+    TrailingBytes {
+        /// Number of surplus bytes.
+        extra: usize,
+    },
+    /// The body exceeds the `u32` length field.
+    Oversized {
+        /// The offending body length.
+        len: usize,
+    },
+    /// The body's SHA3-256 digest does not match the header — the document
+    /// was corrupted (or tampered with) after it was written.
+    DigestMismatch,
+    /// The body is not a valid [`SnapshotMsg`] encoding.
+    Codec(serde::Error),
+    /// The document decoded but describes an inconsistent service (wrong
+    /// shard count, a session outside its shard's congruence class or above
+    /// the issuance watermark, …).  Restore refuses rather than guessing.
+    Invalid {
+        /// What the validation found.
+        reason: String,
+    },
+    /// Reading or writing the snapshot file failed.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::BadMagic { found } => {
+                write!(f, "bad snapshot magic {found:02x?}")
+            }
+            SnapshotError::UnsupportedVersion { found } => {
+                write!(
+                    f,
+                    "unsupported snapshot version {found} (this build reads {SNAPSHOT_VERSION})"
+                )
+            }
+            SnapshotError::Truncated { needed, have } => {
+                write!(f, "truncated snapshot: need {needed} bytes, have {have}")
+            }
+            SnapshotError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after the snapshot body")
+            }
+            SnapshotError::Oversized { len } => {
+                write!(f, "snapshot body of {len} bytes exceeds the u32 length field")
+            }
+            SnapshotError::DigestMismatch => {
+                write!(f, "snapshot body digest mismatch (corrupted or tampered document)")
+            }
+            SnapshotError::Codec(e) => write!(f, "malformed snapshot body: {e}"),
+            SnapshotError::Invalid { reason } => write!(f, "inconsistent snapshot: {reason}"),
+            SnapshotError::Io(e) => write!(f, "snapshot i/o: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Codec(e) => Some(e),
+            SnapshotError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -37,7 +37,9 @@ use lofat::{
     ServiceError, ServiceStats, Verifier, VerifierService,
 };
 use lofat_crypto::DeviceKey;
-use lofat_net::{EventLoopServer, NetError, NetLimits, ProverClient, ServerConfig, VerifierServer};
+use lofat_net::{
+    EventLoopServer, FanOutFront, NetError, NetLimits, ProverClient, ServerConfig, VerifierServer,
+};
 use lofat_workloads::catalog;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -55,6 +57,10 @@ pub enum Transport {
     Socket,
     /// A live readiness-driven [`EventLoopServer`] over loopback TCP.
     Epoll,
+    /// A [`FanOutFront`] multiplexing over two partitioned blocking
+    /// [`VerifierServer`]s — the in-repo stand-in for an N-process
+    /// `lofat front` + `lofat serve --partition` deployment.
+    Front,
 }
 
 impl Transport {
@@ -64,6 +70,7 @@ impl Transport {
             Transport::Pool => "pool",
             Transport::Socket => "socket",
             Transport::Epoll => "epoll",
+            Transport::Front => "front",
         }
     }
 }
@@ -77,13 +84,15 @@ pub struct ExecOptions {
     pub socket: bool,
     /// Drive each job over a loopback readiness-driven TCP server.
     pub epoll: bool,
+    /// Drive each job over a fan-out front with two partitioned backends.
+    pub front: bool,
     /// Overrides every section's `scale` (CI smoke runs shrink here).
     pub scale_override: Option<usize>,
 }
 
 impl Default for ExecOptions {
     fn default() -> Self {
-        Self { pool: true, socket: true, epoll: true, scale_override: None }
+        Self { pool: true, socket: true, epoll: true, front: true, scale_override: None }
     }
 }
 
@@ -118,7 +127,7 @@ pub struct FleetReport {
     /// The spec's `fleet <name>` header.
     pub spec_name: String,
     /// One outcome per executed job × transport, in job order with the
-    /// enabled transports in pool, socket, epoll order.
+    /// enabled transports in pool, socket, epoll, front order.
     pub outcomes: Vec<ScenarioOutcome>,
 }
 
@@ -450,6 +459,24 @@ fn collect_outcome(
     observations: Vec<Observation>,
     service: &VerifierService,
 ) -> ScenarioOutcome {
+    collect_outcome_from_books(
+        job,
+        transport,
+        observations,
+        service.stats(),
+        service.live_sessions(),
+    )
+}
+
+/// [`collect_outcome`] with the service books supplied directly — the front
+/// transport sums the per-partition snapshots first.
+fn collect_outcome_from_books(
+    job: &Job,
+    transport: Transport,
+    observations: Vec<Observation>,
+    stats: ServiceStats,
+    live: usize,
+) -> ScenarioOutcome {
     let mut verdicts: BTreeMap<u16, u64> = BTreeMap::new();
     let mut latencies: Vec<u64> = Vec::new();
     for observation in &observations {
@@ -459,8 +486,6 @@ fn collect_outcome(
         }
     }
     latencies.sort_unstable();
-    let stats = service.stats();
-    let live = service.live_sessions();
     let conserved = stats.is_conserved(live);
     ScenarioOutcome {
         job: job.clone(),
@@ -520,7 +545,9 @@ impl AnyServer {
             Transport::Epoll => {
                 Ok(AnyServer::Epoll(EventLoopServer::bind("127.0.0.1:0", service, config)?))
             }
-            Transport::Pool => unreachable!("pool jobs have no server"),
+            Transport::Pool | Transport::Front => {
+                unreachable!("pool and front jobs build their own backends")
+            }
         }
     }
 
@@ -579,6 +606,85 @@ fn run_socket_job(
     outcome
 }
 
+/// How many `lofat serve`-shaped backend processes the front transport
+/// simulates.  Each backend serves one partition of the session/nonce space;
+/// two is the smallest count that exercises cross-partition routing.
+const FRONT_PARTITIONS: u64 = 2;
+
+/// Runs one job through a [`FanOutFront`] over `FRONT_PARTITIONS` partitioned
+/// blocking servers — the multi-process deployment shape, in-process.
+///
+/// The front round-robins session requests, each backend issues ids on its
+/// own stripes (`partition + shard·P + issued·stripes`), and a single
+/// sequential opener therefore sees the same dense id sequence — and the same
+/// challenge bytes — as every other transport.  The outcome's books are the
+/// **sum** of the per-partition snapshots ([`ServiceStats::absorb`]); the
+/// differential in [`run`]'s callers then proves the deployment is
+/// stats-conserving and verdict-identical to one service.
+fn run_front_job(job: &Job, section: &SectionContext) -> Result<ScenarioOutcome, ExecError> {
+    let workers = job.clients.clamp(1, 8);
+    let mut services = Vec::new();
+    let mut servers = Vec::new();
+    let mut backends = Vec::new();
+    for partition in 0..FRONT_PARTITIONS {
+        let config = ServiceConfig::sharded(2).partitioned(partition, FRONT_PARTITIONS);
+        let service = Arc::new(VerifierService::new(
+            section.db.clone(),
+            section.key.verification_key(),
+            config,
+        ));
+        let server_config = ServerConfig {
+            max_connections: job.clients + job.scale + 8,
+            limits: NetLimits::server()
+                .with_read_timeout(Some(Duration::from_secs(5)))
+                .with_write_timeout(Some(Duration::from_secs(5))),
+            pool: PoolConfig::with_workers(workers),
+            ..ServerConfig::default()
+        };
+        let server = VerifierServer::bind("127.0.0.1:0", Arc::clone(&service), server_config)?;
+        backends.push(server.local_addr());
+        services.push(service);
+        servers.push(server);
+    }
+    let front_config = ServerConfig {
+        max_connections: job.clients + job.scale + 8,
+        limits: NetLimits::server()
+            .with_read_timeout(Some(Duration::from_secs(5)))
+            .with_write_timeout(Some(Duration::from_secs(5))),
+        ..ServerConfig::default()
+    };
+    let front = FanOutFront::bind("127.0.0.1:0", backends, front_config)?;
+    let addr = front.local_addr();
+    let outcome = (|| -> Result<ScenarioOutcome, ExecError> {
+        let mut opener = ProverClient::connect(addr)?;
+        for (slot, traffic_slot) in section.traffic.iter().enumerate() {
+            let (envelope, bytes) =
+                opener.request_challenge(&job.workload, traffic_slot.input.clone())?;
+            if envelope.session != SessionId(slot as u64 + 1) || bytes != traffic_slot.challenge {
+                return Err(ExecError::ChallengeMismatch { job: job.index, slot });
+            }
+        }
+        let mut observations = socket_phase1(job, &section.traffic, addr)?;
+        for slot in phase2_slots(job, &section.traffic) {
+            let (_, verdict) = opener.submit_evidence(&section.traffic[slot].evidence)?;
+            observations.push(Observation { code: verdict.reason_code, latency_us: None });
+        }
+        drop(opener);
+        let mut stats = ServiceStats::default();
+        let mut live = 0usize;
+        for service in &services {
+            stats.absorb(&service.stats());
+            live += service.live_sessions();
+        }
+        Ok(collect_outcome_from_books(job, Transport::Front, observations, stats, live))
+    })();
+    front.shutdown();
+    for server in servers {
+        server.shutdown();
+    }
+    outcome
+}
+
 /// Expands `spec` and executes every job over the transports `options`
 /// enables, pool first.
 ///
@@ -609,6 +715,9 @@ pub fn run(spec: &FleetSpec, options: ExecOptions) -> Result<FleetReport, ExecEr
         }
         if options.epoll {
             outcomes.push(run_socket_job(job, section, Transport::Epoll)?);
+        }
+        if options.front {
+            outcomes.push(run_front_job(job, section)?);
         }
     }
     Ok(FleetReport { spec_name: spec.name.clone(), outcomes })
@@ -643,12 +752,13 @@ mod tests {
         )
         .unwrap();
         let report = run(&spec, ExecOptions::default()).expect("runs");
-        assert_eq!(report.outcomes.len(), 6, "2 jobs × 3 transports");
-        for group in report.outcomes.chunks(3) {
+        assert_eq!(report.outcomes.len(), 8, "2 jobs × 4 transports");
+        for group in report.outcomes.chunks(4) {
             let pool = &group[0];
             assert_eq!(pool.transport, Transport::Pool);
             assert_eq!(group[1].transport, Transport::Socket);
             assert_eq!(group[2].transport, Transport::Epoll);
+            assert_eq!(group[3].transport, Transport::Front);
             for other in &group[1..] {
                 let label = format!("{} vs {}", pool.job.label(), other.transport.name());
                 assert_eq!(pool.verdicts, other.verdicts, "{label}");

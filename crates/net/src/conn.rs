@@ -428,8 +428,10 @@ const SESSION_REQUEST_VARIANT: [u8; 4] = 3u32.to_le_bytes();
 /// message kind — evidence goes to the pool, which decodes exactly once.  A
 /// false positive merely costs one inline decode; a false negative is
 /// impossible for well-formed frames (the fields checked here are fixed
-/// offsets of the envelope header).
-fn is_session_request_frame(frame: &[u8]) -> bool {
+/// offsets of the envelope header).  Shared with the fan-out front, which
+/// routes session requests round-robin (they name no session yet) and
+/// everything else by the session id at the same fixed offsets.
+pub(crate) fn is_session_request_frame(frame: &[u8]) -> bool {
     frame.len() >= HEADER_BYTES + 4
         && frame[..4] == WIRE_MAGIC
         && frame[4..6] == WIRE_VERSION.to_le_bytes()

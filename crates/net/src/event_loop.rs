@@ -336,8 +336,38 @@ struct LoopShared {
 #[cfg(target_os = "linux")]
 impl LoopShared {
     fn wake(&self) {
-        // A single byte; if the pipe is full a wake-up is already pending.
-        let _ = self.wake_tx.lock().expect("wake lock poisoned").write(&[1]);
+        // Recover the sender even if a waker panicked mid-write: the stream
+        // handle itself is still coherent, and losing the wake channel would
+        // leave completed verdicts sitting until the next deadline tick.
+        let mut tx = self.wake_tx.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        loop {
+            match tx.write(&[1]) {
+                Ok(_) => return,
+                // A full pipe means a wake-up is already pending — which is
+                // everything this byte could have achieved.
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    drop(tx);
+                    // A real transport failure on the wake channel is worth
+                    // surfacing: the loop now only advances on socket
+                    // readiness and deadline ticks.
+                    self.log.push(format!("wake channel write failed: {e}"));
+                    return;
+                }
+            }
+        }
+    }
+
+    /// The completion queue, recovered from poisoning if a thread panicked
+    /// while holding it (the payload is a plain `Vec` — always coherent) and
+    /// logged so the recovery is observable, instead of cascading the panic
+    /// into a dead server.
+    fn completed_lock(&self) -> std::sync::MutexGuard<'_, Vec<(u64, u64, Reply)>> {
+        self.completed.lock().unwrap_or_else(|poisoned| {
+            self.log.push("completion lock poisoned by a panicked thread; recovered".into());
+            poisoned.into_inner()
+        })
     }
 }
 
@@ -453,6 +483,29 @@ impl EventLoopServer {
         self.stop();
     }
 
+    /// [`EventLoopServer::shutdown`], then drain the quiesced service into a
+    /// durable snapshot at `path` (written atomically, with `reserve` future
+    /// sessions added to every issuance watermark — see
+    /// [`lofat::service::VerifierService::write_snapshot`]).  Taken after the
+    /// graceful shutdown, so every delivered verdict is in the books it
+    /// captures.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Io`] if the snapshot cannot be encoded or written;
+    /// the shutdown itself has already completed either way.
+    pub fn shutdown_to_snapshot(
+        mut self,
+        path: impl AsRef<std::path::Path>,
+        reserve: u64,
+    ) -> Result<(), NetError> {
+        self.stop();
+        self.shared
+            .service
+            .write_snapshot(path, reserve)
+            .map_err(|e| NetError::Io(std::io::Error::other(e.to_string())))
+    }
+
     fn stop(&mut self) {
         if self.shared.shutting_down.swap(true, Ordering::SeqCst) {
             return;
@@ -486,7 +539,7 @@ fn pump_completions(
 ) {
     while let Ok((conn, seq, ticket)) = ticket_rx.recv() {
         let reply = ticket.wait().reply;
-        shared.completed.lock().expect("completion lock poisoned").push((conn, seq, reply));
+        shared.completed_lock().push((conn, seq, reply));
         shared.wake();
     }
 }
@@ -980,9 +1033,7 @@ impl Driver {
         if state.machine.wants_write() {
             want |= sys::EPOLLOUT;
         }
-        if want != state.interest
-            && self.epoll.modify(state.stream.as_raw_fd(), id, want).is_ok()
-        {
+        if want != state.interest && self.epoll.modify(state.stream.as_raw_fd(), id, want).is_ok() {
             state.interest = want;
         }
         if !state.scheduled {
@@ -1013,8 +1064,7 @@ impl Driver {
     }
 
     fn process_completions(&mut self) {
-        let completed =
-            std::mem::take(&mut *self.shared.completed.lock().expect("completion lock poisoned"));
+        let completed = std::mem::take(&mut *self.shared.completed_lock());
         let now = self.now_ms();
         for (id, seq, reply) in completed {
             let Some(state) = self.conns.get_mut(&id) else { continue };
@@ -1147,6 +1197,20 @@ impl EventLoopServer {
     /// Gracefully shuts the server down (see [`VerifierServer::shutdown`]).
     pub fn shutdown(self) {
         self.inner.shutdown();
+    }
+
+    /// Shuts down, then drains the quiesced service into a durable snapshot
+    /// (see [`VerifierServer::shutdown_to_snapshot`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Io`] if the snapshot cannot be encoded or written.
+    pub fn shutdown_to_snapshot(
+        self,
+        path: impl AsRef<std::path::Path>,
+        reserve: u64,
+    ) -> Result<(), NetError> {
+        self.inner.shutdown_to_snapshot(path, reserve)
     }
 }
 

@@ -29,6 +29,9 @@
 //!   remote verifier; [`RawFrameIo`] (via [`ProverClient::raw`]) is the
 //!   escape hatch for arbitrary frames — fuzzing, pipelining, interleaved
 //!   sessions;
+//! * [`FanOutFront`] — a stateless fan-out front multiplexing clients over
+//!   `N` partitioned backend verifiers (the multi-process face of
+//!   [`lofat::service::ServiceConfig::partition_count`]);
 //! * [`NetError`] — typed failures mapping wire rejections onto the stable
 //!   [`lofat::wire::code`] reason codes.
 //!
@@ -57,6 +60,7 @@ pub mod conn;
 pub mod error;
 pub mod event_loop;
 pub mod frame;
+pub mod front;
 pub mod limits;
 pub mod server;
 
@@ -65,5 +69,6 @@ pub use conn::{Admission, CloseReason, Connection};
 pub use error::NetError;
 pub use event_loop::{raise_nofile_limit, EventLoopServer};
 pub use frame::{DEFAULT_MAX_FRAME_BYTES, FRAME_HEADER_BYTES};
+pub use front::FanOutFront;
 pub use limits::{NetLimits, DEFAULT_MAX_SESSIONS_PER_CONNECTION};
 pub use server::{ServerConfig, VerifierServer};

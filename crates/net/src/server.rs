@@ -300,6 +300,29 @@ impl VerifierServer {
         self.stop();
     }
 
+    /// [`VerifierServer::shutdown`], then drain the quiesced service into a
+    /// durable snapshot at `path` (written atomically, with `reserve` future
+    /// sessions added to every issuance watermark — see
+    /// [`VerifierService::write_snapshot`]).  Because the snapshot is taken
+    /// *after* the graceful shutdown completed, every in-flight verdict is
+    /// already in the books it captures.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Io`] if the snapshot cannot be encoded or written;
+    /// the shutdown itself has already completed either way.
+    pub fn shutdown_to_snapshot(
+        mut self,
+        path: impl AsRef<std::path::Path>,
+        reserve: u64,
+    ) -> Result<(), NetError> {
+        self.stop();
+        self.shared
+            .service
+            .write_snapshot(path, reserve)
+            .map_err(|e| NetError::Io(std::io::Error::other(e.to_string())))
+    }
+
     fn stop(&mut self) {
         if self.shared.shutting_down.swap(true, Ordering::SeqCst) {
             return;

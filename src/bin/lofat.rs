@@ -9,6 +9,7 @@
 //!                                            the measurement (A, L, stats)
 //! lofat verify <file.s|workload> [inputs..]  full prover/verifier round trip
 //! lofat serve <workload> [--addr A]        verifier service on a TCP socket
+//! lofat front --backend B [--backend C..]  fan-out front over partitioned serves
 //! lofat attest <workload> --connect ADDR   attest against a remote verifier
 //! lofat attest --elf <path> [inputs..]     attest an external static RV32 ELF32
 //! lofat area [l n depth]                   area model for a configuration
@@ -31,7 +32,7 @@ use lofat::{
 use lofat_crypto::DeviceKey;
 use lofat_fleet::spec::Adversary as FleetAdversary;
 use lofat_fleet::{behaviour_for, generate_traffic, FleetSpec, SlotBehaviour};
-use lofat_net::{ProverClient, ServerConfig, VerifierServer};
+use lofat_net::{FanOutFront, ProverClient, ServerConfig, VerifierServer};
 use lofat_rv32::asm::assemble;
 use lofat_rv32::{disasm, Cpu, Program};
 use lofat_workloads::catalog;
@@ -53,6 +54,7 @@ fn main() -> ExitCode {
         "verify" => cmd_verify(&args[1..]),
         "sessions" => cmd_sessions(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
+        "front" => cmd_front(&args[1..]),
         "area" => cmd_area(&args[1..]),
         "bench-json" => cmd_bench_json(&args[1..]),
         "serve-bench" => cmd_serve_bench(&args[1..]),
@@ -86,11 +88,22 @@ commands:
                                      adversarial mix) through VerifierService
                                      and print the service stats table
   serve <workload> [--addr A] [--shards S] [--workers K] [--inputs i1,i2 ..]
-        [--deadline-cycles D]        serve the VerifierService for one workload
+        [--deadline-cycles D] [--snapshot-path FILE] [--partition p/N]
+                                     serve the VerifierService for one workload
                                      over TCP (default addr 127.0.0.1:4508)
                                      until interrupted; the session clock
                                      ticks at 1 cycle/us and stale sessions
-                                     are swept (default deadline: 60s)
+                                     are swept (default deadline: 60s);
+                                     --snapshot-path restores state from FILE
+                                     if it exists and then writes a crash-safe
+                                     snapshot there at startup and every tick;
+                                     --partition p/N serves stripe p of an
+                                     N-process deployment (see `lofat front`)
+  front [--addr A] --backend B [--backend C ..]
+                                     stateless fan-out front (default addr
+                                     127.0.0.1:4509) multiplexing clients over
+                                     N partitioned `lofat serve` backends,
+                                     given in partition order
   attest <workload> [inputs..] --connect ADDR
                                      attest against a remote `lofat serve`
                                      instead of the local engine
@@ -110,7 +123,7 @@ commands:
                                      connection sweep (10k-scale concurrent
                                      connections) and write sessions/sec +
                                      p50/p99 latency to BENCH_service.json
-  fleet run <spec.fleet> [--transport pool|socket|epoll|both|all]
+  fleet run <spec.fleet> [--transport pool|socket|epoll|front|both|all]
             [--out-dir DIR] [--scale N]
                                      expand a declarative fleet spec and drive
                                      every scenario (workload × adversary mix ×
@@ -118,7 +131,8 @@ commands:
                                      the chosen transport(s) — `both` is the
                                      two original transports (pool + socket),
                                      `all` (the default) adds the epoll event
-                                     loop; with more than one, assert the
+                                     loop and the partitioned fan-out front;
+                                     with more than one, assert the
                                      verdict breakdowns match, then write
                                      manifest.json / manifest.csv /
                                      manifest.golden.json under --out-dir
@@ -314,6 +328,12 @@ fn default_input_for(name: &str) -> Option<Vec<u32>> {
     catalog::by_name(name).map(|w| w.default_input)
 }
 
+/// Issuance-watermark reserve used by serve-mode snapshots: the crash-safety
+/// guarantee ("no nonce reissued after restore") holds as long as fewer than
+/// this many sessions were opened on any one shard since the last snapshot
+/// write (one write per 5-second tick, plus one at startup).
+const SERVE_SNAPSHOT_RESERVE: u64 = 65_536;
+
 /// `lofat serve` — put the sharded `VerifierService` for one workload behind
 /// a TCP listener and serve until interrupted.
 fn cmd_serve(args: &[String]) -> CliResult {
@@ -325,6 +345,8 @@ fn cmd_serve(args: &[String]) -> CliResult {
     // default gives an unanswered challenge 60 seconds before it is swept.
     let mut deadline_cycles = 60_000_000u64;
     let mut inputs: Option<Vec<Vec<u32>>> = None;
+    let mut snapshot_path: Option<std::path::PathBuf> = None;
+    let mut partition = (0u64, 1u64);
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -338,6 +360,22 @@ fn cmd_serve(args: &[String]) -> CliResult {
             "--deadline-cycles" => {
                 deadline_cycles =
                     iter.next().ok_or("serve: --deadline-cycles needs a count")?.parse()?;
+            }
+            "--snapshot-path" => {
+                let path = iter.next().ok_or("serve: --snapshot-path needs a file")?;
+                snapshot_path = Some(std::path::PathBuf::from(path));
+            }
+            "--partition" => {
+                // `p/N`: this process serves partition p of N (see
+                // `lofat front`, which routes session stripes to backends).
+                let spec = iter.next().ok_or("serve: --partition needs p/N")?;
+                let (p, n) = spec
+                    .split_once('/')
+                    .ok_or_else(|| format!("serve: --partition wants p/N, got `{spec}`"))?;
+                partition = (p.trim().parse()?, n.trim().parse()?);
+                if partition.1 == 0 || partition.0 >= partition.1 {
+                    return Err(format!("serve: --partition {spec} is out of range").into());
+                }
             }
             "--inputs" => {
                 // Comma-separated words per input; repeat the flag for more.
@@ -357,37 +395,85 @@ fn cmd_serve(args: &[String]) -> CliResult {
     let name = workload_name.ok_or("serve: missing <workload>")?;
     let workload = catalog::by_name(&name)
         .ok_or_else(|| format!("`{name}` is not a known workload (try `lofat workloads`)"))?;
-    let program = workload.program()?;
-    let inputs = inputs.unwrap_or_else(|| vec![workload.default_input.clone()]);
 
     let key = DeviceKey::from_seed("lofat-cli-fleet");
-    let verifier = Verifier::new(program, workload.name, key.verification_key())?;
-    eprintln!("precomputing {} reference measurement(s) for `{name}`…", inputs.len());
-    let db = MeasurementDatabase::build(&verifier, EngineConfig::default(), inputs.clone())?;
-    let config = ServiceConfig {
-        session_deadline_cycles: deadline_cycles,
-        shards,
-        ..ServiceConfig::default()
+    // Restore-if-exists: a snapshot written by a previous incarnation carries
+    // the database, configuration, watermarks and live sessions; the CLI
+    // shape flags only apply to a cold start.
+    let restored = match &snapshot_path {
+        Some(path) if path.exists() => {
+            let service = VerifierService::restore_from_file(path, key.verification_key())
+                .map_err(|e| format!("serve: cannot restore `{}`: {e}", path.display()))?;
+            if service.program_id() != workload.name {
+                return Err(format!(
+                    "serve: snapshot `{}` attests `{}`, not `{name}`",
+                    path.display(),
+                    service.program_id()
+                )
+                .into());
+            }
+            eprintln!(
+                "restored `{name}` from `{}`: {} live session(s), clock at {} cycles",
+                path.display(),
+                service.live_sessions(),
+                service.now_cycles(),
+            );
+            Some(service)
+        }
+        _ => None,
     };
-    let service = Arc::new(VerifierService::new(db, key.verification_key(), config));
+    let service = match restored {
+        Some(service) => Arc::new(service),
+        None => {
+            let program = workload.program()?;
+            let inputs = inputs.unwrap_or_else(|| vec![workload.default_input.clone()]);
+            let verifier = Verifier::new(program, workload.name, key.verification_key())?;
+            eprintln!("precomputing {} reference measurement(s) for `{name}`…", inputs.len());
+            let db = MeasurementDatabase::build(&verifier, EngineConfig::default(), inputs)?;
+            let config = ServiceConfig {
+                session_deadline_cycles: deadline_cycles,
+                shards,
+                partition_index: partition.0,
+                partition_count: partition.1,
+                ..ServiceConfig::default()
+            };
+            Arc::new(VerifierService::new(db, key.verification_key(), config))
+        }
+    };
+    let config = *service.config();
     let server_config =
         ServerConfig { pool: PoolConfig::with_workers(workers), ..ServerConfig::default() };
     let server = VerifierServer::bind(addr.as_str(), Arc::clone(&service), server_config)?;
     println!(
-        "serving `{name}` on {} ({} shard{}, {} worker{}, inputs {:?})",
+        "serving `{name}` on {} ({} shard{}, {} worker{}, partition {}/{})",
         server.local_addr(),
-        shards,
-        if shards == 1 { "" } else { "s" },
+        config.shards.max(1),
+        if config.shards.max(1) == 1 { "" } else { "s" },
         workers,
         if workers == 1 { "" } else { "s" },
-        inputs,
+        config.partition_index,
+        config.partition_count,
     );
     println!("attest against it with: lofat attest {name} --connect {}", server.local_addr());
+    // Durability: one snapshot right away (so even an immediate kill
+    // restores), then one per tick below.  Every write rounds the issuance
+    // watermarks up by the reserve, so a crash between writes can never lead
+    // to a reissued nonce.
+    if let Some(path) = &snapshot_path {
+        service.write_snapshot(path, SERVE_SNAPSHOT_RESERVE)?;
+        println!(
+            "snapshotting to `{}` every 5s (reserve {SERVE_SNAPSHOT_RESERVE})",
+            path.display()
+        );
+    }
     // The service deadline clock is logical (`advance_clock`); the transport
     // deliberately never touches it (e14 relies on that), so serve mode must
     // drive it itself: one cycle per microsecond of wall time, ticked every
     // few seconds with a sweep — abandoned session requests expire and
-    // release capacity instead of pinning `max_live_sessions` forever.
+    // release capacity instead of pinning `max_live_sessions` forever.  After
+    // a restore the clock resumes from the snapshot value and only ever moves
+    // forward (the `saturating_sub` yields zero ticks until wall time catches
+    // up), so restored sessions expire on schedule, never retroactively.
     let started = std::time::Instant::now();
     let mut ticks = 0u64;
     loop {
@@ -397,6 +483,11 @@ fn cmd_serve(args: &[String]) -> CliResult {
         let swept = service.expire_stale();
         if swept > 0 {
             println!("[expiry] swept {swept} stale session(s)");
+        }
+        if let Some(path) = &snapshot_path {
+            if let Err(e) = service.write_snapshot(path, SERVE_SNAPSHOT_RESERVE) {
+                eprintln!("[snapshot] write to `{}` failed: {e}", path.display());
+            }
         }
         ticks += 1;
         // A stats pulse once a minute.
@@ -413,6 +504,39 @@ fn cmd_serve(args: &[String]) -> CliResult {
                 stats.rejection_codes_summary(),
             );
         }
+    }
+}
+
+/// `lofat front` — a stateless fan-out front over N partitioned `lofat
+/// serve` backends (see [`lofat_net::FanOutFront`]).
+fn cmd_front(args: &[String]) -> CliResult {
+    let mut addr = "127.0.0.1:4509".to_string();
+    let mut backends: Vec<std::net::SocketAddr> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--addr" => addr = iter.next().ok_or("front: --addr requires host:port")?.clone(),
+            "--backend" => {
+                let spec = iter.next().ok_or("front: --backend needs host:port")?;
+                backends
+                    .push(spec.parse().map_err(|e| format!("front: bad backend `{spec}`: {e}"))?);
+            }
+            other => return Err(format!("front: unknown argument `{other}`").into()),
+        }
+    }
+    if backends.is_empty() {
+        return Err("front: at least one --backend is required (one per partition, \
+                    in partition order)"
+            .into());
+    }
+    let count = backends.len();
+    let front = FanOutFront::bind(addr.as_str(), backends, ServerConfig::default())?;
+    println!("fronting {count} backend(s) on {}", front.local_addr());
+    for (p, backend) in front.backends().iter().enumerate() {
+        println!("  partition {p}/{count} -> {backend}");
+    }
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(5));
     }
 }
 
@@ -818,17 +942,21 @@ fn cmd_fleet_run(args: &[String]) -> CliResult {
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--transport" => {
-                let which =
-                    iter.next().ok_or("fleet run: --transport needs pool|socket|epoll|both|all")?;
-                (options.pool, options.socket, options.epoll) = match which.as_str() {
-                    "pool" => (true, false, false),
-                    "socket" => (false, true, false),
-                    "epoll" => (false, false, true),
-                    "both" => (true, true, false),
-                    "all" => (true, true, true),
+                let which = iter
+                    .next()
+                    .ok_or("fleet run: --transport needs pool|socket|epoll|front|both|all")?;
+                (options.pool, options.socket, options.epoll, options.front) = match which.as_str()
+                {
+                    "pool" => (true, false, false, false),
+                    "socket" => (false, true, false, false),
+                    "epoll" => (false, false, true, false),
+                    "front" => (false, false, false, true),
+                    "both" => (true, true, false, false),
+                    "all" => (true, true, true, true),
                     other => {
                         return Err(format!(
-                            "fleet run: unknown transport `{other}` (pool|socket|epoll|both|all)"
+                            "fleet run: unknown transport `{other}` \
+                             (pool|socket|epoll|front|both|all)"
                         )
                         .into());
                     }
@@ -849,12 +977,13 @@ fn cmd_fleet_run(args: &[String]) -> CliResult {
     let spec = load_fleet_spec(&path)?;
     let jobs = lofat_fleet::enumerate_jobs(&spec)?;
     eprintln!(
-        "fleet {}: {} scenario(s){}{}{}",
+        "fleet {}: {} scenario(s){}{}{}{}",
         spec.name,
         jobs.len(),
         if options.pool { " × pool" } else { "" },
         if options.socket { " × socket" } else { "" },
         if options.epoll { " × epoll" } else { "" },
+        if options.front { " × front" } else { "" },
     );
 
     let report = lofat_fleet::run(&spec, options)?;
@@ -889,6 +1018,7 @@ fn cmd_fleet_run(args: &[String]) -> CliResult {
         (options.pool, Transport::Pool),
         (options.socket, Transport::Socket),
         (options.epoll, Transport::Epoll),
+        (options.front, Transport::Front),
     ]
     .into_iter()
     .filter_map(|(on, t)| on.then_some(t))

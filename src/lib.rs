@@ -22,6 +22,6 @@ pub use lofat_workloads;
 // umbrella root so examples and downstreams can reach them without spelling
 // the member crate.
 pub use lofat_net::{
-    raise_nofile_limit, ClientConfig, EventLoopServer, NetAttestation, NetError, NetLimits,
-    ProverClient, RawFrameIo, ServerConfig, VerifierServer,
+    raise_nofile_limit, ClientConfig, EventLoopServer, FanOutFront, NetAttestation, NetError,
+    NetLimits, ProverClient, RawFrameIo, ServerConfig, VerifierServer,
 };

@@ -754,3 +754,147 @@ fn graceful_shutdown_drains_inflight_and_refuses_the_rest() {
         assert!(refused.is_err(), "the {transport} server kept serving after shutdown");
     }
 }
+
+// ---------------------------------------------------------------------------
+// Multi-process deployment: a fan-out front over partitioned backends
+// ---------------------------------------------------------------------------
+
+/// N one-shard backends, each owning partition `p` of `N`, behind a stateless
+/// [`lofat_net::FanOutFront`] must be indistinguishable from one service with
+/// `N` shards: the front round-robins session requests so ids come out dense,
+/// each backend derives the same counter-bound nonces on its stripes, and
+/// evidence routes by session id.  Challenges, phase-1 verdicts and a full
+/// replay phase 2 are compared byte for byte; the summed per-partition books
+/// must equal the single service's snapshot *exactly* — cache split included,
+/// because backend `p`'s lone cache shard sees the same key sequence as
+/// reference cache shard `p` (cache shards are congruent to session shards).
+#[test]
+fn partitioned_front_deployment_matches_a_single_service_byte_for_byte() {
+    let name = "fig4-loop";
+    let seed = "e14-front";
+    let inputs: Vec<Vec<u32>> = (1..=4u32).map(|k| vec![k]).collect();
+    let sessions = sessions_per_workload().clamp(6, 48);
+    let program = catalog::by_name(name).unwrap().program().expect("assemble");
+    let input_addr = program.symbol("input").expect("input");
+    let fleet = generate_fleet(
+        name,
+        seed,
+        &inputs,
+        |_| attack::poke_at_instruction(2, input_addr, 1),
+        sessions,
+    );
+
+    const PARTITIONS: u64 = 3;
+    let reference =
+        run_in_process(name, seed, &fleet, &inputs, ServiceConfig::sharded(PARTITIONS as usize));
+
+    let mut services = Vec::new();
+    let mut servers = Vec::new();
+    let mut backends = Vec::new();
+    for partition in 0..PARTITIONS {
+        let config = ServiceConfig::sharded(1).partitioned(partition, PARTITIONS);
+        let (_, service, _) = common::workload_service_arc(name, seed, &inputs, config);
+        let server = lofat_net::VerifierServer::bind(
+            "127.0.0.1:0",
+            Arc::clone(&service),
+            common::net_server_config(&format!("front_backend_{partition}")),
+        )
+        .expect("bind backend");
+        backends.push(server.local_addr());
+        services.push(service);
+        servers.push(server);
+    }
+    let front =
+        lofat_net::FanOutFront::bind("127.0.0.1:0", backends, common::net_server_config("front"))
+            .expect("bind front");
+
+    let mut client = ProverClient::connect(front.local_addr()).expect("connect to the front");
+    for (i, input) in fleet.inputs.iter().enumerate() {
+        let (challenge, bytes) =
+            client.request_challenge(name, input.clone()).expect("challenge through the front");
+        assert_eq!(
+            challenge.session,
+            SessionId(i as u64 + 1),
+            "the round-robin front must issue dense global session ids"
+        );
+        assert_eq!(
+            bytes, fleet.challenges[i],
+            "front challenge {i} differs from the single-service bytes"
+        );
+    }
+    let verdicts_p1: Vec<Vec<u8>>;
+    let verdicts_p2: Vec<Vec<u8>>;
+    {
+        let mut raw = client.raw();
+        let mut drive = |bytes: &Vec<u8>| {
+            raw.send(bytes).expect("submit evidence through the front");
+            raw.recv().expect("read verdict").expect("backend answered")
+        };
+        verdicts_p1 = fleet.evidence.iter().map(&mut drive).collect();
+        verdicts_p2 = fleet.evidence.iter().map(&mut drive).collect();
+    }
+    drop(client);
+
+    for (i, (want, got)) in reference.verdicts_p1.iter().zip(&verdicts_p1).enumerate() {
+        assert_eq!(want, got, "phase-1 verdict {i} diverges through the front");
+    }
+    for (i, (want, got)) in reference.verdicts_p2.iter().zip(&verdicts_p2).enumerate() {
+        assert_eq!(want, got, "replay verdict {i} diverges through the front");
+    }
+    for (i, bytes) in verdicts_p2.iter().enumerate() {
+        let verdict = common::decode_verdict(bytes);
+        assert!(!verdict.accepted, "replay {i} accepted through the front: {verdict:?}");
+    }
+
+    // A cross-*session* replay within one congruence class: session 1's
+    // spent evidence still carries session 1's id, routes back to partition
+    // 0, and is refused as a replay — identically on both deployments.
+    let cross = services[0].handle_bytes(&fleet.evidence[0]).expect("cross replay encodes");
+    assert_eq!(
+        common::decode_verdict(&cross).reason_code,
+        code::NONCE_REPLAYED,
+        "a spent nonce must stay spent on its owning partition"
+    );
+    let cross_reference = {
+        let (_, service, _) = common::workload_service(
+            name,
+            seed,
+            &inputs,
+            ServiceConfig::sharded(PARTITIONS as usize),
+        );
+        for input in &fleet.inputs {
+            service.open_session(input.clone()).expect("capacity");
+        }
+        for evidence in &fleet.evidence {
+            service.handle_bytes(evidence).expect("verdict encodes");
+        }
+        for evidence in &fleet.evidence {
+            service.handle_bytes(evidence).expect("verdict encodes");
+        }
+        service.handle_bytes(&fleet.evidence[0]).expect("cross replay encodes")
+    };
+    assert_eq!(cross, cross_reference, "cross-session replay verdict bytes diverge");
+
+    // The deployment's books are the sum of the partitions' — and the sum
+    // (minus the one extra cross-replay above) must equal the single
+    // service's snapshot exactly.
+    let mut stats = ServiceStats::default();
+    let mut live = 0usize;
+    for service in &services {
+        stats.absorb(&service.stats());
+        live += service.live_sessions();
+    }
+    common::assert_stats_conserved(&stats, live);
+    stats.replays_blocked -= 1;
+    stats.rejected -= 1;
+    if let Some(count) = stats.rejections_by_code.get_mut(&code::NONCE_REPLAYED) {
+        *count -= 1;
+    }
+    assert_eq!(reference.stats, stats, "summed partition books diverge from the single service");
+    assert_eq!(reference.live, live, "live sessions diverge");
+
+    front.shutdown();
+    for server in servers {
+        server.shutdown();
+    }
+}
